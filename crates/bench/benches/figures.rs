@@ -1,0 +1,123 @@
+//! Criterion end-to-end benchmarks: one group per paper experiment,
+//! measuring the wall time of a scaled-down regeneration of each
+//! figure/table so `cargo bench` exercises every experiment pipeline.
+//!
+//! (The full-size figure outputs come from the `src/bin/figN` harnesses;
+//! these benches use small op budgets to stay quick.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dve::config::Scheme;
+use dve_bench::{run_all, run_with, speedups};
+use dve_reliability::table1::table1_rows;
+use dve_verify::{check, Variant};
+use dve_workloads::catalog;
+
+const BENCH_OPS: u64 = 1_000;
+
+fn table1_bench(c: &mut Criterion) {
+    c.bench_function("table1_reliability_model", |b| b.iter(table1_rows));
+}
+
+fn fig5_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_model_check");
+    g.sample_size(10);
+    g.bench_function("allow_50k_states", |b| {
+        b.iter(|| check(Variant::Allow, 50_000))
+    });
+    g.bench_function("deny_50k_states", |b| {
+        b.iter(|| check(Variant::Deny, 50_000))
+    });
+    g.finish();
+}
+
+fn fig6_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_speedup");
+    g.sample_size(10);
+    let profiles = catalog();
+    for scheme in [
+        Scheme::BaselineNuma,
+        Scheme::DveAllow,
+        Scheme::DveDeny,
+        Scheme::DveDynamic,
+    ] {
+        g.bench_function(format!("backprop_{}", scheme.label()), |b| {
+            b.iter(|| run_with(&profiles[0], scheme, BENCH_OPS, |_| {}))
+        });
+    }
+    g.finish();
+}
+
+fn fig7_fig8_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_fig8_classification_traffic");
+    g.sample_size(10);
+    g.bench_function("baseline_sweep_4_workloads", |b| {
+        let profiles = catalog();
+        b.iter(|| {
+            profiles[..4]
+                .iter()
+                .map(|p| run_with(p, Scheme::BaselineNuma, BENCH_OPS, |_| {}))
+                .collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
+fn fig9_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_allow_variants");
+    g.sample_size(10);
+    let profiles = catalog();
+    g.bench_function("allow_oracle_backprop", |b| {
+        b.iter(|| {
+            run_with(&profiles[0], Scheme::DveAllow, BENCH_OPS, |c| {
+                c.engine.replica_dir_entries = None;
+                c.engine.free_installs = true;
+            })
+        })
+    });
+    g.finish();
+}
+
+fn fig10_energy_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_energy");
+    g.sample_size(10);
+    g.bench_function("deny_latency_sweep_fft", |b| {
+        let profiles = catalog();
+        let fft = profiles.iter().find(|p| p.name == "fft").unwrap().clone();
+        b.iter(|| {
+            [30u64, 50, 60]
+                .into_iter()
+                .map(|ns| {
+                    run_with(&fft, Scheme::DveDeny, BENCH_OPS, |c| {
+                        c.link_latency = dve_sim::time::Nanos(ns)
+                    })
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
+fn end_to_end_geomean_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("all20_deny_vs_baseline_tiny", |b| {
+        b.iter(|| {
+            let base = run_all(Scheme::BaselineNuma, 300);
+            let deny = run_all(Scheme::DveDeny, 300);
+            speedups(&deny, &base)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    table1_bench,
+    fig5_bench,
+    fig6_bench,
+    fig7_fig8_bench,
+    fig9_bench,
+    fig10_energy_bench,
+    end_to_end_geomean_bench
+);
+criterion_main!(figures);

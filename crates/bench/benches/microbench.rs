@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks of the substrate components: ECC codecs,
+//! cache arrays, replica directory, DRAM controller, mesh routing and
+//! trace synthesis.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dve_coherence::cache::SetAssocCache;
+use dve_coherence::replica_dir::{ReplicaDirectory, ReplicaPolicy, ReplicaState};
+use dve_coherence::types::CacheState;
+use dve_dram::config::DramConfig;
+use dve_dram::controller::{AccessKind, MemoryController};
+use dve_ecc::code::{CorrectionCode, DetectionCode};
+use dve_ecc::hamming::SecDed;
+use dve_ecc::rs::{DecodePolicy, Rs};
+use dve_ecc::rs16::Rs16Detect;
+use dve_noc::mesh::Mesh;
+use dve_sim::time::Cycles;
+use dve_workloads::{catalog, TraceGenerator};
+
+fn ecc_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecc");
+    let data16: Vec<u8> = (0..16).collect();
+    let chipkill = Rs::new(18, 16, DecodePolicy::Correct);
+    g.bench_function("rs18_16_encode", |b| {
+        b.iter(|| chipkill.encode(black_box(&data16)))
+    });
+    let cw = chipkill.encode(&data16);
+    g.bench_function("rs18_16_check_clean", |b| {
+        b.iter(|| chipkill.check(black_box(&cw)))
+    });
+    let mut bad = cw.clone();
+    bad[5] ^= 0xFF;
+    g.bench_function("rs18_16_correct_one_symbol", |b| {
+        b.iter(|| {
+            let mut w = bad.clone();
+            chipkill.check_and_repair(black_box(&mut w))
+        })
+    });
+    let tsd = Rs16Detect::tsd(64);
+    let line = vec![0xA5u8; 64];
+    g.bench_function("tsd_encode_64B", |b| {
+        b.iter(|| tsd.encode(black_box(&line)))
+    });
+    let tcw = tsd.encode(&line);
+    g.bench_function("tsd_check_64B", |b| b.iter(|| tsd.check(black_box(&tcw))));
+    let secded = SecDed::new();
+    let word = [0x42u8; 8];
+    g.bench_function("secded_encode", |b| {
+        b.iter(|| secded.encode(black_box(&word)))
+    });
+    g.finish();
+}
+
+fn cache_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("llc_lookup_hit", |b| {
+        let mut llc = SetAssocCache::new(8 * 1024 * 1024, 16, 64);
+        for i in 0..1000u64 {
+            llc.insert(i, CacheState::S);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            llc.lookup(black_box(i))
+        })
+    });
+    g.bench_function("llc_insert_evict", |b| {
+        let mut llc = SetAssocCache::new(64 * 1024, 8, 64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            llc.insert(black_box(i), CacheState::S)
+        })
+    });
+    g.bench_function("replica_dir_lookup", |b| {
+        let mut rd = ReplicaDirectory::new(ReplicaPolicy::Allow, Some(2048), 1);
+        for i in 0..2048u64 {
+            rd.install(i, ReplicaState::S);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            rd.lookup(black_box(i))
+        })
+    });
+    g.finish();
+}
+
+fn platform_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("platform");
+    g.bench_function("dram_access", |b| {
+        let mut mc = MemoryController::new(0, DramConfig::ddr4_2400());
+        let mut t = 0u64;
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(4096) & 0xFFFF_FFFF;
+            t += 100;
+            mc.access(black_box(addr), AccessKind::Read, Cycles(t))
+        })
+    });
+    g.bench_function("mesh_route_2x4", |b| {
+        let mesh = Mesh::new(4, 2);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            mesh.latency_cycles(black_box(i / 8), black_box(i % 8))
+        })
+    });
+    g.bench_function("trace_gen_next_op", |b| {
+        let profiles = catalog();
+        let mut gen = TraceGenerator::new(&profiles[0], 16, 7);
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 1) % 16;
+            gen.next_op(black_box(t))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ecc_benches, cache_benches, platform_benches);
+criterion_main!(benches);

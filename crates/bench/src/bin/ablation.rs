@@ -1,0 +1,139 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Speculative replica access** (§V-C5/§VI: "we find that in our
+//!    simulations the latency benefits outweigh the bandwidth loss") —
+//!    allow protocol with and without speculation.
+//! 2. **Degraded mode** (§V-E: with one working copy "Dvé will provide
+//!    performance comparable to baseline NUMA") — deny protocol with the
+//!    replicas out of service vs baseline.
+//! 3. **Row-hammer exposure** (§III: "Row hammer errors can be mitigated
+//!    by load balancing requests between the independent replicas") —
+//!    worst-case per-row activation count, baseline vs Dvé.
+//!
+//! ```text
+//! cargo run -p dve-bench --bin ablation --release
+//! ```
+
+use dve::config::{Scheme, SystemConfig};
+use dve::system::System;
+use dve_bench::{grouped, ops_from_env, run_all_with, run_with, speedups, SEED};
+use dve_sim::stats::geomean;
+use dve_workloads::catalog;
+
+fn main() {
+    let ops = ops_from_env();
+
+    // ---- 1. Speculative replica access --------------------------------
+    let base = run_all_with(Scheme::BaselineNuma, ops, |_| {});
+    let spec_on = run_all_with(Scheme::DveAllow, ops, |_| {});
+    let spec_off = run_all_with(Scheme::DveAllow, ops, |c| c.speculative = false);
+    let g_on = grouped(&speedups(&spec_on, &base));
+    let g_off = grouped(&speedups(&spec_off, &base));
+    println!("1. speculative replica access (allow protocol):");
+    println!(
+        "   spec ON : top-10 {:+.1}%  all-20 {:+.1}%",
+        (g_on.top10 - 1.0) * 100.0,
+        (g_on.all20 - 1.0) * 100.0
+    );
+    println!(
+        "   spec OFF: top-10 {:+.1}%  all-20 {:+.1}%",
+        (g_off.top10 - 1.0) * 100.0,
+        (g_off.all20 - 1.0) * 100.0
+    );
+    println!(
+        "   -> speculation worth {:+.1}% all-20 (paper: latency benefits outweigh bandwidth loss)",
+        (g_on.all20 / g_off.all20 - 1.0) * 100.0
+    );
+
+    // ---- 2. Degraded mode ---------------------------------------------
+    let degraded = run_all_with(Scheme::DveDeny, ops, |c| c.degraded = true);
+    let ratios: Vec<f64> = degraded
+        .iter()
+        .zip(&base)
+        .map(|(d, b)| b.cycles as f64 / d.cycles as f64)
+        .collect();
+    let g = geomean(&ratios);
+    println!();
+    println!("2. degraded mode (deny protocol, replicas out of service):");
+    println!(
+        "   geomean vs baseline NUMA: {:+.2}% (paper §V-E: \"comparable to baseline NUMA\")",
+        (g - 1.0) * 100.0
+    );
+    let worst = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("   worst workload: {:+.2}%", (worst - 1.0) * 100.0);
+
+    // ---- 3. Row-hammer exposure ----------------------------------------
+    println!();
+    println!("3. row-hammer exposure (max per-row activations in a refresh window):");
+    let p = catalog()
+        .into_iter()
+        .find(|p| p.name == "graph500")
+        .expect("graph500");
+    for scheme in [Scheme::BaselineNuma, Scheme::DveDeny] {
+        let mut cfg = SystemConfig::table_ii(scheme);
+        cfg.ops_per_thread = ops;
+        cfg.warmup_per_thread = ops / 10;
+        let result = System::new(cfg, &p, SEED).run();
+        println!(
+            "   {:<14} max row activations = {:>6} ({} DRAM accesses)",
+            scheme.label(),
+            result.max_row_activations,
+            result.dram_rows.0 + result.dram_rows.1 + result.dram_rows.2
+        );
+    }
+    println!("   -> replication spreads activations over twice the rows (§III).");
+
+    // ---- 4. On-chip directory cache (§V-A) -----------------------------
+    println!();
+    println!("4. on-chip directory cache (full in-memory directory, cached entries):");
+    let ideal = run_all_with(Scheme::DveDeny, ops, |_| {});
+    for entries in [32_768usize, 262_144] {
+        let cached = run_all_with(Scheme::DveDeny, ops, move |c| {
+            c.engine.dir_cache_entries = Some(entries);
+        });
+        let ratios: Vec<f64> = cached
+            .iter()
+            .zip(&ideal)
+            .map(|(c, i)| i.cycles as f64 / c.cycles as f64)
+            .collect();
+        println!(
+            "   {:>7}-entry cache vs ideal SRAM directory: {:+.2}% geomean",
+            entries,
+            (geomean(&ratios) - 1.0) * 100.0
+        );
+    }
+    println!("   -> entry-fetch misses cost one DRAM access each (Table II's design).");
+
+    // ---- 5. Selective replication (§V-D) -------------------------------
+    println!();
+    println!("5. selective replication (only the shared pools are replicated):");
+    let p = catalog()
+        .into_iter()
+        .find(|p| p.name == "xsbench")
+        .expect("xsbench");
+    let gen = dve_workloads::TraceGenerator::new(&p, 16, SEED);
+    let l = gen.layout();
+    let shared_lines = l.shared_ro + l.shared_rw;
+    let total_lines = gen.span_lines();
+    let pages: std::collections::HashSet<u64> = (0..shared_lines.div_ceil(64)).collect();
+    let scope = dve_coherence::engine::ReplicationScope::Pages(pages);
+    let ops = ops_from_env();
+    let base = run_with(&p, Scheme::BaselineNuma, ops, |_| {});
+    let full = run_with(&p, Scheme::DveDeny, ops, |_| {});
+    let partial = run_with(&p, Scheme::DveDeny, ops, move |c| {
+        c.engine.replication_scope = scope;
+    });
+    println!(
+        "   full replication   : {:+.1}% speedup, 100.0% of pages replicated",
+        (full.speedup_over(&base) - 1.0) * 100.0
+    );
+    println!(
+        "   shared pools only  : {:+.1}% speedup, {:.1}% of pages replicated",
+        (partial.speedup_over(&base) - 1.0) * 100.0,
+        shared_lines as f64 / total_lines as f64 * 100.0
+    );
+    println!("   -> \"applications may require reliability for only a small region of");
+    println!("      memory\" (§II-B): a sliver of the capacity buys most of the gain");
+    println!("      on lookup-table workloads, and unmapped pages fall back to a");
+    println!("      single copy seamlessly (§III).");
+}

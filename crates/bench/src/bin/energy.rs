@@ -1,0 +1,101 @@
+//! Regenerates the **§VII energy study**: DRAM-subsystem energy-delay
+//! product (EDP) of the allow/deny protocols versus baseline NUMA, and
+//! system-level EDP under the paper's assumption that memory is ~18% of
+//! total system power.
+//!
+//! Paper reference points: memory-EDP *decreases* for the most
+//! memory-intensive workloads (backprop, graph500, fft) despite doubled
+//! capacity, but increases by +43%/+37% (allow/deny) in geomean;
+//! system-EDP improves by −6%/−12% thanks to shorter execution times.
+//!
+//! ```text
+//! cargo run -p dve-bench --bin energy --release
+//! ```
+
+use dve::config::Scheme;
+use dve_bench::{header, ops_from_env, row, run_all};
+use dve_dram::energy::system_edp;
+use dve_sim::stats::geomean;
+use dve_workloads::catalog;
+
+fn main() {
+    let ops = ops_from_env();
+    let base = run_all(Scheme::BaselineNuma, ops);
+    let allow = run_all(Scheme::DveAllow, ops);
+    let deny = run_all(Scheme::DveDeny, ops);
+
+    println!(
+        "{}",
+        header(
+            "Energy (§VII): EDP normalized to baseline NUMA",
+            &["mem allow", "mem deny", "sys allow", "sys deny"]
+        )
+    );
+    const MEM_FRACTION: f64 = 0.18;
+    let mut mem_a = Vec::new();
+    let mut mem_d = Vec::new();
+    let mut sys_a = Vec::new();
+    let mut sys_d = Vec::new();
+    for (i, p) in catalog().iter().enumerate() {
+        let b = &base[i];
+        let base_sys = system_edp(
+            b.mem_energy_joules,
+            b.seconds,
+            b.mem_energy_joules,
+            b.seconds,
+            MEM_FRACTION,
+        );
+        let na = allow[i].mem_edp / b.mem_edp;
+        let nd = deny[i].mem_edp / b.mem_edp;
+        let sa = system_edp(
+            b.mem_energy_joules,
+            b.seconds,
+            allow[i].mem_energy_joules,
+            allow[i].seconds,
+            MEM_FRACTION,
+        ) / base_sys;
+        let sd = system_edp(
+            b.mem_energy_joules,
+            b.seconds,
+            deny[i].mem_energy_joules,
+            deny[i].seconds,
+            MEM_FRACTION,
+        ) / base_sys;
+        mem_a.push(na);
+        mem_d.push(nd);
+        sys_a.push(sa);
+        sys_d.push(sd);
+        println!(
+            "{}",
+            row(
+                p.name,
+                &[
+                    format!("{na:.3}"),
+                    format!("{nd:.3}"),
+                    format!("{sa:.3}"),
+                    format!("{sd:.3}"),
+                ]
+            )
+        );
+    }
+    println!();
+    println!(
+        "memory-EDP geomean: allow {:+.1}%  deny {:+.1}%   (paper: +43%, +37%)",
+        (geomean(&mem_a) - 1.0) * 100.0,
+        (geomean(&mem_d) - 1.0) * 100.0
+    );
+    println!(
+        "system-EDP geomean: allow {:+.1}%  deny {:+.1}%   (paper: -6%, -12%)",
+        (geomean(&sys_a) - 1.0) * 100.0,
+        (geomean(&sys_d) - 1.0) * 100.0
+    );
+    let intense = ["backprop", "graph500", "fft"];
+    let improved = catalog()
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| intense.contains(&p.name) && mem_d[*i] < 1.2)
+        .count();
+    println!(
+        "memory-intensive workloads (backprop/graph500/fft) with small or negative mem-EDP overhead: {improved}/3"
+    );
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Fig. 10**: sensitivity of Dvé's gains to the
+//! inter-socket link latency (30 / 50 / 60 ns one way).
+//!
+//! Paper reference points: even at 30 ns the deny protocol keeps
+//! +19%/+12%/+10% (top-10/15/20); benefits grow with latency (60 ns is
+//! the CCIX/OpenCAPI/Gen-Z regime).
+//!
+//! ```text
+//! cargo run -p dve-bench --bin fig10 --release
+//! ```
+
+use dve::config::Scheme;
+use dve_bench::{grouped, ops_from_env, run_all_with, speedups};
+use dve_sim::time::Nanos;
+
+fn main() {
+    let ops = ops_from_env();
+    println!("Fig. 10: geomean speedup vs inter-socket latency");
+    println!(
+        "{:<10} {:>7} {:>16} {:>16} {:>16}",
+        "latency", "scheme", "top-10", "top-15", "all-20"
+    );
+    println!("{}", "-".repeat(70));
+    let mut prev_all20 = [0.0f64; 2];
+    for (li, ns) in [30u64, 50, 60].into_iter().enumerate() {
+        let base = run_all_with(Scheme::BaselineNuma, ops, |c| c.link_latency = Nanos(ns));
+        for (si, scheme) in [Scheme::DveAllow, Scheme::DveDeny].into_iter().enumerate() {
+            let runs = run_all_with(scheme, ops, |c| c.link_latency = Nanos(ns));
+            let g = grouped(&speedups(&runs, &base));
+            println!(
+                "{:<10} {:>7} {:>15.1}% {:>15.1}% {:>15.1}%",
+                format!("{ns} ns"),
+                if si == 0 { "allow" } else { "deny" },
+                (g.top10 - 1.0) * 100.0,
+                (g.top15 - 1.0) * 100.0,
+                (g.all20 - 1.0) * 100.0
+            );
+            if li > 0 {
+                // The paper's claim: benefits increase with latency.
+                if g.all20 < prev_all20[si] {
+                    println!("    (note: gain did not grow at this step)");
+                }
+            }
+            prev_all20[si] = g.all20;
+        }
+    }
+}

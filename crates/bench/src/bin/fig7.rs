@@ -1,0 +1,50 @@
+//! Regenerates **Fig. 7**: the sharing-pattern classification of
+//! requests arriving at the home directory in the baseline NUMA system
+//! (private-read / read-only / read-write / private-read-write).
+//!
+//! The paper's analysis: workloads with more than 46% private
+//! read/write behaviour favor the allow protocol.
+//!
+//! ```text
+//! cargo run -p dve-bench --bin fig7 --release
+//! ```
+
+use dve::config::Scheme;
+use dve_bench::{header, ops_from_env, row, run_all};
+use dve_workloads::catalog;
+
+fn main() {
+    let ops = ops_from_env();
+    let base = run_all(Scheme::BaselineNuma, ops);
+    println!(
+        "{}",
+        header(
+            "Fig. 7: sharing pattern at the home directory (fractions)",
+            &["private-read", "read-only", "read/write", "private-rw"]
+        )
+    );
+    for (p, r) in catalog().iter().zip(&base) {
+        let f = r.class_fractions;
+        println!(
+            "{}",
+            row(
+                p.name,
+                &[
+                    format!("{:.3}", f[0]),
+                    format!("{:.3}", f[1]),
+                    format!("{:.3}", f[2]),
+                    format!("{:.3}", f[3]),
+                ]
+            )
+        );
+    }
+    println!();
+    let threshold_ok = catalog()
+        .iter()
+        .zip(&base)
+        .filter(|(p, r)| p.paper_deny_winner() != (r.class_fractions[3] > 0.46))
+        .count();
+    println!(
+        "workloads where the >46% private-rw rule predicts the allow/deny winner: {threshold_ok}/20"
+    );
+}

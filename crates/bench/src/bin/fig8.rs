@@ -1,0 +1,60 @@
+//! Regenerates **Fig. 8**: inter-socket traffic of the allow and deny
+//! protocols, normalized to baseline NUMA.
+//!
+//! Paper reference points: backprop and graph500 see ~86%/84% traffic
+//! reductions; on average allow cuts 38% and deny 35%; traffic
+//! reduction correlates with speedup.
+//!
+//! ```text
+//! cargo run -p dve-bench --bin fig8 --release
+//! ```
+
+use dve::config::Scheme;
+use dve_bench::{header, ops_from_env, row, run_all, speedups};
+use dve_workloads::catalog;
+
+fn main() {
+    let ops = ops_from_env();
+    let base = run_all(Scheme::BaselineNuma, ops);
+    let allow = run_all(Scheme::DveAllow, ops);
+    let deny = run_all(Scheme::DveDeny, ops);
+
+    println!(
+        "{}",
+        header(
+            "Fig. 8: inter-socket traffic normalized to NUMA",
+            &["allow", "deny"]
+        )
+    );
+    let mut allow_norms = Vec::new();
+    let mut deny_norms = Vec::new();
+    for (i, p) in catalog().iter().enumerate() {
+        let na = allow[i].traffic.normalized_to(&base[i].traffic);
+        let nd = deny[i].traffic.normalized_to(&base[i].traffic);
+        allow_norms.push(na);
+        deny_norms.push(nd);
+        println!("{}", row(p.name, &[format!("{na:.3}"), format!("{nd:.3}")]));
+    }
+    println!();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "average traffic reduction: allow {:.1}%  deny {:.1}%  (paper: 38%, 35%)",
+        (1.0 - mean(&allow_norms)) * 100.0,
+        (1.0 - mean(&deny_norms)) * 100.0
+    );
+    // Correlation between traffic reduction and speedup (deny).
+    let s_deny = speedups(&deny, &base);
+    let reductions: Vec<f64> = deny_norms.iter().map(|n| 1.0 - n).collect();
+    let corr = pearson(&reductions, &s_deny);
+    println!("correlation(traffic reduction, speedup) for deny: {corr:.2} (paper: positive)");
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let cov: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let vx: f64 = x.iter().map(|a| (a - mx).powi(2)).sum();
+    let vy: f64 = y.iter().map(|b| (b - my).powi(2)).sum();
+    cov / (vx.sqrt() * vy.sqrt())
+}

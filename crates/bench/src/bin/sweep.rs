@@ -1,0 +1,67 @@
+//! Full parameter-sweep grid, emitted as CSV for external plotting.
+//!
+//! Sweeps every scheme across the Fig. 10 link latencies and writes one
+//! row per (workload, scheme, latency) with the metrics each paper
+//! figure consumes: cycles, speedup, inter-socket traffic, replica-read
+//! share, memory energy, and EDP. This is the machine-readable
+//! counterpart to the per-figure text harnesses.
+//!
+//! ```text
+//! cargo run -p dve-bench --bin sweep --release > results/sweep.csv
+//! ```
+
+use dve::config::Scheme;
+use dve_bench::{ops_from_env, run_with, SEED};
+use dve_sim::time::Nanos;
+use dve_workloads::catalog;
+use std::collections::HashMap;
+
+fn main() {
+    let ops = ops_from_env().min(15_000); // 300 runs: keep each modest
+    println!(
+        "workload,scheme,link_ns,cycles,speedup,traffic_bytes,traffic_norm,replica_read_share,mem_joules,mem_edp,max_row_activations"
+    );
+    let latencies = [30u64, 50, 60];
+    // Baselines first, keyed by (workload, latency).
+    let mut baselines = HashMap::new();
+    for p in catalog() {
+        for &ns in &latencies {
+            let r = run_with(&p, Scheme::BaselineNuma, ops, |c| {
+                c.link_latency = Nanos(ns)
+            });
+            baselines.insert((p.name, ns), r);
+        }
+    }
+    for p in catalog() {
+        for scheme in Scheme::ALL {
+            for &ns in &latencies {
+                let r = if scheme == Scheme::BaselineNuma {
+                    baselines[&(p.name, ns)].clone()
+                } else {
+                    run_with(&p, scheme, ops, |c| c.link_latency = Nanos(ns))
+                };
+                let base = &baselines[&(p.name, ns)];
+                let dir_requests: u64 = r.engine.served[2..].iter().sum();
+                let replica_share = if dir_requests == 0 {
+                    0.0
+                } else {
+                    r.engine.replica_reads as f64 / dir_requests as f64
+                };
+                println!(
+                    "{},{},{},{},{:.4},{},{:.4},{:.4},{:.6e},{:.6e},{}",
+                    p.name,
+                    scheme.label(),
+                    ns,
+                    r.cycles,
+                    r.speedup_over(base),
+                    r.traffic.total_bytes(),
+                    r.traffic.normalized_to(&base.traffic),
+                    replica_share,
+                    r.mem_energy_joules,
+                    r.mem_edp,
+                    r.max_row_activations,
+                );
+            }
+        }
+    }
+}

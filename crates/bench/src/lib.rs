@@ -1,0 +1,120 @@
+//! Shared harness code for the per-table / per-figure regenerators.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure of the
+//! paper; this library holds the common machinery: running the 20
+//! workloads under a scheme, collecting speedups in the paper's MPKI
+//! order, and rendering aligned text tables.
+//!
+//! Run lengths default to 30 000 measured memory operations per thread
+//! (plus 10% warm-up) — far past the point where the *normalized*
+//! metrics of the statistical workload clones stabilize. Set `DVE_OPS`
+//! to override.
+
+use dve::config::{Scheme, SystemConfig};
+use dve::metrics::GroupedSpeedups;
+use dve::system::{RunResult, System};
+use dve_workloads::{catalog, WorkloadProfile};
+
+/// Default measured memory operations per thread.
+pub const DEFAULT_OPS: u64 = 30_000;
+
+/// The experiment seed used by every harness (reproducibility).
+pub const SEED: u64 = 0xD0E5_2021;
+
+/// Reads the per-thread op budget from `DVE_OPS`, defaulting to
+/// [`DEFAULT_OPS`].
+pub fn ops_from_env() -> u64 {
+    std::env::var("DVE_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_OPS)
+}
+
+/// Runs one workload under one scheme with a custom config tweak.
+pub fn run_with<F>(profile: &WorkloadProfile, scheme: Scheme, ops: u64, tweak: F) -> RunResult
+where
+    F: FnOnce(&mut SystemConfig),
+{
+    let mut cfg = SystemConfig::table_ii(scheme);
+    cfg.ops_per_thread = ops;
+    cfg.warmup_per_thread = ops / 10;
+    tweak(&mut cfg);
+    System::new(cfg, profile, SEED).run()
+}
+
+/// Runs all 20 workloads (paper order) under `scheme`.
+pub fn run_all(scheme: Scheme, ops: u64) -> Vec<RunResult> {
+    run_all_with(scheme, ops, |_| {})
+}
+
+/// Runs all 20 workloads with a config tweak applied to each run.
+pub fn run_all_with<F>(scheme: Scheme, ops: u64, tweak: F) -> Vec<RunResult>
+where
+    F: Fn(&mut SystemConfig),
+{
+    catalog()
+        .iter()
+        .map(|p| run_with(p, scheme, ops, &tweak))
+        .collect()
+}
+
+/// Per-workload speedups of `variant` over `baseline`, in catalog order.
+pub fn speedups(variant: &[RunResult], baseline: &[RunResult]) -> Vec<f64> {
+    assert_eq!(variant.len(), baseline.len());
+    variant
+        .iter()
+        .zip(baseline)
+        .map(|(v, b)| v.speedup_over(b))
+        .collect()
+}
+
+/// The paper's top-10 / top-15 / all-20 geomeans.
+pub fn grouped(speedups: &[f64]) -> GroupedSpeedups {
+    GroupedSpeedups::from_ordered(speedups)
+}
+
+/// Renders one row of an aligned table.
+pub fn row(name: &str, cells: &[String]) -> String {
+    let mut out = format!("{name:<16}");
+    for c in cells {
+        out.push_str(&format!("{c:>14}"));
+    }
+    out
+}
+
+/// Header + separator for an aligned table.
+pub fn header(title: &str, cols: &[&str]) -> String {
+    let mut out = format!("=== {title} ===\n");
+    out.push_str(&row(
+        "workload",
+        &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(16 + 14 * cols.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_end_to_end_matrix() {
+        let base = run_all(Scheme::BaselineNuma, 300);
+        let deny = run_all(Scheme::DveDeny, 300);
+        let s = speedups(&deny, &base);
+        assert_eq!(s.len(), 20);
+        let g = grouped(&s);
+        assert!(g.top10 > 0.3 && g.top10 < 10.0, "top10 = {}", g.top10);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let h = header("Fig. X", &["a", "b"]);
+        assert!(h.contains("Fig. X"));
+        assert!(h.contains("workload"));
+        let r = row("fft", &["1.00".into(), "2.00".into()]);
+        assert!(r.starts_with("fft"));
+        assert!(r.contains("2.00"));
+    }
+}

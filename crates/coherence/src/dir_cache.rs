@@ -1,0 +1,153 @@
+//! The on-chip directory cache.
+//!
+//! §V-A / Table II: "We assume a full directory with the recently
+//! accessed entries cached on-chip." The full directory state lives in
+//! DRAM (a reserved region); the directory controller caches hot entries
+//! in SRAM. A directory-cache miss therefore costs one extra DRAM access
+//! to fetch the entry before the transaction can be ordered.
+//!
+//! [`DirCache`] models exactly that residency set (LRU over line
+//! addresses). The engine consults it at every home-directory access
+//! when configured; `None` capacity models an ideal all-SRAM directory
+//! (the default, matching the calibrated Table II latencies).
+
+use crate::types::LineAddr;
+use std::collections::{BTreeMap, HashMap};
+
+/// LRU residency tracker for on-chip directory entries.
+///
+/// # Example
+///
+/// ```
+/// use dve_coherence::dir_cache::DirCache;
+///
+/// let mut dc = DirCache::new(2);
+/// assert!(!dc.access(0x40)); // cold miss
+/// assert!(dc.access(0x40)); // hit
+/// dc.access(0x80);
+/// dc.access(0xC0); // evicts 0x40
+/// assert!(!dc.access(0x40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirCache {
+    capacity: usize,
+    entries: HashMap<LineAddr, u64>,
+    lru: BTreeMap<u64, LineAddr>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DirCache {
+    /// Creates a cache holding `capacity` directory entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> DirCache {
+        assert!(capacity > 0, "capacity must be non-zero");
+        DirCache {
+            capacity,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Touches the entry for `line`: returns `true` on an on-chip hit,
+    /// `false` when the entry must be fetched from the in-memory
+    /// directory (and installs it, evicting LRU).
+    pub fn access(&mut self, line: LineAddr) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(old) = self.entries.insert(line, tick) {
+            self.lru.remove(&old);
+            self.lru.insert(tick, line);
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() > self.capacity {
+            let (&t, &victim) = self.lru.iter().next().expect("non-empty over capacity");
+            self.lru.remove(&t);
+            self.entries.remove(&victim);
+        }
+        self.lru.insert(tick, line);
+        false
+    }
+
+    /// Hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_after_install() {
+        let mut dc = DirCache::new(4);
+        assert!(!dc.access(1));
+        assert!(dc.access(1));
+        assert!(dc.access(1));
+        assert_eq!(dc.hits(), 2);
+        assert_eq!(dc.misses(), 1);
+        assert!((dc.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut dc = DirCache::new(2);
+        dc.access(1);
+        dc.access(2);
+        dc.access(1); // 2 is now LRU
+        dc.access(3); // evicts 2
+        assert!(dc.access(1));
+        assert!(!dc.access(2));
+        assert_eq!(dc.len(), 2);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut dc = DirCache::new(8);
+        for i in 0..1000u64 {
+            dc.access(i);
+            assert!(dc.len() <= 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        DirCache::new(0);
+    }
+}

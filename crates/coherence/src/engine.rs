@@ -1,0 +1,1462 @@
+//! The two-socket protocol engine: baseline NUMA MOSI plus Dvé's
+//! Coherent Replication (allow- and deny-based families).
+//!
+//! The engine executes one memory operation at a time (directory
+//! transactions are serialized per line, matching §V-C3's statement that
+//! concurrent requests are "serialized and coalesced at the directory"),
+//! updating every coherence structure and charging latency through a
+//! [`Fabric`]:
+//!
+//! 1. private L1 (1 cycle);
+//! 2. socket-shared LLC with its embedded local directory (20 cycles +
+//!    mesh), including on-socket L1-to-L1 transfers and invalidations;
+//! 3. the *nearest* directory: the home directory for home-side sockets,
+//!    the **replica directory** for replica-side sockets under Dvé;
+//! 4. DRAM (home copy or local replica copy) or a forward to the owning
+//!    LLC, possibly across the inter-socket link.
+//!
+//! Writebacks of dirty LLC lines go to the home memory *and* the replica
+//! memory (synchronous with respect to each other but off the load
+//! critical path), keeping the replica strongly consistent (§V-B1).
+
+use crate::cache::SetAssocCache;
+use crate::dir_cache::DirCache;
+use crate::fabric::Fabric;
+use crate::home_dir::HomeDirectory;
+use crate::replica_dir::{ReplicaDirectory, ReplicaEviction, ReplicaPolicy, ReplicaState};
+use crate::types::{home_socket, CacheState, LineAddr, ReqType, ServiceLevel, NUM_SOCKETS};
+use dve_noc::traffic::MessageClass;
+
+/// Which pages are replicated (§V-D's flexible, RMT-driven mapping).
+/// Lines on non-replicated pages "seamlessly fall back to using a single
+/// copy" — they take the baseline NUMA path even in Dvé modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicationScope {
+    /// Every page is replicated (the fixed-function mapping of §III).
+    All,
+    /// Only the listed page numbers are replicated (the OS populated the
+    /// RMT for these — e.g. a process's failure-resilient data segments).
+    Pages(std::collections::HashSet<u64>),
+}
+
+impl ReplicationScope {
+    /// Whether the page holding `line` is replicated.
+    pub fn covers(&self, line: LineAddr, page_lines: u64) -> bool {
+        match self {
+            ReplicationScope::All => true,
+            ReplicationScope::Pages(set) => set.contains(&(line / page_lines)),
+        }
+    }
+}
+
+/// Which system organization the engine models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Baseline dual-socket NUMA, no replication.
+    Baseline,
+    /// The paper's improved Intel-mirroring++ comparison point: replicas
+    /// on a *second channel of the same socket*, with reads load-balanced
+    /// between the two channels. Protocol-wise identical to baseline (the
+    /// mirroring is inside the memory controller); the fabric's
+    /// `mem_read`/`mem_write` implement the balancing and double-write.
+    IntelMirror,
+    /// Dvé Coherent Replication.
+    Dve {
+        /// Allow-based (lazy pull) or deny-based (eager push) family.
+        policy: ReplicaPolicy,
+        /// Speculative replica access on replica-directory miss (§V-C5).
+        speculative: bool,
+    },
+}
+
+/// Configuration of the engine's structures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Total cores (Table II: 16).
+    pub cores: usize,
+    /// Cores per socket (Table II: 8).
+    pub cores_per_socket: usize,
+    /// L1 size in bytes (64 KB).
+    pub l1_bytes: usize,
+    /// L1 associativity (8).
+    pub l1_ways: usize,
+    /// LLC size in bytes per socket (8 MB).
+    pub llc_bytes: usize,
+    /// LLC associativity (16).
+    pub llc_ways: usize,
+    /// Line size (64 B).
+    pub line_bytes: usize,
+    /// Lines per page, for the socket-interleaved home mapping (64 for
+    /// 4 KiB pages).
+    pub page_lines: u64,
+    /// Replica directory entries (`None` = unbounded oracle).
+    pub replica_dir_entries: Option<usize>,
+    /// Replica directory tracking granularity in lines (1 = per-line).
+    pub replica_region_lines: u64,
+    /// Fig. 9 oracle: installs cost no latency.
+    pub free_installs: bool,
+    /// On-chip home-directory cache entries (§V-A: "full directory with
+    /// the recently accessed entries cached on-chip"). A miss costs one
+    /// extra DRAM access to fetch the entry. `None` models an ideal
+    /// all-SRAM directory (the calibrated Table II default).
+    pub dir_cache_entries: Option<usize>,
+    /// Which pages are replicated in Dvé modes (§V-D).
+    pub replication_scope: ReplicationScope,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cores: 16,
+            cores_per_socket: 8,
+            l1_bytes: 64 * 1024,
+            l1_ways: 8,
+            llc_bytes: 8 * 1024 * 1024,
+            llc_ways: 16,
+            line_bytes: 64,
+            page_lines: 64,
+            replica_dir_entries: Some(2048),
+            replica_region_lines: 1,
+            free_installs: false,
+            dir_cache_entries: None,
+            replication_scope: ReplicationScope::All,
+        }
+    }
+}
+
+/// Result of one memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Absolute completion time.
+    pub complete_at: u64,
+    /// Where the request was serviced.
+    pub service: ServiceLevel,
+}
+
+/// Aggregate engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total operations executed.
+    pub ops: u64,
+    /// Reads (loads).
+    pub reads: u64,
+    /// Writes (stores).
+    pub writes: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// LLC hits (including on-socket owner transfers).
+    pub llc_hits: u64,
+    /// Reads served from the local replica memory.
+    pub replica_reads: u64,
+    /// Speculative replica reads whose speculation was confirmed.
+    pub spec_confirmed: u64,
+    /// Speculative replica reads squashed (remote copy was dirty).
+    pub spec_squashed: u64,
+    /// Dirty LLC writebacks.
+    pub writebacks: u64,
+    /// RM entries installed (deny) on home-side writes.
+    pub rm_installs: u64,
+    /// Replica-directory invalidations sent by home-side writes (allow).
+    pub replica_invalidations: u64,
+    /// Forced downgrades caused by replica-directory capacity evictions.
+    pub forced_downgrades: u64,
+    /// Requests served per [`ServiceLevel`] (L1, LLC, LocalDram,
+    /// RemoteDram, LocalOwner, RemoteOwner).
+    pub served: [u64; 6],
+    /// Total latency accumulated per service level (same indexing).
+    pub latency_sum: [u64; 6],
+}
+
+/// Index of a service level in [`EngineStats::served`].
+pub fn service_index(s: ServiceLevel) -> usize {
+    match s {
+        ServiceLevel::L1 => 0,
+        ServiceLevel::Llc => 1,
+        ServiceLevel::LocalDram => 2,
+        ServiceLevel::RemoteDram => 3,
+        ServiceLevel::LocalOwner => 4,
+        ServiceLevel::RemoteOwner => 5,
+    }
+}
+
+/// The protocol engine. See the module docs for the walk of an access.
+#[derive(Debug)]
+pub struct ProtocolEngine {
+    mode: Mode,
+    cfg: EngineConfig,
+    l1s: Vec<SetAssocCache>,
+    llcs: Vec<SetAssocCache>,
+    home_dirs: Vec<HomeDirectory>,
+    replica_dirs: Vec<ReplicaDirectory>,
+    dir_caches: Option<Vec<DirCache>>,
+    stats: EngineStats,
+    /// §V-E degraded state: the replica copies are out of service (hard
+    /// errors, thermal throttling, row-hammer avoidance). Requests
+    /// funnel to the single functional copy and writebacks stop
+    /// propagating to the dead replica — performance returns to
+    /// baseline-NUMA levels while reliability drops to one copy.
+    degraded: bool,
+}
+
+impl ProtocolEngine {
+    /// Builds an engine for `mode` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not a multiple of `cores_per_socket` spanning
+    /// exactly [`NUM_SOCKETS`] sockets.
+    pub fn new(mode: Mode, cfg: EngineConfig) -> ProtocolEngine {
+        assert_eq!(
+            cfg.cores,
+            cfg.cores_per_socket * NUM_SOCKETS,
+            "engine models exactly {NUM_SOCKETS} sockets"
+        );
+        let l1s = (0..cfg.cores)
+            .map(|_| SetAssocCache::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes))
+            .collect();
+        let llcs = (0..NUM_SOCKETS)
+            .map(|_| SetAssocCache::new(cfg.llc_bytes, cfg.llc_ways, cfg.line_bytes))
+            .collect();
+        let home_dirs = (0..NUM_SOCKETS).map(HomeDirectory::new).collect();
+        let policy = match mode {
+            Mode::Dve { policy, .. } => policy,
+            _ => ReplicaPolicy::Allow,
+        };
+        let replica_dirs = (0..NUM_SOCKETS)
+            .map(|_| {
+                ReplicaDirectory::new(policy, cfg.replica_dir_entries, cfg.replica_region_lines)
+            })
+            .collect();
+        let dir_caches = cfg
+            .dir_cache_entries
+            .map(|n| (0..NUM_SOCKETS).map(|_| DirCache::new(n)).collect());
+        ProtocolEngine {
+            mode,
+            cfg,
+            l1s,
+            llcs,
+            home_dirs,
+            replica_dirs,
+            dir_caches,
+            stats: EngineStats::default(),
+            degraded: false,
+        }
+    }
+
+    /// Charges the home-directory access at `home`: the SRAM latency,
+    /// plus a DRAM fetch of the entry when the on-chip directory cache
+    /// misses (§V-A).
+    fn dir_access(&mut self, home: usize, line: LineAddr, t: u64, fabric: &mut impl Fabric) -> u64 {
+        let mut t = t + fabric.dir_latency();
+        if let Some(caches) = &mut self.dir_caches {
+            if !caches[home].access(line) {
+                t = fabric.mem_read(home, line, t);
+            }
+        }
+        t
+    }
+
+    /// Places the system in (or lifts it out of) the §V-E degraded
+    /// state: with one working copy, replica reads stop and requests
+    /// funnel to the home copy, providing "performance comparable to
+    /// baseline NUMA". Entering degraded mode drains the replica
+    /// directories (their permissions are meaningless without replicas).
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+        if degraded {
+            for rd in &mut self.replica_dirs {
+                rd.drain();
+            }
+        }
+    }
+
+    /// Whether the system is running on a single copy.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The engine's mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The home directory of `socket` (for Fig. 7 classification).
+    pub fn home_dir(&self, socket: usize) -> &HomeDirectory {
+        &self.home_dirs[socket]
+    }
+
+    /// The replica directory of `socket` (Dvé modes).
+    pub fn replica_dir(&self, socket: usize) -> &ReplicaDirectory {
+        &self.replica_dirs[socket]
+    }
+
+    /// Socket of a core.
+    pub fn socket_of(&self, core: usize) -> usize {
+        core / self.cfg.cores_per_socket
+    }
+
+    /// Home socket of a line.
+    pub fn home_of(&self, line: LineAddr) -> usize {
+        home_socket(line, self.cfg.page_lines)
+    }
+
+    fn is_dve(&self) -> bool {
+        matches!(self.mode, Mode::Dve { .. })
+    }
+
+    /// Whether `line` has a replica (Dvé mode, healthy, and its page is
+    /// inside the replication scope).
+    fn line_replicated(&self, line: LineAddr) -> bool {
+        self.is_dve()
+            && !self.degraded
+            && self.cfg.replication_scope.covers(line, self.cfg.page_lines)
+    }
+
+    /// Switches the Dvé protocol family at a phase boundary (the
+    /// sampling-based dynamic scheme of §V-C5): drains both replica
+    /// directories and swaps the state machines. Returns the number of
+    /// entries drained (the drain-phase cost is charged by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is not in a Dvé mode.
+    pub fn switch_policy(&mut self, policy: ReplicaPolicy, speculative: bool) -> usize {
+        let Mode::Dve { .. } = self.mode else {
+            panic!("switch_policy requires a Dvé mode");
+        };
+        // Before dropping allow-M / deny-RM knowledge we must make every
+        // replica consistent: force-downgrade all writable lines. We
+        // approximate the drain by counting entries; dirty lines are
+        // still tracked by LLC states and home directories, which remain
+        // intact, so safety is preserved by the conservative post-drain
+        // defaults (allow: absence = no; deny: re-push on next write).
+        let mut drained = 0;
+        for rd in &mut self.replica_dirs {
+            drained += rd.drain();
+        }
+        for rd in &mut self.replica_dirs {
+            *rd = ReplicaDirectory::new(
+                policy,
+                self.cfg.replica_dir_entries,
+                self.cfg.replica_region_lines,
+            );
+        }
+        // Deny correctness after a drain: absence means "replica
+        // readable", but a home-side LLC may hold lines in M. Re-push RM
+        // entries for every line the home directories record as modified
+        // by a home-side owner (the warm-up the paper describes as
+        // bringing metadata "au courant").
+        if policy == ReplicaPolicy::Deny {
+            // Use home directory entries (complete knowledge of M lines).
+            let mut to_install: Vec<(usize, LineAddr)> = Vec::new();
+            for home in 0..NUM_SOCKETS {
+                let mut lines: Vec<LineAddr> = self.home_dirs[home]
+                    .iter_entries()
+                    .filter(|(_, e)| e.state.writable() && e.owner == Some(home))
+                    .map(|(l, _)| *l)
+                    .collect();
+                // The directory map iterates in hash order; sort so the
+                // RM install sequence (and with it the replica
+                // directory's LRU state) is deterministic run-to-run.
+                lines.sort_unstable();
+                for l in lines {
+                    to_install.push((1 - home, l));
+                }
+            }
+            for (socket, line) in to_install {
+                let _ = self.replica_dirs[socket].install(line, ReplicaState::Rm);
+            }
+        }
+        self.mode = Mode::Dve {
+            policy,
+            speculative,
+        };
+        drained
+    }
+
+    // ----- internal helpers -------------------------------------------
+
+    /// Invalidates all on-socket L1 copies of `line` except `keep`.
+    fn invalidate_local_l1s(&mut self, socket: usize, line: LineAddr, keep: Option<usize>) {
+        let base = socket * self.cfg.cores_per_socket;
+        let sharers = self.llcs[socket].sharers_of(line).unwrap_or(0);
+        for i in 0..self.cfg.cores_per_socket {
+            let core = base + i;
+            if Some(core) == keep {
+                continue;
+            }
+            if sharers & (1 << i) != 0 {
+                self.l1s[core].invalidate(line);
+            }
+        }
+        let keep_mask = keep
+            .map(|c| {
+                if c / self.cfg.cores_per_socket == socket {
+                    1u16 << (c % self.cfg.cores_per_socket)
+                } else {
+                    0
+                }
+            })
+            .unwrap_or(0);
+        self.llcs[socket].set_sharers(line, sharers & keep_mask);
+    }
+
+    /// Invalidates a whole socket's copy of `line` (LLC + L1s).
+    fn invalidate_socket(&mut self, socket: usize, line: LineAddr) -> Option<CacheState> {
+        self.invalidate_local_l1s(socket, line, None);
+        self.llcs[socket].invalidate(line)
+    }
+
+    /// Records a sharer core in the LLC's embedded local directory.
+    fn add_l1_sharer(&mut self, socket: usize, line: LineAddr, core: usize) {
+        let bit = 1u16 << (core % self.cfg.cores_per_socket);
+        let cur = self.llcs[socket].sharers_of(line).unwrap_or(0);
+        self.llcs[socket].set_sharers(line, cur | bit);
+    }
+
+    /// Writes a dirty line back to memory: home copy always; replica copy
+    /// too under Dvé (strong consistency, §V-B1). Off the critical path
+    /// but occupies memory banks and the link.
+    fn writeback(
+        &mut self,
+        from_socket: usize,
+        line: LineAddr,
+        now: u64,
+        fabric: &mut impl Fabric,
+    ) {
+        self.stats.writebacks += 1;
+        let home = self.home_of(line);
+        // Home copy.
+        let t_home = if from_socket == home {
+            now
+        } else {
+            fabric.link_send(from_socket, home, now, MessageClass::Writeback)
+        };
+        fabric.mem_write(home, line, t_home);
+        if self.line_replicated(line) {
+            let replica = 1 - home;
+            let t_rep = if from_socket == replica {
+                now
+            } else {
+                fabric.link_send(from_socket, replica, now, MessageClass::Writeback)
+            };
+            fabric.replica_write(replica, line, t_rep);
+            // The replica is now in sync: clear any RM entry (deny) or
+            // stale M entry (allow) covering it.
+            if self.replica_dirs[replica].peek(line) == Some(ReplicaState::Rm)
+                || self.replica_dirs[replica].peek(line) == Some(ReplicaState::M)
+            {
+                self.replica_dirs[replica].remove(line);
+                if from_socket != replica {
+                    fabric.link_send(from_socket, replica, now, MessageClass::ReplicaMaintenance);
+                }
+            }
+        }
+        // Update the home directory: the writer gave up ownership.
+        let entry = self.home_dirs[home].entry_mut(line);
+        if entry.owner == Some(from_socket) {
+            entry.owner = None;
+            entry.sharers &= !(1 << from_socket);
+            entry.state = if entry.sharers == 0 && !entry.replica_shared {
+                CacheState::I
+            } else {
+                CacheState::S
+            };
+        } else {
+            entry.sharers &= !(1 << from_socket);
+            if entry.sharers == 0 && entry.owner.is_none() && !entry.replica_shared {
+                entry.state = CacheState::I;
+            }
+        }
+    }
+
+    /// Handles an LLC insertion, performing the writeback/invalidation
+    /// consequences of any eviction.
+    fn llc_insert(
+        &mut self,
+        socket: usize,
+        line: LineAddr,
+        state: CacheState,
+        now: u64,
+        fabric: &mut impl Fabric,
+    ) {
+        if let Some(ev) = self.llcs[socket].insert(line, state) {
+            // Back-invalidate L1 copies of the evicted line (inclusive
+            // hierarchy).
+            let base = socket * self.cfg.cores_per_socket;
+            for i in 0..self.cfg.cores_per_socket {
+                if ev.sharers & (1 << i) != 0 {
+                    self.l1s[base + i].invalidate(ev.addr);
+                }
+            }
+            if ev.state.dirty() {
+                self.writeback(socket, ev.addr, now, fabric);
+            } else {
+                // Silent clean eviction; directory sharer info may go
+                // stale (conservatively superset), which is safe.
+                let home = self.home_of(ev.addr);
+                if matches!(
+                    self.mode,
+                    Mode::Dve {
+                        policy: ReplicaPolicy::Allow,
+                        ..
+                    }
+                ) && socket != home
+                {
+                    // Keep the allow replica-dir's M entries in sync if
+                    // the socket lost a line it owned (cannot happen for
+                    // clean lines; S entries may stay — they refer to
+                    // replica readability, not LLC residency).
+                }
+            }
+        }
+    }
+
+    /// Resolves a replica-directory capacity eviction. An `Rm` or `M`
+    /// eviction forces a downgrade/writeback so the conservative default
+    /// after removal stays safe.
+    fn resolve_replica_eviction(
+        &mut self,
+        replica_socket: usize,
+        ev: ReplicaEviction,
+        now: u64,
+        fabric: &mut impl Fabric,
+    ) -> u64 {
+        match ev.state {
+            // Allow: absence means "not readable" — dropping an S entry
+            // is conservative and free (the next read re-pulls).
+            ReplicaState::S => now,
+            ReplicaState::Rm => {
+                // Deny: absence would mean "readable", but the home side
+                // holds the region writable. Force the home-side owner to
+                // write back and downgrade before the entry disappears.
+                self.stats.forced_downgrades += 1;
+                let region = ev.region;
+                let lines = self.cfg.replica_region_lines;
+                let mut t = fabric.link_send(
+                    replica_socket,
+                    1 - replica_socket,
+                    now,
+                    MessageClass::ReplicaMaintenance,
+                );
+                t += fabric.dir_latency();
+                for l in region..region + lines {
+                    let home = self.home_of(l);
+                    let owner = self.home_dirs[home].entry(l).owner;
+                    if let Some(o) = owner {
+                        if o != replica_socket
+                            && self.llcs[o].state_of(l).is_some_and(|s| s.dirty())
+                        {
+                            self.llcs[o].set_state(l, CacheState::S);
+                            // Downgrade the on-socket L1 copies too: the
+                            // writer must re-acquire M for its next store.
+                            let sharers = self.llcs[o].sharers_of(l).unwrap_or(0);
+                            let base = o * self.cfg.cores_per_socket;
+                            for i in 0..self.cfg.cores_per_socket {
+                                if sharers & (1 << i) != 0 {
+                                    self.l1s[base + i].set_state(l, CacheState::S);
+                                }
+                            }
+                            self.writeback(o, l, t, fabric);
+                            let e = self.home_dirs[home].entry_mut(l);
+                            e.owner = None;
+                            e.state = CacheState::S;
+                            e.sharers |= 1 << o;
+                        }
+                    }
+                }
+                fabric.link_send(1 - replica_socket, replica_socket, t, MessageClass::Ack)
+            }
+            ReplicaState::M => {
+                // Silent and free: the home directory independently
+                // records the owning socket, and any future forward from
+                // home reaches the owning LLC regardless of whether the
+                // replica directory still holds the entry. Reads from
+                // the replica side hit their own (owning) LLC before
+                // ever consulting the replica directory.
+                now
+            }
+        }
+    }
+
+    // ----- the access path --------------------------------------------
+
+    /// Executes one memory operation for `core` on `line` starting at
+    /// `now`. This is the engine's main entry point.
+    pub fn access(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        req: ReqType,
+        now: u64,
+        fabric: &mut impl Fabric,
+    ) -> AccessOutcome {
+        let outcome = self.access_inner(core, line, req, now, fabric);
+        let idx = service_index(outcome.service);
+        self.stats.served[idx] += 1;
+        self.stats.latency_sum[idx] += outcome.complete_at.saturating_sub(now);
+        outcome
+    }
+
+    fn access_inner(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        req: ReqType,
+        now: u64,
+        fabric: &mut impl Fabric,
+    ) -> AccessOutcome {
+        assert!(core < self.cfg.cores, "core out of range");
+        self.stats.ops += 1;
+        match req {
+            ReqType::Read => self.stats.reads += 1,
+            ReqType::Write => self.stats.writes += 1,
+        }
+        let socket = self.socket_of(core);
+        let mut t = now + fabric.l1_latency();
+
+        // 1. Private L1.
+        match (req, self.l1s[core].lookup(line)) {
+            (ReqType::Read, Some(s)) if s.readable() => {
+                self.stats.l1_hits += 1;
+                return AccessOutcome {
+                    complete_at: t,
+                    service: ServiceLevel::L1,
+                };
+            }
+            (ReqType::Write, Some(CacheState::M)) => {
+                self.stats.l1_hits += 1;
+                return AccessOutcome {
+                    complete_at: t,
+                    service: ServiceLevel::L1,
+                };
+            }
+            _ => {}
+        }
+
+        // 2. Socket LLC + local directory (real mesh hops from this
+        // core's tile).
+        t += fabric.mesh_latency_core(core) + fabric.llc_latency();
+        let llc_state = self.llcs[socket].lookup(line);
+        match (req, llc_state) {
+            (ReqType::Read, Some(s)) if s.readable() => {
+                self.stats.llc_hits += 1;
+                self.fill_l1(core, socket, line, CacheState::S, t, fabric);
+                self.add_l1_sharer(socket, line, core);
+                return AccessOutcome {
+                    complete_at: t,
+                    service: ServiceLevel::Llc,
+                };
+            }
+            (ReqType::Write, Some(CacheState::M)) => {
+                // Socket already exclusive: invalidate sibling L1s.
+                self.stats.llc_hits += 1;
+                self.invalidate_local_l1s(socket, line, Some(core));
+                self.fill_l1(core, socket, line, CacheState::M, t, fabric);
+                self.add_l1_sharer(socket, line, core);
+                return AccessOutcome {
+                    complete_at: t,
+                    service: ServiceLevel::Llc,
+                };
+            }
+            _ => {}
+        }
+
+        // 3. Directory transaction: replicated lines from the replica
+        // side go to the replica directory; everything else (baseline
+        // modes, degraded state, uncovered pages — §V-D's single-copy
+        // fallback) orders at the home directory.
+        let home = self.home_of(line);
+        if self.line_replicated(line) && socket != home {
+            self.replica_side_transaction(core, socket, line, req, t, fabric)
+        } else {
+            self.home_side_transaction(core, socket, line, req, t, fabric)
+        }
+    }
+
+    fn fill_l1(
+        &mut self,
+        core: usize,
+        socket: usize,
+        line: LineAddr,
+        state: CacheState,
+        _now: u64,
+        _fabric: &mut impl Fabric,
+    ) {
+        let _ = socket;
+        // L1 evictions write dirty data into the (inclusive) LLC; no
+        // off-socket traffic.
+        if let Some(ev) = self.l1s[core].insert(line, state) {
+            if ev.state.dirty() {
+                let s = self.socket_of(core);
+                if self.llcs[s].state_of(ev.addr).is_some() {
+                    // Data merges into the LLC copy; state already dirty
+                    // at socket level (the LLC took M when the L1 did).
+                }
+            }
+        }
+    }
+
+    /// A transaction that goes to the home directory (baseline always;
+    /// Dvé when the requester sits on the home socket).
+    fn home_side_transaction(
+        &mut self,
+        core: usize,
+        socket: usize,
+        line: LineAddr,
+        req: ReqType,
+        now: u64,
+        fabric: &mut impl Fabric,
+    ) -> AccessOutcome {
+        let home = self.home_of(line);
+        // Travel to the home directory (on-chip dir-cache miss adds an
+        // in-memory directory-entry fetch).
+        let t0 = if socket == home {
+            now + fabric.mesh_latency()
+        } else {
+            fabric.link_send(socket, home, now, MessageClass::Request)
+        };
+        let mut t = self.dir_access(home, line, t0, fabric);
+        let prior = self.home_dirs[home].entry(line);
+        self.home_dirs[home].classify(req, prior.state);
+
+        let service;
+        match req {
+            ReqType::Read => {
+                match prior.state {
+                    CacheState::I | CacheState::S => {
+                        // Clean in memory: read the home copy.
+                        t = fabric.mem_read(home, line, t);
+                        service = if socket == home {
+                            ServiceLevel::LocalDram
+                        } else {
+                            ServiceLevel::RemoteDram
+                        };
+                        if socket != home {
+                            t = fabric.link_send(home, socket, t, MessageClass::DataResponse);
+                        }
+                        let e = self.home_dirs[home].entry_mut(line);
+                        e.state = CacheState::S;
+                        e.sharers |= 1 << socket;
+                    }
+                    CacheState::M | CacheState::O => {
+                        let owner = prior.owner.expect("dirty line has an owner");
+                        if owner == socket || self.llcs[owner].state_of(line).is_none() {
+                            // Stale ownership (owner silently lost it) —
+                            // fall back to memory.
+                            t = fabric.mem_read(home, line, t);
+                            service = if socket == home {
+                                ServiceLevel::LocalDram
+                            } else {
+                                ServiceLevel::RemoteDram
+                            };
+                            if socket != home {
+                                t = fabric.link_send(home, socket, t, MessageClass::DataResponse);
+                            }
+                            let e = self.home_dirs[home].entry_mut(line);
+                            e.state = CacheState::S;
+                            e.owner = None;
+                            e.sharers |= 1 << socket;
+                        } else {
+                            // Forward to the owner; owner downgrades to O
+                            // and responds with data (MOSI: no memory
+                            // update).
+                            if owner != home {
+                                t = fabric.link_send(home, owner, t, MessageClass::Request);
+                            }
+                            t += fabric.llc_latency();
+                            self.llcs[owner].set_state(line, CacheState::O);
+                            if owner != socket {
+                                t = fabric.link_send(owner, socket, t, MessageClass::DataResponse);
+                            }
+                            service = if owner == socket {
+                                ServiceLevel::LocalOwner
+                            } else {
+                                ServiceLevel::RemoteOwner
+                            };
+                            let e = self.home_dirs[home].entry_mut(line);
+                            e.state = CacheState::O;
+                            e.sharers |= 1 << socket;
+                        }
+                    }
+                }
+                self.llc_insert(socket, line, CacheState::S, t, fabric);
+                self.fill_l1(core, socket, line, CacheState::S, t, fabric);
+                self.add_l1_sharer(socket, line, core);
+            }
+            ReqType::Write => {
+                // GETX: invalidate all other sharers, acquire data, take M.
+                let mut t_data = t;
+                let mut max_ack = t;
+                let had_remote_owner = prior.owner.filter(|&o| o != socket);
+                // Invalidate every other sharer socket.
+                for q in 0..NUM_SOCKETS {
+                    if q == socket || prior.sharers & (1 << q) == 0 {
+                        continue;
+                    }
+                    let t_inv = if q == home {
+                        t + fabric.mesh_latency()
+                    } else {
+                        fabric.link_send(home, q, t, MessageClass::Invalidation)
+                    };
+                    let dirty = self.llcs[q].state_of(line).is_some_and(|s| s.dirty());
+                    let was_owner = prior.owner == Some(q);
+                    self.invalidate_socket(q, line);
+                    if dirty && was_owner {
+                        // Dirty data travels with the ack to the
+                        // requester (no memory update; MOSI).
+                        let t_ack = if q == socket {
+                            t_inv
+                        } else {
+                            fabric.link_send(q, socket, t_inv, MessageClass::DataResponse)
+                        };
+                        t_data = t_data.max(t_ack);
+                        max_ack = max_ack.max(t_ack);
+                    } else {
+                        let t_ack = if q == socket {
+                            t_inv
+                        } else {
+                            fabric.link_send(q, socket, t_inv, MessageClass::Ack)
+                        };
+                        max_ack = max_ack.max(t_ack);
+                    }
+                }
+                // Data source if no dirty remote owner supplied it.
+                let llc_has = self.llcs[socket].state_of(line).is_some();
+                if had_remote_owner.is_none() && !llc_has {
+                    let t_mem = fabric.mem_read(home, line, t);
+                    let t_arr = if socket == home {
+                        t_mem
+                    } else {
+                        fabric.link_send(home, socket, t_mem, MessageClass::DataResponse)
+                    };
+                    t_data = t_data.max(t_arr);
+                }
+                // Dvé extensions on home-side writes.
+                if let Mode::Dve { policy, .. } = self.mode {
+                    let replica = 1 - home;
+                    if socket == home && self.line_replicated(line) {
+                        // If an invalidation already went to the replica
+                        // socket (it was a sharer), the RM-install /
+                        // permission-revoke piggybacks on that message —
+                        // the replica directory sits in front of the
+                        // replica-side LLCs in the hierarchy (Fig. 4c).
+                        let covered = prior.sharers & (1 << replica) != 0;
+                        match policy {
+                            ReplicaPolicy::Deny => {
+                                // Eagerly push the RM (deny) entry; the
+                                // write completes only after the ack.
+                                self.stats.rm_installs += 1;
+                                let t_rm = if covered {
+                                    t + fabric.dir_latency()
+                                } else {
+                                    fabric.link_send(
+                                        home,
+                                        replica,
+                                        t,
+                                        MessageClass::ReplicaMaintenance,
+                                    ) + fabric.dir_latency()
+                                };
+                                if let Some(ev) =
+                                    self.replica_dirs[replica].install(line, ReplicaState::Rm)
+                                {
+                                    let t_ev =
+                                        self.resolve_replica_eviction(replica, ev, t_rm, fabric);
+                                    max_ack = max_ack.max(t_ev);
+                                }
+                                if !covered {
+                                    let t_ack =
+                                        fabric.link_send(replica, socket, t_rm, MessageClass::Ack);
+                                    max_ack = max_ack.max(t_ack);
+                                }
+                            }
+                            ReplicaPolicy::Allow => {
+                                // If the replica directory holds a read
+                                // permission, revoke it before the write
+                                // completes.
+                                if prior.replica_shared
+                                    || self.replica_dirs[replica].peek(line).is_some()
+                                {
+                                    self.stats.replica_invalidations += 1;
+                                    self.replica_dirs[replica].remove(line);
+                                    if !covered {
+                                        let t_inv = fabric.link_send(
+                                            home,
+                                            replica,
+                                            t,
+                                            MessageClass::Invalidation,
+                                        ) + fabric.dir_latency();
+                                        let t_ack = fabric.link_send(
+                                            replica,
+                                            socket,
+                                            t_inv,
+                                            MessageClass::Ack,
+                                        );
+                                        max_ack = max_ack.max(t_ack);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                t = t_data.max(max_ack);
+                service = match had_remote_owner {
+                    Some(_) => ServiceLevel::RemoteOwner,
+                    None if llc_has => ServiceLevel::Llc,
+                    None if socket == home => ServiceLevel::LocalDram,
+                    None => ServiceLevel::RemoteDram,
+                };
+                let e = self.home_dirs[home].entry_mut(line);
+                e.state = CacheState::M;
+                e.owner = Some(socket);
+                e.sharers = 1 << socket;
+                e.replica_shared = false;
+                self.invalidate_local_l1s(socket, line, Some(core));
+                self.llc_insert(socket, line, CacheState::M, t, fabric);
+                self.fill_l1(core, socket, line, CacheState::M, t, fabric);
+                self.add_l1_sharer(socket, line, core);
+                // An allow-mode write from the replica side installs an M
+                // entry in its replica directory (Fig. 5 top).
+                if let Mode::Dve {
+                    policy: ReplicaPolicy::Allow,
+                    ..
+                } = self.mode
+                {
+                    if socket != home {
+                        if let Some(ev) = self.replica_dirs[socket].install(line, ReplicaState::M) {
+                            self.resolve_replica_eviction(socket, ev, t, fabric);
+                        }
+                    }
+                }
+            }
+        }
+        AccessOutcome {
+            complete_at: t,
+            service,
+        }
+    }
+
+    /// A Dvé transaction from the replica side: consult the replica
+    /// directory first; read the local replica when permitted.
+    fn replica_side_transaction(
+        &mut self,
+        core: usize,
+        socket: usize,
+        line: LineAddr,
+        req: ReqType,
+        now: u64,
+        fabric: &mut impl Fabric,
+    ) -> AccessOutcome {
+        let Mode::Dve {
+            policy,
+            speculative,
+        } = self.mode
+        else {
+            unreachable!("replica-side path only in Dvé modes");
+        };
+        let home = 1 - socket;
+        let mut t = now + fabric.mesh_latency() + fabric.dir_latency();
+
+        if req == ReqType::Write {
+            // Writes always order at the home directory. The replica
+            // directory is checked/updated on the way (already charged).
+            return self.home_side_transaction(core, socket, line, req, t, fabric);
+        }
+
+        let entry = self.replica_dirs[socket].lookup(line);
+        let readable = match (policy, entry) {
+            (ReplicaPolicy::Allow, Some(ReplicaState::S)) => true,
+            (ReplicaPolicy::Allow, _) => false,
+            (ReplicaPolicy::Deny, Some(ReplicaState::Rm)) => false,
+            (ReplicaPolicy::Deny, _) => true,
+        };
+
+        if readable {
+            // Serve from the local replica memory. The home directory
+            // views the replica directory as a sharer covering this
+            // socket's caches, so later invalidations reach us.
+            t = fabric.replica_read(socket, line, t);
+            self.stats.replica_reads += 1;
+            let e = self.home_dirs[home].entry_mut(line);
+            if !e.state.dirty() {
+                e.state = CacheState::S;
+            }
+            e.sharers |= 1 << socket;
+            e.replica_shared = true;
+            self.llc_insert(socket, line, CacheState::S, t, fabric);
+            self.fill_l1(core, socket, line, CacheState::S, t, fabric);
+            self.add_l1_sharer(socket, line, core);
+            return AccessOutcome {
+                complete_at: t,
+                service: ServiceLevel::LocalDram,
+            };
+        }
+
+        // Not provably readable: consult home. Optionally speculate on
+        // the local replica in parallel (§V-C5).
+        let spec_done = if speculative {
+            Some(fabric.replica_read(socket, line, t))
+        } else {
+            None
+        };
+        let t_arr = fabric.link_send(socket, home, t, MessageClass::Request);
+        let t_req = self.dir_access(home, line, t_arr, fabric);
+        let prior = self.home_dirs[home].entry(line);
+        self.home_dirs[home].classify(ReqType::Read, prior.state);
+
+        let service;
+        let t_done;
+        match prior.state {
+            CacheState::I | CacheState::S => {
+                // Replica was actually fine — home confirms with a
+                // control message; the speculative local read supplies
+                // the data.
+                if let Some(spec) = spec_done {
+                    self.stats.spec_confirmed += 1;
+                    self.stats.replica_reads += 1;
+                    let t_ack = fabric.link_send(home, socket, t_req, MessageClass::Ack);
+                    t_done = spec.max(t_ack);
+                    service = ServiceLevel::LocalDram;
+                } else {
+                    let t_mem = fabric.mem_read(home, line, t_req);
+                    t_done = fabric.link_send(home, socket, t_mem, MessageClass::DataResponse);
+                    service = ServiceLevel::RemoteDram;
+                }
+                let e = self.home_dirs[home].entry_mut(line);
+                e.state = CacheState::S;
+                e.sharers |= 1 << socket;
+                e.replica_shared = true;
+            }
+            CacheState::M | CacheState::O => {
+                if spec_done.is_some() {
+                    self.stats.spec_squashed += 1;
+                }
+                let owner = prior.owner.expect("dirty line has an owner");
+                if self.llcs[owner].state_of(line).is_none() || owner == socket {
+                    let t_mem = fabric.mem_read(home, line, t_req);
+                    t_done = fabric.link_send(home, socket, t_mem, MessageClass::DataResponse);
+                    service = ServiceLevel::RemoteDram;
+                    let e = self.home_dirs[home].entry_mut(line);
+                    e.state = CacheState::S;
+                    e.owner = None;
+                    e.sharers |= 1 << socket;
+                } else {
+                    let mut tt = t_req;
+                    if owner != home {
+                        tt = fabric.link_send(home, owner, tt, MessageClass::Request);
+                    }
+                    tt += fabric.llc_latency();
+                    self.llcs[owner].set_state(line, CacheState::O);
+                    if owner != socket {
+                        tt = fabric.link_send(owner, socket, tt, MessageClass::DataResponse);
+                    }
+                    t_done = tt;
+                    service = ServiceLevel::RemoteOwner;
+                    let e = self.home_dirs[home].entry_mut(line);
+                    e.state = CacheState::O;
+                    e.sharers |= 1 << socket;
+                }
+            }
+        }
+        // Allow: install the pulled read permission. With coarse-grain
+        // tracking, "a full memory block is entered into the replica
+        // directory if no cacheline within it is currently in writable
+        // state" (§V-C5) — otherwise the entry is skipped (absence is
+        // the safe default).
+        if policy == ReplicaPolicy::Allow && service != ServiceLevel::RemoteOwner {
+            let region_ok = if self.cfg.replica_region_lines > 1 {
+                let region = self.replica_dirs[socket].region_of(line);
+                (region..region + self.cfg.replica_region_lines).all(|l| {
+                    let e = self.home_dirs[self.home_of(l)].entry(l);
+                    !e.state.writable()
+                })
+            } else {
+                true
+            };
+            if region_ok {
+                let install_t = if self.cfg.free_installs { now } else { t_done };
+                if let Some(ev) = self.replica_dirs[socket].install(line, ReplicaState::S) {
+                    self.resolve_replica_eviction(socket, ev, install_t, fabric);
+                }
+            }
+        }
+        self.llc_insert(socket, line, CacheState::S, t_done, fabric);
+        self.fill_l1(core, socket, line, CacheState::S, t_done, fabric);
+        self.add_l1_sharer(socket, line, core);
+        AccessOutcome {
+            complete_at: t_done,
+            service,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::TestFabric;
+
+    fn engine(mode: Mode) -> ProtocolEngine {
+        ProtocolEngine::new(mode, EngineConfig::default())
+    }
+
+    fn allow() -> Mode {
+        Mode::Dve {
+            policy: ReplicaPolicy::Allow,
+            speculative: false,
+        }
+    }
+
+    fn deny() -> Mode {
+        Mode::Dve {
+            policy: ReplicaPolicy::Deny,
+            speculative: false,
+        }
+    }
+
+    /// Line homed on socket 0 (page 0) / socket 1 (page 1).
+    const HOME0: LineAddr = 0;
+    const HOME1: LineAddr = 64;
+
+    #[test]
+    fn l1_hit_after_first_read() {
+        let mut e = engine(Mode::Baseline);
+        let mut f = TestFabric::default();
+        let first = e.access(0, HOME0, ReqType::Read, 0, &mut f);
+        assert_eq!(first.service, ServiceLevel::LocalDram);
+        let second = e.access(0, HOME0, ReqType::Read, first.complete_at, &mut f);
+        assert_eq!(second.service, ServiceLevel::L1);
+        assert_eq!(second.complete_at - first.complete_at, 1);
+    }
+
+    #[test]
+    fn llc_hit_for_sibling_core() {
+        let mut e = engine(Mode::Baseline);
+        let mut f = TestFabric::default();
+        e.access(0, HOME0, ReqType::Read, 0, &mut f);
+        let o = e.access(1, HOME0, ReqType::Read, 1000, &mut f);
+        assert_eq!(o.service, ServiceLevel::Llc);
+    }
+
+    #[test]
+    fn remote_read_crosses_link_in_baseline() {
+        let mut e = engine(Mode::Baseline);
+        let mut f = TestFabric::default();
+        // Core 0 (socket 0) reads a line homed on socket 1.
+        let o = e.access(0, HOME1, ReqType::Read, 0, &mut f);
+        assert_eq!(o.service, ServiceLevel::RemoteDram);
+        assert!(f.traffic.total_messages() >= 2, "request + data response");
+    }
+
+    #[test]
+    fn dve_deny_serves_remote_home_line_from_local_replica() {
+        let mut e = engine(deny());
+        let mut f = TestFabric::default();
+        // Socket 0 core reads a line homed on socket 1: deny-based Dvé
+        // reads the replica on socket 0 without touching the link.
+        let o = e.access(0, HOME1, ReqType::Read, 0, &mut f);
+        assert_eq!(o.service, ServiceLevel::LocalDram);
+        assert_eq!(f.traffic.total_messages(), 0);
+        assert_eq!(f.replica_reads[0], 1);
+        assert_eq!(e.stats().replica_reads, 1);
+    }
+
+    #[test]
+    fn dve_allow_first_read_pulls_permission_then_hits_replica() {
+        let mut e = engine(allow());
+        let mut f = TestFabric::default();
+        let o1 = e.access(0, HOME1, ReqType::Read, 0, &mut f);
+        // First read: no entry -> goes to home across the link.
+        assert_eq!(o1.service, ServiceLevel::RemoteDram);
+        assert!(f.traffic.total_messages() > 0);
+        // Evict from caches by touching nothing — directly probe the
+        // replica directory instead: entry should now exist.
+        assert!(e.replica_dir(0).replica_readable(HOME1));
+    }
+
+    #[test]
+    fn dve_allow_replica_read_after_cache_eviction() {
+        let cfg = EngineConfig {
+            l1_bytes: 512,
+            l1_ways: 1,
+            llc_bytes: 1024,
+            llc_ways: 1,
+            ..Default::default()
+        };
+        let mut e = ProtocolEngine::new(allow(), cfg);
+        let mut f = TestFabric::default();
+        e.access(0, HOME1, ReqType::Read, 0, &mut f);
+        // Thrash the tiny caches so HOME1 is evicted but the replica-dir
+        // entry survives.
+        for i in 2..40u64 {
+            e.access(0, HOME1 + i * 64 * 64, ReqType::Read, i * 10_000, &mut f);
+        }
+        let before = e.stats().replica_reads;
+        let o = e.access(0, HOME1, ReqType::Read, 10_000_000, &mut f);
+        assert_eq!(o.service, ServiceLevel::LocalDram);
+        assert_eq!(e.stats().replica_reads, before + 1);
+    }
+
+    #[test]
+    fn deny_home_write_pushes_rm_and_blocks_replica() {
+        let mut e = engine(deny());
+        let mut f = TestFabric::default();
+        // Core 8 (socket 1) writes a line homed on socket 1.
+        let o = e.access(8, HOME1, ReqType::Write, 0, &mut f);
+        assert!(
+            o.complete_at > 300,
+            "RM push round-trip is on the critical path"
+        );
+        assert_eq!(e.stats().rm_installs, 1);
+        assert!(!e.replica_dir(0).replica_readable(HOME1));
+        // A socket-0 read now must go remote (to the owner).
+        let o2 = e.access(0, HOME1, ReqType::Read, o.complete_at, &mut f);
+        assert_eq!(o2.service, ServiceLevel::RemoteOwner);
+    }
+
+    #[test]
+    fn allow_home_write_clean_line_pays_no_replica_cost() {
+        let mut e = engine(allow());
+        let mut f = TestFabric::default();
+        let o = e.access(8, HOME1, ReqType::Write, 0, &mut f);
+        // No replica-dir entry existed: no invalidate round trip.
+        assert_eq!(e.stats().replica_invalidations, 0);
+        assert_eq!(f.traffic.total_messages(), 0);
+        assert_eq!(o.service, ServiceLevel::LocalDram);
+    }
+
+    #[test]
+    fn allow_home_write_invalidate_replica_permission() {
+        let mut e = engine(allow());
+        let mut f = TestFabric::default();
+        // Socket 0 pulls read permission for HOME1.
+        e.access(0, HOME1, ReqType::Read, 0, &mut f);
+        assert!(e.replica_dir(0).replica_readable(HOME1));
+        // Socket 1 writes: permission must be revoked synchronously.
+        e.access(8, HOME1, ReqType::Write, 10_000, &mut f);
+        assert_eq!(e.stats().replica_invalidations, 1);
+        assert!(!e.replica_dir(0).replica_readable(HOME1));
+    }
+
+    #[test]
+    fn read_of_dirty_remote_line_forwards_to_owner() {
+        let mut e = engine(Mode::Baseline);
+        let mut f = TestFabric::default();
+        e.access(8, HOME1, ReqType::Write, 0, &mut f); // socket 1 owns M
+        let o = e.access(0, HOME1, ReqType::Read, 10_000, &mut f);
+        assert_eq!(o.service, ServiceLevel::RemoteOwner);
+    }
+
+    #[test]
+    fn write_invalidates_remote_sharers() {
+        let mut e = engine(Mode::Baseline);
+        let mut f = TestFabric::default();
+        e.access(0, HOME0, ReqType::Read, 0, &mut f); // socket 0 shares
+        e.access(8, HOME0, ReqType::Read, 1000, &mut f); // socket 1 shares
+        let before = f
+            .traffic
+            .messages(dve_noc::traffic::MessageClass::Invalidation);
+        e.access(0, HOME0, ReqType::Write, 2000, &mut f);
+        let after = f
+            .traffic
+            .messages(dve_noc::traffic::MessageClass::Invalidation);
+        assert_eq!(after - before, 1, "one invalidation to socket 1");
+        // Socket 1's copy is gone: its next read misses to the owner.
+        let o = e.access(8, HOME0, ReqType::Read, 10_000, &mut f);
+        assert_eq!(o.service, ServiceLevel::RemoteOwner);
+    }
+
+    #[test]
+    fn speculative_replica_read_confirms_on_clean_line() {
+        let mut e = engine(Mode::Dve {
+            policy: ReplicaPolicy::Allow,
+            speculative: true,
+        });
+        let mut f = TestFabric::default();
+        let o = e.access(0, HOME1, ReqType::Read, 0, &mut f);
+        // Clean at home: speculation confirmed, served locally.
+        assert_eq!(o.service, ServiceLevel::LocalDram);
+        assert_eq!(e.stats().spec_confirmed, 1);
+        // Response was control-only: no DataResponse crossed the link.
+        assert_eq!(
+            f.traffic
+                .messages(dve_noc::traffic::MessageClass::DataResponse),
+            0
+        );
+    }
+
+    #[test]
+    fn speculative_replica_read_squashes_on_dirty_line() {
+        let mut e = engine(Mode::Dve {
+            policy: ReplicaPolicy::Allow,
+            speculative: true,
+        });
+        let mut f = TestFabric::default();
+        e.access(8, HOME1, ReqType::Write, 0, &mut f); // home side dirties
+        let o = e.access(0, HOME1, ReqType::Read, 100_000, &mut f);
+        assert_eq!(e.stats().spec_squashed, 1);
+        assert_eq!(o.service, ServiceLevel::RemoteOwner);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_to_both_copies_under_dve() {
+        let cfg = EngineConfig {
+            l1_bytes: 512,
+            l1_ways: 1,
+            llc_bytes: 1024,
+            llc_ways: 1,
+            ..Default::default()
+        };
+        let mut e = ProtocolEngine::new(deny(), cfg);
+        let mut f = TestFabric::default();
+        // Dirty a line homed on socket 0, from socket 0.
+        e.access(0, HOME0, ReqType::Write, 0, &mut f);
+        // Evict it by filling the 1-way LLC set with conflicting lines.
+        let conflict = HOME0 + 16 * 64; // same LLC set (16 sets of 1 way at 1 KiB)
+        e.access(0, conflict * 64, ReqType::Read, 100_000, &mut f);
+        // Keep pushing lines that map to set 0 until the writeback hits.
+        let mut t = 200_000;
+        for i in 2..20u64 {
+            e.access(0, i * 16 * 64, ReqType::Read, t, &mut f);
+            t += 100_000;
+        }
+        assert!(e.stats().writebacks > 0);
+        assert!(f.mem_writes[0] > 0, "home copy written");
+        assert!(f.replica_writes[1] > 0, "replica copy written");
+    }
+
+    #[test]
+    fn classification_happens_at_home() {
+        let mut e = engine(Mode::Baseline);
+        let mut f = TestFabric::default();
+        e.access(0, HOME0, ReqType::Read, 0, &mut f); // private-read
+        e.access(8, HOME0, ReqType::Read, 1000, &mut f); // read-only
+        e.access(8, HOME0, ReqType::Write, 2000, &mut f); // read/write
+        let counts = e.home_dir(0).class_counts();
+        assert_eq!(counts[0], 1, "private-read");
+        assert_eq!(counts[1], 1, "read-only");
+        assert_eq!(counts[2], 1, "read/write");
+    }
+
+    #[test]
+    fn dynamic_switch_drains_and_repushes_rm() {
+        let mut e = engine(allow());
+        let mut f = TestFabric::default();
+        // Socket 1 writes its home line: under allow, no RM entries.
+        e.access(8, HOME1, ReqType::Write, 0, &mut f);
+        e.access(0, HOME1 + 64 * 64, ReqType::Read, 1000, &mut f); // pull an S entry
+        let drained = e.switch_policy(ReplicaPolicy::Deny, false);
+        assert!(drained > 0);
+        // Post-switch: the dirty home-side line must be RM-protected.
+        assert!(!e.replica_dir(0).replica_readable(HOME1));
+        assert_eq!(
+            e.mode(),
+            Mode::Dve {
+                policy: ReplicaPolicy::Deny,
+                speculative: false
+            }
+        );
+    }
+
+    #[test]
+    fn degraded_mode_funnels_to_home_and_stops_replication() {
+        let mut e = engine(deny());
+        let mut f = TestFabric::default();
+        // Healthy: replica read serves locally.
+        let o = e.access(0, HOME1, ReqType::Read, 0, &mut f);
+        assert_eq!(o.service, ServiceLevel::LocalDram);
+        // Replica fails: degraded mode.
+        e.set_degraded(true);
+        assert!(e.is_degraded());
+        assert!(e.replica_dir(0).is_empty(), "replica dirs drained");
+        let o = e.access(1, HOME1 + 1, ReqType::Read, 10_000, &mut f);
+        assert_eq!(
+            o.service,
+            ServiceLevel::RemoteDram,
+            "funnel to the home copy"
+        );
+        // Writes no longer push RM entries nor propagate to the replica.
+        let before_writes = f.replica_writes;
+        let before_rm = e.stats().rm_installs;
+        e.access(8, HOME1 + 2, ReqType::Write, 20_000, &mut f);
+        assert_eq!(
+            e.stats().rm_installs,
+            before_rm,
+            "no RM pushes while degraded"
+        );
+        assert_eq!(f.replica_writes, before_writes);
+        // Recovery: replication resumes.
+        e.set_degraded(false);
+        let o = e.access(2, HOME1 + 3, ReqType::Read, 30_000, &mut f);
+        assert_eq!(o.service, ServiceLevel::LocalDram);
+    }
+
+    #[test]
+    fn swmr_no_two_sockets_writable() {
+        // Pseudo-random stress: after every operation, at most one LLC
+        // holds any line in M, and if one does, no other socket has it.
+        let mut e = engine(deny());
+        let mut f = TestFabric::default();
+        let mut rng = dve_sim::rng::SplitMix64::new(42);
+        let lines: Vec<LineAddr> = (0..32).collect();
+        let mut t = 0u64;
+        for _ in 0..2000 {
+            let core = rng.next_below(16) as usize;
+            let line = lines[rng.next_below(32) as usize];
+            let req = if rng.chance(0.4) {
+                ReqType::Write
+            } else {
+                ReqType::Read
+            };
+            let o = e.access(core, line, req, t, &mut f);
+            t = o.complete_at;
+            for &l in &lines {
+                let m0 = e.llcs[0].state_of(l) == Some(CacheState::M);
+                let m1 = e.llcs[1].state_of(l) == Some(CacheState::M);
+                assert!(!(m0 && m1), "SWMR violated on line {l}");
+                if m0 {
+                    assert_eq!(e.llcs[1].state_of(l), None, "M coexists with remote copy");
+                }
+                if m1 {
+                    assert_eq!(e.llcs[0].state_of(l), None, "M coexists with remote copy");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deny_replica_never_read_while_rm() {
+        // Every replica read must happen only when no home-side LLC holds
+        // the line modified.
+        let mut e = engine(deny());
+        let mut f = TestFabric::default();
+        let mut rng = dve_sim::rng::SplitMix64::new(7);
+        let mut t = 0u64;
+        for _ in 0..2000 {
+            let core = rng.next_below(16) as usize;
+            let line: LineAddr = rng.next_below(64);
+            let req = if rng.chance(0.3) {
+                ReqType::Write
+            } else {
+                ReqType::Read
+            };
+            let before = e.stats().replica_reads;
+            let socket = e.socket_of(core);
+            let home = e.home_of(line);
+            let other_dirty =
+                socket != home && e.llcs[home].state_of(line).is_some_and(|s| s.writable());
+            let o = e.access(core, line, req, t, &mut f);
+            t = o.complete_at;
+            if e.stats().replica_reads > before && req == ReqType::Read {
+                assert!(
+                    !other_dirty,
+                    "replica served while home socket held line {line} in M"
+                );
+            }
+        }
+    }
+}

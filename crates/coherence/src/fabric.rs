@@ -1,0 +1,184 @@
+//! The timing abstraction between protocol logic and the platform model.
+//!
+//! The [`engine::ProtocolEngine`](crate::engine::ProtocolEngine) decides
+//! *what* happens (state transitions, which structures are consulted,
+//! which messages cross the link); a [`Fabric`] decides *how long* each
+//! of those actions takes and accounts for contention. The `dve` crate
+//! implements `Fabric` over the real DRAM controllers, mesh and
+//! inter-socket link; [`TestFabric`] here provides fixed latencies for
+//! protocol unit tests.
+
+use crate::types::LineAddr;
+use dve_noc::traffic::MessageClass;
+
+/// Platform timing services used by the protocol engine. All times are
+/// absolute core cycles.
+pub trait Fabric {
+    /// Private L1 access latency (Table II: 1 cycle).
+    fn l1_latency(&self) -> u64 {
+        1
+    }
+
+    /// Shared LLC (+ embedded local directory) access latency
+    /// (Table II: 20 cycles).
+    fn llc_latency(&self) -> u64 {
+        20
+    }
+
+    /// Global (home/replica) directory access latency (Table II: 20
+    /// cycles).
+    fn dir_latency(&self) -> u64 {
+        20
+    }
+
+    /// Mean intra-socket mesh traversal (LLC ↔ directory and other
+    /// non-core-specific hops).
+    fn mesh_latency(&self) -> u64;
+
+    /// Mesh traversal from a specific core's tile to its socket's
+    /// LLC/directory tile. Defaults to the mean; the timed fabric routes
+    /// through the real 2×4 mesh (Table II).
+    fn mesh_latency_core(&self, core: usize) -> u64 {
+        let _ = core;
+        self.mesh_latency()
+    }
+
+    /// Sends a message from socket `from` to socket `to` at `now`;
+    /// returns its arrival time and records inter-socket traffic.
+    fn link_send(&mut self, from: usize, to: usize, now: u64, class: MessageClass) -> u64;
+
+    /// Arrival time a message would observe, without sending it
+    /// (used to cost speculative paths without double-counting traffic).
+    fn link_probe(&self, from: usize, to: usize, now: u64, class: MessageClass) -> u64;
+
+    /// Reads the *home copy* of `line` from `socket`'s memory; returns
+    /// completion time (includes bank contention).
+    fn mem_read(&mut self, socket: usize, line: LineAddr, now: u64) -> u64;
+
+    /// Reads the *replica copy* of `line` held on `socket`.
+    fn replica_read(&mut self, socket: usize, line: LineAddr, now: u64) -> u64;
+
+    /// Writes the home copy (writebacks; usually off the critical path).
+    fn mem_write(&mut self, socket: usize, line: LineAddr, now: u64) -> u64;
+
+    /// Writes the replica copy on `socket`.
+    fn replica_write(&mut self, socket: usize, line: LineAddr, now: u64) -> u64;
+}
+
+/// Fixed-latency fabric for unit tests: no contention, simple counters.
+///
+/// # Example
+///
+/// ```
+/// use dve_coherence::fabric::{Fabric, TestFabric};
+/// use dve_noc::traffic::MessageClass;
+///
+/// let mut f = TestFabric::default();
+/// let arrive = f.link_send(0, 1, 100, MessageClass::Request);
+/// assert_eq!(arrive, 100 + 150);
+/// assert_eq!(f.traffic.total_messages(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TestFabric {
+    /// Mesh traversal latency.
+    pub mesh: u64,
+    /// One-way link latency.
+    pub link: u64,
+    /// DRAM access latency (flat).
+    pub dram: u64,
+    /// Recorded inter-socket traffic.
+    pub traffic: dve_noc::traffic::TrafficStats,
+    /// Home-copy reads per socket.
+    pub mem_reads: [u64; 2],
+    /// Replica-copy reads per socket.
+    pub replica_reads: [u64; 2],
+    /// Home-copy writes per socket.
+    pub mem_writes: [u64; 2],
+    /// Replica-copy writes per socket.
+    pub replica_writes: [u64; 2],
+}
+
+impl Default for TestFabric {
+    fn default() -> Self {
+        TestFabric {
+            mesh: 2,
+            link: 150, // 50 ns at 3 GHz
+            dram: 100,
+            traffic: dve_noc::traffic::TrafficStats::new(),
+            mem_reads: [0; 2],
+            replica_reads: [0; 2],
+            mem_writes: [0; 2],
+            replica_writes: [0; 2],
+        }
+    }
+}
+
+impl Fabric for TestFabric {
+    fn mesh_latency(&self) -> u64 {
+        self.mesh
+    }
+
+    fn link_send(&mut self, _from: usize, _to: usize, now: u64, class: MessageClass) -> u64 {
+        self.traffic.record(class);
+        now + self.link
+    }
+
+    fn link_probe(&self, _from: usize, _to: usize, now: u64, _class: MessageClass) -> u64 {
+        now + self.link
+    }
+
+    fn mem_read(&mut self, socket: usize, _line: LineAddr, now: u64) -> u64 {
+        self.mem_reads[socket] += 1;
+        now + self.dram
+    }
+
+    fn replica_read(&mut self, socket: usize, _line: LineAddr, now: u64) -> u64 {
+        self.replica_reads[socket] += 1;
+        now + self.dram
+    }
+
+    fn mem_write(&mut self, socket: usize, _line: LineAddr, now: u64) -> u64 {
+        self.mem_writes[socket] += 1;
+        now + self.dram
+    }
+
+    fn replica_write(&mut self, socket: usize, _line: LineAddr, now: u64) -> u64 {
+        self.replica_writes[socket] += 1;
+        now + self.dram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let f = TestFabric::default();
+        assert_eq!(f.l1_latency(), 1);
+        assert_eq!(f.llc_latency(), 20);
+        assert_eq!(f.dir_latency(), 20);
+        assert_eq!(f.mesh_latency(), 2);
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let mut f = TestFabric::default();
+        f.mem_read(0, 1, 0);
+        f.replica_read(1, 1, 0);
+        f.mem_write(0, 1, 0);
+        f.replica_write(1, 1, 0);
+        assert_eq!(f.mem_reads, [1, 0]);
+        assert_eq!(f.replica_reads, [0, 1]);
+        assert_eq!(f.mem_writes, [1, 0]);
+        assert_eq!(f.replica_writes, [0, 1]);
+    }
+
+    #[test]
+    fn probe_does_not_record_traffic() {
+        let f = TestFabric::default();
+        let t = f.link_probe(0, 1, 5, MessageClass::DataResponse);
+        assert_eq!(t, 155);
+        assert_eq!(f.traffic.total_messages(), 0);
+    }
+}

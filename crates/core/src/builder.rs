@@ -1,0 +1,149 @@
+//! Fluent construction of a Dvé system.
+//!
+//! [`SystemBuilder`] wraps [`SystemConfig`]
+//! with a chainable API for the knobs the evaluation harnesses sweep —
+//! scheme, link latency, replica-directory geometry, run length — and
+//! terminal methods that build a [`System`] or run it directly.
+
+use crate::config::{Scheme, SystemConfig};
+use crate::system::{RunResult, System};
+use dve_sim::time::Nanos;
+use dve_workloads::WorkloadProfile;
+
+/// Builder for a Table II system with selective overrides.
+///
+/// # Example
+///
+/// ```
+/// use dve::builder::SystemBuilder;
+/// use dve::config::Scheme;
+/// use dve_workloads::catalog;
+///
+/// let profile = &catalog()[0];
+/// let result = SystemBuilder::new(Scheme::DveDeny)
+///     .ops_per_thread(1_000)
+///     .link_latency_ns(60)
+///     .replica_dir_entries(Some(4096))
+///     .run(profile, 42);
+/// assert!(result.engine.replica_reads > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemBuilder {
+    /// Starts from the paper's Table II configuration for `scheme`.
+    pub fn new(scheme: Scheme) -> SystemBuilder {
+        SystemBuilder {
+            cfg: SystemConfig::table_ii(scheme),
+        }
+    }
+
+    /// Measured memory operations per thread (warm-up defaults to 10%).
+    pub fn ops_per_thread(mut self, ops: u64) -> SystemBuilder {
+        self.cfg.ops_per_thread = ops;
+        self.cfg.warmup_per_thread = ops / 10;
+        self
+    }
+
+    /// Explicit warm-up operations per thread.
+    pub fn warmup_per_thread(mut self, ops: u64) -> SystemBuilder {
+        self.cfg.warmup_per_thread = ops;
+        self
+    }
+
+    /// One-way inter-socket link latency in nanoseconds (Fig. 10 sweeps
+    /// 30–60).
+    pub fn link_latency_ns(mut self, ns: u64) -> SystemBuilder {
+        self.cfg.link_latency = Nanos(ns);
+        self
+    }
+
+    /// Replica-directory capacity (`None` = the Fig. 9 oracle).
+    pub fn replica_dir_entries(mut self, entries: Option<usize>) -> SystemBuilder {
+        self.cfg.engine.replica_dir_entries = entries;
+        self
+    }
+
+    /// Replica-directory tracking granularity in lines (16 = the §V-C5
+    /// coarse-grain variant).
+    pub fn replica_region_lines(mut self, lines: u64) -> SystemBuilder {
+        self.cfg.engine.replica_region_lines = lines;
+        self
+    }
+
+    /// Enables/disables speculative replica access (§V-C5).
+    pub fn speculative(mut self, on: bool) -> SystemBuilder {
+        self.cfg.speculative = on;
+        self
+    }
+
+    /// Runs with the replicas out of service (§V-E degraded state).
+    pub fn degraded(mut self, on: bool) -> SystemBuilder {
+        self.cfg.degraded = on;
+        self
+    }
+
+    /// LLC capacity per socket in bytes (scaling studies).
+    pub fn llc_bytes(mut self, bytes: usize) -> SystemBuilder {
+        self.cfg.engine.llc_bytes = bytes;
+        self
+    }
+
+    /// The assembled configuration (for inspection or manual tweaks the
+    /// builder does not cover).
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Builds the system for `profile` with `seed`.
+    pub fn build(&self, profile: &WorkloadProfile, seed: u64) -> System {
+        System::new(self.cfg.clone(), profile, seed)
+    }
+
+    /// Builds and runs in one step.
+    pub fn run(&self, profile: &WorkloadProfile, seed: u64) -> RunResult {
+        self.build(profile, seed).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dve_workloads::catalog;
+
+    #[test]
+    fn builder_overrides_apply() {
+        let b = SystemBuilder::new(Scheme::DveAllow)
+            .ops_per_thread(500)
+            .link_latency_ns(30)
+            .replica_dir_entries(None)
+            .replica_region_lines(16)
+            .speculative(false)
+            .degraded(true)
+            .llc_bytes(1 << 20);
+        let c = b.config();
+        assert_eq!(c.ops_per_thread, 500);
+        assert_eq!(c.warmup_per_thread, 50);
+        assert_eq!(c.link_latency, Nanos(30));
+        assert_eq!(c.engine.replica_dir_entries, None);
+        assert_eq!(c.engine.replica_region_lines, 16);
+        assert!(!c.speculative);
+        assert!(c.degraded);
+        assert_eq!(c.engine.llc_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn builder_runs_match_direct_construction() {
+        let p = &catalog()[0];
+        let via_builder = SystemBuilder::new(Scheme::DveDeny)
+            .ops_per_thread(300)
+            .run(p, 7);
+        let mut cfg = SystemConfig::table_ii(Scheme::DveDeny);
+        cfg.ops_per_thread = 300;
+        cfg.warmup_per_thread = 30;
+        let direct = System::new(cfg, p, 7).run();
+        assert_eq!(via_builder.cycles, direct.cycles);
+    }
+}

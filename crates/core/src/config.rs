@@ -1,0 +1,200 @@
+//! System configuration — the paper's Table II, parameterized.
+
+use dve_coherence::engine::{EngineConfig, Mode};
+use dve_coherence::replica_dir::ReplicaPolicy;
+use dve_dram::config::DramConfig;
+use dve_sim::time::{Frequency, Nanos};
+
+/// The memory-system scheme under evaluation (the bars of Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Dual-socket NUMA without replication.
+    BaselineNuma,
+    /// The paper's improved Intel memory mirroring: replicas on a second
+    /// channel of the *same* socket, reads load-balanced across the two
+    /// channels ("Intel-mirroring++").
+    IntelMirrorPlus,
+    /// Dvé with the allow-based (lazy pull) replica protocol.
+    DveAllow,
+    /// Dvé with the deny-based (eager push) replica protocol.
+    DveDeny,
+    /// Dvé with the sampling-based dynamic protocol (profiles allow vs
+    /// deny each epoch and applies the winner, §V-C5).
+    DveDynamic,
+}
+
+impl Scheme {
+    /// All schemes in Fig. 6's presentation order.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::BaselineNuma,
+        Scheme::IntelMirrorPlus,
+        Scheme::DveAllow,
+        Scheme::DveDeny,
+        Scheme::DveDynamic,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::BaselineNuma => "baseline-numa",
+            Scheme::IntelMirrorPlus => "intel-mirror++",
+            Scheme::DveAllow => "dve-allow",
+            Scheme::DveDeny => "dve-deny",
+            Scheme::DveDynamic => "dve-dynamic",
+        }
+    }
+
+    /// Whether this scheme replicates memory across sockets.
+    pub fn is_dve(self) -> bool {
+        matches!(
+            self,
+            Scheme::DveAllow | Scheme::DveDeny | Scheme::DveDynamic
+        )
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Scheme under evaluation.
+    pub scheme: Scheme,
+    /// Core clock (Table II: 3.0 GHz).
+    pub clock: Frequency,
+    /// Engine/caches configuration.
+    pub engine: EngineConfig,
+    /// DRAM timing/geometry.
+    pub dram: DramConfig,
+    /// One-way inter-socket link latency (Table II: 50 ns; Fig. 10
+    /// sweeps 30–60 ns).
+    pub link_latency: Nanos,
+    /// Link serialization bandwidth (bytes per core cycle).
+    pub link_bytes_per_cycle: u64,
+    /// Mesh dimensions (Table II: 2×4).
+    pub mesh: (usize, usize),
+    /// Speculative replica access enabled (default on, §VI).
+    pub speculative: bool,
+    /// Memory operations executed per thread (after warm-up).
+    pub ops_per_thread: u64,
+    /// Warm-up operations per thread (caches/structures, not measured).
+    pub warmup_per_thread: u64,
+    /// Dynamic protocol: operations per profiling window (per the paper:
+    /// 100M instructions of each scheme per 1B-instruction epoch —
+    /// scaled to our run lengths as a 1:10 ratio).
+    pub dynamic_window: u64,
+    /// §V-E degraded state: run the Dvé scheme with the replica copies
+    /// out of service (single functional copy). Performance should match
+    /// baseline NUMA — the `ablation` harness checks this claim.
+    pub degraded: bool,
+}
+
+impl SystemConfig {
+    /// The Table II configuration for a given scheme.
+    pub fn table_ii(scheme: Scheme) -> SystemConfig {
+        SystemConfig {
+            scheme,
+            clock: Frequency::ghz(3.0),
+            engine: EngineConfig::default(),
+            dram: DramConfig::ddr4_2400(),
+            link_latency: Nanos(50),
+            link_bytes_per_cycle: 16,
+            mesh: (4, 2),
+            speculative: true,
+            ops_per_thread: 50_000,
+            warmup_per_thread: 5_000,
+            dynamic_window: 5_000,
+            degraded: false,
+        }
+    }
+
+    /// The coherence-engine mode for this scheme (dynamic starts in
+    /// deny; the runner switches per profiling results).
+    pub fn engine_mode(&self) -> Mode {
+        match self.scheme {
+            Scheme::BaselineNuma => Mode::Baseline,
+            Scheme::IntelMirrorPlus => Mode::IntelMirror,
+            Scheme::DveAllow => Mode::Dve {
+                policy: ReplicaPolicy::Allow,
+                speculative: self.speculative,
+            },
+            Scheme::DveDeny | Scheme::DveDynamic => Mode::Dve {
+                policy: ReplicaPolicy::Deny,
+                speculative: self.speculative,
+            },
+        }
+    }
+
+    /// DRAM channels per socket for this scheme (Table II: baseline 1,
+    /// replicated/mirrored 2).
+    pub fn channels_per_socket(&self) -> usize {
+        match self.scheme {
+            Scheme::BaselineNuma => 1,
+            _ => 2,
+        }
+    }
+
+    /// Total DRAM ranks in the system (for energy accounting: baseline
+    /// 2× 8 GB DIMMs, replicated 4×).
+    pub fn total_ranks(&self) -> usize {
+        2 * self.channels_per_socket() * self.dram.ranks_per_channel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_defaults() {
+        let c = SystemConfig::table_ii(Scheme::BaselineNuma);
+        assert_eq!(c.engine.cores, 16);
+        assert_eq!(c.engine.cores_per_socket, 8);
+        assert_eq!(c.mesh, (4, 2));
+        assert_eq!(c.link_latency, Nanos(50));
+        assert_eq!(c.channels_per_socket(), 1);
+        assert_eq!(c.total_ranks(), 2);
+    }
+
+    #[test]
+    fn replicated_memory_doubles_channels() {
+        for s in [
+            Scheme::DveAllow,
+            Scheme::DveDeny,
+            Scheme::DveDynamic,
+            Scheme::IntelMirrorPlus,
+        ] {
+            let c = SystemConfig::table_ii(s);
+            assert_eq!(c.channels_per_socket(), 2, "{s:?}");
+            assert_eq!(c.total_ranks(), 4);
+        }
+    }
+
+    #[test]
+    fn engine_modes() {
+        use dve_coherence::engine::Mode;
+        assert_eq!(
+            SystemConfig::table_ii(Scheme::BaselineNuma).engine_mode(),
+            Mode::Baseline
+        );
+        assert_eq!(
+            SystemConfig::table_ii(Scheme::IntelMirrorPlus).engine_mode(),
+            Mode::IntelMirror
+        );
+        assert!(matches!(
+            SystemConfig::table_ii(Scheme::DveAllow).engine_mode(),
+            Mode::Dve {
+                policy: ReplicaPolicy::Allow,
+                speculative: true
+            }
+        ));
+    }
+
+    #[test]
+    fn scheme_labels_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in Scheme::ALL {
+            assert!(seen.insert(s.label()));
+        }
+        assert!(Scheme::DveAllow.is_dve());
+        assert!(!Scheme::IntelMirrorPlus.is_dve());
+    }
+}

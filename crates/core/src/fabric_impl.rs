@@ -1,0 +1,258 @@
+//! The cycle-accounting fabric: protocol actions → platform latencies.
+//!
+//! Implements [`Fabric`] over the real substrates: per-socket DRAM
+//! controllers (one channel in the baseline, two when replication or
+//! mirroring doubles capacity), the intra-socket mesh, and the
+//! inter-socket link with serialization/occupancy. This is where the
+//! scheme-specific memory layouts live:
+//!
+//! * **Baseline NUMA** — the home copy is the only copy, on channel 0 of
+//!   the home socket.
+//! * **Intel-mirroring++** — channel 1 of the *same* socket mirrors
+//!   channel 0; reads round-robin across the two channels (the paper's
+//!   "actively load balancing reads"), writes go to both.
+//! * **Dvé** — the home copy lives on channel 0 of the home socket and
+//!   the replica on channel 1 of the *other* socket.
+
+use crate::config::SystemConfig;
+use dve_coherence::engine::Mode;
+use dve_coherence::fabric::Fabric;
+use dve_coherence::types::LineAddr;
+use dve_dram::controller::{AccessKind, MemoryController};
+use dve_noc::link::InterSocketLink;
+use dve_noc::mesh::Mesh;
+use dve_noc::traffic::{MessageClass, TrafficStats};
+use dve_sim::time::Cycles;
+
+/// Mesh node hosting the directory + memory controller tile.
+const DIR_NODE: usize = 2;
+
+/// The timed platform fabric.
+#[derive(Debug)]
+pub struct SystemFabric {
+    mode: Mode,
+    mesh: Mesh,
+    cores_per_socket: usize,
+    mesh_mean: u64,
+    link: InterSocketLink,
+    /// `ctrls[socket][channel]`.
+    ctrls: Vec<Vec<MemoryController>>,
+    traffic: TrafficStats,
+    mirror_rr: u64,
+    line_bytes: u64,
+}
+
+impl SystemFabric {
+    /// Builds the fabric for a system configuration.
+    pub fn new(cfg: &SystemConfig) -> SystemFabric {
+        let mesh = Mesh::new(cfg.mesh.0, cfg.mesh.1);
+        let mesh_mean = mesh.mean_hops().round().max(1.0) as u64;
+        let cores_per_socket = cfg.engine.cores_per_socket;
+        let link = InterSocketLink::new(cfg.link_latency, cfg.clock, cfg.link_bytes_per_cycle);
+        let channels = cfg.channels_per_socket();
+        let ctrls = (0..2)
+            .map(|s| {
+                (0..channels)
+                    .map(|ch| MemoryController::new(s * channels + ch, cfg.dram.clone()))
+                    .collect()
+            })
+            .collect();
+        SystemFabric {
+            mode: cfg.engine_mode(),
+            mesh,
+            cores_per_socket,
+            mesh_mean,
+            link,
+            ctrls,
+            traffic: TrafficStats::new(),
+            mirror_rr: 0,
+            line_bytes: cfg.dram.line_bytes as u64,
+        }
+    }
+
+    /// Inter-socket traffic recorded so far.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// The memory controllers, `[socket][channel]`.
+    pub fn controllers(&self) -> &[Vec<MemoryController>] {
+        &self.ctrls
+    }
+
+    /// Sums DRAM energy across all controllers into one model.
+    pub fn total_energy(&self) -> dve_dram::energy::EnergyModel {
+        let mut total = dve_dram::energy::EnergyModel::new(0);
+        for socket in &self.ctrls {
+            for c in socket {
+                total.merge(c.energy());
+            }
+        }
+        total
+    }
+
+    fn byte_addr(&self, line: LineAddr) -> u64 {
+        line * self.line_bytes
+    }
+}
+
+impl Fabric for SystemFabric {
+    fn mesh_latency(&self) -> u64 {
+        self.mesh_mean
+    }
+
+    fn mesh_latency_core(&self, core: usize) -> u64 {
+        // Core tiles occupy the socket's mesh nodes in order; the
+        // directory/memory-controller tile sits at DIR_NODE.
+        let tile = core % self.cores_per_socket % self.mesh.nodes();
+        self.mesh.latency_cycles(tile, DIR_NODE % self.mesh.nodes())
+    }
+
+    fn link_send(&mut self, from: usize, to: usize, now: u64, class: MessageClass) -> u64 {
+        self.traffic.record(class);
+        self.link
+            .transfer(from, to, Cycles(now), class.bytes())
+            .raw()
+    }
+
+    fn link_probe(&self, from: usize, to: usize, now: u64, class: MessageClass) -> u64 {
+        self.link.probe(from, to, Cycles(now), class.bytes()).raw()
+    }
+
+    fn mem_read(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+        let addr = self.byte_addr(line);
+        let channel = if matches!(self.mode, Mode::IntelMirror) {
+            // Load-balance reads across the mirrored channels.
+            self.mirror_rr = self.mirror_rr.wrapping_add(1);
+            (self.mirror_rr % 2) as usize
+        } else {
+            0
+        };
+        self.ctrls[socket][channel]
+            .access(addr, AccessKind::Read, Cycles(now))
+            .complete_at
+            .raw()
+    }
+
+    fn replica_read(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+        let addr = self.byte_addr(line);
+        // The replica always lives on the socket's second channel.
+        self.ctrls[socket][1]
+            .access(addr, AccessKind::Read, Cycles(now))
+            .complete_at
+            .raw()
+    }
+
+    fn mem_write(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+        let addr = self.byte_addr(line);
+        let t0 = self.ctrls[socket][0]
+            .access(addr, AccessKind::Write, Cycles(now))
+            .complete_at
+            .raw();
+        if matches!(self.mode, Mode::IntelMirror) {
+            // Mirrored write: both channels, lock-step.
+            let t1 = self.ctrls[socket][1]
+                .access(addr, AccessKind::Write, Cycles(now))
+                .complete_at
+                .raw();
+            t0.max(t1)
+        } else {
+            t0
+        }
+    }
+
+    fn replica_write(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+        let addr = self.byte_addr(line);
+        self.ctrls[socket][1]
+            .access(addr, AccessKind::Write, Cycles(now))
+            .complete_at
+            .raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+
+    #[test]
+    fn baseline_has_one_channel_per_socket() {
+        let f = SystemFabric::new(&SystemConfig::table_ii(Scheme::BaselineNuma));
+        assert_eq!(f.controllers()[0].len(), 1);
+        assert_eq!(f.controllers()[1].len(), 1);
+    }
+
+    #[test]
+    fn dve_has_two_channels_per_socket() {
+        let f = SystemFabric::new(&SystemConfig::table_ii(Scheme::DveDeny));
+        assert_eq!(f.controllers()[0].len(), 2);
+    }
+
+    #[test]
+    fn mirror_reads_alternate_channels() {
+        let mut f = SystemFabric::new(&SystemConfig::table_ii(Scheme::IntelMirrorPlus));
+        for i in 0..10 {
+            f.mem_read(0, i, 0);
+        }
+        let r0 = f.controllers()[0][0].stats().reads;
+        let r1 = f.controllers()[0][1].stats().reads;
+        assert_eq!(r0, 5);
+        assert_eq!(r1, 5);
+    }
+
+    #[test]
+    fn mirror_writes_hit_both_channels() {
+        let mut f = SystemFabric::new(&SystemConfig::table_ii(Scheme::IntelMirrorPlus));
+        f.mem_write(0, 1, 0);
+        assert_eq!(f.controllers()[0][0].stats().writes, 1);
+        assert_eq!(f.controllers()[0][1].stats().writes, 1);
+    }
+
+    #[test]
+    fn dve_replica_ops_use_second_channel() {
+        let mut f = SystemFabric::new(&SystemConfig::table_ii(Scheme::DveAllow));
+        f.replica_read(1, 5, 0);
+        f.replica_write(1, 5, 0);
+        assert_eq!(f.controllers()[1][1].stats().reads, 1);
+        assert_eq!(f.controllers()[1][1].stats().writes, 1);
+        assert_eq!(f.controllers()[1][0].stats().reads, 0);
+    }
+
+    #[test]
+    fn per_core_mesh_latency_varies_with_tile() {
+        let f = SystemFabric::new(&SystemConfig::table_ii(Scheme::BaselineNuma));
+        // Core at the directory tile pays 0 hops; the far corner pays 4.
+        assert_eq!(f.mesh_latency_core(2), 0);
+        assert_eq!(f.mesh_latency_core(7), 2); // node 7 = (3,1) -> (2,0): 2 hops
+                                               // Cores on the two sockets with the same tile index match.
+        assert_eq!(f.mesh_latency_core(1), f.mesh_latency_core(9));
+        // All within mesh diameter.
+        for c in 0..16 {
+            assert!(f.mesh_latency_core(c) <= 4);
+        }
+    }
+
+    #[test]
+    fn link_send_records_traffic() {
+        let mut f = SystemFabric::new(&SystemConfig::table_ii(Scheme::BaselineNuma));
+        let t = f.link_send(0, 1, 0, MessageClass::DataResponse);
+        assert!(t >= 150, "50 ns at 3 GHz plus serialization");
+        assert_eq!(f.traffic().total_messages(), 1);
+    }
+
+    #[test]
+    fn mesh_mean_reasonable_for_2x4() {
+        let f = SystemFabric::new(&SystemConfig::table_ii(Scheme::BaselineNuma));
+        assert_eq!(f.mesh_latency(), 2);
+    }
+
+    #[test]
+    fn energy_aggregates_all_controllers() {
+        let mut f = SystemFabric::new(&SystemConfig::table_ii(Scheme::DveDeny));
+        f.mem_read(0, 1, 0);
+        f.replica_write(1, 1, 0);
+        let e = f.total_energy();
+        assert_eq!(e.reads(), 1);
+        assert_eq!(e.writes(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # dve — Coherent Replication for DRAM reliability and performance
+//!
+//! A full-system reproduction of **Dvé (ISCA 2021)**: a hardware-driven
+//! replication mechanism in which every replicated cache line has a copy
+//! on *each* socket of a dual-socket cache-coherent NUMA machine. The
+//! coherence protocol keeps the two copies strongly consistent, errors
+//! detected at either memory controller are corrected by reading the
+//! other copy, and during fault-free operation reads are served from the
+//! *nearest* copy — turning a reliability mechanism into a performance
+//! win.
+//!
+//! This crate is the top of the workspace: it assembles the substrates
+//! (`dve-dram`, `dve-noc`, `dve-coherence`, `dve-workloads`,
+//! `dve-osmem`) into a runnable system.
+//!
+//! * [`config`] — Table II system configuration and the scheme catalog
+//!   (baseline NUMA, Intel-mirroring++, Dvé allow / deny / dynamic).
+//! * [`fabric_impl`] — the cycle-accounting [`coherence
+//!   Fabric`](dve_coherence::fabric::Fabric) over real DRAM controllers,
+//!   the 2×4 mesh and the inter-socket link.
+//! * [`system`] — the event-driven multi-core runner and [`system::RunResult`].
+//! * [`recovery`] — the §V-B2 recovery flow: ECC detection at one
+//!   controller, correction from the replica, repair-and-reread, and
+//!   degraded mode.
+//! * [`metrics`] — the paper's aggregates (geomean over top-10/15/all).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dve::config::{Scheme, SystemConfig};
+//! use dve::system::System;
+//! use dve_workloads::catalog;
+//!
+//! let profile = &catalog()[0]; // backprop
+//! let mut cfg = SystemConfig::table_ii(Scheme::DveDeny);
+//! cfg.ops_per_thread = 2_000; // tiny run for the doctest
+//! let result = System::new(cfg, profile, 42).run();
+//! assert!(result.cycles > 0);
+//! assert!(result.engine.replica_reads > 0); // Dvé served local replicas
+//! ```
+
+pub mod builder;
+pub mod config;
+pub mod fabric_impl;
+pub mod metrics;
+pub mod recovery;
+pub mod system;
+
+pub use builder::SystemBuilder;
+pub use config::{Scheme, SystemConfig};
+pub use recovery::{RecoverableMemory, RecoveryOutcome};
+pub use system::{RunResult, System};

@@ -1,0 +1,83 @@
+//! The paper's evaluation aggregates.
+//!
+//! §VI: "We order the workloads in descending order of L2 MPKI and
+//! report the geometric mean of speedup as an aggregate statistic for
+//! the top-10 (high MPKI), top-15 and all 20 benchmarks."
+
+use dve_sim::stats::geomean;
+
+/// Geometric-mean speedups over the paper's three groups. Input must be
+/// ordered by descending MPKI (the order of
+/// [`dve_workloads::catalog()`]).
+///
+/// # Example
+///
+/// ```
+/// use dve::metrics::GroupedSpeedups;
+///
+/// let speedups: Vec<f64> = (0..20).map(|i| 1.0 + i as f64 * 0.01).collect();
+/// let g = GroupedSpeedups::from_ordered(&speedups);
+/// assert!(g.top10 < g.all20); // later entries are larger here
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupedSpeedups {
+    /// Geomean over the 10 highest-MPKI workloads.
+    pub top10: f64,
+    /// Geomean over the 15 highest-MPKI workloads.
+    pub top15: f64,
+    /// Geomean over all 20 workloads.
+    pub all20: f64,
+}
+
+impl GroupedSpeedups {
+    /// Computes the three geomeans from MPKI-ordered speedups.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly 20 values are provided.
+    pub fn from_ordered(speedups: &[f64]) -> GroupedSpeedups {
+        assert_eq!(
+            speedups.len(),
+            20,
+            "the paper's grouping needs all 20 workloads"
+        );
+        GroupedSpeedups {
+            top10: geomean(&speedups[..10]),
+            top15: geomean(&speedups[..15]),
+            all20: geomean(speedups),
+        }
+    }
+}
+
+/// Formats a speedup as the percentage improvement the paper quotes
+/// ("28%" for 1.28×).
+pub fn pct(speedup: f64) -> String {
+    format!("{:+.1}%", (speedup - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_use_prefixes() {
+        let mut v = vec![2.0; 10];
+        v.extend(vec![1.0; 10]);
+        let g = GroupedSpeedups::from_ordered(&v);
+        assert!((g.top10 - 2.0).abs() < 1e-12);
+        assert!((g.all20 - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!(g.top15 > g.all20);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(1.28), "+28.0%");
+        assert_eq!(pct(0.95), "-5.0%");
+    }
+
+    #[test]
+    #[should_panic(expected = "20 workloads")]
+    fn wrong_count_rejected() {
+        GroupedSpeedups::from_ordered(&[1.0; 19]);
+    }
+}

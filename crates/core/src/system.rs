@@ -1,0 +1,396 @@
+//! The event-driven multi-core system runner.
+//!
+//! Sixteen cores replay their synthesized trace streams concurrently:
+//! the runner always advances the core with the earliest local clock
+//! (a deterministic discrete-event order), so inter-thread interleaving
+//! — and with it coherence contention, bank conflicts and link occupancy
+//! — emerges naturally. The dynamic Dvé scheme additionally runs the
+//! paper's sampling procedure: each epoch starts with a profiling phase
+//! that tries the allow and deny state machines back-to-back and applies
+//! the winner for the rest of the epoch (§V-C5).
+
+use crate::config::{Scheme, SystemConfig};
+use crate::fabric_impl::SystemFabric;
+use dve_coherence::engine::{EngineStats, ProtocolEngine};
+use dve_coherence::replica_dir::ReplicaPolicy;
+use dve_coherence::types::ReqType;
+use dve_noc::traffic::TrafficStats;
+use dve_sim::time::Cycles;
+use dve_workloads::op::{MemReq, Op};
+use dve_workloads::{TraceGenerator, WorkloadProfile};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Results of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheme that produced this result.
+    pub scheme: Scheme,
+    /// Workload name.
+    pub workload: String,
+    /// Wall-clock cycles of the measured region (max over cores).
+    pub cycles: u64,
+    /// Total operations executed in the measured region.
+    pub ops: u64,
+    /// Memory operations in the measured region.
+    pub mem_ops: u64,
+    /// Engine (coherence) statistics.
+    pub engine: EngineStats,
+    /// Inter-socket traffic in the measured region.
+    pub traffic: TrafficStats,
+    /// Fig. 7 classification fractions (summed over both home dirs).
+    pub class_fractions: [f64; 4],
+    /// DRAM energy over the measured region, joules.
+    pub mem_energy_joules: f64,
+    /// Execution time in seconds.
+    pub seconds: f64,
+    /// Memory energy-delay product (J·s).
+    pub mem_edp: f64,
+    /// Aggregated DRAM row-buffer statistics over the whole run
+    /// (including warm-up): (hits, misses, conflicts).
+    pub dram_rows: (u64, u64, u64),
+    /// (total accesses, total bank queuing delay) over the whole run.
+    pub dram_queue: (u64, u64),
+    /// Worst-case per-row activation count within one refresh window
+    /// across all controllers — the row-hammer exposure metric (§III).
+    pub max_row_activations: u64,
+}
+
+impl RunResult {
+    /// Speedup of this run relative to a baseline run of the same
+    /// workload (same op counts): baseline cycles / this run's cycles.
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        assert_eq!(
+            self.workload, baseline.workload,
+            "speedup across different workloads"
+        );
+        baseline.cycles as f64 / self.cycles as f64
+    }
+}
+
+/// The assembled system: engine + fabric + trace streams.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    engine: ProtocolEngine,
+    fabric: SystemFabric,
+    gen: TraceGenerator,
+    workload: String,
+    /// Per-core local clocks.
+    core_time: Vec<u64>,
+}
+
+impl System {
+    /// Builds a system for `cfg` running `profile` with `seed`.
+    pub fn new(cfg: SystemConfig, profile: &WorkloadProfile, seed: u64) -> System {
+        let mut engine = ProtocolEngine::new(cfg.engine_mode(), cfg.engine.clone());
+        if cfg.degraded {
+            engine.set_degraded(true);
+        }
+        let fabric = SystemFabric::new(&cfg);
+        let gen = TraceGenerator::new(profile, cfg.engine.cores, seed);
+        let cores = cfg.engine.cores;
+        System {
+            cfg,
+            engine,
+            fabric,
+            gen,
+            workload: profile.name.to_string(),
+            core_time: vec![0; cores],
+        }
+    }
+
+    /// Executes `mem_ops_per_core` memory operations on every core
+    /// (compute/sync ops execute in between without counting), returning
+    /// the wall time consumed and ops executed.
+    fn run_ops(&mut self, mem_ops_per_core: u64) -> (u64, u64, u64) {
+        let cores = self.core_time.len();
+        let start_max = *self.core_time.iter().max().expect("cores");
+        let mut heap: BinaryHeap<(Reverse<u64>, usize)> = (0..cores)
+            .map(|c| (Reverse(self.core_time[c]), c))
+            .collect();
+        let mut remaining: Vec<u64> = vec![mem_ops_per_core; cores];
+        let mut live = cores;
+        let mut total_ops = 0u64;
+        let mut total_mem = 0u64;
+        while live > 0 {
+            let (Reverse(now), core) = heap.pop().expect("live cores remain");
+            let op = self.gen.next_op(core);
+            total_ops += 1;
+            let next = match op {
+                Op::Compute(c) => now + c as u64,
+                Op::Sync => now + Op::SYNC_CYCLES as u64,
+                Op::Mem { line, req } => {
+                    total_mem += 1;
+                    remaining[core] -= 1;
+                    let r = match req {
+                        MemReq::Read => ReqType::Read,
+                        MemReq::Write => ReqType::Write,
+                    };
+                    // Both loads and stores block the core until the
+                    // coherence transaction completes, matching the
+                    // paper's SynchroTrace/gem5 replay where every
+                    // memory operation is simulated in detail. (What
+                    // §V-E keeps off the critical path — the propagation
+                    // of writebacks to the replica memory — is handled
+                    // as background work inside the engine.)
+                    self.engine
+                        .access(core, line, r, now, &mut self.fabric)
+                        .complete_at
+                }
+            };
+            self.core_time[core] = next;
+            if remaining[core] == 0 {
+                live -= 1;
+            } else {
+                heap.push((Reverse(next), core));
+            }
+        }
+        let end_max = *self.core_time.iter().max().expect("cores");
+        (end_max - start_max, total_ops, total_mem)
+    }
+
+    /// Runs warm-up + the measured region and collects results. For the
+    /// dynamic scheme this includes the per-epoch profiling procedure.
+    pub fn run(mut self) -> RunResult {
+        // Warm-up (not measured).
+        if self.cfg.warmup_per_thread > 0 {
+            self.run_ops(self.cfg.warmup_per_thread);
+        }
+        let traffic_before = self.fabric.traffic().clone();
+        let energy_before = self.fabric.total_energy();
+        let class_before = [
+            self.engine.home_dir(0).class_counts(),
+            self.engine.home_dir(1).class_counts(),
+        ];
+
+        let (cycles, ops, mem_ops) = if self.cfg.scheme == Scheme::DveDynamic {
+            self.run_dynamic()
+        } else {
+            self.run_ops(self.cfg.ops_per_thread)
+        };
+
+        // Deltas over the measured region.
+        let traffic = self.fabric.traffic().saturating_sub(&traffic_before);
+        let energy_after = self.fabric.total_energy();
+        let dyn_joules = energy_after.dynamic_joules() - energy_before.dynamic_joules();
+        let seconds = self.cfg.clock.nanos_for(Cycles(cycles)) * 1e-9;
+        // Background power of the full DIMM population over the region.
+        let background = 150.0e-3 * self.cfg.total_ranks() as f64 * seconds;
+        let mem_energy = dyn_joules + background;
+
+        let mut counts = [0u64; 4];
+        for s in 0..2 {
+            let after = self.engine.home_dir(s).class_counts();
+            for i in 0..4 {
+                counts[i] += after[i] - class_before[s][i];
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        let mut fractions = [0.0; 4];
+        if total > 0 {
+            for (f, &c) in fractions.iter_mut().zip(&counts) {
+                *f = c as f64 / total as f64;
+            }
+        }
+
+        let mut rows = (0u64, 0u64, 0u64);
+        let mut queue = (0u64, 0u64);
+        let mut max_row_activations = 0u64;
+        for socket in self.fabric.controllers() {
+            for c in socket {
+                let st = c.stats();
+                rows.0 += st.row_hits;
+                rows.1 += st.row_misses;
+                rows.2 += st.row_conflicts;
+                queue.0 += st.reads + st.writes;
+                queue.1 += st.queue_delay_sum;
+                max_row_activations = max_row_activations.max(c.rowhammer().max_activations());
+            }
+        }
+        RunResult {
+            scheme: self.cfg.scheme,
+            workload: self.workload.clone(),
+            cycles,
+            ops,
+            mem_ops,
+            engine: self.engine.stats(),
+            traffic,
+            class_fractions: fractions,
+            mem_energy_joules: mem_energy,
+            seconds,
+            mem_edp: mem_energy * seconds,
+            dram_rows: rows,
+            dram_queue: queue,
+            max_row_activations,
+        }
+    }
+
+    /// The sampling-based dynamic protocol: per epoch, profile both
+    /// state machines on a window, then run the remainder with the
+    /// winner.
+    fn run_dynamic(&mut self) -> (u64, u64, u64) {
+        let total = self.cfg.ops_per_thread;
+        let window = self.cfg.dynamic_window.max(1);
+        // One epoch = 2 profiling windows + 8 windows of the winner
+        // (the paper's 100M-per-1B ratio, scaled).
+        let epoch_body = window * 8;
+        let mut done = 0u64;
+        let mut cycles = 0u64;
+        let mut ops = 0u64;
+        let mut mems = 0u64;
+        let spec = self.cfg.speculative;
+        while done < total {
+            // Profile allow.
+            self.engine.switch_policy(ReplicaPolicy::Allow, spec);
+            let w = window.min(total - done);
+            let (c_allow, o1, m1) = self.run_ops(w);
+            done += w;
+            cycles += c_allow;
+            ops += o1;
+            mems += m1;
+            if done >= total {
+                break;
+            }
+            // Profile deny.
+            self.engine.switch_policy(ReplicaPolicy::Deny, spec);
+            let w = window.min(total - done);
+            let (c_deny, o2, m2) = self.run_ops(w);
+            done += w;
+            cycles += c_deny;
+            ops += o2;
+            mems += m2;
+            if done >= total {
+                break;
+            }
+            // Apply the winner for the epoch body.
+            let winner = if c_allow < c_deny {
+                ReplicaPolicy::Allow
+            } else {
+                ReplicaPolicy::Deny
+            };
+            self.engine.switch_policy(winner, spec);
+            let w = epoch_body.min(total - done);
+            let (c, o, m) = self.run_ops(w);
+            done += w;
+            cycles += c;
+            ops += o;
+            mems += m;
+        }
+        (cycles, ops, mems)
+    }
+}
+
+/// Convenience: run one workload under one scheme with Table II config.
+pub fn run_workload(
+    profile: &WorkloadProfile,
+    scheme: Scheme,
+    ops_per_thread: u64,
+    seed: u64,
+) -> RunResult {
+    let mut cfg = SystemConfig::table_ii(scheme);
+    cfg.ops_per_thread = ops_per_thread;
+    cfg.warmup_per_thread = ops_per_thread / 10;
+    System::new(cfg, profile, seed).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dve_workloads::catalog;
+
+    fn small_run(scheme: Scheme, workload: &str, ops: u64) -> RunResult {
+        let p = catalog().into_iter().find(|p| p.name == workload).unwrap();
+        run_workload(&p, scheme, ops, 42)
+    }
+
+    #[test]
+    fn baseline_run_completes_deterministically() {
+        let a = small_run(Scheme::BaselineNuma, "backprop", 500);
+        let b = small_run(Scheme::BaselineNuma, "backprop", 500);
+        assert_eq!(a.cycles, b.cycles, "bit-for-bit reproducible");
+        assert_eq!(a.traffic.total_bytes(), b.traffic.total_bytes());
+        assert!(a.cycles > 0);
+        assert_eq!(a.mem_ops, 500 * 16);
+    }
+
+    #[test]
+    fn deny_beats_baseline_on_read_heavy_workload() {
+        let base = small_run(Scheme::BaselineNuma, "backprop", 1500);
+        let deny = small_run(Scheme::DveDeny, "backprop", 1500);
+        let speedup = deny.speedup_over(&base);
+        assert!(speedup > 1.0, "speedup = {speedup:.3}");
+        assert!(deny.engine.replica_reads > 0);
+    }
+
+    #[test]
+    fn deny_cuts_inter_socket_traffic_on_read_heavy_workload() {
+        let base = small_run(Scheme::BaselineNuma, "backprop", 1500);
+        let deny = small_run(Scheme::DveDeny, "backprop", 1500);
+        let norm = deny.traffic.normalized_to(&base.traffic);
+        assert!(norm < 0.9, "normalized traffic = {norm:.3}");
+    }
+
+    #[test]
+    fn allow_beats_deny_on_private_write_heavy_workload() {
+        let allow = small_run(Scheme::DveAllow, "lbm", 1500);
+        let deny = small_run(Scheme::DveDeny, "lbm", 1500);
+        assert!(
+            allow.cycles < deny.cycles,
+            "allow {} vs deny {}",
+            allow.cycles,
+            deny.cycles
+        );
+    }
+
+    #[test]
+    fn deny_beats_allow_on_read_heavy_workload() {
+        let allow = small_run(Scheme::DveAllow, "xsbench", 1500);
+        let deny = small_run(Scheme::DveDeny, "xsbench", 1500);
+        assert!(
+            deny.cycles < allow.cycles,
+            "deny {} vs allow {}",
+            deny.cycles,
+            allow.cycles
+        );
+    }
+
+    #[test]
+    fn class_fractions_reflect_profile() {
+        let r = small_run(Scheme::BaselineNuma, "lbm", 1000);
+        // lbm is dominated by private read/write.
+        assert!(
+            r.class_fractions[3] > 0.3,
+            "private-rw fraction = {:.3}",
+            r.class_fractions[3]
+        );
+        let sum: f64 = r.class_fractions.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_scheme_runs_and_is_competitive() {
+        let base = small_run(Scheme::BaselineNuma, "backprop", 2000);
+        let dynamic = small_run(Scheme::DveDynamic, "backprop", 2000);
+        let speedup = dynamic.speedup_over(&base);
+        assert!(speedup > 0.95, "dynamic speedup = {speedup:.3}");
+    }
+
+    #[test]
+    fn mirror_scheme_runs() {
+        let r = small_run(Scheme::IntelMirrorPlus, "fft", 500);
+        assert!(r.cycles > 0);
+        assert_eq!(
+            r.engine.replica_reads, 0,
+            "mirroring is not coherent replication"
+        );
+    }
+
+    #[test]
+    fn energy_accounting_positive() {
+        let r = small_run(Scheme::DveDeny, "fft", 500);
+        assert!(r.mem_energy_joules > 0.0);
+        assert!(r.mem_edp > 0.0);
+        assert!(r.seconds > 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests over the assembled system.
+
+use dve::config::{Scheme, SystemConfig};
+use dve::recovery::{RecoverableMemory, RecoveryOutcome};
+use dve::system::System;
+use dve_dram::fault::FaultDomain;
+use dve_workloads::catalog;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The full system is deterministic for every scheme and workload.
+    #[test]
+    fn end_to_end_determinism(
+        seed in any::<u64>(),
+        profile_idx in 0usize..20,
+        scheme_idx in 0usize..5,
+    ) {
+        let scheme = Scheme::ALL[scheme_idx];
+        let p = &catalog()[profile_idx];
+        let run = |s| {
+            let mut cfg = SystemConfig::table_ii(scheme);
+            cfg.ops_per_thread = 400;
+            cfg.warmup_per_thread = 40;
+            System::new(cfg, p, s).run()
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.traffic.total_bytes(), b.traffic.total_bytes());
+        prop_assert_eq!(a.mem_energy_joules.to_bits(), b.mem_energy_joules.to_bits());
+    }
+
+    // Conservation: every issued memory op is accounted for in the
+    // engine's service-level buckets.
+    #[test]
+    fn service_accounting_conserves_ops(seed in any::<u64>(), scheme_idx in 0usize..5) {
+        let scheme = Scheme::ALL[scheme_idx];
+        let p = &catalog()[0];
+        let mut cfg = SystemConfig::table_ii(scheme);
+        cfg.ops_per_thread = 500;
+        cfg.warmup_per_thread = 50;
+        let r = System::new(cfg, p, seed).run();
+        let served: u64 = r.engine.served.iter().sum();
+        prop_assert_eq!(served, r.engine.ops);
+        prop_assert_eq!(r.engine.reads + r.engine.writes, r.engine.ops);
+    }
+
+    // Recovery: with only the primary faulted, no read ever
+    // machine-checks, regardless of the fault domain or access pattern.
+    #[test]
+    fn single_sided_faults_never_machine_check(
+        seed in any::<u64>(),
+        fault_pick in 0u8..4,
+        addrs in proptest::collection::vec(0u64..(1u64 << 20), 1..50),
+    ) {
+        let _ = seed;
+        let fault = match fault_pick {
+            0 => FaultDomain::Controller,
+            1 => FaultDomain::Channel { channel: 0 },
+            2 => FaultDomain::Chip { channel: 0, rank: 0, chip: 3 },
+            _ => FaultDomain::Row { channel: 0, rank: 0, bank: 0, row: 0 },
+        };
+        let mut mem = RecoverableMemory::new_dve_tsd();
+        mem.primary_mut().faults_mut().fail(fault);
+        let mut t = 0;
+        for addr in addrs {
+            let (outcome, done) = mem.read(addr & !63, t);
+            prop_assert_ne!(outcome, RecoveryOutcome::MachineCheck);
+            prop_assert!(done >= t);
+            t = done;
+        }
+        prop_assert_eq!(mem.stats().machine_checks, 0);
+    }
+
+    // Degraded Dvé tracks baseline NUMA cycle-for-cycle (§V-E).
+    #[test]
+    fn degraded_equals_baseline(seed in any::<u64>(), profile_idx in 0usize..20) {
+        let p = &catalog()[profile_idx];
+        let run = |scheme, degraded| {
+            let mut cfg = SystemConfig::table_ii(scheme);
+            cfg.ops_per_thread = 400;
+            cfg.warmup_per_thread = 40;
+            cfg.degraded = degraded;
+            System::new(cfg, p, seed).run().cycles
+        };
+        let base = run(Scheme::BaselineNuma, false);
+        let degraded = run(Scheme::DveDeny, true);
+        // Identical protocol behavior; only the DRAM population differs
+        // (2 vs 1 channels/socket keeps bank counts equal per copy), so
+        // cycles agree within a small tolerance.
+        let ratio = base as f64 / degraded as f64;
+        prop_assert!((0.97..=1.03).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Per-bank row-buffer state machine.
+
+use dve_sim::time::Cycles;
+
+/// Classification of an access against the bank's row-buffer state —
+/// determines which DRAM timing path applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowOutcome {
+    /// Requested row is already open: column access only (tCL).
+    Hit,
+    /// Bank precharged, no row open: activate + column (tRCD + tCL).
+    Miss,
+    /// A different row is open: precharge + activate + column
+    /// (tRP + tRCD + tCL).
+    Conflict,
+}
+
+/// One DRAM bank: the open row (if any) and the time until which the bank
+/// is busy with a previous operation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycles,
+    /// When the currently open row was activated (to honor tRAS before a
+    /// precharge on conflict).
+    activated_at: Cycles,
+}
+
+impl Bank {
+    /// Creates an idle, precharged bank.
+    pub fn new() -> Bank {
+        Bank::default()
+    }
+
+    /// The row currently latched in the row buffer.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Earliest time the bank can start a new operation.
+    pub fn busy_until(&self) -> Cycles {
+        self.busy_until
+    }
+
+    /// Classifies an access to `row` without performing it.
+    pub fn classify(&self, row: u64) -> RowOutcome {
+        match self.open_row {
+            Some(r) if r == row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Miss,
+        }
+    }
+
+    /// Performs an access to `row` arriving at `now`, given the timing
+    /// parameters. Returns `(outcome, start, finish)` where `start` is
+    /// when the command actually issues (after any queuing on a busy
+    /// bank) and `finish` is when data transfer completes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn access(
+        &mut self,
+        row: u64,
+        now: Cycles,
+        t_cl: Cycles,
+        t_rcd: Cycles,
+        t_rp: Cycles,
+        t_ras: Cycles,
+        t_burst: Cycles,
+    ) -> (RowOutcome, Cycles, Cycles) {
+        let outcome = self.classify(row);
+        let mut start = now.max(self.busy_until);
+        let latency = match outcome {
+            RowOutcome::Hit => t_cl + t_burst,
+            RowOutcome::Miss => t_rcd + t_cl + t_burst,
+            RowOutcome::Conflict => {
+                // The precharge may not issue until tRAS after the open
+                // row's activation.
+                let ras_ready = self.activated_at + t_ras;
+                start = start.max(ras_ready);
+                t_rp + t_rcd + t_cl + t_burst
+            }
+        };
+        let finish = start + latency;
+        match outcome {
+            RowOutcome::Hit => {}
+            RowOutcome::Miss => {
+                self.open_row = Some(row);
+                self.activated_at = start;
+            }
+            RowOutcome::Conflict => {
+                self.open_row = Some(row);
+                self.activated_at = start + t_rp;
+            }
+        }
+        self.busy_until = finish;
+        (outcome, start, finish)
+    }
+
+    /// Closes the open row (e.g. for a refresh) and marks the bank busy
+    /// until `until`.
+    pub fn force_busy(&mut self, until: Cycles) {
+        self.open_row = None;
+        self.busy_until = self.busy_until.max(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CL: Cycles = Cycles(43);
+    const RCD: Cycles = Cycles(43);
+    const RP: Cycles = Cycles(43);
+    const RAS: Cycles = Cycles(96);
+    const BURST: Cycles = Cycles(10);
+
+    fn go(bank: &mut Bank, row: u64, now: u64) -> (RowOutcome, Cycles, Cycles) {
+        bank.access(row, Cycles(now), CL, RCD, RP, RAS, BURST)
+    }
+
+    #[test]
+    fn first_access_is_miss() {
+        let mut b = Bank::new();
+        let (o, start, finish) = go(&mut b, 5, 0);
+        assert_eq!(o, RowOutcome::Miss);
+        assert_eq!(start, Cycles(0));
+        assert_eq!(finish, RCD + CL + BURST);
+        assert_eq!(b.open_row(), Some(5));
+    }
+
+    #[test]
+    fn same_row_hits() {
+        let mut b = Bank::new();
+        let (_, _, f1) = go(&mut b, 5, 0);
+        let (o, _, f2) = go(&mut b, 5, f1.raw());
+        assert_eq!(o, RowOutcome::Hit);
+        assert_eq!(f2 - f1, CL + BURST);
+    }
+
+    #[test]
+    fn different_row_conflicts_and_respects_tras() {
+        let mut b = Bank::new();
+        go(&mut b, 5, 0); // activated at 0
+        let (o, start, _) = go(&mut b, 9, 0);
+        assert_eq!(o, RowOutcome::Conflict);
+        // Cannot precharge before tRAS after activation (0 + 96).
+        assert!(start >= RAS);
+        assert_eq!(b.open_row(), Some(9));
+    }
+
+    #[test]
+    fn busy_bank_queues_requests() {
+        let mut b = Bank::new();
+        let (_, _, f1) = go(&mut b, 1, 0);
+        // Request arrives while the first is in flight.
+        let (_, start, _) = go(&mut b, 1, 1);
+        assert_eq!(start, f1, "second request waits for the bank");
+    }
+
+    #[test]
+    fn force_busy_closes_row() {
+        let mut b = Bank::new();
+        go(&mut b, 1, 0);
+        b.force_busy(Cycles(10_000));
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.busy_until(), Cycles(10_000));
+        let (o, start, _) = go(&mut b, 1, 0);
+        assert_eq!(o, RowOutcome::Miss);
+        assert_eq!(start, Cycles(10_000));
+    }
+}

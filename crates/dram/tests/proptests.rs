@@ -1,0 +1,79 @@
+//! Property-based tests for the DRAM substrate.
+
+use dve_dram::address::AddressMapper;
+use dve_dram::config::DramConfig;
+use dve_dram::controller::{AccessKind, MemoryController};
+use dve_dram::fault::{FaultDomain, FaultState};
+use dve_sim::time::Cycles;
+use proptest::prelude::*;
+
+proptest! {
+    // Address mapping is a bijection at line granularity.
+    #[test]
+    fn address_mapping_bijective(addr in 0u64..(8u64 << 30)) {
+        let m = AddressMapper::new(DramConfig::ddr4_2400());
+        let coord = m.decode(addr);
+        prop_assert_eq!(m.encode(coord), addr & !63);
+        prop_assert!(coord.bank < 16);
+        prop_assert!(coord.column < m.config().lines_per_row());
+    }
+
+    // Controller timing invariants: completion after arrival, latency at
+    // least the row-hit floor and (uncontended) at most conflict +
+    // refresh-window, monotone per bank.
+    #[test]
+    fn controller_latency_bounds(
+        addrs in proptest::collection::vec(0u64..(1u64 << 24), 1..100),
+        gap in 0u64..500,
+    ) {
+        let cfg = DramConfig::ddr4_2400_no_refresh();
+        let hit = cfg.hit_latency().raw();
+        let mut mc = MemoryController::new(0, cfg);
+        let mut t = 0u64;
+        for addr in addrs {
+            let r = mc.access(addr, AccessKind::Read, Cycles(t));
+            prop_assert!(r.complete_at.raw() >= t + hit);
+            prop_assert!(r.latency.raw() >= hit);
+            t = t + gap + 1;
+        }
+        let s = mc.stats();
+        prop_assert_eq!(s.row_hits + s.row_misses + s.row_conflicts, s.reads);
+    }
+
+    // Fault impact is monotone: adding fault domains never un-corrupts a
+    // read, and repair restores cleanliness exactly.
+    #[test]
+    fn fault_state_monotone(
+        addr in 0u64..(1u64 << 24),
+        chips in proptest::collection::btree_set(0usize..9, 0..5),
+    ) {
+        let mapper = AddressMapper::new(DramConfig::ddr4_2400());
+        let mut f = FaultState::new();
+        let mut last = 0usize;
+        for &chip in &chips {
+            f.fail(FaultDomain::Chip { channel: 0, rank: 0, chip });
+            let impact = f.impact(0, addr, &mapper).expect("chip fault must impact rank reads");
+            prop_assert!(impact.symbols_corrupted >= last.max(1));
+            last = impact.symbols_corrupted;
+        }
+        prop_assert_eq!(last, chips.len().max(if chips.is_empty() { 0 } else { 1 }));
+        for &chip in &chips {
+            f.repair(FaultDomain::Chip { channel: 0, rank: 0, chip });
+        }
+        prop_assert!(f.impact(0, addr, &mapper).is_none());
+    }
+
+    // Energy accounting is additive under merge.
+    #[test]
+    fn energy_additive(reads in 0u64..1000, writes in 0u64..1000, acts in 0u64..1000) {
+        use dve_dram::energy::EnergyModel;
+        let mut a = EnergyModel::new(1);
+        let mut b = EnergyModel::new(1);
+        for _ in 0..reads { a.count_read(); }
+        for _ in 0..writes { b.count_write(); }
+        for _ in 0..acts { a.count_activate(); }
+        let (ja, jb) = (a.dynamic_joules(), b.dynamic_joules());
+        a.merge(&b);
+        prop_assert!((a.dynamic_joules() - (ja + jb)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,168 @@
+//! Cyclic redundancy checks used on the memory channel.
+//!
+//! DDR4 adds a write CRC on the data bus (the ATM-8 polynomial
+//! `x^8 + x^2 + x + 1`) and command/address parity; the paper lists these
+//! among the "bus reliability mechanisms" that detect (but cannot
+//! correct) channel errors (§II-A). [`Crc8Atm`], [`Crc16Ccitt`] and
+//! [`Crc32`] provide the standard bit-reflected implementations.
+
+/// DDR4 write-CRC polynomial `x^8 + x^2 + x + 1` (0x07, MSB-first).
+///
+/// # Example
+///
+/// ```
+/// use dve_ecc::crc::Crc8Atm;
+///
+/// let crc = Crc8Atm::checksum(b"123456789");
+/// assert_eq!(crc, 0xF4); // standard CRC-8/SMBUS check value
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Crc8Atm;
+
+impl Crc8Atm {
+    /// Computes the CRC-8 of `data` (init 0x00, no reflection, no xorout).
+    pub fn checksum(data: &[u8]) -> u8 {
+        let mut crc: u8 = 0;
+        for &b in data {
+            crc ^= b;
+            for _ in 0..8 {
+                crc = if crc & 0x80 != 0 {
+                    (crc << 1) ^ 0x07
+                } else {
+                    crc << 1
+                };
+            }
+        }
+        crc
+    }
+
+    /// Whether `data` followed by its transmitted CRC byte verifies.
+    pub fn verify(data: &[u8], crc: u8) -> bool {
+        Self::checksum(data) == crc
+    }
+}
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Crc16Ccitt;
+
+impl Crc16Ccitt {
+    /// Computes the CRC-16 of `data`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dve_ecc::crc::Crc16Ccitt;
+    /// assert_eq!(Crc16Ccitt::checksum(b"123456789"), 0x29B1);
+    /// ```
+    pub fn checksum(data: &[u8]) -> u16 {
+        let mut crc: u16 = 0xFFFF;
+        for &b in data {
+            crc ^= (b as u16) << 8;
+            for _ in 0..8 {
+                crc = if crc & 0x8000 != 0 {
+                    (crc << 1) ^ 0x1021
+                } else {
+                    crc << 1
+                };
+            }
+        }
+        crc
+    }
+
+    /// Whether `data` and its transmitted CRC verify.
+    pub fn verify(data: &[u8], crc: u16) -> bool {
+        Self::checksum(data) == crc
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Crc32;
+
+impl Crc32 {
+    /// Computes the CRC-32 of `data`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dve_ecc::crc::Crc32;
+    /// assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
+    /// ```
+    pub fn checksum(data: &[u8]) -> u32 {
+        let mut crc: u32 = 0xFFFF_FFFF;
+        for &b in data {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        !crc
+    }
+
+    /// Whether `data` and its transmitted CRC verify.
+    pub fn verify(data: &[u8], crc: u32) -> bool {
+        Self::checksum(data) == crc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc8_standard_vector() {
+        assert_eq!(Crc8Atm::checksum(b"123456789"), 0xF4);
+        assert_eq!(Crc8Atm::checksum(b""), 0x00);
+    }
+
+    #[test]
+    fn crc16_standard_vector() {
+        assert_eq!(Crc16Ccitt::checksum(b"123456789"), 0x29B1);
+        assert_eq!(Crc16Ccitt::checksum(b""), 0xFFFF);
+    }
+
+    #[test]
+    fn crc32_standard_vector() {
+        assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(Crc32::checksum(b""), 0x0000_0000);
+    }
+
+    #[test]
+    fn verify_catches_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let c8 = Crc8Atm::checksum(&data);
+        let c16 = Crc16Ccitt::checksum(&data);
+        let c32 = Crc32::checksum(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut bad = data.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(!Crc8Atm::verify(&bad, c8));
+                assert!(!Crc16Ccitt::verify(&bad, c16));
+                assert!(!Crc32::verify(&bad, c32));
+            }
+        }
+        assert!(Crc8Atm::verify(&data, c8));
+        assert!(Crc16Ccitt::verify(&data, c16));
+        assert!(Crc32::verify(&data, c32));
+    }
+
+    #[test]
+    fn crc_detects_burst_errors_within_width() {
+        // A CRC of width w detects all burst errors of length <= w.
+        let data = vec![0xA5u8; 64];
+        let c32 = Crc32::checksum(&data);
+        for start in 0..(64 * 8 - 32) {
+            let mut bad = data.clone();
+            for b in start..start + 32 {
+                bad[b / 8] ^= 1 << (b % 8);
+            }
+            assert!(!Crc32::verify(&bad, c32), "burst at {start} escaped");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! SEC-DED (72,64) extended Hamming code.
+//!
+//! The classic "ECC DIMM" baseline in Fig. 1 of the paper: 8 check bits
+//! protect a 64-bit word, correcting any single-bit error and detecting
+//! any double-bit error. Check bits live at power-of-two positions of the
+//! (1-indexed) 72-bit codeword plus an overall parity bit at position 0.
+
+use crate::code::{CheckOutcome, CorrectionCode, DetectionCode};
+
+/// The (72,64) SEC-DED Hamming code over a 64-bit dataword.
+///
+/// Codewords are 9 bytes: the 72 bits are packed little-endian
+/// (bit `i` of the codeword is bit `i % 8` of byte `i / 8`).
+///
+/// # Example
+///
+/// ```
+/// use dve_ecc::hamming::SecDed;
+/// use dve_ecc::code::{CheckOutcome, CorrectionCode, DetectionCode};
+///
+/// let code = SecDed::new();
+/// let mut cw = code.encode(&0xDEAD_BEEF_0BAD_F00Du64.to_le_bytes());
+/// cw[3] ^= 0x10; // single-bit upset
+/// assert_eq!(code.check_and_repair(&mut cw), CheckOutcome::Corrected { symbols_fixed: 1 });
+/// assert_eq!(code.extract_data(&cw), 0xDEAD_BEEF_0BAD_F00Du64.to_le_bytes());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SecDed;
+
+/// Number of Hamming check bits (positions 1,2,4,...,64 in the 1-indexed
+/// layout).
+const CHECK_BITS: usize = 7;
+/// Total payload bits.
+const DATA_BITS: usize = 64;
+/// 1-indexed Hamming codeword length: 64 data + 7 check = 71, positions
+/// 1..=71; position 0 holds the overall (extended) parity bit.
+const HAMMING_LEN: usize = DATA_BITS + CHECK_BITS;
+
+impl SecDed {
+    /// Creates the code (stateless).
+    pub fn new() -> SecDed {
+        SecDed
+    }
+
+    fn get_bit(buf: &[u8], i: usize) -> u8 {
+        (buf[i / 8] >> (i % 8)) & 1
+    }
+
+    fn set_bit(buf: &mut [u8], i: usize, v: u8) {
+        if v != 0 {
+            buf[i / 8] |= 1 << (i % 8);
+        } else {
+            buf[i / 8] &= !(1 << (i % 8));
+        }
+    }
+
+    /// Maps data-bit index (0..64) to its 1-indexed Hamming position
+    /// (skipping power-of-two positions).
+    fn data_position(mut idx: usize) -> usize {
+        let mut pos: usize = 1;
+        loop {
+            if !pos.is_power_of_two() {
+                if idx == 0 {
+                    return pos;
+                }
+                idx -= 1;
+            }
+            pos += 1;
+        }
+    }
+
+    /// Builds the 72-bit layout: `layout[0]` is the extended parity,
+    /// `layout[1..=71]` is the Hamming codeword.
+    fn layout_from_data(data: &[u8; 8]) -> [u8; HAMMING_LEN + 1] {
+        let mut layout = [0u8; HAMMING_LEN + 1];
+        for i in 0..DATA_BITS {
+            let bit = (data[i / 8] >> (i % 8)) & 1;
+            layout[Self::data_position(i)] = bit;
+        }
+        // Check bits: parity over positions with that bit set in index.
+        for c in 0..CHECK_BITS {
+            let mask = 1usize << c;
+            let mut parity = 0u8;
+            for (pos, item) in layout.iter().enumerate().skip(1) {
+                if pos & mask != 0 && !pos.is_power_of_two() {
+                    parity ^= item;
+                }
+            }
+            layout[mask] = parity;
+        }
+        // Extended parity over everything else.
+        let mut overall = 0u8;
+        for item in layout.iter().skip(1) {
+            overall ^= item;
+        }
+        layout[0] = overall;
+        layout
+    }
+
+    fn layout_to_bytes(layout: &[u8; HAMMING_LEN + 1]) -> [u8; 9] {
+        let mut out = [0u8; 9];
+        for (i, &b) in layout.iter().enumerate() {
+            Self::set_bit(&mut out, i, b);
+        }
+        out
+    }
+
+    fn bytes_to_layout(bytes: &[u8]) -> [u8; HAMMING_LEN + 1] {
+        let mut layout = [0u8; HAMMING_LEN + 1];
+        for (i, item) in layout.iter_mut().enumerate() {
+            *item = Self::get_bit(bytes, i);
+        }
+        layout
+    }
+
+    /// (syndrome, parity_ok) of a received layout.
+    fn syndrome(layout: &[u8; HAMMING_LEN + 1]) -> (usize, bool) {
+        let mut syndrome = 0usize;
+        for c in 0..CHECK_BITS {
+            let mask = 1usize << c;
+            let mut parity = 0u8;
+            for (pos, item) in layout.iter().enumerate().skip(1) {
+                if pos & mask != 0 {
+                    parity ^= item;
+                }
+            }
+            if parity != 0 {
+                syndrome |= mask;
+            }
+        }
+        let mut overall = 0u8;
+        for item in layout.iter() {
+            overall ^= item;
+        }
+        (syndrome, overall == 0)
+    }
+
+    fn extract(layout: &[u8; HAMMING_LEN + 1]) -> [u8; 8] {
+        let mut data = [0u8; 8];
+        for i in 0..DATA_BITS {
+            let bit = layout[Self::data_position(i)];
+            if bit != 0 {
+                data[i / 8] |= 1 << (i % 8);
+            }
+        }
+        data
+    }
+}
+
+impl DetectionCode for SecDed {
+    fn data_len(&self) -> usize {
+        8
+    }
+
+    fn codeword_len(&self) -> usize {
+        9
+    }
+
+    fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), 8, "dataword length mismatch");
+        let mut d = [0u8; 8];
+        d.copy_from_slice(data);
+        Self::layout_to_bytes(&Self::layout_from_data(&d)).to_vec()
+    }
+
+    fn check(&self, codeword: &[u8]) -> CheckOutcome {
+        assert_eq!(codeword.len(), 9, "codeword length mismatch");
+        let layout = Self::bytes_to_layout(codeword);
+        let (syndrome, parity_ok) = Self::syndrome(&layout);
+        match (syndrome, parity_ok) {
+            (0, true) => CheckOutcome::NoError,
+            // Single-bit error (correctable, but check() doesn't repair).
+            (_, false) => CheckOutcome::Corrected { symbols_fixed: 1 },
+            // Non-zero syndrome with good parity: double error.
+            (_, true) => CheckOutcome::DetectedUncorrectable { syndrome_weight: 2 },
+        }
+    }
+
+    fn extract_data(&self, codeword: &[u8]) -> Vec<u8> {
+        assert_eq!(codeword.len(), 9, "codeword length mismatch");
+        Self::extract(&Self::bytes_to_layout(codeword)).to_vec()
+    }
+}
+
+impl CorrectionCode for SecDed {
+    fn check_and_repair(&self, codeword: &mut [u8]) -> CheckOutcome {
+        assert_eq!(codeword.len(), 9, "codeword length mismatch");
+        let mut layout = Self::bytes_to_layout(codeword);
+        let (syndrome, parity_ok) = Self::syndrome(&layout);
+        match (syndrome, parity_ok) {
+            (0, true) => CheckOutcome::NoError,
+            (0, false) => {
+                // Extended parity bit itself flipped.
+                layout[0] ^= 1;
+                codeword.copy_from_slice(&Self::layout_to_bytes(&layout));
+                CheckOutcome::Corrected { symbols_fixed: 1 }
+            }
+            (s, false) if s <= HAMMING_LEN => {
+                layout[s] ^= 1;
+                codeword.copy_from_slice(&Self::layout_to_bytes(&layout));
+                CheckOutcome::Corrected { symbols_fixed: 1 }
+            }
+            _ => CheckOutcome::DetectedUncorrectable { syndrome_weight: 2 },
+        }
+    }
+
+    fn correctable_symbols(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word() -> [u8; 8] {
+        0x0123_4567_89AB_CDEFu64.to_le_bytes()
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let code = SecDed::new();
+        let cw = code.encode(&word());
+        assert_eq!(cw.len(), 9);
+        assert_eq!(code.check(&cw), CheckOutcome::NoError);
+        assert_eq!(code.extract_data(&cw), word());
+    }
+
+    #[test]
+    fn corrects_every_single_bit_error() {
+        let code = SecDed::new();
+        let clean = code.encode(&word());
+        for bit in 0..72 {
+            let mut cw = clean.clone();
+            cw[bit / 8] ^= 1 << (bit % 8);
+            let outcome = code.check_and_repair(&mut cw);
+            assert_eq!(
+                outcome,
+                CheckOutcome::Corrected { symbols_fixed: 1 },
+                "bit {bit}"
+            );
+            assert_eq!(code.extract_data(&cw), word(), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn detects_every_double_bit_error() {
+        let code = SecDed::new();
+        let clean = code.encode(&word());
+        for a in 0..72 {
+            for b in (a + 1)..72 {
+                let mut cw = clean.clone();
+                cw[a / 8] ^= 1 << (a % 8);
+                cw[b / 8] ^= 1 << (b % 8);
+                let outcome = code.check(&cw);
+                assert!(
+                    matches!(outcome, CheckOutcome::DetectedUncorrectable { .. }),
+                    "bits {a},{b} gave {outcome:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_and_all_one_data() {
+        let code = SecDed::new();
+        for data in [[0u8; 8], [0xFF; 8]] {
+            let cw = code.encode(&data);
+            assert_eq!(code.check(&cw), CheckOutcome::NoError);
+            assert_eq!(code.extract_data(&cw), data);
+        }
+    }
+
+    #[test]
+    fn overhead_is_12_5_percent() {
+        let code = SecDed::new();
+        assert!((code.overhead() - 0.125).abs() < 1e-12);
+        assert_eq!(code.correctable_symbols(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # dve-ecc — error detection and correction codes
+//!
+//! Dvé (ISCA 2021) decouples error *detection* (kept local, via ECC
+//! codewords at the memory controller) from error *correction* (performed
+//! by reading the replica on the other socket). This crate implements all
+//! the codes the paper builds on or compares against:
+//!
+//! * [`hamming`] — SEC-DED (72,64) Hamming code: the classic single-error
+//!   correct / double-error detect baseline ("SEC-DED" in Fig. 1).
+//! * [`rs`] — Reed–Solomon codes over GF(2^8), the substrate of Chipkill.
+//!   `Rs::new(18, 16, ..)` is the paper's RS(18,16,8) configuration
+//!   (§IV-A); decoding implements Berlekamp–Massey + Chien + Forney, so
+//!   the same type serves as a *correcting* Chipkill code or a
+//!   *detect-only* DSD code depending on the [`rs::DecodePolicy`].
+//! * [`rs16`] — detection-only Reed–Solomon over GF(2^16): the TSD
+//!   (triple-symbol-detect) code the paper borrows from Multi-ECC.
+//! * [`crc`] — DDR4 write-CRC (CRC-8 ATM), CRC-16/CCITT and CRC-32 bus
+//!   codes used for channel error detection.
+//! * [`code`] — the [`code::DetectionCode`] / [`code::CorrectionCode`]
+//!   traits and the [`code::CheckOutcome`] vocabulary (`NoError`,
+//!   `Corrected`, `DetectedUncorrectable`) shared with the memory
+//!   controller model in `dve-dram`.
+//! * [`inject`] — fault injection on codewords at bit, symbol, chip and
+//!   burst granularity, used by the recovery tests and the empirical
+//!   detection-coverage experiments.
+//! * [`loghash`] — MemGuard-style incremental multiset log hashes, the
+//!   alternative detection mechanism §IV points to for future work.
+//!
+//! # Example: detect with ECC, correct from the replica
+//!
+//! ```
+//! use dve_ecc::code::{CheckOutcome, DetectionCode};
+//! use dve_ecc::rs::{DecodePolicy, Rs};
+//!
+//! // The paper's RS(18,16) over 8-bit symbols, used detect-only (DSD).
+//! let code = Rs::new(18, 16, DecodePolicy::DetectOnly);
+//! let data: Vec<u8> = (0..16).collect();
+//! let mut cw = code.encode(&data);
+//! cw[3] ^= 0xA5; // a chip goes bad
+//! assert!(matches!(code.check(&cw), CheckOutcome::DetectedUncorrectable { .. }));
+//! // ...at which point Dvé reads the replica instead of reconstructing.
+//! ```
+
+pub mod code;
+pub mod crc;
+pub mod gf;
+pub mod hamming;
+pub mod inject;
+pub mod loghash;
+pub mod rs;
+pub mod rs16;
+
+pub use code::{CheckOutcome, CorrectionCode, DetectionCode};
+pub use hamming::SecDed;
+pub use rs::{DecodePolicy, Rs};
+pub use rs16::Rs16Detect;

@@ -1,0 +1,239 @@
+//! Incremental multiset log hashes — the MemGuard-style alternative
+//! detection mechanism §IV mentions ("alternatively, incremental
+//! multi-set log hashes can also be used to detect errors").
+//!
+//! The idea (Chen & Zhang, ISCA'14): the memory controller maintains two
+//! incremental hashes — one over every value *written* to memory
+//! (`WriteSet`) and one over every value *read back* (`ReadSet`), each
+//! keyed by (address, data, per-location write counter). When the
+//! verification epoch ends, the controller re-reads all live locations;
+//! if memory was honest, the two multiset hashes must be equal. The hash
+//! must be *incremental* (update in O(1) per operation) and
+//! *multiset-collision-resistant*; we use the standard add-multiply
+//! construction over a 128-bit modulus (sufficient for a simulation
+//! substrate; MemGuard itself uses AES-based MSet-XOR/Add hashes).
+//!
+//! Dvé can pair this with replica-based correction exactly like its
+//! ECC-based detection: a mismatch at epoch end marks the epoch's data
+//! suspect and recovery re-reads from the replica.
+
+use std::collections::HashMap;
+
+/// Large prime modulus (2^89 - 1, a Mersenne prime) for the multiset
+/// hash accumulator.
+const MODULUS: u128 = (1u128 << 89) - 1;
+
+fn mix(addr: u64, data: u64, version: u64) -> u128 {
+    // SplitMix-style avalanche of the triple into a residue.
+    let mut z = (addr as u128) ^ ((data as u128) << 64 >> 3) ^ ((version as u128) << 89 >> 19);
+    z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_C060_5CED_C835);
+    z ^= z >> 67;
+    z = z.wrapping_mul(0xC2B2_AE3D_27D4_EB4F_1656_67B1_E3FA_9D4B);
+    z ^= z >> 43;
+    (z % (MODULUS - 1)) + 1 // never zero
+}
+
+/// An incremental multiset hash: order-independent, O(1) updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultisetHash {
+    acc: u128,
+}
+
+impl Default for MultisetHash {
+    fn default() -> Self {
+        MultisetHash { acc: 1 }
+    }
+}
+
+impl MultisetHash {
+    /// The hash of the empty multiset.
+    pub fn new() -> MultisetHash {
+        MultisetHash::default()
+    }
+
+    /// Adds one element (multiplication in the group: order-independent).
+    pub fn add(&mut self, addr: u64, data: u64, version: u64) {
+        self.acc = mul_mod(self.acc, mix(addr, data, version));
+    }
+
+    /// The accumulator value.
+    pub fn value(&self) -> u128 {
+        self.acc
+    }
+}
+
+/// Multiplication mod 2^89 − 1 by binary (Russian-peasant) reduction:
+/// both operands are < 2^89, so doubling never overflows u128.
+fn mul_mod(mut a: u128, mut b: u128) -> u128 {
+    a %= MODULUS;
+    let mut acc: u128 = 0;
+    while b > 0 {
+        if b & 1 == 1 {
+            acc = (acc + a) % MODULUS;
+        }
+        a = (a << 1) % MODULUS;
+        b >>= 1;
+    }
+    if acc == 0 {
+        1 // stay inside the multiplicative group
+    } else {
+        acc
+    }
+}
+
+/// The MemGuard-style memory integrity checker for one controller.
+///
+/// # Example
+///
+/// ```
+/// use dve_ecc::loghash::MemGuard;
+///
+/// let mut mg = MemGuard::new();
+/// mg.write(0x40, 7);
+/// mg.write(0x80, 9);
+/// assert_eq!(mg.read(0x40), Some(7));
+/// // End of epoch: audit all live locations against honest memory.
+/// let honest: Vec<(u64, u64)> = vec![(0x40, 7), (0x80, 9)];
+/// assert!(mg.verify_epoch(honest.into_iter()));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemGuard {
+    write_set: MultisetHash,
+    read_set: MultisetHash,
+    /// Shadow of current (value, version) per address — in hardware this
+    /// is the DRAM itself plus a small per-region version counter; here
+    /// it doubles as the functional memory.
+    live: HashMap<u64, (u64, u64)>,
+}
+
+impl MemGuard {
+    /// Creates an empty checker.
+    pub fn new() -> MemGuard {
+        MemGuard::default()
+    }
+
+    /// Records a write of `data` to `addr`.
+    pub fn write(&mut self, addr: u64, data: u64) {
+        // Reading out the old value moves it from WriteSet to ReadSet.
+        if let Some(&(old, ver)) = self.live.get(&addr) {
+            self.read_set.add(addr, old, ver);
+        }
+        let version = self.live.get(&addr).map(|&(_, v)| v + 1).unwrap_or(0);
+        self.write_set.add(addr, data, version);
+        self.live.insert(addr, (data, version));
+    }
+
+    /// Records a read of `addr`, returning the live value (None if never
+    /// written). Reads do not consume the entry (the value stays live);
+    /// only overwrites and the final audit move entries to the ReadSet.
+    pub fn read(&self, addr: u64) -> Option<u64> {
+        self.live.get(&addr).map(|&(v, _)| v)
+    }
+
+    /// Ends the epoch: replays `memory_contents` (address, value) as the
+    /// audit read sweep and checks the multiset hashes match. Returns
+    /// `true` if memory is consistent with the write log.
+    ///
+    /// A corrupted location (value differing from what was written, or a
+    /// replayed stale version) makes the hashes diverge with
+    /// overwhelming probability.
+    pub fn verify_epoch(mut self, memory_contents: impl Iterator<Item = (u64, u64)>) -> bool {
+        let mut audited = 0usize;
+        for (addr, value) in memory_contents {
+            let Some(&(_, ver)) = self.live.get(&addr) else {
+                return false; // memory invented an address
+            };
+            self.read_set.add(addr, value, ver);
+            audited += 1;
+        }
+        audited == self.live.len() && self.read_set.value() == self.write_set.value()
+    }
+
+    /// Number of live (written) locations.
+    pub fn live_locations(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn honest(mg: &MemGuard) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = mg.live.iter().map(|(&a, &(d, _))| (a, d)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_epoch_verifies() {
+        assert!(MemGuard::new().verify_epoch(std::iter::empty()));
+    }
+
+    #[test]
+    fn honest_memory_verifies() {
+        let mut mg = MemGuard::new();
+        for a in 0..100u64 {
+            mg.write(a * 64, a * 3 + 1);
+        }
+        // Overwrites too.
+        for a in 0..50u64 {
+            mg.write(a * 64, a + 1000);
+        }
+        let contents = honest(&mg);
+        assert_eq!(mg.live_locations(), 100);
+        assert!(mg.verify_epoch(contents.into_iter()));
+    }
+
+    #[test]
+    fn corrupted_value_detected() {
+        let mut mg = MemGuard::new();
+        for a in 0..100u64 {
+            mg.write(a * 64, a);
+        }
+        let mut contents = honest(&mg);
+        contents[37].1 ^= 0x4; // silent bit flip in DRAM
+        assert!(!mg.verify_epoch(contents.into_iter()));
+    }
+
+    #[test]
+    fn dropped_location_detected() {
+        let mut mg = MemGuard::new();
+        mg.write(0, 1);
+        mg.write(64, 2);
+        assert!(!mg.clone().verify_epoch(vec![(0, 1)].into_iter()));
+    }
+
+    #[test]
+    fn replayed_stale_value_detected() {
+        // Memory returns the OLD value of an overwritten location.
+        let mut mg = MemGuard::new();
+        mg.write(0, 111);
+        mg.write(0, 222);
+        assert!(!mg.clone().verify_epoch(vec![(0, 111)].into_iter()));
+        assert!(mg.verify_epoch(vec![(0, 222)].into_iter()));
+    }
+
+    #[test]
+    fn invented_address_detected() {
+        let mut mg = MemGuard::new();
+        mg.write(0, 1);
+        assert!(!mg.verify_epoch(vec![(0, 1), (64, 9)].into_iter()));
+    }
+
+    #[test]
+    fn multiset_hash_is_order_independent() {
+        let mut a = MultisetHash::new();
+        let mut b = MultisetHash::new();
+        a.add(1, 10, 0);
+        a.add(2, 20, 0);
+        b.add(2, 20, 0);
+        b.add(1, 10, 0);
+        assert_eq!(a.value(), b.value());
+        // And sensitive to every component.
+        let mut c = MultisetHash::new();
+        c.add(1, 10, 1);
+        c.add(2, 20, 0);
+        assert_ne!(a.value(), c.value());
+    }
+}

@@ -1,0 +1,499 @@
+//! Reed–Solomon codes over GF(2^8) — the substrate of Chipkill ECC.
+//!
+//! The paper's baseline (§IV-A) is an "8-bit symbol based RS(18,16,8) code
+//! with SSC-DSD", i.e. 16 data symbols + 2 check symbols per codeword with
+//! each symbol sourced from a different DRAM chip, so a whole-chip failure
+//! manifests as a single-symbol error. [`Rs`] implements a general
+//! systematic RS(n, k) codec:
+//!
+//! * encoding by polynomial long division (parity = remainder),
+//! * syndrome computation,
+//! * full decoding via Berlekamp–Massey, Chien search and Forney's
+//!   algorithm.
+//!
+//! The [`DecodePolicy`] selects how the code is *used*: `Correct` behaves
+//! like Chipkill (repair up to ⌊(n−k)/2⌋ symbols), `DetectOnly` behaves
+//! like the paper's DSD configuration (Dvé relinquishes local correction
+//! and any non-zero syndrome routes the request to the replica).
+
+use crate::code::{CheckOutcome, CorrectionCode, DetectionCode};
+use crate::gf::Gf256;
+
+/// How a Reed–Solomon code reacts to a non-zero syndrome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodePolicy {
+    /// Attempt in-place correction up to the code's capability
+    /// (Chipkill-style SSC with `n - k = 2`).
+    Correct,
+    /// Never correct locally: report any detected error as uncorrectable
+    /// so the caller recovers from the replica (Dvé+DSD).
+    DetectOnly,
+}
+
+/// A systematic Reed–Solomon code over GF(2^8).
+///
+/// # Example
+///
+/// ```
+/// use dve_ecc::rs::{DecodePolicy, Rs};
+/// use dve_ecc::code::{CheckOutcome, CorrectionCode, DetectionCode};
+///
+/// // Chipkill-style RS(18,16): corrects any single-symbol (chip) error.
+/// let chipkill = Rs::new(18, 16, DecodePolicy::Correct);
+/// let data: Vec<u8> = (100..116).collect();
+/// let mut cw = chipkill.encode(&data);
+/// cw[7] ^= 0xFF; // whole-chip failure on symbol 7
+/// let outcome = chipkill.check_and_repair(&mut cw);
+/// assert_eq!(outcome, CheckOutcome::Corrected { symbols_fixed: 1 });
+/// assert_eq!(chipkill.extract_data(&cw), data);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rs {
+    n: usize,
+    k: usize,
+    policy: DecodePolicy,
+    generator: Vec<u8>,
+}
+
+impl Rs {
+    /// Creates an RS(n, k) code.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < n <= 255`.
+    pub fn new(n: usize, k: usize, policy: DecodePolicy) -> Rs {
+        assert!(
+            k > 0 && k < n && n <= 255,
+            "invalid RS parameters n={n} k={k}"
+        );
+        Rs {
+            n,
+            k,
+            policy,
+            generator: Self::generator_poly(n - k),
+        }
+    }
+
+    /// The paper's Chipkill configuration: RS(18,16) with correction.
+    pub fn chipkill() -> Rs {
+        Rs::new(18, 16, DecodePolicy::Correct)
+    }
+
+    /// The paper's DSD configuration: RS(18,16) detect-only (Dvé+DSD).
+    pub fn dsd() -> Rs {
+        Rs::new(18, 16, DecodePolicy::DetectOnly)
+    }
+
+    /// Number of parity symbols `n - k`.
+    pub fn parity_len(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// The decode policy in effect.
+    pub fn policy(&self) -> DecodePolicy {
+        self.policy
+    }
+
+    /// g(x) = Π_{i=0}^{nsym-1} (x − α^i), coefficients highest-degree
+    /// first.
+    fn generator_poly(nsym: usize) -> Vec<u8> {
+        let mut g = vec![1u8];
+        for i in 0..nsym {
+            // Multiply g by (x - alpha^i) == (x + alpha^i) in GF(2^m).
+            let root = Gf256::alpha_pow(i as u32);
+            let mut next = vec![0u8; g.len() + 1];
+            for (j, &c) in g.iter().enumerate() {
+                next[j] ^= c; // times x
+                next[j + 1] ^= Gf256::mul(c, root);
+            }
+            g = next;
+        }
+        g
+    }
+
+    /// Syndromes S_i = C(α^i) for i in 0..nsym.
+    fn syndromes(&self, codeword: &[u8]) -> Vec<u8> {
+        let nsym = self.parity_len();
+        let mut s = vec![0u8; nsym];
+        for (i, syn) in s.iter_mut().enumerate() {
+            let x = Gf256::alpha_pow(i as u32);
+            let mut acc = 0u8;
+            for &c in codeword {
+                acc = Gf256::add(Gf256::mul(acc, x), c);
+            }
+            *syn = acc;
+        }
+        s
+    }
+
+    /// Berlekamp–Massey: error locator polynomial from syndromes
+    /// (coefficients lowest-degree first, sigma[0] == 1).
+    fn berlekamp_massey(syndromes: &[u8]) -> Vec<u8> {
+        let mut sigma = vec![1u8];
+        let mut prev = vec![1u8];
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut b = 1u8;
+        for n in 0..syndromes.len() {
+            // Discrepancy d = S_n + sum sigma[i] * S_{n-i}.
+            let mut d = syndromes[n];
+            for i in 1..=l {
+                if i < sigma.len() {
+                    d ^= Gf256::mul(sigma[i], syndromes[n - i]);
+                }
+            }
+            if d == 0 {
+                m += 1;
+            } else if 2 * l <= n {
+                let temp = sigma.clone();
+                let coef = Gf256::div(d, b);
+                // sigma = sigma - coef * x^m * prev
+                let shift = m;
+                if sigma.len() < prev.len() + shift {
+                    sigma.resize(prev.len() + shift, 0);
+                }
+                for (i, &p) in prev.iter().enumerate() {
+                    sigma[i + shift] ^= Gf256::mul(coef, p);
+                }
+                l = n + 1 - l;
+                prev = temp;
+                b = d;
+                m = 1;
+            } else {
+                let coef = Gf256::div(d, b);
+                let shift = m;
+                if sigma.len() < prev.len() + shift {
+                    sigma.resize(prev.len() + shift, 0);
+                }
+                for (i, &p) in prev.iter().enumerate() {
+                    sigma[i + shift] ^= Gf256::mul(coef, p);
+                }
+                m += 1;
+            }
+        }
+        // Trim trailing zeros.
+        while sigma.len() > 1 && *sigma.last().unwrap() == 0 {
+            sigma.pop();
+        }
+        sigma
+    }
+
+    /// Chien search: positions (as codeword indices from the left) where
+    /// the locator evaluates to zero. Codeword index `j` (0 = leftmost,
+    /// highest power) corresponds to location value α^(n-1-j).
+    fn chien_search(&self, sigma: &[u8]) -> Vec<usize> {
+        let mut positions = Vec::new();
+        for j in 0..self.n {
+            let loc_pow = (self.n - 1 - j) as u32;
+            // Evaluate sigma at X = alpha^{-loc_pow}.
+            let x_inv = Gf256::alpha_pow((255 - loc_pow % 255) % 255);
+            let mut acc = 0u8;
+            // sigma lowest-degree first.
+            for (i, &c) in sigma.iter().enumerate() {
+                acc ^= Gf256::mul(c, Gf256::pow(x_inv, i as u32));
+            }
+            if acc == 0 {
+                positions.push(j);
+            }
+        }
+        positions
+    }
+
+    /// Forney's algorithm: error magnitudes at the found positions.
+    fn forney(&self, syndromes: &[u8], sigma: &[u8], positions: &[usize]) -> Vec<u8> {
+        // Error evaluator omega(x) = [S(x) * sigma(x)] mod x^nsym,
+        // with S(x) = sum S_i x^i (lowest-degree first).
+        let nsym = self.parity_len();
+        let mut omega = vec![0u8; nsym];
+        for (i, o) in omega.iter_mut().enumerate() {
+            let mut acc = 0u8;
+            for j in 0..=i {
+                if j < sigma.len() && (i - j) < syndromes.len() {
+                    acc ^= Gf256::mul(sigma[j], syndromes[i - j]);
+                }
+            }
+            *o = acc;
+        }
+        // Formal derivative of sigma: sigma'(x) keeps odd-power terms.
+        let mut magnitudes = Vec::with_capacity(positions.len());
+        for &j in positions {
+            let loc_pow = (self.n - 1 - j) as u32;
+            let x_inv = Gf256::alpha_pow((255 - loc_pow % 255) % 255);
+            // omega(x_inv)
+            let mut num = 0u8;
+            for (i, &c) in omega.iter().enumerate() {
+                num ^= Gf256::mul(c, Gf256::pow(x_inv, i as u32));
+            }
+            // sigma'(x_inv): derivative in char 2 keeps terms with odd i,
+            // contributing i * c * x^{i-1} = c * x^{i-1}.
+            let mut den = 0u8;
+            let mut i = 1;
+            while i < sigma.len() {
+                den ^= Gf256::mul(sigma[i], Gf256::pow(x_inv, (i - 1) as u32));
+                i += 2;
+            }
+            if den == 0 {
+                // Degenerate: signal failure with zero magnitude; caller
+                // treats as uncorrectable.
+                magnitudes.push(0);
+            } else {
+                // e_j = X_j^{1} * omega(X_j^{-1}) / sigma'(X_j^{-1}) with
+                // fcr = 0 => multiply by X_j^{1-fcr} = X_j.
+                let x = Gf256::alpha_pow(loc_pow % 255);
+                magnitudes.push(Gf256::mul(x, Gf256::div(num, den)));
+            }
+        }
+        magnitudes
+    }
+
+    fn decode_internal(&self, codeword: &mut [u8], repair: bool) -> CheckOutcome {
+        assert_eq!(codeword.len(), self.n, "codeword length mismatch");
+        let syn = self.syndromes(codeword);
+        let weight = syn.iter().filter(|&&s| s != 0).count();
+        if weight == 0 {
+            return CheckOutcome::NoError;
+        }
+        if !repair || self.policy == DecodePolicy::DetectOnly {
+            return CheckOutcome::DetectedUncorrectable {
+                syndrome_weight: weight,
+            };
+        }
+        let sigma = Self::berlekamp_massey(&syn);
+        let num_errors = sigma.len() - 1;
+        if num_errors == 0 || num_errors > self.parity_len() / 2 {
+            return CheckOutcome::DetectedUncorrectable {
+                syndrome_weight: weight,
+            };
+        }
+        let positions = self.chien_search(&sigma);
+        if positions.len() != num_errors {
+            // Locator degree and root count disagree: uncorrectable.
+            return CheckOutcome::DetectedUncorrectable {
+                syndrome_weight: weight,
+            };
+        }
+        let magnitudes = self.forney(&syn, &sigma, &positions);
+        if magnitudes.contains(&0) {
+            return CheckOutcome::DetectedUncorrectable {
+                syndrome_weight: weight,
+            };
+        }
+        for (&pos, &mag) in positions.iter().zip(&magnitudes) {
+            codeword[pos] ^= mag;
+        }
+        // Verify the repair really zeroed the syndromes.
+        if self.syndromes(codeword).iter().any(|&s| s != 0) {
+            return CheckOutcome::DetectedUncorrectable {
+                syndrome_weight: weight,
+            };
+        }
+        CheckOutcome::Corrected {
+            symbols_fixed: positions.len(),
+        }
+    }
+}
+
+impl DetectionCode for Rs {
+    fn data_len(&self) -> usize {
+        self.k
+    }
+
+    fn codeword_len(&self) -> usize {
+        self.n
+    }
+
+    fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), self.k, "dataword length mismatch");
+        // Systematic encoding: remainder of data * x^(n-k) by g(x).
+        let nsym = self.parity_len();
+        let mut remainder = vec![0u8; nsym];
+        for &d in data {
+            let coef = d ^ remainder[0];
+            remainder.rotate_left(1);
+            remainder[nsym - 1] = 0;
+            if coef != 0 {
+                for (i, r) in remainder.iter_mut().enumerate() {
+                    // generator[0] == 1 (monic); skip it.
+                    *r ^= Gf256::mul(self.generator[i + 1], coef);
+                }
+            }
+        }
+        let mut cw = Vec::with_capacity(self.n);
+        cw.extend_from_slice(data);
+        cw.extend_from_slice(&remainder);
+        cw
+    }
+
+    fn check(&self, codeword: &[u8]) -> CheckOutcome {
+        assert_eq!(codeword.len(), self.n, "codeword length mismatch");
+        let syn = self.syndromes(codeword);
+        let weight = syn.iter().filter(|&&s| s != 0).count();
+        if weight == 0 {
+            CheckOutcome::NoError
+        } else {
+            CheckOutcome::DetectedUncorrectable {
+                syndrome_weight: weight,
+            }
+        }
+    }
+}
+
+impl CorrectionCode for Rs {
+    fn check_and_repair(&self, codeword: &mut [u8]) -> CheckOutcome {
+        self.decode_internal(codeword, true)
+    }
+
+    fn correctable_symbols(&self) -> usize {
+        match self.policy {
+            DecodePolicy::Correct => self.parity_len() / 2,
+            DecodePolicy::DetectOnly => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(k: usize) -> Vec<u8> {
+        (0..k as u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect()
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let rs = Rs::chipkill();
+        let d = data(16);
+        let cw = rs.encode(&d);
+        assert_eq!(cw.len(), 18);
+        assert_eq!(&cw[..16], d.as_slice());
+    }
+
+    #[test]
+    fn clean_codeword_checks_clean() {
+        let rs = Rs::chipkill();
+        let cw = rs.encode(&data(16));
+        assert_eq!(rs.check(&cw), CheckOutcome::NoError);
+    }
+
+    #[test]
+    fn corrects_single_symbol_any_position() {
+        let rs = Rs::chipkill();
+        let d = data(16);
+        for pos in 0..18 {
+            for pattern in [0x01u8, 0xFF, 0xA5] {
+                let mut cw = rs.encode(&d);
+                cw[pos] ^= pattern;
+                let outcome = rs.check_and_repair(&mut cw);
+                assert_eq!(
+                    outcome,
+                    CheckOutcome::Corrected { symbols_fixed: 1 },
+                    "pos={pos} pattern={pattern:#x}"
+                );
+                assert_eq!(rs.extract_data(&cw), d);
+            }
+        }
+    }
+
+    #[test]
+    fn two_symbol_errors_flagged_uncorrectable_by_rs18_16() {
+        let rs = Rs::chipkill();
+        let d = data(16);
+        let mut cw = rs.encode(&d);
+        cw[2] ^= 0x55;
+        cw[9] ^= 0x7C;
+        let outcome = rs.check_and_repair(&mut cw);
+        assert!(
+            matches!(outcome, CheckOutcome::DetectedUncorrectable { .. }),
+            "got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn detect_only_policy_never_repairs() {
+        let rs = Rs::dsd();
+        let d = data(16);
+        let mut cw = rs.encode(&d);
+        cw[0] ^= 0x01;
+        let before = cw.clone();
+        let outcome = rs.check_and_repair(&mut cw);
+        assert!(matches!(
+            outcome,
+            CheckOutcome::DetectedUncorrectable { .. }
+        ));
+        assert_eq!(cw, before, "detect-only must not mutate the codeword");
+        assert_eq!(rs.correctable_symbols(), 0);
+    }
+
+    #[test]
+    fn stronger_code_corrects_two_errors() {
+        // RS(20,16): 4 parity symbols -> corrects 2.
+        let rs = Rs::new(20, 16, DecodePolicy::Correct);
+        let d = data(16);
+        let mut cw = rs.encode(&d);
+        cw[3] ^= 0xDE;
+        cw[17] ^= 0xAD;
+        let outcome = rs.check_and_repair(&mut cw);
+        assert_eq!(outcome, CheckOutcome::Corrected { symbols_fixed: 2 });
+        assert_eq!(rs.extract_data(&cw), d);
+        assert_eq!(rs.correctable_symbols(), 2);
+    }
+
+    #[test]
+    fn three_errors_beyond_capability_of_rs20_16() {
+        let rs = Rs::new(20, 16, DecodePolicy::Correct);
+        let d = data(16);
+        let mut cw = rs.encode(&d);
+        cw[0] ^= 0x11;
+        cw[7] ^= 0x22;
+        cw[15] ^= 0x33;
+        // Beyond capability: must *not* report Corrected with wrong data.
+        let mut copy = cw.clone();
+        let outcome = rs.check_and_repair(&mut copy);
+        if let CheckOutcome::Corrected { .. } = outcome {
+            // Miscorrection is theoretically possible for >t errors; but
+            // then the result must at least be a valid codeword.
+            assert_eq!(rs.check(&copy), CheckOutcome::NoError);
+        }
+    }
+
+    #[test]
+    fn overhead_matches_paper_numbers() {
+        // RS(18,16): 2/16 = 12.5% ECC overhead.
+        let rs = Rs::chipkill();
+        assert!((rs.overhead() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parity_len_accessor() {
+        assert_eq!(Rs::chipkill().parity_len(), 2);
+        assert_eq!(Rs::new(24, 16, DecodePolicy::Correct).parity_len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RS parameters")]
+    fn rejects_bad_parameters() {
+        Rs::new(16, 16, DecodePolicy::Correct);
+    }
+
+    #[test]
+    #[should_panic(expected = "dataword length mismatch")]
+    fn rejects_wrong_data_len() {
+        Rs::chipkill().encode(&[0u8; 15]);
+    }
+
+    #[test]
+    fn burst_within_one_symbol_is_single_symbol_error() {
+        // Chipkill's point: all bits of one chip map to one symbol.
+        let rs = Rs::chipkill();
+        let d = data(16);
+        let mut cw = rs.encode(&d);
+        cw[5] = !cw[5]; // all 8 bits of the symbol flip
+        assert_eq!(
+            rs.check_and_repair(&mut cw),
+            CheckOutcome::Corrected { symbols_fixed: 1 }
+        );
+        assert_eq!(rs.extract_data(&cw), d);
+    }
+}

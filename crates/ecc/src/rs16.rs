@@ -1,0 +1,271 @@
+//! Detection-only Reed–Solomon over GF(2^16) — the paper's TSD code.
+//!
+//! §IV of the paper equips Dvé with a *Triple Symbol Detect* (TSD) code,
+//! "provided using 16-bit Reed–Solomon code as in Multi-ECC", using the
+//! check-symbol budget freed by relinquishing local correction. With 3
+//! check symbols over GF(2^16) the code has minimum distance 4 and
+//! guarantees detection of any 3 symbol errors; random larger errors
+//! escape with probability ≈ 2^-48.
+//!
+//! The codeword is byte-oriented at the API boundary (to match
+//! [`DetectionCode`]): data bytes are packed into big-endian 16-bit
+//! symbols, and the 3 parity symbols are appended as 6 bytes.
+
+use crate::code::{CheckOutcome, DetectionCode};
+use crate::gf::Gf16;
+
+/// A detection-only RS code over GF(2^16) with a configurable number of
+/// check symbols (3 for the paper's TSD).
+///
+/// # Example
+///
+/// ```
+/// use dve_ecc::rs16::Rs16Detect;
+/// use dve_ecc::code::{CheckOutcome, DetectionCode};
+///
+/// let tsd = Rs16Detect::tsd(64); // 64-byte cache line + 3×16-bit checks
+/// let data = vec![0x5A; 64];
+/// let mut cw = tsd.encode(&data);
+/// cw[10] ^= 0x01;
+/// cw[20] ^= 0x80;
+/// cw[30] ^= 0xFF; // three independent symbol errors
+/// assert!(matches!(cw.len(), 70));
+/// assert!(!tsd.check(&cw).is_good());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rs16Detect {
+    data_bytes: usize,
+    check_symbols: usize,
+}
+
+impl Rs16Detect {
+    /// Creates a detection code over `data_bytes` of data with
+    /// `check_symbols` 16-bit check symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bytes` is zero or odd, if `check_symbols` is zero,
+    /// or if the total symbol count exceeds the field bound (65535).
+    pub fn new(data_bytes: usize, check_symbols: usize) -> Rs16Detect {
+        assert!(
+            data_bytes > 0 && data_bytes.is_multiple_of(2),
+            "data must be a whole number of 16-bit symbols"
+        );
+        assert!(check_symbols > 0, "need at least one check symbol");
+        assert!(
+            data_bytes / 2 + check_symbols <= 65535,
+            "codeword exceeds GF(2^16) length bound"
+        );
+        Rs16Detect {
+            data_bytes,
+            check_symbols,
+        }
+    }
+
+    /// The paper's TSD configuration: 3 check symbols (triple symbol
+    /// detect) over a `data_bytes` payload.
+    pub fn tsd(data_bytes: usize) -> Rs16Detect {
+        Rs16Detect::new(data_bytes, 3)
+    }
+
+    /// Number of 16-bit check symbols.
+    pub fn check_symbols(&self) -> usize {
+        self.check_symbols
+    }
+
+    /// Guaranteed symbol-error detection capability (= check symbols).
+    pub fn detectable_symbols(&self) -> usize {
+        self.check_symbols
+    }
+
+    fn to_symbols(&self, bytes: &[u8]) -> Vec<u16> {
+        bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_be_bytes([c[0], c[1]]))
+            .collect()
+    }
+
+    /// g(x) = Π (x − α^i), i in 0..check_symbols, highest degree first.
+    fn generator(&self) -> Vec<u16> {
+        let mut g = vec![1u16];
+        for i in 0..self.check_symbols {
+            let root = Gf16::alpha_pow(i as u32);
+            let mut next = vec![0u16; g.len() + 1];
+            for (j, &c) in g.iter().enumerate() {
+                next[j] ^= c;
+                next[j + 1] ^= Gf16::mul(c, root);
+            }
+            g = next;
+        }
+        g
+    }
+
+    fn parity(&self, data_syms: &[u16]) -> Vec<u16> {
+        let g = self.generator();
+        let nsym = self.check_symbols;
+        let mut rem = vec![0u16; nsym];
+        for &d in data_syms {
+            let coef = d ^ rem[0];
+            rem.rotate_left(1);
+            rem[nsym - 1] = 0;
+            if coef != 0 {
+                for (i, r) in rem.iter_mut().enumerate() {
+                    *r ^= Gf16::mul(g[i + 1], coef);
+                }
+            }
+        }
+        rem
+    }
+
+    fn syndrome_weight(&self, codeword: &[u8]) -> usize {
+        let syms = self.to_symbols(codeword);
+        let mut weight = 0;
+        for i in 0..self.check_symbols {
+            let x = Gf16::alpha_pow(i as u32);
+            let mut acc = 0u16;
+            for &c in &syms {
+                acc = Gf16::add(Gf16::mul(acc, x), c);
+            }
+            if acc != 0 {
+                weight += 1;
+            }
+        }
+        weight
+    }
+}
+
+impl DetectionCode for Rs16Detect {
+    fn data_len(&self) -> usize {
+        self.data_bytes
+    }
+
+    fn codeword_len(&self) -> usize {
+        self.data_bytes + 2 * self.check_symbols
+    }
+
+    fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), self.data_bytes, "dataword length mismatch");
+        let syms = self.to_symbols(data);
+        let parity = self.parity(&syms);
+        let mut cw = Vec::with_capacity(self.codeword_len());
+        cw.extend_from_slice(data);
+        for p in parity {
+            cw.extend_from_slice(&p.to_be_bytes());
+        }
+        cw
+    }
+
+    fn check(&self, codeword: &[u8]) -> CheckOutcome {
+        assert_eq!(
+            codeword.len(),
+            self.codeword_len(),
+            "codeword length mismatch"
+        );
+        let weight = self.syndrome_weight(codeword);
+        if weight == 0 {
+            CheckOutcome::NoError
+        } else {
+            CheckOutcome::DetectedUncorrectable {
+                syndrome_weight: weight,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> Vec<u8> {
+        (0..64u8)
+            .map(|i| i.wrapping_mul(73).wrapping_add(5))
+            .collect()
+    }
+
+    #[test]
+    fn clean_line_passes() {
+        let tsd = Rs16Detect::tsd(64);
+        let cw = tsd.encode(&line());
+        assert_eq!(cw.len(), 70);
+        assert_eq!(tsd.check(&cw), CheckOutcome::NoError);
+        assert_eq!(tsd.extract_data(&cw), line());
+    }
+
+    #[test]
+    fn detects_any_single_bit_flip() {
+        let tsd = Rs16Detect::tsd(64);
+        let cw = tsd.encode(&line());
+        for byte in 0..cw.len() {
+            for bit in 0..8 {
+                let mut bad = cw.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(!tsd.check(&bad).is_good(), "byte {byte} bit {bit} escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_three_symbol_errors_exhaustive_sample() {
+        let tsd = Rs16Detect::tsd(16); // small payload keeps this cheap
+        let data: Vec<u8> = (0..16).collect();
+        let cw = tsd.encode(&data);
+        let nsyms = cw.len() / 2;
+        // All 3-symbol position combinations with a fixed error pattern.
+        for a in 0..nsyms {
+            for b in (a + 1)..nsyms {
+                for c in (b + 1)..nsyms {
+                    let mut bad = cw.clone();
+                    bad[2 * a] ^= 0x13;
+                    bad[2 * b + 1] ^= 0x77;
+                    bad[2 * c] ^= 0xE1;
+                    assert!(!tsd.check(&bad).is_good(), "positions {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_symbol_random_errors_rarely_but_possibly_escape() {
+        // With 3 16-bit checks, escape probability is ~2^-48: none of
+        // these 2000 random 4-symbol corruptions should pass.
+        let tsd = Rs16Detect::tsd(64);
+        let cw = tsd.encode(&line());
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2000 {
+            let mut bad = cw.clone();
+            let mut positions = std::collections::HashSet::new();
+            while positions.len() < 4 {
+                positions.insert((next() % (bad.len() as u64 / 2)) as usize);
+            }
+            for p in positions {
+                let e = (next() & 0xFFFF) as u16;
+                let e = if e == 0 { 1 } else { e };
+                let cur = u16::from_be_bytes([bad[2 * p], bad[2 * p + 1]]) ^ e;
+                bad[2 * p..2 * p + 2].copy_from_slice(&cur.to_be_bytes());
+            }
+            assert!(!tsd.check(&bad).is_good());
+        }
+    }
+
+    #[test]
+    fn overhead_is_lower_than_chipkill_for_cache_line() {
+        // 6 bytes over 64 = 9.4% < chipkill's 12.5% — this is the "extra
+        // code space" argument of §III.
+        let tsd = Rs16Detect::tsd(64);
+        assert!(tsd.overhead() < 0.125);
+        assert_eq!(tsd.detectable_symbols(), 3);
+        assert_eq!(tsd.check_symbols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of 16-bit symbols")]
+    fn odd_payload_rejected() {
+        Rs16Detect::tsd(63);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the error-control codes.
+
+use dve_ecc::code::{CheckOutcome, CorrectionCode, DetectionCode};
+use dve_ecc::crc::{Crc16Ccitt, Crc32, Crc8Atm};
+use dve_ecc::gf::{Gf16, Gf256};
+use dve_ecc::hamming::SecDed;
+use dve_ecc::rs::{DecodePolicy, Rs};
+use dve_ecc::rs16::Rs16Detect;
+use proptest::prelude::*;
+
+proptest! {
+    // ---- Galois fields ------------------------------------------------
+
+    #[test]
+    fn gf256_field_axioms(a in 0u8.., b in 0u8.., c in 0u8..) {
+        prop_assert_eq!(Gf256::mul(a, b), Gf256::mul(b, a));
+        prop_assert_eq!(
+            Gf256::mul(Gf256::mul(a, b), c),
+            Gf256::mul(a, Gf256::mul(b, c))
+        );
+        prop_assert_eq!(
+            Gf256::mul(a, Gf256::add(b, c)),
+            Gf256::add(Gf256::mul(a, b), Gf256::mul(a, c))
+        );
+    }
+
+    #[test]
+    fn gf256_division_inverts_multiplication(a in 0u8.., b in 1u8..) {
+        prop_assert_eq!(Gf256::div(Gf256::mul(a, b), b), a);
+    }
+
+    #[test]
+    fn gf16_field_axioms(a in 0u16.., b in 0u16.., c in 0u16..) {
+        prop_assert_eq!(Gf16::mul(a, b), Gf16::mul(b, a));
+        prop_assert_eq!(Gf16::mul(Gf16::mul(a, b), c), Gf16::mul(a, Gf16::mul(b, c)));
+        prop_assert_eq!(
+            Gf16::mul(a, Gf16::add(b, c)),
+            Gf16::add(Gf16::mul(a, b), Gf16::mul(a, c))
+        );
+    }
+
+    #[test]
+    fn gf16_inverse(a in 1u16..) {
+        prop_assert_eq!(Gf16::mul(a, Gf16::inv(a)), 1);
+    }
+
+    // ---- Reed–Solomon -------------------------------------------------
+
+    #[test]
+    fn rs_clean_roundtrip(data in proptest::collection::vec(any::<u8>(), 16)) {
+        let rs = Rs::chipkill();
+        let cw = rs.encode(&data);
+        prop_assert_eq!(rs.check(&cw), CheckOutcome::NoError);
+        prop_assert_eq!(rs.extract_data(&cw), data);
+    }
+
+    #[test]
+    fn rs_corrects_any_single_symbol(
+        data in proptest::collection::vec(any::<u8>(), 16),
+        pos in 0usize..18,
+        err in 1u8..,
+    ) {
+        let rs = Rs::chipkill();
+        let mut cw = rs.encode(&data);
+        cw[pos] ^= err;
+        let outcome = rs.check_and_repair(&mut cw);
+        prop_assert_eq!(outcome, CheckOutcome::Corrected { symbols_fixed: 1 });
+        prop_assert_eq!(rs.extract_data(&cw), data);
+    }
+
+    #[test]
+    fn rs_detect_only_never_mutates(
+        data in proptest::collection::vec(any::<u8>(), 16),
+        pos in 0usize..18,
+        err in 1u8..,
+    ) {
+        let rs = Rs::dsd();
+        let mut cw = rs.encode(&data);
+        cw[pos] ^= err;
+        let before = cw.clone();
+        let outcome = rs.check_and_repair(&mut cw);
+        let detected = matches!(outcome, CheckOutcome::DetectedUncorrectable { .. });
+        prop_assert!(detected);
+        prop_assert_eq!(cw, before);
+    }
+
+    #[test]
+    fn rs_t2_corrects_any_double_symbol(
+        data in proptest::collection::vec(any::<u8>(), 16),
+        p1 in 0usize..20,
+        p2 in 0usize..20,
+        e1 in 1u8..,
+        e2 in 1u8..,
+    ) {
+        prop_assume!(p1 != p2);
+        let rs = Rs::new(20, 16, DecodePolicy::Correct);
+        let mut cw = rs.encode(&data);
+        cw[p1] ^= e1;
+        cw[p2] ^= e2;
+        let outcome = rs.check_and_repair(&mut cw);
+        prop_assert_eq!(outcome, CheckOutcome::Corrected { symbols_fixed: 2 });
+        prop_assert_eq!(rs.extract_data(&cw), data);
+    }
+
+    #[test]
+    fn tsd_detects_up_to_three_symbols(
+        data in proptest::collection::vec(any::<u8>(), 64),
+        positions in proptest::collection::btree_set(0usize..35, 1..=3),
+        err in 1u16..,
+    ) {
+        let tsd = Rs16Detect::tsd(64);
+        let cw = tsd.encode(&data);
+        let mut bad = cw.clone();
+        for &p in &positions {
+            let cur = u16::from_be_bytes([bad[2 * p], bad[2 * p + 1]]) ^ err;
+            bad[2 * p..2 * p + 2].copy_from_slice(&cur.to_be_bytes());
+        }
+        prop_assert!(!tsd.check(&bad).is_good());
+    }
+
+    // ---- SEC-DED ------------------------------------------------------
+
+    #[test]
+    fn secded_corrects_single_bits(word in any::<[u8; 8]>(), bit in 0usize..72) {
+        let code = SecDed::new();
+        let mut cw = code.encode(&word);
+        cw[bit / 8] ^= 1 << (bit % 8);
+        let outcome = code.check_and_repair(&mut cw);
+        prop_assert_eq!(outcome, CheckOutcome::Corrected { symbols_fixed: 1 });
+        prop_assert_eq!(code.extract_data(&cw), word.to_vec());
+    }
+
+    #[test]
+    fn secded_detects_double_bits(word in any::<[u8; 8]>(), a in 0usize..72, b in 0usize..72) {
+        prop_assume!(a != b);
+        let code = SecDed::new();
+        let mut cw = code.encode(&word);
+        cw[a / 8] ^= 1 << (a % 8);
+        cw[b / 8] ^= 1 << (b % 8);
+        let detected =
+            matches!(code.check(&cw), CheckOutcome::DetectedUncorrectable { .. });
+        prop_assert!(detected);
+    }
+
+    // ---- CRC ------------------------------------------------------------
+
+    #[test]
+    fn crc_detects_any_single_bit_flip(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        bit in any::<usize>(),
+    ) {
+        let bit = bit % (data.len() * 8);
+        let c8 = Crc8Atm::checksum(&data);
+        let c16 = Crc16Ccitt::checksum(&data);
+        let c32 = Crc32::checksum(&data);
+        let mut bad = data.clone();
+        bad[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(!Crc8Atm::verify(&bad, c8));
+        prop_assert!(!Crc16Ccitt::verify(&bad, c16));
+        prop_assert!(!Crc32::verify(&bad, c32));
+    }
+}

@@ -1,0 +1,30 @@
+//! # dve-noc — on-chip mesh and inter-socket interconnect
+//!
+//! Models the two interconnect levels of the paper's Table II system:
+//!
+//! * [`mesh`] — the intra-socket 2×4 mesh with table-based static
+//!   shortest-path (SSSP) routing at 1 cycle per hop.
+//! * [`link`] — the inter-socket point-to-point QPI/UPI-like link with a
+//!   fixed 50 ns (configurable 30–60 ns, Fig. 10) per-hop latency, plus
+//!   serialization/occupancy so bandwidth contention is visible.
+//! * [`traffic`] — message-class accounting; Fig. 8's headline metric is
+//!   the *inter-socket traffic* reduction Dvé achieves by serving reads
+//!   from the local replica.
+//!
+//! # Example
+//!
+//! ```
+//! use dve_noc::mesh::Mesh;
+//!
+//! let mesh = Mesh::new(4, 2); // the paper's 2×4 mesh
+//! assert_eq!(mesh.hops(0, 7), 4); // corner to corner: 3 + 1
+//! assert_eq!(mesh.latency_cycles(0, 7), 4); // 1 cycle per hop
+//! ```
+
+pub mod link;
+pub mod mesh;
+pub mod traffic;
+
+pub use link::InterSocketLink;
+pub use mesh::Mesh;
+pub use traffic::{MessageClass, TrafficStats};

@@ -1,0 +1,175 @@
+//! The inter-socket point-to-point link (QPI/UPI-like).
+//!
+//! §VI: "We use an inter-socket latency of 50ns per hop", with a
+//! sensitivity sweep from 30 ns (Fig. 10, NUMA-optimized) to 60 ns
+//! (CCIX/OpenCAPI/Gen-Z-class long-range links). The link also models
+//! serialization bandwidth so heavy coherence traffic queues.
+
+use dve_sim::time::{Cycles, Frequency, Nanos};
+
+/// A full-duplex point-to-point link between two sockets.
+///
+/// Each message pays the propagation latency plus a serialization delay
+/// of `bytes / bytes_per_cycle` cycles. The link is modeled as a
+/// pipelined, non-blocking pipe: at the traffic levels any of the
+/// paper's workloads generate (worst case ≈ 1.5 GB/s against a
+/// 48 GB/s-per-direction QPI-class link, <3% utilization) a queueing
+/// model would add nothing but noise, so only latency, serialization and
+/// traffic accounting are modeled.
+///
+/// # Example
+///
+/// ```
+/// use dve_noc::link::InterSocketLink;
+/// use dve_sim::time::{Cycles, Frequency, Nanos};
+///
+/// let mut link = InterSocketLink::new(Nanos(50), Frequency::ghz(3.0), 16);
+/// let done = link.transfer(0, 1, Cycles(0), 64);
+/// assert_eq!(done.raw(), 150 + 4); // 50 ns propagation + 64B/16Bpc
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterSocketLink {
+    latency: Cycles,
+    bytes_per_cycle: u64,
+    messages: [u64; 2],
+    bytes: [u64; 2],
+}
+
+impl InterSocketLink {
+    /// Creates a link with propagation latency `latency` (converted at
+    /// `clock`) and serialization bandwidth `bytes_per_cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is zero.
+    pub fn new(latency: Nanos, clock: Frequency, bytes_per_cycle: u64) -> InterSocketLink {
+        assert!(bytes_per_cycle > 0, "bandwidth must be non-zero");
+        InterSocketLink {
+            latency: clock.cycles_for(latency),
+            bytes_per_cycle,
+            messages: [0; 2],
+            bytes: [0; 2],
+        }
+    }
+
+    /// The paper's default: 50 ns at 3 GHz, 16 B/cycle.
+    pub fn default_qpi() -> InterSocketLink {
+        Self::new(Nanos(50), Frequency::ghz(3.0), 16)
+    }
+
+    /// One-way propagation latency in cycles.
+    pub fn latency(&self) -> Cycles {
+        self.latency
+    }
+
+    fn dir(from: usize, to: usize) -> usize {
+        assert!(
+            from < 2 && to < 2 && from != to,
+            "link endpoints are sockets 0 and 1"
+        );
+        from // direction index equals the source socket
+    }
+
+    /// Sends `bytes` from socket `from` to socket `to` at time `now`;
+    /// returns the arrival time (after serialization and propagation)
+    /// and records traffic.
+    pub fn transfer(&mut self, from: usize, to: usize, now: Cycles, bytes: u64) -> Cycles {
+        let d = Self::dir(from, to);
+        let serialize = Cycles(bytes.div_ceil(self.bytes_per_cycle));
+        self.messages[d] += 1;
+        self.bytes[d] += bytes;
+        now + serialize + self.latency
+    }
+
+    /// Arrival time a message *would* observe, without sending it or
+    /// recording traffic (for speculative-access latency estimates).
+    pub fn probe(&self, from: usize, to: usize, now: Cycles, bytes: u64) -> Cycles {
+        let _ = Self::dir(from, to);
+        let serialize = Cycles(bytes.div_ceil(self.bytes_per_cycle));
+        now + serialize + self.latency
+    }
+
+    /// Total messages sent in both directions.
+    pub fn total_messages(&self) -> u64 {
+        self.messages[0] + self.messages[1]
+    }
+
+    /// Total bytes sent in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes[0] + self.bytes[1]
+    }
+
+    /// Resets the traffic counters (not the occupancy).
+    pub fn reset_counters(&mut self) {
+        self.messages = [0; 2];
+        self.bytes = [0; 2];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> InterSocketLink {
+        InterSocketLink::new(Nanos(50), Frequency::ghz(3.0), 16)
+    }
+
+    #[test]
+    fn uncontended_latency() {
+        let mut l = link();
+        // 64-byte line: 4 cycles serialization + 150 cycles propagation.
+        assert_eq!(l.transfer(0, 1, Cycles(0), 64), Cycles(154));
+        // Small control message: 1 cycle + 150.
+        assert_eq!(l.transfer(1, 0, Cycles(0), 8), Cycles(151));
+    }
+
+    #[test]
+    fn pipelined_same_direction_messages_do_not_queue() {
+        let mut l = link();
+        let a = l.transfer(0, 1, Cycles(0), 64);
+        let b = l.transfer(0, 1, Cycles(0), 64);
+        assert_eq!(a, b, "pipelined link: identical send times arrive together");
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut l = link();
+        let a = l.transfer(0, 1, Cycles(0), 64);
+        let b = l.transfer(1, 0, Cycles(0), 64);
+        assert_eq!(a, b, "full duplex: no cross-direction interference");
+    }
+
+    #[test]
+    fn traffic_is_counted() {
+        let mut l = link();
+        l.transfer(0, 1, Cycles(0), 64);
+        l.transfer(1, 0, Cycles(0), 8);
+        assert_eq!(l.total_messages(), 2);
+        assert_eq!(l.total_bytes(), 72);
+        l.reset_counters();
+        assert_eq!(l.total_messages(), 0);
+    }
+
+    #[test]
+    fn probe_matches_transfer_without_side_effects() {
+        let mut l = link();
+        let predicted = l.probe(0, 1, Cycles(0), 64);
+        let actual = l.transfer(0, 1, Cycles(0), 64);
+        assert_eq!(predicted, actual);
+        assert_eq!(l.total_messages(), 1, "probe did not count");
+    }
+
+    #[test]
+    fn latency_sweep_matches_fig10_points() {
+        for (ns, cycles) in [(30u64, 90u64), (50, 150), (60, 180)] {
+            let l = InterSocketLink::new(Nanos(ns), Frequency::ghz(3.0), 16);
+            assert_eq!(l.latency().raw(), cycles);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sockets 0 and 1")]
+    fn self_transfer_rejected() {
+        link().transfer(0, 0, Cycles(0), 64);
+    }
+}

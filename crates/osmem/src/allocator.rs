@@ -1,0 +1,268 @@
+//! Two-node physical page allocator with balloon-style capacity carving.
+//!
+//! §V-D: the OS steals estimated-idle memory for replication ("balloon
+//! drivers ... can be used to create memory pressure"), pairs pages
+//! across NUMA nodes (never within one), and hot-plugs the capacity back
+//! into the free pool when the control plane disables replication. Dvé
+//! "only requires pairs of pages in different NUMA nodes and not a large
+//! contiguous address space", so the allocator is free-list based.
+
+use std::collections::BTreeSet;
+
+/// A replica page pair spanning the two sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagePair {
+    /// The primary (data) page frame number.
+    pub primary: u64,
+    /// Socket holding the primary page.
+    pub primary_socket: usize,
+    /// The replica page frame number.
+    pub replica: u64,
+    /// Socket holding the replica page.
+    pub replica_socket: usize,
+}
+
+/// Errors from the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// One of the sockets has no free pages left for replication.
+    OutOfMemory {
+        /// The exhausted socket.
+        socket: usize,
+    },
+    /// Allocation would push free memory below the pressure threshold
+    /// (the OS's guard against excessive swapping, §V-D).
+    PressureLimit,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory { socket } => {
+                write!(f, "socket {socket} has no free pages for replication")
+            }
+            AllocError::PressureLimit => write!(f, "allocation would exceed memory pressure limit"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The two-node replica page allocator.
+///
+/// Page frame numbers are socket-local; sockets are 0 and 1. Primary
+/// pages alternate sockets (interleave policy) and the replica always
+/// lands on the other socket.
+///
+/// # Example
+///
+/// ```
+/// use dve_osmem::allocator::ReplicaAllocator;
+///
+/// let mut a = ReplicaAllocator::new(64, 64);
+/// let p = a.allocate_pair().unwrap();
+/// assert_ne!(p.primary_socket, p.replica_socket);
+/// a.free_pair(p);
+/// assert_eq!(a.free_pages(0) + a.free_pages(1), 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicaAllocator {
+    free: [BTreeSet<u64>; 2],
+    total: [u64; 2],
+    /// Minimum fraction of each socket's pages that must stay free
+    /// (guard against swap storms). 0.0 disables the guard.
+    pressure_floor: f64,
+    next_primary_socket: usize,
+    live_pairs: usize,
+}
+
+impl ReplicaAllocator {
+    /// Creates an allocator with `pages0`/`pages1` free pages per socket.
+    pub fn new(pages0: u64, pages1: u64) -> ReplicaAllocator {
+        ReplicaAllocator {
+            free: [(0..pages0).collect(), (0..pages1).collect()],
+            total: [pages0, pages1],
+            pressure_floor: 0.0,
+            next_primary_socket: 0,
+            live_pairs: 0,
+        }
+    }
+
+    /// Sets the free-memory floor as a fraction of each socket's total.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `floor` is in `[0, 1)`.
+    pub fn set_pressure_floor(&mut self, floor: f64) {
+        assert!((0.0..1.0).contains(&floor), "floor must be in [0,1)");
+        self.pressure_floor = floor;
+    }
+
+    /// Free pages on a socket.
+    pub fn free_pages(&self, socket: usize) -> u64 {
+        self.free[socket].len() as u64
+    }
+
+    /// Live replica pairs.
+    pub fn live_pairs(&self) -> usize {
+        self.live_pairs
+    }
+
+    /// Utilization of a socket in [0, 1].
+    pub fn utilization(&self, socket: usize) -> f64 {
+        if self.total[socket] == 0 {
+            return 1.0;
+        }
+        1.0 - self.free[socket].len() as f64 / self.total[socket] as f64
+    }
+
+    fn floor_ok(&self, socket: usize) -> bool {
+        let after = self.free[socket].len() as f64 - 1.0;
+        after >= self.pressure_floor * self.total[socket] as f64
+    }
+
+    /// Allocates a replica pair: primary on the interleave-next socket,
+    /// replica on the other.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] when a socket is exhausted;
+    /// [`AllocError::PressureLimit`] when the free floor would be
+    /// violated.
+    pub fn allocate_pair(&mut self) -> Result<PagePair, AllocError> {
+        let ps = self.next_primary_socket;
+        let rs = 1 - ps;
+        for s in [ps, rs] {
+            if self.free[s].is_empty() {
+                return Err(AllocError::OutOfMemory { socket: s });
+            }
+            if !self.floor_ok(s) {
+                return Err(AllocError::PressureLimit);
+            }
+        }
+        let primary = *self.free[ps].iter().next().expect("checked non-empty");
+        self.free[ps].remove(&primary);
+        let replica = *self.free[rs].iter().next().expect("checked non-empty");
+        self.free[rs].remove(&replica);
+        self.next_primary_socket = rs;
+        self.live_pairs += 1;
+        Ok(PagePair {
+            primary,
+            primary_socket: ps,
+            replica,
+            replica_socket: rs,
+        })
+    }
+
+    /// Returns both pages of a pair to the free pools ("the memory
+    /// relinquished can be hot-plugged back to system visible capacity").
+    ///
+    /// # Panics
+    ///
+    /// Panics if either page is already free (double free).
+    pub fn free_pair(&mut self, pair: PagePair) {
+        assert!(
+            self.free[pair.primary_socket].insert(pair.primary),
+            "double free of primary page {}",
+            pair.primary
+        );
+        assert!(
+            self.free[pair.replica_socket].insert(pair.replica),
+            "double free of replica page {}",
+            pair.replica
+        );
+        self.live_pairs -= 1;
+    }
+
+    /// Carves `n` pages from each socket (balloon inflation) for future
+    /// replication use; returns how many were actually carved per socket.
+    pub fn balloon_inflate(&mut self, n: u64) -> [u64; 2] {
+        let mut carved = [0u64; 2];
+        for s in 0..2 {
+            for _ in 0..n {
+                if !self.floor_ok(s) || self.free[s].is_empty() {
+                    break;
+                }
+                let page = *self.free[s].iter().next_back().expect("non-empty");
+                self.free[s].remove(&page);
+                carved[s] += 1;
+            }
+        }
+        carved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_alternate_primary_socket() {
+        let mut a = ReplicaAllocator::new(16, 16);
+        let p1 = a.allocate_pair().unwrap();
+        let p2 = a.allocate_pair().unwrap();
+        assert_eq!(p1.primary_socket, 0);
+        assert_eq!(p2.primary_socket, 1);
+        assert_eq!(a.live_pairs(), 2);
+    }
+
+    #[test]
+    fn exhaustion_reports_socket() {
+        let mut a = ReplicaAllocator::new(2, 2);
+        a.allocate_pair().unwrap();
+        a.allocate_pair().unwrap();
+        assert!(matches!(
+            a.allocate_pair(),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn pressure_floor_blocks_allocation() {
+        let mut a = ReplicaAllocator::new(10, 10);
+        a.set_pressure_floor(0.85);
+        a.allocate_pair().unwrap(); // 9 free ≥ 8.5 floor
+        assert_eq!(a.allocate_pair(), Err(AllocError::PressureLimit));
+    }
+
+    #[test]
+    fn free_restores_capacity() {
+        let mut a = ReplicaAllocator::new(4, 4);
+        let p = a.allocate_pair().unwrap();
+        assert_eq!(a.free_pages(0), 3);
+        a.free_pair(p);
+        assert_eq!(a.free_pages(0), 4);
+        assert_eq!(a.free_pages(1), 4);
+        assert_eq!(a.live_pairs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_detected() {
+        let mut a = ReplicaAllocator::new(4, 4);
+        let p = a.allocate_pair().unwrap();
+        a.free_pair(p);
+        a.free_pair(p);
+    }
+
+    #[test]
+    fn utilization_tracks_allocation() {
+        let mut a = ReplicaAllocator::new(10, 10);
+        assert_eq!(a.utilization(0), 0.0);
+        for _ in 0..5 {
+            a.allocate_pair().unwrap();
+        }
+        // 5 pairs: each socket lost 5 pages.
+        assert!((a.utilization(0) - 0.5).abs() < 1e-12);
+        assert!((a.utilization(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balloon_respects_floor() {
+        let mut a = ReplicaAllocator::new(10, 10);
+        a.set_pressure_floor(0.5);
+        let carved = a.balloon_inflate(100);
+        assert_eq!(carved, [5, 5]);
+        assert_eq!(a.free_pages(0), 5);
+    }
+}

@@ -1,0 +1,264 @@
+//! A `malloc_replicated`-style allocation façade (§V-D).
+//!
+//! "A variant of the malloc/calloc call can be provided to request the
+//! OS to allocate a replicated physical memory" — so that a stateless
+//! application can place just its failure-resilient data segments on
+//! replicated pages. [`ReplicatedHeap`] sits on top of the
+//! [`ReplicaAllocator`] and the [`ReplicaMapTable`]: each allocation
+//! reserves whole replica page pairs, registers them in the RMT, and
+//! hands back a contiguous virtual range; `free` returns the pages and
+//! (optionally) retires the RMT entries.
+
+use crate::allocator::{AllocError, PagePair, ReplicaAllocator};
+use crate::rmt::ReplicaMapTable;
+use std::collections::HashMap;
+
+/// Page size used by the heap (4 KiB).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A replicated allocation handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Allocation {
+    /// Virtual base address of the range.
+    pub base: u64,
+    /// Length in bytes (rounded up to whole pages).
+    pub bytes: u64,
+}
+
+/// The replicated-memory heap for one process.
+///
+/// # Example
+///
+/// ```
+/// use dve_osmem::allocator::ReplicaAllocator;
+/// use dve_osmem::heap::ReplicatedHeap;
+/// use dve_osmem::rmt::{ReplicaMapTable, RmtOrganization};
+///
+/// let mut alloc = ReplicaAllocator::new(64, 64);
+/// let mut rmt = ReplicaMapTable::new(RmtOrganization::Linear);
+/// let mut heap = ReplicatedHeap::new(0x7f00_0000_0000);
+/// let a = heap.malloc_replicated(10_000, &mut alloc, &mut rmt).unwrap();
+/// assert_eq!(a.bytes, 3 * 4096); // rounded up to pages
+/// assert!(heap.is_replicated(a.base + 5000));
+/// heap.free(a, &mut alloc, &mut rmt).unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct ReplicatedHeap {
+    next_vaddr: u64,
+    /// Live allocations → their backing page pairs.
+    live: HashMap<u64, Vec<PagePair>>,
+    /// Virtual page → primary physical page (for address translation).
+    vmap: HashMap<u64, u64>,
+}
+
+/// Errors from the replicated heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// The underlying allocator could not supply pages.
+    Alloc(AllocError),
+    /// Freed an address that is not a live allocation base.
+    BadFree,
+    /// Zero-byte allocation requested.
+    ZeroSize,
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::Alloc(e) => write!(f, "replica allocation failed: {e}"),
+            HeapError::BadFree => write!(f, "free of an unknown allocation base"),
+            HeapError::ZeroSize => write!(f, "zero-byte allocation"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+impl ReplicatedHeap {
+    /// Creates a heap whose virtual ranges start at `base_vaddr`
+    /// (page-aligned).
+    pub fn new(base_vaddr: u64) -> ReplicatedHeap {
+        ReplicatedHeap {
+            next_vaddr: base_vaddr & !(PAGE_BYTES - 1),
+            live: HashMap::new(),
+            vmap: HashMap::new(),
+        }
+    }
+
+    /// Allocates `bytes` of replicated memory: whole page pairs from the
+    /// allocator, registered in the RMT.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::ZeroSize`] for empty requests;
+    /// [`HeapError::Alloc`] when capacity or the pressure floor blocks
+    /// the allocation (already-acquired pages are rolled back).
+    pub fn malloc_replicated(
+        &mut self,
+        bytes: u64,
+        alloc: &mut ReplicaAllocator,
+        rmt: &mut ReplicaMapTable,
+    ) -> Result<Allocation, HeapError> {
+        if bytes == 0 {
+            return Err(HeapError::ZeroSize);
+        }
+        let pages = bytes.div_ceil(PAGE_BYTES);
+        let mut pairs = Vec::with_capacity(pages as usize);
+        for _ in 0..pages {
+            match alloc.allocate_pair() {
+                Ok(p) => pairs.push(p),
+                Err(e) => {
+                    // Roll back partial acquisition.
+                    for p in pairs.drain(..) {
+                        alloc.free_pair(p);
+                    }
+                    return Err(HeapError::Alloc(e));
+                }
+            }
+        }
+        let base = self.next_vaddr;
+        self.next_vaddr += pages * PAGE_BYTES;
+        for (i, p) in pairs.iter().enumerate() {
+            // Physical page numbers are socket-local; qualify with the
+            // socket in the high bits so the RMT key is global.
+            let gp = global_page(p.primary_socket, p.primary);
+            let gr = global_page(p.replica_socket, p.replica);
+            rmt.map(gp, gr);
+            self.vmap.insert(base / PAGE_BYTES + i as u64, gp);
+        }
+        self.live.insert(base, pairs);
+        Ok(Allocation {
+            base,
+            bytes: pages * PAGE_BYTES,
+        })
+    }
+
+    /// Whether `vaddr` falls inside a live replicated allocation.
+    pub fn is_replicated(&self, vaddr: u64) -> bool {
+        self.vmap.contains_key(&(vaddr / PAGE_BYTES))
+    }
+
+    /// Translates a virtual address to its (global) primary physical
+    /// page, if replicated.
+    pub fn primary_page(&self, vaddr: u64) -> Option<u64> {
+        self.vmap.get(&(vaddr / PAGE_BYTES)).copied()
+    }
+
+    /// Frees an allocation: pages return to the allocator and the RMT
+    /// entries retire.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::BadFree`] if `a.base` is not a live allocation.
+    pub fn free(
+        &mut self,
+        a: Allocation,
+        alloc: &mut ReplicaAllocator,
+        rmt: &mut ReplicaMapTable,
+    ) -> Result<(), HeapError> {
+        let pairs = self.live.remove(&a.base).ok_or(HeapError::BadFree)?;
+        for (i, p) in pairs.iter().enumerate() {
+            rmt.unmap(global_page(p.primary_socket, p.primary));
+            self.vmap.remove(&(a.base / PAGE_BYTES + i as u64));
+            alloc.free_pair(*p);
+        }
+        Ok(())
+    }
+
+    /// Live allocation count.
+    pub fn live_allocations(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// Qualifies a socket-local page number into a global page id.
+pub fn global_page(socket: usize, page: u64) -> u64 {
+    ((socket as u64) << 48) | page
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmt::RmtOrganization;
+
+    fn setup() -> (ReplicaAllocator, ReplicaMapTable, ReplicatedHeap) {
+        (
+            ReplicaAllocator::new(32, 32),
+            ReplicaMapTable::new(RmtOrganization::Radix2),
+            ReplicatedHeap::new(0x1000_0000),
+        )
+    }
+
+    #[test]
+    fn malloc_rounds_to_pages_and_maps() {
+        let (mut alloc, mut rmt, mut heap) = setup();
+        let a = heap.malloc_replicated(1, &mut alloc, &mut rmt).unwrap();
+        assert_eq!(a.bytes, PAGE_BYTES);
+        assert_eq!(rmt.len(), 1);
+        assert!(heap.is_replicated(a.base));
+        assert!(!heap.is_replicated(a.base + PAGE_BYTES));
+        let b = heap
+            .malloc_replicated(PAGE_BYTES * 2 + 1, &mut alloc, &mut rmt)
+            .unwrap();
+        assert_eq!(b.bytes, 3 * PAGE_BYTES);
+        assert_eq!(rmt.len(), 4);
+        assert_eq!(heap.live_allocations(), 2);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let (mut alloc, mut rmt, mut heap) = setup();
+        let a = heap
+            .malloc_replicated(PAGE_BYTES, &mut alloc, &mut rmt)
+            .unwrap();
+        let b = heap
+            .malloc_replicated(PAGE_BYTES, &mut alloc, &mut rmt)
+            .unwrap();
+        assert!(a.base + a.bytes <= b.base);
+    }
+
+    #[test]
+    fn translation_reaches_the_rmt() {
+        let (mut alloc, mut rmt, mut heap) = setup();
+        let a = heap
+            .malloc_replicated(PAGE_BYTES, &mut alloc, &mut rmt)
+            .unwrap();
+        let primary = heap.primary_page(a.base).unwrap();
+        let replica = rmt.lookup(primary).expect("mapped");
+        assert_ne!(primary >> 48, replica >> 48, "pair spans sockets");
+    }
+
+    #[test]
+    fn free_returns_everything() {
+        let (mut alloc, mut rmt, mut heap) = setup();
+        let a = heap
+            .malloc_replicated(5 * PAGE_BYTES, &mut alloc, &mut rmt)
+            .unwrap();
+        assert_eq!(alloc.free_pages(0) + alloc.free_pages(1), 54);
+        heap.free(a, &mut alloc, &mut rmt).unwrap();
+        assert_eq!(alloc.free_pages(0) + alloc.free_pages(1), 64);
+        assert_eq!(rmt.len(), 0);
+        assert!(!heap.is_replicated(a.base));
+        assert_eq!(heap.free(a, &mut alloc, &mut rmt), Err(HeapError::BadFree));
+    }
+
+    #[test]
+    fn partial_failure_rolls_back() {
+        let (_, mut rmt, mut heap) = setup();
+        let mut tiny = ReplicaAllocator::new(2, 2);
+        let r = heap.malloc_replicated(5 * PAGE_BYTES, &mut tiny, &mut rmt);
+        assert!(matches!(r, Err(HeapError::Alloc(_))));
+        assert_eq!(tiny.free_pages(0), 2, "partial pages rolled back");
+        assert_eq!(rmt.len(), 0);
+        assert_eq!(heap.live_allocations(), 0);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let (mut alloc, mut rmt, mut heap) = setup();
+        assert_eq!(
+            heap.malloc_replicated(0, &mut alloc, &mut rmt),
+            Err(HeapError::ZeroSize)
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # dve-osmem — OS support for on-demand memory replication (§III, §V-D)
+//!
+//! Dvé maps every replicated physical page to a partner page on the
+//! *other* socket, either through a fixed function (when all memory is
+//! replicated en masse) or through the OS-managed **Replica Map Table**
+//! (RMT) for flexible, on-demand replication. This crate models that
+//! software layer:
+//!
+//! * [`mapping`] — the paper's fixed-function mapping
+//!   `f(p) = p/L + 1 − 2S` (socket-interleaved page pairs, identical
+//!   DRAM-internal coordinates).
+//! * [`rmt`] — the RMT as a linear table and as a 2-level radix tree,
+//!   plus the directory-side RMT cache with hit/walk statistics.
+//! * [`allocator`] — a two-node physical page allocator that builds
+//!   replica pairs across sockets, carves capacity balloon-style from
+//!   free memory, and hot-plugs it back when replication is disabled.
+//! * [`policy`] — the control-plane decision logic: hysteresis
+//!   thresholds on memory utilization and per-process replication flags
+//!   (the PCB bit of §V-D).
+//! * [`heap`] — the `malloc_replicated` façade: applications place just
+//!   their failure-resilient data segments on replicated pages.
+//!
+//! # Example
+//!
+//! ```
+//! use dve_osmem::allocator::ReplicaAllocator;
+//!
+//! let mut alloc = ReplicaAllocator::new(1024, 1024); // pages per socket
+//! let pair = alloc.allocate_pair().unwrap();
+//! assert_ne!(pair.primary_socket, pair.replica_socket);
+//! ```
+
+pub mod allocator;
+pub mod heap;
+pub mod mapping;
+pub mod policy;
+pub mod rmt;
+
+pub use allocator::{PagePair, ReplicaAllocator};
+pub use heap::ReplicatedHeap;
+pub use mapping::FixedMapping;
+pub use policy::ReplicationPolicy;
+pub use rmt::{ReplicaMapTable, RmtCache, RmtOrganization};

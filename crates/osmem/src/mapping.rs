@@ -1,0 +1,110 @@
+//! The fixed-function replica mapping of §III (footnote 3).
+//!
+//! With consecutive physical pages interleaved between the two sockets,
+//! the paper's example function `f(p) = p/L + 1 − 2S` pairs each page
+//! with its neighbor on the other socket: page 2k (socket 0) ↔ page
+//! 2k+1 (socket 1). The DRAM-internal coordinates (row/rank/bank/column)
+//! are retained, so translation is a single arithmetic operation — no
+//! table lookup.
+
+/// The fixed (static, direct-mapped) replica mapping.
+///
+/// # Example
+///
+/// ```
+/// use dve_osmem::mapping::FixedMapping;
+///
+/// let m = FixedMapping::new(4096);
+/// assert_eq!(m.replica_page(0), 1);
+/// assert_eq!(m.replica_page(1), 0);
+/// assert_eq!(m.replica_page(6), 7);
+/// // The mapping is an involution: f(f(p)) == p.
+/// assert_eq!(m.replica_page(m.replica_page(42)), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedMapping {
+    page_bytes: u64,
+}
+
+impl FixedMapping {
+    /// Creates a mapping for the given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `page_bytes` is a power of two of at least 4 KiB.
+    pub fn new(page_bytes: u64) -> FixedMapping {
+        assert!(
+            page_bytes.is_power_of_two() && page_bytes >= 4096,
+            "page size must be a power of two >= 4 KiB"
+        );
+        FixedMapping { page_bytes }
+    }
+
+    /// Page size in bytes (the paper's `L`).
+    pub fn page_bytes(self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Socket of a page under the interleaved allocation policy.
+    pub fn socket_of_page(self, page: u64) -> usize {
+        (page % 2) as usize
+    }
+
+    /// The replica page of `page`: `p + 1 − 2S` where `S` is the page's
+    /// socket — i.e. the partner in its even/odd pair.
+    pub fn replica_page(self, page: u64) -> u64 {
+        let s = page % 2;
+        page + 1 - 2 * s
+    }
+
+    /// The replica *byte address* of a byte address.
+    pub fn replica_addr(self, addr: u64) -> u64 {
+        let page = addr / self.page_bytes;
+        let offset = addr % self.page_bytes;
+        self.replica_page(page) * self.page_bytes + offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_cross_socket() {
+        let m = FixedMapping::new(4096);
+        for page in 0..1000u64 {
+            let r = m.replica_page(page);
+            assert_ne!(m.socket_of_page(page), m.socket_of_page(r), "page {page}");
+        }
+    }
+
+    #[test]
+    fn involution() {
+        let m = FixedMapping::new(4096);
+        for page in 0..1000u64 {
+            assert_eq!(m.replica_page(m.replica_page(page)), page);
+        }
+    }
+
+    #[test]
+    fn replica_addr_keeps_offset() {
+        let m = FixedMapping::new(4096);
+        let addr = 2 * 4096 + 123;
+        let r = m.replica_addr(addr);
+        assert_eq!(r % 4096, 123, "DRAM-internal offset retained");
+        assert_eq!(r / 4096, 3);
+    }
+
+    #[test]
+    fn larger_pages_supported() {
+        let m = FixedMapping::new(2 * 1024 * 1024); // 2 MiB huge pages
+        assert_eq!(m.page_bytes(), 2 * 1024 * 1024);
+        assert_eq!(m.replica_page(10), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_page_size_rejected() {
+        FixedMapping::new(5000);
+    }
+}

@@ -1,0 +1,160 @@
+//! Control-plane policy: when to enable/disable replication, and for
+//! whom (§V-D).
+//!
+//! "The onus is on the workload placement and server management
+//! infrastructure (aka Control Plane) to define critical workloads and
+//! notify the OS when such replication costs are justified." The policy
+//! here implements the two signals the paper describes: a memory
+//! utilization hysteresis (replicate while memory is idle, reclaim under
+//! capacity crunch) and per-process criticality flags (the PCB bit set
+//! at process-creation time).
+
+use std::collections::HashMap;
+
+/// A replication decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep (or start) replicating.
+    Replicate,
+    /// Stop replicating and reclaim replica pages.
+    Reclaim,
+    /// No change (inside the hysteresis band).
+    Hold,
+}
+
+/// Hysteresis policy on memory utilization.
+///
+/// Replication is enabled while utilization stays below `enable_below`
+/// and torn down once it rises above `disable_above` — the band between
+/// the two prevents flapping.
+///
+/// # Example
+///
+/// ```
+/// use dve_osmem::policy::{Decision, ReplicationPolicy};
+///
+/// let mut p = ReplicationPolicy::new(0.45, 0.85);
+/// assert_eq!(p.decide(0.30), Decision::Replicate);
+/// assert_eq!(p.decide(0.60), Decision::Hold); // inside the band
+/// assert_eq!(p.decide(0.90), Decision::Reclaim);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicationPolicy {
+    enable_below: f64,
+    disable_above: f64,
+    replicating: bool,
+    flags: HashMap<u64, bool>,
+}
+
+impl ReplicationPolicy {
+    /// Creates a policy with the given thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < enable_below < disable_above < 1`.
+    pub fn new(enable_below: f64, disable_above: f64) -> ReplicationPolicy {
+        assert!(
+            0.0 < enable_below && enable_below < disable_above && disable_above < 1.0,
+            "thresholds must satisfy 0 < enable < disable < 1"
+        );
+        ReplicationPolicy {
+            enable_below,
+            disable_above,
+            replicating: false,
+            flags: HashMap::new(),
+        }
+    }
+
+    /// The paper's motivating observation — "at least 50% of the memory
+    /// is idle 90% of the time" — makes 45%/85% sensible defaults.
+    pub fn datacenter_defaults() -> ReplicationPolicy {
+        ReplicationPolicy::new(0.45, 0.85)
+    }
+
+    /// Whether replication is currently on.
+    pub fn replicating(&self) -> bool {
+        self.replicating
+    }
+
+    /// Feeds a utilization sample and returns the decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is outside `[0, 1]`.
+    pub fn decide(&mut self, utilization: f64) -> Decision {
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must be in [0,1]"
+        );
+        if utilization < self.enable_below {
+            self.replicating = true;
+            Decision::Replicate
+        } else if utilization > self.disable_above {
+            self.replicating = false;
+            Decision::Reclaim
+        } else {
+            Decision::Hold
+        }
+    }
+
+    /// Marks a process (by pid) as requiring replicated memory — the
+    /// PCB flag set at process creation, or a `malloc_replicated`
+    /// region owner.
+    pub fn set_process_critical(&mut self, pid: u64, critical: bool) {
+        self.flags.insert(pid, critical);
+    }
+
+    /// Whether allocations for `pid` should come from replicated memory:
+    /// requires both the global mode and the per-process flag.
+    pub fn process_replicated(&self, pid: u64) -> bool {
+        self.replicating && self.flags.get(&pid).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hysteresis_band_holds_state() {
+        let mut p = ReplicationPolicy::new(0.4, 0.8);
+        assert!(!p.replicating());
+        p.decide(0.3);
+        assert!(p.replicating());
+        // Utilization creeps up through the band: stays on.
+        assert_eq!(p.decide(0.5), Decision::Hold);
+        assert!(p.replicating());
+        assert_eq!(p.decide(0.79), Decision::Hold);
+        assert!(p.replicating());
+        // Crosses the top: reclaim.
+        assert_eq!(p.decide(0.81), Decision::Reclaim);
+        assert!(!p.replicating());
+        // Falls back into the band: stays off (no flapping).
+        assert_eq!(p.decide(0.6), Decision::Hold);
+        assert!(!p.replicating());
+    }
+
+    #[test]
+    fn process_flags_require_global_mode() {
+        let mut p = ReplicationPolicy::datacenter_defaults();
+        p.set_process_critical(42, true);
+        assert!(!p.process_replicated(42), "global mode off");
+        p.decide(0.1);
+        assert!(p.process_replicated(42));
+        assert!(!p.process_replicated(7), "unflagged process");
+        p.set_process_critical(42, false);
+        assert!(!p.process_replicated(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn inverted_thresholds_rejected() {
+        ReplicationPolicy::new(0.8, 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_rejected() {
+        ReplicationPolicy::datacenter_defaults().decide(1.5);
+    }
+}

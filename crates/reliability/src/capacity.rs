@@ -1,0 +1,106 @@
+//! Effective-capacity accounting (the third axis of Fig. 1).
+//!
+//! Fig. 1 compares SEC-DED, Chipkill and Dvé on reliability, performance
+//! and *effective capacity* — the fraction of purchased DRAM bytes that
+//! hold unique user data. The paper quotes 43.75% for Dvé (full
+//! replication of 87.5%-efficient detection-coded data) versus 85% for
+//! Chipkill; and stresses that Dvé's overhead applies *only while
+//! replication is enabled*, unlike design-time ECC provisioning.
+
+/// Effective capacity of a memory organization.
+///
+/// # Example
+///
+/// ```
+/// use dve_reliability::capacity::effective_capacity;
+///
+/// // Dvé: 12.5% detection-code overhead, 2 copies → 43.75%.
+/// let dve = effective_capacity(0.125, 2);
+/// assert!((dve - 0.4375).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `code_overhead` is outside `[0, 1)` or `replicas == 0`.
+pub fn effective_capacity(code_overhead: f64, replicas: u32) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&code_overhead),
+        "overhead must be in [0,1)"
+    );
+    assert!(replicas >= 1, "need at least one copy");
+    (1.0 - code_overhead) / replicas as f64
+}
+
+/// Capacity summary of one scheme for the Fig. 1 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityPoint {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Effective capacity in [0, 1].
+    pub effective: f64,
+    /// Whether the overhead is fixed at design time (ECC DIMMs) or can be
+    /// reclaimed at runtime (Dvé's on-demand replication).
+    pub on_demand: bool,
+}
+
+/// The three Fig. 1 design points.
+pub fn fig1_capacity_points() -> Vec<CapacityPoint> {
+    vec![
+        CapacityPoint {
+            scheme: "SEC-DED",
+            effective: effective_capacity(0.125, 1), // 8 check bits / 64
+            on_demand: false,
+        },
+        CapacityPoint {
+            // The paper quotes 85% effective capacity for Chipkill
+            // (codeword overhead plus provisioned spare capacity).
+            scheme: "Chipkill",
+            effective: 0.85,
+            on_demand: false,
+        },
+        CapacityPoint {
+            scheme: "Dve",
+            effective: effective_capacity(0.125, 2),
+            on_demand: true, // reclaimable when replication is off
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dve_is_43_75_percent() {
+        assert!((effective_capacity(0.125, 2) - 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_overhead_single_copy_is_full() {
+        assert_eq!(effective_capacity(0.0, 1), 1.0);
+    }
+
+    #[test]
+    fn fig1_points_match_paper() {
+        let pts = fig1_capacity_points();
+        assert_eq!(pts.len(), 3);
+        let dve = pts.iter().find(|p| p.scheme == "Dve").unwrap();
+        assert!((dve.effective - 0.4375).abs() < 1e-12);
+        assert!(dve.on_demand);
+        let ck = pts.iter().find(|p| p.scheme == "Chipkill").unwrap();
+        assert!((ck.effective - 0.85).abs() < 1e-12);
+        assert!(!ck.on_demand);
+    }
+
+    #[test]
+    #[should_panic(expected = "overhead")]
+    fn full_overhead_rejected() {
+        effective_capacity(1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn zero_replicas_rejected() {
+        effective_capacity(0.1, 0);
+    }
+}

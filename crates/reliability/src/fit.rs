@@ -1,0 +1,110 @@
+//! FIT rates and temperature scaling.
+//!
+//! The paper uses a uniform DRAM device FIT rate of 66.1 (failures per
+//! billion device-hours) from Sridharan & Liberty's field study, and for
+//! the thermal analysis scales it with the Arrhenius equation over the
+//! 10 °C gradient between the chip nearest and farthest from the fan,
+//! yielding the 9-chip vector [66.1, 74.3, ..., 131.7].
+
+/// Uniform DRAM device FIT rate (failures / 10^9 device-hours), §IV.
+pub const BASE_FIT: f64 = 66.1;
+
+/// Boltzmann constant in eV/K.
+const K_B: f64 = 8.617_333e-5;
+
+/// Scales a FIT rate from temperature `t0_celsius` to `t1_celsius` using
+/// the Arrhenius acceleration factor with activation energy `ea_ev`
+/// (typical DRAM wear-out activation energies are 0.5–1.1 eV).
+///
+/// # Example
+///
+/// ```
+/// use dve_reliability::fit::arrhenius_scale;
+///
+/// let hotter = arrhenius_scale(66.1, 45.0, 55.0, 0.6);
+/// assert!(hotter > 66.1); // failure rate grows with temperature
+/// ```
+pub fn arrhenius_scale(fit: f64, t0_celsius: f64, t1_celsius: f64, ea_ev: f64) -> f64 {
+    assert!(fit >= 0.0, "FIT must be non-negative");
+    let t0 = t0_celsius + 273.15;
+    let t1 = t1_celsius + 273.15;
+    fit * (ea_ev / K_B * (1.0 / t0 - 1.0 / t1)).exp()
+}
+
+/// The paper's temperature-scaled per-chip FIT vector for the 9 chips of
+/// a DIMM, from nearest-to-fan (coolest) to farthest (hottest):
+/// `[66.1, 74.3, 82.5, 90.7, 98.9, 107.1, 115.3, 123.5, 131.7]`.
+pub fn thermal_fit_vector() -> [f64; 9] {
+    let mut v = [0.0; 9];
+    for (i, f) in v.iter_mut().enumerate() {
+        *f = BASE_FIT + 8.2 * i as f64;
+    }
+    v
+}
+
+/// A per-chip FIT mapping between a DIMM and its replica DIMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThermalMapping {
+    /// Chip `i` replicates onto chip `i` — what Intel-style same-board
+    /// mirroring is stuck with.
+    Identity,
+    /// Chip `i` replicates onto chip `n-1-i` — Dvé's *risk-inverse*
+    /// mapping: the hottest chip's data lives on the coolest replica
+    /// chip (§IV-C).
+    RiskInverse,
+}
+
+impl ThermalMapping {
+    /// The replica chip index paired with data chip `i` of `n`.
+    pub fn pair(self, i: usize, n: usize) -> usize {
+        match self {
+            ThermalMapping::Identity => i,
+            ThermalMapping::RiskInverse => n - 1 - i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_matches_paper() {
+        let v = thermal_fit_vector();
+        assert_eq!(v[0], 66.1);
+        assert!((v[8] - 131.7).abs() < 1e-9);
+        assert!((v[4] - 98.9).abs() < 1e-9);
+        // Monotone increasing.
+        for w in v.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn arrhenius_identity_at_same_temperature() {
+        let f = arrhenius_scale(66.1, 50.0, 50.0, 0.6);
+        assert!((f - 66.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrhenius_monotone_in_temperature() {
+        let a = arrhenius_scale(66.1, 45.0, 50.0, 0.6);
+        let b = arrhenius_scale(66.1, 45.0, 55.0, 0.6);
+        assert!(b > a && a > 66.1);
+    }
+
+    #[test]
+    fn arrhenius_10c_roughly_doubles_with_high_ea() {
+        // The classic rule of thumb: ~2x per 10 °C near 1 eV activation.
+        let f = arrhenius_scale(66.1, 45.0, 55.0, 0.65);
+        let ratio = f / 66.1;
+        assert!(ratio > 1.5 && ratio < 2.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn mappings() {
+        assert_eq!(ThermalMapping::Identity.pair(3, 9), 3);
+        assert_eq!(ThermalMapping::RiskInverse.pair(0, 9), 8);
+        assert_eq!(ThermalMapping::RiskInverse.pair(4, 9), 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dve-reliability — the analytical DUE/SDC model of §IV
+//!
+//! Reproduces every number in Table I of the paper from first principles:
+//! detected-but-uncorrectable (DUE) and silent-data-corruption (SDC)
+//! rates per billion hours of operation, for
+//!
+//! * Chipkill ECC (RS(18,16) SSC-DSD, 32 single-rank DIMMs × 9 chips),
+//! * Dvé+DSD and Dvé+TSD (replicas on 2× the DIMMs, detection-only
+//!   codes),
+//! * IBM RAIM (RAID-3 over 5 channels of Chipkill DIMMs),
+//! * Dvé+Chipkill,
+//! * and the temperature-scaled variants (Arrhenius-derived per-chip FIT
+//!   gradient) including Dvé's thermal risk-inverse mapping and the
+//!   Intel-mirroring comparison.
+//!
+//! The model follows the paper's arithmetic exactly: a scheme suffers a
+//! DUE when the specific combination of component failures it cannot
+//! correct happens within one scrub interval (the `1e-9` coincidence
+//! factor per additional simultaneous failure), and an SDC when enough
+//! failures align that the detection code misses them (6.9% escape
+//! probability for a DSD code facing a triple-chip failure, per
+//! Yeleswarapu & Somani).
+
+pub mod capacity;
+pub mod fit;
+pub mod model;
+pub mod mttf;
+pub mod table1;
+
+pub use fit::{arrhenius_scale, thermal_fit_vector, BASE_FIT};
+pub use model::{DueSdc, ReliabilityModel};
+pub use table1::{table1_rows, Table1Row};

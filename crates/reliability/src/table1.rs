@@ -1,0 +1,159 @@
+//! Assembles Table I of the paper: every scheme's DUE and SDC rate plus
+//! the improvement factors the paper quotes.
+
+use crate::fit::ThermalMapping;
+use crate::model::{DueSdc, ReliabilityModel};
+use std::fmt;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Scheme name as printed in the paper.
+    pub scheme: &'static str,
+    /// DUE/SDC rates per billion hours.
+    pub rates: DueSdc,
+    /// DUE improvement over this row's baseline (`None` for baselines).
+    pub due_improvement: Option<f64>,
+    /// SDC improvement over this row's baseline.
+    pub sdc_improvement: Option<f64>,
+}
+
+impl fmt::Display for Table1Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} DUE {:>9.2e} ({:>8}) SDC {:>9.2e} ({:>8})",
+            self.scheme,
+            self.rates.due,
+            self.due_improvement
+                .map_or("-".into(), |x| format!("{x:.2}x")),
+            self.rates.sdc,
+            self.sdc_improvement
+                .map_or("-".into(), |x| format!("{x:.2}x")),
+        )
+    }
+}
+
+/// Computes all eight rows of Table I (three comparison groups:
+/// vs Chipkill, vs RAIM, and the temperature-scaled group).
+pub fn table1_rows() -> Vec<Table1Row> {
+    let m = ReliabilityModel::paper_defaults();
+    let t = ReliabilityModel::thermal();
+
+    let chipkill = m.chipkill();
+    let dve_dsd = m.dve_dsd(ThermalMapping::Identity);
+    let dve_tsd = m.dve_tsd(ThermalMapping::Identity);
+    let raim = m.raim();
+    let dve_ck = m.dve_chipkill();
+    let chipkill_t = t.chipkill();
+    let intel_t = t.intel_tsd();
+    let dve_t = t.dve_tsd(ThermalMapping::RiskInverse);
+
+    vec![
+        Table1Row {
+            scheme: "Chipkill",
+            rates: chipkill,
+            due_improvement: None,
+            sdc_improvement: None,
+        },
+        Table1Row {
+            scheme: "Dve+DSD",
+            rates: dve_dsd,
+            due_improvement: Some(chipkill.due / dve_dsd.due),
+            sdc_improvement: Some(chipkill.sdc / dve_dsd.sdc),
+        },
+        Table1Row {
+            scheme: "Dve+TSD",
+            rates: dve_tsd,
+            due_improvement: Some(chipkill.due / dve_tsd.due),
+            sdc_improvement: Some(chipkill.sdc / dve_tsd.sdc),
+        },
+        Table1Row {
+            scheme: "IBM RAIM",
+            rates: raim,
+            due_improvement: None,
+            sdc_improvement: None,
+        },
+        Table1Row {
+            scheme: "Dve+Chipkill",
+            rates: dve_ck,
+            due_improvement: Some(raim.due / dve_ck.due),
+            sdc_improvement: Some(raim.sdc / dve_ck.sdc),
+        },
+        Table1Row {
+            scheme: "Chipkill (thermal)",
+            rates: chipkill_t,
+            due_improvement: None,
+            sdc_improvement: None,
+        },
+        Table1Row {
+            scheme: "Intel+TSD (thermal)",
+            rates: intel_t,
+            due_improvement: Some(chipkill_t.due / intel_t.due),
+            sdc_improvement: Some(chipkill_t.sdc / intel_t.sdc),
+        },
+        Table1Row {
+            scheme: "Dve+TSD (thermal)",
+            rates: dve_t,
+            due_improvement: Some(chipkill_t.due / dve_t.due),
+            sdc_improvement: Some(chipkill_t.sdc / dve_t.sdc),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_rows_in_paper_order() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 8);
+        let names: Vec<_> = rows.iter().map(|r| r.scheme).collect();
+        assert_eq!(
+            names,
+            [
+                "Chipkill",
+                "Dve+DSD",
+                "Dve+TSD",
+                "IBM RAIM",
+                "Dve+Chipkill",
+                "Chipkill (thermal)",
+                "Intel+TSD (thermal)",
+                "Dve+TSD (thermal)"
+            ]
+        );
+    }
+
+    #[test]
+    fn improvements_match_paper_quotes() {
+        let rows = table1_rows();
+        let get = |name: &str| rows.iter().find(|r| r.scheme == name).unwrap().clone();
+        // "4×" DUE for Dvé+DSD and Dvé+TSD.
+        assert!((get("Dve+DSD").due_improvement.unwrap() - 4.0).abs() < 0.05);
+        assert!((get("Dve+TSD").due_improvement.unwrap() - 4.0).abs() < 0.05);
+        // "0.49×" SDC for Dvé+DSD (i.e. 2× worse).
+        assert!((get("Dve+DSD").sdc_improvement.unwrap() - 0.5).abs() < 0.02);
+        // "~10⁶×" SDC for Dvé+TSD.
+        assert!(get("Dve+TSD").sdc_improvement.unwrap() > 1e5);
+        // "172×" DUE for Dvé+Chipkill over RAIM.
+        let impr = get("Dve+Chipkill").due_improvement.unwrap();
+        assert!((impr - 172.4).abs() / 172.4 < 0.06, "impr = {impr}");
+        // "0.63×" SDC for Dvé+Chipkill (64 vs 40 DIMMs).
+        assert!((get("Dve+Chipkill").sdc_improvement.unwrap() - 0.625).abs() < 0.02);
+        // Thermal: 3.72× Intel vs 4.15× Dvé.
+        let intel = get("Intel+TSD (thermal)").due_improvement.unwrap();
+        let dve = get("Dve+TSD (thermal)").due_improvement.unwrap();
+        assert!((intel - 3.72).abs() < 0.1, "intel = {intel}");
+        assert!((dve - 4.15).abs() < 0.1, "dve = {dve}");
+        assert!(dve > intel, "risk-inverse mapping beats identity mirroring");
+    }
+
+    #[test]
+    fn rows_render() {
+        for row in table1_rows() {
+            let s = row.to_string();
+            assert!(s.contains("DUE") && s.contains("SDC"));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Deterministic time-ordered event queue.
+//!
+//! [`EventQueue`] is a min-heap keyed on `(time, sequence)`. The sequence
+//! number is a monotonically increasing insertion counter, so two events
+//! scheduled for the same simulated time are always delivered in the order
+//! they were pushed. This property is what makes every experiment in this
+//! workspace reproducible run-to-run: there is no dependence on hash-map
+//! iteration order or allocator behaviour.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated timestamp, in the clock domain chosen by the caller
+/// (the Dvé system simulator uses core cycles at 3 GHz).
+pub type Time = u64;
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Example
+///
+/// ```
+/// use dve_sim::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(100, "tick");
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t, ev), (100, "tick"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current time ([`Self::now`]) —
+    /// scheduling into the past is always a simulator bug.
+    pub fn push(&mut self, time: Time, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: t={time} < now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Schedules `event` `delay` ticks after the current time.
+    pub fn push_after(&mut self, delay: Time, event: E) {
+        self.push(self.now.saturating_add(delay), event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any, without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The current simulated time (timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(30, 3);
+        q.push(10, 1);
+        q.push(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_same_time() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(5, ());
+        q.push(9, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.pop();
+        assert_eq!(q.now(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn panics_on_past_event() {
+        let mut q = EventQueue::new();
+        q.push(10, ());
+        q.pop();
+        q.push(3, ());
+    }
+
+    #[test]
+    fn push_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.push(100, "a");
+        q.pop();
+        q.push_after(5, "b");
+        assert_eq!(q.pop(), Some((105, "b")));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.push(42, ());
+        assert_eq!(q.peek_time(), Some(42));
+        assert_eq!(q.now(), 0);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_determinism() {
+        let mut q = EventQueue::new();
+        q.push(1, "a");
+        q.push(3, "c");
+        assert_eq!(q.pop(), Some((1, "a")));
+        q.push(3, "d");
+        q.push(2, "b");
+        assert_eq!(q.pop(), Some((2, "b")));
+        assert_eq!(q.pop(), Some((3, "c")));
+        assert_eq!(q.pop(), Some((3, "d")));
+    }
+}

@@ -1,0 +1,305 @@
+//! Breadth-first explicit-state exploration with invariant checking.
+
+use crate::protocol::{apply, enabled, Variant};
+use crate::state::{CPend, CState, HBusy, RBusy, RSub, State};
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// Result of a verification run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Protocol variant checked.
+    pub variant: Variant,
+    /// Distinct states reached.
+    pub states: usize,
+    /// Transitions executed.
+    pub transitions: usize,
+    /// Maximum BFS depth reached.
+    pub max_depth: usize,
+    /// Safety violations (SWMR, data value, stale replica, unreachable
+    /// state/message combinations).
+    pub violations: Vec<String>,
+    /// Deadlocked states (non-quiescent with no enabled action).
+    pub deadlocks: usize,
+    /// Whether exploration hit the state cap before exhausting the
+    /// space.
+    pub truncated: bool,
+}
+
+impl Report {
+    /// Whether the protocol verified cleanly (no violations, no
+    /// deadlocks, full exploration).
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && self.deadlocks == 0 && !self.truncated
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}: {} states, {} transitions, depth {}, {} violations, {} deadlocks{}",
+            self.variant,
+            self.states,
+            self.transitions,
+            self.max_depth,
+            self.violations.len(),
+            self.deadlocks,
+            if self.truncated { " (TRUNCATED)" } else { "" }
+        )
+    }
+}
+
+/// Checks the state-level invariants: SWMR and the data-value invariant
+/// on cached copies and quiescent memory.
+fn invariants(s: &State) -> Result<(), String> {
+    invariants_impl(s)
+}
+
+/// The invariant checker, exposed for the counterexample tracer.
+#[doc(hidden)]
+pub fn invariants_for_testing(s: &State) -> Result<(), String> {
+    invariants_impl(s)
+}
+
+fn invariants_impl(s: &State) -> Result<(), String> {
+    let h = &s.caches[0];
+    let r = &s.caches[1];
+    // SWMR: a *writable* copy never coexists with any other usable copy.
+    // A cache that has issued a PUTM (WaitPut) holds a moribund copy —
+    // it can no longer read or write it, only surrender it — so it is
+    // excluded, exactly like the MI_A transient of a classic Murphi MSI
+    // model. Its *value* is still checked below (it may be forwarded).
+    let usable = |c: &crate::state::Cache| c.state != CState::I && c.pend != CPend::WaitPut;
+    let writable = |c: &crate::state::Cache| c.state == CState::M && c.pend != CPend::WaitPut;
+    if writable(h) && usable(r) {
+        return Err(format!(
+            "SWMR violated: CacheH M while CacheR {:?}",
+            r.state
+        ));
+    }
+    if writable(r) && usable(h) {
+        return Err(format!(
+            "SWMR violated: CacheR M while CacheH {:?}",
+            h.state
+        ));
+    }
+    // Data-value invariant: every *usable* cached copy holds the latest
+    // completed store's value. (A moribund WaitPut copy may be stale if
+    // ownership has already moved on; the directories' owner checks
+    // guarantee its value is never written to memory or forwarded.)
+    for (name, c) in [("CacheH", h), ("CacheR", r)] {
+        if usable(c) && c.val != s.latest {
+            return Err(format!(
+                "value invariant violated: {name} in {:?} holds {} but latest is {}",
+                c.state, c.val, s.latest
+            ));
+        }
+    }
+    // Strong replica consistency at quiescence: both memory copies hold
+    // the latest value unless a cache still owns it dirty.
+    if s.quiescent() {
+        let dirty = h.state == CState::M || r.state == CState::M;
+        if !dirty {
+            if s.home_mem != s.latest {
+                return Err(format!(
+                    "quiescent home memory stale: {} vs latest {}",
+                    s.home_mem, s.latest
+                ));
+            }
+            if s.replica_mem != s.latest {
+                return Err(format!(
+                    "quiescent replica memory stale: {} vs latest {}",
+                    s.replica_mem, s.latest
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs BFS from the initial state, checking invariants on every state,
+/// up to `max_states` distinct states.
+pub fn check(variant: Variant, max_states: usize) -> Report {
+    let mut report = Report {
+        variant,
+        states: 0,
+        transitions: 0,
+        max_depth: 0,
+        violations: Vec::new(),
+        deadlocks: 0,
+        truncated: false,
+    };
+    let initial = State::initial();
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut queue: VecDeque<(State, usize)> = VecDeque::new();
+    seen.insert(initial.clone());
+    queue.push_back((initial, 0));
+
+    while let Some((s, depth)) = queue.pop_front() {
+        report.states += 1;
+        report.max_depth = report.max_depth.max(depth);
+        if let Err(v) = invariants(&s) {
+            if report.violations.len() < 10 {
+                report.violations.push(format!("depth {depth}: {v}"));
+            }
+            continue;
+        }
+        let actions = enabled(&s, variant);
+        if actions.is_empty() && !s.quiescent() {
+            report.deadlocks += 1;
+            if report.violations.len() < 10 {
+                report
+                    .violations
+                    .push(format!("deadlock at depth {depth}: {s:?}"));
+            }
+            continue;
+        }
+        for a in actions {
+            report.transitions += 1;
+            match apply(&s, a, variant) {
+                Ok(next) => {
+                    if !seen.contains(&next) {
+                        if seen.len() >= max_states {
+                            report.truncated = true;
+                            continue;
+                        }
+                        seen.insert(next.clone());
+                        queue.push_back((next, depth + 1));
+                    }
+                }
+                Err(v) => {
+                    if report.violations.len() < 10 {
+                        report
+                            .violations
+                            .push(format!("depth {depth}, action {a:?}: {v}"));
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// A quick structural census of the reachable state space, used by the
+/// Fig. 5 harness to print the verified stable-state transition tables.
+pub fn census(variant: Variant, max_states: usize) -> StateCensus {
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    let initial = State::initial();
+    seen.insert(initial.clone());
+    queue.push_back(initial);
+    let mut census = StateCensus::default();
+    while let Some(s) = queue.pop_front() {
+        census.count(&s);
+        for a in enabled(&s, variant) {
+            if let Ok(next) = apply(&s, a, variant) {
+                if !seen.contains(&next) && seen.len() < max_states {
+                    seen.insert(next.clone());
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    census
+}
+
+/// Counts of interesting structural configurations seen during
+/// exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateCensus {
+    /// States where the replica directory holds an S entry.
+    pub rdir_s: usize,
+    /// States where the replica directory holds an M entry.
+    pub rdir_m: usize,
+    /// States where the replica directory holds an RM entry.
+    pub rdir_rm: usize,
+    /// States with a busy home directory (transient in flight).
+    pub hd_busy: usize,
+    /// States with a busy replica directory.
+    pub rd_busy: usize,
+    /// States with an invalidation sub-transaction at the replica dir.
+    pub rd_sub: usize,
+    /// States where some cache has a pending request.
+    pub cache_pending: usize,
+}
+
+impl StateCensus {
+    fn count(&mut self, s: &State) {
+        match s.rd.entry {
+            crate::state::REntry::S => self.rdir_s += 1,
+            crate::state::REntry::M => self.rdir_m += 1,
+            crate::state::REntry::Rm => self.rdir_rm += 1,
+            crate::state::REntry::None => {}
+        }
+        if s.hd.busy != HBusy::Idle {
+            self.hd_busy += 1;
+        }
+        if s.rd.busy != RBusy::Idle {
+            self.rd_busy += 1;
+        }
+        if s.rd.sub != RSub::None {
+            self.rd_sub += 1;
+        }
+        if s.caches.iter().any(|c| c.pend != CPend::None) {
+            self.cache_pending += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_protocol_verifies() {
+        let r = check(Variant::Allow, 2_000_000);
+        assert!(r.ok(), "{r}\nviolations: {:#?}", r.violations);
+        assert!(
+            r.states > 1000,
+            "state space too small to be meaningful: {r}"
+        );
+    }
+
+    #[test]
+    fn deny_protocol_verifies() {
+        let r = check(Variant::Deny, 2_000_000);
+        assert!(r.ok(), "{r}\nviolations: {:#?}", r.violations);
+        assert!(
+            r.states > 1000,
+            "state space too small to be meaningful: {r}"
+        );
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let a = check(Variant::Allow, 500_000);
+        let b = check(Variant::Allow, 500_000);
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.max_depth, b.max_depth);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let r = check(Variant::Allow, 10);
+        assert!(r.truncated);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn census_sees_protocol_specific_states() {
+        let allow = census(Variant::Allow, 500_000);
+        assert!(allow.rdir_s > 0, "allow protocol must reach S entries");
+        assert!(allow.rdir_m > 0, "allow protocol must reach M entries");
+        assert_eq!(
+            allow.rdir_rm, 0,
+            "allow protocol must never hold RM entries"
+        );
+        let deny = census(Variant::Deny, 500_000);
+        assert!(deny.rdir_rm > 0, "deny protocol must reach RM entries");
+        assert!(deny.rdir_m > 0);
+        assert!(deny.hd_busy > 0 && deny.rd_busy > 0 && deny.rd_sub > 0);
+        assert!(deny.cache_pending > 0);
+    }
+}

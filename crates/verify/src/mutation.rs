@@ -1,0 +1,215 @@
+//! Mutation testing for the model checker itself.
+//!
+//! A verifier that passes on a correct protocol is only trustworthy if
+//! it *fails* on incorrect ones. This module re-runs exploration with
+//! deliberately seeded protocol bugs — each a mistake that is easy to
+//! make when implementing Coherent Replication — and the test suite
+//! asserts the checker reports a violation for every one of them:
+//!
+//! * [`Mutation::CompleteWriteBeforeRmAck`] — the deny protocol's GETX
+//!   completes as soon as the RM install is *sent*, not acknowledged
+//!   (the tempting "the link is ordered anyway" shortcut); a racing
+//!   replica read then returns stale data.
+//! * [`Mutation::GrantReplicaReadInAllowOnMiss`] — the allow protocol
+//!   treats a replica-directory miss as "readable" (confusing the two
+//!   families' absence semantics).
+//! * [`Mutation::SkipReplicaWriteback`] — a dirty eviction updates only
+//!   the home memory, breaking §V-B1's strong consistency; the replica
+//!   serves stale data after the writeback.
+
+use crate::protocol::{apply as apply_real, enabled, Action, Variant};
+use crate::state::{Chan, HBusy, Msg, Owner, RBusy, REntry, State};
+
+/// A seeded protocol bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Deny GETX completes on RM *send* instead of RM *ack*.
+    CompleteWriteBeforeRmAck,
+    /// Allow treats replica-directory absence as readable.
+    GrantReplicaReadInAllowOnMiss,
+    /// Writebacks skip the replica memory update.
+    SkipReplicaWriteback,
+}
+
+impl Mutation {
+    /// The protocol family this mutation applies to.
+    pub fn variant(self) -> Variant {
+        match self {
+            Mutation::CompleteWriteBeforeRmAck => Variant::Deny,
+            Mutation::GrantReplicaReadInAllowOnMiss => Variant::Allow,
+            Mutation::SkipReplicaWriteback => Variant::Deny,
+        }
+    }
+}
+
+/// Applies `a` under the mutated protocol.
+pub fn apply_mutated(s: &State, a: Action, m: Mutation) -> Result<State, String> {
+    let variant = m.variant();
+    match m {
+        Mutation::CompleteWriteBeforeRmAck => {
+            // Intercept: home processing a GETX that would wait for the
+            // replica dir's RM ack instead grants immediately (still
+            // sending the RM install, fire-and-forget).
+            if let Action::Deliver(ci) = a {
+                if ci == Chan::HReq as usize
+                    && s.hd.busy == HBusy::Idle
+                    && s.chans[ci].first() == Some(&Msg::GetX)
+                    && s.hd.owner == Owner::None
+                {
+                    let mut n = s.clone();
+                    n.chans[ci].remove(0);
+                    let v = n.home_mem;
+                    n.hd.owner = Owner::CacheH;
+                    n.hd.sh_h = false;
+                    n.send(Chan::HdToRd, Msg::RmInstall);
+                    n.send(Chan::ToCacheH, Msg::DataX(v));
+                    // BUG: not waiting for RmAck. Swallow the eventual
+                    // ack so it does not trip the "unsolicited" check —
+                    // the data-value violation is the bug we hunt.
+                    return Ok(n);
+                }
+            }
+            // Swallow stray RmAck responses produced by the bug.
+            if let Action::Deliver(ci) = a {
+                if ci == Chan::RdToHdResp as usize
+                    && s.chans[ci].first() == Some(&Msg::RmAck)
+                    && s.hd.busy == HBusy::Idle
+                {
+                    let mut n = s.clone();
+                    n.chans[ci].remove(0);
+                    return Ok(n);
+                }
+            }
+            apply_real(s, a, variant)
+        }
+        Mutation::GrantReplicaReadInAllowOnMiss => {
+            if let Action::Deliver(ci) = a {
+                if ci == Chan::RReq as usize
+                    && s.rd.busy == RBusy::Idle
+                    && s.chans[ci].first() == Some(&Msg::GetS)
+                    && s.rd.entry == REntry::None
+                {
+                    // BUG: serve the replica without pulling permission.
+                    let mut n = s.clone();
+                    n.chans[ci].remove(0);
+                    let v = n.replica_mem;
+                    n.send(
+                        Chan::ToCacheR,
+                        Msg::Data {
+                            val: v,
+                            once: false,
+                        },
+                    );
+                    return Ok(n);
+                }
+            }
+            apply_real(s, a, variant)
+        }
+        Mutation::SkipReplicaWriteback => {
+            if let Action::Deliver(ci) = a {
+                // Intercept the home's propagation of a PutM: write home
+                // memory but never forward to the replica.
+                if ci == Chan::HReq as usize && s.hd.busy == HBusy::Idle {
+                    if let Some(&Msg::PutM(v)) = s.chans[ci].first() {
+                        if s.hd.owner == Owner::CacheH {
+                            let mut n = s.clone();
+                            n.chans[ci].remove(0);
+                            n.home_mem = v;
+                            n.hd.owner = Owner::None;
+                            n.hd.sh_h = false;
+                            // BUG: replica memory not updated, RM not
+                            // cleared via WbData; ack immediately.
+                            n.send(Chan::ToCacheH, Msg::PutAck);
+                            // Still clear the RM entry (the "we forgot
+                            // the data but remembered the metadata"
+                            // variant) so the stale replica is readable.
+                            n.rd.entry = REntry::None;
+                            return Ok(n);
+                        }
+                    }
+                }
+            }
+            apply_real(s, a, variant)
+        }
+    }
+}
+
+/// Explores the mutated protocol and returns the first violation found,
+/// if any (the test suite asserts `Some` for every mutation).
+pub fn check_mutation(m: Mutation, max_states: usize) -> Option<String> {
+    use std::collections::{HashSet, VecDeque};
+    let initial = State::initial();
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    seen.insert(initial.clone());
+    queue.push_back(initial);
+    while let Some(s) = queue.pop_front() {
+        if let Err(v) = crate::explore::invariants_for_testing(&s) {
+            return Some(v);
+        }
+        let actions = enabled(&s, m.variant());
+        if actions.is_empty() && !s.quiescent() {
+            return Some("deadlock".to_string());
+        }
+        for a in actions {
+            match apply_mutated(&s, a, m) {
+                Ok(next) => {
+                    if seen.len() < max_states && !seen.contains(&next) {
+                        seen.insert(next.clone());
+                        queue.push_back(next);
+                    }
+                }
+                Err(v) => return Some(v),
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_catches_write_completing_before_rm_ack() {
+        let v = check_mutation(Mutation::CompleteWriteBeforeRmAck, 3_000_000)
+            .expect("the checker must catch the missing RM-ack wait");
+        assert!(
+            v.contains("stale") || v.contains("value invariant") || v.contains("SWMR"),
+            "unexpected violation class: {v}"
+        );
+    }
+
+    #[test]
+    fn checker_catches_allow_absence_confusion() {
+        let v = check_mutation(Mutation::GrantReplicaReadInAllowOnMiss, 3_000_000)
+            .expect("the checker must catch absence-means-yes in allow");
+        assert!(
+            v.contains("stale") || v.contains("value invariant") || v.contains("SWMR"),
+            "unexpected violation class: {v}"
+        );
+    }
+
+    #[test]
+    fn checker_catches_missing_replica_writeback() {
+        let v = check_mutation(Mutation::SkipReplicaWriteback, 3_000_000)
+            .expect("the checker must catch the skipped replica update");
+        assert!(
+            v.contains("stale") || v.contains("replica") || v.contains("value invariant"),
+            "unexpected violation class: {v}"
+        );
+    }
+
+    #[test]
+    fn unmutated_protocols_still_pass_through_this_path() {
+        // Sanity: apply_mutated == apply_real when the mutation's
+        // trigger pattern never fires (e.g. deny mutation on a state
+        // with no GETX in flight).
+        let s = State::initial();
+        for a in enabled(&s, Variant::Deny) {
+            let real = apply_real(&s, a, Variant::Deny);
+            let mutated = apply_mutated(&s, a, Mutation::SkipReplicaWriteback);
+            assert_eq!(real.is_ok(), mutated.is_ok());
+        }
+    }
+}

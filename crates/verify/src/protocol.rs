@@ -1,0 +1,631 @@
+//! Protocol transitions for the allow- and deny-based replica protocols,
+//! with all transient states.
+//!
+//! Every function here is a *total* specification: a combination of
+//! state × message that the protocol should never produce returns an
+//! error, which the explorer reports as a safety violation. The
+//! transitions encode exactly the flows described in §V-C (and exercised
+//! in Fig. 5), including:
+//!
+//! * lazy permission pulls (allow) and eager RM pushes (deny),
+//! * synchronous dual writebacks (home + replica memory),
+//! * downgrades/forwards when a directory request hits a dirty line,
+//! * the eviction races (PUTM vs forward, stale PUTM from a downgraded
+//!   owner),
+//! * invalidation sub-transactions at the replica directory overlapping
+//!   its own outstanding requests.
+
+use crate::state::{CPend, CState, Chan, HBusy, Msg, Owner, RBusy, REntry, RSub, State, Val};
+
+/// Which protocol family to check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Allow-based: pulled permissions, absence = not readable.
+    Allow,
+    /// Deny-based: pushed RM entries, absence = readable.
+    Deny,
+}
+
+/// One enabled transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Cache `i` issues a GETS.
+    IssueGetS(usize),
+    /// Cache `i` issues a GETX.
+    IssueGetX(usize),
+    /// Cache `i` evicts its dirty line (PUTM).
+    IssuePutM(usize),
+    /// Cache `i` silently drops a clean shared line.
+    SilentEvictS(usize),
+    /// Deliver the head message of channel `c`.
+    Deliver(usize),
+}
+
+const H: usize = 0;
+const R: usize = 1;
+
+fn bump(latest: Val) -> Val {
+    (latest + 1) % 4
+}
+
+/// Enumerates every action enabled in `s`.
+pub fn enabled(s: &State, _variant: Variant) -> Vec<Action> {
+    let mut acts = Vec::new();
+    for i in [H, R] {
+        let c = &s.caches[i];
+        if c.pend == CPend::None {
+            match c.state {
+                CState::I => {
+                    acts.push(Action::IssueGetS(i));
+                    acts.push(Action::IssueGetX(i));
+                }
+                CState::S => {
+                    acts.push(Action::IssueGetX(i));
+                    acts.push(Action::SilentEvictS(i));
+                }
+                CState::M => acts.push(Action::IssuePutM(i)),
+            }
+        }
+    }
+    for (ci, chan) in s.chans.iter().enumerate() {
+        if chan.is_empty() {
+            continue;
+        }
+        let deliverable = match ci {
+            x if x == Chan::HReq as usize => s.hd.busy == HBusy::Idle,
+            x if x == Chan::RdToHdReq as usize => s.hd.busy == HBusy::Idle,
+            x if x == Chan::RReq as usize => s.rd.busy == RBusy::Idle && s.rd.sub == RSub::None,
+            x if x == Chan::HdToRd as usize => {
+                s.rd.sub == RSub::None
+                    && !matches!(s.rd.busy, RBusy::WaitCacheWbForS | RBusy::WaitCacheWbForX)
+            }
+            _ => true,
+        };
+        if deliverable {
+            acts.push(Action::Deliver(ci));
+        }
+    }
+    acts
+}
+
+/// Applies `a` to a copy of `s`. `Err` is a protocol violation (either a
+/// state/message combination that must be unreachable, or stale data
+/// served to a reader).
+pub fn apply(s: &State, a: Action, variant: Variant) -> Result<State, String> {
+    let mut n = s.clone();
+    match a {
+        Action::IssueGetS(i) => {
+            n.caches[i].pend = CPend::WaitS;
+            n.send(if i == H { Chan::HReq } else { Chan::RReq }, Msg::GetS);
+        }
+        Action::IssueGetX(i) => {
+            n.caches[i].pend = CPend::WaitX;
+            n.send(if i == H { Chan::HReq } else { Chan::RReq }, Msg::GetX);
+        }
+        Action::IssuePutM(i) => {
+            n.caches[i].pend = CPend::WaitPut;
+            let v = n.caches[i].val;
+            n.send(if i == H { Chan::HReq } else { Chan::RReq }, Msg::PutM(v));
+        }
+        Action::SilentEvictS(i) => {
+            n.caches[i].state = CState::I;
+        }
+        Action::Deliver(ci) => {
+            let msg = n.chans[ci].remove(0);
+            deliver(&mut n, ci, msg, variant)?;
+        }
+    }
+    Ok(n)
+}
+
+fn deliver(n: &mut State, ci: usize, msg: Msg, variant: Variant) -> Result<(), String> {
+    match ci {
+        x if x == Chan::HReq as usize => home_request(n, msg, variant, /*from_rdir=*/ false),
+        x if x == Chan::RdToHdReq as usize => home_request(n, msg, variant, true),
+        x if x == Chan::HResp as usize => home_response(n, msg),
+        x if x == Chan::RdToHdResp as usize => home_rdir_response(n, msg, variant),
+        x if x == Chan::RReq as usize => rdir_request(n, msg, variant),
+        x if x == Chan::HdToRd as usize => rdir_from_home(n, msg, variant),
+        x if x == Chan::RResp as usize => rdir_cache_response(n, msg, variant),
+        x if x == Chan::ToCacheH as usize => cache_msg(n, H, msg),
+        x if x == Chan::ToCacheR as usize => cache_msg(n, R, msg),
+        _ => unreachable!("channel {ci}"),
+    }
+}
+
+// ----- home directory ---------------------------------------------------
+
+fn home_request(n: &mut State, msg: Msg, variant: Variant, from_rdir: bool) -> Result<(), String> {
+    debug_assert_eq!(n.hd.busy, HBusy::Idle);
+    match (msg, from_rdir) {
+        (Msg::GetS, false) => match n.hd.owner {
+            Owner::None => {
+                n.hd.sh_h = true;
+                let v = n.home_mem;
+                n.send(
+                    Chan::ToCacheH,
+                    Msg::Data {
+                        val: v,
+                        once: false,
+                    },
+                );
+            }
+            Owner::CacheH => Err("GetS from the current owner".to_string())?,
+            Owner::Rdir => {
+                n.hd.busy = HBusy::WaitRdirWb { for_x: false };
+                n.send(Chan::HdToRd, Msg::FwdGetS);
+            }
+        },
+        (Msg::GetX, false) => match n.hd.owner {
+            Owner::None => {
+                let needs_rdir_handshake = match variant {
+                    Variant::Allow => n.hd.sh_r,
+                    Variant::Deny => true,
+                };
+                if needs_rdir_handshake {
+                    n.hd.busy = HBusy::WaitRdirAckX { val: n.home_mem };
+                    let m = match variant {
+                        Variant::Allow => Msg::Inv,
+                        Variant::Deny => Msg::RmInstall,
+                    };
+                    n.send(Chan::HdToRd, m);
+                } else {
+                    let v = n.home_mem;
+                    n.hd.owner = Owner::CacheH;
+                    n.hd.sh_h = false;
+                    n.hd.sh_r = false;
+                    n.send(Chan::ToCacheH, Msg::DataX(v));
+                }
+            }
+            Owner::CacheH => Err("GetX from the current owner".to_string())?,
+            Owner::Rdir => {
+                n.hd.busy = HBusy::WaitRdirWb { for_x: true };
+                n.send(Chan::HdToRd, Msg::FwdGetX);
+            }
+        },
+        (Msg::PutM(v), false) => {
+            if n.hd.owner == Owner::CacheH {
+                n.home_mem = v;
+                n.hd.owner = Owner::None;
+                n.hd.sh_h = false;
+                n.hd.busy = HBusy::WaitWbAckForPut;
+                n.send(Chan::HdToRd, Msg::WbData(v));
+            } else {
+                // Stale PutM from a downgraded/invalidated owner: ack
+                // without touching memory.
+                n.send(Chan::ToCacheH, Msg::PutAck);
+            }
+        }
+        (Msg::PermReq, true) => match n.hd.owner {
+            Owner::None => {
+                n.hd.sh_r = true;
+                n.send(Chan::HdToRd, Msg::PermGrant(None));
+            }
+            Owner::CacheH => {
+                n.hd.busy = HBusy::WaitWbForPerm;
+                n.send(Chan::ToCacheH, Msg::FwdGetS);
+            }
+            Owner::Rdir => Err("PermReq while the replica side owns the line".to_string())?,
+        },
+        (Msg::ReqX, true) => match n.hd.owner {
+            Owner::None => {
+                if n.hd.sh_h {
+                    n.hd.busy = HBusy::WaitInvAckForGrantX;
+                    n.send(Chan::ToCacheH, Msg::Inv);
+                } else {
+                    let v = n.home_mem;
+                    n.hd.owner = Owner::Rdir;
+                    n.hd.sh_r = false;
+                    n.send(Chan::HdToRd, Msg::GrantX(v));
+                }
+            }
+            Owner::CacheH => {
+                n.hd.busy = HBusy::WaitWbForGrantX;
+                n.send(Chan::ToCacheH, Msg::FwdGetX);
+            }
+            Owner::Rdir => Err("ReqX while the replica side already owns".to_string())?,
+        },
+        (Msg::ReadReq, true) => match n.hd.owner {
+            Owner::CacheH => {
+                n.hd.busy = HBusy::WaitWbForRead;
+                n.send(Chan::ToCacheH, Msg::FwdGetS);
+            }
+            Owner::None => {
+                // The racing writeback already cleaned the line.
+                let v = n.home_mem;
+                n.send(Chan::HdToRd, Msg::ReadResp(v));
+            }
+            Owner::Rdir => Err("ReadReq while the replica side owns".to_string())?,
+        },
+        other => Err(format!("home dir cannot handle request {other:?}"))?,
+    }
+    Ok(())
+}
+
+fn home_response(n: &mut State, msg: Msg) -> Result<(), String> {
+    match (msg, n.hd.busy) {
+        (Msg::WbData(v), HBusy::WaitWbForPerm) => {
+            n.home_mem = v;
+            n.hd.owner = Owner::None;
+            n.hd.sh_h = true; // downgraded owner keeps an S copy
+            n.hd.sh_r = true;
+            n.hd.busy = HBusy::Idle;
+            n.send(Chan::HdToRd, Msg::PermGrant(Some(v)));
+        }
+        (Msg::WbData(v), HBusy::WaitWbForRead) => {
+            n.home_mem = v;
+            n.hd.owner = Owner::None;
+            n.hd.sh_h = true;
+            n.hd.busy = HBusy::Idle;
+            n.send(Chan::HdToRd, Msg::ReadResp(v));
+        }
+        (Msg::WbData(v), HBusy::WaitWbForGrantX) => {
+            n.home_mem = v;
+            n.hd.owner = Owner::Rdir;
+            n.hd.sh_h = false;
+            n.hd.busy = HBusy::Idle;
+            n.send(Chan::HdToRd, Msg::GrantX(v));
+        }
+        (Msg::InvAck, HBusy::WaitInvAckForGrantX) => {
+            n.hd.sh_h = false;
+            n.hd.owner = Owner::Rdir;
+            n.hd.busy = HBusy::Idle;
+            let v = n.home_mem;
+            n.send(Chan::HdToRd, Msg::GrantX(v));
+        }
+        other => Err(format!("home dir cannot handle cache response {other:?}"))?,
+    }
+    Ok(())
+}
+
+fn home_rdir_response(n: &mut State, msg: Msg, variant: Variant) -> Result<(), String> {
+    match (msg, n.hd.busy) {
+        (Msg::InvAck, HBusy::WaitRdirAckX { val }) | (Msg::RmAck, HBusy::WaitRdirAckX { val }) => {
+            n.hd.sh_r = false;
+            n.hd.owner = Owner::CacheH;
+            n.hd.sh_h = false;
+            n.hd.busy = HBusy::Idle;
+            n.send(Chan::ToCacheH, Msg::DataX(val));
+        }
+        (Msg::WbData(v), HBusy::WaitRdirWb { for_x: false }) => {
+            n.home_mem = v;
+            n.hd.owner = Owner::None;
+            n.hd.sh_h = true;
+            if variant == Variant::Allow {
+                n.hd.sh_r = true; // the replica dir kept an S entry
+            }
+            n.hd.busy = HBusy::Idle;
+            n.send(
+                Chan::ToCacheH,
+                Msg::Data {
+                    val: v,
+                    once: false,
+                },
+            );
+        }
+        (Msg::WbData(v), HBusy::WaitRdirWb { for_x: true }) => {
+            n.home_mem = v;
+            n.hd.owner = Owner::CacheH;
+            n.hd.sh_h = false;
+            n.hd.sh_r = false;
+            n.hd.busy = HBusy::Idle;
+            n.send(Chan::ToCacheH, Msg::DataX(v));
+        }
+        (Msg::WbData(v), _) => {
+            // A writeback not matching an awaited forward response: the
+            // normal completion of CacheR's PUTM, or a stray duplicate
+            // when the PUTM raced a forward the replica dir answered
+            // directly. Only an authoritative (still-owning) writer may
+            // update memory.
+            if n.hd.owner == Owner::Rdir {
+                n.home_mem = v;
+                n.hd.owner = Owner::None;
+            }
+            n.send(Chan::HdToRd, Msg::WbAck);
+        }
+        (Msg::WbAck, HBusy::WaitWbAckForPut) => {
+            n.hd.busy = HBusy::Idle;
+            n.send(Chan::ToCacheH, Msg::PutAck);
+        }
+        other => Err(format!("home dir cannot handle rdir response {other:?}"))?,
+    }
+    Ok(())
+}
+
+// ----- replica directory -------------------------------------------------
+
+fn rdir_request(n: &mut State, msg: Msg, variant: Variant) -> Result<(), String> {
+    debug_assert_eq!(n.rd.busy, RBusy::Idle);
+    match msg {
+        Msg::GetS => match (variant, n.rd.entry) {
+            (Variant::Allow, REntry::S) | (Variant::Deny, REntry::None | REntry::S) => {
+                // Serve from the local replica memory — the protocol
+                // promises this data is current.
+                if n.replica_mem != n.latest {
+                    return Err(format!(
+                        "replica served stale data: replica_mem={} latest={}",
+                        n.replica_mem, n.latest
+                    ));
+                }
+                let v = n.replica_mem;
+                n.send(
+                    Chan::ToCacheR,
+                    Msg::Data {
+                        val: v,
+                        once: false,
+                    },
+                );
+            }
+            (Variant::Allow, REntry::None) => {
+                n.rd.busy = RBusy::WaitGrant;
+                n.send(Chan::RdToHdReq, Msg::PermReq);
+            }
+            (Variant::Deny, REntry::Rm) => {
+                n.rd.busy = RBusy::WaitReadResp;
+                n.send(Chan::RdToHdReq, Msg::ReadReq);
+            }
+            (_, REntry::M) => Err("GetS while the replica cache owns the line".to_string())?,
+            (Variant::Allow, REntry::Rm) => Err("RM entry in the allow protocol".to_string())?,
+        },
+        Msg::GetX => {
+            if n.rd.entry == REntry::M {
+                return Err("GetX while the replica cache owns the line".to_string());
+            }
+            n.rd.busy = RBusy::WaitGrantX;
+            n.send(Chan::RdToHdReq, Msg::ReqX);
+        }
+        Msg::PutM(v) => {
+            if n.rd.entry == REntry::M {
+                n.replica_mem = v;
+                n.rd.entry = REntry::None;
+                n.rd.busy = RBusy::WaitHomeWbAck;
+                n.send(Chan::RdToHdResp, Msg::WbData(v));
+            } else {
+                n.send(Chan::ToCacheR, Msg::PutAck);
+            }
+        }
+        other => Err(format!("replica dir cannot handle request {other:?}"))?,
+    }
+    Ok(())
+}
+
+fn rdir_from_home(n: &mut State, msg: Msg, variant: Variant) -> Result<(), String> {
+    debug_assert_eq!(n.rd.sub, RSub::None);
+    match msg {
+        Msg::PermGrant(opt) => {
+            if n.rd.busy != RBusy::WaitGrant {
+                return Err("unsolicited PermGrant".to_string());
+            }
+            if let Some(v) = opt {
+                n.replica_mem = v;
+            }
+            n.rd.entry = REntry::S;
+            n.rd.busy = RBusy::Idle;
+            if n.replica_mem != n.latest {
+                return Err(format!(
+                    "permission granted over stale replica: replica_mem={} latest={}",
+                    n.replica_mem, n.latest
+                ));
+            }
+            let v = n.replica_mem;
+            n.send(
+                Chan::ToCacheR,
+                Msg::Data {
+                    val: v,
+                    once: false,
+                },
+            );
+        }
+        Msg::GrantX(v) => {
+            if n.rd.busy != RBusy::WaitGrantX {
+                return Err("unsolicited GrantX".to_string());
+            }
+            n.rd.entry = REntry::M;
+            n.rd.busy = RBusy::Idle;
+            n.send(Chan::ToCacheR, Msg::DataX(v));
+        }
+        Msg::ReadResp(v) => {
+            if n.rd.busy != RBusy::WaitReadResp {
+                return Err("unsolicited ReadResp".to_string());
+            }
+            n.replica_mem = v;
+            n.rd.entry = REntry::None; // the RM entry clears: line clean
+            n.rd.busy = RBusy::Idle;
+            n.send(
+                Chan::ToCacheR,
+                Msg::Data {
+                    val: v,
+                    once: false,
+                },
+            );
+        }
+        Msg::Inv => {
+            // Allow-protocol permission revoke. Forward to the cache if
+            // it may hold a copy (we track that via our S entry);
+            // otherwise ack immediately.
+            let had_entry = n.rd.entry == REntry::S;
+            n.rd.entry = REntry::None;
+            if had_entry {
+                n.rd.sub = RSub::InvThenInvAck;
+                n.send(Chan::ToCacheR, Msg::Inv);
+            } else {
+                n.send(Chan::RdToHdResp, Msg::InvAck);
+            }
+        }
+        Msg::RmInstall => {
+            // Deny-protocol push: always invalidate the replica-side
+            // cache (it may hold an untracked S copy), then RM + ack.
+            n.rd.sub = RSub::InvThenRmAck;
+            n.send(Chan::ToCacheR, Msg::Inv);
+        }
+        Msg::WbData(v) => {
+            // Propagation of CacheH's PUTM: freshen the replica copy.
+            n.replica_mem = v;
+            if n.rd.entry == REntry::Rm {
+                n.rd.entry = REntry::None;
+            }
+            n.send(Chan::RdToHdResp, Msg::WbAck);
+        }
+        Msg::WbAck => {
+            // Completion of CacheR's PUTM propagation to home memory.
+            if n.rd.busy != RBusy::WaitHomeWbAck {
+                return Err("unsolicited WbAck from home".to_string());
+            }
+            n.rd.busy = RBusy::Idle;
+            n.send(Chan::ToCacheR, Msg::PutAck);
+        }
+        Msg::FwdGetS => match n.rd.busy {
+            RBusy::Idle if n.rd.entry == REntry::M => {
+                n.rd.busy = RBusy::WaitCacheWbForS;
+                n.send(Chan::ToCacheR, Msg::FwdGetS);
+            }
+            RBusy::WaitHomeWbAck => {
+                // The owner's PUTM is already in flight: answer with the
+                // fresh replica copy.
+                let v = n.replica_mem;
+                if variant == Variant::Allow {
+                    n.rd.entry = REntry::S;
+                }
+                n.send(Chan::RdToHdResp, Msg::WbData(v));
+            }
+            _ => Err(format!("FwdGetS in replica-dir state {:?}", n.rd.busy))?,
+        },
+        Msg::FwdGetX => match n.rd.busy {
+            RBusy::Idle if n.rd.entry == REntry::M => {
+                n.rd.busy = RBusy::WaitCacheWbForX;
+                n.send(Chan::ToCacheR, Msg::FwdGetX);
+            }
+            RBusy::WaitHomeWbAck => {
+                let v = n.replica_mem;
+                n.rd.entry = if variant == Variant::Deny {
+                    REntry::Rm
+                } else {
+                    REntry::None
+                };
+                n.send(Chan::RdToHdResp, Msg::WbData(v));
+            }
+            _ => Err(format!("FwdGetX in replica-dir state {:?}", n.rd.busy))?,
+        },
+        other => Err(format!("replica dir cannot handle home message {other:?}"))?,
+    }
+    Ok(())
+}
+
+fn rdir_cache_response(n: &mut State, msg: Msg, variant: Variant) -> Result<(), String> {
+    match msg {
+        Msg::InvAck => match n.rd.sub {
+            RSub::InvThenInvAck => {
+                n.rd.sub = RSub::None;
+                n.send(Chan::RdToHdResp, Msg::InvAck);
+            }
+            RSub::InvThenRmAck => {
+                n.rd.sub = RSub::None;
+                n.rd.entry = REntry::Rm;
+                n.send(Chan::RdToHdResp, Msg::RmAck);
+            }
+            RSub::None => Err("unsolicited InvAck from the replica cache".to_string())?,
+        },
+        Msg::WbData(v) => match n.rd.busy {
+            RBusy::WaitCacheWbForS => {
+                n.replica_mem = v;
+                n.rd.entry = if variant == Variant::Allow {
+                    REntry::S
+                } else {
+                    REntry::None
+                };
+                n.rd.busy = RBusy::Idle;
+                n.send(Chan::RdToHdResp, Msg::WbData(v));
+            }
+            RBusy::WaitCacheWbForX => {
+                n.replica_mem = v;
+                n.rd.entry = if variant == Variant::Deny {
+                    REntry::Rm
+                } else {
+                    REntry::None
+                };
+                n.rd.busy = RBusy::Idle;
+                n.send(Chan::RdToHdResp, Msg::WbData(v));
+            }
+            _ => Err(format!("WbData in replica-dir state {:?}", n.rd.busy))?,
+        },
+        other => Err(format!(
+            "replica dir cannot handle cache response {other:?}"
+        ))?,
+    }
+    Ok(())
+}
+
+// ----- caches -------------------------------------------------------------
+
+fn cache_msg(n: &mut State, i: usize, msg: Msg) -> Result<(), String> {
+    let resp = if i == H { Chan::HResp } else { Chan::RResp };
+    match msg {
+        Msg::Data { val, once } => {
+            if n.caches[i].pend != CPend::WaitS {
+                return Err("unsolicited Data".to_string());
+            }
+            n.caches[i].pend = CPend::None;
+            if once {
+                // Load satisfied without caching.
+            } else {
+                if val != n.latest {
+                    return Err(format!(
+                        "load at cache {i} returned stale data: got {val}, latest {}",
+                        n.latest
+                    ));
+                }
+                n.caches[i].state = CState::S;
+                n.caches[i].val = val;
+            }
+        }
+        Msg::DataX(_) => {
+            if n.caches[i].pend != CPend::WaitX {
+                return Err("unsolicited DataX".to_string());
+            }
+            // The store completes: the cache produces a fresh value.
+            let v = bump(n.latest);
+            n.latest = v;
+            n.caches[i].state = CState::M;
+            n.caches[i].val = v;
+            n.caches[i].pend = CPend::None;
+        }
+        Msg::Inv => match (n.caches[i].state, n.caches[i].pend) {
+            (CState::S, _) | (CState::I, _) => {
+                n.caches[i].state = CState::I;
+                n.send(resp, Msg::InvAck);
+            }
+            // A moribund copy (PUTM in flight, ownership already moved
+            // on at the directory) surrenders silently.
+            (CState::M, CPend::WaitPut) => {
+                n.caches[i].state = CState::I;
+                n.send(resp, Msg::InvAck);
+            }
+            (CState::M, _) => Err(format!("Inv delivered to cache {i} in M"))?,
+        },
+        Msg::FwdGetS => match (n.caches[i].state, n.caches[i].pend) {
+            (CState::M, _) => {
+                let v = n.caches[i].val;
+                n.caches[i].state = CState::S;
+                n.send(resp, Msg::WbData(v));
+            }
+            other => Err(format!("FwdGetS to cache {i} in {other:?}"))?,
+        },
+        Msg::FwdGetX => match n.caches[i].state {
+            CState::M => {
+                let v = n.caches[i].val;
+                n.caches[i].state = CState::I;
+                n.send(resp, Msg::WbData(v));
+            }
+            other => Err(format!("FwdGetX to cache {i} in {other:?}"))?,
+        },
+        Msg::PutAck => {
+            if n.caches[i].pend != CPend::WaitPut {
+                return Err("unsolicited PutAck".to_string());
+            }
+            n.caches[i].pend = CPend::None;
+            n.caches[i].state = CState::I;
+        }
+        other => Err(format!("cache {i} cannot handle {other:?}"))?,
+    }
+    Ok(())
+}

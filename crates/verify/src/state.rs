@@ -1,0 +1,354 @@
+//! The model-checking state: two caches, two directories, two memory
+//! copies, and ordered message channels.
+//!
+//! The model is the smallest configuration that exercises every
+//! transition of Fig. 5 plus the transient states: one cache on the home
+//! socket (`CacheH`), one on the replica socket (`CacheR`), the home
+//! directory, the replica directory, the home and replica memory copies
+//! of a single address, and FIFO channels ("All links are ordered",
+//! §VI). Requests and responses travel on separate virtual networks so
+//! a busy directory stalls new requests without blocking the responses
+//! it is waiting for; the directory-to-directory link is a single FIFO,
+//! which (exactly as in the paper's system) orders permission grants
+//! against subsequent invalidations.
+
+/// A data value. Writes produce `latest + 1 (mod 4)`; with at most a
+/// handful of values in flight, mod-4 arithmetic distinguishes stale
+/// data from fresh.
+pub type Val = u8;
+
+/// Messages exchanged by the protocol agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Msg {
+    /// Cache → its directory: read request.
+    GetS,
+    /// Cache → its directory: write (ownership) request.
+    GetX,
+    /// Cache → its directory: dirty eviction carrying the data.
+    PutM(Val),
+    /// Directory → cache: downgrade to S and reply with data.
+    FwdGetS,
+    /// Directory → cache: invalidate and reply with data.
+    FwdGetX,
+    /// Invalidate (directory → cache, or home dir → replica dir).
+    Inv,
+    /// Invalidation acknowledged.
+    InvAck,
+    /// Data grant for a read. `once` satisfies the load without caching
+    /// (used when the line may no longer be cacheable).
+    Data {
+        /// The value.
+        val: Val,
+        /// If set, the requester must not cache the line.
+        once: bool,
+    },
+    /// Data grant for a write (M state).
+    DataX(Val),
+    /// Eviction acknowledged.
+    PutAck,
+    /// Replica dir → home dir: allow-protocol read-permission pull.
+    PermReq,
+    /// Home dir → replica dir: permission granted; `Some(v)` also
+    /// freshens the replica memory (a dirty line was written back).
+    PermGrant(Option<Val>),
+    /// Replica dir → home dir: replica-side write request.
+    ReqX,
+    /// Home dir → replica dir: ownership granted with data.
+    GrantX(Val),
+    /// Replica dir → home dir: deny-protocol read of an RM line.
+    ReadReq,
+    /// Home dir → replica dir: RM read response (line now clean in both
+    /// memories; the RM entry clears).
+    ReadResp(Val),
+    /// Home dir → replica dir: install a deny (RM) entry.
+    RmInstall,
+    /// Replica dir → home dir: RM installed (and replica-side caches
+    /// invalidated).
+    RmAck,
+    /// Writeback data (cache → home dir, replica dir ↔ home dir).
+    WbData(Val),
+    /// Writeback propagation acknowledged.
+    WbAck,
+}
+
+/// Stable cache states (MSI at the model's granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CState {
+    /// Invalid.
+    I,
+    /// Shared (clean, readable).
+    S,
+    /// Modified (dirty, writable).
+    M,
+}
+
+/// Cache transient (pending transaction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CPend {
+    /// No transaction outstanding.
+    None,
+    /// GETS outstanding.
+    WaitS,
+    /// GETX outstanding.
+    WaitX,
+    /// PUTM outstanding (data retained until the ack).
+    WaitPut,
+}
+
+/// One cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cache {
+    /// Stable state.
+    pub state: CState,
+    /// Cached value (meaningful in S/M and while WaitPut).
+    pub val: Val,
+    /// Outstanding transaction.
+    pub pend: CPend,
+}
+
+/// Who owns the line from the home directory's viewpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Owner {
+    /// No owner (clean in memory).
+    None,
+    /// The home-side cache.
+    CacheH,
+    /// The replica directory (i.e. the replica-side cache).
+    Rdir,
+}
+
+/// Home-directory transient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HBusy {
+    /// Ready for the next request.
+    Idle,
+    /// GETX from CacheH: waiting for the replica directory's
+    /// invalidation/RM acknowledgment before granting.
+    WaitRdirAckX {
+        /// Value to grant once acknowledged.
+        val: Val,
+    },
+    /// Waiting for CacheH's WbData after a downgrade, to then answer a
+    /// PermReq (allow).
+    WaitWbForPerm,
+    /// Waiting for CacheH's WbData, to then answer a ReadReq (deny).
+    WaitWbForRead,
+    /// Waiting for CacheH's WbData (it was invalidated), to then answer
+    /// a ReqX from the replica side.
+    WaitWbForGrantX,
+    /// Waiting for CacheH's InvAck (it held S), to then answer a ReqX.
+    WaitInvAckForGrantX,
+    /// Waiting for the replica dir's WbAck after propagating CacheH's
+    /// PUTM to the replica memory.
+    WaitWbAckForPut,
+    /// Forwarded GetS/GetX to the replica dir (owner = Rdir); waiting
+    /// for the WbData coming back.
+    WaitRdirWb {
+        /// Whether the original request was a GETX.
+        for_x: bool,
+    },
+}
+
+/// Home directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HomeDir {
+    /// Current owner.
+    pub owner: Owner,
+    /// CacheH is a sharer.
+    pub sh_h: bool,
+    /// The replica directory holds a read permission (allow protocol).
+    pub sh_r: bool,
+    /// Transient.
+    pub busy: HBusy,
+}
+
+/// Replica-directory entry (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum REntry {
+    /// No entry (allow: replica not readable; deny: readable).
+    None,
+    /// Read permission held (allow).
+    S,
+    /// The replica-side cache owns the line.
+    M,
+    /// Remote-modified: the home side owns the line (deny).
+    Rm,
+}
+
+/// Replica-directory transient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RBusy {
+    /// Ready.
+    Idle,
+    /// PermReq outstanding (allow read pull).
+    WaitGrant,
+    /// ReqX outstanding.
+    WaitGrantX,
+    /// ReadReq outstanding (deny RM read).
+    WaitReadResp,
+    /// FwdGetS relayed to CacheR; on its WbData, update replica memory
+    /// and relay WbData home (downgrade).
+    WaitCacheWbForS,
+    /// FwdGetX relayed to CacheR; on its WbData, relay home and drop /
+    /// RM the entry.
+    WaitCacheWbForX,
+    /// PUTM from CacheR propagated home as WbData; waiting WbAck.
+    WaitHomeWbAck,
+}
+
+/// Replica-directory invalidation sub-transaction (can overlap a main
+/// transient: e.g. an Inv arriving while a PermReq is outstanding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RSub {
+    /// No sub-transaction.
+    None,
+    /// Inv sent to CacheR; on its InvAck, reply InvAck to home.
+    InvThenInvAck,
+    /// Inv sent to CacheR; on its InvAck, install RM and RmAck home.
+    InvThenRmAck,
+}
+
+/// Replica directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplicaDir {
+    /// Stable entry.
+    pub entry: REntry,
+    /// Transient.
+    pub busy: RBusy,
+    /// Invalidation sub-transaction.
+    pub sub: RSub,
+}
+
+/// Channel indices (each a FIFO `Vec<Msg>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chan {
+    /// CacheH → HomeDir requests.
+    HReq = 0,
+    /// CacheR → ReplicaDir requests.
+    RReq = 1,
+    /// HomeDir → CacheH (forwards + responses, ordered).
+    ToCacheH = 2,
+    /// ReplicaDir → CacheR (forwards + responses, ordered).
+    ToCacheR = 3,
+    /// CacheH → HomeDir responses.
+    HResp = 4,
+    /// CacheR → ReplicaDir responses.
+    RResp = 5,
+    /// HomeDir → ReplicaDir (single ordered FIFO).
+    HdToRd = 6,
+    /// ReplicaDir → HomeDir requests.
+    RdToHdReq = 7,
+    /// ReplicaDir → HomeDir responses.
+    RdToHdResp = 8,
+}
+
+/// Number of channels.
+pub const NUM_CHANNELS: usize = 9;
+/// Per-channel capacity bound (asserted, never hit in this model).
+pub const CHANNEL_CAP: usize = 4;
+
+/// The full model state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    /// `[CacheH, CacheR]`.
+    pub caches: [Cache; 2],
+    /// The home directory.
+    pub hd: HomeDir,
+    /// The replica directory.
+    pub rd: ReplicaDir,
+    /// Home memory copy.
+    pub home_mem: Val,
+    /// Replica memory copy.
+    pub replica_mem: Val,
+    /// The value of the most recent completed store (mod 4).
+    pub latest: Val,
+    /// FIFO channels.
+    pub chans: [Vec<Msg>; NUM_CHANNELS],
+}
+
+impl State {
+    /// The initial state: everything invalid, memories equal.
+    pub fn initial() -> State {
+        State {
+            caches: [Cache {
+                state: CState::I,
+                val: 0,
+                pend: CPend::None,
+            }; 2],
+            hd: HomeDir {
+                owner: Owner::None,
+                sh_h: false,
+                sh_r: false,
+                busy: HBusy::Idle,
+            },
+            rd: ReplicaDir {
+                entry: REntry::None,
+                busy: RBusy::Idle,
+                sub: RSub::None,
+            },
+            home_mem: 0,
+            replica_mem: 0,
+            latest: 0,
+            chans: Default::default(),
+        }
+    }
+
+    /// Pushes a message, asserting the capacity bound.
+    pub fn send(&mut self, chan: Chan, msg: Msg) {
+        let c = &mut self.chans[chan as usize];
+        assert!(c.len() < CHANNEL_CAP, "channel {chan:?} overflow");
+        c.push(msg);
+    }
+
+    /// Whether the state is quiescent: no pending transactions, no
+    /// in-flight messages.
+    pub fn quiescent(&self) -> bool {
+        self.caches.iter().all(|c| c.pend == CPend::None)
+            && self.hd.busy == HBusy::Idle
+            && self.rd.busy == RBusy::Idle
+            && self.rd.sub == RSub::None
+            && self.chans.iter().all(|c| c.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_is_quiescent_and_consistent() {
+        let s = State::initial();
+        assert!(s.quiescent());
+        assert_eq!(s.home_mem, s.replica_mem);
+    }
+
+    #[test]
+    fn send_respects_capacity() {
+        let mut s = State::initial();
+        for _ in 0..CHANNEL_CAP {
+            s.send(Chan::HReq, Msg::GetS);
+        }
+        assert_eq!(s.chans[Chan::HReq as usize].len(), CHANNEL_CAP);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_asserts() {
+        let mut s = State::initial();
+        for _ in 0..=CHANNEL_CAP {
+            s.send(Chan::HReq, Msg::GetS);
+        }
+    }
+
+    #[test]
+    fn state_hashes_and_compares() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(State::initial());
+        let mut s2 = State::initial();
+        s2.send(Chan::HReq, Msg::GetS);
+        set.insert(s2);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&State::initial()));
+    }
+}

@@ -1,0 +1,257 @@
+//! Compact binary trace recording and replay.
+//!
+//! The paper's methodology is trace-driven: Prism captures
+//! "architecture-agnostic multi-threaded traces" once, and gem5 replays
+//! them under each memory-system configuration. This module gives the
+//! reproduction the same workflow: [`record`] freezes a synthesized
+//! trace to a compact byte format (so every scheme replays *identical*
+//! input, byte-for-byte shareable between machines), and
+//! [`TraceReader`] streams it back.
+//!
+//! ## Format
+//!
+//! Little-endian. Header: magic `DVET`, u32 version, u32 threads,
+//! u64 ops-per-thread. Then per-thread contiguous op streams, each op:
+//!
+//! * `0x01 <u32 cycles>` — compute
+//! * `0x02 <u64 line>` — read
+//! * `0x03 <u64 line>` — write
+//! * `0x04` — sync event
+
+use crate::generate::TraceGenerator;
+use crate::op::{MemReq, Op};
+use crate::profile::WorkloadProfile;
+
+/// Magic bytes identifying a trace file.
+pub const MAGIC: [u8; 4] = *b"DVET";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors from trace decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The buffer does not start with the `DVET` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The buffer ended mid-record or declares impossible sizes.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a DVET trace (bad magic)"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated => write!(f, "trace truncated"),
+            TraceError::BadOpcode(b) => write!(f, "unknown opcode {b:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Records `ops_per_thread` operations of every thread into the binary
+/// format.
+pub fn record(gen: &mut TraceGenerator, threads: usize, ops_per_thread: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(threads as u32).to_le_bytes());
+    out.extend_from_slice(&ops_per_thread.to_le_bytes());
+    for t in 0..threads {
+        for _ in 0..ops_per_thread {
+            match gen.next_op(t) {
+                Op::Compute(c) => {
+                    out.push(0x01);
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+                Op::Mem { line, req } => {
+                    out.push(if req == MemReq::Read { 0x02 } else { 0x03 });
+                    out.extend_from_slice(&line.to_le_bytes());
+                }
+                Op::Sync => out.push(0x04),
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: synthesize and record a profile in one call.
+pub fn record_profile(
+    profile: &WorkloadProfile,
+    threads: usize,
+    ops_per_thread: u64,
+    seed: u64,
+) -> Vec<u8> {
+    let mut gen = TraceGenerator::new(profile, threads, seed);
+    record(&mut gen, threads, ops_per_thread)
+}
+
+/// Streams a recorded trace back, per thread.
+#[derive(Debug, Clone)]
+pub struct TraceReader {
+    threads: usize,
+    ops_per_thread: u64,
+    /// Per-thread byte cursors into `data`.
+    cursors: Vec<usize>,
+    /// Remaining ops per thread.
+    remaining: Vec<u64>,
+    data: Vec<u8>,
+}
+
+impl TraceReader {
+    /// Parses the header and indexes the per-thread streams.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] on malformed input.
+    pub fn new(data: Vec<u8>) -> Result<TraceReader, TraceError> {
+        if data.len() < 20 {
+            return Err(TraceError::Truncated);
+        }
+        if data[0..4] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(TraceError::BadVersion(version));
+        }
+        let threads = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes")) as usize;
+        let ops_per_thread = u64::from_le_bytes(data[12..20].try_into().expect("8 bytes"));
+        // Walk once to find each thread's start offset.
+        let mut cursors = Vec::with_capacity(threads);
+        let mut pos = 20usize;
+        for _ in 0..threads {
+            cursors.push(pos);
+            for _ in 0..ops_per_thread {
+                let op = *data.get(pos).ok_or(TraceError::Truncated)?;
+                pos += match op {
+                    0x01 => 5,
+                    0x02 | 0x03 => 9,
+                    0x04 => 1,
+                    b => return Err(TraceError::BadOpcode(b)),
+                };
+            }
+        }
+        if pos > data.len() {
+            return Err(TraceError::Truncated);
+        }
+        Ok(TraceReader {
+            threads,
+            ops_per_thread,
+            cursors,
+            remaining: vec![ops_per_thread; threads],
+            data,
+        })
+    }
+
+    /// Thread count recorded in the header.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Operations per thread recorded in the header.
+    pub fn ops_per_thread(&self) -> u64 {
+        self.ops_per_thread
+    }
+
+    /// The next operation for `thread`, or `None` when its stream ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn next_op(&mut self, thread: usize) -> Option<Op> {
+        assert!(thread < self.threads, "thread out of range");
+        if self.remaining[thread] == 0 {
+            return None;
+        }
+        let pos = self.cursors[thread];
+        let opcode = self.data[pos];
+        let (op, len) = match opcode {
+            0x01 => {
+                let c = u32::from_le_bytes(self.data[pos + 1..pos + 5].try_into().expect("4"));
+                (Op::Compute(c), 5)
+            }
+            0x02 | 0x03 => {
+                let line = u64::from_le_bytes(self.data[pos + 1..pos + 9].try_into().expect("8"));
+                let req = if opcode == 0x02 {
+                    MemReq::Read
+                } else {
+                    MemReq::Write
+                };
+                (Op::Mem { line, req }, 9)
+            }
+            0x04 => (Op::Sync, 1),
+            b => unreachable!("opcode {b:#x} validated at construction"),
+        };
+        self.cursors[thread] = pos + len;
+        self.remaining[thread] -= 1;
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::catalog;
+
+    #[test]
+    fn roundtrip_matches_generator() {
+        let p = &catalog()[2]; // fft
+        let bytes = record_profile(p, 4, 500, 7);
+        let mut reader = TraceReader::new(bytes).unwrap();
+        assert_eq!(reader.threads(), 4);
+        assert_eq!(reader.ops_per_thread(), 500);
+        let mut gen = TraceGenerator::new(p, 4, 7);
+        for t in 0..4 {
+            for i in 0..500 {
+                let replayed = reader.next_op(t).expect("op present");
+                let fresh = gen.next_op(t);
+                assert_eq!(replayed, fresh, "thread {t} op {i}");
+            }
+            assert_eq!(reader.next_op(t), None, "stream ends");
+        }
+    }
+
+    #[test]
+    fn header_validation() {
+        assert_eq!(TraceReader::new(vec![]).unwrap_err(), TraceError::Truncated);
+        let mut bad = record_profile(&catalog()[0], 1, 10, 1);
+        bad[0] = b'X';
+        assert_eq!(TraceReader::new(bad).unwrap_err(), TraceError::BadMagic);
+        let mut badv = record_profile(&catalog()[0], 1, 10, 1);
+        badv[4] = 99;
+        assert_eq!(
+            TraceReader::new(badv).unwrap_err(),
+            TraceError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = record_profile(&catalog()[0], 2, 100, 3);
+        let cut = bytes[..bytes.len() - 5].to_vec();
+        assert_eq!(TraceReader::new(cut).unwrap_err(), TraceError::Truncated);
+    }
+
+    #[test]
+    fn bad_opcode_detected() {
+        let mut bytes = record_profile(&catalog()[0], 1, 5, 3);
+        bytes[20] = 0x7F;
+        assert_eq!(
+            TraceReader::new(bytes).unwrap_err(),
+            TraceError::BadOpcode(0x7F)
+        );
+    }
+
+    #[test]
+    fn trace_files_are_deterministic() {
+        let p = &catalog()[0];
+        let a = record_profile(p, 8, 200, 42);
+        let b = record_profile(p, 8, 200, 42);
+        assert_eq!(a, b, "same profile + seed -> identical bytes");
+    }
+}

@@ -1,0 +1,106 @@
+//! On-demand replication lifecycle (§III, §V-D): the control plane
+//! watches memory utilization, the OS carves idle capacity balloon-style,
+//! pairs pages across the two sockets, maps them in the RMT, and hands
+//! the capacity back when demand spikes.
+//!
+//! ```text
+//! cargo run --release --example on_demand_replication
+//! ```
+
+use dve_osmem::allocator::ReplicaAllocator;
+use dve_osmem::policy::{Decision, ReplicationPolicy};
+use dve_osmem::rmt::{ReplicaMapTable, RmtCache, RmtOrganization};
+
+fn main() {
+    // A 2-socket box with 512 pages per socket (scaled down), and the
+    // datacenter defaults: replicate while utilization < 45%, reclaim
+    // above 85%.
+    let mut alloc = ReplicaAllocator::new(512, 512);
+    alloc.set_pressure_floor(0.05);
+    let mut policy = ReplicationPolicy::datacenter_defaults();
+    let mut rmt = ReplicaMapTable::new(RmtOrganization::Radix2);
+    let mut rmt_cache = RmtCache::new(64);
+    let mut live = Vec::new();
+
+    // Phase 1: the machine is mostly idle ("at least 50% of the memory
+    // is idle 90% of the time") — a critical workload arrives.
+    println!("phase 1: idle machine, critical workload arrives");
+    policy.set_process_critical(1001, true);
+    let decision = policy.decide(alloc.utilization(0));
+    println!(
+        "  utilization {:.0}% -> {decision:?}",
+        alloc.utilization(0) * 100.0
+    );
+    assert_eq!(decision, Decision::Replicate);
+
+    // The allocator builds cross-socket page pairs; the RMT records them.
+    for _ in 0..200 {
+        match alloc.allocate_pair() {
+            Ok(pair) => {
+                rmt.map(pair.primary, pair.replica);
+                live.push(pair);
+            }
+            Err(e) => {
+                println!("  allocation stopped: {e}");
+                break;
+            }
+        }
+    }
+    println!(
+        "  {} replica pairs mapped; RMT holds {} entries; socket utilization {:.0}%/{:.0}%",
+        live.len(),
+        rmt.len(),
+        alloc.utilization(0) * 100.0,
+        alloc.utilization(1) * 100.0
+    );
+
+    // Directory controllers translate through the cached RMT.
+    let mut walk_accesses = 0;
+    for pair in live.iter().take(100) {
+        let (replica, cost) = rmt_cache.translate(pair.primary, &rmt);
+        assert_eq!(replica, Some(pair.replica));
+        walk_accesses += cost;
+    }
+    for pair in live.iter().skip(68).take(32) {
+        let (_, cost) = rmt_cache.translate(pair.primary, &rmt);
+        walk_accesses += cost;
+    }
+    println!(
+        "  RMT cache: {} hits, {} misses, {} memory accesses spent on walks",
+        rmt_cache.hits(),
+        rmt_cache.misses(),
+        walk_accesses
+    );
+
+    // Unmapped pages seamlessly fall back to a single copy.
+    assert_eq!(rmt.lookup(999_999), None);
+    println!("  unmapped page -> single-copy fallback (no RMT entry)");
+
+    // Phase 2: demand spikes — the control plane reclaims capacity.
+    println!();
+    println!("phase 2: capacity crunch");
+    // Simulate a burst consuming the free pool.
+    let burst = alloc.balloon_inflate(280);
+    println!("  burst consumed {}+{} pages", burst[0], burst[1]);
+    let util = alloc.utilization(0).max(alloc.utilization(1));
+    let decision = policy.decide(util);
+    println!("  utilization {:.0}% -> {decision:?}", util * 100.0);
+    assert_eq!(decision, Decision::Reclaim);
+
+    // Replica pages hot-plug back into the visible free pool. RMT
+    // entries may persist (reducing shoot-downs); we unmap here to show
+    // the full teardown.
+    let reclaimed = live.len();
+    for pair in live.drain(..) {
+        rmt.unmap(pair.primary);
+        alloc.free_pair(pair);
+    }
+    println!(
+        "  {} pairs reclaimed; free pages now {}/{}; process 1001 replicated: {}",
+        reclaimed,
+        alloc.free_pages(0),
+        alloc.free_pages(1),
+        policy.process_replicated(1001)
+    );
+    assert!(!policy.replicating());
+}

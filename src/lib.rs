@@ -1,0 +1,2 @@
+//! placeholder
+pub use dve;
