@@ -16,7 +16,7 @@
 
 use dve::config::{Scheme, SystemConfig};
 use dve::system::System;
-use dve_bench::{grouped, ops_from_env, run_all_with, run_with, speedups, SEED};
+use dve_bench::{grouped, ops_from_env, run_all_with, run_with, speedups, workload_seed};
 use dve_sim::stats::geomean;
 use dve_workloads::catalog;
 
@@ -73,7 +73,7 @@ fn main() {
         let mut cfg = SystemConfig::table_ii(scheme);
         cfg.ops_per_thread = ops;
         cfg.warmup_per_thread = ops / 10;
-        let result = System::new(cfg, &p, SEED).run();
+        let result = System::new(cfg, &p, workload_seed(p.name)).run();
         println!(
             "   {:<14} max row activations = {:>6} ({} DRAM accesses)",
             scheme.label(),
@@ -111,7 +111,7 @@ fn main() {
         .into_iter()
         .find(|p| p.name == "xsbench")
         .expect("xsbench");
-    let gen = dve_workloads::TraceGenerator::new(&p, 16, SEED);
+    let gen = dve_workloads::TraceGenerator::new(&p, 16, workload_seed(p.name));
     let l = gen.layout();
     let shared_lines = l.shared_ro + l.shared_rw;
     let total_lines = gen.span_lines();

@@ -1,0 +1,98 @@
+//! Monte Carlo fault-injection campaign: empirical cross-validation of
+//! the analytical Table I reliability model (§IV) using the real codecs
+//! and the fault/scrub machinery of the simulator.
+//!
+//! ```text
+//! cargo run -p dve-bench --bin campaign --release
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `DVE_CAMPAIGN_TRIALS`  — trials per scheme (default 10 000)
+//! * `DVE_CAMPAIGN_SEED`    — master seed (default the harness seed);
+//!   two runs with the same seed are bit-identical regardless of the
+//!   worker count
+//! * `DVE_CAMPAIGN_WORKERS` — worker threads (default: all cores)
+//! * `DVE_CAMPAIGN_REPLAY`  — memory ops replayed per faulty trial
+//!   through the recovery state machine (default 16; 0 disables)
+//! * `DVE_CAMPAIGN_OUT`     — output directory for the event logs
+//!   (default `results/`); writes `campaign_events.csv` and
+//!   `campaign_events.bin`
+//!
+//! The process exits non-zero if any scheme's empirical DUE/SDC rate
+//! disagrees with the analytical expectation — this binary doubles as
+//! the cross-validation gate.
+
+use dve_campaign::{
+    run_all, write_events_binary, write_events_csv, CampaignConfig, CampaignReport,
+};
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::thread;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| {
+            let v = v.trim();
+            v.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| v.parse().ok())
+        })
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = CampaignConfig::paper_default();
+    cfg.master_seed = env_u64("DVE_CAMPAIGN_SEED", dve_bench::SEED);
+    cfg.trials = env_u64("DVE_CAMPAIGN_TRIALS", 10_000);
+    // At least two workers by default so the parallel merge path is
+    // always exercised; results are worker-count independent.
+    cfg.workers = env_u64(
+        "DVE_CAMPAIGN_WORKERS",
+        thread::available_parallelism().map_or(2, |n| n.get().max(2)) as u64,
+    )
+    .max(1) as usize;
+    cfg.replay_ops = env_u64("DVE_CAMPAIGN_REPLAY", 16);
+
+    let results = run_all(&cfg);
+    let report = CampaignReport::build(&cfg, &results);
+    print!("{}", report.render(&cfg));
+
+    let out_dir =
+        PathBuf::from(std::env::var("DVE_CAMPAIGN_OUT").unwrap_or_else(|_| "results".to_string()));
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("warning: cannot create {}: {e}", out_dir.display());
+    } else {
+        let csv_path = out_dir.join("campaign_events.csv");
+        let bin_path = out_dir.join("campaign_events.bin");
+        let txt_path = out_dir.join("campaign.txt");
+        let written = (|| -> std::io::Result<usize> {
+            fs::write(&txt_path, report.render(&cfg))?;
+            let mut csv = fs::File::create(&csv_path)?;
+            write_events_csv(&mut csv, &results)?;
+            csv.flush()?;
+            let mut bin = fs::File::create(&bin_path)?;
+            write_events_binary(&mut bin, &results)?;
+            bin.flush()?;
+            Ok(results.iter().map(|r| r.events.len()).sum())
+        })();
+        match written {
+            Ok(n) => println!(
+                "\nevent log: {n} recovery events -> {} + {}",
+                csv_path.display(),
+                bin_path.display()
+            ),
+            Err(e) => eprintln!("warning: event log not written: {e}"),
+        }
+    }
+
+    if report.all_agree() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cross-validation FAILED: empirical rates disagree with the analytical model");
+        ExitCode::FAILURE
+    }
+}

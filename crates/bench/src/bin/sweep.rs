@@ -11,7 +11,7 @@
 //! ```
 
 use dve::config::Scheme;
-use dve_bench::{ops_from_env, run_with, SEED};
+use dve_bench::{ops_from_env, run_with};
 use dve_sim::time::Nanos;
 use dve_workloads::catalog;
 use std::collections::HashMap;

@@ -13,13 +13,33 @@
 use dve::config::{Scheme, SystemConfig};
 use dve::metrics::GroupedSpeedups;
 use dve::system::{RunResult, System};
+use dve_sim::rng::derive_seed;
 use dve_workloads::{catalog, WorkloadProfile};
 
 /// Default measured memory operations per thread.
 pub const DEFAULT_OPS: u64 = 30_000;
 
-/// The experiment seed used by every harness (reproducibility).
+/// The master experiment seed used by every harness (reproducibility).
+/// Per-run child seeds come from [`workload_seed`], never from ad-hoc
+/// arithmetic on this constant.
 pub const SEED: u64 = 0xD0E5_2021;
+
+/// Stream id reserved for bench-harness runs in
+/// [`dve_sim::rng::derive_seed`].
+pub const BENCH_STREAM: u64 = 0xBE;
+
+/// Deterministic child seed for one workload's run, derived from the
+/// master [`SEED`] via [`dve_sim::rng::derive_seed`] with the
+/// workload's name as the index (stable across catalog reorderings).
+pub fn workload_seed(name: &str) -> u64 {
+    // FNV-1a folds the name into the index; derive_seed does the mixing.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    derive_seed(SEED, BENCH_STREAM, h)
+}
 
 /// Reads the per-thread op budget from `DVE_OPS`, defaulting to
 /// [`DEFAULT_OPS`].
@@ -39,7 +59,7 @@ where
     cfg.ops_per_thread = ops;
     cfg.warmup_per_thread = ops / 10;
     tweak(&mut cfg);
-    System::new(cfg, profile, SEED).run()
+    System::new(cfg, profile, workload_seed(profile.name)).run()
 }
 
 /// Runs all 20 workloads (paper order) under `scheme`.

@@ -1,0 +1,41 @@
+//! # dve-campaign — Monte Carlo fault-injection campaigns
+//!
+//! Empirically cross-validates the analytical reliability model of §IV
+//! (`dve-reliability`) by *running* accelerated fault campaigns against
+//! the real machinery of the rest of the workspace:
+//!
+//! * [`sampler`] draws per-chip failures (bit / pin / chip granularity,
+//!   transient or permanent) at the accelerated per-window probability
+//!   of [`dve_reliability::accel::AccelParams`];
+//! * [`trial`] adjudicates each fault set with the *real* codecs
+//!   (`Rs::chipkill()`, detect-only DSD/TSD) against golden data — so
+//!   SDCs are genuine detection misses and RS miscorrections — and
+//!   replays a seeded workload slice on [`dve::RecoverableMemory`] with
+//!   fault hooks, patrol scrub, and §V-B2 transient write-repair,
+//!   logging recovery events;
+//! * [`runner`] fans seeded trials across `std::thread` workers with
+//!   bit-reproducible, worker-count-independent aggregation and Wilson
+//!   confidence intervals;
+//! * [`report`] compares the empirical DUE/SDC mass to the exact
+//!   binomial expectations of [`dve_reliability::accel::AccelModel`]
+//!   (same probability space, so agreement is exact up to sampling
+//!   noise), prints Table I's real-scale analytical rows alongside, and
+//!   serializes per-trial recovery events as CSV and a compact binary
+//!   log.
+//!
+//! Entry point: `cargo run -p dve-bench --bin campaign --release`.
+
+pub mod report;
+pub mod runner;
+pub mod sampler;
+pub mod trial;
+
+pub use report::{
+    read_events_binary, write_events_binary, write_events_csv, CampaignReport, SchemeEventLog,
+    SchemeReport, Verdict,
+};
+pub use runner::{
+    run_all, run_campaign, wilson_interval, CampaignConfig, CampaignResult, OutcomeCounts,
+};
+pub use sampler::{ChipFault, FaultSample, FaultSampler, Granularity, Side};
+pub use trial::{CampaignScheme, TrialExecutor, TrialOutcome, TrialResult};

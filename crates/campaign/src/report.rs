@@ -1,0 +1,438 @@
+//! Empirical-vs-analytical cross-validation report and event-log
+//! serialization.
+//!
+//! The sampler and the analytical [`AccelModel`] share one probability
+//! space — independent per-chip failures at the same accelerated `p` —
+//! so for every scheme the empirical uncorrectable mass (DUE + SDC,
+//! since both spend the same "beyond the scheme's correction power"
+//! budget) must land inside its Wilson interval around the model's
+//! exact binomial expectation. Disagreement means the trial executor
+//! and the §IV arithmetic have diverged, which is the bug this report
+//! exists to catch.
+//!
+//! Two serializations of the per-trial recovery-event log ride along:
+//! a human-greppable CSV and a compact fixed-record binary format with
+//! magic header `DVECAMP1`.
+
+use crate::runner::{wilson_interval, CampaignConfig, CampaignResult};
+use crate::trial::CampaignScheme;
+use dve::{RecoveryEvent, RecoveryOutcome};
+use dve_reliability::accel::{AccelModel, WindowProbs};
+use dve_reliability::table1_rows;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Did the empirical estimate agree with the analytical expectation?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The analytical value lies inside the 95% Wilson interval.
+    Agree,
+    /// It does not.
+    Disagree,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Agree => write!(f, "agree"),
+            Verdict::Disagree => write!(f, "DISAGREE"),
+        }
+    }
+}
+
+/// One scheme's cross-validation row.
+#[derive(Debug, Clone)]
+pub struct SchemeReport {
+    /// Scheme under test.
+    pub scheme: CampaignScheme,
+    /// Trials run.
+    pub trials: u64,
+    /// Empirical DUE proportion.
+    pub empirical_due: f64,
+    /// 95% Wilson interval around [`Self::empirical_due`].
+    pub due_ci: (f64, f64),
+    /// Analytical DUE expectation from [`AccelModel`].
+    pub analytical_due: f64,
+    /// Interval-membership verdict for the DUE rate.
+    pub due_verdict: Verdict,
+    /// Empirical SDC proportion.
+    pub empirical_sdc: f64,
+    /// 95% Wilson interval around [`Self::empirical_sdc`].
+    pub sdc_ci: (f64, f64),
+    /// Expected SDC mass (miscorrection / detection-miss model).
+    pub analytical_sdc: f64,
+    /// Interval-membership verdict for the SDC rate.
+    pub sdc_verdict: Verdict,
+}
+
+impl SchemeReport {
+    /// Both rates agree with the model.
+    pub fn agrees(&self) -> bool {
+        self.due_verdict == Verdict::Agree && self.sdc_verdict == Verdict::Agree
+    }
+
+    /// Empirical uncorrectable mass (DUE + SDC).
+    pub fn empirical_unc(&self) -> f64 {
+        self.empirical_due + self.empirical_sdc
+    }
+}
+
+/// The full campaign report: one row per scheme plus derived ratios.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-scheme rows, in [`CampaignScheme::ALL`] order.
+    pub rows: Vec<SchemeReport>,
+}
+
+fn analytical(model: &AccelModel, scheme: CampaignScheme) -> WindowProbs {
+    match scheme {
+        CampaignScheme::Chipkill => model.chipkill(),
+        CampaignScheme::DveDsd | CampaignScheme::DveTsd => model.dve_detect_only(),
+        CampaignScheme::DveChipkill => model.dve_chipkill(),
+    }
+}
+
+fn verdict(analytical: f64, ci: (f64, f64)) -> Verdict {
+    if ci.0 <= analytical && analytical <= ci.1 {
+        Verdict::Agree
+    } else {
+        Verdict::Disagree
+    }
+}
+
+impl CampaignReport {
+    /// Cross-validates campaign results against the accelerated model.
+    pub fn build(cfg: &CampaignConfig, results: &[CampaignResult]) -> CampaignReport {
+        let model = AccelModel::new(cfg.params);
+        let rows = results
+            .iter()
+            .map(|r| {
+                let probs = analytical(&model, r.scheme);
+                let n = r.counts.total();
+                let due_ci = wilson_interval(r.counts.due, n);
+                let sdc_ci = wilson_interval(r.counts.sdc, n);
+                SchemeReport {
+                    scheme: r.scheme,
+                    trials: n,
+                    empirical_due: r.counts.due as f64 / n as f64,
+                    due_ci,
+                    analytical_due: probs.due,
+                    due_verdict: verdict(probs.due, due_ci),
+                    empirical_sdc: r.counts.sdc as f64 / n as f64,
+                    sdc_ci,
+                    analytical_sdc: probs.sdc_expected,
+                    sdc_verdict: verdict(probs.sdc_expected, sdc_ci),
+                }
+            })
+            .collect();
+        CampaignReport { rows }
+    }
+
+    /// Every scheme agreed on both rates.
+    pub fn all_agree(&self) -> bool {
+        self.rows.iter().all(SchemeReport::agrees)
+    }
+
+    /// Empirical Chipkill-to-scheme DUE improvement ratio — the axis
+    /// Table I quotes (`None` when the scheme observed zero DUE trials,
+    /// i.e. the improvement is unbounded at this trial count, or the
+    /// baseline row is missing).
+    pub fn improvement_over_chipkill(&self, scheme: CampaignScheme) -> Option<f64> {
+        let base = self
+            .rows
+            .iter()
+            .find(|r| r.scheme == CampaignScheme::Chipkill)?;
+        let row = self.rows.iter().find(|r| r.scheme == scheme)?;
+        if row.empirical_due == 0.0 {
+            return None;
+        }
+        Some(base.empirical_due / row.empirical_due)
+    }
+
+    /// Renders the full report, including the real-scale Table I rows
+    /// the accelerated campaign is standing in for.
+    pub fn render(&self, cfg: &CampaignConfig) -> String {
+        let mut out = String::new();
+        let p = cfg.params;
+        out.push_str(&format!(
+            "campaign: {} trials/scheme, seed {:#x}, {} workers, p(chip)={} over {} chips\n\n",
+            cfg.trials, cfg.master_seed, cfg.workers, p.chip_fail_prob, p.chips_per_dimm
+        ));
+        out.push_str("scheme                DUE                                          SDC\n");
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>23} {:>10} {:>8}   {:>10} {:>23} {:>10} {:>8}\n",
+            "",
+            "empirical",
+            "95% CI",
+            "analytic",
+            "verdict",
+            "empirical",
+            "95% CI",
+            "analytic",
+            "verdict"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<14} {:>10.2e} [{:>9.2e},{:>9.2e}] {:>10.2e} {:>8}   {:>10.2e} [{:>9.2e},{:>9.2e}] {:>10.2e} {:>8}\n",
+                r.scheme.label(),
+                r.empirical_due,
+                r.due_ci.0,
+                r.due_ci.1,
+                r.analytical_due,
+                r.due_verdict,
+                r.empirical_sdc,
+                r.sdc_ci.0,
+                r.sdc_ci.1,
+                r.analytical_sdc,
+                r.sdc_verdict,
+            ));
+        }
+        out.push('\n');
+        for scheme in [CampaignScheme::DveDsd, CampaignScheme::DveChipkill] {
+            match self.improvement_over_chipkill(scheme) {
+                Some(x) => out.push_str(&format!(
+                    "empirical DUE improvement, Chipkill -> {}: {:.1}x\n",
+                    scheme.label(),
+                    x
+                )),
+                None => out.push_str(&format!(
+                    "empirical DUE improvement, Chipkill -> {}: unbounded (0 DUEs observed)\n",
+                    scheme.label()
+                )),
+            }
+        }
+        out.push_str(&format!(
+            "\noverall: {}\n",
+            if self.all_agree() {
+                "all schemes agree with the analytical model"
+            } else {
+                "MISMATCH between empirical and analytical rates"
+            }
+        ));
+        out.push_str("\nreal-scale analytical Table I (per 10^9 hours) for reference:\n");
+        for row in table1_rows() {
+            out.push_str(&format!("  {row}\n"));
+        }
+        out
+    }
+}
+
+// ---- event-log serialization ---------------------------------------
+
+fn outcome_code(o: RecoveryOutcome) -> u8 {
+    match o {
+        RecoveryOutcome::Clean => 0,
+        RecoveryOutcome::CorrectedTransient => 1,
+        RecoveryOutcome::CorrectedDegraded => 2,
+        RecoveryOutcome::MachineCheck => 3,
+    }
+}
+
+fn outcome_from_code(c: u8) -> io::Result<RecoveryOutcome> {
+    Ok(match c {
+        0 => RecoveryOutcome::Clean,
+        1 => RecoveryOutcome::CorrectedTransient,
+        2 => RecoveryOutcome::CorrectedDegraded,
+        3 => RecoveryOutcome::MachineCheck,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad outcome")),
+    })
+}
+
+fn outcome_label(o: RecoveryOutcome) -> &'static str {
+    match o {
+        RecoveryOutcome::Clean => "clean",
+        RecoveryOutcome::CorrectedTransient => "ce-transient",
+        RecoveryOutcome::CorrectedDegraded => "ce-degraded",
+        RecoveryOutcome::MachineCheck => "machine-check",
+    }
+}
+
+/// Writes all schemes' recovery events as CSV
+/// (`scheme,trial,at,addr,outcome`).
+pub fn write_events_csv(w: &mut impl Write, results: &[CampaignResult]) -> io::Result<()> {
+    writeln!(w, "scheme,trial,at,addr,outcome")?;
+    for r in results {
+        for (trial, e) in &r.events {
+            writeln!(
+                w,
+                "{},{},{},{},{}",
+                r.scheme.label(),
+                trial,
+                e.at,
+                e.addr,
+                outcome_label(e.outcome)
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Magic header of the binary event log.
+pub const EVENT_LOG_MAGIC: &[u8; 8] = b"DVECAMP1";
+
+/// Writes the compact binary event log: magic, then per scheme a
+/// `[scheme_code: u8, count: u64-le]` header followed by `count`
+/// 25-byte records `[trial: u64-le, at: u64-le, addr: u64-le, outcome:
+/// u8]`.
+pub fn write_events_binary(w: &mut impl Write, results: &[CampaignResult]) -> io::Result<()> {
+    w.write_all(EVENT_LOG_MAGIC)?;
+    w.write_all(&[results.len() as u8])?;
+    for r in results {
+        w.write_all(&[r.scheme.stream() as u8])?;
+        w.write_all(&(r.events.len() as u64).to_le_bytes())?;
+        for (trial, e) in &r.events {
+            w.write_all(&trial.to_le_bytes())?;
+            w.write_all(&e.at.to_le_bytes())?;
+            w.write_all(&e.addr.to_le_bytes())?;
+            w.write_all(&[outcome_code(e.outcome)])?;
+        }
+    }
+    Ok(())
+}
+
+/// One scheme's decoded event log: `(scheme stream code, tagged events)`.
+pub type SchemeEventLog = (u8, Vec<(u64, RecoveryEvent)>);
+
+/// Reads a binary event log back: one [`SchemeEventLog`] per scheme.
+pub fn read_events_binary(r: &mut impl Read) -> io::Result<Vec<SchemeEventLog>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != EVENT_LOG_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut n = [0u8; 1];
+    r.read_exact(&mut n)?;
+    let mut out = Vec::with_capacity(n[0] as usize);
+    for _ in 0..n[0] {
+        let mut hdr = [0u8; 9];
+        r.read_exact(&mut hdr)?;
+        let count = u64::from_le_bytes(hdr[1..9].try_into().unwrap());
+        let mut events = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let mut rec = [0u8; 25];
+            r.read_exact(&mut rec)?;
+            let trial = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+            let at = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+            let addr = u64::from_le_bytes(rec[16..24].try_into().unwrap());
+            events.push((
+                trial,
+                RecoveryEvent {
+                    addr,
+                    at,
+                    outcome: outcome_from_code(rec[24])?,
+                },
+            ));
+        }
+        out.push((hdr[0], events));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_all;
+    use dve_reliability::accel::AccelParams;
+
+    fn cfg() -> CampaignConfig {
+        CampaignConfig {
+            master_seed: 0xCAFE,
+            trials: 4000,
+            workers: 4,
+            params: AccelParams::paper_accelerated(),
+            replay_ops: 4,
+        }
+    }
+
+    #[test]
+    fn cross_validation_agrees_at_4k_trials() {
+        let cfg = cfg();
+        let results = run_all(&cfg);
+        let report = CampaignReport::build(&cfg, &results);
+        for r in &report.rows {
+            assert!(
+                r.agrees(),
+                "{}: due emp {:.3e} CI [{:.3e},{:.3e}] vs {:.3e}; sdc emp {:.3e} CI [{:.3e},{:.3e}] vs {:.3e}",
+                r.scheme.label(),
+                r.empirical_due,
+                r.due_ci.0,
+                r.due_ci.1,
+                r.analytical_due,
+                r.empirical_sdc,
+                r.sdc_ci.0,
+                r.sdc_ci.1,
+                r.analytical_sdc,
+            );
+        }
+        assert!(report.all_agree());
+    }
+
+    #[test]
+    fn dve_chipkill_improvement_exceeds_40x() {
+        let mut cfg = cfg();
+        cfg.trials = 20_000;
+        cfg.replay_ops = 0;
+        let results = run_all(&cfg);
+        let report = CampaignReport::build(&cfg, &results);
+        // `None` means zero observed uncorrectables: even better than 40x.
+        if let Some(x) = report.improvement_over_chipkill(CampaignScheme::DveChipkill) {
+            assert!(x > 40.0, "improvement only {x:.1}x");
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_scheme_and_verdicts() {
+        let cfg = cfg();
+        let results = run_all(&cfg);
+        let report = CampaignReport::build(&cfg, &results);
+        let text = report.render(&cfg);
+        for s in CampaignScheme::ALL {
+            assert!(text.contains(s.label()), "missing {}", s.label());
+        }
+        assert!(text.contains("agree"));
+        assert!(text.contains("Table I"));
+    }
+
+    #[test]
+    fn binary_event_log_roundtrips() {
+        let cfg = cfg();
+        let results = run_all(&cfg);
+        let mut buf = Vec::new();
+        write_events_binary(&mut buf, &results).unwrap();
+        assert_eq!(&buf[..8], EVENT_LOG_MAGIC);
+        let back = read_events_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.len(), results.len());
+        for (got, want) in back.iter().zip(&results) {
+            assert_eq!(got.0, want.scheme.stream() as u8);
+            assert_eq!(got.1, want.events);
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let cfg = cfg();
+        let results = run_all(&cfg);
+        let mut buf = Vec::new();
+        write_events_csv(&mut buf, &results).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("scheme,trial,at,addr,outcome"));
+        assert!(lines.next().is_some(), "no event rows");
+    }
+
+    #[test]
+    fn truncated_binary_log_is_rejected() {
+        let cfg = CampaignConfig {
+            trials: 300,
+            ..cfg()
+        };
+        let results = run_all(&cfg);
+        let mut buf = Vec::new();
+        write_events_binary(&mut buf, &results).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(read_events_binary(&mut buf.as_slice()).is_err());
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(read_events_binary(&mut bad.as_slice()).is_err());
+    }
+}

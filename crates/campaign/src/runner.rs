@@ -1,0 +1,296 @@
+//! Parallel campaign runner: seeded trials fanned over worker threads.
+//!
+//! Determinism contract: every trial outcome depends only on
+//! `(master_seed, scheme, trial_index)` (see [`TrialExecutor::run`]),
+//! and aggregation is pure integer counting plus an order-normalizing
+//! sort of the event log — so a campaign's [`CampaignResult`] is
+//! **bit-identical** for any worker count, including 1.
+//!
+//! Workers take strided slices of the trial range (`worker w` runs
+//! trials `w, w + workers, w + 2·workers, …`), which balances load
+//! without any shared mutable state beyond the final merge.
+
+use crate::trial::{CampaignScheme, TrialExecutor, TrialOutcome, TrialResult};
+use dve_reliability::accel::AccelParams;
+use std::thread;
+
+/// Campaign-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Master seed; everything derives from it.
+    pub master_seed: u64,
+    /// Trials per scheme.
+    pub trials: u64,
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Accelerated window parameters shared by sampler and the
+    /// analytical cross-check.
+    pub params: AccelParams,
+    /// Memory operations replayed per faulty trial (0 disables the
+    /// system replay; adjudication still runs).
+    pub replay_ops: u64,
+}
+
+impl CampaignConfig {
+    /// The paper-accelerated default: 10k trials, all cores (at least
+    /// two workers, so the parallel merge path is always exercised —
+    /// results are identical for any worker count anyway).
+    pub fn paper_default() -> CampaignConfig {
+        CampaignConfig {
+            master_seed: 0xD5E_2021,
+            trials: 10_000,
+            workers: thread::available_parallelism().map_or(2, |n| n.get().max(2)),
+            params: AccelParams::paper_accelerated(),
+            replay_ops: 0,
+        }
+    }
+}
+
+/// Integer outcome histogram for one scheme.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// No data at risk.
+    pub clean: u64,
+    /// Corrected, all faults transient.
+    pub ce_transient: u64,
+    /// Corrected but permanently degraded.
+    pub ce_degraded: u64,
+    /// Detected uncorrectable.
+    pub due: u64,
+    /// Silent data corruption.
+    pub sdc: u64,
+}
+
+impl OutcomeCounts {
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: TrialOutcome) {
+        match outcome {
+            TrialOutcome::Clean => self.clean += 1,
+            TrialOutcome::CeTransient => self.ce_transient += 1,
+            TrialOutcome::CeDegraded => self.ce_degraded += 1,
+            TrialOutcome::Due => self.due += 1,
+            TrialOutcome::Sdc => self.sdc += 1,
+        }
+    }
+
+    /// Merges another histogram in (order-independent).
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        self.clean += other.clean;
+        self.ce_transient += other.ce_transient;
+        self.ce_degraded += other.ce_degraded;
+        self.due += other.due;
+        self.sdc += other.sdc;
+    }
+
+    /// Total trials recorded.
+    pub fn total(&self) -> u64 {
+        self.clean + self.ce_transient + self.ce_degraded + self.due + self.sdc
+    }
+}
+
+/// One scheme's campaign output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignResult {
+    /// The scheme exercised.
+    pub scheme: CampaignScheme,
+    /// Outcome histogram over all trials.
+    pub counts: OutcomeCounts,
+    /// Sum of pair-overlap counts across trials (Dvé DUE driver).
+    pub overlap_sum: u64,
+    /// Sum of sampled fault counts across trials.
+    pub fault_sum: u64,
+    /// Recovery events from faulty-trial replays, tagged by trial and
+    /// sorted by `(trial, at, addr)` so the log is deterministic for
+    /// any worker count.
+    pub events: Vec<(u64, dve::RecoveryEvent)>,
+}
+
+/// Runs one scheme's campaign under `cfg`.
+///
+/// # Example
+///
+/// ```
+/// use dve_campaign::runner::{run_campaign, CampaignConfig};
+/// use dve_campaign::trial::CampaignScheme;
+///
+/// let mut cfg = CampaignConfig::paper_default();
+/// cfg.trials = 200;
+/// cfg.workers = 2;
+/// let r = run_campaign(&cfg, CampaignScheme::Chipkill);
+/// assert_eq!(r.counts.total(), 200);
+/// ```
+pub fn run_campaign(cfg: &CampaignConfig, scheme: CampaignScheme) -> CampaignResult {
+    let workers = cfg.workers.max(1);
+    let mut partials: Vec<Partial> = Vec::with_capacity(workers);
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let cfg = *cfg;
+                s.spawn(move || {
+                    let exec = TrialExecutor::new(scheme, cfg.params, cfg.replay_ops);
+                    let mut part = Partial::default();
+                    let mut trial = w as u64;
+                    while trial < cfg.trials {
+                        part.absorb(exec.run(cfg.master_seed, trial));
+                        trial += workers as u64;
+                    }
+                    part
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("campaign worker panicked"));
+        }
+    });
+
+    let mut counts = OutcomeCounts::default();
+    let mut overlap_sum = 0;
+    let mut fault_sum = 0;
+    let mut events = Vec::new();
+    for p in partials {
+        counts.merge(&p.counts);
+        overlap_sum += p.overlap_sum;
+        fault_sum += p.fault_sum;
+        events.extend(p.events);
+    }
+    // Normalize the merge order away.
+    events.sort_by_key(|(trial, e)| (*trial, e.at, e.addr));
+    CampaignResult {
+        scheme,
+        counts,
+        overlap_sum,
+        fault_sum,
+        events,
+    }
+}
+
+/// Runs all schemes in [`CampaignScheme::ALL`] order.
+pub fn run_all(cfg: &CampaignConfig) -> Vec<CampaignResult> {
+    CampaignScheme::ALL
+        .iter()
+        .map(|&s| run_campaign(cfg, s))
+        .collect()
+}
+
+#[derive(Debug, Default)]
+struct Partial {
+    counts: OutcomeCounts,
+    overlap_sum: u64,
+    fault_sum: u64,
+    events: Vec<(u64, dve::RecoveryEvent)>,
+}
+
+impl Partial {
+    fn absorb(&mut self, r: TrialResult) {
+        self.counts.record(r.outcome);
+        self.overlap_sum += r.overlap as u64;
+        self.fault_sum += r.fault_count as u64;
+        let trial = r.trial;
+        self.events.extend(r.events.into_iter().map(|e| (trial, e)));
+    }
+}
+
+/// Wilson score interval for a binomial proportion at ~95% confidence
+/// (`z = 1.96`). Returns `(low, high)`; well-behaved at `successes = 0`
+/// (low = 0 exactly) unlike the normal approximation.
+pub fn wilson_interval(successes: u64, trials: u64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.96f64;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = p + z2 / (2.0 * n);
+    let spread = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    let low = ((center - spread) / denom).max(0.0);
+    let high = ((center + spread) / denom).min(1.0);
+    (low, high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(workers: usize) -> CampaignConfig {
+        CampaignConfig {
+            master_seed: 0xBEEF,
+            trials: 600,
+            workers,
+            params: AccelParams::paper_accelerated(),
+            replay_ops: 8,
+        }
+    }
+
+    #[test]
+    fn identical_across_worker_counts() {
+        for scheme in CampaignScheme::ALL {
+            let one = run_campaign(&small_cfg(1), scheme);
+            let four = run_campaign(&small_cfg(4), scheme);
+            let seven = run_campaign(&small_cfg(7), scheme);
+            assert_eq!(one, four, "{}", scheme.label());
+            assert_eq!(one, seven, "{}", scheme.label());
+        }
+    }
+
+    #[test]
+    fn identical_across_runs() {
+        let cfg = small_cfg(3);
+        let a = run_campaign(&cfg, CampaignScheme::DveChipkill);
+        let b = run_campaign(&cfg, CampaignScheme::DveChipkill);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let mut cfg = small_cfg(2);
+        let a = run_campaign(&cfg, CampaignScheme::Chipkill);
+        cfg.master_seed ^= 1;
+        let b = run_campaign(&cfg, CampaignScheme::Chipkill);
+        assert_ne!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn totals_match_trials() {
+        let cfg = small_cfg(5);
+        for r in run_all(&cfg) {
+            assert_eq!(r.counts.total(), cfg.trials, "{}", r.scheme.label());
+        }
+    }
+
+    #[test]
+    fn events_sorted_and_tagged() {
+        let r = run_campaign(&small_cfg(4), CampaignScheme::DveTsd);
+        assert!(!r.events.is_empty(), "replay produced no events");
+        let keys: Vec<_> = r.events.iter().map(|(t, e)| (*t, e.at, e.addr)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert!(r.events.iter().all(|(t, _)| *t < 600));
+    }
+
+    #[test]
+    fn wilson_brackets_the_point_estimate() {
+        let (lo, hi) = wilson_interval(50, 1000);
+        assert!(lo < 0.05 && 0.05 < hi);
+        assert!(lo > 0.03 && hi < 0.07);
+        let (lo, hi) = wilson_interval(0, 1000);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.01);
+        let (lo, hi) = wilson_interval(1000, 1000);
+        assert!(lo > 0.99 && hi == 1.0);
+    }
+
+    #[test]
+    fn chipkill_due_rate_is_plausible() {
+        // P(k >= 2) with n = 9, p = 0.05 is about 7.1%; 10k trials keep
+        // the empirical rate within a generous band.
+        let mut cfg = small_cfg(4);
+        cfg.trials = 10_000;
+        cfg.replay_ops = 0;
+        let r = run_campaign(&cfg, CampaignScheme::Chipkill);
+        let rate = (r.counts.due + r.counts.sdc) as f64 / cfg.trials as f64;
+        assert!((0.05..0.09).contains(&rate), "rate {rate}");
+    }
+}

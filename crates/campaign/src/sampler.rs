@@ -1,0 +1,258 @@
+//! Fault-event sampling for accelerated campaign windows.
+//!
+//! Each trial observes one scrub-interval window over a replicated DIMM
+//! pair (or a single DIMM for non-replicated schemes). The sampler draws
+//! independent per-chip failures at the accelerated probability from
+//! [`AccelParams`], then refines each failure with a granularity (§II's
+//! anatomy: single cell upset, pin/lane, whole chip) and a
+//! transient/permanent nature. Granularity decides the corruption
+//! *pattern* inside the chip's codeword symbol; every granularity
+//! corrupts at least one bit of exactly one symbol, so the symbol-level
+//! combinatorics of the analytical model are unchanged — which is what
+//! makes exact cross-validation possible.
+
+use dve_reliability::accel::AccelParams;
+use dve_sim::rng::SplitMix64;
+
+/// Which copy of the replicated pair a fault lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The socket-local (home) copy.
+    Primary,
+    /// The remote replica copy.
+    Replica,
+}
+
+/// Within-chip corruption pattern (Fig. 2's fault anatomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// Single cell upset: one bit of the chip's symbol flips.
+    Bit,
+    /// Pin/lane fault: a short burst of bits inside the symbol.
+    Pin,
+    /// Whole-device failure: the symbol is fully randomized.
+    Chip,
+}
+
+/// One sampled chip failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChipFault {
+    /// Which copy it affects.
+    pub side: Side,
+    /// Device index within the DIMM (`0..chips_per_dimm`).
+    pub chip: usize,
+    /// Corruption pattern inside the device's symbol.
+    pub granularity: Granularity,
+    /// Whether the failure clears on the §V-B2 write-repair (transient)
+    /// or persists (permanent).
+    pub transient: bool,
+}
+
+/// The fault set of one trial window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSample {
+    /// All sampled failures, primary side first, ascending chip index.
+    pub faults: Vec<ChipFault>,
+}
+
+impl FaultSample {
+    /// Chip indices failed on one side, ascending.
+    pub fn chips(&self, side: Side) -> Vec<usize> {
+        self.faults
+            .iter()
+            .filter(|f| f.side == side)
+            .map(|f| f.chip)
+            .collect()
+    }
+
+    /// Number of *paired* failures: chips `i` failed on the primary
+    /// whose partner `pair(i)` also failed on the replica. Under Dvé's
+    /// layout a symbol is unrecoverable from either copy exactly when
+    /// its pair overlaps, so this count drives DUE classification.
+    pub fn pair_overlap(&self, pair: impl Fn(usize) -> usize) -> usize {
+        let replica = self.chips(Side::Replica);
+        self.chips(Side::Primary)
+            .iter()
+            .filter(|&&i| replica.contains(&pair(i)))
+            .count()
+    }
+
+    /// Whether every fault on `side` is transient.
+    pub fn all_transient(&self, side: Side) -> bool {
+        self.faults
+            .iter()
+            .filter(|f| f.side == side)
+            .all(|f| f.transient)
+    }
+
+    /// Whether any fault is active at all.
+    pub fn any(&self) -> bool {
+        !self.faults.is_empty()
+    }
+}
+
+/// Draws [`FaultSample`]s from accelerated window parameters.
+///
+/// # Example
+///
+/// ```
+/// use dve_campaign::sampler::{FaultSampler, Side};
+/// use dve_reliability::accel::AccelParams;
+/// use dve_sim::rng::SplitMix64;
+///
+/// let s = FaultSampler::new(AccelParams::paper_accelerated());
+/// let mut rng = SplitMix64::new(7);
+/// let sample = s.sample_pair(&mut rng);
+/// for f in &sample.faults {
+///     assert!(f.chip < 9);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSampler {
+    params: AccelParams,
+}
+
+/// Fraction of failures that are single-bit upsets.
+const BIT_FRAC: f64 = 0.55;
+/// Fraction of failures that are pin/lane bursts (the rest are
+/// whole-chip).
+const PIN_FRAC: f64 = 0.25;
+
+impl FaultSampler {
+    /// Creates a sampler for the given window parameters.
+    pub fn new(params: AccelParams) -> FaultSampler {
+        FaultSampler { params }
+    }
+
+    /// The window parameters.
+    pub fn params(&self) -> AccelParams {
+        self.params
+    }
+
+    /// Samples one window over a replicated DIMM pair.
+    pub fn sample_pair(&self, rng: &mut SplitMix64) -> FaultSample {
+        let mut faults = Vec::new();
+        for side in [Side::Primary, Side::Replica] {
+            self.sample_side(side, rng, &mut faults);
+        }
+        FaultSample { faults }
+    }
+
+    /// Samples one window over a single (non-replicated) DIMM.
+    pub fn sample_single(&self, rng: &mut SplitMix64) -> FaultSample {
+        let mut faults = Vec::new();
+        self.sample_side(Side::Primary, rng, &mut faults);
+        FaultSample { faults }
+    }
+
+    fn sample_side(&self, side: Side, rng: &mut SplitMix64, out: &mut Vec<ChipFault>) {
+        for chip in 0..self.params.chips_per_dimm {
+            if !rng.chance(self.params.chip_fail_prob) {
+                continue;
+            }
+            let roll = rng.next_f64();
+            let granularity = if roll < BIT_FRAC {
+                Granularity::Bit
+            } else if roll < BIT_FRAC + PIN_FRAC {
+                Granularity::Pin
+            } else {
+                Granularity::Chip
+            };
+            let transient = rng.chance(self.params.transient_frac);
+            out.push(ChipFault {
+                side,
+                chip,
+                granularity,
+                transient,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler() -> FaultSampler {
+        FaultSampler::new(AccelParams::paper_accelerated())
+    }
+
+    #[test]
+    fn deterministic_given_rng_state() {
+        let s = sampler();
+        let a = s.sample_pair(&mut SplitMix64::new(42));
+        let b = s.sample_pair(&mut SplitMix64::new(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empirical_rate_tracks_p() {
+        let s = sampler();
+        let mut rng = SplitMix64::new(1);
+        let trials = 20_000;
+        let mut failures = 0usize;
+        for _ in 0..trials {
+            failures += s.sample_pair(&mut rng).faults.len();
+        }
+        let per_chip = failures as f64 / (trials * 18) as f64;
+        let p = s.params().chip_fail_prob;
+        assert!(
+            (per_chip - p).abs() / p < 0.05,
+            "empirical {per_chip} vs configured {p}"
+        );
+    }
+
+    #[test]
+    fn overlap_counts_paired_chips_only() {
+        let mk = |side, chip| ChipFault {
+            side,
+            chip,
+            granularity: Granularity::Chip,
+            transient: false,
+        };
+        let sample = FaultSample {
+            faults: vec![
+                mk(Side::Primary, 2),
+                mk(Side::Primary, 5),
+                mk(Side::Replica, 2),
+                mk(Side::Replica, 7),
+            ],
+        };
+        assert_eq!(sample.pair_overlap(|i| i), 1);
+        // A shifted pairing can turn the overlap on or off.
+        assert_eq!(sample.pair_overlap(|i| (i + 2) % 9), 1); // 5 -> 7
+        assert_eq!(sample.pair_overlap(|i| (i + 1) % 9), 0);
+    }
+
+    #[test]
+    fn single_side_sampling_never_hits_replica() {
+        let s = sampler();
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..200 {
+            let sample = s.sample_single(&mut rng);
+            assert!(sample.chips(Side::Replica).is_empty());
+        }
+    }
+
+    #[test]
+    fn granularity_mix_materializes() {
+        let s = sampler();
+        let mut rng = SplitMix64::new(9);
+        let mut bits = 0;
+        let mut pins = 0;
+        let mut chips = 0;
+        for _ in 0..20_000 {
+            for f in s.sample_pair(&mut rng).faults {
+                match f.granularity {
+                    Granularity::Bit => bits += 1,
+                    Granularity::Pin => pins += 1,
+                    Granularity::Chip => chips += 1,
+                }
+            }
+        }
+        let total = (bits + pins + chips) as f64;
+        assert!((bits as f64 / total - BIT_FRAC).abs() < 0.05);
+        assert!((pins as f64 / total - PIN_FRAC).abs() < 0.05);
+        assert!(chips > 0);
+    }
+}

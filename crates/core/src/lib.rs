@@ -48,5 +48,5 @@ pub mod system;
 
 pub use builder::SystemBuilder;
 pub use config::{Scheme, SystemConfig};
-pub use recovery::{RecoverableMemory, RecoveryOutcome};
+pub use recovery::{RecoverableMemory, RecoveryEvent, RecoveryOutcome};
 pub use system::{RunResult, System};

@@ -69,6 +69,22 @@ pub struct RecoveryStats {
 /// // fault), so the region degrades to one copy.
 /// assert_eq!(outcome, RecoveryOutcome::CorrectedDegraded);
 /// ```
+/// One recovery-relevant read, as recorded by the event log.
+///
+/// Fault campaigns drain these with
+/// [`RecoverableMemory::take_events`] to build per-trial recovery
+/// traces; the log only records non-clean reads, so steady-state
+/// workloads cost nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Byte address of the read.
+    pub addr: u64,
+    /// Time the read was issued (cycles).
+    pub at: u64,
+    /// What the recovery state machine concluded.
+    pub outcome: RecoveryOutcome,
+}
+
 #[derive(Debug)]
 pub struct RecoverableMemory {
     primary: MemoryController,
@@ -76,6 +92,9 @@ pub struct RecoverableMemory {
     /// Line addresses known degraded (one working copy only).
     degraded: HashSet<u64>,
     stats: RecoveryStats,
+    /// Non-clean reads observed since the last [`Self::take_events`].
+    events: Vec<RecoveryEvent>,
+    log_events: bool,
 }
 
 impl RecoverableMemory {
@@ -91,6 +110,8 @@ impl RecoverableMemory {
             replica,
             degraded: HashSet::new(),
             stats: RecoveryStats::default(),
+            events: Vec::new(),
+            log_events: false,
         }
     }
 
@@ -124,9 +145,33 @@ impl RecoverableMemory {
         self.degraded.contains(&(addr / 64))
     }
 
+    /// Enables (or disables) the recovery event log consumed by
+    /// [`Self::take_events`]. Off by default.
+    pub fn set_event_logging(&mut self, on: bool) {
+        self.log_events = on;
+    }
+
+    /// Drains and returns all recovery events logged since the last
+    /// call (or since logging was enabled).
+    pub fn take_events(&mut self) -> Vec<RecoveryEvent> {
+        std::mem::take(&mut self.events)
+    }
+
     /// Reads `addr` with full recovery semantics. Returns the outcome
     /// and the completion time.
     pub fn read(&mut self, addr: u64, now: u64) -> (RecoveryOutcome, u64) {
+        let (outcome, done) = self.read_inner(addr, now);
+        if self.log_events && outcome != RecoveryOutcome::Clean {
+            self.events.push(RecoveryEvent {
+                addr,
+                at: now,
+                outcome,
+            });
+        }
+        (outcome, done)
+    }
+
+    fn read_inner(&mut self, addr: u64, now: u64) -> (RecoveryOutcome, u64) {
         // Degraded lines go straight to the surviving copy.
         if self.is_degraded(addr) {
             let (t, outcome) = self.replica.read_with_check(addr, Cycles(now));
@@ -184,6 +229,20 @@ impl RecoverableMemory {
 mod tests {
     use super::*;
     use dve_dram::fault::FaultDomain;
+
+    #[test]
+    fn event_log_records_non_clean_reads_only() {
+        let mut mem = RecoverableMemory::new_dve_tsd();
+        mem.set_event_logging(true);
+        mem.read(0x40, 0); // clean — not logged
+        mem.primary_mut().faults_mut().fail(FaultDomain::Controller);
+        mem.read(0x80, 100);
+        let events = mem.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].addr, 0x80);
+        assert_eq!(events[0].outcome, RecoveryOutcome::CorrectedDegraded);
+        assert!(mem.take_events().is_empty(), "drain empties the log");
+    }
 
     #[test]
     fn clean_reads_stay_clean() {

@@ -180,10 +180,10 @@ impl System {
         let mem_energy = dyn_joules + background;
 
         let mut counts = [0u64; 4];
-        for s in 0..2 {
+        for (s, before) in class_before.iter().enumerate() {
             let after = self.engine.home_dir(s).class_counts();
-            for i in 0..4 {
-                counts[i] += after[i] - class_before[s][i];
+            for (c, (a, b)) in counts.iter_mut().zip(after.iter().zip(before)) {
+                *c += a - b;
             }
         }
         let total: u64 = counts.iter().sum();
@@ -333,8 +333,10 @@ mod tests {
 
     #[test]
     fn allow_beats_deny_on_private_write_heavy_workload() {
-        let allow = small_run(Scheme::DveAllow, "lbm", 1500);
-        let deny = small_run(Scheme::DveDeny, "lbm", 1500);
+        // Long enough that the write-allocation effect dominates the
+        // trace-synthesis noise (short runs sit within ~0.5% of parity).
+        let allow = small_run(Scheme::DveAllow, "lbm", 6000);
+        let deny = small_run(Scheme::DveDeny, "lbm", 6000);
         assert!(
             allow.cycles < deny.cycles,
             "allow {} vs deny {}",

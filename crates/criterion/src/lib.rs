@@ -1,0 +1,173 @@
+//! A self-contained, offline drop-in for the subset of the `criterion`
+//! API this workspace's benches use.
+//!
+//! The build environment cannot fetch crates.io dependencies, so this
+//! crate supplies `Criterion`, `black_box`, `criterion_group!` and
+//! `criterion_main!` with compatible signatures. Measurement is
+//! intentionally simple — a warm-up pass followed by a timed batch,
+//! reporting mean ns/iteration — which is enough for `cargo bench` to
+//! exercise every pipeline and print comparable numbers, without
+//! criterion's statistical machinery.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver handed to every target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark. Accepts anything string-like for the
+    /// id, as the real crate does.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name.as_ref(), self.effective_samples(), &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            parent: self,
+            sample_size: 0,
+        }
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.sample_size == 0 {
+            50
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// A group of related benchmarks (supports `sample_size` and `finish`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.sample_size == 0 {
+            self.parent.effective_samples()
+        } else {
+            self.sample_size
+        };
+        run_one(name.as_ref(), samples, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The per-benchmark timing handle.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until ~2ms or `samples` iterations.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0usize;
+        while warm_iters < self.samples && warm_start.elapsed() < Duration::from_millis(2) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Measured batch: enough iterations for ~10ms, bounded.
+        let probe = Instant::now();
+        black_box(routine());
+        let per = probe.elapsed().as_nanos().max(1);
+        let iters = ((10_000_000 / per) as usize).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.last_ns_per_iter = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one<F>(name: &str, samples: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples,
+        last_ns_per_iter: 0.0,
+    };
+    f(&mut b);
+    println!("  {name:<40} {:>14.1} ns/iter", b.last_ns_per_iter);
+}
+
+/// Groups benchmark target functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_positive_time() {
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        g.finish();
+    }
+}

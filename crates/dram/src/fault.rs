@@ -115,6 +115,14 @@ impl FaultState {
         self.domains.is_empty()
     }
 
+    /// Iterates over the currently failed domains (arbitrary order).
+    ///
+    /// Fault campaigns use this to enumerate what to repair when
+    /// simulating transients cleared by a scrub pass.
+    pub fn iter(&self) -> impl Iterator<Item = FaultDomain> + '_ {
+        self.domains.iter().copied()
+    }
+
     /// Computes the impact of active faults on a read of channel-local
     /// byte address `addr` on `channel`. `None` means the read is clean.
     pub fn impact(&self, channel: usize, addr: u64, mapper: &AddressMapper) -> Option<FaultImpact> {

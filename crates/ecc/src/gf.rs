@@ -27,8 +27,8 @@ fn tables() -> &'static Tables {
         let mut exp = [0u8; 512];
         let mut log = [0u16; 256];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
             log[x as usize] = i as u16;
             x <<= 1;
             if x & 0x100 != 0 {
@@ -36,9 +36,10 @@ fn tables() -> &'static Tables {
             }
         }
         // Duplicate so that exp[i + j] works without a mod for i+j < 510.
-        for i in 255..512 {
-            exp[i] = exp[i - 255];
-        }
+        let (head, tail) = exp.split_at_mut(255);
+        tail[..255].copy_from_slice(head);
+        tail[255] = head[0];
+        tail[256] = head[1];
         Tables { exp, log }
     })
 }

@@ -8,8 +8,7 @@
 //! integration tests and the recovery path in `dve`).
 
 use crate::gf::Gf256;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dve_sim::rng::SplitMix64;
 
 /// The granularity of an injected fault, mirroring Fig. 2's anatomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,14 +55,14 @@ pub enum FaultKind {
 /// ```
 #[derive(Debug)]
 pub struct FaultInjector {
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl FaultInjector {
     /// Creates an injector with a fixed seed (deterministic).
     pub fn new(seed: u64) -> FaultInjector {
         FaultInjector {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
         }
     }
 
@@ -79,7 +78,7 @@ impl FaultInjector {
         let mut touched = Vec::new();
         match kind {
             FaultKind::SingleBit => {
-                let bit = self.rng.random_range(0..codeword.len() * 8);
+                let bit = self.rng.next_below(codeword.len() as u64 * 8) as usize;
                 codeword[bit / 8] ^= 1 << (bit % 8);
                 touched.push(bit / 8);
             }
@@ -90,7 +89,7 @@ impl FaultInjector {
                 );
                 let mut bits = std::collections::BTreeSet::new();
                 while bits.len() < count {
-                    bits.insert(self.rng.random_range(0..codeword.len() * 8));
+                    bits.insert(self.rng.next_below(codeword.len() as u64 * 8) as usize);
                 }
                 for bit in bits {
                     codeword[bit / 8] ^= 1 << (bit % 8);
@@ -98,7 +97,7 @@ impl FaultInjector {
                 }
             }
             FaultKind::ChipSymbol => {
-                let sym = self.rng.random_range(0..codeword.len());
+                let sym = self.rng.next_below(codeword.len() as u64) as usize;
                 codeword[sym] ^= self.nonzero_byte();
                 touched.push(sym);
             }
@@ -106,7 +105,7 @@ impl FaultInjector {
                 assert!(count <= codeword.len(), "more chips than symbols");
                 let mut syms = std::collections::BTreeSet::new();
                 while syms.len() < count {
-                    syms.insert(self.rng.random_range(0..codeword.len()));
+                    syms.insert(self.rng.next_below(codeword.len() as u64) as usize);
                 }
                 for sym in syms {
                     codeword[sym] ^= self.nonzero_byte();
@@ -118,11 +117,11 @@ impl FaultInjector {
                     bits >= 1 && bits <= codeword.len() * 8,
                     "invalid burst length"
                 );
-                let start = self.rng.random_range(0..=(codeword.len() * 8 - bits));
+                let start = self.rng.next_below((codeword.len() * 8 - bits + 1) as u64) as usize;
                 // First and last bit of a burst flip by definition; the
                 // interior flips randomly.
                 for (i, bit) in (start..start + bits).enumerate() {
-                    let flip = i == 0 || i == bits - 1 || self.rng.random_bool(0.5);
+                    let flip = i == 0 || i == bits - 1 || self.rng.chance(0.5);
                     if flip {
                         codeword[bit / 8] ^= 1 << (bit % 8);
                         touched.push(bit / 8);
@@ -131,14 +130,67 @@ impl FaultInjector {
             }
             FaultKind::WholeCodeword => {
                 for (i, b) in codeword.iter_mut().enumerate() {
-                    *b = self.rng.random();
+                    *b = self.rng.next_u64() as u8;
                     touched.push(i);
                 }
                 // Guarantee at least one byte differs (whole-codeword
                 // randomization could in principle reproduce the input).
-                let idx = self.rng.random_range(0..codeword.len());
+                let idx = self.rng.next_below(codeword.len() as u64) as usize;
                 codeword[idx] ^= self.nonzero_byte();
             }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    /// Corrupts exactly the given symbol (byte) positions, each with a
+    /// fresh non-zero error value. Positions may repeat; each XOR uses an
+    /// independent non-zero value, so a repeated position could in
+    /// principle cancel — pass distinct positions for an exact error
+    /// weight. Returns the touched indices (sorted, deduplicated).
+    ///
+    /// This is the deterministic-placement entry point used by fault
+    /// campaigns: the *campaign* decides which chips failed, the injector
+    /// only supplies error values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of bounds.
+    pub fn inject_symbols_at(&mut self, codeword: &mut [u8], positions: &[usize]) -> Vec<usize> {
+        let mut touched = Vec::with_capacity(positions.len());
+        for &pos in positions {
+            assert!(pos < codeword.len(), "symbol position out of bounds");
+            codeword[pos] ^= self.nonzero_byte();
+            touched.push(pos);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    /// Like [`inject_symbols_at`](Self::inject_symbols_at) but for
+    /// 16-bit-symbol codewords laid out as big-endian byte pairs (the
+    /// `Rs16Detect` layout): symbol `s` occupies bytes `2s..2s+2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codeword length is odd or a position is out of range.
+    pub fn inject_symbols16_at(&mut self, codeword: &mut [u8], positions: &[usize]) -> Vec<usize> {
+        assert!(
+            codeword.len().is_multiple_of(2),
+            "odd codeword for 16-bit symbols"
+        );
+        let mut touched = Vec::with_capacity(positions.len());
+        for &pos in positions {
+            assert!(
+                pos * 2 + 1 < codeword.len(),
+                "symbol position out of bounds"
+            );
+            let e = self.nonzero_u16();
+            codeword[pos * 2] ^= (e >> 8) as u8;
+            codeword[pos * 2 + 1] ^= e as u8;
+            touched.push(pos);
         }
         touched.sort_unstable();
         touched.dedup();
@@ -148,7 +200,17 @@ impl FaultInjector {
     fn nonzero_byte(&mut self) -> u8 {
         // Any non-zero GF(2^8) element; generated via a random exponent so
         // the distribution is uniform over the 255 non-zero values.
-        Gf256::alpha_pow(self.rng.random_range(0..255))
+        Gf256::alpha_pow(self.rng.next_below(255) as u32)
+    }
+
+    fn nonzero_u16(&mut self) -> u16 {
+        // Uniform non-zero GF(2^16) element via rejection sampling.
+        loop {
+            let v = self.rng.next_u64() as u16;
+            if v != 0 {
+                return v;
+            }
+        }
     }
 }
 

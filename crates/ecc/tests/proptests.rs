@@ -4,6 +4,7 @@ use dve_ecc::code::{CheckOutcome, CorrectionCode, DetectionCode};
 use dve_ecc::crc::{Crc16Ccitt, Crc32, Crc8Atm};
 use dve_ecc::gf::{Gf16, Gf256};
 use dve_ecc::hamming::SecDed;
+use dve_ecc::inject::{FaultInjector, FaultKind};
 use dve_ecc::rs::{DecodePolicy, Rs};
 use dve_ecc::rs16::Rs16Detect;
 use proptest::prelude::*;
@@ -116,6 +117,102 @@ proptest! {
             bad[2 * p..2 * p + 2].copy_from_slice(&cur.to_be_bytes());
         }
         prop_assert!(!tsd.check(&bad).is_good());
+    }
+
+    // ---- Fault injector driving the codes (campaign hooks) ------------
+
+    #[test]
+    fn injected_single_symbol_is_always_corrected(
+        data in proptest::collection::vec(any::<u8>(), 16),
+        pos in 0usize..18,
+        seed in any::<u64>(),
+    ) {
+        // The campaign corrupts exactly the failed chip's symbol through
+        // inject_symbols_at; RS(18,16) must repair any such error.
+        let rs = Rs::chipkill();
+        let mut cw = rs.encode(&data);
+        let mut inj = FaultInjector::new(seed);
+        let touched = inj.inject_symbols_at(&mut cw, &[pos]);
+        prop_assert_eq!(touched, vec![pos]);
+        let outcome = rs.check_and_repair(&mut cw);
+        prop_assert_eq!(outcome, CheckOutcome::Corrected { symbols_fixed: 1 });
+        prop_assert_eq!(rs.extract_data(&cw), data);
+    }
+
+    #[test]
+    fn injected_double_symbol_is_never_silent(
+        data in proptest::collection::vec(any::<u8>(), 16),
+        positions in proptest::collection::btree_set(0usize..18, 2),
+        seed in any::<u64>(),
+    ) {
+        // Two distinct symbol errors can never zero both syndromes
+        // (S₀ = S₁ = 0 would force the two error locators to coincide),
+        // so detection of doubles is guaranteed — even though the
+        // *correcting* decoder may miscorrect them (~7%, the SDC channel
+        // the campaign measures).
+        let rs = Rs::chipkill();
+        let cw = rs.encode(&data);
+        let mut bad = cw.clone();
+        let positions: Vec<usize> = positions.into_iter().collect();
+        let mut inj = FaultInjector::new(seed);
+        inj.inject_symbols_at(&mut bad, &positions);
+        prop_assert_ne!(rs.check(&bad), CheckOutcome::NoError);
+    }
+
+    #[test]
+    fn dsd_detect_only_never_repairs_injected_faults(
+        data in proptest::collection::vec(any::<u8>(), 16),
+        chips in 1usize..=4,
+        seed in any::<u64>(),
+    ) {
+        // Under Dvé the local code relinquishes correction: whatever the
+        // injector throws at a DSD codeword, the outcome is detection
+        // (never Corrected) and the codeword is left untouched for the
+        // replica-recovery path.
+        let dsd = Rs::dsd();
+        let mut cw = dsd.encode(&data);
+        let mut inj = FaultInjector::new(seed);
+        inj.inject(&mut cw, FaultKind::MultiChip { count: chips });
+        let before = cw.clone();
+        let outcome = dsd.check_and_repair(&mut cw);
+        prop_assert!(!matches!(outcome, CheckOutcome::Corrected { .. }));
+        prop_assert_eq!(cw, before);
+    }
+
+    #[test]
+    fn tsd_detects_injected_faults_up_to_three_symbols(
+        data in proptest::collection::vec(any::<u8>(), 64),
+        positions in proptest::collection::btree_set(0usize..35, 1..=3),
+        seed in any::<u64>(),
+    ) {
+        // The TSD guarantee the paper leans on (§IV-B): any ≤3 corrupted
+        // 16-bit symbols are detected.
+        let tsd = Rs16Detect::tsd(64);
+        let mut cw = tsd.encode(&data);
+        let positions: Vec<usize> = positions.into_iter().collect();
+        let mut inj = FaultInjector::new(seed);
+        let touched = inj.inject_symbols16_at(&mut cw, &positions);
+        prop_assert!(!touched.is_empty());
+        prop_assert!(!tsd.check(&cw).is_good());
+    }
+
+    #[test]
+    fn injector_is_deterministic_and_reports_touched_bytes(
+        len in 8usize..64,
+        seed in any::<u64>(),
+        chips in 1usize..=4,
+    ) {
+        let kind = FaultKind::MultiChip { count: chips };
+        let mut a = vec![0u8; len];
+        let mut b = vec![0u8; len];
+        let ta = FaultInjector::new(seed).inject(&mut a, kind);
+        let tb = FaultInjector::new(seed).inject(&mut b, kind);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&ta, &tb);
+        // Every touched byte actually changed; no untouched byte did.
+        for (i, &byte) in a.iter().enumerate() {
+            prop_assert_eq!(byte != 0, ta.contains(&i));
+        }
     }
 
     // ---- SEC-DED ------------------------------------------------------

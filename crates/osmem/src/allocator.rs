@@ -178,14 +178,14 @@ impl ReplicaAllocator {
     /// replication use; returns how many were actually carved per socket.
     pub fn balloon_inflate(&mut self, n: u64) -> [u64; 2] {
         let mut carved = [0u64; 2];
-        for s in 0..2 {
+        for (s, count) in carved.iter_mut().enumerate() {
             for _ in 0..n {
                 if !self.floor_ok(s) || self.free[s].is_empty() {
                     break;
                 }
                 let page = *self.free[s].iter().next_back().expect("non-empty");
                 self.free[s].remove(&page);
-                carved[s] += 1;
+                *count += 1;
             }
         }
         carved

@@ -1,0 +1,14 @@
+//! The names test files import via `use proptest::prelude::*;`.
+
+pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+    TestCaseError,
+};
+
+/// Upstream proptest re-exports the crate root as `proptest` inside the
+/// prelude so `proptest::collection::vec(..)` works either way; mirror
+/// the collection module path here.
+pub mod proptest_crate {
+    pub use crate::collection;
+}

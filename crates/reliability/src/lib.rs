@@ -21,12 +21,14 @@
 //! probability for a DSD code facing a triple-chip failure, per
 //! Yeleswarapu & Somani).
 
+pub mod accel;
 pub mod capacity;
 pub mod fit;
 pub mod model;
 pub mod mttf;
 pub mod table1;
 
+pub use accel::{binomial_tail_ge, AccelModel, AccelParams, WindowProbs};
 pub use fit::{arrhenius_scale, thermal_fit_vector, BASE_FIT};
 pub use model::{DueSdc, ReliabilityModel};
 pub use table1::{table1_rows, Table1Row};

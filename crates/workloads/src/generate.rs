@@ -11,11 +11,16 @@
 //!
 //! Spatial locality is modeled as sequential runs within the current
 //! region; temporal locality as re-touches of a small recent-line ring.
-//! All randomness comes from a per-thread `StdRng` seeded from
-//! `(experiment seed, thread id)` — identical streams on every run.
+//! All randomness comes from a per-thread [`SplitMix64`] whose seed is
+//! [`derive_seed`]`(experiment seed, WORKLOAD_STREAM, thread id)` —
+//! identical streams on every run.
 
 use crate::op::{MemReq, Op};
 use crate::profile::WorkloadProfile;
+use dve_sim::rng::{derive_seed, SplitMix64};
+
+/// Stream id reserved for workload trace synthesis in [`derive_seed`].
+pub const WORKLOAD_STREAM: u64 = 0x574B;
 
 /// Length of the long-range history ring per thread.
 const HISTORY_LINES: usize = 4_096;
@@ -24,8 +29,6 @@ const HISTORY_LINES: usize = 4_096;
 const REVISIT_PROB: f64 = 0.10;
 /// Revisits draw from at least this far back in the history.
 const REVISIT_MIN_DISTANCE: usize = 2_048;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Region {
@@ -37,7 +40,7 @@ enum Region {
 
 #[derive(Debug)]
 struct ThreadState {
-    rng: StdRng,
+    rng: SplitMix64,
     /// Sequential cursor per region.
     cursors: [u64; 4],
     /// Recently touched lines for temporal reuse, with whether the
@@ -124,12 +127,12 @@ impl TraceGenerator {
         };
         let states = (0..threads)
             .map(|t| {
-                let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9 * (t as u64 + 1)));
+                let mut rng = SplitMix64::new(derive_seed(seed, WORKLOAD_STREAM, t as u64));
                 let cursors = [
-                    rng.random_range(0..shared_ro),
-                    rng.random_range(0..shared_rw),
-                    rng.random_range(0..private_ro_per_thread),
-                    rng.random_range(0..private_rw_per_thread),
+                    rng.next_below(shared_ro),
+                    rng.next_below(shared_rw),
+                    rng.next_below(private_ro_per_thread),
+                    rng.next_below(private_rw_per_thread),
                 ];
                 ThreadState {
                     rng,
@@ -210,22 +213,23 @@ impl TraceGenerator {
         // Alternate compute and memory; occasionally emit a sync event.
         if !self.states[thread].pending_mem {
             self.states[thread].pending_mem = true;
-            if self.states[thread].rng.random_bool(sync_frac) {
+            if self.states[thread].rng.chance(sync_frac) {
                 return Op::Sync;
             }
             if compute > 0 {
-                let c = self.states[thread].rng.random_range(1..=compute.max(1) * 2);
+                let span = compute.max(1) as u64 * 2;
+                let c = 1 + self.states[thread].rng.next_below(span) as u32;
                 return Op::Compute(c);
             }
         }
         self.states[thread].pending_mem = false;
 
         // Temporal reuse of a recently touched line.
-        if !self.states[thread].recent.is_empty() && self.states[thread].rng.random_bool(reuse) {
+        if !self.states[thread].recent.is_empty() && self.states[thread].rng.chance(reuse) {
             let recent_len = self.states[thread].recent.len();
-            let idx = self.states[thread].rng.random_range(0..recent_len);
+            let idx = self.states[thread].rng.next_below(recent_len as u64) as usize;
             let (line, writable) = self.states[thread].recent[idx];
-            let req = if writable && self.states[thread].rng.random_bool(write_frac * 0.3) {
+            let req = if writable && self.states[thread].rng.chance(write_frac * 0.3) {
                 MemReq::Write
             } else {
                 MemReq::Read
@@ -236,11 +240,12 @@ impl TraceGenerator {
         // Loop-level revisit of a long-evicted line (read-only: the
         // iteration re-reads last sweep's data).
         if self.states[thread].history.len() > REVISIT_MIN_DISTANCE
-            && self.states[thread].rng.random_bool(REVISIT_PROB)
+            && self.states[thread].rng.chance(REVISIT_PROB)
         {
             let st = &mut self.states[thread];
             let len = st.history.len();
-            let back = st.rng.random_range(REVISIT_MIN_DISTANCE..len);
+            let back = REVISIT_MIN_DISTANCE
+                + st.rng.next_below((len - REVISIT_MIN_DISTANCE) as u64) as usize;
             let idx = (st.history_pos + len - back) % len;
             let line = st.history[idx];
             return Op::Mem {
@@ -250,7 +255,7 @@ impl TraceGenerator {
         }
 
         // Pick a region by the profile's mix.
-        let roll: f64 = self.states[thread].rng.random();
+        let roll: f64 = self.states[thread].rng.next_f64();
         let (region, region_idx) = if roll < mix.private_read {
             (Region::PrivateRo, 2)
         } else if roll < mix.private_read + mix.read_only {
@@ -261,12 +266,12 @@ impl TraceGenerator {
             (Region::PrivateRw, 3)
         };
         let len = self.region_len(region);
-        let pos = if self.states[thread].rng.random_bool(spatial) {
+        let pos = if self.states[thread].rng.chance(spatial) {
             let c = (self.states[thread].cursors[region_idx] + 1) % len;
             self.states[thread].cursors[region_idx] = c;
             c
         } else {
-            let c = self.states[thread].rng.random_range(0..len);
+            let c = self.states[thread].rng.next_below(len);
             self.states[thread].cursors[region_idx] = c;
             c
         };
@@ -275,7 +280,7 @@ impl TraceGenerator {
         let req = match region {
             Region::SharedRo | Region::PrivateRo => MemReq::Read,
             Region::SharedRw | Region::PrivateRw => {
-                if self.states[thread].rng.random_bool(write_frac) {
+                if self.states[thread].rng.chance(write_frac) {
                     MemReq::Write
                 } else {
                     MemReq::Read

@@ -52,7 +52,7 @@ fn main() {
     for year in 0..=10 {
         // Wear-out: FIT grows ~12% per year after an infant-mortality
         // plateau (a representative aging curve; see Fieback 2017).
-        let fit = 66.1 * 1.12f64.powi((year as i32 - 2).max(0));
+        let fit = 66.1 * 1.12f64.powi((year - 2).max(0));
         let m = model_at(fit);
         let chipkill = fleet_events_per_year(m.chipkill().due, FLEET);
         let dve = fleet_events_per_year(m.dve_tsd(ThermalMapping::Identity).due, FLEET);
