@@ -1,0 +1,325 @@
+//! Tracked performance baseline for the ECC decode pipeline and the
+//! fault-injection campaign.
+//!
+//! Produces two machine-readable artifacts in the current directory:
+//!
+//! * `BENCH_ecc.json` — median ns/op for the GF kernels (table-driven
+//!   vs the shift-and-add reference oracle), RS(18,16) encode and
+//!   decode (clean / 1-error / 2-error), the DSD detect path, and the
+//!   TSD (GF(2^16)) encode/detect path;
+//! * `BENCH_campaign.json` — end-to-end campaign throughput in
+//!   trials/second at 1, 2, and N workers (N = available parallelism).
+//!
+//! Both files record the git revision they were measured at, so the
+//! numbers can be tracked across PRs (CI uploads them as artifacts).
+//!
+//! Flags:
+//!
+//! * `--smoke` — reduced-iteration run for CI: ~1 ms of timed batches
+//!   per microbench and a small campaign; the JSON files are still
+//!   written (tagged `"mode": "smoke"`).
+//!
+//! Exit code: non-zero if the built-in relative gate fails — the clean
+//! RS(18,16) decode (syndrome-zero early exit) must be at least 2×
+//! faster than a full 1-error correction. This is a *relative* gate by
+//! design: absolute thresholds would flake across CI hardware, but the
+//! early-exit-to-full-decode ratio is machine-independent.
+
+use criterion::{black_box, Criterion};
+use dve_campaign::runner::{run_campaign, CampaignConfig};
+use dve_campaign::trial::CampaignScheme;
+use dve_ecc::code::DetectionCode;
+use dve_ecc::gf::{reference, Gf16, Gf256};
+use dve_ecc::rs::Rs;
+use dve_ecc::rs16::Rs16Detect;
+use std::fmt::Write as _;
+use std::process::{Command, ExitCode};
+use std::time::{Duration, Instant};
+
+/// How many scalar GF multiplies each GF routine performs per
+/// iteration; reported numbers are divided by this.
+const GF_BATCH: f64 = 255.0;
+
+/// The gate: clean decode must be at least this many times faster than
+/// a full 1-error decode.
+const GATE_CLEAN_SPEEDUP: f64 = 2.0;
+
+struct Entry {
+    name: &'static str,
+    ns_per_op: f64,
+}
+
+fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders a flat JSON object with a deterministic key order.
+fn render_json(rev: &str, mode: &str, unit: &str, fields: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"git_rev\": \"{rev}\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"unit\": \"{unit}\",");
+    out.push_str("  \"results\": {\n");
+    for (i, (name, value)) in fields.iter().enumerate() {
+        let comma = if i + 1 == fields.len() { "" } else { "," };
+        let _ = writeln!(out, "    \"{name}\": {value:.3}{comma}");
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn bench_ecc(c: &mut Criterion) -> Vec<Entry> {
+    let chipkill = Rs::chipkill();
+    let dsd = Rs::dsd();
+    let tsd = Rs16Detect::tsd(64);
+    let data16: Vec<u8> = (0..16).collect();
+    let line: Vec<u8> = (0..64).collect();
+    let clean = chipkill.encode(&data16);
+    let mut one_err = clean.clone();
+    one_err[5] ^= 0xA5;
+    let mut two_err = clean.clone();
+    two_err[3] ^= 0x11;
+    two_err[9] ^= 0x77;
+    let tsd_clean = tsd.encode(&line);
+    let mut tsd_err = tsd_clean.clone();
+    tsd_err[7] ^= 0x42;
+    tsd_err[40] ^= 0x99;
+
+    let mut entries = Vec::new();
+    let mut push = |c: &mut Criterion, name: &'static str, scale: f64| {
+        let m = c.take_measurements().pop().expect("bench recorded nothing");
+        entries.push(Entry {
+            name,
+            ns_per_op: m.median_ns_per_iter / scale,
+        });
+    };
+
+    // --- GF scalar kernels: table-driven vs reference oracle. ---
+    c.bench_function("gf256_mul", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for a in 1..=255u8 {
+                acc ^= Gf256::mul(black_box(a), black_box(0x53));
+            }
+            acc
+        })
+    });
+    push(c, "gf256_mul", GF_BATCH);
+
+    c.bench_function("gf256_mul_reference", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for a in 1..=255u8 {
+                acc ^= reference::gf256_mul(black_box(a), black_box(0x53));
+            }
+            acc
+        })
+    });
+    push(c, "gf256_mul_reference", GF_BATCH);
+
+    c.bench_function("gf16_mul", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for a in 1..=255u16 {
+                acc ^= Gf16::mul(black_box(a * 131), black_box(0x1537));
+            }
+            acc
+        })
+    });
+    push(c, "gf16_mul", GF_BATCH);
+
+    c.bench_function("gf16_mul_reference", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for a in 1..=255u16 {
+                acc ^= reference::gf16_mul(black_box(a * 131), black_box(0x1537));
+            }
+            acc
+        })
+    });
+    push(c, "gf16_mul_reference", GF_BATCH);
+
+    // --- GF slice kernels (per whole-slice call). ---
+    let mut acc64 = vec![0u8; 64];
+    let src64: Vec<u8> = (0..64).collect();
+    c.bench_function("gf256_fma_slice_64", |b| {
+        b.iter(|| {
+            Gf256::fma_slice(black_box(&mut acc64), black_box(&src64), black_box(0x1D));
+        })
+    });
+    push(c, "gf256_fma_slice_64", 1.0);
+
+    let mut buf32: Vec<u16> = (0..32).map(|i| i * 257 + 1).collect();
+    c.bench_function("gf16_mul_slice_assign_32", |b| {
+        b.iter(|| {
+            Gf16::mul_slice_assign(black_box(&mut buf32), black_box(0x1537));
+        })
+    });
+    push(c, "gf16_mul_slice_assign_32", 1.0);
+
+    // --- RS(18,16) Chipkill: encode + decode hot paths. ---
+    let mut cw_buf = vec![0u8; chipkill.codeword_len()];
+    c.bench_function("rs_encode_into", |b| {
+        b.iter(|| {
+            chipkill.encode_into(black_box(&data16), black_box(&mut cw_buf));
+        })
+    });
+    push(c, "rs_encode_into", 1.0);
+
+    let mut scratch = chipkill.make_scratch();
+    let mut work = clean.clone();
+    c.bench_function("rs_decode_clean", |b| {
+        b.iter(|| {
+            work.copy_from_slice(&clean);
+            black_box(chipkill.decode_in_place(black_box(&mut work), &mut scratch))
+        })
+    });
+    push(c, "rs_decode_clean", 1.0);
+
+    c.bench_function("rs_decode_1err", |b| {
+        b.iter(|| {
+            work.copy_from_slice(&one_err);
+            black_box(chipkill.decode_in_place(black_box(&mut work), &mut scratch))
+        })
+    });
+    push(c, "rs_decode_1err", 1.0);
+
+    c.bench_function("rs_decode_2err", |b| {
+        b.iter(|| {
+            work.copy_from_slice(&two_err);
+            black_box(chipkill.decode_in_place(black_box(&mut work), &mut scratch))
+        })
+    });
+    push(c, "rs_decode_2err", 1.0);
+
+    // --- DSD detect-only check. ---
+    c.bench_function("dsd_check_clean", |b| {
+        b.iter(|| black_box(dsd.check(black_box(&clean))))
+    });
+    push(c, "dsd_check_clean", 1.0);
+
+    // --- TSD (GF(2^16)) encode + detect. ---
+    let mut tsd_buf = vec![0u8; tsd.codeword_len()];
+    c.bench_function("tsd_encode_into", |b| {
+        b.iter(|| {
+            tsd.encode_into(black_box(&line), black_box(&mut tsd_buf));
+        })
+    });
+    push(c, "tsd_encode_into", 1.0);
+
+    c.bench_function("tsd_check_clean", |b| {
+        b.iter(|| black_box(tsd.check(black_box(&tsd_clean))))
+    });
+    push(c, "tsd_check_clean", 1.0);
+
+    c.bench_function("tsd_check_2err", |b| {
+        b.iter(|| black_box(tsd.check(black_box(&tsd_err))))
+    });
+    push(c, "tsd_check_2err", 1.0);
+
+    entries
+}
+
+fn bench_campaign(trials: u64) -> Vec<(String, f64)> {
+    let n = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut worker_counts = vec![1usize, 2];
+    if !worker_counts.contains(&n) {
+        worker_counts.push(n);
+    }
+    let schemes = CampaignScheme::ALL.len() as u64;
+    let mut out = Vec::new();
+    out.push(("trials_per_scheme".to_string(), trials as f64));
+    out.push(("schemes".to_string(), schemes as f64));
+    for workers in worker_counts {
+        let cfg = CampaignConfig {
+            master_seed: 0xD5E_2021,
+            trials,
+            workers,
+            params: dve_reliability::accel::AccelParams::paper_accelerated(),
+            replay_ops: 0,
+        };
+        // Warm-up pass: the first campaign run pays one-time costs
+        // (thread spawn, page faults on the 384 KiB GF tables, branch
+        // training) that otherwise roughly halve the measured
+        // steady-state throughput. Run every scheme once untimed.
+        for s in CampaignScheme::ALL {
+            black_box(run_campaign(&cfg, s));
+        }
+        let start = Instant::now();
+        for s in CampaignScheme::ALL {
+            black_box(run_campaign(&cfg, s));
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let tps = (trials * schemes) as f64 / secs;
+        println!("  campaign workers={workers:<2} {tps:>12.0} trials/s");
+        out.push((format!("trials_per_sec_workers_{workers}"), tps));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mode = if smoke { "smoke" } else { "full" };
+    let rev = git_rev();
+    println!("perf baseline @ {rev} ({mode})");
+
+    let mut c = Criterion::default();
+    c.quiet(true).measurement_time(if smoke {
+        Duration::from_millis(1)
+    } else {
+        Duration::from_millis(20)
+    });
+
+    println!("-- ecc microbenches --");
+    let ecc = bench_ecc(&mut c);
+    let ecc_fields: Vec<(String, f64)> = ecc
+        .iter()
+        .map(|e| (e.name.to_string(), e.ns_per_op))
+        .collect();
+    for (name, ns) in &ecc_fields {
+        println!("  {name:<28} {ns:>10.2} ns/op");
+    }
+    std::fs::write(
+        "BENCH_ecc.json",
+        render_json(&rev, mode, "ns_per_op_median", &ecc_fields),
+    )
+    .expect("write BENCH_ecc.json");
+
+    println!("-- campaign throughput --");
+    let trials = if smoke { 500 } else { 4000 };
+    let campaign_fields = bench_campaign(trials);
+    std::fs::write(
+        "BENCH_campaign.json",
+        render_json(&rev, mode, "trials_per_sec", &campaign_fields),
+    )
+    .expect("write BENCH_campaign.json");
+    println!("wrote BENCH_ecc.json and BENCH_campaign.json");
+
+    // --- Relative gate: the syndrome-zero early exit must pay off. ---
+    let get = |name: &str| {
+        ecc.iter()
+            .find(|e| e.name == name)
+            .map(|e| e.ns_per_op)
+            .expect("gate metric missing")
+    };
+    let clean = get("rs_decode_clean");
+    let full = get("rs_decode_1err");
+    let speedup = full / clean;
+    println!(
+        "gate: clean decode {clean:.2} ns vs 1-err decode {full:.2} ns \
+         ({speedup:.2}x, need >= {GATE_CLEAN_SPEEDUP:.1}x)"
+    );
+    if speedup < GATE_CLEAN_SPEEDUP {
+        eprintln!("FAIL: clean-decode early exit regressed below the {GATE_CLEAN_SPEEDUP}x gate");
+        return ExitCode::FAILURE;
+    }
+    println!("gate: ok");
+    ExitCode::SUCCESS
+}

@@ -128,10 +128,16 @@ pub fn run_campaign(cfg: &CampaignConfig, scheme: CampaignScheme) -> CampaignRes
                 let cfg = *cfg;
                 s.spawn(move || {
                     let exec = TrialExecutor::new(scheme, cfg.params, cfg.replay_ops);
+                    // One scratch per worker: trial outcomes depend only on
+                    // `(master_seed, scheme, trial)`, never on buffer reuse,
+                    // so sharing scratch across a worker's strided trials
+                    // keeps results bit-identical while eliminating the
+                    // per-trial allocation churn.
+                    let mut scratch = exec.make_scratch();
                     let mut part = Partial::default();
                     let mut trial = w as u64;
                     while trial < cfg.trials {
-                        part.absorb(exec.run(cfg.master_seed, trial));
+                        part.absorb(exec.run_with(cfg.master_seed, trial, &mut scratch));
                         trial += workers as u64;
                     }
                     part

@@ -23,6 +23,17 @@
 //! without attempting cross-copy reconstruction — so its event stream is
 //! a conservative overapproximation, logged for inspection rather than
 //! classification.
+//!
+//! # Zero-allocation trials
+//!
+//! Campaign throughput is decode-pipeline-bound, so the executor threads
+//! a per-worker [`TrialScratch`] (golden data, codeword and work buffers,
+//! the RS decoder scratch, the replay address list and the recovery-event
+//! buffer) through every trial: the adjudication path of a fault-free
+//! trial — the overwhelming majority — touches the heap zero times after
+//! the scratch is built. Results remain **bit-identical** for any worker
+//! count and to the pre-scratch implementation: the RNG draw order is
+//! unchanged and every buffer is fully overwritten per trial.
 
 use crate::sampler::{ChipFault, FaultSample, FaultSampler, Granularity, Side};
 use dve::recovery::{RecoverableMemory, RecoveryEvent};
@@ -30,9 +41,9 @@ use dve_dram::config::DramConfig;
 use dve_dram::controller::{AccessKind, EccProfile, MemoryController};
 use dve_dram::fault::FaultDomain;
 use dve_dram::scrub::Scrubber;
-use dve_ecc::code::{CheckOutcome, CorrectionCode, DetectionCode};
+use dve_ecc::code::{CheckOutcome, DetectionCode};
 use dve_ecc::inject::FaultInjector;
-use dve_ecc::rs::Rs;
+use dve_ecc::rs::{Rs, RsScratch};
 use dve_ecc::rs16::Rs16Detect;
 use dve_reliability::accel::AccelParams;
 use dve_sim::rng::{derive_seed, SplitMix64};
@@ -143,6 +154,34 @@ pub struct TrialResult {
     pub events: Vec<RecoveryEvent>,
 }
 
+/// Per-worker reusable buffers threaded through [`TrialExecutor::run_with`].
+///
+/// Build one per worker thread with [`TrialExecutor::make_scratch`]; its
+/// buffers are fully overwritten each trial, so reuse cannot leak state
+/// between trials and the campaign stays bit-identical for any worker
+/// count. Fault-free trials (the common case) complete without any heap
+/// allocation.
+#[derive(Debug, Clone, Default)]
+pub struct TrialScratch {
+    /// Golden dataword drawn per trial.
+    golden: Vec<u8>,
+    /// The clean encoded codeword.
+    clean_cw: Vec<u8>,
+    /// Primary copy after fault corruption.
+    primary: Vec<u8>,
+    /// Replica copy after fault corruption.
+    replica: Vec<u8>,
+    /// Decoder working copy (decoded in place).
+    work: Vec<u8>,
+    /// RS decoder scratch (Berlekamp–Massey / Chien / Forney buffers).
+    rs: RsScratch,
+    /// Replayed trace addresses.
+    addrs: Vec<u64>,
+    /// Recovery events accumulated by the system replay, copied into the
+    /// [`TrialResult`] at the end of each trial.
+    events: Vec<RecoveryEvent>,
+}
+
 /// Runs trials for one scheme; cheap to construct, reusable across a
 /// worker's whole trial range.
 #[derive(Debug)]
@@ -178,10 +217,41 @@ impl TrialExecutor {
         self.scheme
     }
 
-    /// Runs trial `trial` of the campaign keyed by `master_seed`.
-    /// Fully deterministic: the result depends only on
-    /// `(master_seed, scheme, trial)`.
+    /// Builds a scratch sized for this executor's largest codeword.
+    pub fn make_scratch(&self) -> TrialScratch {
+        let max_cw = self.chipkill.codeword_len().max(self.tsd.codeword_len());
+        let max_data = self.chipkill.data_len().max(self.tsd.data_len());
+        TrialScratch {
+            golden: Vec::with_capacity(max_data),
+            clean_cw: Vec::with_capacity(max_cw),
+            primary: Vec::with_capacity(max_cw),
+            replica: Vec::with_capacity(max_cw),
+            work: Vec::with_capacity(max_cw),
+            rs: self.chipkill.make_scratch(),
+            addrs: Vec::with_capacity(self.replay_ops as usize),
+            events: Vec::new(),
+        }
+    }
+
+    /// Runs trial `trial` of the campaign keyed by `master_seed`,
+    /// allocating fresh buffers. Convenience wrapper around
+    /// [`TrialExecutor::run_with`] for one-off calls and tests.
     pub fn run(&self, master_seed: u64, trial: u64) -> TrialResult {
+        let mut scratch = self.make_scratch();
+        self.run_with(master_seed, trial, &mut scratch)
+    }
+
+    /// Runs trial `trial` of the campaign keyed by `master_seed`, reusing
+    /// the caller's scratch buffers. Fully deterministic: the result
+    /// depends only on `(master_seed, scheme, trial)` — never on the
+    /// scratch's history.
+    pub fn run_with(
+        &self,
+        master_seed: u64,
+        trial: u64,
+        scratch: &mut TrialScratch,
+    ) -> TrialResult {
+        scratch.events.clear();
         let seed = derive_seed(master_seed, self.scheme.stream(), trial);
         let mut rng = SplitMix64::new(seed);
         let sample = if self.scheme.is_replicated() {
@@ -190,18 +260,18 @@ impl TrialExecutor {
             self.sampler.sample_single(&mut rng)
         };
         let overlap = sample.pair_overlap(|i| i);
-        let outcome = self.adjudicate(&sample, overlap, &mut rng);
-        let events = if self.replay_ops > 0 && sample.any() {
-            self.replay(&sample, &mut rng)
-        } else {
-            Vec::new()
-        };
+        let outcome = self.adjudicate(&sample, overlap, &mut rng, scratch);
+        if self.replay_ops > 0 && sample.any() {
+            self.replay(&sample, &mut rng, scratch);
+        }
         TrialResult {
             trial,
             outcome,
             overlap,
             fault_count: sample.faults.len(),
-            events,
+            // Copy out so the accumulation buffer (and its capacity) is
+            // reused by the next trial; empty for fault-free trials.
+            events: scratch.events.clone(),
         }
     }
 
@@ -212,17 +282,25 @@ impl TrialExecutor {
         sample: &FaultSample,
         overlap: usize,
         rng: &mut SplitMix64,
+        s: &mut TrialScratch,
     ) -> TrialOutcome {
         match self.scheme {
-            CampaignScheme::Chipkill => self.adjudicate_chipkill(sample, rng),
-            CampaignScheme::DveDsd => self.adjudicate_detect_only(&self.dsd, sample, overlap, rng),
-            CampaignScheme::DveTsd => self.adjudicate_detect_only(&self.tsd, sample, overlap, rng),
-            CampaignScheme::DveChipkill => self.adjudicate_dve_chipkill(sample, overlap, rng),
+            CampaignScheme::Chipkill => self.adjudicate_chipkill(sample, rng, s),
+            CampaignScheme::DveDsd => {
+                self.adjudicate_detect_only(&self.dsd, sample, overlap, rng, s)
+            }
+            CampaignScheme::DveTsd => {
+                self.adjudicate_detect_only(&self.tsd, sample, overlap, rng, s)
+            }
+            CampaignScheme::DveChipkill => self.adjudicate_dve_chipkill(sample, overlap, rng, s),
         }
     }
 
-    fn golden(&self, len: usize, rng: &mut SplitMix64) -> Vec<u8> {
-        (0..len).map(|_| rng.next_u64() as u8).collect()
+    fn fill_golden(golden: &mut Vec<u8>, len: usize, rng: &mut SplitMix64) {
+        golden.clear();
+        for _ in 0..len {
+            golden.push(rng.next_u64() as u8);
+        }
     }
 
     fn ce(&self, sample: &FaultSample) -> TrialOutcome {
@@ -234,14 +312,22 @@ impl TrialExecutor {
     }
 
     /// Chipkill alone: one DIMM, local correction, no replica.
-    fn adjudicate_chipkill(&self, sample: &FaultSample, rng: &mut SplitMix64) -> TrialOutcome {
-        let golden = self.golden(self.chipkill.data_len(), rng);
-        let clean_cw = self.chipkill.encode(&golden);
-        let mut cw = clean_cw.clone();
-        corrupt8(&mut cw, sample.faults.iter(), rng);
-        let corrupted = cw != clean_cw;
-        let mut work = cw.clone();
-        match self.chipkill.check_and_repair(&mut work) {
+    fn adjudicate_chipkill(
+        &self,
+        sample: &FaultSample,
+        rng: &mut SplitMix64,
+        s: &mut TrialScratch,
+    ) -> TrialOutcome {
+        Self::fill_golden(&mut s.golden, self.chipkill.data_len(), rng);
+        s.clean_cw.resize(self.chipkill.codeword_len(), 0);
+        self.chipkill.encode_into(&s.golden, &mut s.clean_cw);
+        s.primary.clear();
+        s.primary.extend_from_slice(&s.clean_cw);
+        corrupt8(&mut s.primary, sample.faults.iter(), rng);
+        let corrupted = s.primary != s.clean_cw;
+        s.work.clear();
+        s.work.extend_from_slice(&s.primary);
+        match self.chipkill.decode_in_place(&mut s.work, &mut s.rs) {
             CheckOutcome::NoError => {
                 if corrupted {
                     TrialOutcome::Sdc
@@ -250,7 +336,7 @@ impl TrialExecutor {
                 }
             }
             CheckOutcome::Corrected { .. } => {
-                if self.chipkill.extract_data(&work) == golden {
+                if s.work[..self.chipkill.data_len()] == s.golden[..] {
                     self.ce(sample)
                 } else {
                     TrialOutcome::Sdc // miscorrection
@@ -269,43 +355,39 @@ impl TrialExecutor {
         sample: &FaultSample,
         overlap: usize,
         rng: &mut SplitMix64,
+        s: &mut TrialScratch,
     ) -> TrialOutcome {
-        let golden = self.golden(code.data_len(), rng);
-        let clean_cw = code.encode(&golden);
+        Self::fill_golden(&mut s.golden, code.data_len(), rng);
+        s.clean_cw.resize(code.codeword_len(), 0);
+        code.encode_into(&s.golden, &mut s.clean_cw);
         let sixteen_bit = matches!(self.scheme, CampaignScheme::DveTsd);
 
-        let mut primary = clean_cw.clone();
-        let mut replica = clean_cw.clone();
-        let prim_faults: Vec<&ChipFault> = sample
-            .faults
-            .iter()
-            .filter(|f| f.side == Side::Primary)
-            .collect();
-        let repl_faults: Vec<&ChipFault> = sample
-            .faults
-            .iter()
-            .filter(|f| f.side == Side::Replica)
-            .collect();
+        s.primary.clear();
+        s.primary.extend_from_slice(&s.clean_cw);
+        s.replica.clear();
+        s.replica.extend_from_slice(&s.clean_cw);
+        let prim_faults = sample.faults.iter().filter(|f| f.side == Side::Primary);
+        let repl_faults = sample.faults.iter().filter(|f| f.side == Side::Replica);
         if sixteen_bit {
-            corrupt16(&mut primary, prim_faults.iter().copied(), rng);
-            corrupt16(&mut replica, repl_faults.iter().copied(), rng);
+            corrupt16(&mut s.primary, prim_faults, rng);
+            corrupt16(&mut s.replica, repl_faults, rng);
         } else {
-            corrupt8(&mut primary, prim_faults.iter().copied(), rng);
-            corrupt8(&mut replica, repl_faults.iter().copied(), rng);
+            corrupt8(&mut s.primary, prim_faults, rng);
+            corrupt8(&mut s.replica, repl_faults, rng);
         }
 
-        match code.check(&primary) {
+        match code.check(&s.primary) {
             CheckOutcome::NoError => {
-                if primary != clean_cw {
+                if s.primary != s.clean_cw {
                     TrialOutcome::Sdc // detection miss on the home copy
                 } else {
                     TrialOutcome::Clean
                 }
             }
             CheckOutcome::Corrected { .. } => unreachable!("detect-only code corrected"),
-            CheckOutcome::DetectedUncorrectable { .. } => match code.check(&replica) {
+            CheckOutcome::DetectedUncorrectable { .. } => match code.check(&s.replica) {
                 CheckOutcome::NoError => {
-                    if replica != clean_cw {
+                    if s.replica != s.clean_cw {
                         TrialOutcome::Sdc // silent wrong data served by replica
                     } else {
                         self.ce(sample)
@@ -333,49 +415,55 @@ impl TrialExecutor {
         sample: &FaultSample,
         overlap: usize,
         rng: &mut SplitMix64,
+        s: &mut TrialScratch,
     ) -> TrialOutcome {
-        let golden = self.golden(self.chipkill.data_len(), rng);
-        let clean_cw = self.chipkill.encode(&golden);
-        let mut primary = clean_cw.clone();
-        let mut replica = clean_cw.clone();
+        Self::fill_golden(&mut s.golden, self.chipkill.data_len(), rng);
+        s.clean_cw.resize(self.chipkill.codeword_len(), 0);
+        self.chipkill.encode_into(&s.golden, &mut s.clean_cw);
+        s.primary.clear();
+        s.primary.extend_from_slice(&s.clean_cw);
+        s.replica.clear();
+        s.replica.extend_from_slice(&s.clean_cw);
         corrupt8(
-            &mut primary,
+            &mut s.primary,
             sample.faults.iter().filter(|f| f.side == Side::Primary),
             rng,
         );
         corrupt8(
-            &mut replica,
+            &mut s.replica,
             sample.faults.iter().filter(|f| f.side == Side::Replica),
             rng,
         );
-        let mut work = primary.clone();
-        match self.chipkill.check_and_repair(&mut work) {
+        s.work.clear();
+        s.work.extend_from_slice(&s.primary);
+        match self.chipkill.decode_in_place(&mut s.work, &mut s.rs) {
             CheckOutcome::NoError => {
-                if primary != clean_cw {
+                if s.primary != s.clean_cw {
                     TrialOutcome::Sdc
                 } else {
                     TrialOutcome::Clean
                 }
             }
             CheckOutcome::Corrected { .. } => {
-                if self.chipkill.extract_data(&work) == golden {
+                if s.work[..self.chipkill.data_len()] == s.golden[..] {
                     self.ce(sample)
                 } else {
                     TrialOutcome::Sdc // local miscorrection, replica never asked
                 }
             }
             CheckOutcome::DetectedUncorrectable { .. } => {
-                let mut rwork = replica.clone();
-                match self.chipkill.check_and_repair(&mut rwork) {
+                s.work.clear();
+                s.work.extend_from_slice(&s.replica);
+                match self.chipkill.decode_in_place(&mut s.work, &mut s.rs) {
                     CheckOutcome::NoError => {
-                        if replica != clean_cw {
+                        if s.replica != s.clean_cw {
                             TrialOutcome::Sdc
                         } else {
                             self.ce(sample)
                         }
                     }
                     CheckOutcome::Corrected { .. } => {
-                        if self.chipkill.extract_data(&rwork) == golden {
+                        if s.work[..self.chipkill.data_len()] == s.golden[..] {
                             self.ce(sample)
                         } else {
                             TrialOutcome::Sdc
@@ -398,11 +486,11 @@ impl TrialExecutor {
 
     // ---- system-level replay -----------------------------------------
 
-    fn replay(&self, sample: &FaultSample, rng: &mut SplitMix64) -> Vec<RecoveryEvent> {
+    fn replay(&self, sample: &FaultSample, rng: &mut SplitMix64, s: &mut TrialScratch) {
         if self.scheme.is_replicated() {
-            self.replay_replicated(sample, rng)
+            self.replay_replicated(sample, rng, s);
         } else {
-            self.replay_single(sample, rng)
+            self.replay_single(sample, rng, s);
         }
     }
 
@@ -417,12 +505,12 @@ impl TrialExecutor {
         }
     }
 
-    fn trace_addrs(&self, rng: &mut SplitMix64) -> Vec<u64> {
-        // Replay a slice of a seeded workload trace, folded into the
-        // scrub region.
+    /// Fills `addrs` with a slice of a seeded workload trace, folded into
+    /// the scrub region.
+    fn trace_addrs_into(&self, rng: &mut SplitMix64, addrs: &mut Vec<u64>) {
         let profile = &catalog()[0];
         let mut gen = TraceGenerator::new(profile, 1, rng.next_u64());
-        let mut addrs = Vec::with_capacity(self.replay_ops as usize);
+        addrs.clear();
         let lines = REPLAY_REGION_BYTES / 64;
         let mut guard = 0u64;
         while addrs.len() < self.replay_ops as usize && guard < self.replay_ops * 16 {
@@ -431,10 +519,9 @@ impl TrialExecutor {
             }
             guard += 1;
         }
-        addrs
     }
 
-    fn replay_replicated(&self, sample: &FaultSample, rng: &mut SplitMix64) -> Vec<RecoveryEvent> {
+    fn replay_replicated(&self, sample: &FaultSample, rng: &mut SplitMix64, s: &mut TrialScratch) {
         let mut mem = RecoverableMemory::new(
             DramConfig::ddr4_2400_no_refresh(),
             self.scheme.ecc_profile(),
@@ -450,7 +537,8 @@ impl TrialExecutor {
         }
         // Workload phase.
         let mut t = 0u64;
-        for addr in self.trace_addrs(rng) {
+        self.trace_addrs_into(rng, &mut s.addrs);
+        for &addr in &s.addrs {
             let (_, done) = mem.read(addr, t);
             t = done;
         }
@@ -476,23 +564,23 @@ impl TrialExecutor {
             let (_, done) = mem.read(i * 64, t);
             t = done;
         }
-        mem.take_events()
+        s.events.extend(mem.take_events());
     }
 
-    fn replay_single(&self, sample: &FaultSample, rng: &mut SplitMix64) -> Vec<RecoveryEvent> {
+    fn replay_single(&self, sample: &FaultSample, rng: &mut SplitMix64, s: &mut TrialScratch) {
         let mut mc = MemoryController::new(0, DramConfig::ddr4_2400_no_refresh());
         mc.set_ecc(self.scheme.ecc_profile());
         for f in &sample.faults {
             mc.faults_mut()
                 .fail(Self::fault_domain(Side::Primary, f.chip));
         }
-        let mut events = Vec::new();
         let mut t = 0u64;
-        for addr in self.trace_addrs(rng) {
+        self.trace_addrs_into(rng, &mut s.addrs);
+        for &addr in &s.addrs {
             let (timing, outcome) = mc.read_with_check(addr, Cycles(t));
             t = timing.complete_at.raw();
             if let CheckOutcome::DetectedUncorrectable { .. } = outcome {
-                events.push(RecoveryEvent {
+                s.events.push(RecoveryEvent {
                     addr,
                     at: t,
                     outcome: dve::recovery::RecoveryOutcome::MachineCheck,
@@ -511,7 +599,6 @@ impl TrialExecutor {
                     .repair(Self::fault_domain(Side::Primary, f.chip));
             }
         }
-        events
     }
 }
 
@@ -584,9 +671,27 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // Reusing one scratch across many trials (in any order) must be
+        // bit-identical to a fresh scratch per trial.
+        for scheme in CampaignScheme::ALL {
+            let e = exec(scheme);
+            let mut reused = e.make_scratch();
+            for t in [5u64, 0, 99, 3, 42, 3, 7] {
+                let a = e.run_with(0xFEED, t, &mut reused);
+                let b = e.run(0xFEED, t);
+                assert_eq!(a, b, "{} trial {t}", scheme.label());
+            }
+        }
+    }
+
+    #[test]
     fn different_trials_differ() {
         let e = exec(CampaignScheme::Chipkill);
-        let outcomes: Vec<_> = (0..200).map(|t| e.run(1, t).outcome).collect();
+        let mut scratch = e.make_scratch();
+        let outcomes: Vec<_> = (0..200)
+            .map(|t| e.run_with(1, t, &mut scratch).outcome)
+            .collect();
         assert!(
             outcomes.iter().any(|&o| o != outcomes[0]),
             "200 trials all identical"
@@ -597,9 +702,10 @@ mod tests {
     fn chipkill_single_fault_is_corrected() {
         // Find trials with exactly one fault and check they never DUE.
         let e = exec(CampaignScheme::Chipkill);
+        let mut scratch = e.make_scratch();
         let mut seen = 0;
         for t in 0..2000 {
-            let r = e.run(2, t);
+            let r = e.run_with(2, t, &mut scratch);
             if r.fault_count == 1 {
                 seen += 1;
                 assert!(
@@ -619,8 +725,9 @@ mod tests {
     fn dve_due_requires_pair_overlap() {
         for scheme in [CampaignScheme::DveDsd, CampaignScheme::DveTsd] {
             let e = exec(scheme);
+            let mut scratch = e.make_scratch();
             for t in 0..3000 {
-                let r = e.run(3, t);
+                let r = e.run_with(3, t, &mut scratch);
                 if r.outcome == TrialOutcome::Due {
                     assert!(r.overlap >= 1, "{} DUE without overlap", scheme.label());
                 }
@@ -634,8 +741,9 @@ mod tests {
     #[test]
     fn dve_chipkill_due_requires_double_overlap() {
         let e = exec(CampaignScheme::DveChipkill);
+        let mut scratch = e.make_scratch();
         for t in 0..5000 {
-            let r = e.run(4, t);
+            let r = e.run_with(4, t, &mut scratch);
             if r.outcome == TrialOutcome::Due {
                 assert!(r.overlap >= 2, "DUE with overlap {}", r.overlap);
             }
@@ -645,9 +753,10 @@ mod tests {
     #[test]
     fn fault_free_trials_are_clean_with_no_events() {
         let e = exec(CampaignScheme::DveDsd);
+        let mut scratch = e.make_scratch();
         let mut seen = 0;
         for t in 0..500 {
-            let r = e.run(5, t);
+            let r = e.run_with(5, t, &mut scratch);
             if r.fault_count == 0 {
                 seen += 1;
                 assert_eq!(r.outcome, TrialOutcome::Clean);
@@ -662,10 +771,11 @@ mod tests {
         // A permanent primary fault under a detect-only code must leave
         // recovery events in the replay log.
         let e = exec(CampaignScheme::DveTsd);
+        let mut scratch = e.make_scratch();
         let mut with_faults = 0;
         let mut with_events = 0;
         for t in 0..300 {
-            let r = e.run(6, t);
+            let r = e.run_with(6, t, &mut scratch);
             if r.fault_count > 0 {
                 with_faults += 1;
                 if !r.events.is_empty() {

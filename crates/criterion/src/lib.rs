@@ -4,10 +4,17 @@
 //! The build environment cannot fetch crates.io dependencies, so this
 //! crate supplies `Criterion`, `black_box`, `criterion_group!` and
 //! `criterion_main!` with compatible signatures. Measurement is
-//! intentionally simple — a warm-up pass followed by a timed batch,
-//! reporting mean ns/iteration — which is enough for `cargo bench` to
-//! exercise every pipeline and print comparable numbers, without
-//! criterion's statistical machinery.
+//! intentionally simple compared to the real crate, but robust enough
+//! to track regressions: each `iter` call runs a warm-up pass and then
+//! several independently timed batches, reporting the **median**
+//! ns/iteration across batches (the median discards one-off scheduling
+//! hiccups that would skew a single-batch mean).
+//!
+//! Beyond printing, every completed benchmark is recorded on the
+//! [`Criterion`] instance as a [`Measurement`]; harnesses that want the
+//! numbers programmatically (the `dve-bench` `perf` binary, which
+//! writes `BENCH_*.json` files) drain them with
+//! [`Criterion::take_measurements`].
 
 use std::hint;
 use std::time::{Duration, Instant};
@@ -17,30 +24,76 @@ pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
 }
 
+/// One finished benchmark: its (group-qualified) name and the median
+/// nanoseconds per iteration over the timed batches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark id; group benches are recorded as `"group/name"`.
+    pub name: String,
+    /// Median ns per iteration across the timed batches.
+    pub median_ns_per_iter: f64,
+}
+
 /// Top-level benchmark driver handed to every target function.
 #[derive(Debug, Default)]
 pub struct Criterion {
     sample_size: usize,
+    /// Total timed-batch budget per benchmark; 0 means the default.
+    measurement_nanos: u64,
+    /// Suppress per-benchmark printing (for programmatic harnesses).
+    quiet: bool,
+    measurements: Vec<Measurement>,
 }
 
 impl Criterion {
+    /// Sets the total time budget spent in timed batches per benchmark.
+    /// Smaller budgets trade precision for speed (used by the CI
+    /// perf-smoke run).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Criterion {
+        self.measurement_nanos = (d.as_nanos() as u64).max(1);
+        self
+    }
+
+    /// Disables per-benchmark stdout lines; results are still recorded
+    /// and retrievable via [`Criterion::take_measurements`].
+    pub fn quiet(&mut self, quiet: bool) -> &mut Criterion {
+        self.quiet = quiet;
+        self
+    }
+
     /// Runs a standalone benchmark. Accepts anything string-like for the
     /// id, as the real crate does.
     pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Criterion
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name.as_ref(), self.effective_samples(), &mut f);
+        let m = run_one(
+            name.as_ref(),
+            self.effective_samples(),
+            self.effective_nanos(),
+            self.quiet,
+            &mut f,
+        );
+        self.measurements.push(m);
         self
     }
 
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        println!("group: {name}");
+        if !self.quiet {
+            println!("group: {name}");
+        }
         BenchmarkGroup {
+            name: name.to_string(),
             parent: self,
             sample_size: 0,
         }
+    }
+
+    /// Drains and returns every measurement recorded so far, in
+    /// execution order.
+    pub fn take_measurements(&mut self) -> Vec<Measurement> {
+        std::mem::take(&mut self.measurements)
     }
 
     fn effective_samples(&self) -> usize {
@@ -50,11 +103,20 @@ impl Criterion {
             self.sample_size
         }
     }
+
+    fn effective_nanos(&self) -> u64 {
+        if self.measurement_nanos == 0 {
+            10_000_000 // 10 ms of timed batches per benchmark
+        } else {
+            self.measurement_nanos
+        }
+    }
 }
 
 /// A group of related benchmarks (supports `sample_size` and `finish`).
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
+    name: String,
     parent: &'a mut Criterion,
     sample_size: usize,
 }
@@ -66,7 +128,8 @@ impl<'a> BenchmarkGroup<'a> {
         self
     }
 
-    /// Runs one benchmark inside the group.
+    /// Runs one benchmark inside the group. Recorded under the
+    /// qualified name `"{group}/{name}"`.
     pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -76,7 +139,15 @@ impl<'a> BenchmarkGroup<'a> {
         } else {
             self.sample_size
         };
-        run_one(name.as_ref(), samples, &mut f);
+        let qualified = format!("{}/{}", self.name, name.as_ref());
+        let m = run_one(
+            &qualified,
+            samples,
+            self.parent.effective_nanos(),
+            self.parent.quiet,
+            &mut f,
+        );
+        self.parent.measurements.push(m);
         self
     }
 
@@ -84,16 +155,24 @@ impl<'a> BenchmarkGroup<'a> {
     pub fn finish(&mut self) {}
 }
 
+/// Number of independently timed batches whose median is reported.
+const BATCHES: usize = 5;
+
 /// The per-benchmark timing handle.
 #[derive(Debug)]
 pub struct Bencher {
     samples: usize,
-    /// Mean nanoseconds per iteration of the last `iter` call.
+    /// Total nanoseconds to spend across all timed batches.
+    budget_nanos: u64,
+    /// Median nanoseconds per iteration of the last `iter` call.
     last_ns_per_iter: f64,
 }
 
 impl Bencher {
-    /// Times repeated calls of `routine`.
+    /// Times repeated calls of `routine`: a warm-up pass, then
+    /// [`BATCHES`] equally sized timed batches. Records the median
+    /// batch's ns/iteration, which is robust to a single batch being
+    /// descheduled or absorbing a lazy-init cost.
     pub fn iter<O, R>(&mut self, mut routine: R)
     where
         R: FnMut() -> O,
@@ -105,30 +184,42 @@ impl Bencher {
             black_box(routine());
             warm_iters += 1;
         }
-        // Measured batch: enough iterations for ~10ms, bounded.
+        // Probe once to size the batches.
         let probe = Instant::now();
         black_box(routine());
-        let per = probe.elapsed().as_nanos().max(1);
-        let iters = ((10_000_000 / per) as usize).clamp(1, 1_000_000);
-        let start = Instant::now();
-        for _ in 0..iters {
-            black_box(routine());
+        let per = probe.elapsed().as_nanos().max(1) as u64;
+        let per_batch_budget = (self.budget_nanos / BATCHES as u64).max(1);
+        let iters = ((per_batch_budget / per) as usize).clamp(1, 1_000_000);
+        let mut batch_ns: [f64; BATCHES] = [0.0; BATCHES];
+        for slot in &mut batch_ns {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            *slot = start.elapsed().as_nanos() as f64 / iters as f64;
         }
-        let total = start.elapsed();
-        self.last_ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        batch_ns.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns_per_iter = batch_ns[BATCHES / 2];
     }
 }
 
-fn run_one<F>(name: &str, samples: usize, f: &mut F)
+fn run_one<F>(name: &str, samples: usize, budget_nanos: u64, quiet: bool, f: &mut F) -> Measurement
 where
     F: FnMut(&mut Bencher),
 {
     let mut b = Bencher {
         samples,
+        budget_nanos,
         last_ns_per_iter: 0.0,
     };
     f(&mut b);
-    println!("  {name:<40} {:>14.1} ns/iter", b.last_ns_per_iter);
+    if !quiet {
+        println!("  {name:<40} {:>14.1} ns/iter (median)", b.last_ns_per_iter);
+    }
+    Measurement {
+        name: name.to_string(),
+        median_ns_per_iter: b.last_ns_per_iter,
+    }
 }
 
 /// Groups benchmark target functions under one callable name.
@@ -159,15 +250,43 @@ mod tests {
     #[test]
     fn bench_function_reports_positive_time() {
         let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(2)).quiet(true);
         c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let ms = c.take_measurements();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].name, "spin");
+        assert!(ms[0].median_ns_per_iter > 0.0);
     }
 
     #[test]
-    fn groups_compose() {
+    fn groups_compose_and_qualify_names() {
         let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(2)).quiet(true);
         let mut g = c.benchmark_group("g");
         g.sample_size(10);
         g.bench_function("noop", |b| b.iter(|| 1u64 + 1));
         g.finish();
+        let ms = c.take_measurements();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].name, "g/noop");
+    }
+
+    #[test]
+    fn take_measurements_drains() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(1)).quiet(true);
+        c.bench_function("a", |b| b.iter(|| 1u64 + 1));
+        assert_eq!(c.take_measurements().len(), 1);
+        assert!(c.take_measurements().is_empty());
+    }
+
+    #[test]
+    fn measurement_ordering_is_execution_order() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(1)).quiet(true);
+        c.bench_function("first", |b| b.iter(|| 1u64 + 1));
+        c.bench_function("second", |b| b.iter(|| 2u64 + 2));
+        let names: Vec<_> = c.take_measurements().into_iter().map(|m| m.name).collect();
+        assert_eq!(names, ["first", "second"]);
     }
 }

@@ -15,6 +15,7 @@ use crate::energy::EnergyModel;
 use crate::fault::FaultState;
 use crate::rowhammer::RowHammerMonitor;
 use dve_ecc::code::CheckOutcome;
+use dve_sim::event::EventQueue;
 use dve_sim::time::Cycles;
 
 /// Read or write.
@@ -75,6 +76,16 @@ impl EccProfile {
     }
 }
 
+/// Periodic maintenance operations the controller self-schedules on its
+/// internal [`EventQueue`]. Today this is only refresh; scrub and
+/// rowhammer mitigation sweeps slot in as further variants without
+/// touching the access path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MaintEvent {
+    /// An all-bank auto-refresh (tREFI cadence, tRFC busy window).
+    Refresh,
+}
+
 /// Aggregated controller statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ControllerStats {
@@ -121,7 +132,9 @@ pub struct MemoryController {
     faults: FaultState,
     stats: ControllerStats,
     ecc: EccProfile,
-    next_refresh: Cycles,
+    /// Self-scheduled maintenance (refresh today; scrub/mitigation later).
+    /// Pre-sized so steady-state rescheduling never reallocates.
+    maintenance: EventQueue<MaintEvent>,
     hammer: RowHammerMonitor,
 }
 
@@ -131,6 +144,11 @@ impl MemoryController {
         let banks = vec![Bank::new(); cfg.total_banks()];
         let ranks = cfg.ranks_per_channel;
         let t_refi = cfg.t_refi;
+        let refresh_enabled = cfg.refresh_enabled;
+        let mut maintenance = EventQueue::with_capacity(4);
+        if refresh_enabled {
+            maintenance.push(t_refi.raw(), MaintEvent::Refresh);
+        }
         MemoryController {
             channel,
             mapper: AddressMapper::new(cfg),
@@ -139,7 +157,7 @@ impl MemoryController {
             faults: FaultState::new(),
             stats: ControllerStats::default(),
             ecc: EccProfile::chipkill(),
-            next_refresh: t_refi,
+            maintenance,
             hammer: RowHammerMonitor::ddr4_default(),
         }
     }
@@ -185,20 +203,27 @@ impl MemoryController {
         &self.faults
     }
 
+    /// Drains maintenance events due at or before `now`, applying their
+    /// effects and rescheduling the periodic ones. Refresh semantics are
+    /// unchanged from the original counter-based implementation: each
+    /// elapsed tREFI boundary forces every bank busy through tRFC.
     fn catch_up_refresh(&mut self, now: Cycles) {
-        if !self.config().refresh_enabled {
-            return;
-        }
-        let t_rfc = self.config().t_rfc;
-        let t_refi = self.config().t_refi;
-        while self.next_refresh <= now {
-            let until = self.next_refresh + t_rfc;
-            for b in &mut self.banks {
-                b.force_busy(until);
+        while self.maintenance.peek_time().is_some_and(|t| t <= now.raw()) {
+            let (at, event) = self.maintenance.pop().expect("peeked event vanished");
+            match event {
+                MaintEvent::Refresh => {
+                    let cfg = self.mapper.config();
+                    let (t_rfc, t_refi) = (cfg.t_rfc, cfg.t_refi);
+                    let until = Cycles(at) + t_rfc;
+                    for b in &mut self.banks {
+                        b.force_busy(until);
+                    }
+                    self.energy.count_refresh();
+                    self.stats.refreshes += 1;
+                    self.maintenance
+                        .push(at + t_refi.raw(), MaintEvent::Refresh);
+                }
             }
-            self.energy.count_refresh();
-            self.stats.refreshes += 1;
-            self.next_refresh += t_refi;
         }
     }
 

@@ -74,6 +74,27 @@ pub trait DetectionCode {
     /// Panics if `data.len() != self.data_len()`.
     fn encode(&self, data: &[u8]) -> Vec<u8>;
 
+    /// Encodes `data` into a caller-provided codeword buffer.
+    ///
+    /// The default implementation allocates via [`DetectionCode::encode`];
+    /// hot-path codecs (`Rs`, `Rs16Detect`) override it with a fully
+    /// in-place, allocation-free encoder so callers that own their
+    /// buffers (the campaign trial executor, the perf harness) never
+    /// touch the heap per codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.data_len()` or
+    /// `codeword.len() != self.codeword_len()`.
+    fn encode_into(&self, data: &[u8], codeword: &mut [u8]) {
+        assert_eq!(
+            codeword.len(),
+            self.codeword_len(),
+            "codeword length mismatch"
+        );
+        codeword.copy_from_slice(&self.encode(data));
+    }
+
     /// Checks `codeword`, returning what was observed. Implementations of
     /// [`CorrectionCode`] may *not* modify the codeword here; use
     /// [`CorrectionCode::check_and_repair`] for in-place repair.

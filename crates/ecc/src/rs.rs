@@ -15,6 +15,26 @@
 //! like Chipkill (repair up to ⌊(n−k)/2⌋ symbols), `DetectOnly` behaves
 //! like the paper's DSD configuration (Dvé relinquishes local correction
 //! and any non-zero syndrome routes the request to the replica).
+//!
+//! # Hot-path design
+//!
+//! Millions of campaign trials and scrub reads funnel through this codec,
+//! so the decode pipeline is organised around three invariants:
+//!
+//! * **Everything position-dependent is precomputed once** in the
+//!   constructor: syndrome roots `α^i`, per-position location values
+//!   `X_j = α^{n-1-j}` and their inverses, and the `α^i` step factors the
+//!   Chien search advances by. No `pow` is ever called per decode;
+//!   Chien/Forney use incremental running products and Horner evaluation.
+//! * **Fault-free words exit early**: [`Rs::decode_in_place`] computes the
+//!   syndromes in a single fused pass (the `i = 0` syndrome is a plain
+//!   XOR fold; `i = 1` is a Horner loop of table-free α-multiplies) and
+//!   returns before Berlekamp–Massey ever runs when they are all zero —
+//!   the overwhelming majority of scrub and campaign reads.
+//! * **The caller owns the scratch**: [`RsScratch`] carries every buffer
+//!   the decoder needs, so [`Rs::encode_into`] and [`Rs::decode_in_place`]
+//!   are allocation-free after construction. The legacy allocating
+//!   `encode`/`check`/`check_and_repair` APIs remain as thin wrappers.
 
 use crate::code::{CheckOutcome, CorrectionCode, DetectionCode};
 use crate::gf::Gf256;
@@ -28,6 +48,23 @@ pub enum DecodePolicy {
     /// Never correct locally: report any detected error as uncorrectable
     /// so the caller recovers from the replica (Dvé+DSD).
     DetectOnly,
+}
+
+/// Caller-owned scratch buffers for [`Rs::decode_in_place`].
+///
+/// Create one per worker with [`Rs::make_scratch`] and reuse it across
+/// decodes; all buffers are `clear()`ed/overwritten per call, never
+/// reallocated (capacities are sized for the worst decode up front).
+#[derive(Debug, Clone, Default)]
+pub struct RsScratch {
+    syn: Vec<u8>,
+    sigma: Vec<u8>,
+    prev: Vec<u8>,
+    temp: Vec<u8>,
+    omega: Vec<u8>,
+    coefs: Vec<u8>,
+    positions: Vec<usize>,
+    magnitudes: Vec<u8>,
 }
 
 /// A systematic Reed–Solomon code over GF(2^8).
@@ -53,10 +90,27 @@ pub struct Rs {
     k: usize,
     policy: DecodePolicy,
     generator: Vec<u8>,
+    /// Syndrome roots: `roots[i] = α^i` for `i < n - k`.
+    roots: Vec<u8>,
+    /// Location values: `x[j] = α^{n-1-j}` for codeword position `j`.
+    x: Vec<u8>,
+    /// Inverse location values: `x_inv[j] = α^{-(n-1-j)}`.
+    x_inv: Vec<u8>,
+    /// Chien step factors: `alpha_pows[i] = α^i` for `i <= n - k`.
+    alpha_pows: Vec<u8>,
+    /// Discrete logs of `generator[1..]` when `n - k == 2` and both
+    /// coefficients are non-zero (always true for RS generator
+    /// polynomials of this size): enables the fully register-resident
+    /// two-tap LFSR encode fast path.
+    gen_log2: Option<(u16, u16)>,
 }
 
 impl Rs {
     /// Creates an RS(n, k) code.
+    ///
+    /// All position-dependent constants (syndrome roots, Chien/Forney
+    /// location tables) are precomputed here so the per-decode paths are
+    /// free of `pow` calls and allocations.
     ///
     /// # Panics
     ///
@@ -66,11 +120,29 @@ impl Rs {
             k > 0 && k < n && n <= 255,
             "invalid RS parameters n={n} k={k}"
         );
+        let nsym = n - k;
+        let roots: Vec<u8> = (0..nsym).map(|i| Gf256::alpha_pow(i as u32)).collect();
+        let x: Vec<u8> = (0..n)
+            .map(|j| Gf256::alpha_pow((n - 1 - j) as u32))
+            .collect();
+        let x_inv: Vec<u8> = x.iter().map(|&v| Gf256::inv(v)).collect();
+        let alpha_pows: Vec<u8> = (0..=nsym).map(|i| Gf256::alpha_pow(i as u32)).collect();
+        let generator = Self::generator_poly(nsym);
+        let gen_log2 = if nsym == 2 && generator[1] != 0 && generator[2] != 0 {
+            Some((Gf256::log(generator[1]), Gf256::log(generator[2])))
+        } else {
+            None
+        };
         Rs {
             n,
             k,
             policy,
-            generator: Self::generator_poly(n - k),
+            generator,
+            roots,
+            x,
+            x_inv,
+            alpha_pows,
+            gen_log2,
         }
     }
 
@@ -94,6 +166,21 @@ impl Rs {
         self.policy
     }
 
+    /// Builds a scratch sized for this code's worst-case decode.
+    pub fn make_scratch(&self) -> RsScratch {
+        let nsym = self.parity_len();
+        RsScratch {
+            syn: Vec::with_capacity(nsym),
+            sigma: Vec::with_capacity(2 * nsym + 2),
+            prev: Vec::with_capacity(2 * nsym + 2),
+            temp: Vec::with_capacity(2 * nsym + 2),
+            omega: Vec::with_capacity(nsym),
+            coefs: Vec::with_capacity(nsym + 1),
+            positions: Vec::with_capacity(nsym),
+            magnitudes: Vec::with_capacity(nsym),
+        }
+    }
+
     /// g(x) = Π_{i=0}^{nsym-1} (x − α^i), coefficients highest-degree
     /// first.
     fn generator_poly(nsym: usize) -> Vec<u8> {
@@ -111,184 +198,304 @@ impl Rs {
         g
     }
 
-    /// Syndromes S_i = C(α^i) for i in 0..nsym.
-    fn syndromes(&self, codeword: &[u8]) -> Vec<u8> {
+    /// Syndromes S_i = C(α^i) for i in 0..nsym, written into `syn`
+    /// (cleared first). Returns `true` if any syndrome is non-zero.
+    ///
+    /// Single fused pass over the codeword with per-root Horner steps;
+    /// the `i = 0` root is 1 (pure XOR fold) and `i = 1` is an α-multiply
+    /// that needs no table access, which makes the all-zero fast path of
+    /// the ubiquitous RS(18,16) nearly free.
+    fn syndromes_into(&self, codeword: &[u8], syn: &mut Vec<u8>) -> bool {
         let nsym = self.parity_len();
-        let mut s = vec![0u8; nsym];
-        for (i, syn) in s.iter_mut().enumerate() {
-            let x = Gf256::alpha_pow(i as u32);
+        syn.clear();
+        syn.resize(nsym, 0);
+        // S_0 and S_1 fused in one pass: S_0 is a plain XOR fold (root
+        // α^0 = 1), S_1 a Horner walk with the generator α itself —
+        // shift/reduce, no tables. RS(18,16) has no syndromes beyond
+        // these two, so its clean path is a single traversal.
+        let mut s0 = 0u8;
+        let mut s1 = 0u8;
+        for &c in codeword {
+            s0 ^= c;
+            s1 = Gf256::mul_alpha(s1) ^ c;
+        }
+        syn[0] = s0;
+        if nsym >= 2 {
+            syn[1] = s1;
+        }
+        // Remaining syndromes (absent for RS(18,16)): Horner with α^i.
+        for (i, s) in syn.iter_mut().enumerate().skip(2) {
+            let root = self.roots[i];
             let mut acc = 0u8;
             for &c in codeword {
-                acc = Gf256::add(Gf256::mul(acc, x), c);
+                acc = Gf256::mul(acc, root) ^ c;
             }
-            *syn = acc;
+            *s = acc;
         }
-        s
+        syn.iter().any(|&s| s != 0)
     }
 
-    /// Berlekamp–Massey: error locator polynomial from syndromes
-    /// (coefficients lowest-degree first, sigma[0] == 1).
-    fn berlekamp_massey(syndromes: &[u8]) -> Vec<u8> {
-        let mut sigma = vec![1u8];
-        let mut prev = vec![1u8];
+    /// Berlekamp–Massey over `s.syn`, leaving the error locator in
+    /// `s.sigma` (lowest-degree first, `sigma[0] == 1`). Allocation-free:
+    /// works entirely in the scratch buffers.
+    fn berlekamp_massey_into(s: &mut RsScratch) {
+        s.sigma.clear();
+        s.sigma.push(1);
+        s.prev.clear();
+        s.prev.push(1);
         let mut l = 0usize;
         let mut m = 1usize;
         let mut b = 1u8;
-        for n in 0..syndromes.len() {
+        for n in 0..s.syn.len() {
             // Discrepancy d = S_n + sum sigma[i] * S_{n-i}.
-            let mut d = syndromes[n];
+            let mut d = s.syn[n];
             for i in 1..=l {
-                if i < sigma.len() {
-                    d ^= Gf256::mul(sigma[i], syndromes[n - i]);
+                if i < s.sigma.len() {
+                    d ^= Gf256::mul(s.sigma[i], s.syn[n - i]);
                 }
             }
             if d == 0 {
                 m += 1;
             } else if 2 * l <= n {
-                let temp = sigma.clone();
+                s.temp.clear();
+                s.temp.extend_from_slice(&s.sigma);
                 let coef = Gf256::div(d, b);
                 // sigma = sigma - coef * x^m * prev
                 let shift = m;
-                if sigma.len() < prev.len() + shift {
-                    sigma.resize(prev.len() + shift, 0);
+                if s.sigma.len() < s.prev.len() + shift {
+                    s.sigma.resize(s.prev.len() + shift, 0);
                 }
-                for (i, &p) in prev.iter().enumerate() {
-                    sigma[i + shift] ^= Gf256::mul(coef, p);
+                for i in 0..s.prev.len() {
+                    s.sigma[i + shift] ^= Gf256::mul(coef, s.prev[i]);
                 }
                 l = n + 1 - l;
-                prev = temp;
+                std::mem::swap(&mut s.prev, &mut s.temp);
                 b = d;
                 m = 1;
             } else {
                 let coef = Gf256::div(d, b);
                 let shift = m;
-                if sigma.len() < prev.len() + shift {
-                    sigma.resize(prev.len() + shift, 0);
+                if s.sigma.len() < s.prev.len() + shift {
+                    s.sigma.resize(s.prev.len() + shift, 0);
                 }
-                for (i, &p) in prev.iter().enumerate() {
-                    sigma[i + shift] ^= Gf256::mul(coef, p);
+                for i in 0..s.prev.len() {
+                    s.sigma[i + shift] ^= Gf256::mul(coef, s.prev[i]);
                 }
                 m += 1;
             }
         }
         // Trim trailing zeros.
-        while sigma.len() > 1 && *sigma.last().unwrap() == 0 {
-            sigma.pop();
+        while s.sigma.len() > 1 && *s.sigma.last().unwrap() == 0 {
+            s.sigma.pop();
         }
-        sigma
     }
 
-    /// Chien search: positions (as codeword indices from the left) where
-    /// the locator evaluates to zero. Codeword index `j` (0 = leftmost,
-    /// highest power) corresponds to location value α^(n-1-j).
-    fn chien_search(&self, sigma: &[u8]) -> Vec<usize> {
-        let mut positions = Vec::new();
+    /// Chien search by incremental evaluation: positions (codeword
+    /// indices from the left) where the locator evaluates to zero.
+    ///
+    /// Position `j` corresponds to evaluating σ at `X_j^{-1} = α^{j-(n-1)}`;
+    /// stepping `j → j+1` multiplies the evaluation point by α, so the
+    /// `i`-th term of σ just picks up a constant factor `α^i` per step —
+    /// no `pow` anywhere.
+    fn chien_search_into(&self, s: &mut RsScratch) {
+        s.positions.clear();
+        let deg = s.sigma.len() - 1;
+        // Initialise coefs[i] = sigma[i] * (X_0^{-1})^i with a running
+        // product.
+        s.coefs.clear();
+        let x_inv0 = self.x_inv[0];
+        let mut xp = 1u8;
+        for i in 0..=deg {
+            s.coefs.push(Gf256::mul(s.sigma[i], xp));
+            xp = Gf256::mul(xp, x_inv0);
+        }
         for j in 0..self.n {
-            let loc_pow = (self.n - 1 - j) as u32;
-            // Evaluate sigma at X = alpha^{-loc_pow}.
-            let x_inv = Gf256::alpha_pow((255 - loc_pow % 255) % 255);
             let mut acc = 0u8;
-            // sigma lowest-degree first.
-            for (i, &c) in sigma.iter().enumerate() {
-                acc ^= Gf256::mul(c, Gf256::pow(x_inv, i as u32));
+            for &c in s.coefs.iter() {
+                acc ^= c;
             }
             if acc == 0 {
-                positions.push(j);
+                s.positions.push(j);
+            }
+            if j + 1 < self.n {
+                for (i, c) in s.coefs.iter_mut().enumerate().skip(1) {
+                    *c = Gf256::mul(*c, self.alpha_pows[i]);
+                }
             }
         }
-        positions
     }
 
-    /// Forney's algorithm: error magnitudes at the found positions.
-    fn forney(&self, syndromes: &[u8], sigma: &[u8], positions: &[usize]) -> Vec<u8> {
+    /// Forney's algorithm: error magnitudes at `s.positions`, written to
+    /// `s.magnitudes`. Polynomial evaluations use Horner on the
+    /// precomputed per-position location values — no `pow` calls.
+    fn forney_into(&self, s: &mut RsScratch) {
         // Error evaluator omega(x) = [S(x) * sigma(x)] mod x^nsym,
         // with S(x) = sum S_i x^i (lowest-degree first).
         let nsym = self.parity_len();
-        let mut omega = vec![0u8; nsym];
-        for (i, o) in omega.iter_mut().enumerate() {
+        s.omega.clear();
+        for i in 0..nsym {
             let mut acc = 0u8;
             for j in 0..=i {
-                if j < sigma.len() && (i - j) < syndromes.len() {
-                    acc ^= Gf256::mul(sigma[j], syndromes[i - j]);
+                if j < s.sigma.len() && (i - j) < s.syn.len() {
+                    acc ^= Gf256::mul(s.sigma[j], s.syn[i - j]);
                 }
             }
-            *o = acc;
+            s.omega.push(acc);
         }
-        // Formal derivative of sigma: sigma'(x) keeps odd-power terms.
-        let mut magnitudes = Vec::with_capacity(positions.len());
-        for &j in positions {
-            let loc_pow = (self.n - 1 - j) as u32;
-            let x_inv = Gf256::alpha_pow((255 - loc_pow % 255) % 255);
-            // omega(x_inv)
+        s.magnitudes.clear();
+        for p in 0..s.positions.len() {
+            let j = s.positions[p];
+            let x_inv = self.x_inv[j];
+            // omega(x_inv) by Horner (omega is lowest-degree first).
             let mut num = 0u8;
-            for (i, &c) in omega.iter().enumerate() {
-                num ^= Gf256::mul(c, Gf256::pow(x_inv, i as u32));
+            for &c in s.omega.iter().rev() {
+                num = Gf256::mul(num, x_inv) ^ c;
             }
-            // sigma'(x_inv): derivative in char 2 keeps terms with odd i,
-            // contributing i * c * x^{i-1} = c * x^{i-1}.
+            // sigma'(x_inv): derivative in char 2 keeps odd-power terms,
+            // each contributing sigma[i] * x^{i-1}. Evaluate with a
+            // running product of x_inv^2.
+            let x_inv2 = Gf256::mul(x_inv, x_inv);
             let mut den = 0u8;
+            let mut xp = 1u8;
             let mut i = 1;
-            while i < sigma.len() {
-                den ^= Gf256::mul(sigma[i], Gf256::pow(x_inv, (i - 1) as u32));
+            while i < s.sigma.len() {
+                den ^= Gf256::mul(s.sigma[i], xp);
+                xp = Gf256::mul(xp, x_inv2);
                 i += 2;
             }
             if den == 0 {
                 // Degenerate: signal failure with zero magnitude; caller
                 // treats as uncorrectable.
-                magnitudes.push(0);
+                s.magnitudes.push(0);
             } else {
-                // e_j = X_j^{1} * omega(X_j^{-1}) / sigma'(X_j^{-1}) with
+                // e_j = X_j * omega(X_j^{-1}) / sigma'(X_j^{-1}) with
                 // fcr = 0 => multiply by X_j^{1-fcr} = X_j.
-                let x = Gf256::alpha_pow(loc_pow % 255);
-                magnitudes.push(Gf256::mul(x, Gf256::div(num, den)));
+                s.magnitudes
+                    .push(Gf256::mul(self.x[j], Gf256::div(num, den)));
             }
         }
-        magnitudes
     }
 
-    fn decode_internal(&self, codeword: &mut [u8], repair: bool) -> CheckOutcome {
+    /// Encodes `data` systematically into the caller-provided `codeword`
+    /// buffer (`data` copied to the front, parity written behind it).
+    /// Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k` or `codeword.len() != n`.
+    pub fn encode_into(&self, data: &[u8], codeword: &mut [u8]) {
+        assert_eq!(data.len(), self.k, "dataword length mismatch");
         assert_eq!(codeword.len(), self.n, "codeword length mismatch");
-        let syn = self.syndromes(codeword);
-        let weight = syn.iter().filter(|&&s| s != 0).count();
-        if weight == 0 {
+        let (out_data, remainder) = codeword.split_at_mut(self.k);
+        out_data.copy_from_slice(data);
+        // Two-tap fast path (RS(18,16) and every other nsym == 2 code):
+        // the LFSR registers live in locals and the generator
+        // coefficients' logs are precomputed, so each data byte costs one
+        // log load plus two antilog loads — no rotate, no slice writes.
+        if let Some((lg1, lg2)) = self.gen_log2 {
+            let mut r0 = 0u8;
+            let mut r1 = 0u8;
+            for &d in data {
+                let coef = d ^ r0;
+                if coef != 0 {
+                    let lc = Gf256::log(coef);
+                    r0 = r1 ^ Gf256::exp_sum(lc, lg1);
+                    r1 = Gf256::exp_sum(lc, lg2);
+                } else {
+                    r0 = r1;
+                    r1 = 0;
+                }
+            }
+            remainder[0] = r0;
+            remainder[1] = r1;
+            return;
+        }
+        remainder.fill(0);
+        let nsym = self.parity_len();
+        for &d in data {
+            let coef = d ^ remainder[0];
+            remainder.rotate_left(1);
+            remainder[nsym - 1] = 0;
+            if coef != 0 {
+                // generator[0] == 1 (monic); skip it.
+                Gf256::fma_slice(remainder, &self.generator[1..], coef);
+            }
+        }
+    }
+
+    /// Checks and (under [`DecodePolicy::Correct`]) repairs `codeword` in
+    /// place using caller-owned scratch. Allocation-free; the fast path
+    /// for fault-free codewords never runs the full decoder.
+    ///
+    /// Behaviourally identical to [`CorrectionCode::check_and_repair`]
+    /// (which wraps this with a throwaway scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codeword.len() != n`.
+    pub fn decode_in_place(&self, codeword: &mut [u8], s: &mut RsScratch) -> CheckOutcome {
+        self.decode_scratch(codeword, true, s)
+    }
+
+    /// Detect-only check via caller-owned scratch: never mutates the
+    /// codeword, regardless of policy. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codeword.len() != n`.
+    pub fn check_scratch(&self, codeword: &[u8], s: &mut RsScratch) -> CheckOutcome {
+        assert_eq!(codeword.len(), self.n, "codeword length mismatch");
+        if !self.syndromes_into(codeword, &mut s.syn) {
             return CheckOutcome::NoError;
         }
+        CheckOutcome::DetectedUncorrectable {
+            syndrome_weight: s.syn.iter().filter(|&&v| v != 0).count(),
+        }
+    }
+
+    fn decode_scratch(&self, codeword: &mut [u8], repair: bool, s: &mut RsScratch) -> CheckOutcome {
+        assert_eq!(codeword.len(), self.n, "codeword length mismatch");
+        // Syndrome-zero early exit: fault-free words never reach BM.
+        if !self.syndromes_into(codeword, &mut s.syn) {
+            return CheckOutcome::NoError;
+        }
+        let weight = s.syn.iter().filter(|&&v| v != 0).count();
         if !repair || self.policy == DecodePolicy::DetectOnly {
             return CheckOutcome::DetectedUncorrectable {
                 syndrome_weight: weight,
             };
         }
-        let sigma = Self::berlekamp_massey(&syn);
-        let num_errors = sigma.len() - 1;
+        Self::berlekamp_massey_into(s);
+        let num_errors = s.sigma.len() - 1;
         if num_errors == 0 || num_errors > self.parity_len() / 2 {
             return CheckOutcome::DetectedUncorrectable {
                 syndrome_weight: weight,
             };
         }
-        let positions = self.chien_search(&sigma);
-        if positions.len() != num_errors {
+        self.chien_search_into(s);
+        if s.positions.len() != num_errors {
             // Locator degree and root count disagree: uncorrectable.
             return CheckOutcome::DetectedUncorrectable {
                 syndrome_weight: weight,
             };
         }
-        let magnitudes = self.forney(&syn, &sigma, &positions);
-        if magnitudes.contains(&0) {
+        self.forney_into(s);
+        if s.magnitudes.contains(&0) {
             return CheckOutcome::DetectedUncorrectable {
                 syndrome_weight: weight,
             };
         }
-        for (&pos, &mag) in positions.iter().zip(&magnitudes) {
+        for (&pos, &mag) in s.positions.iter().zip(&s.magnitudes) {
             codeword[pos] ^= mag;
         }
         // Verify the repair really zeroed the syndromes.
-        if self.syndromes(codeword).iter().any(|&s| s != 0) {
+        if self.syndromes_into(codeword, &mut s.syn) {
             return CheckOutcome::DetectedUncorrectable {
                 syndrome_weight: weight,
             };
         }
         CheckOutcome::Corrected {
-            symbols_fixed: positions.len(),
+            symbols_fixed: s.positions.len(),
         }
     }
 }
@@ -303,31 +510,41 @@ impl DetectionCode for Rs {
     }
 
     fn encode(&self, data: &[u8]) -> Vec<u8> {
-        assert_eq!(data.len(), self.k, "dataword length mismatch");
-        // Systematic encoding: remainder of data * x^(n-k) by g(x).
-        let nsym = self.parity_len();
-        let mut remainder = vec![0u8; nsym];
-        for &d in data {
-            let coef = d ^ remainder[0];
-            remainder.rotate_left(1);
-            remainder[nsym - 1] = 0;
-            if coef != 0 {
-                for (i, r) in remainder.iter_mut().enumerate() {
-                    // generator[0] == 1 (monic); skip it.
-                    *r ^= Gf256::mul(self.generator[i + 1], coef);
-                }
-            }
-        }
-        let mut cw = Vec::with_capacity(self.n);
-        cw.extend_from_slice(data);
-        cw.extend_from_slice(&remainder);
+        let mut cw = vec![0u8; self.n];
+        self.encode_into(data, &mut cw);
         cw
+    }
+
+    fn encode_into(&self, data: &[u8], codeword: &mut [u8]) {
+        Rs::encode_into(self, data, codeword);
     }
 
     fn check(&self, codeword: &[u8]) -> CheckOutcome {
         assert_eq!(codeword.len(), self.n, "codeword length mismatch");
-        let syn = self.syndromes(codeword);
-        let weight = syn.iter().filter(|&&s| s != 0).count();
+        // Stack-buffered syndrome pass: `check` stays allocation-free
+        // even without caller scratch (nsym <= 255 always fits).
+        let mut syn = [0u8; 255];
+        let nsym = self.parity_len();
+        let syn = &mut syn[..nsym];
+        let mut s0 = 0u8;
+        let mut s1 = 0u8;
+        for &c in codeword {
+            s0 ^= c;
+            s1 = Gf256::mul_alpha(s1) ^ c;
+        }
+        syn[0] = s0;
+        if nsym >= 2 {
+            syn[1] = s1;
+        }
+        for (i, s) in syn.iter_mut().enumerate().skip(2) {
+            let root = self.roots[i];
+            let mut acc = 0u8;
+            for &c in codeword {
+                acc = Gf256::mul(acc, root) ^ c;
+            }
+            *s = acc;
+        }
+        let weight = syn.iter().filter(|&&v| v != 0).count();
         if weight == 0 {
             CheckOutcome::NoError
         } else {
@@ -340,7 +557,15 @@ impl DetectionCode for Rs {
 
 impl CorrectionCode for Rs {
     fn check_and_repair(&self, codeword: &mut [u8]) -> CheckOutcome {
-        self.decode_internal(codeword, true)
+        // Compat wrapper over [`Rs::decode_in_place`]: callers that
+        // cannot own scratch borrow a thread-local one, so this path
+        // allocates only on each thread's first decode (the buffers
+        // grow to the largest code ever decoded on the thread).
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<RsScratch> =
+                std::cell::RefCell::new(RsScratch::default());
+        }
+        SCRATCH.with(|s| self.decode_scratch(codeword, true, &mut s.borrow_mut()))
     }
 
     fn correctable_symbols(&self) -> usize {
@@ -371,21 +596,35 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_matches_encode() {
+        for (n, k) in [(18usize, 16usize), (20, 16), (24, 16), (10, 4)] {
+            let rs = Rs::new(n, k, DecodePolicy::Correct);
+            let d = data(k);
+            let mut cw = vec![0xAAu8; n]; // dirty buffer must be overwritten
+            rs.encode_into(&d, &mut cw);
+            assert_eq!(cw, rs.encode(&d), "n={n} k={k}");
+        }
+    }
+
+    #[test]
     fn clean_codeword_checks_clean() {
         let rs = Rs::chipkill();
         let cw = rs.encode(&data(16));
         assert_eq!(rs.check(&cw), CheckOutcome::NoError);
+        let mut scratch = rs.make_scratch();
+        assert_eq!(rs.check_scratch(&cw, &mut scratch), CheckOutcome::NoError);
     }
 
     #[test]
     fn corrects_single_symbol_any_position() {
         let rs = Rs::chipkill();
         let d = data(16);
+        let mut scratch = rs.make_scratch();
         for pos in 0..18 {
             for pattern in [0x01u8, 0xFF, 0xA5] {
                 let mut cw = rs.encode(&d);
                 cw[pos] ^= pattern;
-                let outcome = rs.check_and_repair(&mut cw);
+                let outcome = rs.decode_in_place(&mut cw, &mut scratch);
                 assert_eq!(
                     outcome,
                     CheckOutcome::Corrected { symbols_fixed: 1 },
@@ -455,6 +694,41 @@ mod tests {
             // Miscorrection is theoretically possible for >t errors; but
             // then the result must at least be a valid codeword.
             assert_eq!(rs.check(&copy), CheckOutcome::NoError);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_mixed_decodes_is_clean() {
+        // One scratch must serve interleaved clean/1-err/2-err decodes
+        // without state leaking between calls.
+        let rs = Rs::new(20, 16, DecodePolicy::Correct);
+        let d = data(16);
+        let clean = rs.encode(&d);
+        let mut scratch = rs.make_scratch();
+        for round in 0..50 {
+            let mut cw = clean.clone();
+            assert_eq!(
+                rs.decode_in_place(&mut cw, &mut scratch),
+                CheckOutcome::NoError,
+                "round {round} clean"
+            );
+            let mut cw = clean.clone();
+            cw[(round * 7) % 20] ^= 0x3C;
+            assert_eq!(
+                rs.decode_in_place(&mut cw, &mut scratch),
+                CheckOutcome::Corrected { symbols_fixed: 1 },
+                "round {round} 1-err"
+            );
+            assert_eq!(&cw, &clean);
+            let mut cw = clean.clone();
+            cw[round % 20] ^= 0x11;
+            cw[(round + 5) % 20] ^= 0x2F;
+            assert_eq!(
+                rs.decode_in_place(&mut cw, &mut scratch),
+                CheckOutcome::Corrected { symbols_fixed: 2 },
+                "round {round} 2-err"
+            );
+            assert_eq!(&cw, &clean);
         }
     }
 

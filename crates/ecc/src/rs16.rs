@@ -10,9 +10,31 @@
 //! The codeword is byte-oriented at the API boundary (to match
 //! [`DetectionCode`]): data bytes are packed into big-endian 16-bit
 //! symbols, and the 3 parity symbols are appended as 6 bytes.
+//!
+//! # Hot-path design
+//!
+//! This codec sits on the data path of every Dvé+TSD scrub read and
+//! campaign trial, so since the decode-pipeline overhaul:
+//!
+//! * the generator polynomial and syndrome roots are computed **once in
+//!   the constructor** (previously the generator was rebuilt per
+//!   `encode` call);
+//! * [`Rs16Detect::check`] walks the codeword in a single fused pass with
+//!   no symbol-vector allocation — the `i = 0` syndrome is a plain XOR
+//!   fold, `i = 1` a table-free α-multiply Horner loop, and the rest
+//!   table-driven [`Gf16::mul`] Horner steps;
+//! * [`Rs16Detect::encode_into`] writes parity straight into the caller's
+//!   buffer, allocation-free, using a fixed-size LFSR register when the
+//!   code has ≤ [`MAX_INLINE_CHECK_SYMBOLS`] check symbols (the paper's
+//!   TSD has 3).
 
 use crate::code::{CheckOutcome, DetectionCode};
 use crate::gf::Gf16;
+
+/// Check-symbol count up to which encode/check run entirely on
+/// fixed-size stack registers (no heap in any path). The paper's TSD
+/// uses 3.
+pub const MAX_INLINE_CHECK_SYMBOLS: usize = 8;
 
 /// A detection-only RS code over GF(2^16) with a configurable number of
 /// check symbols (3 for the paper's TSD).
@@ -36,11 +58,22 @@ use crate::gf::Gf16;
 pub struct Rs16Detect {
     data_bytes: usize,
     check_symbols: usize,
+    /// g(x) = Π (x − α^i), i in 0..check_symbols, highest degree first —
+    /// built once at construction.
+    generator: Vec<u16>,
+    /// Syndrome roots `α^i` for i in 0..check_symbols.
+    roots: Vec<u16>,
+    /// Discrete logs of `generator[1..]` when `check_symbols == 3` (the
+    /// paper's TSD) and all three coefficients are non-zero: enables the
+    /// register-resident three-tap LFSR encode fast path.
+    gen_log3: Option<(u16, u16, u16)>,
 }
 
 impl Rs16Detect {
     /// Creates a detection code over `data_bytes` of data with
-    /// `check_symbols` 16-bit check symbols.
+    /// `check_symbols` 16-bit check symbols. The generator polynomial and
+    /// syndrome roots are precomputed here; encode/check are
+    /// allocation-free afterwards.
     ///
     /// # Panics
     ///
@@ -56,9 +89,25 @@ impl Rs16Detect {
             data_bytes / 2 + check_symbols <= 65535,
             "codeword exceeds GF(2^16) length bound"
         );
+        let generator = Self::generator_poly(check_symbols);
+        let gen_log3 =
+            if check_symbols == 3 && generator[1] != 0 && generator[2] != 0 && generator[3] != 0 {
+                Some((
+                    Gf16::log(generator[1]),
+                    Gf16::log(generator[2]),
+                    Gf16::log(generator[3]),
+                ))
+            } else {
+                None
+            };
         Rs16Detect {
             data_bytes,
             check_symbols,
+            generator,
+            roots: (0..check_symbols)
+                .map(|i| Gf16::alpha_pow(i as u32))
+                .collect(),
+            gen_log3,
         }
     }
 
@@ -78,17 +127,10 @@ impl Rs16Detect {
         self.check_symbols
     }
 
-    fn to_symbols(&self, bytes: &[u8]) -> Vec<u16> {
-        bytes
-            .chunks_exact(2)
-            .map(|c| u16::from_be_bytes([c[0], c[1]]))
-            .collect()
-    }
-
-    /// g(x) = Π (x − α^i), i in 0..check_symbols, highest degree first.
-    fn generator(&self) -> Vec<u16> {
+    /// g(x) = Π (x − α^i), i in 0..nsym, highest degree first.
+    fn generator_poly(nsym: usize) -> Vec<u16> {
         let mut g = vec![1u16];
-        for i in 0..self.check_symbols {
+        for i in 0..nsym {
             let root = Gf16::alpha_pow(i as u32);
             let mut next = vec![0u16; g.len() + 1];
             for (j, &c) in g.iter().enumerate() {
@@ -100,37 +142,107 @@ impl Rs16Detect {
         g
     }
 
-    fn parity(&self, data_syms: &[u16]) -> Vec<u16> {
-        let g = self.generator();
+    /// Runs the systematic LFSR over the data symbols, leaving the parity
+    /// in `rem` (`rem.len() == check_symbols`, zeroed by the caller).
+    fn parity_into(&self, data: &[u8], rem: &mut [u16]) {
+        // Three-tap fast path (the paper's TSD): registers in locals,
+        // generator logs precomputed, one log load + three antilog loads
+        // per data symbol — no rotate, no slice writes.
+        if let Some((lg1, lg2, lg3)) = self.gen_log3 {
+            let mut r0 = 0u16;
+            let mut r1 = 0u16;
+            let mut r2 = 0u16;
+            for pair in data.chunks_exact(2) {
+                let d = u16::from_be_bytes([pair[0], pair[1]]);
+                let coef = d ^ r0;
+                if coef != 0 {
+                    let lc = Gf16::log(coef);
+                    r0 = r1 ^ Gf16::exp_sum(lc, lg1);
+                    r1 = r2 ^ Gf16::exp_sum(lc, lg2);
+                    r2 = Gf16::exp_sum(lc, lg3);
+                } else {
+                    r0 = r1;
+                    r1 = r2;
+                    r2 = 0;
+                }
+            }
+            rem[0] = r0;
+            rem[1] = r1;
+            rem[2] = r2;
+            return;
+        }
         let nsym = self.check_symbols;
-        let mut rem = vec![0u16; nsym];
-        for &d in data_syms {
+        for pair in data.chunks_exact(2) {
+            let d = u16::from_be_bytes([pair[0], pair[1]]);
             let coef = d ^ rem[0];
             rem.rotate_left(1);
             rem[nsym - 1] = 0;
             if coef != 0 {
-                for (i, r) in rem.iter_mut().enumerate() {
-                    *r ^= Gf16::mul(g[i + 1], coef);
-                }
+                // generator[0] == 1 (monic); skip it.
+                Gf16::fma_slice(rem, &self.generator[1..], coef);
             }
         }
-        rem
+    }
+
+    /// Syndrome pass: fills `syn[..check_symbols]` with S_i = C(α^i) in a
+    /// single fused walk over the codeword bytes. Returns the number of
+    /// non-zero syndromes.
+    fn syndromes_into(&self, codeword: &[u8], syn: &mut [u16]) -> usize {
+        syn.fill(0);
+        let nsym = self.check_symbols;
+        // TSD fast path: all three syndromes in one fused, table-free
+        // pass. S_0 is a XOR fold; S_1 and S_2 are Horner walks with
+        // roots α and α² — one and two shift-reduce α-multiplies per
+        // symbol respectively, all in registers.
+        if nsym == 3 {
+            let mut s0 = 0u16;
+            let mut s1 = 0u16;
+            let mut s2 = 0u16;
+            for pair in codeword.chunks_exact(2) {
+                let c = u16::from_be_bytes([pair[0], pair[1]]);
+                s0 ^= c;
+                s1 = Gf16::mul_alpha(s1) ^ c;
+                s2 = Gf16::mul_alpha(Gf16::mul_alpha(s2)) ^ c;
+            }
+            syn[0] = s0;
+            syn[1] = s1;
+            syn[2] = s2;
+            return syn[..3].iter().filter(|&&s| s != 0).count();
+        }
+        // General fused Horner pass: S_0 is a plain XOR fold, S_1
+        // multiplies by α without touching the tables, the rest use
+        // table muls.
+        let mut s0 = 0u16;
+        let mut s1 = 0u16;
+        for pair in codeword.chunks_exact(2) {
+            let c = u16::from_be_bytes([pair[0], pair[1]]);
+            s0 ^= c;
+            s1 = Gf16::mul_alpha(s1) ^ c;
+        }
+        syn[0] = s0;
+        if nsym >= 2 {
+            syn[1] = s1;
+        }
+        for (i, s) in syn.iter_mut().enumerate().take(nsym).skip(2) {
+            let root = self.roots[i];
+            let mut acc = 0u16;
+            for pair in codeword.chunks_exact(2) {
+                let c = u16::from_be_bytes([pair[0], pair[1]]);
+                acc = Gf16::mul(acc, root) ^ c;
+            }
+            *s = acc;
+        }
+        syn[..nsym].iter().filter(|&&s| s != 0).count()
     }
 
     fn syndrome_weight(&self, codeword: &[u8]) -> usize {
-        let syms = self.to_symbols(codeword);
-        let mut weight = 0;
-        for i in 0..self.check_symbols {
-            let x = Gf16::alpha_pow(i as u32);
-            let mut acc = 0u16;
-            for &c in &syms {
-                acc = Gf16::add(Gf16::mul(acc, x), c);
-            }
-            if acc != 0 {
-                weight += 1;
-            }
+        if self.check_symbols <= MAX_INLINE_CHECK_SYMBOLS {
+            let mut syn = [0u16; MAX_INLINE_CHECK_SYMBOLS];
+            self.syndromes_into(codeword, &mut syn[..self.check_symbols])
+        } else {
+            let mut syn = vec![0u16; self.check_symbols];
+            self.syndromes_into(codeword, &mut syn)
         }
-        weight
     }
 }
 
@@ -144,15 +256,34 @@ impl DetectionCode for Rs16Detect {
     }
 
     fn encode(&self, data: &[u8]) -> Vec<u8> {
-        assert_eq!(data.len(), self.data_bytes, "dataword length mismatch");
-        let syms = self.to_symbols(data);
-        let parity = self.parity(&syms);
-        let mut cw = Vec::with_capacity(self.codeword_len());
-        cw.extend_from_slice(data);
-        for p in parity {
-            cw.extend_from_slice(&p.to_be_bytes());
-        }
+        let mut cw = vec![0u8; self.codeword_len()];
+        self.encode_into(data, &mut cw);
         cw
+    }
+
+    fn encode_into(&self, data: &[u8], codeword: &mut [u8]) {
+        assert_eq!(data.len(), self.data_bytes, "dataword length mismatch");
+        assert_eq!(
+            codeword.len(),
+            self.codeword_len(),
+            "codeword length mismatch"
+        );
+        codeword[..self.data_bytes].copy_from_slice(data);
+        let parity_bytes = &mut codeword[self.data_bytes..];
+        if self.check_symbols <= MAX_INLINE_CHECK_SYMBOLS {
+            let mut rem = [0u16; MAX_INLINE_CHECK_SYMBOLS];
+            let rem = &mut rem[..self.check_symbols];
+            self.parity_into(data, rem);
+            for (pair, p) in parity_bytes.chunks_exact_mut(2).zip(rem.iter()) {
+                pair.copy_from_slice(&p.to_be_bytes());
+            }
+        } else {
+            let mut rem = vec![0u16; self.check_symbols];
+            self.parity_into(data, &mut rem);
+            for (pair, p) in parity_bytes.chunks_exact_mut(2).zip(rem.iter()) {
+                pair.copy_from_slice(&p.to_be_bytes());
+            }
+        }
     }
 
     fn check(&self, codeword: &[u8]) -> CheckOutcome {
@@ -189,6 +320,18 @@ mod tests {
         assert_eq!(cw.len(), 70);
         assert_eq!(tsd.check(&cw), CheckOutcome::NoError);
         assert_eq!(tsd.extract_data(&cw), line());
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        for check_symbols in [1usize, 2, 3, 4, 8, 9, 11] {
+            let code = Rs16Detect::new(32, check_symbols);
+            let data: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(9) ^ 0x5A).collect();
+            let mut cw = vec![0xCCu8; code.codeword_len()]; // dirty buffer
+            code.encode_into(&data, &mut cw);
+            assert_eq!(cw, code.encode(&data), "check_symbols={check_symbols}");
+            assert_eq!(code.check(&cw), CheckOutcome::NoError);
+        }
     }
 
     #[test]
@@ -251,6 +394,18 @@ mod tests {
             }
             assert!(!tsd.check(&bad).is_good());
         }
+    }
+
+    #[test]
+    fn wide_codes_beyond_inline_register_still_roundtrip() {
+        // check_symbols > MAX_INLINE_CHECK_SYMBOLS exercises the heap
+        // fallback registers.
+        let code = Rs16Detect::new(64, MAX_INLINE_CHECK_SYMBOLS + 3);
+        let cw = code.encode(&line());
+        assert_eq!(code.check(&cw), CheckOutcome::NoError);
+        let mut bad = cw.clone();
+        bad[1] ^= 0x40;
+        assert!(!code.check(&bad).is_good());
     }
 
     #[test]

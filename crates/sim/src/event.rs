@@ -14,7 +14,7 @@ use std::collections::BinaryHeap;
 /// (the Dvé system simulator uses core cycles at 3 GHz).
 pub type Time = u64;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<E> {
     time: Time,
     seq: u64,
@@ -53,7 +53,7 @@ impl<E> Ord for Entry<E> {
 /// let (t, ev) = q.pop().unwrap();
 /// assert_eq!((t, ev), (100, "tick"));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
@@ -74,6 +74,30 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: 0,
         }
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events.
+    ///
+    /// Long-running simulation loops (the DRAM controller's maintenance
+    /// queue, the system simulator's request pipeline) know their
+    /// steady-state occupancy up front; pre-sizing the heap keeps the
+    /// push path allocation-free in the steady state.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Reserves capacity for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// Schedules `event` at absolute time `time`.
@@ -102,7 +126,15 @@ impl<E> EventQueue<E> {
     /// timestamp. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now);
+        // Popped times must never run backwards: `push` rejects past
+        // events, so a violation here means the heap ordering itself is
+        // broken (or `now` was corrupted).
+        debug_assert!(
+            entry.time >= self.now,
+            "popped event time {} ran behind the clock {}",
+            entry.time,
+            self.now
+        );
         self.now = entry.time;
         Some((entry.time, entry.event))
     }
@@ -193,6 +225,38 @@ mod tests {
         assert_eq!(q.now(), 0);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_presizes_and_reserve_grows() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(16);
+        assert!(q.capacity() >= 16);
+        for i in 0..16 {
+            q.push(i as Time, i);
+        }
+        q.reserve(32);
+        assert!(q.capacity() >= q.len() + 32);
+        // Pre-sizing must not change delivery order.
+        for i in 0..16 {
+            assert_eq!(q.pop(), Some((i as Time, i)));
+        }
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut q = EventQueue::new();
+        q.push(10, "a");
+        q.push(20, "b");
+        let mut snapshot = q.clone();
+        assert_eq!(q.pop(), Some((10, "a")));
+        // The clone still holds both events and its own clock.
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(snapshot.now(), 0);
+        assert_eq!(snapshot.pop(), Some((10, "a")));
+        assert_eq!(snapshot.pop(), Some((20, "b")));
+        // Sequence counters are independent too: pushes to the clone do
+        // not perturb the original's FIFO-within-time ordering.
+        assert_eq!(q.pop(), Some((20, "b")));
     }
 
     #[test]
