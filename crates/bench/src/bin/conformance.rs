@@ -1,0 +1,119 @@
+//! Differential conformance fuzzing of the production coherence engine
+//! (see `dve-conformance`): every builtin mode/structure configuration
+//! is driven with profile-biased random traces against the golden
+//! sequentially-consistent shadow, checking SWMR, inclusion, directory
+//! agreement, replica freshness, read-returns-last-write, latency
+//! monotonicity and stats conservation after **every** operation.
+//!
+//! ```text
+//! cargo run -p dve-bench --bin conformance --release            # full run
+//! cargo run -p dve-bench --bin conformance --release -- smoke   # CI smoke
+//! cargo run -p dve-bench --bin conformance --release -- mutation
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `DVE_CONFORMANCE_OPS`  — ops per configuration (default 100 000;
+//!   smoke mode divides by 10)
+//! * `DVE_CONFORMANCE_SEED` — master seed (default the bench seed);
+//!   same seed ⇒ bit-identical run
+//!
+//! Exit status: non-zero if any configuration produces a violation
+//! (fuzz modes) or any seeded mutation escapes / fails to shrink to a
+//! ≤30-op trace (mutation mode). A violating trace is printed in the
+//! exact form used by `crates/conformance/tests/regressions.rs`, ready
+//! to commit as a regression test.
+
+use dve_conformance::{builtin_configs, fuzz_config, mutation_check, shrink};
+use std::process::ExitCode;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| {
+            let v = v.trim();
+            v.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| v.parse().ok())
+        })
+        .unwrap_or(default)
+}
+
+fn run_fuzz(seed: u64, ops: u64) -> ExitCode {
+    println!("conformance fuzz: {ops} ops/config, seed {seed:#x}");
+    let mut failed = false;
+    for cfg in builtin_configs() {
+        let out = fuzz_config(&cfg, seed, ops, None);
+        match out.failure {
+            None => println!("  {:<22} {:>8} ops  ok", cfg.name, out.ops_run),
+            Some(f) => {
+                failed = true;
+                println!(
+                    "  {:<22} {:>8} ops  VIOLATION {}",
+                    cfg.name, out.ops_run, f.violation
+                );
+                let (small, v) = shrink(&cfg, &f.trace, None, &f.violation);
+                println!("    minimized to {} ops ({}):", small.len(), v.kind);
+                println!("{}", dve_conformance::fuzz::format_trace(&small));
+            }
+        }
+    }
+    if failed {
+        println!("conformance fuzz: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("conformance fuzz: all configurations clean");
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_mutation(seed: u64, ops: u64) -> ExitCode {
+    println!("mutation check: up to {ops} ops/config/bug, seed {seed:#x}");
+    let reports = mutation_check(seed, ops);
+    let mut failed = false;
+    for r in &reports {
+        if !r.caught {
+            failed = true;
+            println!("  {:<28} ESCAPED", format!("{:?}", r.bug));
+            continue;
+        }
+        let ok = r.shrunk.len() <= 30;
+        if !ok {
+            failed = true;
+        }
+        println!(
+            "  {:<28} caught by {:<22} in {:>6} ops, class {:<12} shrunk to {:>2} ops{}",
+            format!("{:?}", r.bug),
+            r.config,
+            r.ops_to_catch,
+            r.class,
+            r.shrunk.len(),
+            if ok { "" } else { "  TOO LONG" }
+        );
+    }
+    if failed {
+        println!("mutation check: FAILED (harness cannot be trusted)");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "mutation check: all {} seeded bugs caught and minimized",
+            reports.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "fuzz".into());
+    let seed = env_u64("DVE_CONFORMANCE_SEED", dve_bench::SEED);
+    let ops = env_u64("DVE_CONFORMANCE_OPS", 100_000);
+    match mode.as_str() {
+        "fuzz" => run_fuzz(seed, ops),
+        "smoke" => run_fuzz(seed, ops / 10),
+        "mutation" => run_mutation(seed, (ops / 10).max(2_000)),
+        other => {
+            eprintln!("unknown mode {other:?}; use fuzz | smoke | mutation");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -26,6 +26,7 @@ use crate::home_dir::HomeDirectory;
 use crate::replica_dir::{ReplicaDirectory, ReplicaEviction, ReplicaPolicy, ReplicaState};
 use crate::types::{home_socket, CacheState, LineAddr, ReqType, ServiceLevel, NUM_SOCKETS};
 use dve_noc::traffic::MessageClass;
+use std::collections::BTreeSet;
 
 /// Which pages are replicated (§V-D's flexible, RMT-driven mapping).
 /// Lines on non-replicated pages "seamlessly fall back to using a single
@@ -124,6 +125,43 @@ impl Default for EngineConfig {
     }
 }
 
+/// A deliberately seeded protocol/accounting bug for harness
+/// validation (`dve-conformance`'s mutation-check mode).
+///
+/// A conformance fuzzer that passes on the real engine is only
+/// trustworthy if it *fails* on broken ones. Each variant is a mistake
+/// that is easy to make when implementing Coherent Replication in a
+/// production state machine — the same philosophy as
+/// `dve-verify::mutation`, applied to this engine instead of the small
+/// Murφ-style model. Seeding a bug via [`ProtocolEngine::seed_bug`]
+/// perturbs exactly one transition; the conformance harness must flag an
+/// invariant violation for every variant (and shrink it to a short
+/// trace) before its clean runs mean anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeededBug {
+    /// Allow protocol treats a replica-directory miss as "readable"
+    /// (confusing the two families' absence semantics).
+    AllowAbsenceReadable,
+    /// Dirty writebacks update only the home copy, skipping the replica
+    /// memory and the RM/M metadata clear (breaks §V-B1 strong
+    /// consistency).
+    SkipReplicaWriteback,
+    /// Deny protocol home-side writes "forget" to push the RM entry.
+    SkipRmInstall,
+    /// Allow protocol home-side writes don't revoke the replica-side
+    /// read permission.
+    SkipReplicaInvalidate,
+    /// A write hitting the socket's M-state LLC keeps sibling L1 copies
+    /// alive instead of invalidating them.
+    SkipSiblingL1Invalidate,
+    /// Forwarding a read to the owning LLC leaves the owner in M
+    /// instead of downgrading to O.
+    NoOwnerDowngradeOnForward,
+    /// Completion timestamps travel backwards by one cycle (an
+    /// accounting bug: acks charged before the work they acknowledge).
+    TimeTravelCompletion,
+}
+
 /// Result of one memory operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessOutcome {
@@ -196,6 +234,14 @@ pub struct ProtocolEngine {
     /// propagating to the dead replica — performance returns to
     /// baseline-NUMA levels while reliability drops to one copy.
     degraded: bool,
+    /// Covered lines whose replica copy missed a writeback because it
+    /// happened while the system was degraded (§V-E). The replica copy
+    /// of such a line is behind the home copy and must not serve reads
+    /// until re-synchronized.
+    stale_replica: BTreeSet<LineAddr>,
+    /// Seeded bug for conformance-harness validation (`None` in all
+    /// production paths).
+    bug: Option<SeededBug>,
 }
 
 impl ProtocolEngine {
@@ -240,7 +286,59 @@ impl ProtocolEngine {
             dir_caches,
             stats: EngineStats::default(),
             degraded: false,
+            stale_replica: BTreeSet::new(),
+            bug: None,
         }
+    }
+
+    /// Seeds (or clears) a deliberate protocol bug. Only the
+    /// conformance harness's mutation-check mode should call this; see
+    /// [`SeededBug`].
+    pub fn seed_bug(&mut self, bug: Option<SeededBug>) {
+        self.bug = bug;
+    }
+
+    fn has_bug(&self, bug: SeededBug) -> bool {
+        self.bug == Some(bug)
+    }
+
+    // ----- conformance probes -----------------------------------------
+    //
+    // Read-only views of internal structures, used by `dve-conformance`
+    // to cross-check the engine against its golden shadow after every
+    // operation. They bypass LRU/stat updates (pure observation).
+
+    /// State of `line` in `core`'s private L1, if resident.
+    pub fn l1_state(&self, core: usize, line: LineAddr) -> Option<CacheState> {
+        self.l1s[core].state_of(line)
+    }
+
+    /// State of `line` in `socket`'s LLC, if resident.
+    pub fn llc_state(&self, socket: usize, line: LineAddr) -> Option<CacheState> {
+        self.llcs[socket].state_of(line)
+    }
+
+    /// The LLC's embedded-directory L1-sharer mask for `line`.
+    pub fn llc_l1_sharers(&self, socket: usize, line: LineAddr) -> Option<u16> {
+        self.llcs[socket].sharers_of(line)
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Whether `line` currently has a live replica (Dvé mode, healthy,
+    /// page inside the replication scope).
+    pub fn line_has_replica(&self, line: LineAddr) -> bool {
+        self.line_replicated(line)
+    }
+
+    /// Whether the engine knows `line`'s replica copy missed a
+    /// writeback (it was written back while the replica was out of
+    /// service, §V-E) and has not yet been re-synchronized.
+    pub fn replica_stale(&self, line: LineAddr) -> bool {
+        self.stale_replica.contains(&line)
     }
 
     /// Charges the home-directory access at `home`: the SRAM latency,
@@ -261,11 +359,31 @@ impl ProtocolEngine {
     /// funnel to the home copy, providing "performance comparable to
     /// baseline NUMA". Entering degraded mode drains the replica
     /// directories (their permissions are meaningless without replicas).
-    pub fn set_degraded(&mut self, degraded: bool) {
+    ///
+    /// Recovery (`degraded = false`) must restore the deny family's
+    /// safety before replica reads resume: the drained directory's
+    /// absence-means-readable default would otherwise serve stale
+    /// replica data for lines written while the replica was out of
+    /// service. RM entries are re-pushed for every covered line the
+    /// home directories record as dirty with a home-side owner, and
+    /// lines whose writebacks the dead replica missed stay quarantined
+    /// by [`ProtocolEngine::replica_stale`] until a demand re-sync.
+    /// (Found by the conformance fuzzer; regression
+    /// `degraded_recovery_requarantines_dirty_lines`.)
+    pub fn set_degraded(&mut self, degraded: bool, now: u64, fabric: &mut impl Fabric) {
+        let was = self.degraded;
         self.degraded = degraded;
         if degraded {
             for rd in &mut self.replica_dirs {
                 rd.drain();
+            }
+        } else if was {
+            if let Mode::Dve {
+                policy: ReplicaPolicy::Deny,
+                ..
+            } = self.mode
+            {
+                self.repush_deny_rm(now, fabric);
             }
         }
     }
@@ -320,12 +438,20 @@ impl ProtocolEngine {
     /// Switches the Dvé protocol family at a phase boundary (the
     /// sampling-based dynamic scheme of §V-C5): drains both replica
     /// directories and swaps the state machines. Returns the number of
-    /// entries drained (the drain-phase cost is charged by the caller).
+    /// entries drained (the drain-phase metadata cost is charged by the
+    /// caller; forced downgrades triggered by re-push capacity
+    /// evictions are charged through `fabric`).
     ///
     /// # Panics
     ///
     /// Panics if the engine is not in a Dvé mode.
-    pub fn switch_policy(&mut self, policy: ReplicaPolicy, speculative: bool) -> usize {
+    pub fn switch_policy(
+        &mut self,
+        policy: ReplicaPolicy,
+        speculative: bool,
+        now: u64,
+        fabric: &mut impl Fabric,
+    ) -> usize {
         let Mode::Dve { .. } = self.mode else {
             panic!("switch_policy requires a Dvé mode");
         };
@@ -334,7 +460,7 @@ impl ProtocolEngine {
         // approximate the drain by counting entries; dirty lines are
         // still tracked by LLC states and home directories, which remain
         // intact, so safety is preserved by the conservative post-drain
-        // defaults (allow: absence = no; deny: re-push on next write).
+        // defaults (allow: absence = no; deny: re-push below).
         let mut drained = 0;
         for rd in &mut self.replica_dirs {
             drained += rd.drain();
@@ -346,37 +472,67 @@ impl ProtocolEngine {
                 self.cfg.replica_region_lines,
             );
         }
-        // Deny correctness after a drain: absence means "replica
-        // readable", but a home-side LLC may hold lines in M. Re-push RM
-        // entries for every line the home directories record as modified
-        // by a home-side owner (the warm-up the paper describes as
-        // bringing metadata "au courant").
-        if policy == ReplicaPolicy::Deny {
-            // Use home directory entries (complete knowledge of M lines).
-            let mut to_install: Vec<(usize, LineAddr)> = Vec::new();
-            for home in 0..NUM_SOCKETS {
-                let mut lines: Vec<LineAddr> = self.home_dirs[home]
-                    .iter_entries()
-                    .filter(|(_, e)| e.state.writable() && e.owner == Some(home))
-                    .map(|(l, _)| *l)
-                    .collect();
-                // The directory map iterates in hash order; sort so the
-                // RM install sequence (and with it the replica
-                // directory's LRU state) is deterministic run-to-run.
-                lines.sort_unstable();
-                for l in lines {
-                    to_install.push((1 - home, l));
-                }
-            }
-            for (socket, line) in to_install {
-                let _ = self.replica_dirs[socket].install(line, ReplicaState::Rm);
-            }
-        }
         self.mode = Mode::Dve {
             policy,
             speculative,
         };
+        // Deny correctness after a drain: absence means "replica
+        // readable", but a home-side LLC may hold lines dirty. Re-push
+        // RM entries (the warm-up the paper describes as bringing
+        // metadata "au courant").
+        if policy == ReplicaPolicy::Deny {
+            self.repush_deny_rm(now, fabric);
+        }
         drained
+    }
+
+    /// Rebuilds the deny directories' RM entries from the home
+    /// directories after a drain (protocol switch, §V-C5, or degraded
+    /// recovery, §V-E): every *covered* line recorded as dirty with a
+    /// home-side owner gets an RM entry, because absence would wrongly
+    /// mean "replica readable" while the only up-to-date copy sits in
+    /// the home socket's caches.
+    ///
+    /// Two fixes the conformance fuzzer forced over the original
+    /// switch-time warm-up live here:
+    ///
+    /// * the filter is `dirty()` (M **or** O), not `writable()` (M
+    ///   only) — a home-owned line downgraded to O by a read forward is
+    ///   still ahead of the replica memory copy (regression
+    ///   `switch_to_deny_protects_o_state_lines`);
+    /// * capacity evictions during the re-push resolve through
+    ///   [`ProtocolEngine::resolve_replica_eviction`] exactly as in
+    ///   normal operation, instead of being dropped on the floor —
+    ///   silently losing an RM entry re-opens the stale-read hole the
+    ///   entry existed to close.
+    fn repush_deny_rm(&mut self, now: u64, fabric: &mut impl Fabric) {
+        if self.degraded {
+            return;
+        }
+        let mut to_install: Vec<(usize, LineAddr)> = Vec::new();
+        for home in 0..NUM_SOCKETS {
+            let mut lines: Vec<LineAddr> = self.home_dirs[home]
+                .iter_entries()
+                .filter(|(l, e)| {
+                    e.state.dirty()
+                        && e.owner == Some(home)
+                        && self.cfg.replication_scope.covers(**l, self.cfg.page_lines)
+                })
+                .map(|(l, _)| *l)
+                .collect();
+            // The directory map iterates in hash order; sort so the
+            // RM install sequence (and with it the replica
+            // directory's LRU state) is deterministic run-to-run.
+            lines.sort_unstable();
+            for l in lines {
+                to_install.push((1 - home, l));
+            }
+        }
+        for (socket, line) in to_install {
+            if let Some(ev) = self.replica_dirs[socket].install(line, ReplicaState::Rm) {
+                self.resolve_replica_eviction(socket, ev, now, fabric);
+            }
+        }
     }
 
     // ----- internal helpers -------------------------------------------
@@ -406,6 +562,43 @@ impl ProtocolEngine {
         self.llcs[socket].set_sharers(line, sharers & keep_mask);
     }
 
+    /// Downgrades the owning socket's LLC copy of `line` to O after a
+    /// read forward (the owner keeps the dirty data and responds to
+    /// future requests, MOSI-style).
+    ///
+    /// The downgrade must reach the owner's private L1s too: an L1 left
+    /// in M would absorb the owner's next store silently while the
+    /// requester keeps a stale S copy. (Found by the conformance
+    /// fuzzer; regression `owner_l1_downgraded_on_cross_socket_read`.)
+    fn downgrade_owner_for_forward(&mut self, owner: usize, line: LineAddr) {
+        if self.has_bug(SeededBug::NoOwnerDowngradeOnForward) {
+            return;
+        }
+        self.llcs[owner].set_state(line, CacheState::O);
+        self.downgrade_dirty_l1s(owner, line, None);
+    }
+
+    /// Downgrades any dirty on-socket L1 copy of `line` (other than
+    /// `keep`'s) to S. Used whenever socket-level state drops below M
+    /// while the data stays resident: a read hitting the LLC in M, or a
+    /// forward downgrading the LLC to O. An L1 left in M would complete
+    /// later stores silently, leaving every other copy of the line
+    /// stale. (Found by the conformance fuzzer; regression
+    /// `sibling_l1_downgraded_on_shared_read`.)
+    fn downgrade_dirty_l1s(&mut self, socket: usize, line: LineAddr, keep: Option<usize>) {
+        let sharers = self.llcs[socket].sharers_of(line).unwrap_or(0);
+        let base = socket * self.cfg.cores_per_socket;
+        for i in 0..self.cfg.cores_per_socket {
+            let core = base + i;
+            if Some(core) == keep || sharers & (1 << i) == 0 {
+                continue;
+            }
+            if self.l1s[core].state_of(line).is_some_and(|s| s.dirty()) {
+                self.l1s[core].set_state(line, CacheState::S);
+            }
+        }
+    }
+
     /// Invalidates a whole socket's copy of `line` (LLC + L1s).
     fn invalidate_socket(&mut self, socket: usize, line: LineAddr) -> Option<CacheState> {
         self.invalidate_local_l1s(socket, line, None);
@@ -421,14 +614,17 @@ impl ProtocolEngine {
 
     /// Writes a dirty line back to memory: home copy always; replica copy
     /// too under Dvé (strong consistency, §V-B1). Off the critical path
-    /// but occupies memory banks and the link.
+    /// but occupies memory banks and the link. Returns the time the last
+    /// copy is durable, so callers that must *wait* for the writeback
+    /// (e.g. the forced downgrade in a replica-directory Rm eviction)
+    /// can sequence their acknowledgement after it.
     fn writeback(
         &mut self,
         from_socket: usize,
         line: LineAddr,
         now: u64,
         fabric: &mut impl Fabric,
-    ) {
+    ) -> u64 {
         self.stats.writebacks += 1;
         let home = self.home_of(line);
         // Home copy.
@@ -437,15 +633,25 @@ impl ProtocolEngine {
         } else {
             fabric.link_send(from_socket, home, now, MessageClass::Writeback)
         };
-        fabric.mem_write(home, line, t_home);
-        if self.line_replicated(line) {
+        let mut done = fabric.mem_write(home, line, t_home);
+        if self.is_dve()
+            && self.degraded
+            && self.cfg.replication_scope.covers(line, self.cfg.page_lines)
+        {
+            // §V-E: the replica copy is out of service and misses this
+            // writeback — remember that it is now behind the home copy
+            // so recovery does not resume serving stale data from it.
+            self.stale_replica.insert(line);
+        }
+        if self.line_replicated(line) && !self.has_bug(SeededBug::SkipReplicaWriteback) {
             let replica = 1 - home;
             let t_rep = if from_socket == replica {
                 now
             } else {
                 fabric.link_send(from_socket, replica, now, MessageClass::Writeback)
             };
-            fabric.replica_write(replica, line, t_rep);
+            done = done.max(fabric.replica_write(replica, line, t_rep));
+            self.stale_replica.remove(&line);
             // The replica is now in sync: clear any RM entry (deny) or
             // stale M entry (allow) covering it.
             if self.replica_dirs[replica].peek(line) == Some(ReplicaState::Rm)
@@ -473,6 +679,7 @@ impl ProtocolEngine {
                 entry.state = CacheState::I;
             }
         }
+        done
     }
 
     /// Handles an LLC insertion, performing the writeback/invalidation
@@ -545,6 +752,12 @@ impl ProtocolEngine {
                     MessageClass::ReplicaMaintenance,
                 );
                 t += fabric.dir_latency();
+                // The acknowledgement releasing the directory slot may
+                // only travel back once every forced writeback is
+                // durable — acking at the request time would let the
+                // evicting install reuse the slot while the home side
+                // still holds the region writable.
+                let mut last_done = t;
                 for l in region..region + lines {
                     let home = self.home_of(l);
                     let owner = self.home_dirs[home].entry(l).owner;
@@ -562,7 +775,7 @@ impl ProtocolEngine {
                                     self.l1s[base + i].set_state(l, CacheState::S);
                                 }
                             }
-                            self.writeback(o, l, t, fabric);
+                            last_done = last_done.max(self.writeback(o, l, t, fabric));
                             let e = self.home_dirs[home].entry_mut(l);
                             e.owner = None;
                             e.state = CacheState::S;
@@ -570,7 +783,12 @@ impl ProtocolEngine {
                         }
                     }
                 }
-                fabric.link_send(1 - replica_socket, replica_socket, t, MessageClass::Ack)
+                fabric.link_send(
+                    1 - replica_socket,
+                    replica_socket,
+                    last_done,
+                    MessageClass::Ack,
+                )
             }
             ReplicaState::M => {
                 // Silent and free: the home directory independently
@@ -596,10 +814,24 @@ impl ProtocolEngine {
         now: u64,
         fabric: &mut impl Fabric,
     ) -> AccessOutcome {
-        let outcome = self.access_inner(core, line, req, now, fabric);
+        let mut outcome = self.access_inner(core, line, req, now, fabric);
         let idx = service_index(outcome.service);
         self.stats.served[idx] += 1;
-        self.stats.latency_sum[idx] += outcome.complete_at.saturating_sub(now);
+        // Completion can never precede issue; a `saturating_sub` here
+        // would silently record a zero latency and hide exactly the
+        // kind of accounting bug the conformance fuzzer's monotonicity
+        // check exists to catch. Fail loudly in debug instead.
+        debug_assert!(
+            outcome.complete_at >= now,
+            "access completed at {} before issue at {now}",
+            outcome.complete_at
+        );
+        self.stats.latency_sum[idx] += outcome.complete_at - now;
+        if self.has_bug(SeededBug::TimeTravelCompletion) {
+            // Accounting bug: the reported completion lands one cycle
+            // before the request was issued.
+            outcome.complete_at = now.saturating_sub(1);
+        }
         outcome
     }
 
@@ -646,6 +878,11 @@ impl ProtocolEngine {
         match (req, llc_state) {
             (ReqType::Read, Some(s)) if s.readable() => {
                 self.stats.llc_hits += 1;
+                // A sibling core may hold the line in M (it wrote and
+                // the LLC took M alongside); its L1 must drop to S now
+                // that another core keeps a copy, or its next store
+                // would complete silently against our stale S.
+                self.downgrade_dirty_l1s(socket, line, Some(core));
                 self.fill_l1(core, socket, line, CacheState::S, t, fabric);
                 self.add_l1_sharer(socket, line, core);
                 return AccessOutcome {
@@ -656,7 +893,9 @@ impl ProtocolEngine {
             (ReqType::Write, Some(CacheState::M)) => {
                 // Socket already exclusive: invalidate sibling L1s.
                 self.stats.llc_hits += 1;
-                self.invalidate_local_l1s(socket, line, Some(core));
+                if !self.has_bug(SeededBug::SkipSiblingL1Invalidate) {
+                    self.invalidate_local_l1s(socket, line, Some(core));
+                }
                 self.fill_l1(core, socket, line, CacheState::M, t, fabric);
                 self.add_l1_sharer(socket, line, core);
                 return AccessOutcome {
@@ -770,7 +1009,7 @@ impl ProtocolEngine {
                                 t = fabric.link_send(home, owner, t, MessageClass::Request);
                             }
                             t += fabric.llc_latency();
-                            self.llcs[owner].set_state(line, CacheState::O);
+                            self.downgrade_owner_for_forward(owner, line);
                             if owner != socket {
                                 t = fabric.link_send(owner, socket, t, MessageClass::DataResponse);
                             }
@@ -848,6 +1087,9 @@ impl ProtocolEngine {
                         // replica-side LLCs in the hierarchy (Fig. 4c).
                         let covered = prior.sharers & (1 << replica) != 0;
                         match policy {
+                            ReplicaPolicy::Deny if self.has_bug(SeededBug::SkipRmInstall) => {
+                                // Seeded bug: forget the eager RM push.
+                            }
                             ReplicaPolicy::Deny => {
                                 // Eagerly push the RM (deny) entry; the
                                 // write completes only after the ack.
@@ -879,8 +1121,9 @@ impl ProtocolEngine {
                                 // If the replica directory holds a read
                                 // permission, revoke it before the write
                                 // completes.
-                                if prior.replica_shared
-                                    || self.replica_dirs[replica].peek(line).is_some()
+                                if (prior.replica_shared
+                                    || self.replica_dirs[replica].peek(line).is_some())
+                                    && !self.has_bug(SeededBug::SkipReplicaInvalidate)
                                 {
                                     self.stats.replica_invalidations += 1;
                                     self.replica_dirs[replica].remove(line);
@@ -921,13 +1164,19 @@ impl ProtocolEngine {
                 self.fill_l1(core, socket, line, CacheState::M, t, fabric);
                 self.add_l1_sharer(socket, line, core);
                 // An allow-mode write from the replica side installs an M
-                // entry in its replica directory (Fig. 5 top).
+                // entry in its replica directory (Fig. 5 top) — but only
+                // while the line actually has a replica. Writes to
+                // uncovered pages (§V-D fallback) or while degraded
+                // (§V-E) must not pollute the directory with entries for
+                // lines it does not govern. (Found by the conformance
+                // fuzzer; regression
+                // `no_replica_dir_pollution_outside_scope`.)
                 if let Mode::Dve {
                     policy: ReplicaPolicy::Allow,
                     ..
                 } = self.mode
                 {
-                    if socket != home {
+                    if socket != home && self.line_replicated(line) {
                         if let Some(ev) = self.replica_dirs[socket].install(line, ReplicaState::M) {
                             self.resolve_replica_eviction(socket, ev, t, fabric);
                         }
@@ -969,12 +1218,24 @@ impl ProtocolEngine {
         }
 
         let entry = self.replica_dirs[socket].lookup(line);
-        let readable = match (policy, entry) {
-            (ReplicaPolicy::Allow, Some(ReplicaState::S)) => true,
-            (ReplicaPolicy::Allow, _) => false,
-            (ReplicaPolicy::Deny, Some(ReplicaState::Rm)) => false,
-            (ReplicaPolicy::Deny, _) => true,
-        };
+        // A line whose writeback the replica missed while degraded
+        // (§V-E) is quarantined regardless of what the directory says —
+        // for the deny family "absence" would otherwise mean "readable"
+        // the moment the drained directory comes back. (Found by the
+        // conformance fuzzer; regression
+        // `recovered_replica_requires_resync_before_reads`.)
+        let readable = !self.replica_stale(line)
+            && match (policy, entry) {
+                (ReplicaPolicy::Allow, Some(ReplicaState::S)) => true,
+                (ReplicaPolicy::Allow, None) if self.has_bug(SeededBug::AllowAbsenceReadable) => {
+                    // Seeded bug: absence treated as permission (the deny
+                    // family's semantics applied to the allow directory).
+                    true
+                }
+                (ReplicaPolicy::Allow, _) => false,
+                (ReplicaPolicy::Deny, Some(ReplicaState::Rm)) => false,
+                (ReplicaPolicy::Deny, _) => true,
+            };
 
         if readable {
             // Serve from the local replica memory. The home directory
@@ -1015,14 +1276,19 @@ impl ProtocolEngine {
             CacheState::I | CacheState::S => {
                 // Replica was actually fine — home confirms with a
                 // control message; the speculative local read supplies
-                // the data.
-                if let Some(spec) = spec_done {
+                // the data. A quarantined (stale-replica) line must
+                // squash instead: the speculatively read words predate
+                // the writeback the dead replica missed.
+                if let (Some(spec), false) = (spec_done, self.replica_stale(line)) {
                     self.stats.spec_confirmed += 1;
                     self.stats.replica_reads += 1;
                     let t_ack = fabric.link_send(home, socket, t_req, MessageClass::Ack);
                     t_done = spec.max(t_ack);
                     service = ServiceLevel::LocalDram;
                 } else {
+                    if spec_done.is_some() {
+                        self.stats.spec_squashed += 1;
+                    }
                     let t_mem = fabric.mem_read(home, line, t_req);
                     t_done = fabric.link_send(home, socket, t_mem, MessageClass::DataResponse);
                     service = ServiceLevel::RemoteDram;
@@ -1051,7 +1317,7 @@ impl ProtocolEngine {
                         tt = fabric.link_send(home, owner, tt, MessageClass::Request);
                     }
                     tt += fabric.llc_latency();
-                    self.llcs[owner].set_state(line, CacheState::O);
+                    self.downgrade_owner_for_forward(owner, line);
                     if owner != socket {
                         tt = fabric.link_send(owner, socket, tt, MessageClass::DataResponse);
                     }
@@ -1063,17 +1329,28 @@ impl ProtocolEngine {
                 }
             }
         }
+        // §V-E demand re-sync: the fresh data just obtained from the
+        // home side is pushed into the local replica copy (off the
+        // critical path), lifting the stale-replica quarantine.
+        if self.replica_stale(line) {
+            fabric.replica_write(socket, line, t_done);
+            self.stale_replica.remove(&line);
+        }
         // Allow: install the pulled read permission. With coarse-grain
         // tracking, "a full memory block is entered into the replica
         // directory if no cacheline within it is currently in writable
-        // state" (§V-C5) — otherwise the entry is skipped (absence is
-        // the safe default).
+        // state" (§V-C5) — the reproduction reads "writable" as *dirty*
+        // (M or O): an O-state line is no longer writable but its only
+        // up-to-date copy still sits in a cache, so a region permission
+        // spanning it would serve stale replica data for that line.
+        // (Found by the conformance fuzzer; regression
+        // `coarse_allow_region_install_excludes_o_state`.)
         if policy == ReplicaPolicy::Allow && service != ServiceLevel::RemoteOwner {
             let region_ok = if self.cfg.replica_region_lines > 1 {
                 let region = self.replica_dirs[socket].region_of(line);
                 (region..region + self.cfg.replica_region_lines).all(|l| {
                     let e = self.home_dirs[self.home_of(l)].entry(l);
-                    !e.state.writable()
+                    !e.state.dirty()
                 })
             } else {
                 true
@@ -1343,13 +1620,53 @@ mod tests {
     }
 
     #[test]
+    fn rm_capacity_eviction_ack_waits_for_writeback() {
+        // A deny-family write that evicts an Rm entry from a full
+        // replica directory must not complete until the forced
+        // downgrade's writeback is durable: the ack travels home →
+        // replica only after the last write lands, which costs at
+        // least one extra link round-trip over a non-evicting write.
+        let cfg = EngineConfig {
+            replica_dir_entries: Some(4),
+            ..Default::default()
+        };
+        let mut e = ProtocolEngine::new(deny(), cfg);
+        let mut f = TestFabric::default();
+        // Three Rm pushes for dirty home-0 lines fill all but one of
+        // the directory's 4 entries.
+        for (i, line) in (0u64..3).enumerate() {
+            e.access(0, line, ReqType::Write, i as u64 * 10_000, &mut f);
+        }
+        // Fourth fresh-line write: installs into the last free slot.
+        let plain = e.access(0, 3, ReqType::Write, 30_000, &mut f);
+        let plain_lat = plain.complete_at - 30_000;
+        // Fifth, structurally identical write: its Rm install evicts
+        // the LRU entry (line 0, dirty at home) and must wait for line
+        // 0's forced writeback before the directory slot is reusable.
+        let wb_before = e.stats().writebacks;
+        let evicting = e.access(0, 4, ReqType::Write, 40_000, &mut f);
+        let evicting_lat = evicting.complete_at - 40_000;
+        assert_eq!(
+            e.stats().forced_downgrades,
+            1,
+            "fifth install evicts an Rm entry"
+        );
+        assert!(e.stats().writebacks > wb_before, "downgrade wrote back");
+        assert!(
+            evicting_lat >= plain_lat + 2 * 150,
+            "evicting write ({evicting_lat}) must trail a plain write \
+             ({plain_lat}) by at least one link round-trip"
+        );
+    }
+
+    #[test]
     fn dynamic_switch_drains_and_repushes_rm() {
         let mut e = engine(allow());
         let mut f = TestFabric::default();
         // Socket 1 writes its home line: under allow, no RM entries.
         e.access(8, HOME1, ReqType::Write, 0, &mut f);
         e.access(0, HOME1 + 64 * 64, ReqType::Read, 1000, &mut f); // pull an S entry
-        let drained = e.switch_policy(ReplicaPolicy::Deny, false);
+        let drained = e.switch_policy(ReplicaPolicy::Deny, false, 2000, &mut f);
         assert!(drained > 0);
         // Post-switch: the dirty home-side line must be RM-protected.
         assert!(!e.replica_dir(0).replica_readable(HOME1));
@@ -1370,7 +1687,7 @@ mod tests {
         let o = e.access(0, HOME1, ReqType::Read, 0, &mut f);
         assert_eq!(o.service, ServiceLevel::LocalDram);
         // Replica fails: degraded mode.
-        e.set_degraded(true);
+        e.set_degraded(true, 5000, &mut f);
         assert!(e.is_degraded());
         assert!(e.replica_dir(0).is_empty(), "replica dirs drained");
         let o = e.access(1, HOME1 + 1, ReqType::Read, 10_000, &mut f);
@@ -1390,7 +1707,7 @@ mod tests {
         );
         assert_eq!(f.replica_writes, before_writes);
         // Recovery: replication resumes.
-        e.set_degraded(false);
+        e.set_degraded(false, 25_000, &mut f);
         let o = e.access(2, HOME1 + 3, ReqType::Read, 30_000, &mut f);
         assert_eq!(o.service, ServiceLevel::LocalDram);
     }

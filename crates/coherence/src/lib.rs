@@ -41,6 +41,6 @@ pub mod home_dir;
 pub mod replica_dir;
 pub mod types;
 
-pub use engine::{EngineStats, Mode, ProtocolEngine, ReplicationScope};
+pub use engine::{EngineStats, Mode, ProtocolEngine, ReplicationScope, SeededBug};
 pub use fabric::{Fabric, TestFabric};
 pub use types::{LineAddr, ReqType, RequestClass, ServiceLevel};

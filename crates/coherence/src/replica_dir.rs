@@ -342,6 +342,85 @@ mod tests {
     }
 
     #[test]
+    fn victim_scan_window_is_bounded() {
+        // The cheap-victim scan looks at most 32 positions deep in LRU
+        // order. With 64 entries where the only non-Rm entry is the
+        // *newest*, it sits outside the window and the true LRU (an Rm
+        // entry) must be evicted instead — the scan must not degenerate
+        // into a full-table search for a free victim.
+        let mut rd = ReplicaDirectory::new(ReplicaPolicy::Deny, Some(64), 1);
+        for i in 0..63 {
+            rd.install(i, ReplicaState::Rm);
+        }
+        rd.install(63, ReplicaState::M); // cheap, but 64th in LRU order
+        let ev = rd.install(64, ReplicaState::Rm).expect("at capacity");
+        assert_eq!(ev.region, 0, "true LRU evicted, not the out-of-window M");
+        assert_eq!(ev.state, ReplicaState::Rm);
+        assert_eq!(rd.peek(63), Some(ReplicaState::M), "M entry survives");
+        // Bring the M entry inside the window by aging everything else:
+        // after evictions shrink the Rm population ahead of it, a later
+        // install finds it.
+        let mut rd = ReplicaDirectory::new(ReplicaPolicy::Deny, Some(33), 1);
+        rd.install(0, ReplicaState::M);
+        for i in 1..33 {
+            rd.install(i, ReplicaState::Rm);
+        }
+        let ev = rd.install(33, ReplicaState::Rm).expect("at capacity");
+        assert_eq!(ev.region, 0, "oldest entry is cheap and in-window");
+        assert_eq!(ev.state, ReplicaState::M);
+    }
+
+    /// Asserts the two internal indices agree: every entry's LRU tick
+    /// maps back to it, and the index holds nothing else.
+    fn assert_index_consistent(rd: &ReplicaDirectory) {
+        assert_eq!(rd.entries.len(), rd.lru_index.len(), "index size drift");
+        for (&region, &(_, tick)) in &rd.entries {
+            assert_eq!(
+                rd.lru_index.get(&tick),
+                Some(&region),
+                "entry {region} tick {tick} not indexed"
+            );
+        }
+    }
+
+    #[test]
+    fn lru_index_stays_consistent_under_churn() {
+        // install/lookup/remove/evict churn across a small capacity,
+        // checking after every operation that `entries` and `lru_index`
+        // never drift (a dangling tick would make a later eviction
+        // panic or pick a phantom victim).
+        let mut rd = ReplicaDirectory::new(ReplicaPolicy::Deny, Some(8), 1);
+        let mut rng = dve_sim::rng::SplitMix64::new(0xD0E5_2021);
+        for _ in 0..4_000 {
+            let line = rng.next_below(24);
+            match rng.next_below(4) {
+                0 => {
+                    let state = match rng.next_below(3) {
+                        0 => ReplicaState::S,
+                        1 => ReplicaState::M,
+                        _ => ReplicaState::Rm,
+                    };
+                    rd.install(line, state);
+                }
+                1 => {
+                    rd.lookup(line);
+                }
+                2 => {
+                    rd.remove(line);
+                }
+                _ => {
+                    rd.peek(line);
+                }
+            }
+            assert!(rd.len() <= 8, "capacity respected");
+            assert_index_consistent(&rd);
+        }
+        assert!(rd.stats().evictions > 0, "churn exercised evictions");
+        rd.drain();
+        assert_index_consistent(&rd);
+    }
+
+    #[test]
     fn unbounded_never_evicts() {
         let mut rd = ReplicaDirectory::new(ReplicaPolicy::Allow, None, 1);
         for i in 0..10_000 {

@@ -111,7 +111,7 @@ fn dynamic_switch_preserves_correct_service_under_load() {
         t = o.complete_at;
     }
     // Switch to deny; dirty home-side lines must be RM-protected.
-    e.switch_policy(ReplicaPolicy::Deny, false);
+    e.switch_policy(ReplicaPolicy::Deny, false, t, &mut f);
     for socket in 0..2 {
         let home = socket;
         let replica = 1 - socket;
@@ -136,7 +136,7 @@ fn dynamic_switch_preserves_correct_service_under_load() {
         t = o.complete_at;
     }
     // And back to allow.
-    e.switch_policy(ReplicaPolicy::Allow, true);
+    e.switch_policy(ReplicaPolicy::Allow, true, t, &mut f);
     let o = e.access(0, HOME1, ReqType::Read, t, &mut f);
     assert!(o.complete_at > t);
 }
@@ -146,9 +146,9 @@ fn dynamic_switch_preserves_correct_service_under_load() {
 #[test]
 fn degraded_mode_matches_baseline_service_levels() {
     let mut deg = ProtocolEngine::new(dve(ReplicaPolicy::Deny), EngineConfig::default());
-    deg.set_degraded(true);
     let mut base = ProtocolEngine::new(Mode::Baseline, EngineConfig::default());
     let mut f1 = TestFabric::default();
+    deg.set_degraded(true, 0, &mut f1);
     let mut f2 = TestFabric::default();
     let mut rng = dve_sim::rng::SplitMix64::new(11);
     let mut t = 0;

@@ -1,0 +1,91 @@
+//! Harness validation by mutation testing.
+//!
+//! A conformance harness that has never caught a bug proves nothing: it
+//! may simply be blind. This module re-runs the fuzzer against engines
+//! with deliberately seeded protocol/accounting bugs
+//! ([`dve_coherence::SeededBug`]) and reports, for each mutation, which
+//! configuration caught it, how many ops that took, and the minimized
+//! trace. The CI gate asserts every mutation is caught and shrinks to a
+//! short trace — the same standard `dve-verify`'s Murφ-style model
+//! holds itself to, applied to the production engine's net.
+
+use crate::fuzz::{builtin_configs, fuzz_config};
+use crate::shrink::shrink;
+use crate::trace::FuzzOp;
+use dve_coherence::engine::SeededBug;
+
+/// Every seeded mutation the engine supports.
+pub const ALL_BUGS: [SeededBug; 7] = [
+    SeededBug::AllowAbsenceReadable,
+    SeededBug::SkipReplicaWriteback,
+    SeededBug::SkipRmInstall,
+    SeededBug::SkipReplicaInvalidate,
+    SeededBug::SkipSiblingL1Invalidate,
+    SeededBug::NoOwnerDowngradeOnForward,
+    SeededBug::TimeTravelCompletion,
+];
+
+/// Outcome of hunting one seeded mutation.
+#[derive(Debug, Clone)]
+pub struct MutationReport {
+    /// The mutation that was seeded.
+    pub bug: SeededBug,
+    /// Whether any configuration caught it.
+    pub caught: bool,
+    /// Configuration that caught it (empty if escaped).
+    pub config: String,
+    /// Ops executed in that configuration before the catch.
+    pub ops_to_catch: u64,
+    /// Class of the violation that caught it.
+    pub class: String,
+    /// The minimized reproducing trace.
+    pub shrunk: Vec<FuzzOp>,
+}
+
+/// Runs the fuzzer against each seeded mutation across all builtin
+/// configurations (up to `ops_per_config` ops each) and returns one
+/// report per mutation. A mutation that no configuration catches comes
+/// back with `caught == false` — the caller decides whether that fails
+/// the gate.
+pub fn mutation_check(master_seed: u64, ops_per_config: u64) -> Vec<MutationReport> {
+    let configs = builtin_configs();
+    ALL_BUGS
+        .iter()
+        .map(|&bug| {
+            for cfg in &configs {
+                let out = fuzz_config(cfg, master_seed, ops_per_config, Some(bug));
+                if let Some(failure) = out.failure {
+                    let (small, v) = shrink(cfg, &failure.trace, Some(bug), &failure.violation);
+                    return MutationReport {
+                        bug,
+                        caught: true,
+                        config: cfg.name.clone(),
+                        ops_to_catch: out.ops_run,
+                        class: v.class().to_string(),
+                        shrunk: small,
+                    };
+                }
+            }
+            MutationReport {
+                bug,
+                caught: false,
+                config: String::new(),
+                ops_to_catch: 0,
+                class: String::new(),
+                shrunk: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_bugs_listed_once() {
+        let mut seen = ALL_BUGS.to_vec();
+        seen.dedup();
+        assert_eq!(seen.len(), 7);
+    }
+}

@@ -1,0 +1,289 @@
+//! The golden shadow: a flat, sequentially-consistent memory model plus
+//! per-location freshness tracking, and the recording fabric that feeds
+//! it.
+//!
+//! The conformance driver serializes operations (matching §V-C3's
+//! per-line serialization at the directory), so sequential consistency
+//! reduces to *read-returns-last-write*: every line has a single latest
+//! version, and a read is correct iff the location the engine served it
+//! from holds that version. The shadow therefore keeps, per line:
+//!
+//! * a version counter (the golden memory — bumped by every store), and
+//! * a **freshness mask** of physical locations currently holding the
+//!   latest version: home memory, replica memory, each socket's LLC and
+//!   each core's L1.
+//!
+//! Stores reset the mask to the writer's caches; writebacks observed
+//! through the [`RecordingFabric`] re-add the home and replica memory
+//! copies; reads add the requester's caches *after* checking that the
+//! claimed data source was fresh. A location that is both resident (per
+//! the engine's own structures) and *not* fresh is a stale copy — the
+//! exact failure §V-B1's strong consistency is supposed to exclude.
+
+use dve_coherence::fabric::{Fabric, TestFabric};
+use dve_coherence::types::{home_socket, LineAddr};
+use dve_noc::traffic::MessageClass;
+use std::collections::HashMap;
+
+/// One memory-system action the engine performed, as seen at the
+/// fabric boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricEvent {
+    /// Home-copy read on `socket` (also issued for on-chip directory
+    /// cache misses, so it is *not* used for freshness accounting).
+    MemRead {
+        /// Socket whose memory was read.
+        socket: usize,
+        /// Line (or directory-entry) address.
+        line: LineAddr,
+    },
+    /// Home-copy write on `socket`.
+    MemWrite {
+        /// Socket whose memory was written.
+        socket: usize,
+        /// Line address.
+        line: LineAddr,
+    },
+    /// Replica-copy read on `socket`.
+    ReplicaRead {
+        /// Socket whose replica memory was read.
+        socket: usize,
+        /// Line address.
+        line: LineAddr,
+    },
+    /// Replica-copy write on `socket`.
+    ReplicaWrite {
+        /// Socket whose replica memory was written.
+        socket: usize,
+        /// Line address.
+        line: LineAddr,
+    },
+}
+
+/// A [`Fabric`] that delegates timing to [`TestFabric`] while recording
+/// every memory/replica access for the shadow.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingFabric {
+    /// The fixed-latency fabric providing all timing.
+    pub inner: TestFabric,
+    /// Events recorded since the last [`RecordingFabric::take_events`].
+    pub events: Vec<FabricEvent>,
+}
+
+impl RecordingFabric {
+    /// Drains and returns the events recorded for the last operation.
+    pub fn take_events(&mut self) -> Vec<FabricEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl Fabric for RecordingFabric {
+    fn mesh_latency(&self) -> u64 {
+        self.inner.mesh_latency()
+    }
+
+    fn link_send(&mut self, from: usize, to: usize, now: u64, class: MessageClass) -> u64 {
+        self.inner.link_send(from, to, now, class)
+    }
+
+    fn link_probe(&self, from: usize, to: usize, now: u64, class: MessageClass) -> u64 {
+        self.inner.link_probe(from, to, now, class)
+    }
+
+    fn mem_read(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+        self.events.push(FabricEvent::MemRead { socket, line });
+        self.inner.mem_read(socket, line, now)
+    }
+
+    fn replica_read(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+        self.events.push(FabricEvent::ReplicaRead { socket, line });
+        self.inner.replica_read(socket, line, now)
+    }
+
+    fn mem_write(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+        self.events.push(FabricEvent::MemWrite { socket, line });
+        self.inner.mem_write(socket, line, now)
+    }
+
+    fn replica_write(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+        self.events.push(FabricEvent::ReplicaWrite { socket, line });
+        self.inner.replica_write(socket, line, now)
+    }
+}
+
+/// A physical location that can hold a copy of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// The home memory copy.
+    HomeMem,
+    /// The replica memory copy (socket `1 - home`).
+    ReplicaMem,
+    /// A socket's shared LLC.
+    Llc(usize),
+    /// A core's private L1.
+    L1(usize),
+}
+
+impl Location {
+    /// Bit of this location in a freshness mask (supports up to 28
+    /// cores; the fuzz configs use 4).
+    pub fn bit(self) -> u32 {
+        match self {
+            Location::HomeMem => 1,
+            Location::ReplicaMem => 1 << 1,
+            Location::Llc(s) => 1 << (2 + s),
+            Location::L1(c) => 1 << (4 + c),
+        }
+    }
+}
+
+/// The golden sequentially-consistent shadow.
+#[derive(Debug, Clone)]
+pub struct GoldenShadow {
+    page_lines: u64,
+    cores_per_socket: usize,
+    /// Golden memory: version of the last write per line (0 = initial).
+    version: HashMap<LineAddr, u64>,
+    /// Locations holding the latest version, per line. Absent = every
+    /// location trivially fresh (nothing was ever written).
+    fresh: HashMap<LineAddr, u32>,
+}
+
+const ALL_FRESH: u32 = u32::MAX;
+
+impl GoldenShadow {
+    /// Creates the shadow for an engine with the given geometry.
+    pub fn new(page_lines: u64, cores_per_socket: usize) -> GoldenShadow {
+        GoldenShadow {
+            page_lines,
+            cores_per_socket,
+            version: HashMap::new(),
+            fresh: HashMap::new(),
+        }
+    }
+
+    /// The golden (authoritative) version of `line`.
+    pub fn version(&self, line: LineAddr) -> u64 {
+        self.version.get(&line).copied().unwrap_or(0)
+    }
+
+    /// Whether `loc` holds the latest version of `line`.
+    pub fn is_fresh(&self, line: LineAddr, loc: Location) -> bool {
+        self.fresh.get(&line).copied().unwrap_or(ALL_FRESH) & loc.bit() != 0
+    }
+
+    fn mark_fresh(&mut self, line: LineAddr, loc: Location) {
+        *self.fresh.entry(line).or_insert(ALL_FRESH) |= loc.bit();
+    }
+
+    /// Applies the fabric events of one operation: writebacks restore
+    /// the home/replica memory copies to freshness. (Reads carry no
+    /// data-movement information the service-level check doesn't
+    /// already capture; directory-cache fetches masquerade as
+    /// `MemRead`s and must be ignored.)
+    pub fn apply_events(&mut self, events: &[FabricEvent]) {
+        for ev in events {
+            match *ev {
+                FabricEvent::MemWrite { socket, line } => {
+                    // Writebacks target the home socket; anything else
+                    // would be a routing bug caught by the checker.
+                    if socket == home_socket(line, self.page_lines) {
+                        self.mark_fresh(line, Location::HomeMem);
+                    }
+                }
+                FabricEvent::ReplicaWrite { socket, line } => {
+                    if socket == 1 - home_socket(line, self.page_lines) {
+                        self.mark_fresh(line, Location::ReplicaMem);
+                    }
+                }
+                FabricEvent::MemRead { .. } | FabricEvent::ReplicaRead { .. } => {}
+            }
+        }
+    }
+
+    /// Records a completed store by `core` to `line`: the golden version
+    /// advances and only the writer's caches hold it.
+    pub fn apply_write(&mut self, core: usize, line: LineAddr) {
+        *self.version.entry(line).or_insert(0) += 1;
+        let socket = core / self.cores_per_socket;
+        self.fresh
+            .insert(line, Location::L1(core).bit() | Location::Llc(socket).bit());
+    }
+
+    /// Marks the requester's caches fresh after a load of `line` by
+    /// `core` that was served below the L1 (LLC, DRAM or a forward).
+    pub fn fill_caches(&mut self, core: usize, line: LineAddr, include_llc: bool) {
+        self.mark_fresh(line, Location::L1(core));
+        if include_llc {
+            let socket = core / self.cores_per_socket;
+            self.mark_fresh(line, Location::Llc(socket));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_everything_fresh() {
+        let s = GoldenShadow::new(8, 2);
+        assert_eq!(s.version(5), 0);
+        for loc in [
+            Location::HomeMem,
+            Location::ReplicaMem,
+            Location::Llc(0),
+            Location::L1(3),
+        ] {
+            assert!(s.is_fresh(5, loc));
+        }
+    }
+
+    #[test]
+    fn write_restricts_freshness_to_writer() {
+        let mut s = GoldenShadow::new(8, 2);
+        s.apply_write(3, 9); // core 3 = socket 1
+        assert_eq!(s.version(9), 1);
+        assert!(s.is_fresh(9, Location::L1(3)));
+        assert!(s.is_fresh(9, Location::Llc(1)));
+        assert!(!s.is_fresh(9, Location::HomeMem));
+        assert!(!s.is_fresh(9, Location::ReplicaMem));
+        assert!(!s.is_fresh(9, Location::L1(0)));
+        assert!(!s.is_fresh(9, Location::Llc(0)));
+    }
+
+    #[test]
+    fn writeback_events_restore_memory_freshness() {
+        let mut s = GoldenShadow::new(8, 2);
+        s.apply_write(0, 9); // line 9: page 1, home socket 1
+        s.apply_events(&[
+            FabricEvent::MemWrite { socket: 1, line: 9 },
+            FabricEvent::ReplicaWrite { socket: 0, line: 9 },
+        ]);
+        assert!(s.is_fresh(9, Location::HomeMem));
+        assert!(s.is_fresh(9, Location::ReplicaMem));
+        // Misrouted writes must not count.
+        s.apply_write(0, 9);
+        s.apply_events(&[FabricEvent::MemWrite { socket: 0, line: 9 }]);
+        assert!(!s.is_fresh(9, Location::HomeMem));
+    }
+
+    #[test]
+    fn recording_fabric_captures_events_and_delegates_timing() {
+        let mut f = RecordingFabric::default();
+        let t = f.mem_read(0, 7, 100);
+        assert_eq!(t, 100 + f.inner.dram);
+        let t2 = f.replica_write(1, 7, 0);
+        assert_eq!(t2, f.inner.dram);
+        let evs = f.take_events();
+        assert_eq!(
+            evs,
+            vec![
+                FabricEvent::MemRead { socket: 0, line: 7 },
+                FabricEvent::ReplicaWrite { socket: 1, line: 7 },
+            ]
+        );
+        assert!(f.take_events().is_empty());
+        assert_eq!(f.inner.mem_reads[0], 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Delta-debugging trace minimization (Zeller's ddmin, plus a greedy
+//! single-op sweep).
+//!
+//! Because fuzz traces are generated independently of engine outcomes
+//! (see [`crate::fuzz`]), every subsequence of a trace is itself a
+//! well-formed trace — so minimization is plain subset search. The
+//! predicate is *class-preserving*: a candidate subsequence counts as
+//! "still failing" only if replaying it yields a violation of the same
+//! class (the stable prefix of [`Violation::kind`] before the first
+//! `:`), so shrinking a stale-read cannot wander off and return some
+//! unrelated stats discrepancy.
+//!
+//! [`Violation::kind`]: crate::check::Violation
+
+use crate::check::Violation;
+use crate::fuzz::run_trace;
+use crate::trace::{FuzzConfig, FuzzOp};
+use dve_coherence::engine::SeededBug;
+
+/// Replays `ops` and reports whether it still produces a violation of
+/// class `class`.
+fn still_fails(
+    cfg: &FuzzConfig,
+    ops: &[FuzzOp],
+    bug: Option<SeededBug>,
+    class: &str,
+) -> Option<Violation> {
+    run_trace(cfg, ops, bug).filter(|v| v.class() == class)
+}
+
+/// Minimizes `trace` to a small subsequence that still triggers a
+/// violation of the same class as `violation`, and returns it together
+/// with the violation the minimized trace produces.
+///
+/// The input trace must actually fail; if it does not (flaky harness,
+/// wrong config), the original trace is returned unchanged with the
+/// original violation.
+pub fn shrink(
+    cfg: &FuzzConfig,
+    trace: &[FuzzOp],
+    bug: Option<SeededBug>,
+    violation: &Violation,
+) -> (Vec<FuzzOp>, Violation) {
+    let class = violation.class().to_string();
+    let Some(mut best_v) = still_fails(cfg, trace, bug, &class) else {
+        return (trace.to_vec(), violation.clone());
+    };
+    // Everything after the violating op is irrelevant by construction.
+    let mut cur: Vec<FuzzOp> = trace[..=best_v.op_index.min(trace.len() - 1)].to_vec();
+
+    // ddmin: try removing chunks at decreasing granularity.
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if let Some(v) = still_fails(cfg, &candidate, bug, &class) {
+                cur = candidate;
+                cur.truncate(v.op_index + 1);
+                best_v = v;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            n = (n * 2).min(cur.len());
+        }
+    }
+
+    // Greedy sweep: drop single ops until a fixpoint.
+    let mut changed = true;
+    while changed && cur.len() > 1 {
+        changed = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let mut candidate = cur.clone();
+            candidate.remove(i);
+            if let Some(v) = still_fails(cfg, &candidate, bug, &class) {
+                cur = candidate;
+                cur.truncate(v.op_index + 1);
+                best_v = v;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    (cur, best_v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::config_by_name;
+
+    /// Shrinking the seeded time-travel bug must reach a single op.
+    #[test]
+    fn shrinks_time_travel_to_one_op() {
+        let cfg = config_by_name("baseline");
+        // Pad a violating op with noise on other lines.
+        let mut trace = Vec::new();
+        for i in 0..40 {
+            trace.push(FuzzOp::Access {
+                core: (i % 4) as u8,
+                line: (i % 16) as u64,
+                write: i % 3 == 0,
+            });
+        }
+        let v = run_trace(&cfg, &trace, Some(SeededBug::TimeTravelCompletion))
+            .expect("time-travel bug must be caught");
+        let (small, sv) = shrink(&cfg, &trace, Some(SeededBug::TimeTravelCompletion), &v);
+        assert_eq!(sv.class(), v.class());
+        assert!(
+            small.len() <= 2,
+            "expected a 1–2 op repro, got {} ops",
+            small.len()
+        );
+        assert!(run_trace(&cfg, &small, Some(SeededBug::TimeTravelCompletion)).is_some());
+    }
+
+    /// A clean trace comes back unchanged.
+    #[test]
+    fn non_failing_trace_is_returned_unchanged() {
+        let cfg = config_by_name("baseline");
+        let trace = vec![FuzzOp::Access {
+            core: 0,
+            line: 0,
+            write: false,
+        }];
+        let fake = Violation {
+            op_index: 0,
+            kind: "stale-read: fabricated".into(),
+        };
+        let (out, v) = shrink(&cfg, &trace, None, &fake);
+        assert_eq!(out, trace);
+        assert_eq!(v, fake);
+    }
+}

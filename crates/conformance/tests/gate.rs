@@ -1,0 +1,56 @@
+//! The conformance gate, sized for `cargo test`:
+//!
+//! * a fuzz smoke — every builtin configuration survives a short
+//!   profile-biased random trace on the pinned bench seed, and
+//! * the mutation gate — every deliberately seeded engine bug is
+//!   caught by some configuration and its trace shrinks to ≤30 ops.
+//!
+//! The full-size versions (100 k ops/config fuzz, 10 k ops mutation
+//! hunt) run in release via `cargo run -p dve-bench --bin conformance`;
+//! see EXPERIMENTS.md.
+
+use dve_conformance::{builtin_configs, fuzz_config, mutation_check};
+
+/// The workspace-wide pinned seed (`dve_bench::SEED`), duplicated here
+/// so the conformance crate does not depend on the bench crate.
+const SEED: u64 = 0xD0E5_2021;
+
+#[test]
+fn fuzz_smoke_all_configs_clean() {
+    for cfg in builtin_configs() {
+        let out = fuzz_config(&cfg, SEED, 1_500, None);
+        assert_eq!(out.ops_run, 1_500, "{} stopped early", cfg.name);
+        if let Some(f) = out.failure {
+            panic!(
+                "{}: violation at op {}: {}",
+                cfg.name, f.violation.op_index, f.violation.kind
+            );
+        }
+    }
+}
+
+#[test]
+fn mutation_gate_catches_and_shrinks_every_seeded_bug() {
+    // 6 000 ops/config is enough for every seeded bug on the pinned
+    // seed (the slowest, SkipReplicaWriteback, needs ~5.1 k ops in the
+    // tiny-replica-directory configuration).
+    let reports = mutation_check(SEED, 6_000);
+    assert_eq!(reports.len(), 7, "one report per seeded bug");
+    for r in &reports {
+        assert!(r.caught, "{:?} escaped the conformance harness", r.bug);
+        assert!(
+            !r.shrunk.is_empty() && r.shrunk.len() <= 30,
+            "{:?}: shrunk trace has {} ops (want 1..=30)",
+            r.bug,
+            r.shrunk.len()
+        );
+        // Re-confirm the minimized trace still trips the harness with
+        // the bug seeded (shrinking must preserve the violation class).
+        let cfg = dve_conformance::trace::config_by_name(&r.config);
+        assert!(
+            dve_conformance::run_trace(&cfg, &r.shrunk, Some(r.bug)).is_some(),
+            "{:?}: shrunk trace no longer violates",
+            r.bug
+        );
+    }
+}

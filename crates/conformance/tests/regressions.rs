@@ -1,0 +1,296 @@
+//! Minimized regression traces for every real protocol bug the
+//! conformance fuzzer flushed out of `dve_coherence::engine`.
+//!
+//! Each test replays a trace that **violated** a conformance invariant
+//! on the pre-fix engine (the shrunken output of
+//! `cargo run -p dve-bench --bin conformance`), asserting the fixed
+//! engine now survives it. The traces are committed verbatim in the
+//! form `format_trace` prints, so future violations can be added the
+//! same way. Companion direct unit tests live next to the fixes in
+//! `crates/coherence/src/engine.rs`; these end-to-end replays pin the
+//! *observable* invariant each bug broke.
+
+use dve_conformance::trace::{config_by_name, tiny_engine};
+use dve_conformance::{run_trace, FuzzConfig, FuzzOp};
+
+use dve_coherence::engine::{EngineConfig, Mode};
+use dve_coherence::replica_dir::ReplicaPolicy;
+
+fn replay_clean(cfg: &FuzzConfig, ops: &[FuzzOp]) {
+    if let Some(v) = run_trace(cfg, ops, None) {
+        panic!(
+            "regression trace re-violates {}: op {}: {}",
+            cfg.name, v.op_index, v.kind
+        );
+    }
+}
+
+/// A deny-mode config whose LLC (1 KiB, 2-way → 8 sets of 2) is half
+/// the 32-line fuzz pool, so dirty capacity evictions — and therefore
+/// memory writebacks — happen within a handful of ops. Used by the
+/// degraded-writeback quarantine regression, which needs a writeback
+/// *while* the replica is out of service.
+fn small_llc_deny() -> FuzzConfig {
+    FuzzConfig {
+        name: "dve-deny-small-llc".to_string(),
+        mode: Mode::Dve {
+            policy: ReplicaPolicy::Deny,
+            speculative: false,
+        },
+        engine: EngineConfig {
+            llc_bytes: 1024,
+            llc_ways: 2,
+            ..tiny_engine()
+        },
+    }
+}
+
+/// Bug C(ii): a cross-socket read forwarded by the owning LLC
+/// downgraded that LLC M→O but left the writing core's **L1** in M —
+/// an inclusion violation (L1 dirty above an O-state LLC) that let the
+/// stale L1 satisfy later stores without ownership.
+///
+/// Pre-fix violation (config `baseline`, 2 ops):
+/// `inclusion: core 0 L1 holds line 1 dirty (M) but socket 0 LLC is only O`
+#[test]
+fn owner_l1_downgraded_on_cross_socket_read() {
+    let trace = [
+        FuzzOp::Access {
+            core: 0,
+            line: 1,
+            write: true,
+        },
+        FuzzOp::Access {
+            core: 3,
+            line: 1,
+            write: false,
+        },
+    ];
+    for name in ["baseline", "intel-mirror", "dve-allow", "dve-deny"] {
+        replay_clean(&config_by_name(name), &trace);
+    }
+}
+
+/// Bug C(i): a same-socket read that hit the LLC in M filled the
+/// reader's L1 in S but left the sibling writer's L1 in M — two L1s on
+/// one socket, one of them dirty: an SWMR violation inside the socket.
+///
+/// Pre-fix violation (config `dve-allow`, 2 ops):
+/// `swmr: line 14 dirty in core 2 L1 but also present in core 3 L1`
+#[test]
+fn sibling_l1_downgraded_on_shared_read() {
+    let trace = [
+        FuzzOp::Access {
+            core: 2,
+            line: 14,
+            write: true,
+        },
+        FuzzOp::Access {
+            core: 3,
+            line: 14,
+            write: false,
+        },
+    ];
+    for name in ["baseline", "dve-allow", "dve-deny", "dve-deny-tiny-rd"] {
+        replay_clean(&config_by_name(name), &trace);
+    }
+}
+
+/// Bug A: the allow-family install of an M entry on a write from the
+/// replica side was not guarded by `line_replicated`, so degraded mode
+/// (and out-of-scope pages) still polluted the replica directory —
+/// which must stay empty whenever the line has no live replica.
+///
+/// Pre-fix violation (config `dve-allow-tiny-rd`, 2 ops):
+/// `replica-dir: degraded but socket 0 replica dir non-empty`
+#[test]
+fn no_replica_dir_pollution_outside_scope() {
+    let trace = [
+        FuzzOp::SetDegraded(true),
+        FuzzOp::Access {
+            core: 2,
+            line: 7,
+            write: true,
+        },
+    ];
+    for name in ["dve-allow", "dve-allow-tiny-rd", "dve-allow-scoped"] {
+        replay_clean(&config_by_name(name), &trace);
+    }
+}
+
+/// Bug B (recovery half): entering degraded mode drains the replica
+/// directories, but lines still *dirty* in a home-side LLC across the
+/// degraded window lost their deny-family Rm protection — after
+/// recovery, deny's absence-means-readable default let the opposite
+/// socket read the replica copy that never saw the write.
+///
+/// The fix re-pushes Rm entries for every dirty home-owned line when
+/// `set_degraded(false)` brings the replica back.
+#[test]
+fn degraded_recovery_requarantines_dirty_lines() {
+    let trace = [
+        // Core 0 (socket 0) dirties line 0 (home 0) — deny pushes Rm.
+        FuzzOp::Access {
+            core: 0,
+            line: 0,
+            write: true,
+        },
+        // Replica fails: directories drain, Rm protection vanishes.
+        FuzzOp::SetDegraded(true),
+        // Replica recovers. The line is still dirty in socket 0's LLC;
+        // without the re-push, deny absence ⇒ readable ⇒ stale read.
+        FuzzOp::SetDegraded(false),
+        // Socket-1 read must be funnelled to the home side, not served
+        // from the never-updated replica copy.
+        FuzzOp::Access {
+            core: 2,
+            line: 0,
+            write: false,
+        },
+    ];
+    for name in ["dve-deny", "dve-deny-spec", "dve-deny-tiny-rd"] {
+        replay_clean(&config_by_name(name), &trace);
+    }
+}
+
+/// Bug B (writeback half): a dirty line written back *while* degraded
+/// reaches only the home copy (§V-E keeps the replica out of service),
+/// leaving the replica memory permanently behind. Pre-fix, recovery
+/// resumed serving replica reads from that stale copy.
+///
+/// The fix quarantines such lines in `stale_replica` at writeback time
+/// and re-syncs the replica copy on the first post-recovery touch.
+#[test]
+fn recovered_replica_requires_resync_before_reads() {
+    let cfg = small_llc_deny();
+    let trace = [
+        // Dirty line 0 (home 0, LLC set 0) from socket 0.
+        FuzzOp::Access {
+            core: 0,
+            line: 0,
+            write: true,
+        },
+        FuzzOp::SetDegraded(true),
+        // Fill LLC set 0 (2 ways; lines ≡ 0 mod 8): lines 8 and 16
+        // evict dirty line 0 → writeback lands on the home copy only.
+        FuzzOp::Access {
+            core: 0,
+            line: 8,
+            write: false,
+        },
+        FuzzOp::Access {
+            core: 0,
+            line: 16,
+            write: false,
+        },
+        FuzzOp::SetDegraded(false),
+        // Socket-1 read of line 0: the replica copy missed the
+        // writeback and must be re-synced before it may serve.
+        FuzzOp::Access {
+            core: 2,
+            line: 0,
+            write: false,
+        },
+    ];
+    replay_clean(&cfg, &trace);
+}
+
+/// Dynamic-switch bug: `switch_policy` re-pushed Rm entries only for
+/// *writable* (M/E) home-owned lines, missing O-state lines that a
+/// cross-socket read had downgraded — dirty at home, yet readable at
+/// the replica after the switch.
+///
+/// Pre-fix violation (config `dve-deny-spec`, 5 ops, shrunk by ddmin):
+/// `replica-dir: socket 1 LLC dirty on line 2 but replica readable`
+#[test]
+fn switch_to_deny_protects_o_state_lines() {
+    let trace = [
+        FuzzOp::Access {
+            core: 0,
+            line: 2,
+            write: true,
+        },
+        FuzzOp::Access {
+            core: 0,
+            line: 18,
+            write: false,
+        },
+        FuzzOp::Access {
+            core: 0,
+            line: 10,
+            write: false,
+        },
+        // Cross-socket read downgrades socket 0's LLC to O (still dirty).
+        FuzzOp::Access {
+            core: 3,
+            line: 2,
+            write: false,
+        },
+        FuzzOp::SwitchPolicy {
+            deny: true,
+            speculative: true,
+        },
+    ];
+    for name in ["dve-deny-spec", "dve-allow", "dve-deny"] {
+        replay_clean(&config_by_name(name), &trace);
+    }
+}
+
+/// Bug D: the coarse-grained allow pull checked `writable()` instead of
+/// `dirty()` when deciding whether a region was safe to install as S —
+/// an O-state line inside the region slipped through, creating an S
+/// entry (replica readable) while a home-side LLC still held dirty
+/// data the replica copy had never seen.
+#[test]
+fn coarse_allow_region_install_excludes_o_state() {
+    let trace = [
+        // Dirty line 0 at home socket 0.
+        FuzzOp::Access {
+            core: 0,
+            line: 0,
+            write: true,
+        },
+        // Cross-socket read: LLC 0 downgrades M→O, stays dirty.
+        FuzzOp::Access {
+            core: 2,
+            line: 0,
+            write: false,
+        },
+        // Socket-1 read of line 1 pulls region 0 (lines 0–3) under
+        // allow. The region holds dirty O-state line 0, so the install
+        // must be refused.
+        FuzzOp::Access {
+            core: 2,
+            line: 1,
+            write: false,
+        },
+    ];
+    for name in ["dve-allow-coarse", "dve-allow"] {
+        replay_clean(&config_by_name(name), &trace);
+    }
+}
+
+/// Switch-while-degraded bug: a dynamic switch issued during the
+/// degraded window re-populated the replica directories even though the
+/// replica was out of service (they must stay empty until recovery).
+///
+/// Pre-fix violation (config `dve-allow-coarse`, 3 ops, shrunk by
+/// ddmin): `replica-dir: degraded but socket 1 replica dir non-empty`
+#[test]
+fn switch_while_degraded_keeps_replica_dirs_empty() {
+    let trace = [
+        FuzzOp::SetDegraded(true),
+        FuzzOp::Access {
+            core: 0,
+            line: 18,
+            write: true,
+        },
+        FuzzOp::SwitchPolicy {
+            deny: true,
+            speculative: false,
+        },
+    ];
+    for name in ["dve-allow-coarse", "dve-allow", "dve-deny-tiny-rd"] {
+        replay_clean(&config_by_name(name), &trace);
+    }
+}

@@ -84,10 +84,10 @@ impl System {
     /// Builds a system for `cfg` running `profile` with `seed`.
     pub fn new(cfg: SystemConfig, profile: &WorkloadProfile, seed: u64) -> System {
         let mut engine = ProtocolEngine::new(cfg.engine_mode(), cfg.engine.clone());
+        let mut fabric = SystemFabric::new(&cfg);
         if cfg.degraded {
-            engine.set_degraded(true);
+            engine.set_degraded(true, 0, &mut fabric);
         }
-        let fabric = SystemFabric::new(&cfg);
         let gen = TraceGenerator::new(profile, cfg.engine.cores, seed);
         let cores = cfg.engine.cores;
         System {
@@ -104,6 +104,13 @@ impl System {
     /// (compute/sync ops execute in between without counting), returning
     /// the wall time consumed and ops executed.
     fn run_ops(&mut self, mem_ops_per_core: u64) -> (u64, u64, u64) {
+        // A zero budget means "run nothing": without this guard the
+        // `remaining[core] -= 1` below underflows on the first memory
+        // op (debug builds panic; release builds wrap to u64::MAX and
+        // the loop effectively never terminates).
+        if mem_ops_per_core == 0 {
+            return (0, 0, 0);
+        }
         let cores = self.core_time.len();
         let start_max = *self.core_time.iter().max().expect("cores");
         let mut heap: BinaryHeap<(Reverse<u64>, usize)> = (0..cores)
@@ -242,7 +249,9 @@ impl System {
         let spec = self.cfg.speculative;
         while done < total {
             // Profile allow.
-            self.engine.switch_policy(ReplicaPolicy::Allow, spec);
+            let now = *self.core_time.iter().max().expect("cores");
+            self.engine
+                .switch_policy(ReplicaPolicy::Allow, spec, now, &mut self.fabric);
             let w = window.min(total - done);
             let (c_allow, o1, m1) = self.run_ops(w);
             done += w;
@@ -253,7 +262,9 @@ impl System {
                 break;
             }
             // Profile deny.
-            self.engine.switch_policy(ReplicaPolicy::Deny, spec);
+            let now = *self.core_time.iter().max().expect("cores");
+            self.engine
+                .switch_policy(ReplicaPolicy::Deny, spec, now, &mut self.fabric);
             let w = window.min(total - done);
             let (c_deny, o2, m2) = self.run_ops(w);
             done += w;
@@ -269,7 +280,9 @@ impl System {
             } else {
                 ReplicaPolicy::Deny
             };
-            self.engine.switch_policy(winner, spec);
+            let now = *self.core_time.iter().max().expect("cores");
+            self.engine
+                .switch_policy(winner, spec, now, &mut self.fabric);
             let w = epoch_body.min(total - done);
             let (c, o, m) = self.run_ops(w);
             done += w;
@@ -302,6 +315,37 @@ mod tests {
     fn small_run(scheme: Scheme, workload: &str, ops: u64) -> RunResult {
         let p = catalog().into_iter().find(|p| p.name == workload).unwrap();
         run_workload(&p, scheme, ops, 42)
+    }
+
+    #[test]
+    fn zero_op_budget_terminates_with_empty_result() {
+        // `run_ops(0)` used to decrement `remaining[core]` straight to
+        // u64::MAX on the first memory op: a panic in debug builds and
+        // an effectively infinite loop in release. A zero budget (and
+        // the zero warmup it implies via `run_workload`) must instead
+        // run nothing and return immediately.
+        for scheme in [Scheme::BaselineNuma, Scheme::DveDeny, Scheme::DveDynamic] {
+            let r = small_run(scheme, "backprop", 0);
+            assert_eq!(r.cycles, 0, "{scheme:?}: no cycles simulated");
+            assert_eq!(r.ops, 0, "{scheme:?}: no ops executed");
+            assert_eq!(r.mem_ops, 0, "{scheme:?}: no memory ops executed");
+        }
+    }
+
+    #[test]
+    fn zero_warmup_measures_from_cold_caches() {
+        // warmup_per_thread == 0 must skip the warm-up region entirely
+        // (not attempt a zero-budget run) and still measure correctly.
+        let p = catalog()
+            .into_iter()
+            .find(|p| p.name == "backprop")
+            .unwrap();
+        let mut cfg = SystemConfig::table_ii(Scheme::BaselineNuma);
+        cfg.ops_per_thread = 300;
+        cfg.warmup_per_thread = 0;
+        let r = System::new(cfg, &p, 7).run();
+        assert_eq!(r.mem_ops, 300 * 16);
+        assert!(r.cycles > 0);
     }
 
     #[test]
