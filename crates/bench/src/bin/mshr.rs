@@ -1,0 +1,84 @@
+//! MSHR-depth × link-latency sweep with per-layer latency attribution.
+//!
+//! The resource-port unification gave every run a structured
+//! [`dve_sim::latency::LatencyBreakdown`]; this harness uses it to show
+//! *where* memory-access time goes as two knobs move:
+//!
+//! * `mshrs ∈ {1, 2, 4, 8}` — outstanding misses per core. 1 is the
+//!   blocking-core Table II default (the pinned-golden regime); wider
+//!   cores overlap misses and shift time out of bank service/link
+//!   propagation (hidden latency) into bank queueing (contention made
+//!   visible).
+//! * link ∈ {30, 50, 60} ns — the Fig. 10 inter-socket sensitivity
+//!   range.
+//!
+//! One row per (workload, scheme, mshrs, link): cycles, speedup over
+//! the blocking baseline at the same link latency, and the fraction of
+//! total access latency attributed to each component.
+//!
+//! ```text
+//! cargo run -p dve-bench --bin mshr --release
+//! ```
+
+use dve::config::Scheme;
+use dve_bench::{ops_from_env, run_with};
+use dve_sim::latency::Component;
+use dve_sim::time::Nanos;
+use dve_workloads::catalog;
+
+fn main() {
+    let ops = ops_from_env().min(10_000);
+    let workloads = ["backprop", "lbm"];
+    let schemes = [Scheme::BaselineNuma, Scheme::DveDeny];
+    let links = [30u64, 50, 60];
+    let depths = [1usize, 2, 4, 8];
+
+    println!("MSHR x link sweep: per-layer latency attribution ({ops} ops/thread)");
+    println!(
+        "{:<10} {:<14} {:>5} {:>5} {:>9} {:>8} | {:>6} {:>6} {:>7} {:>7} {:>6}",
+        "workload",
+        "scheme",
+        "mshrs",
+        "link",
+        "cycles",
+        "speedup",
+        "mesh",
+        "link",
+        "bankQ",
+        "bankS",
+        "proto"
+    );
+    println!("{}", "-".repeat(104));
+    for name in workloads {
+        let p = catalog().into_iter().find(|p| p.name == name).unwrap();
+        for &ns in &links {
+            // The blocking baseline at this link latency anchors speedups.
+            let anchor = run_with(&p, Scheme::BaselineNuma, ops, |c| {
+                c.link_latency = Nanos(ns);
+            });
+            for scheme in schemes {
+                for &m in &depths {
+                    let r = run_with(&p, scheme, ops, |c| {
+                        c.link_latency = Nanos(ns);
+                        c.mshrs = m;
+                    });
+                    let fr = |c| r.latency.fraction(c);
+                    println!(
+                        "{:<10} {:<14} {:>5} {:>4}ns {:>9} {:>7.3}x | {:>5.1}% {:>5.1}% {:>6.1}% {:>6.1}% {:>5.1}%",
+                        name,
+                        scheme.label(),
+                        m,
+                        ns,
+                        r.cycles,
+                        anchor.cycles as f64 / r.cycles as f64,
+                        fr(Component::Mesh) * 100.0,
+                        fr(Component::Link) * 100.0,
+                        fr(Component::BankQueue) * 100.0,
+                        fr(Component::BankService) * 100.0,
+                        fr(Component::Protocol) * 100.0,
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,37 +1,50 @@
-//! Tracked performance baseline for the ECC decode pipeline and the
-//! fault-injection campaign.
+//! Tracked performance baseline for the ECC decode pipeline, the
+//! fault-injection campaign and the timed system simulator.
 //!
-//! Produces two machine-readable artifacts in the current directory:
+//! Produces three machine-readable artifacts in the current directory:
 //!
 //! * `BENCH_ecc.json` — median ns/op for the GF kernels (table-driven
 //!   vs the shift-and-add reference oracle), RS(18,16) encode and
 //!   decode (clean / 1-error / 2-error), the DSD detect path, and the
 //!   TSD (GF(2^16)) encode/detect path;
 //! * `BENCH_campaign.json` — end-to-end campaign throughput in
-//!   trials/second at 1, 2, and N workers (N = available parallelism).
+//!   trials/second at 1, 2, and N workers (N = available parallelism);
+//! * `BENCH_system.json` — the full-system simulator on a pinned
+//!   backprop trace: simulated cycles at `mshrs ∈ {1, 4}` (simulation
+//!   output, machine-independent), simulator wall-clock throughput in
+//!   memory-ops/second, and the per-layer latency attribution of the
+//!   deny run.
 //!
-//! Both files record the git revision they were measured at, so the
+//! All files record the git revision they were measured at, so the
 //! numbers can be tracked across PRs (CI uploads them as artifacts).
 //!
 //! Flags:
 //!
 //! * `--smoke` — reduced-iteration run for CI: ~1 ms of timed batches
-//!   per microbench and a small campaign; the JSON files are still
-//!   written (tagged `"mode": "smoke"`).
+//!   per microbench, a small campaign and a short system trace; the
+//!   JSON files are still written (tagged `"mode": "smoke"`).
 //!
-//! Exit code: non-zero if the built-in relative gate fails — the clean
-//! RS(18,16) decode (syndrome-zero early exit) must be at least 2×
-//! faster than a full 1-error correction. This is a *relative* gate by
-//! design: absolute thresholds would flake across CI hardware, but the
-//! early-exit-to-full-decode ratio is machine-independent.
+//! Exit code: non-zero if a built-in relative gate fails. Two gates,
+//! both *relative* by design (absolute thresholds would flake across CI
+//! hardware, while these ratios are machine-independent):
+//!
+//! 1. the clean RS(18,16) decode (syndrome-zero early exit) must be at
+//!    least 2× faster than a full 1-error correction, and
+//! 2. widening the cores from 1 to 4 MSHRs must not increase simulated
+//!    cycles on the pinned trace (memory-level parallelism can only
+//!    hide latency; simulated cycles are deterministic, so this cannot
+//!    flake with runner speed).
 
 use criterion::{black_box, Criterion};
+use dve::builder::SystemBuilder;
+use dve::config::Scheme;
 use dve_campaign::runner::{run_campaign, CampaignConfig};
 use dve_campaign::trial::CampaignScheme;
 use dve_ecc::code::DetectionCode;
 use dve_ecc::gf::{reference, Gf16, Gf256};
 use dve_ecc::rs::Rs;
 use dve_ecc::rs16::Rs16Detect;
+use dve_sim::latency::Component;
 use std::fmt::Write as _;
 use std::process::{Command, ExitCode};
 use std::time::{Duration, Instant};
@@ -264,6 +277,53 @@ fn bench_campaign(trials: u64) -> Vec<(String, f64)> {
     out
 }
 
+/// Runs the full-system simulator on a pinned backprop trace and
+/// returns the JSON fields plus the (mshrs=1, mshrs=4) simulated cycle
+/// counts used by the MSHR gate.
+fn bench_system(ops: u64) -> (Vec<(String, f64)>, u64, u64) {
+    let p = dve_workloads::catalog()
+        .into_iter()
+        .find(|p| p.name == "backprop")
+        .expect("backprop profile");
+    let run = |scheme, mshrs| {
+        SystemBuilder::new(scheme)
+            .ops_per_thread(ops)
+            .mshrs(mshrs)
+            .run(&p, 42)
+    };
+    let start = Instant::now();
+    let base = run(Scheme::BaselineNuma, 1);
+    let deny1 = run(Scheme::DveDeny, 1);
+    let deny4 = run(Scheme::DveDeny, 4);
+    let secs = start.elapsed().as_secs_f64();
+    let sim_mem_ops = (base.mem_ops + deny1.mem_ops + deny4.mem_ops) as f64;
+
+    let mut out = vec![
+        ("ops_per_thread".to_string(), ops as f64),
+        ("cycles_baseline_mshrs_1".to_string(), base.cycles as f64),
+        ("cycles_deny_mshrs_1".to_string(), deny1.cycles as f64),
+        ("cycles_deny_mshrs_4".to_string(), deny4.cycles as f64),
+        ("sim_mem_ops_per_wall_sec".to_string(), sim_mem_ops / secs),
+    ];
+    // Per-layer attribution of the deny run's measured region: where
+    // memory-access time actually goes (conserves to 1.0 by
+    // construction).
+    for c in Component::ALL {
+        out.push((
+            format!("latency_frac_{}", c.label()),
+            deny1.latency.fraction(c),
+        ));
+    }
+    println!(
+        "  cycles baseline/deny(m=1)/deny(m=4): {} / {} / {}  ({:.0} sim mem-ops/s)",
+        base.cycles,
+        deny1.cycles,
+        deny4.cycles,
+        sim_mem_ops / secs
+    );
+    (out, deny1.cycles, deny4.cycles)
+}
+
 fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mode = if smoke { "smoke" } else { "full" };
@@ -300,7 +360,16 @@ fn main() -> ExitCode {
         render_json(&rev, mode, "trials_per_sec", &campaign_fields),
     )
     .expect("write BENCH_campaign.json");
-    println!("wrote BENCH_ecc.json and BENCH_campaign.json");
+
+    println!("-- system simulator --");
+    let sys_ops = if smoke { 300 } else { 2000 };
+    let (system_fields, deny_m1, deny_m4) = bench_system(sys_ops);
+    std::fs::write(
+        "BENCH_system.json",
+        render_json(&rev, mode, "mixed_cycles_and_fractions", &system_fields),
+    )
+    .expect("write BENCH_system.json");
+    println!("wrote BENCH_ecc.json, BENCH_campaign.json and BENCH_system.json");
 
     // --- Relative gate: the syndrome-zero early exit must pay off. ---
     let get = |name: &str| {
@@ -318,6 +387,18 @@ fn main() -> ExitCode {
     );
     if speedup < GATE_CLEAN_SPEEDUP {
         eprintln!("FAIL: clean-decode early exit regressed below the {GATE_CLEAN_SPEEDUP}x gate");
+        return ExitCode::FAILURE;
+    }
+
+    // --- MSHR gate: memory-level parallelism must not hurt. Simulated
+    // cycles are deterministic, so this cannot flake with runner speed.
+    println!(
+        "gate: deny cycles mshrs=4 {deny_m4} vs mshrs=1 {deny_m1} \
+         ({:.3}x, need <= 1.0x)",
+        deny_m4 as f64 / deny_m1 as f64
+    );
+    if deny_m4 > deny_m1 {
+        eprintln!("FAIL: widening MSHRs 1 -> 4 increased simulated cycles");
         return ExitCode::FAILURE;
     }
     println!("gate: ok");

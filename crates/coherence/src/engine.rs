@@ -26,6 +26,7 @@ use crate::home_dir::HomeDirectory;
 use crate::replica_dir::{ReplicaDirectory, ReplicaEviction, ReplicaPolicy, ReplicaState};
 use crate::types::{home_socket, CacheState, LineAddr, ReqType, ServiceLevel, NUM_SOCKETS};
 use dve_noc::traffic::MessageClass;
+use dve_sim::latency::{Component, LatencyBreakdown, Stamp};
 use std::collections::BTreeSet;
 
 /// Which pages are replicated (§V-D's flexible, RMT-driven mapping).
@@ -169,6 +170,20 @@ pub struct AccessOutcome {
     pub complete_at: u64,
     /// Where the request was serviced.
     pub service: ServiceLevel,
+    /// Per-layer attribution of the end-to-end latency: its components
+    /// sum to `complete_at - now` (conservation, checked in debug and
+    /// property-tested by the conformance harness).
+    pub breakdown: LatencyBreakdown,
+}
+
+impl AccessOutcome {
+    fn from_stamp(t: Stamp, service: ServiceLevel) -> AccessOutcome {
+        AccessOutcome {
+            complete_at: t.at(),
+            service,
+            breakdown: t.breakdown(),
+        }
+    }
 }
 
 /// Aggregate engine statistics.
@@ -203,6 +218,10 @@ pub struct EngineStats {
     pub served: [u64; 6],
     /// Total latency accumulated per service level (same indexing).
     pub latency_sum: [u64; 6],
+    /// Per-layer attribution of the total access latency. Its
+    /// [`LatencyBreakdown::total`] equals the sum of `latency_sum`
+    /// (every charged cycle is attributed to exactly one layer).
+    pub latency_breakdown: LatencyBreakdown,
 }
 
 /// Index of a service level in [`EngineStats::served`].
@@ -344,8 +363,14 @@ impl ProtocolEngine {
     /// Charges the home-directory access at `home`: the SRAM latency,
     /// plus a DRAM fetch of the entry when the on-chip directory cache
     /// misses (§V-A).
-    fn dir_access(&mut self, home: usize, line: LineAddr, t: u64, fabric: &mut impl Fabric) -> u64 {
-        let mut t = t + fabric.dir_latency();
+    fn dir_access(
+        &mut self,
+        home: usize,
+        line: LineAddr,
+        t: Stamp,
+        fabric: &mut impl Fabric,
+    ) -> Stamp {
+        let mut t = t.advance(Component::Protocol, fabric.dir_latency());
         if let Some(caches) = &mut self.dir_caches {
             if !caches[home].access(line) {
                 t = fabric.mem_read(home, line, t);
@@ -530,7 +555,7 @@ impl ProtocolEngine {
         }
         for (socket, line) in to_install {
             if let Some(ev) = self.replica_dirs[socket].install(line, ReplicaState::Rm) {
-                self.resolve_replica_eviction(socket, ev, now, fabric);
+                self.resolve_replica_eviction(socket, ev, Stamp::start(now), fabric);
             }
         }
     }
@@ -622,9 +647,9 @@ impl ProtocolEngine {
         &mut self,
         from_socket: usize,
         line: LineAddr,
-        now: u64,
+        now: Stamp,
         fabric: &mut impl Fabric,
-    ) -> u64 {
+    ) -> Stamp {
         self.stats.writebacks += 1;
         let home = self.home_of(line);
         // Home copy.
@@ -689,7 +714,7 @@ impl ProtocolEngine {
         socket: usize,
         line: LineAddr,
         state: CacheState,
-        now: u64,
+        now: Stamp,
         fabric: &mut impl Fabric,
     ) {
         if let Some(ev) = self.llcs[socket].insert(line, state) {
@@ -731,9 +756,9 @@ impl ProtocolEngine {
         &mut self,
         replica_socket: usize,
         ev: ReplicaEviction,
-        now: u64,
+        now: Stamp,
         fabric: &mut impl Fabric,
-    ) -> u64 {
+    ) -> Stamp {
         match ev.state {
             // Allow: absence means "not readable" — dropping an S entry
             // is conservative and free (the next read re-pulls).
@@ -751,7 +776,7 @@ impl ProtocolEngine {
                     now,
                     MessageClass::ReplicaMaintenance,
                 );
-                t += fabric.dir_latency();
+                t = t.advance(Component::Protocol, fabric.dir_latency());
                 // The acknowledgement releasing the directory slot may
                 // only travel back once every forced writeback is
                 // durable — acking at the request time would let the
@@ -826,7 +851,20 @@ impl ProtocolEngine {
             "access completed at {} before issue at {now}",
             outcome.complete_at
         );
+        // Latency conservation: the per-layer breakdown must sum to the
+        // end-to-end latency. Checked *before* any seeded accounting bug
+        // perturbs `complete_at` — the bug models a broken engine, and
+        // the conformance harness (running in release) must still catch
+        // it downstream.
+        debug_assert_eq!(
+            outcome.breakdown.total(),
+            outcome.complete_at - now,
+            "latency breakdown does not conserve: {:?} vs end-to-end {}",
+            outcome.breakdown,
+            outcome.complete_at - now
+        );
         self.stats.latency_sum[idx] += outcome.complete_at - now;
+        self.stats.latency_breakdown.merge(&outcome.breakdown);
         if self.has_bug(SeededBug::TimeTravelCompletion) {
             // Accounting bug: the reported completion lands one cycle
             // before the request was issued.
@@ -850,30 +888,26 @@ impl ProtocolEngine {
             ReqType::Write => self.stats.writes += 1,
         }
         let socket = self.socket_of(core);
-        let mut t = now + fabric.l1_latency();
+        let mut t = Stamp::start(now).advance(Component::Protocol, fabric.l1_latency());
 
         // 1. Private L1.
         match (req, self.l1s[core].lookup(line)) {
             (ReqType::Read, Some(s)) if s.readable() => {
                 self.stats.l1_hits += 1;
-                return AccessOutcome {
-                    complete_at: t,
-                    service: ServiceLevel::L1,
-                };
+                return AccessOutcome::from_stamp(t, ServiceLevel::L1);
             }
             (ReqType::Write, Some(CacheState::M)) => {
                 self.stats.l1_hits += 1;
-                return AccessOutcome {
-                    complete_at: t,
-                    service: ServiceLevel::L1,
-                };
+                return AccessOutcome::from_stamp(t, ServiceLevel::L1);
             }
             _ => {}
         }
 
         // 2. Socket LLC + local directory (real mesh hops from this
         // core's tile).
-        t += fabric.mesh_latency_core(core) + fabric.llc_latency();
+        t = t
+            .advance(Component::Mesh, fabric.mesh_latency_core(core))
+            .advance(Component::Protocol, fabric.llc_latency());
         let llc_state = self.llcs[socket].lookup(line);
         match (req, llc_state) {
             (ReqType::Read, Some(s)) if s.readable() => {
@@ -885,10 +919,7 @@ impl ProtocolEngine {
                 self.downgrade_dirty_l1s(socket, line, Some(core));
                 self.fill_l1(core, socket, line, CacheState::S, t, fabric);
                 self.add_l1_sharer(socket, line, core);
-                return AccessOutcome {
-                    complete_at: t,
-                    service: ServiceLevel::Llc,
-                };
+                return AccessOutcome::from_stamp(t, ServiceLevel::Llc);
             }
             (ReqType::Write, Some(CacheState::M)) => {
                 // Socket already exclusive: invalidate sibling L1s.
@@ -898,10 +929,7 @@ impl ProtocolEngine {
                 }
                 self.fill_l1(core, socket, line, CacheState::M, t, fabric);
                 self.add_l1_sharer(socket, line, core);
-                return AccessOutcome {
-                    complete_at: t,
-                    service: ServiceLevel::Llc,
-                };
+                return AccessOutcome::from_stamp(t, ServiceLevel::Llc);
             }
             _ => {}
         }
@@ -924,7 +952,7 @@ impl ProtocolEngine {
         socket: usize,
         line: LineAddr,
         state: CacheState,
-        _now: u64,
+        _now: Stamp,
         _fabric: &mut impl Fabric,
     ) {
         let _ = socket;
@@ -949,14 +977,14 @@ impl ProtocolEngine {
         socket: usize,
         line: LineAddr,
         req: ReqType,
-        now: u64,
+        now: Stamp,
         fabric: &mut impl Fabric,
     ) -> AccessOutcome {
         let home = self.home_of(line);
         // Travel to the home directory (on-chip dir-cache miss adds an
         // in-memory directory-entry fetch).
         let t0 = if socket == home {
-            now + fabric.mesh_latency()
+            now.advance(Component::Mesh, fabric.mesh_latency())
         } else {
             fabric.link_send(socket, home, now, MessageClass::Request)
         };
@@ -1008,7 +1036,7 @@ impl ProtocolEngine {
                             if owner != home {
                                 t = fabric.link_send(home, owner, t, MessageClass::Request);
                             }
-                            t += fabric.llc_latency();
+                            t = t.advance(Component::Protocol, fabric.llc_latency());
                             self.downgrade_owner_for_forward(owner, line);
                             if owner != socket {
                                 t = fabric.link_send(owner, socket, t, MessageClass::DataResponse);
@@ -1039,7 +1067,7 @@ impl ProtocolEngine {
                         continue;
                     }
                     let t_inv = if q == home {
-                        t + fabric.mesh_latency()
+                        t.advance(Component::Mesh, fabric.mesh_latency())
                     } else {
                         fabric.link_send(home, q, t, MessageClass::Invalidation)
                     };
@@ -1095,14 +1123,16 @@ impl ProtocolEngine {
                                 // write completes only after the ack.
                                 self.stats.rm_installs += 1;
                                 let t_rm = if covered {
-                                    t + fabric.dir_latency()
+                                    t.advance(Component::Protocol, fabric.dir_latency())
                                 } else {
-                                    fabric.link_send(
-                                        home,
-                                        replica,
-                                        t,
-                                        MessageClass::ReplicaMaintenance,
-                                    ) + fabric.dir_latency()
+                                    fabric
+                                        .link_send(
+                                            home,
+                                            replica,
+                                            t,
+                                            MessageClass::ReplicaMaintenance,
+                                        )
+                                        .advance(Component::Protocol, fabric.dir_latency())
                                 };
                                 if let Some(ev) =
                                     self.replica_dirs[replica].install(line, ReplicaState::Rm)
@@ -1128,12 +1158,9 @@ impl ProtocolEngine {
                                     self.stats.replica_invalidations += 1;
                                     self.replica_dirs[replica].remove(line);
                                     if !covered {
-                                        let t_inv = fabric.link_send(
-                                            home,
-                                            replica,
-                                            t,
-                                            MessageClass::Invalidation,
-                                        ) + fabric.dir_latency();
+                                        let t_inv = fabric
+                                            .link_send(home, replica, t, MessageClass::Invalidation)
+                                            .advance(Component::Protocol, fabric.dir_latency());
                                         let t_ack = fabric.link_send(
                                             replica,
                                             socket,
@@ -1184,10 +1211,7 @@ impl ProtocolEngine {
                 }
             }
         }
-        AccessOutcome {
-            complete_at: t,
-            service,
-        }
+        AccessOutcome::from_stamp(t, service)
     }
 
     /// A Dvé transaction from the replica side: consult the replica
@@ -1198,7 +1222,7 @@ impl ProtocolEngine {
         socket: usize,
         line: LineAddr,
         req: ReqType,
-        now: u64,
+        now: Stamp,
         fabric: &mut impl Fabric,
     ) -> AccessOutcome {
         let Mode::Dve {
@@ -1209,7 +1233,9 @@ impl ProtocolEngine {
             unreachable!("replica-side path only in Dvé modes");
         };
         let home = 1 - socket;
-        let mut t = now + fabric.mesh_latency() + fabric.dir_latency();
+        let mut t = now
+            .advance(Component::Mesh, fabric.mesh_latency())
+            .advance(Component::Protocol, fabric.dir_latency());
 
         if req == ReqType::Write {
             // Writes always order at the home directory. The replica
@@ -1252,10 +1278,7 @@ impl ProtocolEngine {
             self.llc_insert(socket, line, CacheState::S, t, fabric);
             self.fill_l1(core, socket, line, CacheState::S, t, fabric);
             self.add_l1_sharer(socket, line, core);
-            return AccessOutcome {
-                complete_at: t,
-                service: ServiceLevel::LocalDram,
-            };
+            return AccessOutcome::from_stamp(t, ServiceLevel::LocalDram);
         }
 
         // Not provably readable: consult home. Optionally speculate on
@@ -1316,7 +1339,7 @@ impl ProtocolEngine {
                     if owner != home {
                         tt = fabric.link_send(home, owner, tt, MessageClass::Request);
                     }
-                    tt += fabric.llc_latency();
+                    tt = tt.advance(Component::Protocol, fabric.llc_latency());
                     self.downgrade_owner_for_forward(owner, line);
                     if owner != socket {
                         tt = fabric.link_send(owner, socket, tt, MessageClass::DataResponse);
@@ -1365,10 +1388,7 @@ impl ProtocolEngine {
         self.llc_insert(socket, line, CacheState::S, t_done, fabric);
         self.fill_l1(core, socket, line, CacheState::S, t_done, fabric);
         self.add_l1_sharer(socket, line, core);
-        AccessOutcome {
-            complete_at: t_done,
-            service,
-        }
+        AccessOutcome::from_stamp(t_done, service)
     }
 }
 

@@ -129,4 +129,36 @@ proptest! {
             t = o.complete_at;
         }
     }
+
+    // Latency conservation: for every access, in every mode, the
+    // per-component breakdown sums exactly to the end-to-end latency —
+    // no cycle unattributed, none double-charged. (The engine
+    // debug_asserts this; this property pins it in release builds and
+    // across the aggregate stats too.)
+    #[test]
+    fn latency_breakdown_conserves_per_access(seed in any::<u64>(), mode_pick in 0usize..4) {
+        let mode = match mode_pick {
+            0 => Mode::Baseline,
+            1 => Mode::IntelMirror,
+            2 => Mode::Dve { policy: ReplicaPolicy::Allow, speculative: false },
+            _ => Mode::Dve { policy: ReplicaPolicy::Deny, speculative: true },
+        };
+        let mut engine = ProtocolEngine::new(mode, EngineConfig::default());
+        let mut fabric = TestFabric::default();
+        let mut rng = dve_sim::rng::SplitMix64::new(seed);
+        let mut t = 0u64;
+        for _ in 0..300 {
+            let core = rng.next_below(16) as usize;
+            let line = rng.next_below(256);
+            let req = if rng.chance(0.4) { ReqType::Write } else { ReqType::Read };
+            let o = engine.access(core, line, req, t, &mut fabric);
+            prop_assert_eq!(o.breakdown.total(), o.complete_at - t);
+            t = o.complete_at + rng.next_below(20);
+        }
+        let stats = engine.stats();
+        prop_assert_eq!(
+            stats.latency_breakdown.total(),
+            stats.latency_sum.iter().sum::<u64>()
+        );
+    }
 }

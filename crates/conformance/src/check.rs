@@ -6,7 +6,10 @@
 //! serialization at the directory), and after **every** op verifies:
 //!
 //! 1. **Latency monotonicity** — the reported completion time is not
-//!    before the issue time.
+//!    before the issue time — and **latency conservation** — the
+//!    per-component breakdown the outcome carries sums exactly to the
+//!    end-to-end latency (every cycle attributed to one layer, none
+//!    invented).
 //! 2. **Read-returns-last-write** — the physical location the engine's
 //!    reported [`ServiceLevel`] names must hold the golden latest
 //!    version of the line (per the shadow's freshness mask).
@@ -29,8 +32,8 @@
 //! Any failure is reported as a [`Violation`] whose `kind` starts with
 //! a stable class prefix (`stale-read:`, `swmr:`, `inclusion:`,
 //! `dir-mismatch:`, `replica-dir:`, `stale-copy:`, `monotonicity:`,
-//! `routing:`, `stats:`) — the shrinker preserves the class while
-//! minimizing the trace.
+//! `conservation:`, `routing:`, `stats:`) — the shrinker preserves the
+//! class while minimizing the trace.
 
 use crate::shadow::{FabricEvent, GoldenShadow, Location, RecordingFabric};
 use crate::trace::{FuzzConfig, FuzzOp};
@@ -38,6 +41,7 @@ use dve_coherence::engine::{service_index, ProtocolEngine, SeededBug};
 use dve_coherence::replica_dir::{ReplicaPolicy, ReplicaState};
 use dve_coherence::types::{LineAddr, ReqType, ServiceLevel, NUM_SOCKETS};
 use dve_coherence::Mode;
+use dve_sim::latency::LatencyBreakdown;
 
 /// A conformance failure: the index of the op that exposed it and a
 /// human-readable description starting with a stable class prefix.
@@ -71,6 +75,7 @@ struct StatsMirror {
     writes: u64,
     served: [u64; 6],
     latency_sum: [u64; 6],
+    breakdown: LatencyBreakdown,
 }
 
 /// Drives ops through one engine configuration and checks every
@@ -180,6 +185,21 @@ impl ConformanceChecker {
                 ),
             ));
         }
+        // 1b. Latency conservation: the per-component breakdown must sum
+        // to the reported end-to-end latency. (Checked here in release
+        // builds too — the engine's own debug_assert is compiled out in
+        // the fuzzing harness.)
+        if outcome.breakdown.total() != outcome.complete_at - issued {
+            return Err(Self::violation(
+                idx,
+                format!(
+                    "conservation: breakdown {:?} sums to {} but end-to-end latency is {}",
+                    outcome.breakdown,
+                    outcome.breakdown.total(),
+                    outcome.complete_at - issued
+                ),
+            ));
+        }
         self.now = outcome.complete_at.max(self.now) + 1;
 
         if write {
@@ -215,6 +235,7 @@ impl ConformanceChecker {
         let si = service_index(outcome.service);
         self.mirror.served[si] += 1;
         self.mirror.latency_sum[si] += outcome.complete_at.saturating_sub(issued);
+        self.mirror.breakdown.merge(&outcome.breakdown);
         let stats = self.engine.stats();
         if stats.ops != self.mirror.ops
             || stats.reads != self.mirror.reads
@@ -248,6 +269,15 @@ impl ConformanceChecker {
                 format!(
                     "stats: latency_sum[] diverged (engine {:?}, mirror {:?})",
                     stats.latency_sum, self.mirror.latency_sum
+                ),
+            ));
+        }
+        if stats.latency_breakdown != self.mirror.breakdown {
+            return Err(Self::violation(
+                idx,
+                format!(
+                    "stats: latency_breakdown diverged (engine {:?}, mirror {:?})",
+                    stats.latency_breakdown, self.mirror.breakdown
                 ),
             ));
         }
@@ -636,6 +666,31 @@ mod tests {
             ck.apply(op).unwrap_or_else(|v| panic!("op {i}: {v}"));
         }
         assert_eq!(ck.ops_applied(), 4);
+    }
+
+    #[test]
+    fn breakdown_conserves_across_clean_trace() {
+        // Drive a Dvé config through a mixed trace; the per-op
+        // conservation check and the breakdown mirror both run after
+        // every op, so reaching the end proves every access's
+        // per-component attribution summed to its end-to-end latency.
+        let cfg = config_by_name("dve-deny-spec");
+        let mut ck = ConformanceChecker::new(&cfg, None, pool());
+        for i in 0..24u64 {
+            let op = FuzzOp::Access {
+                core: (i % 4) as u8,
+                line: i % 6,
+                write: i % 3 == 0,
+            };
+            ck.apply(op).unwrap_or_else(|v| panic!("op {i}: {v}"));
+        }
+        let stats = ck.engine().stats();
+        assert_eq!(
+            stats.latency_breakdown.total(),
+            stats.latency_sum.iter().sum::<u64>(),
+            "aggregate breakdown equals aggregate latency"
+        );
+        assert!(stats.latency_breakdown.link > 0, "remote traffic charged");
     }
 
     #[test]

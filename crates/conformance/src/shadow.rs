@@ -23,6 +23,7 @@
 use dve_coherence::fabric::{Fabric, TestFabric};
 use dve_coherence::types::{home_socket, LineAddr};
 use dve_noc::traffic::MessageClass;
+use dve_sim::latency::Stamp;
 use std::collections::HashMap;
 
 /// One memory-system action the engine performed, as seen at the
@@ -82,32 +83,32 @@ impl Fabric for RecordingFabric {
         self.inner.mesh_latency()
     }
 
-    fn link_send(&mut self, from: usize, to: usize, now: u64, class: MessageClass) -> u64 {
-        self.inner.link_send(from, to, now, class)
+    fn link_send(&mut self, from: usize, to: usize, t: Stamp, class: MessageClass) -> Stamp {
+        self.inner.link_send(from, to, t, class)
     }
 
-    fn link_probe(&self, from: usize, to: usize, now: u64, class: MessageClass) -> u64 {
-        self.inner.link_probe(from, to, now, class)
+    fn link_probe(&self, from: usize, to: usize, t: Stamp, class: MessageClass) -> Stamp {
+        self.inner.link_probe(from, to, t, class)
     }
 
-    fn mem_read(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+    fn mem_read(&mut self, socket: usize, line: LineAddr, t: Stamp) -> Stamp {
         self.events.push(FabricEvent::MemRead { socket, line });
-        self.inner.mem_read(socket, line, now)
+        self.inner.mem_read(socket, line, t)
     }
 
-    fn replica_read(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+    fn replica_read(&mut self, socket: usize, line: LineAddr, t: Stamp) -> Stamp {
         self.events.push(FabricEvent::ReplicaRead { socket, line });
-        self.inner.replica_read(socket, line, now)
+        self.inner.replica_read(socket, line, t)
     }
 
-    fn mem_write(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+    fn mem_write(&mut self, socket: usize, line: LineAddr, t: Stamp) -> Stamp {
         self.events.push(FabricEvent::MemWrite { socket, line });
-        self.inner.mem_write(socket, line, now)
+        self.inner.mem_write(socket, line, t)
     }
 
-    fn replica_write(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+    fn replica_write(&mut self, socket: usize, line: LineAddr, t: Stamp) -> Stamp {
         self.events.push(FabricEvent::ReplicaWrite { socket, line });
-        self.inner.replica_write(socket, line, now)
+        self.inner.replica_write(socket, line, t)
     }
 }
 
@@ -271,10 +272,11 @@ mod tests {
     #[test]
     fn recording_fabric_captures_events_and_delegates_timing() {
         let mut f = RecordingFabric::default();
-        let t = f.mem_read(0, 7, 100);
-        assert_eq!(t, 100 + f.inner.dram);
-        let t2 = f.replica_write(1, 7, 0);
-        assert_eq!(t2, f.inner.dram);
+        let t = f.mem_read(0, 7, Stamp::start(100));
+        assert_eq!(t.at(), 100 + f.inner.dram);
+        assert_eq!(t.breakdown().bank_service, f.inner.dram);
+        let t2 = f.replica_write(1, 7, Stamp::start(0));
+        assert_eq!(t2.at(), f.inner.dram);
         let evs = f.take_events();
         assert_eq!(
             evs,

@@ -79,6 +79,12 @@ impl SystemBuilder {
         self
     }
 
+    /// Outstanding misses per core (MSHR ways; 1 = blocking cores).
+    pub fn mshrs(mut self, ways: usize) -> SystemBuilder {
+        self.cfg.mshrs = ways;
+        self
+    }
+
     /// Runs with the replicas out of service (§V-E degraded state).
     pub fn degraded(mut self, on: bool) -> SystemBuilder {
         self.cfg.degraded = on;
@@ -122,6 +128,7 @@ mod tests {
             .replica_region_lines(16)
             .speculative(false)
             .degraded(true)
+            .mshrs(4)
             .llc_bytes(1 << 20);
         let c = b.config();
         assert_eq!(c.ops_per_thread, 500);
@@ -131,6 +138,7 @@ mod tests {
         assert_eq!(c.engine.replica_region_lines, 16);
         assert!(!c.speculative);
         assert!(c.degraded);
+        assert_eq!(c.mshrs, 4);
         assert_eq!(c.engine.llc_bytes, 1 << 20);
     }
 

@@ -81,6 +81,11 @@ pub struct SystemConfig {
     /// 100M instructions of each scheme per 1B-instruction epoch —
     /// scaled to our run lengths as a 1:10 ratio).
     pub dynamic_window: u64,
+    /// Outstanding misses a core may have in flight (MSHR ways). The
+    /// default of 1 reproduces the blocking-core runner cycle-for-cycle
+    /// (the pinned-golden regime); larger values let cores overlap
+    /// misses and expose memory-level parallelism. Must be ≥ 1.
+    pub mshrs: usize,
     /// §V-E degraded state: run the Dvé scheme with the replica copies
     /// out of service (single functional copy). Performance should match
     /// baseline NUMA — the `ablation` harness checks this claim.
@@ -102,6 +107,7 @@ impl SystemConfig {
             ops_per_thread: 50_000,
             warmup_per_thread: 5_000,
             dynamic_window: 5_000,
+            mshrs: 1,
             degraded: false,
         }
     }
@@ -152,6 +158,7 @@ mod tests {
         assert_eq!(c.link_latency, Nanos(50));
         assert_eq!(c.channels_per_socket(), 1);
         assert_eq!(c.total_ranks(), 2);
+        assert_eq!(c.mshrs, 1, "blocking cores by default");
     }
 
     #[test]

@@ -13,18 +13,29 @@
 //!   "actively load balancing reads"), writes go to both.
 //! * **Dvé** — the home copy lives on channel 0 of the home socket and
 //!   the replica on channel 1 of the *other* socket.
+//!
+//! Every timed service advances the caller's [`Stamp`] by charging its
+//! cycles to the right [`Component`]: mesh hops to `Mesh`, link wire
+//! time to `Link`, and DRAM accesses split into `BankQueue` (arrival →
+//! first command issue, read off [`AccessResult::issued_at`]) and
+//! `BankService` (issue → data transfer complete). The breakdown an
+//! access accumulates therefore always sums to its end-to-end latency.
 
 use crate::config::SystemConfig;
 use dve_coherence::engine::Mode;
 use dve_coherence::fabric::Fabric;
 use dve_coherence::types::LineAddr;
-use dve_dram::controller::{AccessKind, MemoryController};
+use dve_dram::controller::{AccessKind, AccessResult, MemoryController};
 use dve_noc::link::InterSocketLink;
 use dve_noc::mesh::Mesh;
 use dve_noc::traffic::{MessageClass, TrafficStats};
+use dve_sim::latency::{Component, Stamp};
 use dve_sim::time::Cycles;
 
-/// Mesh node hosting the directory + memory controller tile.
+/// Mesh node hosting the directory + memory controller tile. The LLC
+/// home slice for a line is colocated with its directory entry on this
+/// tile, so the slice→directory route is zero hops — the per-core tile
+/// route ([`Fabric::mesh_latency_core`]) carries the real traversal.
 const DIR_NODE: usize = 2;
 
 /// The timed platform fabric.
@@ -33,7 +44,6 @@ pub struct SystemFabric {
     mode: Mode,
     mesh: Mesh,
     cores_per_socket: usize,
-    mesh_mean: u64,
     link: InterSocketLink,
     /// `ctrls[socket][channel]`.
     ctrls: Vec<Vec<MemoryController>>,
@@ -46,7 +56,6 @@ impl SystemFabric {
     /// Builds the fabric for a system configuration.
     pub fn new(cfg: &SystemConfig) -> SystemFabric {
         let mesh = Mesh::new(cfg.mesh.0, cfg.mesh.1);
-        let mesh_mean = mesh.mean_hops().round().max(1.0) as u64;
         let cores_per_socket = cfg.engine.cores_per_socket;
         let link = InterSocketLink::new(cfg.link_latency, cfg.clock, cfg.link_bytes_per_cycle);
         let channels = cfg.channels_per_socket();
@@ -61,7 +70,6 @@ impl SystemFabric {
             mode: cfg.engine_mode(),
             mesh,
             cores_per_socket,
-            mesh_mean,
             link,
             ctrls,
             traffic: TrafficStats::new(),
@@ -94,11 +102,28 @@ impl SystemFabric {
     fn byte_addr(&self, line: LineAddr) -> u64 {
         line * self.line_bytes
     }
+
+    /// Charges a DRAM access onto `t`, splitting the elapsed time into
+    /// bank queueing (arrival → first command issue) and bank service
+    /// (issue → transfer complete) using [`AccessResult::issued_at`].
+    fn charge_dram(t: Stamp, r: &AccessResult) -> Stamp {
+        let queued = r.issued_at.raw() - t.at();
+        let service = r.complete_at.raw() - r.issued_at.raw();
+        t.advance(Component::BankQueue, queued)
+            .advance(Component::BankService, service)
+    }
 }
 
 impl Fabric for SystemFabric {
+    /// LLC-slice → directory route. The two agents are colocated on the
+    /// directory tile ([`DIR_NODE`]), so this is the real zero-hop
+    /// route; the per-core traversal is carried by
+    /// [`Fabric::mesh_latency_core`] instead. (This retired the old
+    /// `mesh_mean` scalar, which double-charged an average traversal on
+    /// top of the per-core one.)
     fn mesh_latency(&self) -> u64 {
-        self.mesh_mean
+        let dir = DIR_NODE % self.mesh.nodes();
+        self.mesh.latency_cycles(dir, dir)
     }
 
     fn mesh_latency_core(&self, core: usize) -> u64 {
@@ -108,18 +133,18 @@ impl Fabric for SystemFabric {
         self.mesh.latency_cycles(tile, DIR_NODE % self.mesh.nodes())
     }
 
-    fn link_send(&mut self, from: usize, to: usize, now: u64, class: MessageClass) -> u64 {
+    fn link_send(&mut self, from: usize, to: usize, t: Stamp, class: MessageClass) -> Stamp {
         self.traffic.record(class);
-        self.link
-            .transfer(from, to, Cycles(now), class.bytes())
-            .raw()
+        let arrive = self.link.transfer(from, to, Cycles(t.at()), class.bytes());
+        t.advance(Component::Link, arrive.raw() - t.at())
     }
 
-    fn link_probe(&self, from: usize, to: usize, now: u64, class: MessageClass) -> u64 {
-        self.link.probe(from, to, Cycles(now), class.bytes()).raw()
+    fn link_probe(&self, from: usize, to: usize, t: Stamp, class: MessageClass) -> Stamp {
+        let arrive = self.link.probe(from, to, Cycles(t.at()), class.bytes());
+        t.advance(Component::Link, arrive.raw() - t.at())
     }
 
-    fn mem_read(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+    fn mem_read(&mut self, socket: usize, line: LineAddr, t: Stamp) -> Stamp {
         let addr = self.byte_addr(line);
         let channel = if matches!(self.mode, Mode::IntelMirror) {
             // Load-balance reads across the mirrored channels.
@@ -128,45 +153,39 @@ impl Fabric for SystemFabric {
         } else {
             0
         };
-        self.ctrls[socket][channel]
-            .access(addr, AccessKind::Read, Cycles(now))
-            .complete_at
-            .raw()
+        let r = self.ctrls[socket][channel].access(addr, AccessKind::Read, Cycles(t.at()));
+        Self::charge_dram(t, &r)
     }
 
-    fn replica_read(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+    fn replica_read(&mut self, socket: usize, line: LineAddr, t: Stamp) -> Stamp {
         let addr = self.byte_addr(line);
         // The replica always lives on the socket's second channel.
-        self.ctrls[socket][1]
-            .access(addr, AccessKind::Read, Cycles(now))
-            .complete_at
-            .raw()
+        let r = self.ctrls[socket][1].access(addr, AccessKind::Read, Cycles(t.at()));
+        Self::charge_dram(t, &r)
     }
 
-    fn mem_write(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+    fn mem_write(&mut self, socket: usize, line: LineAddr, t: Stamp) -> Stamp {
         let addr = self.byte_addr(line);
-        let t0 = self.ctrls[socket][0]
-            .access(addr, AccessKind::Write, Cycles(now))
-            .complete_at
-            .raw();
+        let r0 = self.ctrls[socket][0].access(addr, AccessKind::Write, Cycles(t.at()));
         if matches!(self.mode, Mode::IntelMirror) {
-            // Mirrored write: both channels, lock-step.
-            let t1 = self.ctrls[socket][1]
-                .access(addr, AccessKind::Write, Cycles(now))
-                .complete_at
-                .raw();
-            t0.max(t1)
+            // Mirrored write: both channels, lock-step; the write
+            // completes when the slower channel does, so charge the
+            // later-completing access's queue/service split.
+            let r1 = self.ctrls[socket][1].access(addr, AccessKind::Write, Cycles(t.at()));
+            if r1.complete_at > r0.complete_at {
+                Self::charge_dram(t, &r1)
+            } else {
+                Self::charge_dram(t, &r0)
+            }
         } else {
-            t0
+            Self::charge_dram(t, &r0)
         }
     }
 
-    fn replica_write(&mut self, socket: usize, line: LineAddr, now: u64) -> u64 {
+    fn replica_write(&mut self, socket: usize, line: LineAddr, t: Stamp) -> Stamp {
         let addr = self.byte_addr(line);
-        self.ctrls[socket][1]
-            .access(addr, AccessKind::Write, Cycles(now))
-            .complete_at
-            .raw()
+        let r = self.ctrls[socket][1].access(addr, AccessKind::Write, Cycles(t.at()));
+        Self::charge_dram(t, &r)
     }
 }
 
@@ -192,7 +211,7 @@ mod tests {
     fn mirror_reads_alternate_channels() {
         let mut f = SystemFabric::new(&SystemConfig::table_ii(Scheme::IntelMirrorPlus));
         for i in 0..10 {
-            f.mem_read(0, i, 0);
+            f.mem_read(0, i, Stamp::start(0));
         }
         let r0 = f.controllers()[0][0].stats().reads;
         let r1 = f.controllers()[0][1].stats().reads;
@@ -203,7 +222,7 @@ mod tests {
     #[test]
     fn mirror_writes_hit_both_channels() {
         let mut f = SystemFabric::new(&SystemConfig::table_ii(Scheme::IntelMirrorPlus));
-        f.mem_write(0, 1, 0);
+        f.mem_write(0, 1, Stamp::start(0));
         assert_eq!(f.controllers()[0][0].stats().writes, 1);
         assert_eq!(f.controllers()[0][1].stats().writes, 1);
     }
@@ -211,8 +230,8 @@ mod tests {
     #[test]
     fn dve_replica_ops_use_second_channel() {
         let mut f = SystemFabric::new(&SystemConfig::table_ii(Scheme::DveAllow));
-        f.replica_read(1, 5, 0);
-        f.replica_write(1, 5, 0);
+        f.replica_read(1, 5, Stamp::start(0));
+        f.replica_write(1, 5, Stamp::start(0));
         assert_eq!(f.controllers()[1][1].stats().reads, 1);
         assert_eq!(f.controllers()[1][1].stats().writes, 1);
         assert_eq!(f.controllers()[1][0].stats().reads, 0);
@@ -233,24 +252,46 @@ mod tests {
     }
 
     #[test]
-    fn link_send_records_traffic() {
+    fn link_send_records_traffic_and_charges_link() {
         let mut f = SystemFabric::new(&SystemConfig::table_ii(Scheme::BaselineNuma));
-        let t = f.link_send(0, 1, 0, MessageClass::DataResponse);
-        assert!(t >= 150, "50 ns at 3 GHz plus serialization");
+        let t = f.link_send(0, 1, Stamp::start(0), MessageClass::DataResponse);
+        assert!(t.at() >= 150, "50 ns at 3 GHz plus serialization");
+        assert_eq!(t.breakdown().link, t.at(), "all time charged to the link");
         assert_eq!(f.traffic().total_messages(), 1);
     }
 
     #[test]
-    fn mesh_mean_reasonable_for_2x4() {
+    fn llc_and_directory_are_colocated() {
+        // The LLC home slice and the directory share the DIR_NODE tile,
+        // so the slice->directory route is the real zero-hop route; the
+        // per-core route carries the traversal instead.
         let f = SystemFabric::new(&SystemConfig::table_ii(Scheme::BaselineNuma));
-        assert_eq!(f.mesh_latency(), 2);
+        assert_eq!(f.mesh_latency(), 0);
+        assert!(f.mesh_latency_core(0) > 0);
+    }
+
+    #[test]
+    fn dram_charge_splits_queue_and_service() {
+        let mut f = SystemFabric::new(&SystemConfig::table_ii(Scheme::BaselineNuma));
+        // First read: idle bank, no queueing.
+        let t1 = f.mem_read(0, 1, Stamp::start(0));
+        assert_eq!(t1.breakdown().bank_queue, 0);
+        assert_eq!(t1.breakdown().bank_service, t1.elapsed());
+        // Second read to the same bank while busy: queueing appears,
+        // and the breakdown still sums to the end-to-end latency.
+        let t2 = f.mem_read(0, 1, Stamp::start(1));
+        assert!(t2.breakdown().bank_queue > 0, "busy bank must queue");
+        assert_eq!(
+            t2.breakdown().bank_queue + t2.breakdown().bank_service,
+            t2.elapsed()
+        );
     }
 
     #[test]
     fn energy_aggregates_all_controllers() {
         let mut f = SystemFabric::new(&SystemConfig::table_ii(Scheme::DveDeny));
-        f.mem_read(0, 1, 0);
-        f.replica_write(1, 1, 0);
+        f.mem_read(0, 1, Stamp::start(0));
+        f.replica_write(1, 1, Stamp::start(0));
         let e = f.total_energy();
         assert_eq!(e.reads(), 1);
         assert_eq!(e.writes(), 1);

@@ -47,6 +47,31 @@ proptest! {
         prop_assert_eq!(r.engine.reads + r.engine.writes, r.engine.ops);
     }
 
+    // Latency conservation at system level: with no warm-up, the
+    // measured-region per-component breakdown sums exactly to the
+    // engine's total accumulated access latency, for any scheme, seed
+    // and MSHR depth.
+    #[test]
+    fn latency_breakdown_conserves(
+        seed in any::<u64>(),
+        scheme_idx in 0usize..5,
+        mshrs in 1usize..=8,
+    ) {
+        let scheme = Scheme::ALL[scheme_idx];
+        let p = &catalog()[0];
+        let mut cfg = SystemConfig::table_ii(scheme);
+        cfg.ops_per_thread = 300;
+        cfg.warmup_per_thread = 0;
+        cfg.mshrs = mshrs;
+        let r = System::new(cfg, p, seed).run();
+        // Per-layer attribution must conserve.
+        prop_assert_eq!(r.latency.total(), r.engine.latency_sum.iter().sum::<u64>());
+        // Class fractions stay a well-formed distribution (exercises
+        // the monotone class-delta guard on the way).
+        let sum: f64 = r.class_fractions.iter().sum();
+        prop_assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-9);
+    }
+
     // Recovery: with only the primary faulted, no read ever
     // machine-checks, regardless of the fault domain or access pattern.
     #[test]

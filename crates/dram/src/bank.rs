@@ -1,5 +1,13 @@
 //! Per-bank row-buffer state machine.
+//!
+//! Bank occupancy used to be a bare `busy_until` timestamp with the
+//! queueing arithmetic inlined at each use; it now sits on a
+//! single-way [`dve_sim::resource::Resource`] port, so a busy bank
+//! queues requests through the same audited primitive as every other
+//! timed substrate, and the queue/service split is read straight off
+//! the returned [`Grant`].
 
+use dve_sim::resource::{Grant, Resource};
 use dve_sim::time::Cycles;
 
 /// Classification of an access against the bank's row-buffer state —
@@ -15,15 +23,26 @@ pub enum RowOutcome {
     Conflict,
 }
 
-/// One DRAM bank: the open row (if any) and the time until which the bank
-/// is busy with a previous operation.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// One DRAM bank: the open row (if any) and a one-way occupancy port
+/// serializing its command bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bank {
     open_row: Option<u64>,
-    busy_until: Cycles,
+    /// Single-way occupancy port: the bank services one burst at a time.
+    port: Resource,
     /// When the currently open row was activated (to honor tRAS before a
     /// precharge on conflict).
     activated_at: Cycles,
+}
+
+impl Default for Bank {
+    fn default() -> Bank {
+        Bank {
+            open_row: None,
+            port: Resource::new(1),
+            activated_at: Cycles(0),
+        }
+    }
 }
 
 impl Bank {
@@ -39,7 +58,12 @@ impl Bank {
 
     /// Earliest time the bank can start a new operation.
     pub fn busy_until(&self) -> Cycles {
-        self.busy_until
+        Cycles(self.port.drained_at())
+    }
+
+    /// The bank's occupancy port (grants, busy cycles, queue cycles).
+    pub fn port(&self) -> &Resource {
+        &self.port
     }
 
     /// Classifies an access to `row` without performing it.
@@ -52,9 +76,11 @@ impl Bank {
     }
 
     /// Performs an access to `row` arriving at `now`, given the timing
-    /// parameters. Returns `(outcome, start, finish)` where `start` is
-    /// when the command actually issues (after any queuing on a busy
-    /// bank) and `finish` is when data transfer completes.
+    /// parameters. Returns the row outcome plus the port [`Grant`]:
+    /// `grant.start` is when the first DRAM command actually issues
+    /// (after any queueing on a busy bank, including a tRAS hold before
+    /// a conflict's precharge), `grant.complete_at` is when the data
+    /// transfer completes, and `grant.queued` is the full pre-issue wait.
     #[allow(clippy::too_many_arguments)]
     pub fn access(
         &mut self,
@@ -65,21 +91,21 @@ impl Bank {
         t_rp: Cycles,
         t_ras: Cycles,
         t_burst: Cycles,
-    ) -> (RowOutcome, Cycles, Cycles) {
+    ) -> (RowOutcome, Grant) {
         let outcome = self.classify(row);
-        let mut start = now.max(self.busy_until);
         let latency = match outcome {
             RowOutcome::Hit => t_cl + t_burst,
             RowOutcome::Miss => t_rcd + t_cl + t_burst,
             RowOutcome::Conflict => {
                 // The precharge may not issue until tRAS after the open
-                // row's activation.
-                let ras_ready = self.activated_at + t_ras;
-                start = start.max(ras_ready);
+                // row's activation: hold the port shut until then so the
+                // wait is charged as queueing.
+                self.port.block_until((self.activated_at + t_ras).raw());
                 t_rp + t_rcd + t_cl + t_burst
             }
         };
-        let finish = start + latency;
+        let grant = self.port.acquire(now.raw(), latency.raw());
+        let start = Cycles(grant.start);
         match outcome {
             RowOutcome::Hit => {}
             RowOutcome::Miss => {
@@ -91,15 +117,14 @@ impl Bank {
                 self.activated_at = start + t_rp;
             }
         }
-        self.busy_until = finish;
-        (outcome, start, finish)
+        (outcome, grant)
     }
 
     /// Closes the open row (e.g. for a refresh) and marks the bank busy
     /// until `until`.
     pub fn force_busy(&mut self, until: Cycles) {
         self.open_row = None;
-        self.busy_until = self.busy_until.max(until);
+        self.port.block_until(until.raw());
     }
 }
 
@@ -113,47 +138,52 @@ mod tests {
     const RAS: Cycles = Cycles(96);
     const BURST: Cycles = Cycles(10);
 
-    fn go(bank: &mut Bank, row: u64, now: u64) -> (RowOutcome, Cycles, Cycles) {
+    fn go(bank: &mut Bank, row: u64, now: u64) -> (RowOutcome, Grant) {
         bank.access(row, Cycles(now), CL, RCD, RP, RAS, BURST)
     }
 
     #[test]
     fn first_access_is_miss() {
         let mut b = Bank::new();
-        let (o, start, finish) = go(&mut b, 5, 0);
+        let (o, g) = go(&mut b, 5, 0);
         assert_eq!(o, RowOutcome::Miss);
-        assert_eq!(start, Cycles(0));
-        assert_eq!(finish, RCD + CL + BURST);
+        assert_eq!(g.start, 0);
+        assert_eq!(g.complete_at, (RCD + CL + BURST).raw());
         assert_eq!(b.open_row(), Some(5));
     }
 
     #[test]
     fn same_row_hits() {
         let mut b = Bank::new();
-        let (_, _, f1) = go(&mut b, 5, 0);
-        let (o, _, f2) = go(&mut b, 5, f1.raw());
+        let (_, g1) = go(&mut b, 5, 0);
+        let (o, g2) = go(&mut b, 5, g1.complete_at);
         assert_eq!(o, RowOutcome::Hit);
-        assert_eq!(f2 - f1, CL + BURST);
+        assert_eq!(g2.complete_at - g1.complete_at, (CL + BURST).raw());
     }
 
     #[test]
     fn different_row_conflicts_and_respects_tras() {
         let mut b = Bank::new();
         go(&mut b, 5, 0); // activated at 0
-        let (o, start, _) = go(&mut b, 9, 0);
+        let (o, g) = go(&mut b, 9, 0);
         assert_eq!(o, RowOutcome::Conflict);
         // Cannot precharge before tRAS after activation (0 + 96).
-        assert!(start >= RAS);
+        assert!(g.start >= RAS.raw());
         assert_eq!(b.open_row(), Some(9));
     }
 
     #[test]
     fn busy_bank_queues_requests() {
         let mut b = Bank::new();
-        let (_, _, f1) = go(&mut b, 1, 0);
+        let (_, g1) = go(&mut b, 1, 0);
         // Request arrives while the first is in flight.
-        let (_, start, _) = go(&mut b, 1, 1);
-        assert_eq!(start, f1, "second request waits for the bank");
+        let (_, g2) = go(&mut b, 1, 1);
+        assert_eq!(
+            g2.start, g1.complete_at,
+            "second request waits for the bank"
+        );
+        assert_eq!(g2.queued, g1.complete_at - 1, "wait is charged as queueing");
+        assert_eq!(b.port().stats().queue_cycles, g2.queued);
     }
 
     #[test]
@@ -163,8 +193,8 @@ mod tests {
         b.force_busy(Cycles(10_000));
         assert_eq!(b.open_row(), None);
         assert_eq!(b.busy_until(), Cycles(10_000));
-        let (o, start, _) = go(&mut b, 1, 0);
+        let (o, g) = go(&mut b, 1, 0);
         assert_eq!(o, RowOutcome::Miss);
-        assert_eq!(start, Cycles(10_000));
+        assert_eq!(g.start, 10_000);
     }
 }

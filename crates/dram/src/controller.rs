@@ -34,6 +34,11 @@ pub struct AccessResult {
     pub latency: Cycles,
     /// Absolute completion time.
     pub complete_at: Cycles,
+    /// When the first DRAM command issued: `issued_at - now` is the
+    /// bank-queue share of the latency (waiting behind a busy bank,
+    /// a tRAS hold, or an in-flight refresh) and
+    /// `complete_at - issued_at` is the bank-service share.
+    pub issued_at: Cycles,
     /// Row-buffer outcome.
     pub row: RowOutcome,
 }
@@ -234,7 +239,7 @@ impl MemoryController {
         let coord = self.mapper.decode(addr);
         let flat = self.mapper.flat_bank(coord);
         let cfg = self.mapper.config().clone();
-        let (row, start, finish) = self.banks[flat].access(
+        let (row, grant) = self.banks[flat].access(
             coord.row,
             now,
             cfg.t_cl,
@@ -243,18 +248,18 @@ impl MemoryController {
             cfg.t_ras,
             cfg.t_burst,
         );
-        self.stats.queue_delay_sum += start.saturating_sub(now).raw();
+        self.stats.queue_delay_sum += grant.queued;
         match row {
             RowOutcome::Hit => self.stats.row_hits += 1,
             RowOutcome::Miss => {
                 self.stats.row_misses += 1;
                 self.energy.count_activate();
-                self.hammer.record_activation(flat, coord.row, start.raw());
+                self.hammer.record_activation(flat, coord.row, grant.start);
             }
             RowOutcome::Conflict => {
                 self.stats.row_conflicts += 1;
                 self.energy.count_activate();
-                self.hammer.record_activation(flat, coord.row, start.raw());
+                self.hammer.record_activation(flat, coord.row, grant.start);
             }
         }
         match kind {
@@ -267,9 +272,11 @@ impl MemoryController {
                 self.energy.count_write();
             }
         }
+        let finish = Cycles(grant.complete_at);
         AccessResult {
             latency: finish.saturating_sub(now),
             complete_at: finish,
+            issued_at: Cycles(grant.start),
             row,
         }
     }

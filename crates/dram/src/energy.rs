@@ -26,17 +26,33 @@ pub struct EnergyParams {
     pub background_mw_per_rank: f64,
 }
 
+impl EnergyParams {
+    /// Background (standby + peripheral) power per DRAM rank, in
+    /// milliwatts — the Micron 8 Gb DDR4-2400 standby figure (IDD2N/3N
+    /// class at VDD = 1.2 V plus peripheral overheads, ≈150 mW). This is
+    /// the single source of truth for the standby term: the system
+    /// runner's region-level background-energy accounting and
+    /// [`EnergyModel::total_joules`] both derive from it.
+    pub const BACKGROUND_MW_PER_RANK: f64 = 150.0;
+
+    /// Background energy of `ranks` ranks held in standby for
+    /// `seconds`, in joules.
+    pub fn background_joules(ranks: usize, seconds: f64) -> f64 {
+        Self::BACKGROUND_MW_PER_RANK * 1e-3 * ranks as f64 * seconds
+    }
+}
+
 impl Default for EnergyParams {
     fn default() -> Self {
         // Micron 8Gb DDR4-2400 approximations: IDD0-based ACT/PRE ~2 nJ,
         // IDD4R/W bursts ~3.5/3.8 nJ per line, tRFC*IDD5 ~28 nJ/refresh,
-        // ~150 mW standby per rank.
+        // BACKGROUND_MW_PER_RANK standby per rank.
         EnergyParams {
             act_pre_nj: 2.0,
             read_nj: 3.5,
             write_nj: 3.8,
             refresh_nj: 28.0,
-            background_mw_per_rank: 150.0,
+            background_mw_per_rank: EnergyParams::BACKGROUND_MW_PER_RANK,
         }
     }
 }
@@ -190,6 +206,30 @@ mod tests {
         e.count_refresh();
         let expected = (2.0 + 3.5 + 3.8 + 28.0) * 1e-9;
         assert!((e.dynamic_joules() - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn background_constant_is_single_source_of_truth() {
+        // The named constant, the default params and the helper must all
+        // agree, so total energy computed through any of them is
+        // identical to the historical inline `150.0e-3 * ranks * s`.
+        assert_eq!(EnergyParams::BACKGROUND_MW_PER_RANK, 150.0);
+        assert_eq!(
+            EnergyParams::default().background_mw_per_rank,
+            EnergyParams::BACKGROUND_MW_PER_RANK
+        );
+        let seconds = 0.25;
+        let ranks = 4;
+        let via_helper = EnergyParams::background_joules(ranks, seconds);
+        let via_literal = 150.0e-3 * ranks as f64 * seconds;
+        assert_eq!(via_helper, via_literal);
+        // And the model's total = dynamic + the same background term.
+        let mut e = EnergyModel::new(ranks);
+        e.count_read();
+        let t = Cycles(750_000_000); // 0.25 s at 3 GHz
+        let f = Frequency::ghz(3.0);
+        let total = e.total_joules(t, f);
+        assert!((total - (e.dynamic_joules() + via_helper)).abs() < 1e-15);
     }
 
     #[test]

@@ -3,19 +3,27 @@
 //! §VI: "We use an inter-socket latency of 50ns per hop", with a
 //! sensitivity sweep from 30 ns (Fig. 10, NUMA-optimized) to 60 ns
 //! (CCIX/OpenCAPI/Gen-Z-class long-range links). The link also models
-//! serialization bandwidth so heavy coherence traffic queues.
+//! serialization bandwidth so heavy coherence traffic is charged for
+//! wire time.
+//!
+//! Occupancy and traffic accounting sit on a pair of
+//! [`dve_sim::resource::Resource`] ports — one per direction — instead
+//! of the hand-rolled counters this module used to keep. The ports are
+//! *pipelined*: at the traffic levels any of the paper's workloads
+//! generate (worst case ≈ 1.5 GB/s against a 48 GB/s-per-direction
+//! QPI-class link, <3% utilization) a queueing model would add nothing
+//! but noise, so messages never queue; the ports still record grants,
+//! occupancy and (trivially zero) queue cycles uniformly with every
+//! other timed substrate.
 
+use dve_sim::resource::{Resource, ResourceStats};
 use dve_sim::time::{Cycles, Frequency, Nanos};
 
 /// A full-duplex point-to-point link between two sockets.
 ///
 /// Each message pays the propagation latency plus a serialization delay
-/// of `bytes / bytes_per_cycle` cycles. The link is modeled as a
-/// pipelined, non-blocking pipe: at the traffic levels any of the
-/// paper's workloads generate (worst case ≈ 1.5 GB/s against a
-/// 48 GB/s-per-direction QPI-class link, <3% utilization) a queueing
-/// model would add nothing but noise, so only latency, serialization and
-/// traffic accounting are modeled.
+/// of `bytes / bytes_per_cycle` cycles, charged through a pipelined
+/// [`Resource`] port per direction.
 ///
 /// # Example
 ///
@@ -31,7 +39,8 @@ use dve_sim::time::{Cycles, Frequency, Nanos};
 pub struct InterSocketLink {
     latency: Cycles,
     bytes_per_cycle: u64,
-    messages: [u64; 2],
+    /// Directional occupancy ports; index = source socket.
+    ports: [Resource; 2],
     bytes: [u64; 2],
 }
 
@@ -47,7 +56,7 @@ impl InterSocketLink {
         InterSocketLink {
             latency: clock.cycles_for(latency),
             bytes_per_cycle,
-            messages: [0; 2],
+            ports: [Resource::pipelined(), Resource::pipelined()],
             bytes: [0; 2],
         }
     }
@@ -70,28 +79,41 @@ impl InterSocketLink {
         from // direction index equals the source socket
     }
 
+    fn service(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.bytes_per_cycle) + self.latency.raw()
+    }
+
     /// Sends `bytes` from socket `from` to socket `to` at time `now`;
     /// returns the arrival time (after serialization and propagation)
-    /// and records traffic.
+    /// and records the message on the directional port.
     pub fn transfer(&mut self, from: usize, to: usize, now: Cycles, bytes: u64) -> Cycles {
         let d = Self::dir(from, to);
-        let serialize = Cycles(bytes.div_ceil(self.bytes_per_cycle));
-        self.messages[d] += 1;
+        let service = self.service(bytes);
+        let grant = self.ports[d].acquire(now.raw(), service);
         self.bytes[d] += bytes;
-        now + serialize + self.latency
+        debug_assert_eq!(grant.queued, 0, "pipelined link must never queue");
+        Cycles(grant.complete_at)
     }
 
     /// Arrival time a message *would* observe, without sending it or
     /// recording traffic (for speculative-access latency estimates).
     pub fn probe(&self, from: usize, to: usize, now: Cycles, bytes: u64) -> Cycles {
-        let _ = Self::dir(from, to);
-        let serialize = Cycles(bytes.div_ceil(self.bytes_per_cycle));
-        now + serialize + self.latency
+        let d = Self::dir(from, to);
+        Cycles(
+            self.ports[d]
+                .probe(now.raw(), self.service(bytes))
+                .complete_at,
+        )
+    }
+
+    /// Port statistics for one direction (`dir` = source socket).
+    pub fn port_stats(&self, dir: usize) -> ResourceStats {
+        self.ports[dir].stats()
     }
 
     /// Total messages sent in both directions.
     pub fn total_messages(&self) -> u64 {
-        self.messages[0] + self.messages[1]
+        self.ports[0].stats().grants + self.ports[1].stats().grants
     }
 
     /// Total bytes sent in both directions.
@@ -101,7 +123,8 @@ impl InterSocketLink {
 
     /// Resets the traffic counters (not the occupancy).
     pub fn reset_counters(&mut self) {
-        self.messages = [0; 2];
+        self.ports[0].reset_stats();
+        self.ports[1].reset_stats();
         self.bytes = [0; 2];
     }
 }
@@ -129,6 +152,7 @@ mod tests {
         let a = l.transfer(0, 1, Cycles(0), 64);
         let b = l.transfer(0, 1, Cycles(0), 64);
         assert_eq!(a, b, "pipelined link: identical send times arrive together");
+        assert_eq!(l.port_stats(0).queue_cycles, 0);
     }
 
     #[test]
@@ -137,6 +161,8 @@ mod tests {
         let a = l.transfer(0, 1, Cycles(0), 64);
         let b = l.transfer(1, 0, Cycles(0), 64);
         assert_eq!(a, b, "full duplex: no cross-direction interference");
+        assert_eq!(l.port_stats(0).grants, 1);
+        assert_eq!(l.port_stats(1).grants, 1);
     }
 
     #[test]
@@ -157,6 +183,15 @@ mod tests {
         let actual = l.transfer(0, 1, Cycles(0), 64);
         assert_eq!(predicted, actual);
         assert_eq!(l.total_messages(), 1, "probe did not count");
+    }
+
+    #[test]
+    fn port_occupancy_is_tracked() {
+        let mut l = link();
+        l.transfer(0, 1, Cycles(0), 64); // 4 + 150 cycles of wire time
+        let s = l.port_stats(0);
+        assert_eq!(s.busy_cycles, 154);
+        assert_eq!(s.grants, 1);
     }
 
     #[test]

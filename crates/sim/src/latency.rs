@@ -1,0 +1,326 @@
+//! Structured latency accounting: where did the cycles go?
+//!
+//! The paper's performance story (Fig. 6–8, the Fig. 10 link sweep) is
+//! an attribution claim — local replica reads spend their cycles in
+//! different places than remote home accesses. A single end-to-end
+//! cycle count cannot check that claim; a [`LatencyBreakdown`] can.
+//! Every timed layer charges its cycles to a named [`Component`], and a
+//! conservation invariant (the components sum to the end-to-end
+//! latency) is enforced *by construction* through the [`Stamp`] type:
+//! the only way to advance a stamp's clock is to attribute the cycles.
+//!
+//! # Composition rules
+//!
+//! * **Sequential** composition is [`Stamp::advance`]: charge `n`
+//!   cycles to a component, the clock moves by `n`.
+//! * **Fan-out/max** composition (a write waiting on the later of its
+//!   data fetch and its invalidation acks) is [`Stamp::max`]: the later
+//!   stamp wins *wholly*, so the breakdown always describes the
+//!   critical path, never a double-counted union.
+//!
+//! Both preserve the invariant `at == origin + parts.total()`, which is
+//! `debug_assert`ed at every step and property-tested end-to-end in the
+//! conformance crate.
+
+/// A named latency component: the layer a cycle is charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// On-chip mesh hops (core → LLC slice, LLC → directory tile).
+    Mesh,
+    /// Inter-socket link serialization + propagation.
+    Link,
+    /// Cycles queued behind a busy DRAM bank (or tRAS window).
+    BankQueue,
+    /// DRAM bank service time (tRCD/tCL/tRP/burst as applicable).
+    BankService,
+    /// Everything the protocol itself charges: L1/LLC/directory
+    /// lookups, forward hops inside a socket, ECC decode penalties.
+    Protocol,
+}
+
+impl Component {
+    /// All components, in display order.
+    pub const ALL: [Component; 5] = [
+        Component::Mesh,
+        Component::Link,
+        Component::BankQueue,
+        Component::BankService,
+        Component::Protocol,
+    ];
+
+    /// Short stable label (used in reports and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Mesh => "mesh",
+            Component::Link => "link",
+            Component::BankQueue => "bank_queue",
+            Component::BankService => "bank_service",
+            Component::Protocol => "protocol",
+        }
+    }
+}
+
+/// Per-component cycle totals. The additive half of the timing model:
+/// [`LatencyBreakdown::total`] of an access equals its end-to-end
+/// latency (the conservation invariant).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// On-chip mesh hop cycles.
+    pub mesh: u64,
+    /// Inter-socket link cycles (serialization + propagation + queue).
+    pub link: u64,
+    /// Cycles queued behind busy DRAM banks.
+    pub bank_queue: u64,
+    /// DRAM bank service cycles.
+    pub bank_service: u64,
+    /// Protocol-layer cycles (cache lookups, directory, forwards, ECC).
+    pub protocol: u64,
+}
+
+impl LatencyBreakdown {
+    /// Sum of every component.
+    pub fn total(&self) -> u64 {
+        self.mesh + self.link + self.bank_queue + self.bank_service + self.protocol
+    }
+
+    /// The cycles charged to `c`.
+    pub fn get(&self, c: Component) -> u64 {
+        match c {
+            Component::Mesh => self.mesh,
+            Component::Link => self.link,
+            Component::BankQueue => self.bank_queue,
+            Component::BankService => self.bank_service,
+            Component::Protocol => self.protocol,
+        }
+    }
+
+    /// Charges `cycles` to component `c`.
+    pub fn add(&mut self, c: Component, cycles: u64) {
+        match c {
+            Component::Mesh => self.mesh += cycles,
+            Component::Link => self.link += cycles,
+            Component::BankQueue => self.bank_queue += cycles,
+            Component::BankService => self.bank_service += cycles,
+            Component::Protocol => self.protocol += cycles,
+        }
+    }
+
+    /// Component-wise sum (accumulating per-access breakdowns into a
+    /// run total).
+    pub fn merge(&mut self, other: &LatencyBreakdown) {
+        self.mesh += other.mesh;
+        self.link += other.link;
+        self.bank_queue += other.bank_queue;
+        self.bank_service += other.bank_service;
+        self.protocol += other.protocol;
+    }
+
+    /// Component-wise `self - earlier` for interval/epoch deltas.
+    ///
+    /// Debug-asserts monotonicity (cumulative counters never shrink),
+    /// matching the PR 3 stats convention.
+    pub fn delta_since(&self, earlier: &LatencyBreakdown) -> LatencyBreakdown {
+        for c in Component::ALL {
+            debug_assert!(
+                self.get(c) >= earlier.get(c),
+                "latency counter {} went backwards: {} -> {}",
+                c.label(),
+                earlier.get(c),
+                self.get(c)
+            );
+        }
+        LatencyBreakdown {
+            mesh: self.mesh - earlier.mesh,
+            link: self.link - earlier.link,
+            bank_queue: self.bank_queue - earlier.bank_queue,
+            bank_service: self.bank_service - earlier.bank_service,
+            protocol: self.protocol - earlier.protocol,
+        }
+    }
+
+    /// Fraction of the total charged to `c` (0.0 when empty).
+    pub fn fraction(&self, c: Component) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(c) as f64 / total as f64
+        }
+    }
+}
+
+/// A point in time that remembers where its cycles came from.
+///
+/// A `Stamp` starts at some `origin` and can only move forward by
+/// attributing cycles to a [`Component`], so the invariant
+///
+/// ```text
+/// at() == origin() + breakdown().total()
+/// ```
+///
+/// holds by construction: conservation is not something the timing code
+/// has to remember, it is the only thing the API permits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamp {
+    at: u64,
+    origin: u64,
+    parts: LatencyBreakdown,
+}
+
+impl Stamp {
+    /// A fresh stamp at `now` with an empty breakdown.
+    pub fn start(now: u64) -> Stamp {
+        Stamp {
+            at: now,
+            origin: now,
+            parts: LatencyBreakdown::default(),
+        }
+    }
+
+    /// The current time of this stamp.
+    pub fn at(&self) -> u64 {
+        self.at
+    }
+
+    /// The time the stamp started at.
+    pub fn origin(&self) -> u64 {
+        self.origin
+    }
+
+    /// The attributed cycles so far.
+    pub fn breakdown(&self) -> LatencyBreakdown {
+        self.parts
+    }
+
+    /// Total elapsed cycles (`at - origin`), always equal to
+    /// `breakdown().total()`.
+    pub fn elapsed(&self) -> u64 {
+        self.check();
+        self.at - self.origin
+    }
+
+    /// Advances the clock by `cycles`, charging them to `c`.
+    pub fn advance(self, c: Component, cycles: u64) -> Stamp {
+        let mut s = self;
+        s.at += cycles;
+        s.parts.add(c, cycles);
+        s.check();
+        s
+    }
+
+    /// Fan-out/max composition: the later stamp wins wholly, so the
+    /// result describes the critical path. Ties resolve to `self`
+    /// (deterministic). Both stamps must share an origin — `max` over
+    /// stamps from different forks of the *same* request is the only
+    /// meaningful use.
+    pub fn max(self, other: Stamp) -> Stamp {
+        debug_assert_eq!(
+            self.origin, other.origin,
+            "Stamp::max across different origins loses conservation"
+        );
+        if other.at > self.at {
+            other
+        } else {
+            self
+        }
+    }
+
+    fn check(&self) {
+        debug_assert_eq!(
+            self.at,
+            self.origin + self.parts.total(),
+            "latency conservation violated: at={} origin={} parts={:?}",
+            self.at,
+            self.origin,
+            self.parts
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals_and_accessors() {
+        let mut b = LatencyBreakdown::default();
+        assert_eq!(b.total(), 0);
+        b.add(Component::Mesh, 4);
+        b.add(Component::Link, 150);
+        b.add(Component::BankQueue, 7);
+        b.add(Component::BankService, 36);
+        b.add(Component::Protocol, 21);
+        assert_eq!(b.total(), 4 + 150 + 7 + 36 + 21);
+        for c in Component::ALL {
+            assert!(b.get(c) > 0, "{} not set", c.label());
+        }
+        assert!((b.fraction(Component::Link) - 150.0 / b.total() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_delta_roundtrip() {
+        let mut a = LatencyBreakdown::default();
+        a.add(Component::Mesh, 3);
+        a.add(Component::Protocol, 9);
+        let mut run = a;
+        let mut b = LatencyBreakdown::default();
+        b.add(Component::Link, 5);
+        b.add(Component::Mesh, 1);
+        run.merge(&b);
+        assert_eq!(run.total(), a.total() + b.total());
+        assert_eq!(run.delta_since(&a), b);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "went backwards")]
+    fn delta_guards_monotonicity() {
+        let mut a = LatencyBreakdown::default();
+        a.add(Component::Mesh, 3);
+        LatencyBreakdown::default().delta_since(&a);
+    }
+
+    #[test]
+    fn stamp_conserves_by_construction() {
+        let s = Stamp::start(100)
+            .advance(Component::Protocol, 1)
+            .advance(Component::Mesh, 2)
+            .advance(Component::Link, 150)
+            .advance(Component::BankService, 36);
+        assert_eq!(s.origin(), 100);
+        assert_eq!(s.at(), 100 + 1 + 2 + 150 + 36);
+        assert_eq!(s.elapsed(), s.breakdown().total());
+    }
+
+    #[test]
+    fn max_picks_critical_path_wholly() {
+        let base = Stamp::start(10).advance(Component::Protocol, 1);
+        let data = base.advance(Component::Link, 150);
+        let acks = base.advance(Component::Mesh, 4);
+        let joined = data.max(acks);
+        assert_eq!(joined, data, "later fork wins");
+        assert_eq!(
+            joined.breakdown().mesh,
+            0,
+            "loser's cycles are not unioned in"
+        );
+        // Ties resolve to self.
+        let tie_a = base.advance(Component::Link, 7);
+        let tie_b = base.advance(Component::Mesh, 7);
+        assert_eq!(tie_a.max(tie_b), tie_a);
+        assert_eq!(tie_b.max(tie_a), tie_b);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "different origins")]
+    fn max_rejects_mismatched_origins() {
+        let _ = Stamp::start(0).max(Stamp::start(1));
+    }
+
+    #[test]
+    fn fraction_of_empty_is_zero() {
+        let b = LatencyBreakdown::default();
+        assert_eq!(b.fraction(Component::Mesh), 0.0);
+    }
+}

@@ -14,6 +14,12 @@
 //! * [`rng`] — a tiny, dependency-free, seedable [`rng::SplitMix64`]
 //!   generator for components that need cheap deterministic randomness
 //!   without pulling `rand` into the simulation core.
+//! * [`resource`] — the [`resource::Resource`] occupancy port, the one
+//!   contention model (serialization + queueing) every timed substrate
+//!   shares: DRAM banks, the inter-socket link, per-core MSHR files.
+//! * [`latency`] — structured latency attribution: the
+//!   [`latency::LatencyBreakdown`] component totals and the
+//!   [`latency::Stamp`] clock that conserves them by construction.
 //!
 //! # Example
 //!
@@ -31,11 +37,15 @@
 //! ```
 
 pub mod event;
+pub mod latency;
+pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use latency::{Component, LatencyBreakdown, Stamp};
+pub use resource::{Grant, Resource, ResourceStats};
 pub use rng::SplitMix64;
 pub use stats::{geomean, Counter, Histogram, Summary};
 pub use time::{Cycles, Frequency, Nanos};
