@@ -1,0 +1,380 @@
+//! Chaos harness: in-band fault injection against the running timed
+//! system (§V-B2 exercised live, not as out-of-band unit fixtures).
+//!
+//! ```text
+//! cargo run -p dve-bench --bin chaos --release            # full matrix
+//! cargo run -p dve-bench --bin chaos --release -- smoke   # CI gate
+//! ```
+//!
+//! Three phases, all gating the exit code:
+//!
+//! 1. **Golden gate** — an *armed but inert* chaos layer (empty
+//!    schedule, no outages, no scrub) must reproduce the pinned
+//!    cycle-exact goldens bit-identically at two seeds × three
+//!    schemes. Detection is timing-neutral by construction; this
+//!    proves it.
+//! 2. **Directed transitions** — seeded schedules drive the full
+//!    `Clean → CorrectedTransient → CorrectedDegraded → MachineCheck`
+//!    ladder in-run: a transient fault is repaired in place, a hard
+//!    fault degrades the copy and flips the engine into §V-E degraded
+//!    state (lifted again by the scheduled heal), and a dual-copy
+//!    fault machine-checks without wedging the run.
+//! 3. **Randomized matrix** — seed-derived schedules plus a link
+//!    outage window and paced patrol scrub, across schemes × MSHR
+//!    depths × seeds. Every run checks: all scheduled work completes,
+//!    the [`RecoveryLedger`](dve::chaos::RecoveryLedger) partition
+//!    invariants hold, the latency breakdown conserves end-to-end
+//!    (zero warm-up runs pin it to the engine's per-class sums), and
+//!    the run reproduces bit-for-bit when repeated.
+//!
+//! The measured fault-rate × scheme latency table is written to
+//! `results/chaos_report.txt` (the EXPERIMENTS.md chaos section).
+
+use dve::chaos::{ChaosConfig, ChaosParams, FaultAction, FaultEvent, FaultSchedule, FaultSite};
+use dve::config::{Scheme, SystemConfig};
+use dve::system::{RunResult, System};
+use dve_dram::controller::EccProfile;
+use dve_workloads::{catalog, WorkloadProfile};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Pinned goldens (backprop, 500 measured ops/thread, warm-up 50) —
+/// must match `crates/core/tests/goldens.rs`.
+const GOLDENS: &[(u64, Scheme, u64)] = &[
+    (42, Scheme::BaselineNuma, 92_408),
+    (42, Scheme::DveAllow, 77_905),
+    (42, Scheme::DveDeny, 54_962),
+    (0x2026_0806, Scheme::BaselineNuma, 91_014),
+    (0x2026_0806, Scheme::DveAllow, 79_614),
+    (0x2026_0806, Scheme::DveDeny, 54_436),
+];
+
+fn backprop() -> WorkloadProfile {
+    catalog()
+        .into_iter()
+        .find(|p| p.name == "backprop")
+        .expect("backprop in catalog")
+}
+
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn check(&mut self, ok: bool, what: impl Into<String>) {
+        let what = what.into();
+        if ok {
+            println!("  ok   {what}");
+        } else {
+            println!("  FAIL {what}");
+            self.failures.push(what);
+        }
+    }
+}
+
+/// Phase 1: inert chaos reproduces the pinned goldens bit-identically.
+fn golden_gate(gate: &mut Gate, p: &WorkloadProfile) {
+    println!("-- golden gate: inert chaos vs pinned cycle counts --");
+    for &(seed, scheme, golden) in GOLDENS {
+        let mut cfg = SystemConfig::table_ii(scheme);
+        cfg.ops_per_thread = 500;
+        cfg.warmup_per_thread = 50;
+        let plain = System::new(cfg.clone(), p, seed).run();
+        cfg.chaos = Some(ChaosConfig::inert());
+        let armed = System::new(cfg, p, seed).run();
+        gate.check(
+            plain.cycles == golden,
+            format!(
+                "{:<15} seed={seed:#x} plain run matches golden ({} vs {golden})",
+                scheme.label(),
+                plain.cycles
+            ),
+        );
+        gate.check(
+            armed.cycles == golden && armed.latency == plain.latency,
+            format!(
+                "{:<15} seed={seed:#x} inert-chaos run is bit-identical ({} vs {golden})",
+                scheme.label(),
+                armed.cycles
+            ),
+        );
+        gate.check(
+            !armed.recovery.any_activity() && armed.latency.recovery == 0,
+            format!(
+                "{:<15} seed={seed:#x} inert chaos records no recovery activity",
+                scheme.label()
+            ),
+        );
+    }
+}
+
+fn directed_run(p: &WorkloadProfile, events: Vec<FaultEvent>) -> RunResult {
+    let mut cfg = SystemConfig::table_ii(Scheme::DveDeny);
+    cfg.ops_per_thread = 500;
+    cfg.warmup_per_thread = 0; // pins conservation to the engine sums
+    cfg.ecc = EccProfile::tsd(); // detect-only: force the replica detour
+    cfg.chaos = Some(ChaosConfig {
+        schedule: FaultSchedule::new(events),
+        ..ChaosConfig::inert()
+    });
+    System::new(cfg, p, 42).run()
+}
+
+fn conserves(r: &RunResult) -> bool {
+    r.latency.total() == r.engine.latency_sum.iter().sum::<u64>()
+}
+
+/// Phase 2: seeded schedules drive every recovery transition in-run.
+fn directed_transitions(gate: &mut Gate, p: &WorkloadProfile) {
+    println!("-- directed transitions (dve-deny + TSD detect-only ECC) --");
+
+    // Transient: the §V-B2 repair write clears it — CorrectedTransient.
+    let r = directed_run(
+        p,
+        vec![FaultEvent {
+            at: 1_000,
+            socket: 0,
+            channel: 0,
+            action: FaultAction::Plant {
+                site: FaultSite::Controller,
+                transient: true,
+            },
+        }],
+    );
+    gate.check(
+        r.recovery.repaired == 1 && r.recovery.degraded == 0,
+        format!(
+            "transient fault repaired in place (repaired={}, degraded={})",
+            r.recovery.repaired, r.recovery.degraded
+        ),
+    );
+    gate.check(
+        r.latency.recovery > 0 && conserves(&r),
+        format!(
+            "detour cost {} recovery cycles and the breakdown conserves",
+            r.latency.recovery
+        ),
+    );
+    gate.check(
+        r.engine.degraded_transitions == 0,
+        "repaired transient never degrades the engine",
+    );
+
+    // Hard fault + scheduled heal: CorrectedDegraded, §V-E entered and
+    // left in-run.
+    let r = directed_run(
+        p,
+        vec![
+            FaultEvent {
+                at: 1_000,
+                socket: 0,
+                channel: 0,
+                action: FaultAction::Plant {
+                    site: FaultSite::Controller,
+                    transient: false,
+                },
+            },
+            FaultEvent {
+                at: 25_000,
+                socket: 0,
+                channel: 0,
+                action: FaultAction::Heal {
+                    site: FaultSite::Controller,
+                },
+            },
+        ],
+    );
+    gate.check(
+        r.recovery.degraded > 0,
+        format!(
+            "hard fault degrades copies in-run (degraded={})",
+            r.recovery.degraded
+        ),
+    );
+    // The workload's address stream rarely revisits a line inside the
+    // measured window, so demonstrate the redirect path (degraded line
+    // re-read is served by the survivor without re-degrading) directly
+    // on the recovery state machine.
+    {
+        use dve::recovery::{RecoverableMemory, RecoveryOutcome};
+        use dve_dram::fault::FaultDomain;
+        let mut mem = RecoverableMemory::new_dve_tsd();
+        mem.primary_mut().faults_mut().fail(FaultDomain::Line {
+            channel: 0,
+            line: 7,
+        });
+        let (first, t) = mem.read(7 * 64, 0);
+        let (second, _) = mem.read(7 * 64, t);
+        gate.check(
+            first == RecoveryOutcome::CorrectedDegraded
+                && second == RecoveryOutcome::Clean
+                && mem.stats().degraded == 1,
+            format!(
+                "degraded line re-read redirects cleanly ({first:?} then {second:?}, degraded={})",
+                mem.stats().degraded
+            ),
+        );
+    }
+    gate.check(
+        r.engine.degraded_transitions >= 2,
+        format!(
+            "engine entered and left §V-E degraded state ({} transitions)",
+            r.engine.degraded_transitions
+        ),
+    );
+    gate.check(
+        r.recovery.faults_healed == 1 && r.recovery.consistent() && conserves(&r),
+        format!("heal applied; ledger consistent: {:?}", r.recovery),
+    );
+
+    // Both copies dead: MachineCheck, and the run still completes.
+    let r = directed_run(
+        p,
+        vec![
+            FaultEvent {
+                at: 1_000,
+                socket: 0,
+                channel: 0,
+                action: FaultAction::Plant {
+                    site: FaultSite::Controller,
+                    transient: false,
+                },
+            },
+            FaultEvent {
+                at: 1_000,
+                socket: 1,
+                channel: 1,
+                action: FaultAction::Plant {
+                    site: FaultSite::Controller,
+                    transient: false,
+                },
+            },
+        ],
+    );
+    gate.check(
+        r.recovery.machine_checks > 0 && r.mem_ops == 500 * 16,
+        format!(
+            "dual-copy failure machine-checks ({}) without wedging the run",
+            r.recovery.machine_checks
+        ),
+    );
+    gate.check(
+        r.recovery.consistent() && conserves(&r),
+        "ledger and breakdown stay consistent through machine checks",
+    );
+}
+
+/// One randomized-matrix cell.
+fn chaos_cell(p: &WorkloadProfile, scheme: Scheme, mshrs: usize, seed: u64, ops: u64) -> RunResult {
+    let params = ChaosParams {
+        faults: 5,
+        horizon: 60_000,
+        transient_fraction: 0.5,
+        heal_after: Some(30_000),
+        channels_per_socket: 2,
+        line_span: 1 << 14,
+    };
+    let mut chaos = ChaosConfig::random(seed, &params);
+    chaos.link_outages = vec![(10_000, 18_000)];
+    chaos.scrub = Some(dve::chaos::ScrubConfig {
+        region_bytes: 1 << 16,
+        lines_per_slice: 16,
+        interval: 10_000,
+    });
+    let mut cfg = SystemConfig::table_ii(scheme);
+    cfg.ops_per_thread = ops;
+    cfg.warmup_per_thread = 0;
+    cfg.mshrs = mshrs;
+    cfg.ecc = EccProfile::tsd();
+    cfg.chaos = Some(chaos);
+    System::new(cfg, p, seed).run()
+}
+
+/// Phase 3: the randomized matrix, with the per-run invariant gate.
+fn randomized_matrix(gate: &mut Gate, p: &WorkloadProfile, smoke: bool) -> String {
+    println!("-- randomized matrix: schedules + outage + paced scrub --");
+    let schemes: &[Scheme] = if smoke {
+        &[Scheme::DveDeny]
+    } else {
+        &[Scheme::DveAllow, Scheme::DveDeny]
+    };
+    let ops: u64 = if smoke { 300 } else { 500 };
+    let seeds: &[u64] = &[0xC0FFEE, 7];
+    let mut table = String::from(
+        "scheme      mshrs seed      cycles   planted detected corrected repaired degraded mce \
+         scrubbed redirects rec_frac\n",
+    );
+    for &scheme in schemes {
+        for &mshrs in &[1usize, 4] {
+            for &seed in seeds {
+                let r = chaos_cell(p, scheme, mshrs, seed, ops);
+                let l = &r.recovery;
+                let rec_frac = r.latency.recovery as f64 / r.latency.total().max(1) as f64;
+                writeln!(
+                    table,
+                    "{:<11} {:<5} {:<9} {:<8} {:<7} {:<8} {:<9} {:<8} {:<8} {:<3} {:<8} {:<9} {:.4}",
+                    scheme.label(),
+                    mshrs,
+                    format!("{seed:#x}"),
+                    r.cycles,
+                    l.faults_planted,
+                    l.detected_reads,
+                    l.corrected,
+                    l.repaired,
+                    l.degraded,
+                    l.machine_checks,
+                    l.scrub_lines,
+                    l.clean_redirects,
+                    rec_frac
+                )
+                .expect("write table row");
+                let label = format!("{} mshrs={mshrs} seed={seed:#x}", scheme.label());
+                gate.check(
+                    r.mem_ops == ops * 16,
+                    format!("{label}: all work completes"),
+                );
+                gate.check(l.consistent(), format!("{label}: ledger consistent {l:?}"));
+                gate.check(conserves(&r), format!("{label}: breakdown conserves"));
+                gate.check(
+                    l.scrub_slices > 0,
+                    format!("{label}: paced scrub ran ({} slices)", l.scrub_slices),
+                );
+                let again = chaos_cell(p, scheme, mshrs, seed, ops);
+                gate.check(
+                    again.cycles == r.cycles && again.recovery == r.recovery,
+                    format!("{label}: bit-identical on replay"),
+                );
+            }
+        }
+    }
+    table
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "smoke");
+    let p = backprop();
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+
+    golden_gate(&mut gate, &p);
+    directed_transitions(&mut gate, &p);
+    let table = randomized_matrix(&mut gate, &p, smoke);
+
+    println!("-- fault-rate × scheme latency table --");
+    print!("{table}");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/chaos_report.txt", &table).expect("write results/chaos_report.txt");
+    println!("wrote results/chaos_report.txt");
+
+    if gate.failures.is_empty() {
+        println!("chaos: all invariants held");
+        ExitCode::SUCCESS
+    } else {
+        println!("chaos: {} invariant(s) VIOLATED:", gate.failures.len());
+        for f in &gate.failures {
+            println!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

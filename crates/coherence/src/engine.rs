@@ -222,6 +222,11 @@ pub struct EngineStats {
     /// [`LatencyBreakdown::total`] equals the sum of `latency_sum`
     /// (every charged cycle is attributed to exactly one layer).
     pub latency_breakdown: LatencyBreakdown,
+    /// §V-E degraded-state transitions: counted once per actual edge
+    /// (enter *or* leave), so a redundant `set_degraded` to the current
+    /// state does not inflate it. The chaos harness uses this to prove
+    /// a fault schedule really drove the engine through degradation.
+    pub degraded_transitions: u64,
 }
 
 /// Index of a service level in [`EngineStats::served`].
@@ -398,6 +403,9 @@ impl ProtocolEngine {
     pub fn set_degraded(&mut self, degraded: bool, now: u64, fabric: &mut impl Fabric) {
         let was = self.degraded;
         self.degraded = degraded;
+        if was != degraded {
+            self.stats.degraded_transitions += 1;
+        }
         if degraded {
             for rd in &mut self.replica_dirs {
                 rd.drain();
@@ -1730,6 +1738,14 @@ mod tests {
         e.set_degraded(false, 25_000, &mut f);
         let o = e.access(2, HOME1 + 3, ReqType::Read, 30_000, &mut f);
         assert_eq!(o.service, ServiceLevel::LocalDram);
+        // Both edges counted; redundant sets are not.
+        assert_eq!(e.stats().degraded_transitions, 2);
+        e.set_degraded(false, 31_000, &mut f);
+        assert_eq!(
+            e.stats().degraded_transitions,
+            2,
+            "redundant set_degraded(false) is not a transition"
+        );
     }
 
     #[test]

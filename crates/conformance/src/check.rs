@@ -200,6 +200,20 @@ impl ConformanceChecker {
                 ),
             ));
         }
+        // 1c. The coherence engine itself never charges the recovery
+        // component — only the timed fabric's §V-B2 detour does, and the
+        // conformance model runs the protocol over a fault-free fabric.
+        // A non-zero value here means a protocol path misattributed
+        // ordinary service time to recovery.
+        if outcome.breakdown.recovery != 0 {
+            return Err(Self::violation(
+                idx,
+                format!(
+                    "conservation: protocol op charged {} recovery cycles on a fault-free fabric",
+                    outcome.breakdown.recovery
+                ),
+            ));
+        }
         self.now = outcome.complete_at.max(self.now) + 1;
 
         if write {

@@ -91,6 +91,20 @@ impl SystemBuilder {
         self
     }
 
+    /// ECC capability at every memory controller (chaos runs use the
+    /// detect-only profiles to force the §V-B2 replica detour).
+    pub fn ecc(mut self, ecc: dve_dram::controller::EccProfile) -> SystemBuilder {
+        self.cfg.ecc = ecc;
+        self
+    }
+
+    /// Arms the in-band chaos layer (fault schedule, link outages,
+    /// paced scrub). `None` disarms it.
+    pub fn chaos(mut self, chaos: Option<crate::chaos::ChaosConfig>) -> SystemBuilder {
+        self.cfg.chaos = chaos;
+        self
+    }
+
     /// LLC capacity per socket in bytes (scaling studies).
     pub fn llc_bytes(mut self, bytes: usize) -> SystemBuilder {
         self.cfg.engine.llc_bytes = bytes;

@@ -1,0 +1,527 @@
+//! In-band fault injection: deterministic fault schedules and the
+//! recovery ledger.
+//!
+//! The paper's §V-B2 claim is *operational*: a detected-uncorrectable
+//! DRAM error is corrected **online** from the other socket's replica,
+//! and hard failures degrade the region to one copy instead of
+//! crashing. Exercising that claim needs faults that arrive while the
+//! timed system is running — not out-of-band unit fixtures. This
+//! module provides the pieces the [`System`](crate::system::System)
+//! runner orchestrates:
+//!
+//! * [`FaultSchedule`] — a deterministic, seed-derived (via
+//!   [`dve_sim::rng::derive_seed`]) sequence of [`FaultEvent`]s that
+//!   plant transient or hard faults into specific controllers mid-run
+//!   (and optionally heal them later).
+//! * [`ChaosConfig`] — the full chaos envelope: the schedule,
+//!   inter-socket link outage windows with bounded-retry backoff
+//!   parameters, and paced patrol-scrub configuration.
+//! * [`RecoveryLedger`] — the run-wide accounting of every read that
+//!   took the recovery detour, with a [`consistent`] invariant the
+//!   chaos harness checks after every run:
+//!   `clean_redirects + corrected + machine_checks == detected_reads`
+//!   and `repaired + degraded == corrected`.
+//!
+//! [`consistent`]: RecoveryLedger::consistent
+//!
+//! Zero-fault discipline: a `ChaosConfig` with an empty schedule, no
+//! outages and no scrub leaves every demand access bit-identical to a
+//! run without chaos at all — the detection check is timing-neutral,
+//! so the pinned cycle-exact goldens must reproduce. The chaos harness
+//! (`cargo run -p dve-bench --bin chaos`) gates on exactly that.
+
+use dve_dram::fault::FaultDomain;
+use dve_sim::rng::{derive_seed, SplitMix64};
+
+/// RNG stream id for chaos schedules under [`derive_seed`] (one stream
+/// per subsystem; campaigns, benches and workloads use their own).
+pub const CHAOS_STREAM: u64 = 0xC4A0;
+
+/// Where a fault lands, relative to one controller. The fabric
+/// materializes this into a [`FaultDomain`] using the controller's
+/// *global* channel index (`socket * channels_per_socket + channel`),
+/// so schedules stay valid across schemes with different channel
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The whole controller (every read detects; the §V-B2 showcase).
+    Controller,
+    /// The controller's channel circuitry (same blast radius here —
+    /// one controller owns one channel).
+    Channel,
+    /// One DRAM device: corrupts one symbol of every codeword in the
+    /// rank (detected by DSD/TSD, corrected in place by chipkill).
+    Chip {
+        /// Rank within the channel.
+        rank: usize,
+        /// Device index within the rank.
+        chip: usize,
+    },
+    /// One row in one bank (wordline / row-hammer class).
+    Row {
+        /// Rank within the channel.
+        rank: usize,
+        /// Bank within the rank.
+        bank: usize,
+        /// Row index.
+        row: u64,
+    },
+    /// A single cache line, by *global* line address (the byte address
+    /// is `line * 64` at every controller holding a copy).
+    Line {
+        /// Global line address.
+        line: u64,
+    },
+}
+
+impl FaultSite {
+    /// Materializes the site into a [`FaultDomain`] for a controller
+    /// with global channel index `global_channel`.
+    pub fn domain(self, global_channel: usize) -> FaultDomain {
+        match self {
+            FaultSite::Controller => FaultDomain::Controller,
+            FaultSite::Channel => FaultDomain::Channel {
+                channel: global_channel,
+            },
+            FaultSite::Chip { rank, chip } => FaultDomain::Chip {
+                channel: global_channel,
+                rank,
+                chip,
+            },
+            FaultSite::Row { rank, bank, row } => FaultDomain::Row {
+                channel: global_channel,
+                rank,
+                bank,
+                row,
+            },
+            FaultSite::Line { line } => FaultDomain::Line {
+                channel: global_channel,
+                line,
+            },
+        }
+    }
+}
+
+/// What a [`FaultEvent`] does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Plant a fault. `transient` faults are cleared by the §V-B2
+    /// repair write (or a scrub rewrite); hard faults survive repair
+    /// and degrade the copy.
+    Plant {
+        /// Where the fault lands.
+        site: FaultSite,
+        /// Whether the repair write clears it.
+        transient: bool,
+    },
+    /// Heal a fault (field replacement / retraining): removes the
+    /// domain and lets the runner lift any degradation it caused.
+    Heal {
+        /// Where the fault was.
+        site: FaultSite,
+    },
+}
+
+/// One scheduled fault action against one controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulated cycle at (or after) which the action applies.
+    pub at: u64,
+    /// Target socket (0 or 1).
+    pub socket: usize,
+    /// Target channel *within* the socket.
+    pub channel: usize,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A deterministic, time-sorted fault schedule.
+///
+/// # Example
+///
+/// ```
+/// use dve::chaos::{ChaosParams, FaultSchedule};
+///
+/// let a = FaultSchedule::random(42, &ChaosParams::default());
+/// let b = FaultSchedule::random(42, &ChaosParams::default());
+/// assert_eq!(a, b, "seed-derived schedules are reproducible");
+/// assert!(FaultSchedule::empty().is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+/// Parameters for [`FaultSchedule::random`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosParams {
+    /// Number of faults to plant.
+    pub faults: usize,
+    /// Plant times are drawn uniformly from `[0, horizon)` cycles.
+    pub horizon: u64,
+    /// Fraction of planted faults that are transient (repair-clearable).
+    pub transient_fraction: f64,
+    /// If set, every *hard* fault is healed this many cycles after it
+    /// was planted (bounded damage; lets runs exercise recovery).
+    pub heal_after: Option<u64>,
+    /// Channels per socket to target (2 for replicated schemes).
+    pub channels_per_socket: usize,
+    /// Line-site faults are drawn from `[0, line_span)` global lines.
+    pub line_span: u64,
+}
+
+impl Default for ChaosParams {
+    fn default() -> ChaosParams {
+        ChaosParams {
+            faults: 4,
+            horizon: 2_000_000,
+            transient_fraction: 0.5,
+            heal_after: Some(1_000_000),
+            channels_per_socket: 2,
+            line_span: 1 << 14,
+        }
+    }
+}
+
+impl FaultSchedule {
+    /// An empty schedule (the zero-fault golden gate).
+    pub fn empty() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Builds a schedule from explicit events, sorting them by time
+    /// (stable, so same-cycle events keep their given order).
+    pub fn new(mut events: Vec<FaultEvent>) -> FaultSchedule {
+        events.sort_by_key(|e| e.at);
+        FaultSchedule { events }
+    }
+
+    /// Generates a randomized schedule, fully determined by `seed`:
+    /// each event draws its parameters from an independent child
+    /// generator obtained through [`derive_seed`]`(seed, CHAOS_STREAM,
+    /// i)`, so schedules never correlate with workload or bench
+    /// streams sharing the master seed.
+    ///
+    /// Random sites are drawn from the localized classes (line, row,
+    /// chip) — controller/channel wipes are for directed tests, not
+    /// background chaos.
+    pub fn random(seed: u64, p: &ChaosParams) -> FaultSchedule {
+        let mut events = Vec::with_capacity(p.faults * 2);
+        for i in 0..p.faults {
+            let mut rng = SplitMix64::new(derive_seed(seed, CHAOS_STREAM, i as u64));
+            let at = rng.next_below(p.horizon.max(1));
+            let socket = rng.next_below(2) as usize;
+            let channel = rng.next_below(p.channels_per_socket.max(1) as u64) as usize;
+            let site = match rng.next_below(4) {
+                0 | 1 => FaultSite::Line {
+                    line: rng.next_below(p.line_span.max(1)),
+                },
+                2 => FaultSite::Row {
+                    rank: rng.next_below(2) as usize,
+                    bank: rng.next_below(16) as usize,
+                    row: rng.next_below(256),
+                },
+                _ => FaultSite::Chip {
+                    rank: rng.next_below(2) as usize,
+                    chip: rng.next_below(16) as usize,
+                },
+            };
+            let transient = rng.chance(p.transient_fraction);
+            events.push(FaultEvent {
+                at,
+                socket,
+                channel,
+                action: FaultAction::Plant { site, transient },
+            });
+            if !transient {
+                if let Some(heal_after) = p.heal_after {
+                    events.push(FaultEvent {
+                        at: at.saturating_add(heal_after),
+                        socket,
+                        channel,
+                        action: FaultAction::Heal { site },
+                    });
+                }
+            }
+        }
+        FaultSchedule::new(events)
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events (plants + heals).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Paced patrol-scrub configuration: the scrubber walks
+/// `lines_per_slice` lines of the first `region_bytes` of every
+/// channel each `interval` cycles, through the controllers' normal
+/// timed path (scrub reads occupy banks and contend with demand
+/// traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubConfig {
+    /// Bytes of each channel covered by the patrol.
+    pub region_bytes: u64,
+    /// Lines read per slice.
+    pub lines_per_slice: u64,
+    /// Cycles between slice starts (a slice that overruns the interval
+    /// delays the next one — the patrol never overlaps itself).
+    pub interval: u64,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> ScrubConfig {
+        ScrubConfig {
+            region_bytes: 1 << 20,
+            lines_per_slice: 32,
+            interval: 100_000,
+        }
+    }
+}
+
+/// The full chaos envelope for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosConfig {
+    /// The fault schedule.
+    pub schedule: FaultSchedule,
+    /// Inter-socket link outage windows, sorted, non-overlapping,
+    /// half-open `[start, end)` in cycles. While a window is open the
+    /// engine falls back to local-copy-only service (§V-E) and
+    /// re-syncs on recovery.
+    pub link_outages: Vec<(u64, u64)>,
+    /// Backoff base for link retries (retry `k` waits
+    /// `retry_base * (2^k - 1)` cycles).
+    pub retry_base: u64,
+    /// Maximum link retries before a send fails over to local-only.
+    pub max_retries: u32,
+    /// Paced patrol scrub, if enabled.
+    pub scrub: Option<ScrubConfig>,
+}
+
+impl ChaosConfig {
+    /// A chaos layer that is *armed but inert*: no faults, no outages,
+    /// no scrub. Runs configured with this must be bit-identical to
+    /// runs without any chaos config — the golden gate.
+    pub fn inert() -> ChaosConfig {
+        ChaosConfig {
+            schedule: FaultSchedule::empty(),
+            link_outages: Vec::new(),
+            retry_base: 64,
+            max_retries: 6,
+            scrub: None,
+        }
+    }
+
+    /// Randomized chaos: a seed-derived schedule plus defaults for the
+    /// retry policy.
+    pub fn random(seed: u64, params: &ChaosParams) -> ChaosConfig {
+        ChaosConfig {
+            schedule: FaultSchedule::random(seed, params),
+            ..ChaosConfig::inert()
+        }
+    }
+}
+
+/// Run-wide accounting of the in-band recovery machinery. Every
+/// counter is cumulative over the run (warm-up included — faults do
+/// not respect measurement regions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryLedger {
+    /// Demand reads that entered the recovery path: the local read
+    /// reported detected-uncorrectable, or the copy was already
+    /// degraded and the read was redirected to the survivor.
+    pub detected_reads: u64,
+    /// Redirected reads of already-degraded copies that the survivor
+    /// served cleanly.
+    pub clean_redirects: u64,
+    /// Detected reads the other copy corrected (CE): the §V-B2 remote
+    /// fetch succeeded.
+    pub corrected: u64,
+    /// Corrected reads whose repair-and-reread succeeded — the fault
+    /// was transient (`CorrectedTransient`).
+    pub repaired: u64,
+    /// Corrected reads whose re-read still failed — the copy is hard
+    /// dead and the line degraded to single-copy service
+    /// (`CorrectedDegraded`).
+    pub degraded: u64,
+    /// Reads where every copy failed (DUE → machine-check exception).
+    pub machine_checks: u64,
+    /// Scrub slices executed.
+    pub scrub_slices: u64,
+    /// Lines patrol-read by the scrubber.
+    pub scrub_lines: u64,
+    /// Scrub reads corrected in place by local ECC.
+    pub scrub_corrected: u64,
+    /// Scrub reads that detected an uncorrectable error.
+    pub scrub_detected: u64,
+    /// Scrub detections escalated through the §V-B2 remote-correction
+    /// path proactively.
+    pub scrub_escalations: u64,
+    /// Link sends that needed at least one backoff retry.
+    pub link_retries: u64,
+    /// Link sends that exhausted the retry budget (fell back to
+    /// local-copy-only service).
+    pub link_failed_sends: u64,
+    /// Fault domains actually planted (double-plants not counted).
+    pub faults_planted: u64,
+    /// Fault domains actually healed (spurious heals not counted).
+    pub faults_healed: u64,
+}
+
+impl RecoveryLedger {
+    /// The ledger-consistency invariant the chaos harness checks after
+    /// every run:
+    ///
+    /// * every detected-path read resolves exactly one way:
+    ///   `clean_redirects + corrected + machine_checks ==
+    ///   detected_reads`;
+    /// * every correction either repaired the copy or degraded it:
+    ///   `repaired + degraded == corrected` (which implies the paper's
+    ///   weaker `degraded <= corrected`);
+    /// * the scrub report partition holds:
+    ///   `scrub_escalations <= scrub_detected <= scrub_lines`.
+    pub fn consistent(&self) -> bool {
+        self.clean_redirects + self.corrected + self.machine_checks == self.detected_reads
+            && self.repaired + self.degraded == self.corrected
+            && self.scrub_escalations <= self.scrub_detected
+            && self.scrub_detected <= self.scrub_lines
+    }
+
+    /// Whether any recovery activity happened at all (zero-fault runs
+    /// must report `false`).
+    pub fn any_activity(&self) -> bool {
+        self.detected_reads > 0
+            || self.scrub_detected > 0
+            || self.scrub_corrected > 0
+            || self.link_retries > 0
+            || self.link_failed_sends > 0
+            || self.faults_planted > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_seed_deterministic_and_sorted() {
+        let p = ChaosParams::default();
+        let a = FaultSchedule::random(7, &p);
+        let b = FaultSchedule::random(7, &p);
+        assert_eq!(a, b);
+        assert!(a.events().windows(2).all(|w| w[0].at <= w[1].at));
+        let c = FaultSchedule::random(8, &p);
+        assert_ne!(a, c, "different seeds, different schedules");
+    }
+
+    #[test]
+    fn hard_faults_get_heals_when_requested() {
+        let p = ChaosParams {
+            faults: 16,
+            transient_fraction: 0.0,
+            heal_after: Some(500),
+            ..ChaosParams::default()
+        };
+        let s = FaultSchedule::random(3, &p);
+        let plants = s
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::Plant { .. }))
+            .count();
+        let heals = s
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::Heal { .. }))
+            .count();
+        assert_eq!(plants, 16);
+        assert_eq!(heals, 16, "every hard fault is healed");
+        // Each heal matches a plant's site + offset.
+        for e in s.events() {
+            if let FaultAction::Heal { site } = e.action {
+                assert!(s.events().iter().any(|p_ev| matches!(
+                    p_ev.action,
+                    FaultAction::Plant { site: ps, transient: false } if ps == site
+                        && p_ev.at + 500 == e.at
+                        && p_ev.socket == e.socket
+                        && p_ev.channel == e.channel
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_never_healed_by_schedule() {
+        let p = ChaosParams {
+            faults: 16,
+            transient_fraction: 1.0,
+            heal_after: Some(500),
+            ..ChaosParams::default()
+        };
+        let s = FaultSchedule::random(3, &p);
+        assert!(s.events().iter().all(|e| matches!(
+            e.action,
+            FaultAction::Plant {
+                transient: true,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn site_materializes_with_global_channel() {
+        assert_eq!(
+            FaultSite::Chip { rank: 1, chip: 3 }.domain(3),
+            FaultDomain::Chip {
+                channel: 3,
+                rank: 1,
+                chip: 3
+            }
+        );
+        assert_eq!(
+            FaultSite::Line { line: 42 }.domain(1),
+            FaultDomain::Line {
+                channel: 1,
+                line: 42
+            }
+        );
+        assert_eq!(FaultSite::Controller.domain(0), FaultDomain::Controller);
+    }
+
+    #[test]
+    fn ledger_consistency_invariant() {
+        let mut l = RecoveryLedger::default();
+        assert!(l.consistent(), "empty ledger is consistent");
+        assert!(!l.any_activity());
+        l.detected_reads = 10;
+        l.clean_redirects = 2;
+        l.corrected = 7;
+        l.repaired = 4;
+        l.degraded = 3;
+        l.machine_checks = 1;
+        assert!(l.consistent());
+        assert!(l.any_activity());
+        l.degraded = 4; // repaired + degraded > corrected
+        assert!(!l.consistent());
+        l.degraded = 3;
+        l.machine_checks = 2; // partition broken
+        assert!(!l.consistent());
+    }
+
+    #[test]
+    fn inert_chaos_has_nothing_scheduled() {
+        let c = ChaosConfig::inert();
+        assert!(c.schedule.is_empty());
+        assert!(c.link_outages.is_empty());
+        assert!(c.scrub.is_none());
+    }
+}

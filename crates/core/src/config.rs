@@ -1,8 +1,10 @@
 //! System configuration — the paper's Table II, parameterized.
 
+use crate::chaos::ChaosConfig;
 use dve_coherence::engine::{EngineConfig, Mode};
 use dve_coherence::replica_dir::ReplicaPolicy;
 use dve_dram::config::DramConfig;
+use dve_dram::controller::EccProfile;
 use dve_sim::time::{Frequency, Nanos};
 
 /// The memory-system scheme under evaluation (the bars of Fig. 6).
@@ -90,6 +92,17 @@ pub struct SystemConfig {
     /// out of service (single functional copy). Performance should match
     /// baseline NUMA — the `ablation` harness checks this claim.
     pub degraded: bool,
+    /// ECC capability at every memory controller. The default
+    /// (chipkill) matches the controllers' own default, so configuring
+    /// it is behavior-neutral for fault-free runs; chaos runs use the
+    /// detect-only DSD/TSD profiles to force the §V-B2 replica detour.
+    pub ecc: EccProfile,
+    /// In-band fault injection (§V-B2 exercised live): `None` leaves
+    /// the demand path untouched; `Some` arms the chaos layer — demand
+    /// reads run the controller-edge ECC check and detected errors take
+    /// the timed recovery detour. An *inert* chaos config (empty
+    /// schedule, no outages, no scrub) is bit-identical to `None`.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl SystemConfig {
@@ -109,6 +122,8 @@ impl SystemConfig {
             dynamic_window: 5_000,
             mshrs: 1,
             degraded: false,
+            ecc: EccProfile::chipkill(),
+            chaos: None,
         }
     }
 

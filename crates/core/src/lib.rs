@@ -22,6 +22,9 @@
 //! * [`recovery`] — the §V-B2 recovery flow: ECC detection at one
 //!   controller, correction from the replica, repair-and-reread, and
 //!   degraded mode.
+//! * [`chaos`] — in-band fault injection: deterministic fault
+//!   schedules, link outages, paced patrol scrub, and the recovery
+//!   ledger checked by the `chaos` harness.
 //! * [`metrics`] — the paper's aggregates (geomean over top-10/15/all).
 //!
 //! # Quickstart
@@ -40,6 +43,7 @@
 //! ```
 
 pub mod builder;
+pub mod chaos;
 pub mod config;
 pub mod fabric_impl;
 pub mod metrics;
@@ -47,6 +51,7 @@ pub mod recovery;
 pub mod system;
 
 pub use builder::SystemBuilder;
+pub use chaos::{ChaosConfig, ChaosParams, FaultSchedule, RecoveryLedger};
 pub use config::{Scheme, SystemConfig};
 pub use recovery::{RecoverableMemory, RecoveryEvent, RecoveryOutcome};
 pub use system::{RunResult, System};

@@ -19,7 +19,7 @@ use dve_dram::config::DramConfig;
 use dve_dram::controller::{EccProfile, MemoryController};
 use dve_ecc::code::CheckOutcome;
 use dve_sim::time::Cycles;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 /// What a recoverable read observed end-to-end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,12 +92,21 @@ pub struct RecoverableMemory {
     /// Line addresses known degraded (one working copy only).
     degraded: HashSet<u64>,
     stats: RecoveryStats,
-    /// Non-clean reads observed since the last [`Self::take_events`].
-    events: Vec<RecoveryEvent>,
+    /// Non-clean reads observed since the last [`Self::take_events`],
+    /// bounded at `event_cap` entries: when full, the *oldest* event is
+    /// dropped (and counted) so a long undrained run keeps the most
+    /// recent history instead of growing without bound.
+    events: VecDeque<RecoveryEvent>,
     log_events: bool,
+    event_cap: usize,
+    dropped: u64,
 }
 
 impl RecoverableMemory {
+    /// Default bound on the undrained event log (entries). Chosen so a
+    /// campaign that forgets to drain between trials caps at ~100 KiB
+    /// of log instead of growing with run length.
+    pub const EVENT_LOG_CAP: usize = 4096;
     /// Builds a replicated region with the given ECC at both
     /// controllers.
     pub fn new(cfg: DramConfig, ecc: EccProfile) -> RecoverableMemory {
@@ -110,8 +119,10 @@ impl RecoverableMemory {
             replica,
             degraded: HashSet::new(),
             stats: RecoveryStats::default(),
-            events: Vec::new(),
+            events: VecDeque::new(),
             log_events: false,
+            event_cap: Self::EVENT_LOG_CAP,
+            dropped: 0,
         }
     }
 
@@ -151,10 +162,29 @@ impl RecoverableMemory {
         self.log_events = on;
     }
 
+    /// Overrides the event-log bound ([`Self::EVENT_LOG_CAP`] by
+    /// default). A cap of 0 records nothing (every event counts as
+    /// dropped while logging is on).
+    pub fn set_event_log_cap(&mut self, cap: usize) {
+        self.event_cap = cap;
+        while self.events.len() > cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// Events evicted from the bounded log before they were drained
+    /// (cumulative over the run; never reset by [`Self::take_events`]).
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
     /// Drains and returns all recovery events logged since the last
-    /// call (or since logging was enabled).
+    /// call (or since logging was enabled), oldest first. If the
+    /// bounded log overflowed in between, [`Self::dropped_events`]
+    /// says how many were lost.
     pub fn take_events(&mut self) -> Vec<RecoveryEvent> {
-        std::mem::take(&mut self.events)
+        std::mem::take(&mut self.events).into()
     }
 
     /// Reads `addr` with full recovery semantics. Returns the outcome
@@ -162,11 +192,17 @@ impl RecoverableMemory {
     pub fn read(&mut self, addr: u64, now: u64) -> (RecoveryOutcome, u64) {
         let (outcome, done) = self.read_inner(addr, now);
         if self.log_events && outcome != RecoveryOutcome::Clean {
-            self.events.push(RecoveryEvent {
-                addr,
-                at: now,
-                outcome,
-            });
+            if self.events.len() >= self.event_cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+            if self.event_cap > 0 {
+                self.events.push_back(RecoveryEvent {
+                    addr,
+                    at: now,
+                    outcome,
+                });
+            }
         }
         (outcome, done)
     }
@@ -242,6 +278,51 @@ mod tests {
         assert_eq!(events[0].addr, 0x80);
         assert_eq!(events[0].outcome, RecoveryOutcome::CorrectedDegraded);
         assert!(mem.take_events().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn event_log_is_bounded_with_dropped_counter() {
+        let mut mem = RecoverableMemory::new_dve_tsd();
+        mem.set_event_logging(true);
+        mem.set_event_log_cap(8);
+        mem.primary_mut().faults_mut().fail(FaultDomain::Controller);
+        // 20 distinct lines: every first read is CorrectedDegraded and
+        // gets logged; the ring keeps only the newest 8.
+        for i in 0..20u64 {
+            mem.read(i * 64, i * 100_000);
+        }
+        assert_eq!(mem.dropped_events(), 12);
+        let events = mem.take_events();
+        assert_eq!(events.len(), 8, "log stays within the cap");
+        assert_eq!(events[0].addr, 12 * 64, "oldest entries were evicted");
+        assert_eq!(events[7].addr, 19 * 64, "newest entry survives");
+        assert_eq!(
+            mem.dropped_events(),
+            12,
+            "drain does not reset the cumulative counter"
+        );
+        // A long undrained run with the default cap stays within it.
+        let mut mem = RecoverableMemory::new_dve_tsd();
+        mem.set_event_logging(true);
+        mem.primary_mut().faults_mut().fail(FaultDomain::Controller);
+        for i in 0..(RecoverableMemory::EVENT_LOG_CAP as u64 + 100) {
+            mem.read(i * 64, i * 100_000);
+        }
+        assert_eq!(mem.take_events().len(), RecoverableMemory::EVENT_LOG_CAP);
+        assert_eq!(mem.dropped_events(), 100);
+    }
+
+    #[test]
+    fn zero_cap_records_nothing_and_counts_everything() {
+        let mut mem = RecoverableMemory::new_dve_tsd();
+        mem.set_event_logging(true);
+        mem.set_event_log_cap(0);
+        mem.primary_mut().faults_mut().fail(FaultDomain::Controller);
+        for i in 0..5u64 {
+            mem.read(i * 64, i * 100_000);
+        }
+        assert!(mem.take_events().is_empty());
+        assert_eq!(mem.dropped_events(), 5);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! allow and deny state machines back-to-back and applies the winner
 //! for the rest of the epoch (§V-C5).
 
+use crate::chaos::{FaultEvent, RecoveryLedger, ScrubConfig};
 use crate::config::{Scheme, SystemConfig};
 use crate::fabric_impl::SystemFabric;
 use dve_coherence::engine::{EngineStats, ProtocolEngine};
@@ -21,6 +22,7 @@ use dve_coherence::replica_dir::ReplicaPolicy;
 use dve_coherence::types::ReqType;
 use dve_dram::energy::EnergyParams;
 use dve_noc::traffic::TrafficStats;
+use dve_sim::event::EventQueue;
 use dve_sim::latency::LatencyBreakdown;
 use dve_sim::resource::Resource;
 use dve_sim::time::Cycles;
@@ -68,6 +70,10 @@ pub struct RunResult {
     /// Worst-case per-row activation count within one refresh window
     /// across all controllers — the row-hammer exposure metric (§III).
     pub max_row_activations: u64,
+    /// In-band recovery accounting over the *whole run* (faults do not
+    /// respect measurement regions). All-zero when the chaos layer is
+    /// disarmed or inert.
+    pub recovery: RecoveryLedger,
 }
 
 impl RunResult {
@@ -98,6 +104,23 @@ pub struct System {
     /// runner's semantics, cycle-for-cycle); with more ways the core
     /// issues and runs ahead until the ways are exhausted.
     mshrs: Vec<Resource>,
+    /// Whether the chaos layer is armed ([`SystemConfig::chaos`]).
+    chaos_active: bool,
+    /// The fault schedule, time-sorted; `chaos_cursor` indexes the next
+    /// event not yet applied.
+    chaos_events: Vec<FaultEvent>,
+    chaos_cursor: usize,
+    /// Pending paced scrub slices: `(socket, channel)` scheduled on the
+    /// simulation's event queue, rescheduled `interval` cycles after
+    /// each slice finishes (the patrol never overlaps itself).
+    scrub_queue: EventQueue<(usize, usize)>,
+    scrub_cfg: Option<ScrubConfig>,
+    /// §V-E fallback: the inter-socket link is inside an outage window,
+    /// so the engine runs local-copy-only until the window closes.
+    outage_degraded: bool,
+    /// §V-B2 aftermath: a hard fault took a copy out of service; the
+    /// engine stays degraded until a heal lifts the last degradation.
+    fault_degraded: bool,
 }
 
 impl System {
@@ -111,6 +134,21 @@ impl System {
         let gen = TraceGenerator::new(profile, cfg.engine.cores, seed);
         let cores = cfg.engine.cores;
         let ways = cfg.mshrs;
+        let chaos_active = cfg.chaos.is_some();
+        let mut chaos_events = Vec::new();
+        let mut scrub_cfg = None;
+        let mut scrub_queue = EventQueue::new();
+        if let Some(chaos) = &cfg.chaos {
+            chaos_events = chaos.schedule.events().to_vec();
+            scrub_cfg = chaos.scrub;
+            if let Some(scrub) = &chaos.scrub {
+                for s in 0..2 {
+                    for ch in 0..cfg.channels_per_socket() {
+                        scrub_queue.push(scrub.interval, (s, ch));
+                    }
+                }
+            }
+        }
         System {
             cfg,
             engine,
@@ -119,6 +157,72 @@ impl System {
             workload: profile.name.to_string(),
             core_time: vec![0; cores],
             mshrs: (0..cores).map(|_| Resource::new(ways)).collect(),
+            chaos_active,
+            chaos_events,
+            chaos_cursor: 0,
+            scrub_queue,
+            scrub_cfg,
+            outage_degraded: false,
+            fault_degraded: false,
+        }
+    }
+
+    /// Advances the chaos layer to simulated time `now`: applies due
+    /// fault events, runs due patrol-scrub slices, and tracks the two
+    /// degradation sources (link outage windows and hard-degraded
+    /// copies) into the engine's §V-E state. A no-op when the chaos
+    /// layer is disarmed — and cheap enough to sit on the scheduler's
+    /// hot path either way.
+    fn advance_chaos(&mut self, now: u64) {
+        if !self.chaos_active {
+            return;
+        }
+        // Due fault plants/heals.
+        while self.chaos_cursor < self.chaos_events.len()
+            && self.chaos_events[self.chaos_cursor].at <= now
+        {
+            let ev = self.chaos_events[self.chaos_cursor];
+            self.fabric.apply_fault_event(&ev);
+            self.chaos_cursor += 1;
+        }
+        // Due scrub slices: each runs through the controllers' timed
+        // path (contending with demand traffic) and reschedules itself
+        // `interval` cycles after it finished.
+        if let Some(scrub) = self.scrub_cfg {
+            while self.scrub_queue.peek_time().is_some_and(|t| t <= now) {
+                let (at, (s, ch)) = self.scrub_queue.pop().expect("peeked");
+                let end = self.fabric.scrub_tick(s, ch, at, scrub.lines_per_slice);
+                self.scrub_queue.push(end.max(at) + scrub.interval, (s, ch));
+            }
+        }
+        // §V-E edges. A link outage forces local-copy-only service for
+        // the duration of the window; leaving it re-syncs the replicas
+        // (deny-RM re-push inside `set_degraded`). A hard-degraded copy
+        // keeps the engine degraded until a heal lifts the last one.
+        let in_outage = self.fabric.link_outage_until(now).is_some();
+        let mut changed = in_outage != self.outage_degraded;
+        self.outage_degraded = in_outage;
+        if self.fabric.take_pending_degrade() {
+            changed |= !self.fault_degraded;
+            self.fault_degraded = true;
+        } else if self.fault_degraded && !self.fabric.has_degraded_lines() {
+            self.fault_degraded = false;
+            changed = true;
+        }
+        if changed {
+            self.apply_degraded(now);
+        }
+    }
+
+    /// Reconciles the engine's degraded state with the three sources
+    /// that demand it (the §V-E config knob, an open link outage
+    /// window, a hard-degraded copy). Only actual edges reach
+    /// [`ProtocolEngine::set_degraded`], so the engine's
+    /// `degraded_transitions` counter counts real transitions.
+    fn apply_degraded(&mut self, now: u64) {
+        let want = self.cfg.degraded || self.outage_degraded || self.fault_degraded;
+        if want != self.engine.is_degraded() {
+            self.engine.set_degraded(want, now, &mut self.fabric);
         }
     }
 
@@ -144,6 +248,7 @@ impl System {
         let mut total_mem = 0u64;
         while live > 0 {
             let (Reverse(now), core) = heap.pop().expect("live cores remain");
+            self.advance_chaos(now);
             let op = self.gen.next_op(core);
             total_ops += 1;
             let next = match op {
@@ -289,6 +394,7 @@ impl System {
             dram_rows: rows,
             dram_queue: queue,
             max_row_activations,
+            recovery: self.fabric.ledger(),
         }
     }
 
@@ -588,6 +694,180 @@ mod tests {
         // Overlapped runs stay deterministic.
         let again = run_with(4);
         assert_eq!(overlapped.cycles, again.cycles);
+    }
+
+    #[test]
+    fn inert_chaos_is_bit_identical_to_disarmed() {
+        use crate::chaos::ChaosConfig;
+        let p = catalog()
+            .into_iter()
+            .find(|p| p.name == "backprop")
+            .unwrap();
+        for scheme in [Scheme::BaselineNuma, Scheme::DveAllow, Scheme::DveDeny] {
+            let mut cfg = SystemConfig::table_ii(scheme);
+            cfg.ops_per_thread = 500;
+            cfg.warmup_per_thread = 50;
+            let plain = System::new(cfg.clone(), &p, 42).run();
+            cfg.chaos = Some(ChaosConfig::inert());
+            let armed = System::new(cfg, &p, 42).run();
+            assert_eq!(plain.cycles, armed.cycles, "{scheme:?}: cycle-exact");
+            assert_eq!(plain.latency, armed.latency, "{scheme:?}: same breakdown");
+            assert_eq!(
+                plain.traffic.total_bytes(),
+                armed.traffic.total_bytes(),
+                "{scheme:?}: same traffic"
+            );
+            assert!(
+                !armed.recovery.any_activity(),
+                "{scheme:?}: inert means inert"
+            );
+            assert_eq!(armed.latency.recovery, 0, "{scheme:?}: no recovery time");
+        }
+    }
+
+    fn chaos_run(
+        scheme: Scheme,
+        chaos: crate::chaos::ChaosConfig,
+        ops: u64,
+        seed: u64,
+    ) -> RunResult {
+        let p = catalog()
+            .into_iter()
+            .find(|p| p.name == "backprop")
+            .unwrap();
+        let mut cfg = SystemConfig::table_ii(scheme);
+        cfg.ops_per_thread = ops;
+        cfg.warmup_per_thread = ops / 10;
+        cfg.chaos = Some(chaos);
+        System::new(cfg, &p, seed).run()
+    }
+
+    #[test]
+    fn transient_controller_fault_is_repaired_in_band() {
+        use crate::chaos::{ChaosConfig, FaultAction, FaultEvent, FaultSchedule, FaultSite};
+        let chaos = ChaosConfig {
+            schedule: FaultSchedule::new(vec![FaultEvent {
+                at: 1_000,
+                socket: 0,
+                channel: 0,
+                action: FaultAction::Plant {
+                    site: FaultSite::Controller,
+                    transient: true,
+                },
+            }]),
+            ..ChaosConfig::inert()
+        };
+        let r = chaos_run(Scheme::DveDeny, chaos, 500, 42);
+        assert_eq!(r.recovery.faults_planted, 1);
+        assert_eq!(r.recovery.repaired, 1, "first detected read repairs it");
+        assert_eq!(r.recovery.degraded, 0);
+        assert!(r.recovery.consistent(), "{:?}", r.recovery);
+        assert_eq!(
+            r.engine.degraded_transitions, 0,
+            "a repaired transient never degrades the engine"
+        );
+    }
+
+    #[test]
+    fn hard_fault_degrades_engine_and_heal_restores_it() {
+        use crate::chaos::{ChaosConfig, FaultAction, FaultEvent, FaultSchedule, FaultSite};
+        let chaos = ChaosConfig {
+            schedule: FaultSchedule::new(vec![
+                FaultEvent {
+                    at: 1_000,
+                    socket: 0,
+                    channel: 0,
+                    action: FaultAction::Plant {
+                        site: FaultSite::Controller,
+                        transient: false,
+                    },
+                },
+                FaultEvent {
+                    at: 25_000,
+                    socket: 0,
+                    channel: 0,
+                    action: FaultAction::Heal {
+                        site: FaultSite::Controller,
+                    },
+                },
+            ]),
+            ..ChaosConfig::inert()
+        };
+        let r = chaos_run(Scheme::DveDeny, chaos, 500, 42);
+        assert!(r.recovery.degraded > 0, "hard fault degrades copies");
+        assert_eq!(r.recovery.faults_healed, 1);
+        assert!(
+            r.engine.degraded_transitions >= 2,
+            "entered and left §V-E degraded state: {}",
+            r.engine.degraded_transitions
+        );
+        assert!(r.recovery.consistent(), "{:?}", r.recovery);
+        assert!(r.latency.recovery > 0, "detours cost measured time");
+        // Determinism: the same chaos run reproduces bit-for-bit.
+        let chaos2 = crate::chaos::ChaosConfig {
+            schedule: crate::chaos::FaultSchedule::new(vec![
+                FaultEvent {
+                    at: 1_000,
+                    socket: 0,
+                    channel: 0,
+                    action: FaultAction::Plant {
+                        site: FaultSite::Controller,
+                        transient: false,
+                    },
+                },
+                FaultEvent {
+                    at: 25_000,
+                    socket: 0,
+                    channel: 0,
+                    action: FaultAction::Heal {
+                        site: FaultSite::Controller,
+                    },
+                },
+            ]),
+            ..crate::chaos::ChaosConfig::inert()
+        };
+        let again = chaos_run(Scheme::DveDeny, chaos2, 500, 42);
+        assert_eq!(r.cycles, again.cycles);
+        assert_eq!(r.recovery, again.recovery);
+    }
+
+    #[test]
+    fn link_outage_window_forces_and_lifts_degraded_mode() {
+        use crate::chaos::ChaosConfig;
+        let chaos = ChaosConfig {
+            link_outages: vec![(2_000, 12_000)],
+            ..ChaosConfig::inert()
+        };
+        let r = chaos_run(Scheme::DveDeny, chaos, 500, 42);
+        assert_eq!(
+            r.engine.degraded_transitions, 2,
+            "one §V-E round trip for the outage window"
+        );
+        assert_eq!(r.mem_ops, 500 * 16, "all work still completes");
+        assert!(r.recovery.consistent());
+    }
+
+    #[test]
+    fn paced_scrub_runs_and_contends_without_faults() {
+        use crate::chaos::{ChaosConfig, ScrubConfig};
+        let chaos = ChaosConfig {
+            scrub: Some(ScrubConfig {
+                region_bytes: 1 << 14,
+                lines_per_slice: 16,
+                interval: 5_000,
+            }),
+            ..ChaosConfig::inert()
+        };
+        let r = chaos_run(Scheme::DveDeny, chaos, 500, 42);
+        assert!(r.recovery.scrub_slices > 0, "the patrol ran");
+        assert_eq!(
+            r.recovery.scrub_lines,
+            r.recovery.scrub_slices * 16,
+            "fault-free slices never clip early"
+        );
+        assert_eq!(r.recovery.scrub_detected, 0);
+        assert_eq!(r.recovery.detected_reads, 0, "no demand detour");
+        assert!(r.recovery.consistent());
     }
 
     #[test]

@@ -99,6 +99,75 @@ proptest! {
         prop_assert_eq!(mem.stats().machine_checks, 0);
     }
 
+    // The recovery state machine never over-reports repairs
+    // (`repaired <= corrected`, with `repaired + degraded == corrected`
+    // exactly), keeps the outcome partition
+    // (`clean + corrected + machine_checks == reads`), and never
+    // degrades an already-degraded line twice — under arbitrary
+    // interleavings of fault plants, fault repairs and reads.
+    #[test]
+    fn recovery_state_machine_invariants(
+        ops in proptest::collection::vec((0u64..16, 0u8..4), 1..40),
+    ) {
+        let mut mem = RecoverableMemory::new_dve_tsd();
+        let mut reads = 0u64;
+        for (i, &(line, kind)) in ops.iter().enumerate() {
+            let d = FaultDomain::Line { channel: 0, line };
+            match kind {
+                0 => { mem.primary_mut().faults_mut().fail(d); }
+                1 => { mem.primary_mut().faults_mut().repair(d); }
+                2 => { mem.replica_mut().faults_mut().fail(d); }
+                _ => {
+                    mem.read(line * 64, i as u64 * 1_000_000);
+                    reads += 1;
+                }
+            }
+            let s = mem.stats();
+            prop_assert!(s.repaired <= s.corrected);
+            prop_assert_eq!(s.repaired + s.degraded, s.corrected);
+            prop_assert_eq!(s.clean + s.corrected + s.machine_checks, reads);
+        }
+        // Re-reading degraded lines redirects; it never re-degrades.
+        let degraded_before = mem.stats().degraded;
+        for line in 0..16u64 {
+            if mem.is_degraded(line * 64) {
+                mem.read(line * 64, 1_000_000_000);
+            }
+        }
+        prop_assert_eq!(mem.stats().degraded, degraded_before);
+    }
+
+    // Full-system chaos: a randomized seed-derived fault schedule keeps
+    // the recovery ledger consistent, completes all scheduled work, and
+    // reproduces bit-for-bit when re-run.
+    #[test]
+    fn random_chaos_keeps_ledger_consistent(seed in any::<u64>(), scheme_idx in 2usize..5) {
+        use dve::chaos::{ChaosConfig, ChaosParams};
+        let scheme = Scheme::ALL[scheme_idx];
+        let p = &catalog()[0];
+        let params = ChaosParams {
+            faults: 3,
+            horizon: 60_000,
+            heal_after: Some(30_000),
+            ..ChaosParams::default()
+        };
+        let run = || {
+            let mut cfg = SystemConfig::table_ii(scheme);
+            cfg.ops_per_thread = 300;
+            cfg.warmup_per_thread = 30;
+            cfg.ecc = dve_dram::controller::EccProfile::tsd();
+            cfg.chaos = Some(ChaosConfig::random(seed, &params));
+            System::new(cfg, p, seed).run()
+        };
+        let r = run();
+        // All scheduled work completes despite faults.
+        prop_assert_eq!(r.mem_ops, 300 * 16);
+        prop_assert!(r.recovery.consistent(), "{:?}", r.recovery);
+        let again = run();
+        prop_assert_eq!(r.cycles, again.cycles);
+        prop_assert_eq!(r.recovery, again.recovery);
+    }
+
     // Degraded Dvé tracks baseline NUMA cycle-for-cycle (§V-E).
     #[test]
     fn degraded_equals_baseline(seed in any::<u64>(), profile_idx in 0usize..20) {

@@ -281,6 +281,29 @@ impl MemoryController {
         }
     }
 
+    /// Whether a read of `addr` would report detected-uncorrectable
+    /// under the current fault state and ECC capability — the pure
+    /// predicate behind [`read_with_check`], with no timing, stats or
+    /// energy side effects. The recovery layer uses it to re-validate
+    /// degraded-line records after heal events.
+    ///
+    /// [`read_with_check`]: MemoryController::read_with_check
+    pub fn would_detect(&self, addr: u64) -> bool {
+        match self.faults.impact(self.channel, addr, &self.mapper) {
+            None => false,
+            Some(i) => i.whole_codeword || i.symbols_corrupted > self.ecc.correct_symbols,
+        }
+    }
+
+    /// The failed fault domains whose footprint covers `addr` at this
+    /// controller (see [`FaultState::domains_hitting`]). The §V-B2
+    /// repair step uses this to decide which transient domains a
+    /// successful rewrite clears.
+    pub fn faulty_domains_at(&self, addr: u64) -> Vec<crate::fault::FaultDomain> {
+        self.faults
+            .domains_hitting(self.channel, addr, &self.mapper)
+    }
+
     /// Performs a read and runs the controller-edge ECC check against the
     /// active fault state.
     ///

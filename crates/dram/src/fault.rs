@@ -89,15 +89,39 @@ impl FaultState {
         FaultState::default()
     }
 
-    /// Marks a component as failed. Returns `true` if newly failed.
+    /// Marks a component as failed.
+    ///
+    /// # Edge contract
+    ///
+    /// `fail` is a set insert: failing an already-failed domain is a
+    /// no-op on the state, and the return value reports it accurately —
+    /// `true` only when the domain transitions healthy → failed,
+    /// `false` when it was already failed (double-`fail`). Callers that
+    /// count injected faults (campaign samplers, the chaos schedule
+    /// executor) must branch on this bool rather than assume every call
+    /// planted something new.
     pub fn fail(&mut self, domain: FaultDomain) -> bool {
         self.domains.insert(domain)
     }
 
     /// Repairs a component (e.g. after a successful scrub of a transient
-    /// fault, §V-B2). Returns `true` if it was failed.
+    /// fault, §V-B2).
+    ///
+    /// # Edge contract
+    ///
+    /// `repair` is a set remove: repairing a domain that is not failed
+    /// is a no-op on the state, and the return value reports it
+    /// accurately — `true` only when the domain transitions
+    /// failed → healthy, `false` when it was absent (spurious repair).
+    /// Recovery ledgers must only count a repair when this returns
+    /// `true`.
     pub fn repair(&mut self, domain: FaultDomain) -> bool {
         self.domains.remove(&domain)
+    }
+
+    /// Whether `domain` is currently failed.
+    pub fn is_failed(&self, domain: FaultDomain) -> bool {
+        self.domains.contains(&domain)
     }
 
     /// Whether any fault is active.
@@ -123,6 +147,53 @@ impl FaultState {
         self.domains.iter().copied()
     }
 
+    /// Whether failed-or-not domain `d` would affect a read of
+    /// channel-local byte address described by (`channel`, `coord`,
+    /// `line`). Pure geometry — does not consult the failed set.
+    fn domain_covers(d: FaultDomain, channel: usize, coord: &DramCoord, line: u64) -> bool {
+        match d {
+            FaultDomain::Controller => true,
+            FaultDomain::Channel { channel: c } => c == channel,
+            FaultDomain::Chip {
+                channel: c,
+                rank,
+                chip: _,
+            } => c == channel && rank == coord.rank,
+            FaultDomain::Row {
+                channel: c,
+                rank,
+                bank,
+                row,
+            } => c == channel && rank == coord.rank && bank == coord.bank && row == coord.row,
+            FaultDomain::Line {
+                channel: c,
+                line: l,
+            } => c == channel && l == line,
+        }
+    }
+
+    /// The currently failed domains whose footprint covers a read of
+    /// channel-local byte address `addr` on `channel`, in no particular
+    /// order. The §V-B2 repair step uses this to know which transient
+    /// domains a successful rewrite clears.
+    pub fn domains_hitting(
+        &self,
+        channel: usize,
+        addr: u64,
+        mapper: &AddressMapper,
+    ) -> Vec<FaultDomain> {
+        if self.domains.is_empty() {
+            return Vec::new();
+        }
+        let coord: DramCoord = mapper.decode(addr);
+        let line = addr / mapper.config().line_bytes as u64;
+        self.domains
+            .iter()
+            .copied()
+            .filter(|&d| Self::domain_covers(d, channel, &coord, line))
+            .collect()
+    }
+
     /// Computes the impact of active faults on a read of channel-local
     /// byte address `addr` on `channel`. `None` means the read is clean.
     pub fn impact(&self, channel: usize, addr: u64, mapper: &AddressMapper) -> Option<FaultImpact> {
@@ -134,35 +205,14 @@ impl FaultState {
         let mut symbols = 0usize;
         let mut whole = false;
         for d in &self.domains {
+            if !Self::domain_covers(*d, channel, &coord, line) {
+                continue;
+            }
             match *d {
-                FaultDomain::Controller => whole = true,
-                FaultDomain::Channel { channel: c } if c == channel => whole = true,
-                FaultDomain::Chip {
-                    channel: c,
-                    rank,
-                    chip: _,
-                } if c == channel && rank == coord.rank => {
-                    symbols += 1;
-                }
-                FaultDomain::Row {
-                    channel: c,
-                    rank,
-                    bank,
-                    row,
-                } if c == channel
-                    && rank == coord.rank
-                    && bank == coord.bank
-                    && row == coord.row =>
-                {
-                    whole = true; // a dead row loses the whole line
-                }
-                FaultDomain::Line {
-                    channel: c,
-                    line: l,
-                } if c == channel && l == line => {
-                    whole = true;
-                }
-                _ => {}
+                FaultDomain::Chip { .. } => symbols += 1,
+                // Controller/channel faults wipe the codeword; a dead
+                // row or dead line loses the whole line.
+                _ => whole = true,
             }
         }
         if whole {
@@ -291,5 +341,69 @@ mod tests {
         assert!(f.repair(d));
         assert!(!f.repair(d));
         assert!(f.impact(0, 0, &mapper()).is_none());
+    }
+
+    #[test]
+    fn double_fail_reports_false_and_keeps_one_domain() {
+        let mut f = FaultState::new();
+        let d = FaultDomain::Row {
+            channel: 0,
+            rank: 1,
+            bank: 3,
+            row: 7,
+        };
+        assert!(f.fail(d), "first fail transitions healthy -> failed");
+        assert!(!f.fail(d), "second fail reports already-failed");
+        assert_eq!(f.len(), 1, "no duplicate domain recorded");
+        assert!(f.is_failed(d));
+        // One repair fully heals it — the double-fail did not stack.
+        assert!(f.repair(d));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn repair_of_absent_domain_reports_false_and_is_noop() {
+        let mut f = FaultState::new();
+        let present = FaultDomain::Chip {
+            channel: 0,
+            rank: 0,
+            chip: 4,
+        };
+        let absent = FaultDomain::Chip {
+            channel: 0,
+            rank: 0,
+            chip: 5,
+        };
+        f.fail(present);
+        assert!(!f.repair(absent), "spurious repair reports false");
+        assert_eq!(f.len(), 1, "state untouched by spurious repair");
+        assert!(f.is_failed(present));
+        assert!(!f.is_failed(absent));
+    }
+
+    #[test]
+    fn domains_hitting_selects_exactly_the_covering_faults() {
+        let m = mapper();
+        let mut f = FaultState::new();
+        let chip = FaultDomain::Chip {
+            channel: 0,
+            rank: 0,
+            chip: 2,
+        };
+        let line = FaultDomain::Line {
+            channel: 0,
+            line: 0x1000 / 64,
+        };
+        let other_chan = FaultDomain::Channel { channel: 1 };
+        f.fail(chip);
+        f.fail(line);
+        f.fail(other_chan);
+        let hits = f.domains_hitting(0, 0x1000, &m);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&chip) && hits.contains(&line));
+        // The neighbouring line only sees the rank-wide chip fault.
+        assert_eq!(f.domains_hitting(0, 0x1040, &m), vec![chip]);
+        // Channel 1 only sees the channel fault.
+        assert_eq!(f.domains_hitting(1, 0x1000, &m), vec![other_chan]);
     }
 }

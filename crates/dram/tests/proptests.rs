@@ -63,6 +63,83 @@ proptest! {
         prop_assert!(f.impact(0, addr, &mapper).is_none());
     }
 
+    // ScrubReport partition invariant under arbitrary fault
+    // populations: every patrol-read line is exactly one of
+    // clean / corrected / detected, for full passes and for paced
+    // slices alike — and the slices of one pass sum to the full pass.
+    #[test]
+    fn scrub_report_partitions_lines(
+        lines in proptest::collection::btree_set(0u64..64, 0..8),
+        chips in proptest::collection::btree_set(0usize..4, 0..3),
+        slice_lines in 1u64..32,
+    ) {
+        use dve_dram::scrub::Scrubber;
+        let region: u64 = 1 << 12; // 64 lines
+        let mk = || {
+            let mut mc = MemoryController::new(0, DramConfig::ddr4_2400_no_refresh());
+            for &line in &lines {
+                mc.faults_mut().fail(FaultDomain::Line { channel: 0, line });
+            }
+            for &chip in &chips {
+                mc.faults_mut().fail(FaultDomain::Chip { channel: 0, rank: 0, chip });
+            }
+            mc
+        };
+        // Full pass partitions.
+        let mut mc = mk();
+        let full = Scrubber::new(region).full_pass(&mut mc, 0);
+        prop_assert_eq!(full.lines, full.clean + full.corrected + full.detected);
+        prop_assert_eq!(full.lines, region / 64);
+        // Paced slices partition individually and sum to one pass.
+        // (Corrected lines are rewritten in place by both paths, so we
+        // compare against a fresh controller with the same faults.)
+        let mut mc = mk();
+        let mut s = Scrubber::new(region);
+        let mut sum = dve_dram::scrub::ScrubReport::default();
+        let mut t = 0u64;
+        while s.passes() == 0 {
+            let slice = s.slice(&mut mc, t, slice_lines);
+            let r = &slice.report;
+            prop_assert_eq!(r.lines, r.clean + r.corrected + r.detected);
+            prop_assert_eq!(u64::from(slice.wrapped), s.passes());
+            sum.lines += r.lines;
+            sum.clean += r.clean;
+            sum.corrected += r.corrected;
+            sum.detected += r.detected;
+            t = slice.end;
+        }
+        prop_assert_eq!(sum.lines, full.lines);
+        prop_assert_eq!(sum.clean, full.clean);
+        prop_assert_eq!(sum.corrected, full.corrected);
+        prop_assert_eq!(sum.detected, full.detected);
+    }
+
+    // Scrub duration is monotone in the number of lines patrolled:
+    // prefixes of a pass never cost more than the longer run, whatever
+    // fault population is present.
+    #[test]
+    fn scrub_duration_monotone_in_lines(
+        lines in proptest::collection::btree_set(0u64..128, 0..10),
+        regions in proptest::collection::btree_set(1u64..16, 2..6),
+    ) {
+        use dve_dram::scrub::Scrubber;
+        let mut last = (0u64, 0u64); // (lines, duration)
+        for &r in &regions {
+            let mut mc = MemoryController::new(0, DramConfig::ddr4_2400_no_refresh());
+            for &line in &lines {
+                mc.faults_mut().fail(FaultDomain::Line { channel: 0, line });
+            }
+            let report = Scrubber::new(r * 4096).full_pass(&mut mc, 0);
+            prop_assert!(report.lines > last.0);
+            prop_assert!(
+                report.duration >= last.1,
+                "{} lines took {} < {} for {} lines",
+                report.lines, report.duration, last.1, last.0
+            );
+            last = (report.lines, report.duration);
+        }
+    }
+
     // Energy accounting is additive under merge.
     #[test]
     fn energy_additive(reads in 0u64..1000, writes in 0u64..1000, acts in 0u64..1000) {

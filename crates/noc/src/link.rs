@@ -19,6 +19,27 @@
 use dve_sim::resource::{Resource, ResourceStats};
 use dve_sim::time::{Cycles, Frequency, Nanos};
 
+/// Outcome of a send attempted under outage windows
+/// ([`InterSocketLink::transfer_resilient`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSendOutcome {
+    /// The message got onto the wire (possibly after retries); carries
+    /// the arrival time at the far socket and the retry count.
+    Delivered {
+        /// Arrival time at the destination socket.
+        arrival: Cycles,
+        /// Number of retries before the send succeeded (0 = first try).
+        retries: u32,
+    },
+    /// Every attempt of the bounded exponential-backoff schedule fell
+    /// inside an outage window; the caller must fall back to
+    /// local-copy-only service.
+    Failed {
+        /// Number of retries burned (always `max_retries`).
+        retries: u32,
+    },
+}
+
 /// A full-duplex point-to-point link between two sockets.
 ///
 /// Each message pays the propagation latency plus a serialization delay
@@ -42,6 +63,18 @@ pub struct InterSocketLink {
     /// Directional occupancy ports; index = source socket.
     ports: [Resource; 2],
     bytes: [u64; 2],
+    /// Sorted, non-overlapping half-open outage windows `[start, end)`
+    /// in cycles. Sends whose attempt time falls inside a window are
+    /// retried with bounded exponential backoff.
+    outages: Vec<(u64, u64)>,
+    /// Backoff base: retry `k` is attempted at `now + base * (2^k - 1)`.
+    retry_base: u64,
+    /// Maximum number of retries before a send is declared failed.
+    max_retries: u32,
+    /// Total retries across all resilient sends.
+    retries: u64,
+    /// Sends that exhausted the retry budget.
+    failed_sends: u64,
 }
 
 impl InterSocketLink {
@@ -58,6 +91,11 @@ impl InterSocketLink {
             bytes_per_cycle,
             ports: [Resource::pipelined(), Resource::pipelined()],
             bytes: [0; 2],
+            outages: Vec::new(),
+            retry_base: 64,
+            max_retries: 6,
+            retries: 0,
+            failed_sends: 0,
         }
     }
 
@@ -106,6 +144,143 @@ impl InterSocketLink {
         )
     }
 
+    /// Installs outage windows (sorted, non-overlapping, half-open
+    /// `[start, end)` in cycles) and the bounded exponential-backoff
+    /// retry policy used by [`transfer_resilient`].
+    ///
+    /// Retry `k` (k = 1..=`max_retries`) is attempted at
+    /// `now + retry_base * (2^k - 1)`; the first attempt time that
+    /// falls outside every window wins. If all attempts land inside
+    /// windows the send fails and the caller must serve from the local
+    /// copy only.
+    ///
+    /// [`transfer_resilient`]: InterSocketLink::transfer_resilient
+    ///
+    /// # Panics
+    ///
+    /// Panics if the windows are empty-width, unsorted or overlapping,
+    /// or if `retry_base` is zero.
+    pub fn set_outages(&mut self, windows: Vec<(u64, u64)>, retry_base: u64, max_retries: u32) {
+        assert!(retry_base > 0, "retry backoff base must be non-zero");
+        let mut prev_end = 0u64;
+        for &(s, e) in &windows {
+            assert!(s < e, "outage window [{s}, {e}) is empty or inverted");
+            assert!(
+                s >= prev_end,
+                "outage windows must be sorted and non-overlapping"
+            );
+            prev_end = e;
+        }
+        self.outages = windows;
+        self.retry_base = retry_base;
+        self.max_retries = max_retries;
+    }
+
+    /// If `now` falls inside an outage window, returns that window's
+    /// end (the first cycle service resumes).
+    pub fn outage_until(&self, now: Cycles) -> Option<Cycles> {
+        let t = now.raw();
+        self.outages
+            .iter()
+            .find(|&&(s, e)| t >= s && t < e)
+            .map(|&(_, e)| Cycles(e))
+    }
+
+    /// The end of the last configured outage window, if any.
+    pub fn last_outage_end(&self) -> Option<Cycles> {
+        self.outages.last().map(|&(_, e)| Cycles(e))
+    }
+
+    fn in_outage(&self, t: u64) -> bool {
+        self.outages.iter().any(|&(s, e)| t >= s && t < e)
+    }
+
+    /// The backoff schedule: attempt `k`'s start time, or `None` once
+    /// the retry budget is exhausted. The first attempt (`k == 0`) is
+    /// at `now` itself.
+    fn attempt_time(&self, now: u64, k: u32) -> Option<u64> {
+        if k > self.max_retries {
+            return None;
+        }
+        // base * (2^k - 1): 0, base, 3*base, 7*base, ...
+        let factor = (1u64 << k.min(63)) - 1;
+        Some(now + self.retry_base.saturating_mul(factor))
+    }
+
+    /// First attempt start time outside every outage window, with the
+    /// retry count it took; `None` when the budget is exhausted.
+    fn resilient_start(&self, now: u64) -> Option<(u64, u32)> {
+        for k in 0..=self.max_retries {
+            let t = self.attempt_time(now, k)?;
+            if !self.in_outage(t) {
+                return Some((t, k));
+            }
+        }
+        None
+    }
+
+    /// Sends `bytes` from `from` to `to` at `now` under the configured
+    /// outage windows: the message is retried with bounded exponential
+    /// backoff until an attempt falls outside every window, then pays
+    /// the normal serialization + propagation cost from that attempt
+    /// time. With no outage windows configured this is exactly
+    /// [`transfer`] (same arrival, same port accounting).
+    ///
+    /// [`transfer`]: InterSocketLink::transfer
+    pub fn transfer_resilient(
+        &mut self,
+        from: usize,
+        to: usize,
+        now: Cycles,
+        bytes: u64,
+    ) -> LinkSendOutcome {
+        match self.resilient_start(now.raw()) {
+            Some((start, retries)) => {
+                self.retries += u64::from(retries);
+                let arrival = self.transfer(from, to, Cycles(start), bytes);
+                LinkSendOutcome::Delivered { arrival, retries }
+            }
+            None => {
+                self.failed_sends += 1;
+                LinkSendOutcome::Failed {
+                    retries: self.max_retries,
+                }
+            }
+        }
+    }
+
+    /// The arrival a resilient send *would* observe, without sending
+    /// or recording anything (mirror of [`probe`] for the outage path).
+    ///
+    /// [`probe`]: InterSocketLink::probe
+    pub fn probe_resilient(
+        &self,
+        from: usize,
+        to: usize,
+        now: Cycles,
+        bytes: u64,
+    ) -> LinkSendOutcome {
+        match self.resilient_start(now.raw()) {
+            Some((start, retries)) => LinkSendOutcome::Delivered {
+                arrival: self.probe(from, to, Cycles(start), bytes),
+                retries,
+            },
+            None => LinkSendOutcome::Failed {
+                retries: self.max_retries,
+            },
+        }
+    }
+
+    /// Total retries across all resilient sends.
+    pub fn retry_count(&self) -> u64 {
+        self.retries
+    }
+
+    /// Resilient sends that exhausted the retry budget.
+    pub fn failed_sends(&self) -> u64 {
+        self.failed_sends
+    }
+
     /// Port statistics for one direction (`dir` = source socket).
     pub fn port_stats(&self, dir: usize) -> ResourceStats {
         self.ports[dir].stats()
@@ -121,11 +296,14 @@ impl InterSocketLink {
         self.bytes[0] + self.bytes[1]
     }
 
-    /// Resets the traffic counters (not the occupancy).
+    /// Resets the traffic counters (not the occupancy or the outage
+    /// configuration).
     pub fn reset_counters(&mut self) {
         self.ports[0].reset_stats();
         self.ports[1].reset_stats();
         self.bytes = [0; 2];
+        self.retries = 0;
+        self.failed_sends = 0;
     }
 }
 
@@ -206,5 +384,77 @@ mod tests {
     #[should_panic(expected = "sockets 0 and 1")]
     fn self_transfer_rejected() {
         link().transfer(0, 0, Cycles(0), 64);
+    }
+
+    #[test]
+    fn resilient_without_outages_matches_transfer() {
+        let mut a = link();
+        let mut b = link();
+        let plain = a.transfer(0, 1, Cycles(10), 64);
+        match b.transfer_resilient(0, 1, Cycles(10), 64) {
+            LinkSendOutcome::Delivered { arrival, retries } => {
+                assert_eq!(arrival, plain);
+                assert_eq!(retries, 0);
+            }
+            LinkSendOutcome::Failed { .. } => panic!("no outage, must deliver"),
+        }
+        assert_eq!(a.port_stats(0).grants, b.port_stats(0).grants);
+    }
+
+    #[test]
+    fn outage_forces_exponential_backoff() {
+        let mut l = link();
+        // Window [0, 250): attempts at 0, 100, 300 — third attempt
+        // (retry 2, at 100*(2^2-1) = 300) clears the window.
+        l.set_outages(vec![(0, 250)], 100, 6);
+        match l.transfer_resilient(0, 1, Cycles(0), 64) {
+            LinkSendOutcome::Delivered { arrival, retries } => {
+                assert_eq!(retries, 2);
+                // start 300 + 4 serialization + 150 propagation.
+                assert_eq!(arrival, Cycles(300 + 4 + 150));
+            }
+            LinkSendOutcome::Failed { .. } => panic!("retry budget was sufficient"),
+        }
+        assert_eq!(l.retry_count(), 2);
+        assert_eq!(l.failed_sends(), 0);
+    }
+
+    #[test]
+    fn outage_exhausts_bounded_retry_budget() {
+        let mut l = link();
+        // Budget of 2 retries: attempts at 0, 10, 30 — all inside.
+        l.set_outages(vec![(0, 1_000)], 10, 2);
+        assert_eq!(
+            l.transfer_resilient(0, 1, Cycles(0), 64),
+            LinkSendOutcome::Failed { retries: 2 }
+        );
+        assert_eq!(l.failed_sends(), 1);
+        assert_eq!(l.total_messages(), 0, "failed send never hits the wire");
+    }
+
+    #[test]
+    fn probe_resilient_matches_transfer_resilient() {
+        let mut l = link();
+        l.set_outages(vec![(0, 250)], 100, 6);
+        let predicted = l.probe_resilient(0, 1, Cycles(0), 64);
+        let actual = l.transfer_resilient(0, 1, Cycles(0), 64);
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn outage_until_reports_window_end() {
+        let mut l = link();
+        l.set_outages(vec![(100, 200), (500, 600)], 32, 4);
+        assert_eq!(l.outage_until(Cycles(50)), None);
+        assert_eq!(l.outage_until(Cycles(150)), Some(Cycles(200)));
+        assert_eq!(l.outage_until(Cycles(200)), None, "half-open window");
+        assert_eq!(l.outage_until(Cycles(599)), Some(Cycles(600)));
+        assert_eq!(l.last_outage_end(), Some(Cycles(600)));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and non-overlapping")]
+    fn overlapping_outages_rejected() {
+        link().set_outages(vec![(0, 100), (50, 200)], 32, 4);
     }
 }

@@ -36,16 +36,23 @@ pub enum Component {
     /// Everything the protocol itself charges: L1/LLC/directory
     /// lookups, forward hops inside a socket, ECC decode penalties.
     Protocol,
+    /// Cycles spent on the §V-B2 recovery detour after a detected
+    /// DRAM error: the remote-replica fetch across the inter-socket
+    /// link, the repair write-back and the re-read. Only the timed
+    /// fault-injection path (the chaos layer) ever charges this
+    /// component; fault-free runs keep it at exactly zero.
+    Recovery,
 }
 
 impl Component {
     /// All components, in display order.
-    pub const ALL: [Component; 5] = [
+    pub const ALL: [Component; 6] = [
         Component::Mesh,
         Component::Link,
         Component::BankQueue,
         Component::BankService,
         Component::Protocol,
+        Component::Recovery,
     ];
 
     /// Short stable label (used in reports and JSON).
@@ -56,6 +63,7 @@ impl Component {
             Component::BankQueue => "bank_queue",
             Component::BankService => "bank_service",
             Component::Protocol => "protocol",
+            Component::Recovery => "recovery",
         }
     }
 }
@@ -75,12 +83,14 @@ pub struct LatencyBreakdown {
     pub bank_service: u64,
     /// Protocol-layer cycles (cache lookups, directory, forwards, ECC).
     pub protocol: u64,
+    /// Recovery-detour cycles (remote-replica fetch, repair, re-read).
+    pub recovery: u64,
 }
 
 impl LatencyBreakdown {
     /// Sum of every component.
     pub fn total(&self) -> u64 {
-        self.mesh + self.link + self.bank_queue + self.bank_service + self.protocol
+        self.mesh + self.link + self.bank_queue + self.bank_service + self.protocol + self.recovery
     }
 
     /// The cycles charged to `c`.
@@ -91,6 +101,7 @@ impl LatencyBreakdown {
             Component::BankQueue => self.bank_queue,
             Component::BankService => self.bank_service,
             Component::Protocol => self.protocol,
+            Component::Recovery => self.recovery,
         }
     }
 
@@ -102,6 +113,7 @@ impl LatencyBreakdown {
             Component::BankQueue => self.bank_queue += cycles,
             Component::BankService => self.bank_service += cycles,
             Component::Protocol => self.protocol += cycles,
+            Component::Recovery => self.recovery += cycles,
         }
     }
 
@@ -113,6 +125,7 @@ impl LatencyBreakdown {
         self.bank_queue += other.bank_queue;
         self.bank_service += other.bank_service;
         self.protocol += other.protocol;
+        self.recovery += other.recovery;
     }
 
     /// Component-wise `self - earlier` for interval/epoch deltas.
@@ -135,6 +148,7 @@ impl LatencyBreakdown {
             bank_queue: self.bank_queue - earlier.bank_queue,
             bank_service: self.bank_service - earlier.bank_service,
             protocol: self.protocol - earlier.protocol,
+            recovery: self.recovery - earlier.recovery,
         }
     }
 
@@ -250,7 +264,8 @@ mod tests {
         b.add(Component::BankQueue, 7);
         b.add(Component::BankService, 36);
         b.add(Component::Protocol, 21);
-        assert_eq!(b.total(), 4 + 150 + 7 + 36 + 21);
+        b.add(Component::Recovery, 190);
+        assert_eq!(b.total(), 4 + 150 + 7 + 36 + 21 + 190);
         for c in Component::ALL {
             assert!(b.get(c) > 0, "{} not set", c.label());
         }
