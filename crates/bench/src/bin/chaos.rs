@@ -34,6 +34,7 @@ use dve::chaos::{ChaosConfig, ChaosParams, FaultAction, FaultEvent, FaultSchedul
 use dve::config::{Scheme, SystemConfig};
 use dve::system::{RunResult, System};
 use dve_dram::controller::EccProfile;
+use dve_sim::latency::Component;
 use dve_workloads::{catalog, WorkloadProfile};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -302,17 +303,18 @@ fn randomized_matrix(gate: &mut Gate, p: &WorkloadProfile, smoke: bool) -> Strin
     let seeds: &[u64] = &[0xC0FFEE, 7];
     let mut table = String::from(
         "scheme      mshrs seed      cycles   planted detected corrected repaired degraded mce \
-         scrubbed redirects rec_frac\n",
+         scrubbed redirects rec_frac rec_p99\n",
     );
     for &scheme in schemes {
         for &mshrs in &[1usize, 4] {
             for &seed in seeds {
                 let r = chaos_cell(p, scheme, mshrs, seed, ops);
                 let l = &r.recovery;
-                let rec_frac = r.latency.recovery as f64 / r.latency.total().max(1) as f64;
+                let rec_frac = r.latency.fraction(Component::Recovery);
+                let (_, rec_p99, _) = r.component_tail(Component::Recovery);
                 writeln!(
                     table,
-                    "{:<11} {:<5} {:<9} {:<8} {:<7} {:<8} {:<9} {:<8} {:<8} {:<3} {:<8} {:<9} {:.4}",
+                    "{:<11} {:<5} {:<9} {:<8} {:<7} {:<8} {:<9} {:<8} {:<8} {:<3} {:<8} {:<9} {:.4}   {:<7}",
                     scheme.label(),
                     mshrs,
                     format!("{seed:#x}"),
@@ -325,7 +327,8 @@ fn randomized_matrix(gate: &mut Gate, p: &WorkloadProfile, smoke: bool) -> Strin
                     l.machine_checks,
                     l.scrub_lines,
                     l.clean_redirects,
-                    rec_frac
+                    rec_frac,
+                    rec_p99
                 )
                 .expect("write table row");
                 let label = format!("{} mshrs={mshrs} seed={seed:#x}", scheme.label());

@@ -314,6 +314,16 @@ fn bench_system(ops: u64) -> (Vec<(String, f64)>, u64, u64) {
             deny1.latency.fraction(c),
         ));
     }
+    // Tail latency of the measured region, total and per layer, from
+    // the run's log-bucketed per-op histograms.
+    let (p50, p99, p999) = deny1.latency_tail();
+    out.push(("latency_p50_total".to_string(), p50 as f64));
+    out.push(("latency_p99_total".to_string(), p99 as f64));
+    out.push(("latency_p999_total".to_string(), p999 as f64));
+    for c in Component::ALL {
+        let (_, p99, _) = deny1.component_tail(c);
+        out.push((format!("latency_p99_{}", c.label()), p99 as f64));
+    }
     println!(
         "  cycles baseline/deny(m=1)/deny(m=4): {} / {} / {}  ({:.0} sim mem-ops/s)",
         base.cycles,

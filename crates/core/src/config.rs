@@ -55,6 +55,31 @@ impl Scheme {
     }
 }
 
+impl std::fmt::Display for Scheme {
+    /// Renders the stable report label ([`Scheme::label`]); the inverse
+    /// of [`Scheme::from_str`], so schemes round-trip through config
+    /// text.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Scheme {
+    type Err = String;
+
+    /// Parses a scheme from its report label (`dve-deny`, …), so
+    /// service/bench configuration is plain text instead of code.
+    fn from_str(s: &str) -> Result<Scheme, String> {
+        Scheme::ALL
+            .into_iter()
+            .find(|sch| sch.label() == s)
+            .ok_or_else(|| {
+                let known: Vec<&str> = Scheme::ALL.iter().map(|sch| sch.label()).collect();
+                format!("unknown scheme {s:?}; one of: {}", known.join(", "))
+            })
+    }
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -208,6 +233,18 @@ mod tests {
                 speculative: true
             }
         ));
+    }
+
+    #[test]
+    fn scheme_display_from_str_round_trips() {
+        for s in Scheme::ALL {
+            let text = s.to_string();
+            assert_eq!(text, s.label());
+            assert_eq!(text.parse::<Scheme>(), Ok(s), "{text}");
+        }
+        let err = "dve-maybe".parse::<Scheme>().unwrap_err();
+        assert!(err.contains("unknown scheme"), "{err}");
+        assert!(err.contains("dve-deny"), "lists the valid labels: {err}");
     }
 
     #[test]

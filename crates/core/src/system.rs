@@ -23,7 +23,7 @@ use dve_coherence::types::ReqType;
 use dve_dram::energy::EnergyParams;
 use dve_noc::traffic::TrafficStats;
 use dve_sim::event::EventQueue;
-use dve_sim::latency::LatencyBreakdown;
+use dve_sim::latency::{Component, LatencyBreakdown, LatencyHists};
 use dve_sim::resource::Resource;
 use dve_sim::time::Cycles;
 use dve_workloads::op::{MemReq, Op};
@@ -74,6 +74,11 @@ pub struct RunResult {
     /// respect measurement regions). All-zero when the chaos layer is
     /// disarmed or inert.
     pub recovery: RecoveryLedger,
+    /// Per-op latency distributions over the measured region (total +
+    /// per component). Sum-conserves against [`RunResult::latency`]:
+    /// each component histogram's exact sum equals the cycles the
+    /// aggregate breakdown charged to that component.
+    pub latency_hist: LatencyHists,
 }
 
 impl RunResult {
@@ -86,6 +91,59 @@ impl RunResult {
         );
         baseline.cycles as f64 / self.cycles as f64
     }
+
+    /// (p50, p99, p999) upper bounds of the per-op end-to-end latency
+    /// over the measured region. This is *the* way bench binaries
+    /// report percentiles — no ad-hoc sample collection and sorting.
+    pub fn latency_tail(&self) -> (u64, u64, u64) {
+        self.latency_hist.total.tail()
+    }
+
+    /// (p50, p99, p999) upper bounds of one component's per-op latency
+    /// over the measured region.
+    pub fn component_tail(&self, c: Component) -> (u64, u64, u64) {
+        self.latency_hist.component(c).tail()
+    }
+}
+
+/// One externally supplied operation for [`System::run_batch`]: the
+/// serving front end (dve-service) maps client sessions onto cores and
+/// drives the live system one epoch at a time with these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientOp {
+    /// Core that issues the operation (`< SystemConfig.engine.cores`).
+    pub core: usize,
+    /// Cache-line address (byte address / 64).
+    pub line: u64,
+    /// Load or store.
+    pub req: MemReq,
+}
+
+/// Per-op completion returned by [`System::run_batch`], carrying the
+/// engine's latency stamps for this operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCompletion {
+    /// Simulated issue time.
+    pub issued_at: u64,
+    /// Simulated completion time.
+    pub complete_at: u64,
+    /// Per-layer attribution; its components sum to
+    /// `complete_at - issued_at` (conservation by construction).
+    pub breakdown: LatencyBreakdown,
+}
+
+/// Snapshot of the cumulative counters at [`System::begin_region`],
+/// plus the region's work accumulators that
+/// [`System::step_ops`]/[`System::run_batch`] maintain.
+#[derive(Debug)]
+struct RegionStart {
+    traffic: TrafficStats,
+    dyn_joules: f64,
+    breakdown: LatencyBreakdown,
+    class: [[u64; 4]; 2],
+    cycles: u64,
+    ops: u64,
+    mem_ops: u64,
 }
 
 /// The assembled system: engine + fabric + trace streams.
@@ -121,6 +179,11 @@ pub struct System {
     /// §V-B2 aftermath: a hard fault took a copy out of service; the
     /// engine stays degraded until a heal lifts the last degradation.
     fault_degraded: bool,
+    /// Per-op latency distributions recorded since the last
+    /// [`System::begin_region`] (warm-up samples are discarded there).
+    lat_hists: LatencyHists,
+    /// The open measurement region, if any.
+    region: Option<RegionStart>,
 }
 
 impl System {
@@ -164,7 +227,52 @@ impl System {
             scrub_cfg,
             outage_degraded: false,
             fault_degraded: false,
+            lat_hists: LatencyHists::new(),
+            region: None,
         }
+    }
+
+    /// Number of cores in the system (the valid [`ClientOp::core`]
+    /// range).
+    pub fn cores(&self) -> usize {
+        self.core_time.len()
+    }
+
+    /// Current simulated time: the latest core-local clock.
+    pub fn now(&self) -> u64 {
+        *self.core_time.iter().max().expect("cores")
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Cumulative engine statistics (whole run so far).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// In-band recovery accounting so far.
+    pub fn recovery_ledger(&self) -> RecoveryLedger {
+        self.fabric.ledger()
+    }
+
+    /// Per-op latency distributions recorded since the last
+    /// [`System::begin_region`] (or construction).
+    pub fn latency_hists(&self) -> &LatencyHists {
+        &self.lat_hists
+    }
+
+    /// Forces (or lifts) §V-E degraded operation at the current
+    /// simulated time, as if flipped by an operator. The engine only
+    /// sees real edges, and chaos-driven degradation sources still
+    /// apply on top — lifting the forced flag while a hard fault is
+    /// outstanding keeps the engine degraded.
+    pub fn set_forced_degraded(&mut self, on: bool) {
+        self.cfg.degraded = on;
+        let now = self.now();
+        self.apply_degraded(now);
     }
 
     /// Advances the chaos layer to simulated time `now`: applies due
@@ -269,10 +377,9 @@ impl System {
                     // (What §V-E keeps off the critical path — the
                     // propagation of writebacks to the replica memory —
                     // is handled as background work inside the engine.)
-                    let done = self
-                        .engine
-                        .access(core, line, r, now, &mut self.fabric)
-                        .complete_at;
+                    let outcome = self.engine.access(core, line, r, now, &mut self.fabric);
+                    self.lat_hists.record(&outcome.breakdown);
+                    let done = outcome.complete_at;
                     // The miss occupies an MSHR way from issue to
                     // completion. The scheduler never advances a core
                     // past the next way's free time, so a way is always
@@ -305,36 +412,155 @@ impl System {
         (end_max - start_max, total_ops, total_mem)
     }
 
-    /// Runs warm-up + the measured region and collects results. For the
-    /// dynamic scheme this includes the per-epoch profiling procedure.
-    pub fn run(mut self) -> RunResult {
-        // Warm-up (not measured).
+    /// Runs the warm-up region (not measured). A no-op when
+    /// `warmup_per_thread` is zero. Part of the epoch-stepping API:
+    /// `run` is exactly `warm_up` → `begin_region` → steps →
+    /// `finish_region`, and external callers (the dve-service epoch
+    /// runner) may compose the same phases without consuming the
+    /// system.
+    pub fn warm_up(&mut self) {
         if self.cfg.warmup_per_thread > 0 {
             self.run_ops(self.cfg.warmup_per_thread);
         }
-        let traffic_before = self.fabric.traffic().clone();
-        let energy_before = self.fabric.total_energy();
-        let breakdown_before = self.engine.stats().latency_breakdown;
-        let class_before = [
-            self.engine.home_dir(0).class_counts(),
-            self.engine.home_dir(1).class_counts(),
-        ];
+    }
 
-        let (cycles, ops, mem_ops) = if self.cfg.scheme == Scheme::DveDynamic {
-            self.run_dynamic()
-        } else {
-            self.run_ops(self.cfg.ops_per_thread)
-        };
+    /// Opens a measurement region: snapshots the cumulative counters
+    /// and clears the per-op latency histograms, so the eventual
+    /// [`System::finish_region`] reports deltas over exactly the work
+    /// stepped in between.
+    pub fn begin_region(&mut self) {
+        self.lat_hists = LatencyHists::new();
+        self.region = Some(RegionStart {
+            traffic: self.fabric.traffic().clone(),
+            dyn_joules: self.fabric.total_energy().dynamic_joules(),
+            breakdown: self.engine.stats().latency_breakdown,
+            class: [
+                self.engine.home_dir(0).class_counts(),
+                self.engine.home_dir(1).class_counts(),
+            ],
+            cycles: 0,
+            ops: 0,
+            mem_ops: 0,
+        });
+    }
+
+    /// Executes `mem_ops_per_core` trace operations on every core — one
+    /// epoch of the synthesized workload — without consuming the
+    /// system. Returns `(wall cycles, ops, mem ops)` for this step and
+    /// accumulates them into the open region, if any. Stepping a run in
+    /// epochs is cycle-exact with running it whole at `mshrs = 1` (the
+    /// pinned-golden regime): the inter-epoch MSHR drain barrier is a
+    /// no-op for blocking cores.
+    pub fn step_ops(&mut self, mem_ops_per_core: u64) -> (u64, u64, u64) {
+        let (cycles, ops, mems) = self.run_ops(mem_ops_per_core);
+        if let Some(region) = &mut self.region {
+            region.cycles += cycles;
+            region.ops += ops;
+            region.mem_ops += mems;
+        }
+        (cycles, ops, mems)
+    }
+
+    /// Executes one epoch of externally supplied operations against the
+    /// live system and returns per-op completions (indexed like `ops`).
+    ///
+    /// Each core executes its assigned ops in slice order; across
+    /// cores, the scheduler advances the core with the earliest local
+    /// clock, exactly like the trace runner — so coherence contention,
+    /// bank conflicts, chaos events and link occupancy all apply to
+    /// client traffic. The epoch ends with the same MSHR drain barrier
+    /// the trace runner uses between regions. Deterministic: the same
+    /// batch against the same system state reproduces bit-for-bit.
+    pub fn run_batch(&mut self, ops: &[ClientOp]) -> Vec<OpCompletion> {
+        let cores = self.core_time.len();
+        let start_max = self.now();
+        // Per-core FIFO of indices into `ops`, preserving slice order.
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); cores];
+        for (i, op) in ops.iter().enumerate() {
+            assert!(
+                op.core < cores,
+                "ClientOp.core {} out of range ({} cores)",
+                op.core,
+                cores
+            );
+            queues[op.core].push(i);
+        }
+        let mut cursor = vec![0usize; cores];
+        let mut heap: BinaryHeap<(Reverse<u64>, usize)> = (0..cores)
+            .filter(|&c| !queues[c].is_empty())
+            .map(|c| (Reverse(self.core_time[c]), c))
+            .collect();
+        let mut completions: Vec<Option<OpCompletion>> = vec![None; ops.len()];
+        while let Some((Reverse(now), core)) = heap.pop() {
+            self.advance_chaos(now);
+            let idx = queues[core][cursor[core]];
+            cursor[core] += 1;
+            let op = &ops[idx];
+            let r = match op.req {
+                MemReq::Read => ReqType::Read,
+                MemReq::Write => ReqType::Write,
+            };
+            let outcome = self.engine.access(core, op.line, r, now, &mut self.fabric);
+            self.lat_hists.record(&outcome.breakdown);
+            let done = outcome.complete_at;
+            completions[idx] = Some(OpCompletion {
+                issued_at: now,
+                complete_at: done,
+                breakdown: outcome.breakdown,
+            });
+            // Same MSHR semantics as the trace runner: the miss holds a
+            // way from issue to completion and the core never runs past
+            // the next free way.
+            let grant = self.mshrs[core].acquire(now, done - now);
+            debug_assert_eq!(grant.queued, 0, "core issued without a free MSHR");
+            let next = (now + 1).max(self.mshrs[core].earliest_available());
+            self.core_time[core] = next;
+            if cursor[core] < queues[core].len() {
+                heap.push((Reverse(next), core));
+            }
+        }
+        // Epoch barrier: drain outstanding misses so epochs never leak
+        // in-flight work into each other.
+        for (t, m) in self.core_time.iter_mut().zip(&self.mshrs) {
+            *t = (*t).max(m.drained_at());
+        }
+        let end_max = *self.core_time.iter().max().expect("cores");
+        if let Some(region) = &mut self.region {
+            region.cycles += end_max - start_max;
+            region.ops += ops.len() as u64;
+            region.mem_ops += ops.len() as u64;
+        }
+        completions
+            .into_iter()
+            .map(|c| c.expect("every submitted op completes"))
+            .collect()
+    }
+
+    /// Closes the measurement region opened by
+    /// [`System::begin_region`] and collects a [`RunResult`] over the
+    /// work stepped in between, without consuming the system (a new
+    /// region may be opened afterwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no region is open.
+    pub fn finish_region(&mut self) -> RunResult {
+        let region = self
+            .region
+            .take()
+            .expect("begin_region before finish_region");
+        let cycles = region.cycles;
+        let ops = region.ops;
+        let mem_ops = region.mem_ops;
 
         // Deltas over the measured region.
-        let traffic = self.fabric.traffic().saturating_sub(&traffic_before);
+        let traffic = self.fabric.traffic().saturating_sub(&region.traffic);
         let latency = self
             .engine
             .stats()
             .latency_breakdown
-            .delta_since(&breakdown_before);
-        let energy_after = self.fabric.total_energy();
-        let dyn_joules = energy_after.dynamic_joules() - energy_before.dynamic_joules();
+            .delta_since(&region.breakdown);
+        let dyn_joules = self.fabric.total_energy().dynamic_joules() - region.dyn_joules;
         let seconds = self.cfg.clock.nanos_for(Cycles(cycles)) * 1e-9;
         // Background power of the full DIMM population over the region
         // (same per-rank standby figure the DRAM energy model uses).
@@ -342,7 +568,7 @@ impl System {
         let mem_energy = dyn_joules + background;
 
         let mut counts = [0u64; 4];
-        for (s, before) in class_before.iter().enumerate() {
+        for (s, before) in region.class.iter().enumerate() {
             let after = self.engine.home_dir(s).class_counts();
             for (c, (a, b)) in counts.iter_mut().zip(after.iter().zip(before)) {
                 // Class counters only ever increment; a snapshot taken
@@ -395,47 +621,56 @@ impl System {
             dram_queue: queue,
             max_row_activations,
             recovery: self.fabric.ledger(),
+            latency_hist: self.lat_hists.clone(),
         }
+    }
+
+    /// Runs warm-up + the measured region and collects results. For the
+    /// dynamic scheme this includes the per-epoch profiling procedure.
+    /// Exactly equivalent to composing the epoch-stepping API:
+    /// [`System::warm_up`], [`System::begin_region`],
+    /// [`System::step_ops`], [`System::finish_region`].
+    pub fn run(mut self) -> RunResult {
+        self.warm_up();
+        self.begin_region();
+        if self.cfg.scheme == Scheme::DveDynamic {
+            self.run_dynamic();
+        } else {
+            self.step_ops(self.cfg.ops_per_thread);
+        }
+        self.finish_region()
     }
 
     /// The sampling-based dynamic protocol: per epoch, profile both
     /// state machines on a window, then run the remainder with the
-    /// winner.
-    fn run_dynamic(&mut self) -> (u64, u64, u64) {
+    /// winner. Work accounting accumulates into the open region via
+    /// [`System::step_ops`].
+    fn run_dynamic(&mut self) {
         let total = self.cfg.ops_per_thread;
         let window = self.cfg.dynamic_window.max(1);
         // One epoch = 2 profiling windows + 8 windows of the winner
         // (the paper's 100M-per-1B ratio, scaled).
         let epoch_body = window * 8;
         let mut done = 0u64;
-        let mut cycles = 0u64;
-        let mut ops = 0u64;
-        let mut mems = 0u64;
         let spec = self.cfg.speculative;
         while done < total {
             // Profile allow.
-            let now = *self.core_time.iter().max().expect("cores");
+            let now = self.now();
             self.engine
                 .switch_policy(ReplicaPolicy::Allow, spec, now, &mut self.fabric);
             let w = window.min(total - done);
-            let (c_allow, o1, m1) = self.run_ops(w);
+            let (c_allow, _, _) = self.step_ops(w);
             done += w;
-            cycles += c_allow;
-            ops += o1;
-            mems += m1;
             if done >= total {
                 break;
             }
             // Profile deny.
-            let now = *self.core_time.iter().max().expect("cores");
+            let now = self.now();
             self.engine
                 .switch_policy(ReplicaPolicy::Deny, spec, now, &mut self.fabric);
             let w = window.min(total - done);
-            let (c_deny, o2, m2) = self.run_ops(w);
+            let (c_deny, _, _) = self.step_ops(w);
             done += w;
-            cycles += c_deny;
-            ops += o2;
-            mems += m2;
             if done >= total {
                 break;
             }
@@ -445,17 +680,13 @@ impl System {
             } else {
                 ReplicaPolicy::Deny
             };
-            let now = *self.core_time.iter().max().expect("cores");
+            let now = self.now();
             self.engine
                 .switch_policy(winner, spec, now, &mut self.fabric);
             let w = epoch_body.min(total - done);
-            let (c, o, m) = self.run_ops(w);
+            self.step_ops(w);
             done += w;
-            cycles += c;
-            ops += o;
-            mems += m;
         }
-        (cycles, ops, mems)
     }
 }
 
@@ -868,6 +1099,199 @@ mod tests {
         assert_eq!(r.recovery.scrub_detected, 0);
         assert_eq!(r.recovery.detected_reads, 0, "no demand detour");
         assert!(r.recovery.consistent());
+    }
+
+    #[test]
+    fn epoch_stepping_composes_run_exactly() {
+        // `run` is exactly warm_up → begin_region → step_ops(total) →
+        // finish_region; composing the public phases by hand must be
+        // bit-identical (this is the decomposition the pinned goldens
+        // ride on).
+        let p = catalog()
+            .into_iter()
+            .find(|p| p.name == "backprop")
+            .unwrap();
+        for scheme in [Scheme::BaselineNuma, Scheme::DveAllow, Scheme::DveDeny] {
+            let mut cfg = SystemConfig::table_ii(scheme);
+            cfg.ops_per_thread = 500;
+            cfg.warmup_per_thread = 50;
+            let whole = System::new(cfg.clone(), &p, 42).run();
+            let mut sys = System::new(cfg.clone(), &p, 42);
+            sys.warm_up();
+            sys.begin_region();
+            sys.step_ops(500);
+            let stepped = sys.finish_region();
+            assert_eq!(stepped.cycles, whole.cycles, "{scheme:?}");
+            assert_eq!(stepped.mem_ops, whole.mem_ops, "{scheme:?}");
+            assert_eq!(stepped.latency, whole.latency, "{scheme:?}");
+            assert_eq!(stepped.latency_hist, whole.latency_hist, "{scheme:?}");
+            assert_eq!(
+                stepped.traffic.total_bytes(),
+                whole.traffic.total_bytes(),
+                "{scheme:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_stepping_is_deterministic_and_conserving_at_any_split() {
+        // Finer epoch splits re-order how the engine *processes*
+        // concurrent accesses (each step is a scheduling barrier), so
+        // they are not required to be cycle-identical to the whole run
+        // — but every split must be deterministic under replay, run
+        // all the work, and keep the latency histograms conserving
+        // against the region aggregate.
+        let p = catalog()
+            .into_iter()
+            .find(|p| p.name == "backprop")
+            .unwrap();
+        let run_split = |epoch: u64| {
+            let mut cfg = SystemConfig::table_ii(Scheme::DveDeny);
+            cfg.ops_per_thread = 500;
+            cfg.warmup_per_thread = 50;
+            let mut sys = System::new(cfg, &p, 42);
+            sys.warm_up();
+            sys.begin_region();
+            let mut left = 500u64;
+            while left > 0 {
+                let w = epoch.min(left);
+                sys.step_ops(w);
+                left -= w;
+            }
+            sys.finish_region()
+        };
+        for epoch in [7u64, 50, 125] {
+            let a = run_split(epoch);
+            let b = run_split(epoch);
+            assert_eq!(a.cycles, b.cycles, "epoch={epoch}: replay bit-identical");
+            assert_eq!(a.latency_hist, b.latency_hist, "epoch={epoch}");
+            assert_eq!(a.mem_ops, 500 * 16, "epoch={epoch}: all work ran");
+            assert!(a.latency_hist.conserves(&a.latency), "epoch={epoch}");
+        }
+    }
+
+    #[test]
+    fn run_result_latency_hist_conserves_and_reports_tails() {
+        let p = catalog()
+            .into_iter()
+            .find(|p| p.name == "backprop")
+            .unwrap();
+        let mut cfg = SystemConfig::table_ii(Scheme::DveDeny);
+        cfg.ops_per_thread = 400;
+        cfg.warmup_per_thread = 40;
+        let r = System::new(cfg, &p, 7).run();
+        // The measured-region histograms sum-conserve against the
+        // measured-region aggregate breakdown, component by component.
+        assert!(r.latency_hist.conserves(&r.latency));
+        assert_eq!(r.latency_hist.count(), r.mem_ops);
+        let (p50, p99, p999) = r.latency_tail();
+        assert!(p50 > 0 && p50 <= p99 && p99 <= p999, "{p50}/{p99}/{p999}");
+        assert!(
+            p999 as u128 <= r.latency_hist.total.sum(),
+            "sane upper bound"
+        );
+        let (b50, _, b999) = r.component_tail(Component::BankService);
+        assert!(b50 <= b999);
+    }
+
+    fn client_batch(seed: u64, n: usize, cores: usize) -> Vec<ClientOp> {
+        let mut rng = dve_sim::rng::SplitMix64::new(seed);
+        (0..n)
+            .map(|_| ClientOp {
+                core: rng.next_below(cores as u64) as usize,
+                line: rng.next_below(1 << 14),
+                req: if rng.chance(0.7) {
+                    MemReq::Read
+                } else {
+                    MemReq::Write
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_batch_completes_every_op_deterministically() {
+        let p = catalog()
+            .into_iter()
+            .find(|p| p.name == "backprop")
+            .unwrap();
+        let mut cfg = SystemConfig::table_ii(Scheme::DveDeny);
+        cfg.warmup_per_thread = 0;
+        let run_once = || {
+            let mut sys = System::new(cfg.clone(), &p, 42);
+            sys.begin_region();
+            let mut all = Vec::new();
+            for epoch in 0..4u64 {
+                let batch = client_batch(epoch, 800, sys.cores());
+                all.extend(sys.run_batch(&batch));
+            }
+            (all, sys.finish_region())
+        };
+        let (a, ra) = run_once();
+        let (b, rb) = run_once();
+        assert_eq!(a, b, "bit-identical completions on replay");
+        assert_eq!(ra.cycles, rb.cycles);
+        assert_eq!(a.len(), 4 * 800);
+        // Per-op stamps conserve and the region histograms cover
+        // exactly the batched ops.
+        for c in &a {
+            assert_eq!(
+                c.breakdown.total(),
+                c.complete_at - c.issued_at,
+                "per-op conservation"
+            );
+        }
+        assert_eq!(ra.mem_ops, 4 * 800);
+        assert_eq!(ra.latency_hist.count(), 4 * 800);
+        assert!(ra.latency_hist.conserves(&ra.latency));
+    }
+
+    #[test]
+    fn run_batch_respects_mshr_width() {
+        // Same batch, wider cores: overlapped misses can only shrink
+        // the epoch's wall time, and determinism holds either way.
+        let p = catalog()
+            .into_iter()
+            .find(|p| p.name == "backprop")
+            .unwrap();
+        let run_with = |mshrs: usize| {
+            let mut cfg = SystemConfig::table_ii(Scheme::DveDeny);
+            cfg.warmup_per_thread = 0;
+            cfg.mshrs = mshrs;
+            let mut sys = System::new(cfg, &p, 42);
+            let batch = client_batch(1, 2000, sys.cores());
+            sys.begin_region();
+            sys.run_batch(&batch);
+            sys.finish_region().cycles
+        };
+        let blocking = run_with(1);
+        let overlapped = run_with(4);
+        assert!(
+            overlapped < blocking,
+            "4 MSHRs must overlap client misses: {overlapped} vs {blocking}"
+        );
+    }
+
+    #[test]
+    fn forced_degraded_flip_reaches_engine_and_lifts() {
+        let p = catalog()
+            .into_iter()
+            .find(|p| p.name == "backprop")
+            .unwrap();
+        let mut cfg = SystemConfig::table_ii(Scheme::DveDeny);
+        cfg.warmup_per_thread = 0;
+        let mut sys = System::new(cfg, &p, 42);
+        let batch = client_batch(2, 500, sys.cores());
+        sys.run_batch(&batch);
+        assert_eq!(sys.engine_stats().degraded_transitions, 0);
+        sys.set_forced_degraded(true);
+        sys.run_batch(&batch);
+        assert_eq!(sys.engine_stats().degraded_transitions, 1, "entered §V-E");
+        sys.set_forced_degraded(true); // redundant flip: no edge
+        assert_eq!(sys.engine_stats().degraded_transitions, 1);
+        sys.set_forced_degraded(false);
+        sys.run_batch(&batch);
+        assert_eq!(sys.engine_stats().degraded_transitions, 2, "left §V-E");
     }
 
     #[test]

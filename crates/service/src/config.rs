@@ -1,0 +1,186 @@
+//! Service configuration and its plain-text `key=value` form.
+//!
+//! The service is launched from scripts and CI, so its configuration
+//! is a flat, whitespace-separated `key=value` string (e.g.
+//! `"scheme=dve-deny epoch_ops=4096 chaos_seed=7"`) rather than a
+//! builder chain. [`ServiceConfig::from_str`] and
+//! [`ServiceConfig::fmt`](std::fmt::Display) are exact inverses, so a
+//! config can be logged, copied out of a report, and replayed.
+
+use dve::config::Scheme;
+
+/// Everything needed to boot a [`Service`](crate::Service).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Memory-system scheme the live system runs under.
+    pub scheme: Scheme,
+    /// Workload name from the catalog — chooses the sharing layout and
+    /// footprint the live system is configured for (client ops address
+    /// lines inside that footprint).
+    pub workload: String,
+    /// Master seed for the system build (placement, workload layout).
+    pub seed: u64,
+    /// MSHR ways per core; >1 lets the epoch runner overlap misses.
+    pub mshrs: usize,
+    /// Epoch is cut as soon as this many ops are pending…
+    pub epoch_ops: usize,
+    /// …or this many milliseconds after the first pending op arrived,
+    /// whichever comes first (bounded latency under trickle load).
+    pub epoch_wait_ms: u64,
+    /// Admission bound: ops held while waiting for an epoch slot.
+    /// Arrivals beyond this are shed (and exactly counted), never
+    /// silently dropped.
+    pub queue_cap: usize,
+    /// TCP port for the op/telemetry listener; 0 picks an ephemeral
+    /// port (the bound address is reported by [`Service::addr`]).
+    ///
+    /// [`Service::addr`]: crate::Service::addr
+    pub port: u16,
+    /// `Some(seed)` arms the chaos layer (random fault schedule,
+    /// detect-only ECC so recovery detours actually fire); `None`
+    /// runs fault-free.
+    pub chaos_seed: Option<u64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            scheme: Scheme::DveDeny,
+            workload: "backprop".to_string(),
+            seed: 42,
+            mshrs: 4,
+            epoch_ops: 4096,
+            epoch_wait_ms: 5,
+            queue_cap: 65_536,
+            port: 0,
+            chaos_seed: None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scheme={} workload={} seed={} mshrs={} epoch_ops={} \
+             epoch_wait_ms={} queue_cap={} port={} chaos_seed={}",
+            self.scheme,
+            self.workload,
+            self.seed,
+            self.mshrs,
+            self.epoch_ops,
+            self.epoch_wait_ms,
+            self.queue_cap,
+            self.port,
+            match self.chaos_seed {
+                None => "none".to_string(),
+                Some(s) => s.to_string(),
+            }
+        )
+    }
+}
+
+impl std::str::FromStr for ServiceConfig {
+    type Err = String;
+
+    /// Parses whitespace-separated `key=value` tokens on top of the
+    /// defaults. Unknown keys and malformed values are errors (a typo
+    /// must not silently fall back to a default); a repeated key takes
+    /// its last value, so callers can append overrides to a base
+    /// string.
+    fn from_str(s: &str) -> Result<ServiceConfig, String> {
+        fn num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String> {
+            v.parse().map_err(|_| format!("bad value {v:?} for {key}"))
+        }
+
+        let mut cfg = ServiceConfig::default();
+        for tok in s.split_whitespace() {
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {tok:?}"))?;
+            match key {
+                "scheme" => cfg.scheme = val.parse()?,
+                "workload" => cfg.workload = val.to_string(),
+                "seed" => cfg.seed = num(key, val)?,
+                "mshrs" => cfg.mshrs = num(key, val)?,
+                "epoch_ops" => cfg.epoch_ops = num(key, val)?,
+                "epoch_wait_ms" => cfg.epoch_wait_ms = num(key, val)?,
+                "queue_cap" => cfg.queue_cap = num(key, val)?,
+                "port" => cfg.port = num(key, val)?,
+                "chaos_seed" => {
+                    cfg.chaos_seed = if val == "none" {
+                        None
+                    } else {
+                        Some(num(key, val)?)
+                    }
+                }
+                _ => return Err(format!("unknown service config key {key:?}")),
+            }
+        }
+        if cfg.mshrs == 0 {
+            return Err("mshrs must be >= 1".to_string());
+        }
+        if cfg.epoch_ops == 0 {
+            return Err("epoch_ops must be >= 1".to_string());
+        }
+        if cfg.queue_cap < cfg.epoch_ops {
+            return Err(format!(
+                "queue_cap {} must be >= epoch_ops {}",
+                cfg.queue_cap, cfg.epoch_ops
+            ));
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_from_str_round_trips() {
+        let cases = [
+            ServiceConfig::default(),
+            ServiceConfig {
+                scheme: Scheme::DveAllow,
+                workload: "kmeans".to_string(),
+                seed: 7,
+                mshrs: 1,
+                epoch_ops: 128,
+                epoch_wait_ms: 0,
+                queue_cap: 128,
+                port: 4242,
+                chaos_seed: Some(0xC0FFEE),
+            },
+        ];
+        for cfg in cases {
+            let text = cfg.to_string();
+            assert_eq!(text.parse::<ServiceConfig>(), Ok(cfg.clone()), "{text}");
+        }
+    }
+
+    #[test]
+    fn empty_string_is_defaults_and_last_key_wins() {
+        assert_eq!("".parse::<ServiceConfig>(), Ok(ServiceConfig::default()));
+        let cfg: ServiceConfig = "seed=1 seed=2".parse().unwrap();
+        assert_eq!(cfg.seed, 2);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        for bad in [
+            "frobnicate=1",
+            "seed",
+            "seed=abc",
+            "scheme=dve-maybe",
+            "mshrs=0",
+            "epoch_ops=0",
+            "epoch_ops=64 queue_cap=32",
+        ] {
+            assert!(bad.parse::<ServiceConfig>().is_err(), "{bad:?}");
+        }
+        // chaos_seed admits the explicit "none".
+        let cfg: ServiceConfig = "chaos_seed=none".parse().unwrap();
+        assert_eq!(cfg.chaos_seed, None);
+    }
+}

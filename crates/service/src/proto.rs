@@ -1,0 +1,289 @@
+//! The TCP wire protocol: little-endian, length-prefixed frames.
+//!
+//! ```text
+//! frame    := len:u32le body
+//! body     := tag:u8 payload
+//! HELLO    (0x01) := client_id:u64            → HELLO_OK (0x81) := client_id:u64 cores:u32
+//! OPS      (0x02) := count:u32 { seq:u64 line:u64 kind:u8 }*
+//!        → BATCH    (0x82) := count:u32 { seq:u64 shed:u8 issued:u64 complete:u64 comp[6]:u64 }*
+//! ```
+//!
+//! One request, one response; a client pipelines by sending larger
+//! OPS batches, not by overlapping frames. The same listener also
+//! answers plain `GET /metrics` and `GET /health`: the connection
+//! handler sniffs the first 4 bytes, and `"GET "` read as a
+//! little-endian u32 is 0x2054_4547 — far above [`MAX_FRAME`] — so an
+//! HTTP request can never be mistaken for a binary frame.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use dve_sim::latency::{Component, LatencyBreakdown};
+use dve_workloads::op::MemReq;
+
+use crate::batcher::SubmittedOp;
+use crate::service::Completion;
+
+/// Upper bound on a frame body; protects both sides from a corrupt
+/// length prefix. Generous: the largest legal OPS frame (u32 count)
+/// at this bound still carries ~980k ops.
+pub const MAX_FRAME: u32 = 1 << 24;
+
+pub const TAG_HELLO: u8 = 0x01;
+pub const TAG_OPS: u8 = 0x02;
+pub const TAG_HELLO_OK: u8 = 0x81;
+pub const TAG_BATCH: u8 = 0x82;
+
+/// Reads one length-prefixed frame body.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} out of range"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(stream: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    assert!(!body.is_empty() && body.len() <= MAX_FRAME as usize);
+    stream.write_all(&(body.len() as u32).to_le_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn take<const N: usize>(buf: &[u8], at: &mut usize) -> io::Result<[u8; N]> {
+    let end = *at + N;
+    let slice = buf
+        .get(*at..end)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated frame"))?;
+    *at = end;
+    Ok(slice.try_into().unwrap())
+}
+
+fn take_u64(buf: &[u8], at: &mut usize) -> io::Result<u64> {
+    Ok(u64::from_le_bytes(take::<8>(buf, at)?))
+}
+
+/// Encodes a HELLO request.
+pub fn encode_hello(client: u64) -> Vec<u8> {
+    let mut b = vec![TAG_HELLO];
+    b.extend_from_slice(&client.to_le_bytes());
+    b
+}
+
+/// Encodes a HELLO_OK response.
+pub fn encode_hello_ok(client: u64, cores: u32) -> Vec<u8> {
+    let mut b = vec![TAG_HELLO_OK];
+    b.extend_from_slice(&client.to_le_bytes());
+    b.extend_from_slice(&cores.to_le_bytes());
+    b
+}
+
+/// Encodes an OPS request. `client` is not on the wire — the server
+/// stamps ops with the session's registered id, so a session cannot
+/// submit on another session's behalf.
+pub fn encode_ops(ops: &[(u64, u64, MemReq)]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(1 + 4 + ops.len() * 17);
+    b.push(TAG_OPS);
+    b.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for &(seq, line, req) in ops {
+        b.extend_from_slice(&seq.to_le_bytes());
+        b.extend_from_slice(&line.to_le_bytes());
+        b.push(match req {
+            MemReq::Read => 0,
+            MemReq::Write => 1,
+        });
+    }
+    b
+}
+
+/// Decodes an OPS request body (after the tag byte has been checked),
+/// stamping each op with the session's `client` id.
+pub fn decode_ops(body: &[u8], client: u64) -> io::Result<Vec<SubmittedOp>> {
+    let mut at = 1;
+    let count = u32::from_le_bytes(take::<4>(body, &mut at)?);
+    let mut ops = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let seq = take_u64(body, &mut at)?;
+        let line = take_u64(body, &mut at)?;
+        let req = match take::<1>(body, &mut at)?[0] {
+            0 => MemReq::Read,
+            1 => MemReq::Write,
+            k => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad op kind {k}"),
+                ))
+            }
+        };
+        ops.push(SubmittedOp {
+            client,
+            seq,
+            line,
+            req,
+        });
+    }
+    Ok(ops)
+}
+
+/// Encodes a BATCH response.
+pub fn encode_batch(completions: &[Completion]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(1 + 4 + completions.len() * 73);
+    b.push(TAG_BATCH);
+    b.extend_from_slice(&(completions.len() as u32).to_le_bytes());
+    for c in completions {
+        b.extend_from_slice(&c.seq.to_le_bytes());
+        b.push(c.shed as u8);
+        b.extend_from_slice(&c.issued_at.to_le_bytes());
+        b.extend_from_slice(&c.complete_at.to_le_bytes());
+        for comp in Component::ALL {
+            b.extend_from_slice(&c.breakdown.get(comp).to_le_bytes());
+        }
+    }
+    b
+}
+
+/// Decodes a BATCH response body (tag already checked).
+pub fn decode_batch(body: &[u8], client: u64) -> io::Result<Vec<Completion>> {
+    let mut at = 1;
+    let count = u32::from_le_bytes(take::<4>(body, &mut at)?);
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let seq = take_u64(body, &mut at)?;
+        let shed = take::<1>(body, &mut at)?[0] != 0;
+        let issued_at = take_u64(body, &mut at)?;
+        let complete_at = take_u64(body, &mut at)?;
+        let mut breakdown = LatencyBreakdown::default();
+        for comp in Component::ALL {
+            breakdown.add(comp, take_u64(body, &mut at)?);
+        }
+        out.push(Completion {
+            client,
+            seq,
+            shed,
+            issued_at,
+            complete_at,
+            breakdown,
+        });
+    }
+    Ok(out)
+}
+
+/// Client side of the binary protocol — used by the TCP load
+/// generator and tests.
+pub struct TcpClient {
+    stream: TcpStream,
+    client: u64,
+    /// System core count reported by HELLO_OK.
+    pub cores: u32,
+}
+
+impl TcpClient {
+    /// Connects and performs the HELLO handshake.
+    pub fn connect(addr: std::net::SocketAddr, client: u64) -> io::Result<TcpClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_frame(&mut stream, &encode_hello(client))?;
+        let rsp = read_frame(&mut stream)?;
+        let mut at = 1;
+        if rsp.first() != Some(&TAG_HELLO_OK) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad HELLO_OK"));
+        }
+        let echoed = take_u64(&rsp, &mut at)?;
+        let cores = u32::from_le_bytes(take::<4>(&rsp, &mut at)?);
+        if echoed != client {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "id mismatch"));
+        }
+        Ok(TcpClient {
+            stream,
+            client,
+            cores,
+        })
+    }
+
+    /// Submits one batch of `(seq, line, req)` ops and blocks for the
+    /// matching completions.
+    pub fn submit(&mut self, ops: &[(u64, u64, MemReq)]) -> io::Result<Vec<Completion>> {
+        write_frame(&mut self.stream, &encode_ops(ops))?;
+        let rsp = read_frame(&mut self.stream)?;
+        if rsp.first() != Some(&TAG_BATCH) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad BATCH"));
+        }
+        decode_batch(&rsp, self.client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_round_trip() {
+        let ops = vec![
+            (0u64, 17u64, MemReq::Read),
+            (1, 9000, MemReq::Write),
+            (u64::MAX, u64::MAX, MemReq::Read),
+        ];
+        let body = encode_ops(&ops);
+        assert_eq!(body[0], TAG_OPS);
+        let decoded = decode_ops(&body, 7).unwrap();
+        assert_eq!(decoded.len(), 3);
+        for (d, (seq, line, req)) in decoded.iter().zip(&ops) {
+            assert_eq!((d.client, d.seq, d.line, d.req), (7, *seq, *line, *req));
+        }
+    }
+
+    #[test]
+    fn batch_round_trip_preserves_breakdown() {
+        let mut breakdown = LatencyBreakdown::default();
+        breakdown.add(Component::Link, 50);
+        breakdown.add(Component::Recovery, 3);
+        let completions = vec![
+            Completion {
+                client: 7,
+                seq: 12,
+                shed: false,
+                issued_at: 100,
+                complete_at: 400,
+                breakdown,
+            },
+            Completion {
+                client: 7,
+                seq: 13,
+                shed: true,
+                issued_at: 0,
+                complete_at: 0,
+                breakdown: LatencyBreakdown::default(),
+            },
+        ];
+        let body = encode_batch(&completions);
+        assert_eq!(decode_batch(&body, 7).unwrap(), completions);
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_bad_lengths() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[1, 2, 3]).unwrap();
+        let body = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(body, vec![1, 2, 3]);
+        // Oversized length prefix is refused without allocating.
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+        // "GET " sniffed as a length is out of range too (HTTP guard).
+        assert!(u32::from_le_bytes(*b"GET ") > MAX_FRAME);
+    }
+
+    #[test]
+    fn truncated_bodies_error_cleanly() {
+        let ops = vec![(1u64, 2u64, MemReq::Write)];
+        let body = encode_ops(&ops);
+        assert!(decode_ops(&body[..body.len() - 1], 1).is_err());
+    }
+}

@@ -1,0 +1,807 @@
+//! The running service: session registration, the epoch runner that
+//! owns the live [`System`], and the TCP front end.
+//!
+//! Thread layout:
+//!
+//! * **Runner** (one thread) — owns the `System` and the
+//!   [`EpochBatcher`]. Drains the control channel, cuts an epoch when
+//!   either `epoch_ops` are pending or `epoch_wait_ms` has elapsed
+//!   since the first pending op, executes it via
+//!   [`System::run_batch`], routes per-op completions back to
+//!   sessions, publishes telemetry. All simulation state is confined
+//!   here; no locks on the simulation.
+//! * **Listener** (one thread) — non-blocking `accept` loop; spawns a
+//!   connection thread per client.
+//! * **Connection threads** — sniff HTTP (`GET /metrics`,
+//!   `GET /health`) vs the binary frame protocol; binary connections
+//!   register a session and relay ops/completions.
+//!
+//! Shutdown is a drain: the listener stops accepting, sessions'
+//! remaining submissions are refused as shed (with completions, so
+//! closed-loop clients never hang), the runner executes every already
+//! admitted op, and [`Service::shutdown`] returns the final
+//! [`ServiceReport`].
+//!
+//! [`System`]: dve::system::System
+//! [`System::run_batch`]: dve::system::System::run_batch
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dve::chaos::{ChaosConfig, ChaosParams};
+use dve::config::SystemConfig;
+use dve::system::{ClientOp, System};
+use dve_dram::controller::EccProfile;
+use dve_sim::latency::{LatencyBreakdown, LatencyHists};
+use dve_workloads::op::MemReq;
+use dve_workloads::{catalog, TraceGenerator};
+
+use crate::batcher::{EpochBatcher, SubmittedOp};
+use crate::config::ServiceConfig;
+use crate::proto;
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
+
+/// Per-op completion delivered to the submitting session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Session that submitted the op.
+    pub client: u64,
+    /// Echo of the client-chosen sequence number.
+    pub seq: u64,
+    /// The op was refused at admission (queue full or draining); the
+    /// timing fields are zero and the op did not touch the system.
+    pub shed: bool,
+    /// Simulated issue time (core cycles).
+    pub issued_at: u64,
+    /// Simulated completion time.
+    pub complete_at: u64,
+    /// Per-layer latency attribution; sums to
+    /// `complete_at - issued_at`.
+    pub breakdown: LatencyBreakdown,
+}
+
+/// Messages into the runner thread.
+enum Msg {
+    Register {
+        client: u64,
+        tx: Sender<Vec<Completion>>,
+    },
+    Deregister {
+        client: u64,
+    },
+    Ops(Vec<SubmittedOp>),
+    /// Force §V-E degraded mode on/off on the live system.
+    ForceDegraded(bool),
+    /// Begin the drain; the runner finishes admitted work and exits.
+    Shutdown,
+}
+
+/// Final accounting returned by [`Service::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Final simulated clock (core cycles).
+    pub cycles: u64,
+    /// Admission accounting; `submitted == admitted + shed` always.
+    pub submitted: u64,
+    pub admitted: u64,
+    pub shed: u64,
+    /// Completions delivered for admitted ops; equals `admitted` after
+    /// a clean drain — the no-dropped-ops gate.
+    pub completed: u64,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Cumulative per-op latency histograms (whole service lifetime).
+    pub hists: LatencyHists,
+    /// Engine-side aggregate the histograms must conserve against.
+    pub engine_latency: LatencyBreakdown,
+    /// §V-E degraded-mode transitions observed by the engine.
+    pub degraded_transitions: u64,
+    /// Recovery ledger self-consistency at shutdown.
+    pub recovery_consistent: bool,
+    /// Demand reads that took the §V-B2 recovery path.
+    pub detected_reads: u64,
+}
+
+impl ServiceReport {
+    /// The service-level conservation gate: every admitted op
+    /// completed, the admission ledger balances, and the per-op
+    /// histograms sum to the engine's own cycle totals.
+    pub fn conserves(&self) -> bool {
+        self.submitted == self.admitted + self.shed
+            && self.completed == self.admitted
+            && (self.hists.count() == 0 || self.hists.conserves(&self.engine_latency))
+    }
+}
+
+/// An in-process session: submit ops, receive completions. Cheap to
+/// create (two mpsc channels); thousands can run concurrently.
+pub struct Session {
+    client: u64,
+    cores: usize,
+    ctl: Sender<Msg>,
+    rx: Receiver<Vec<Completion>>,
+}
+
+impl Session {
+    /// The session's unique client id.
+    pub fn client(&self) -> u64 {
+        self.client
+    }
+
+    /// Core count of the underlying system (ops are sharded
+    /// `client % cores`).
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Submits `(seq, line, req)` ops and blocks until every one has a
+    /// completion (shed ones included). Completions are returned in
+    /// delivery order; match on `seq`. Returns `None` if the service
+    /// went away mid-wait.
+    pub fn submit(&self, ops: &[(u64, u64, MemReq)]) -> Option<Vec<Completion>> {
+        let batch: Vec<SubmittedOp> = ops
+            .iter()
+            .map(|&(seq, line, req)| SubmittedOp {
+                client: self.client,
+                seq,
+                line,
+                req,
+            })
+            .collect();
+        self.ctl.send(Msg::Ops(batch)).ok()?;
+        let mut got = Vec::with_capacity(ops.len());
+        while got.len() < ops.len() {
+            got.extend(self.rx.recv().ok()?);
+        }
+        Some(got)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        let _ = self.ctl.send(Msg::Deregister {
+            client: self.client,
+        });
+    }
+}
+
+/// Handle to a running service.
+pub struct Service {
+    ctl: Sender<Msg>,
+    telemetry: Arc<Telemetry>,
+    addr: SocketAddr,
+    cores: usize,
+    next_client: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+    runner: Option<JoinHandle<ServiceReport>>,
+    listener: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Boots the service: builds the live [`System`](dve::system::System)
+    /// for `cfg`, spawns the runner and the TCP listener, and returns
+    /// once the listener is bound.
+    pub fn start(cfg: &ServiceConfig) -> io::Result<Service> {
+        let profile = catalog()
+            .into_iter()
+            .find(|p| p.name == cfg.workload)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("unknown workload {:?}", cfg.workload),
+                )
+            })?;
+
+        let mut sys_cfg = SystemConfig::table_ii(cfg.scheme);
+        sys_cfg.mshrs = cfg.mshrs;
+        // Client lines are folded into the workload's address span so
+        // they hit the same layout (and the same chaos fault sites) as
+        // trace traffic would.
+        let span = TraceGenerator::new(&profile, sys_cfg.engine.cores, cfg.seed).span_lines();
+        if let Some(chaos_seed) = cfg.chaos_seed {
+            sys_cfg.ecc = EccProfile::tsd();
+            sys_cfg.chaos = Some(ChaosConfig::random(
+                chaos_seed,
+                &ChaosParams {
+                    faults: 8,
+                    horizon: 200_000,
+                    transient_fraction: 0.5,
+                    heal_after: Some(100_000),
+                    channels_per_socket: sys_cfg.channels_per_socket(),
+                    line_span: span,
+                },
+            ));
+        }
+        let cores = sys_cfg.engine.cores;
+        let system = System::new(sys_cfg, &profile, cfg.seed);
+
+        let telemetry = Arc::new(Telemetry::new());
+        telemetry.publish(TelemetrySnapshot {
+            recovery_consistent: true,
+            ..TelemetrySnapshot::default()
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (ctl_tx, ctl_rx) = channel();
+
+        let runner = {
+            let telemetry = Arc::clone(&telemetry);
+            let epoch_ops = cfg.epoch_ops;
+            let queue_cap = cfg.queue_cap;
+            let wait = Duration::from_millis(cfg.epoch_wait_ms);
+            std::thread::Builder::new()
+                .name("dve-epoch-runner".to_string())
+                .spawn(move || {
+                    run_epochs(system, span, queue_cap, epoch_ops, wait, ctl_rx, telemetry)
+                })?
+        };
+
+        let tcp = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        let addr = tcp.local_addr()?;
+        let listener = {
+            let ctl = ctl_tx.clone();
+            let telemetry = Arc::clone(&telemetry);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("dve-listener".to_string())
+                .spawn(move || run_listener(tcp, cores, ctl, telemetry, shutdown))?
+        };
+
+        Ok(Service {
+            ctl: ctl_tx,
+            telemetry,
+            addr,
+            cores,
+            next_client: AtomicU64::new(IN_PROC_CLIENT_BASE),
+            shutdown,
+            runner: Some(runner),
+            listener: Some(listener),
+        })
+    }
+
+    /// The bound TCP address (op protocol + `/metrics` + `/health`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared telemetry handle.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// Opens an in-process session with a fresh client id.
+    pub fn session(&self) -> Session {
+        let client = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel();
+        self.telemetry.sessions.fetch_add(1, Ordering::Relaxed);
+        // The runner can only be gone after shutdown(), which consumes
+        // the Service — so this send cannot race a live handle.
+        self.ctl
+            .send(Msg::Register { client, tx })
+            .expect("runner alive while service handle exists");
+        Session {
+            client,
+            cores: self.cores,
+            ctl: self.ctl.clone(),
+            rx,
+        }
+    }
+
+    /// Forces §V-E degraded mode on or off on the live system, as an
+    /// operator "take one copy out of service" action.
+    pub fn force_degraded(&self, on: bool) {
+        let _ = self.ctl.send(Msg::ForceDegraded(on));
+    }
+
+    /// A clonable, `'static` handle for flipping degraded mode from
+    /// another thread while the `Service` itself is borrowed (e.g. by
+    /// a running load generator).
+    pub fn degraded_control(&self) -> impl Fn(bool) + Send + 'static {
+        let ctl = self.ctl.clone();
+        move |on| {
+            let _ = ctl.send(Msg::ForceDegraded(on));
+        }
+    }
+
+    /// Graceful drain: stop accepting, execute every admitted op,
+    /// tear down the listener, and return the final report.
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.telemetry.stop_accepting();
+        self.shutdown.store(true, Ordering::Release);
+        let _ = self.ctl.send(Msg::Shutdown);
+        let report = self
+            .runner
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("runner thread panicked");
+        if let Some(l) = self.listener.take() {
+            let _ = l.join();
+        }
+        report
+    }
+}
+
+/// In-process client ids start here; TCP clients pick their own ids
+/// below this (the loadgen uses small integers).
+const IN_PROC_CLIENT_BASE: u64 = 1 << 32;
+
+fn shed_completion(op: &SubmittedOp) -> Completion {
+    Completion {
+        client: op.client,
+        seq: op.seq,
+        shed: true,
+        issued_at: 0,
+        complete_at: 0,
+        breakdown: LatencyBreakdown::default(),
+    }
+}
+
+/// The epoch runner: the only thread that touches the `System`.
+fn run_epochs(
+    mut system: System,
+    line_span: u64,
+    queue_cap: usize,
+    epoch_ops: usize,
+    wait: Duration,
+    rx: Receiver<Msg>,
+    telemetry: Arc<Telemetry>,
+) -> ServiceReport {
+    let cores = system.cores() as u64;
+    let mut batcher = EpochBatcher::new(queue_cap, epoch_ops);
+    let mut routes: HashMap<u64, Sender<Vec<Completion>>> = HashMap::new();
+    let mut first_pending: Option<Instant> = None;
+    let mut draining = false;
+    let mut completed: u64 = 0;
+
+    let handle = |msg: Msg,
+                  batcher: &mut EpochBatcher,
+                  routes: &mut HashMap<u64, Sender<Vec<Completion>>>,
+                  system: &mut System,
+                  first_pending: &mut Option<Instant>,
+                  draining: &mut bool| {
+        match msg {
+            Msg::Register { client, tx } => {
+                routes.insert(client, tx);
+            }
+            Msg::Deregister { client } => {
+                routes.remove(&client);
+                telemetry.sessions.fetch_sub(1, Ordering::Relaxed);
+            }
+            Msg::ForceDegraded(on) => system.set_forced_degraded(on),
+            Msg::Shutdown => *draining = true,
+            Msg::Ops(ops) => {
+                let mut shed: Vec<Completion> = Vec::new();
+                for op in ops {
+                    telemetry.submitted.fetch_add(1, Ordering::Relaxed);
+                    // While draining, refuse new work outright (but
+                    // still answer it) so the drain terminates.
+                    let admitted = !*draining && batcher.submit(op);
+                    if admitted {
+                        telemetry.admitted.fetch_add(1, Ordering::Relaxed);
+                        if first_pending.is_none() {
+                            *first_pending = Some(Instant::now());
+                        }
+                    } else {
+                        telemetry.shed.fetch_add(1, Ordering::Relaxed);
+                        shed.push(shed_completion(&op));
+                    }
+                }
+                for (client, comps) in group_by_client(shed) {
+                    if let Some(tx) = routes.get(&client) {
+                        let _ = tx.send(comps);
+                    }
+                }
+            }
+        }
+    };
+
+    loop {
+        // Drain whatever is queued without blocking.
+        while let Ok(msg) = rx.try_recv() {
+            handle(
+                msg,
+                &mut batcher,
+                &mut routes,
+                &mut system,
+                &mut first_pending,
+                &mut draining,
+            );
+        }
+
+        let deadline_hit = first_pending.is_some_and(|t| t.elapsed() >= wait);
+        if batcher.epoch_ready() || (batcher.pending_len() > 0 && (deadline_hit || draining)) {
+            let epoch = batcher.take_epoch();
+            let client_ops: Vec<ClientOp> = epoch
+                .iter()
+                .map(|op| ClientOp {
+                    core: (op.client % cores) as usize,
+                    line: op.line % line_span.max(1),
+                    req: op.req,
+                })
+                .collect();
+            let outcomes = system.run_batch(&client_ops);
+            debug_assert_eq!(outcomes.len(), epoch.len());
+            let done: Vec<Completion> = epoch
+                .iter()
+                .zip(outcomes)
+                .map(|(op, out)| Completion {
+                    client: op.client,
+                    seq: op.seq,
+                    shed: false,
+                    issued_at: out.issued_at,
+                    complete_at: out.complete_at,
+                    breakdown: out.breakdown,
+                })
+                .collect();
+            completed += done.len() as u64;
+            telemetry
+                .completed
+                .fetch_add(done.len() as u64, Ordering::Relaxed);
+            telemetry.epochs.fetch_add(1, Ordering::Relaxed);
+            for (client, comps) in group_by_client(done) {
+                if let Some(tx) = routes.get(&client) {
+                    let _ = tx.send(comps);
+                }
+            }
+            first_pending = (batcher.pending_len() > 0).then(Instant::now);
+            publish_snapshot(&system, &telemetry);
+            continue;
+        }
+
+        if draining && batcher.pending_len() == 0 {
+            break;
+        }
+
+        // Idle: block until the next message (or a deadline tick).
+        let timeout = if first_pending.is_some() {
+            wait.min(Duration::from_millis(1))
+                .max(Duration::from_micros(100))
+        } else {
+            Duration::from_millis(20)
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(msg) => handle(
+                msg,
+                &mut batcher,
+                &mut routes,
+                &mut system,
+                &mut first_pending,
+                &mut draining,
+            ),
+            Err(RecvTimeoutError::Timeout) => {}
+            // Every Service/Session handle is gone; drain and exit.
+            Err(RecvTimeoutError::Disconnected) => draining = true,
+        }
+    }
+
+    publish_snapshot(&system, &telemetry);
+    let engine = system.engine_stats();
+    let ledger = system.recovery_ledger();
+    // Drain-time sheds bypass the batcher, so the report reads the
+    // telemetry counters (the batcher's ledger is a strict subset and
+    // its own `accounted()` invariant still holds).
+    ServiceReport {
+        cycles: system.now(),
+        submitted: telemetry.submitted.load(Ordering::Relaxed),
+        admitted: telemetry.admitted.load(Ordering::Relaxed),
+        shed: telemetry.shed.load(Ordering::Relaxed),
+        completed,
+        epochs: batcher.epochs(),
+        hists: system.latency_hists().clone(),
+        engine_latency: engine.latency_breakdown,
+        degraded_transitions: engine.degraded_transitions,
+        recovery_consistent: ledger.consistent(),
+        detected_reads: ledger.detected_reads,
+    }
+}
+
+fn publish_snapshot(system: &System, telemetry: &Telemetry) {
+    let engine = system.engine_stats();
+    let ledger = system.recovery_ledger();
+    telemetry.publish(TelemetrySnapshot {
+        hists: system.latency_hists().clone(),
+        engine_latency: engine.latency_breakdown,
+        cycles: system.now(),
+        degraded_transitions: engine.degraded_transitions,
+        recovery_consistent: ledger.consistent(),
+        detected_reads: ledger.detected_reads,
+    });
+}
+
+fn group_by_client(comps: Vec<Completion>) -> HashMap<u64, Vec<Completion>> {
+    let mut by_client: HashMap<u64, Vec<Completion>> = HashMap::new();
+    for c in comps {
+        by_client.entry(c.client).or_default().push(c);
+    }
+    by_client
+}
+
+/// Accept loop. Non-blocking so shutdown can interrupt it.
+fn run_listener(
+    tcp: TcpListener,
+    cores: usize,
+    ctl: Sender<Msg>,
+    telemetry: Arc<Telemetry>,
+    shutdown: Arc<AtomicBool>,
+) {
+    tcp.set_nonblocking(true).expect("set_nonblocking");
+    while !shutdown.load(Ordering::Acquire) {
+        match tcp.accept() {
+            Ok((stream, _)) => {
+                let ctl = ctl.clone();
+                let telemetry = Arc::clone(&telemetry);
+                let shutdown = Arc::clone(&shutdown);
+                let _ = std::thread::Builder::new()
+                    .name("dve-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, cores, ctl, telemetry, shutdown);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// One connection: HTTP scrape or binary op session.
+fn serve_connection(
+    mut stream: TcpStream,
+    cores: usize,
+    ctl: Sender<Msg>,
+    telemetry: Arc<Telemetry>,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut head = [0u8; 4];
+    stream.read_exact(&mut head)?;
+    if &head == b"GET " {
+        return serve_http(stream, &telemetry);
+    }
+
+    // Binary session. `head` is the length prefix of the HELLO frame.
+    let len = u32::from_le_bytes(head);
+    if len == 0 || len > proto::MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad first frame",
+        ));
+    }
+    let mut hello = vec![0u8; len as usize];
+    stream.read_exact(&mut hello)?;
+    if hello.first() != Some(&proto::TAG_HELLO) || hello.len() != 9 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "expected HELLO"));
+    }
+    let client = u64::from_le_bytes(hello[1..9].try_into().unwrap());
+
+    let (tx, rx) = channel();
+    telemetry.sessions.fetch_add(1, Ordering::Relaxed);
+    if ctl.send(Msg::Register { client, tx }).is_err() {
+        return Ok(()); // runner already gone
+    }
+    proto::write_frame(&mut stream, &proto::encode_hello_ok(client, cores as u32))?;
+
+    // A bounded read timeout lets the thread notice shutdown while
+    // parked on an idle connection.
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let result = serve_session(&mut stream, client, &ctl, &rx, &shutdown);
+    let _ = ctl.send(Msg::Deregister { client });
+    result
+}
+
+fn serve_session(
+    stream: &mut TcpStream,
+    client: u64,
+    ctl: &Sender<Msg>,
+    rx: &Receiver<Vec<Completion>>,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    loop {
+        let body = match proto::read_frame(stream) {
+            Ok(b) => b,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                continue;
+            }
+            // Peer closed between requests: normal end of session.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        if body.first() != Some(&proto::TAG_OPS) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "expected OPS"));
+        }
+        let ops = proto::decode_ops(&body, client)?;
+        let expect = ops.len();
+        if ctl.send(Msg::Ops(ops)).is_err() {
+            return Ok(());
+        }
+        let mut got = Vec::with_capacity(expect);
+        while got.len() < expect {
+            match rx.recv_timeout(Duration::from_secs(30)) {
+                Ok(comps) => got.extend(comps),
+                Err(_) => return Err(io::Error::new(io::ErrorKind::TimedOut, "completions lost")),
+            }
+        }
+        proto::write_frame(stream, &proto::encode_batch(&got))?;
+    }
+}
+
+/// Minimal HTTP/1.0 for `GET /metrics` and `GET /health`. The "GET "
+/// prefix has already been consumed.
+fn serve_http(mut stream: TcpStream, telemetry: &Telemetry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut req = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !req.ends_with(b"\r\n\r\n") && req.len() < 4096 {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => req.push(byte[0]),
+            Err(_) => break,
+        }
+    }
+    let path = std::str::from_utf8(&req)
+        .ok()
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or("");
+    let (status, body) = match path {
+        "/metrics" => ("200 OK", telemetry.render_metrics()),
+        "/health" => ("200 OK", telemetry.render_health()),
+        _ => ("404 Not Found", "not found\n".to_string()),
+    };
+    let rsp = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(rsp.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dve_sim::rng::SplitMix64;
+    use dve_workloads::op::MemReq;
+
+    fn small_cfg() -> ServiceConfig {
+        // Tiny epochs + a short deadline keep the tests fast.
+        "epoch_ops=64 epoch_wait_ms=1 queue_cap=4096 mshrs=2"
+            .parse()
+            .unwrap()
+    }
+
+    fn gen_ops(seed: u64, n: u64) -> Vec<(u64, u64, MemReq)> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|seq| {
+                let line = rng.next_below(1 << 14);
+                let req = if rng.chance(0.7) {
+                    MemReq::Read
+                } else {
+                    MemReq::Write
+                };
+                (seq, line, req)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn in_process_sessions_complete_every_op() {
+        let service = Service::start(&small_cfg()).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let session = service.session();
+            handles.push(std::thread::spawn(move || {
+                let ops = gen_ops(0xA0 + t, 200);
+                let comps = session.submit(&ops).expect("service alive");
+                assert_eq!(comps.len(), ops.len());
+                let mut seqs: Vec<u64> = comps.iter().map(|c| c.seq).collect();
+                seqs.sort_unstable();
+                assert_eq!(seqs, (0..200).collect::<Vec<u64>>());
+                for c in &comps {
+                    assert!(!c.shed, "queue_cap ample; nothing sheds");
+                    assert_eq!(
+                        c.breakdown.total(),
+                        c.complete_at - c.issued_at,
+                        "per-op conservation on the wire"
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = service.shutdown();
+        assert_eq!(report.submitted, 1600);
+        assert_eq!(report.completed, report.admitted);
+        assert!(report.conserves(), "{report:?}");
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn tcp_sessions_and_http_scrapes_share_the_listener() {
+        let service = Service::start(&small_cfg()).unwrap();
+        let addr = service.addr();
+
+        let mut client = proto::TcpClient::connect(addr, 3).unwrap();
+        assert_eq!(client.cores, 16);
+        let ops = gen_ops(0x7C9, 100);
+        let comps = client.submit(&ops).unwrap();
+        assert_eq!(comps.len(), 100);
+        assert!(comps.iter().all(|c| !c.shed));
+
+        // HTTP on the same port.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut rsp = String::new();
+        s.read_to_string(&mut rsp).unwrap();
+        assert!(rsp.starts_with("HTTP/1.0 200 OK"), "{rsp}");
+        assert!(rsp.contains("dve_ops_completed 100"), "{rsp}");
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /health HTTP/1.0\r\n\r\n").unwrap();
+        let mut rsp = String::new();
+        s.read_to_string(&mut rsp).unwrap();
+        assert!(rsp.contains("ok"), "{rsp}");
+
+        let report = service.shutdown();
+        assert!(report.conserves(), "{report:?}");
+    }
+
+    #[test]
+    fn overload_sheds_exactly_and_answers_every_op() {
+        let cfg: ServiceConfig = "epoch_ops=32 epoch_wait_ms=50 queue_cap=32"
+            .parse()
+            .unwrap();
+        let service = Service::start(&cfg).unwrap();
+        let session = service.session();
+        // One giant burst against a 32-op queue: most of it sheds, but
+        // every op gets an answer.
+        let ops = gen_ops(7, 1000);
+        let comps = session.submit(&ops).unwrap();
+        assert_eq!(comps.len(), 1000);
+        let shed = comps.iter().filter(|c| c.shed).count();
+        assert!(shed > 0, "burst must overflow the 32-op queue");
+        drop(session);
+        let report = service.shutdown();
+        assert_eq!(report.submitted, 1000);
+        assert_eq!(report.shed, shed as u64);
+        assert!(report.conserves(), "{report:?}");
+    }
+
+    #[test]
+    fn forced_degradation_flips_live_and_chaos_runs_stay_consistent() {
+        let cfg: ServiceConfig = "epoch_ops=64 epoch_wait_ms=1 chaos_seed=11 scheme=dve-deny"
+            .parse()
+            .unwrap();
+        let service = Service::start(&cfg).unwrap();
+        let session = service.session();
+        assert!(session.submit(&gen_ops(1, 300)).is_some());
+        service.force_degraded(true);
+        assert!(session.submit(&gen_ops(2, 300)).is_some());
+        service.force_degraded(false);
+        assert!(session.submit(&gen_ops(3, 300)).is_some());
+        drop(session);
+        let report = service.shutdown();
+        assert!(
+            report.degraded_transitions >= 2,
+            "on+off must both reach the engine: {report:?}"
+        );
+        assert!(report.recovery_consistent);
+        assert!(report.conserves(), "{report:?}");
+    }
+}

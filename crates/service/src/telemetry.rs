@@ -1,0 +1,193 @@
+//! Live service telemetry: lock-free counters for the hot path, a
+//! mutex-guarded snapshot for the slow (per-epoch) path, and the
+//! plaintext renderings served at `GET /metrics` and `GET /health`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use dve_sim::latency::{Component, LatencyBreakdown, LatencyHists};
+
+/// Histogram / engine state published by the epoch runner after each
+/// epoch. Scrapes read a coherent copy under the mutex; the op hot
+/// path never touches it.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Cumulative per-op latency histograms since service start.
+    pub hists: LatencyHists,
+    /// Engine-side cumulative latency totals (the conservation
+    /// reference: `hists` must sum to exactly this).
+    pub engine_latency: LatencyBreakdown,
+    /// Latest system clock (max per-core time), in core cycles.
+    pub cycles: u64,
+    /// Engine degraded-mode transitions (§V-E enter/leave events).
+    pub degraded_transitions: u64,
+    /// Recovery ledger self-consistency (see
+    /// `dve::chaos::RecoveryLedger::consistent`).
+    pub recovery_consistent: bool,
+    /// Demand reads that took the §V-B2 recovery path.
+    pub detected_reads: u64,
+}
+
+/// Shared between sessions, the epoch runner, and HTTP scrapes.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Ops offered by sessions (admitted + shed).
+    pub submitted: AtomicU64,
+    /// Ops accepted into the epoch queue.
+    pub admitted: AtomicU64,
+    /// Ops refused at admission (queue full).
+    pub shed: AtomicU64,
+    /// Admitted ops whose completion has been delivered.
+    pub completed: AtomicU64,
+    /// Epochs executed.
+    pub epochs: AtomicU64,
+    /// Live session count.
+    pub sessions: AtomicU64,
+    /// Service accepts work (false once draining).
+    accepting: AtomicBool,
+    snapshot: Mutex<TelemetrySnapshot>,
+}
+
+impl Telemetry {
+    pub fn new() -> Telemetry {
+        let t = Telemetry::default();
+        t.accepting.store(true, Ordering::Release);
+        t
+    }
+
+    /// Marks the service as draining; `/health` flips to `draining`.
+    pub fn stop_accepting(&self) {
+        self.accepting.store(false, Ordering::Release);
+    }
+
+    /// Whether the service is accepting new work.
+    pub fn accepting(&self) -> bool {
+        self.accepting.load(Ordering::Acquire)
+    }
+
+    /// Publishes a fresh snapshot (epoch runner, once per epoch).
+    pub fn publish(&self, snap: TelemetrySnapshot) {
+        *self.snapshot.lock().unwrap() = snap;
+    }
+
+    /// A coherent copy of the last published snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.snapshot.lock().unwrap().clone()
+    }
+
+    /// The `/health` body: one line, `ok` while accepting (plus a
+    /// conservation check against the last snapshot), `draining`
+    /// during shutdown.
+    pub fn render_health(&self) -> String {
+        let snap = self.snapshot();
+        let conserves = snap.hists.count() == 0 || snap.hists.conserves(&snap.engine_latency);
+        let state = match (self.accepting(), conserves && snap.recovery_consistent) {
+            (true, true) => "ok",
+            (true, false) => "degraded-accounting",
+            (false, _) => "draining",
+        };
+        format!(
+            "{state} sessions={} completed={}\n",
+            self.sessions.load(Ordering::Relaxed),
+            self.completed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The `/metrics` body: Prometheus-style plaintext. Counters come
+    /// from the atomics (exact, racy-fresh); latency quantiles come
+    /// from the last published snapshot (coherent, epoch-fresh).
+    pub fn render_metrics(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, v: u64| {
+            out.push_str(&format!("# TYPE dve_{name} counter\ndve_{name} {v}\n"));
+        };
+        counter("ops_submitted", self.submitted.load(Ordering::Relaxed));
+        counter("ops_admitted", self.admitted.load(Ordering::Relaxed));
+        counter("ops_shed", self.shed.load(Ordering::Relaxed));
+        counter("ops_completed", self.completed.load(Ordering::Relaxed));
+        counter("epochs", self.epochs.load(Ordering::Relaxed));
+        counter("sessions", self.sessions.load(Ordering::Relaxed));
+        counter("cycles", snap.cycles);
+        counter("degraded_transitions", snap.degraded_transitions);
+        counter("recovery_detected_reads", snap.detected_reads);
+
+        out.push_str("# TYPE dve_latency_cycles summary\n");
+        let mut quantiles = |label: &str, (p50, p99, p999): (u64, u64, u64), sum: u128, n: u64| {
+            for (q, v) in [("0.5", p50), ("0.99", p99), ("0.999", p999)] {
+                out.push_str(&format!(
+                    "dve_latency_cycles{{component=\"{label}\",quantile=\"{q}\"}} {v}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "dve_latency_cycles_sum{{component=\"{label}\"}} {sum}\n\
+                 dve_latency_cycles_count{{component=\"{label}\"}} {n}\n"
+            ));
+        };
+        quantiles(
+            "total",
+            snap.hists.total.tail(),
+            snap.hists.total.sum(),
+            snap.hists.total.count(),
+        );
+        for c in Component::ALL {
+            let h = snap.hists.component(c);
+            quantiles(c.label(), h.tail(), h.sum(), h.count());
+        }
+
+        let conserves = snap.hists.count() == 0 || snap.hists.conserves(&snap.engine_latency);
+        out.push_str(&format!(
+            "# TYPE dve_latency_conserves gauge\ndve_latency_conserves {}\n\
+             # TYPE dve_recovery_consistent gauge\ndve_recovery_consistent {}\n",
+            conserves as u8, snap.recovery_consistent as u8
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_tracks_accepting_state() {
+        let t = Telemetry::new();
+        let snap = TelemetrySnapshot {
+            recovery_consistent: true,
+            ..TelemetrySnapshot::default()
+        };
+        t.publish(snap);
+        assert!(t.render_health().starts_with("ok"));
+        t.stop_accepting();
+        assert!(t.render_health().starts_with("draining"));
+    }
+
+    #[test]
+    fn metrics_render_counters_and_quantiles() {
+        let t = Telemetry::new();
+        t.submitted.store(10, Ordering::Relaxed);
+        t.completed.store(9, Ordering::Relaxed);
+        let mut snap = TelemetrySnapshot {
+            recovery_consistent: true,
+            ..TelemetrySnapshot::default()
+        };
+        let mut b = LatencyBreakdown::default();
+        b.add(Component::Mesh, 7);
+        b.add(Component::BankService, 35);
+        snap.hists.record(&b);
+        snap.engine_latency = b;
+        t.publish(snap);
+        let m = t.render_metrics();
+        assert!(m.contains("dve_ops_submitted 10"), "{m}");
+        assert!(
+            m.contains("component=\"total\",quantile=\"0.99\"} 42"),
+            "{m}"
+        );
+        assert!(m.contains("dve_latency_conserves 1"), "{m}");
+        // A mismatched engine aggregate must flip the conservation gauge.
+        let mut bad = t.snapshot();
+        bad.engine_latency.add(Component::Link, 1);
+        t.publish(bad);
+        assert!(t.render_metrics().contains("dve_latency_conserves 0"));
+    }
+}

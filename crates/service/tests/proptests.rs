@@ -1,0 +1,169 @@
+//! Property-based tests for the epoch batcher — the admission point
+//! whose two invariants the whole service leans on:
+//!
+//! 1. epoch contents are a function of the admitted *set* of ops, not
+//!    the arrival interleaving, and
+//! 2. every submitted op is either admitted or shed, exactly.
+
+use dve_service::batcher::{EpochBatcher, SubmittedOp};
+use dve_sim::rng::SplitMix64;
+use dve_workloads::op::MemReq;
+use proptest::prelude::*;
+
+/// Builds a per-client op population from a compact spec: client `c`
+/// submits `counts[c]` ops with seqs `0..counts[c]`.
+fn population(counts: &[u8]) -> Vec<SubmittedOp> {
+    let mut ops = Vec::new();
+    for (client, &n) in counts.iter().enumerate() {
+        for seq in 0..n as u64 {
+            ops.push(SubmittedOp {
+                client: client as u64,
+                seq,
+                line: (client as u64) << 32 | seq,
+                req: if (client + seq as usize).is_multiple_of(3) {
+                    MemReq::Write
+                } else {
+                    MemReq::Read
+                },
+            });
+        }
+    }
+    ops
+}
+
+/// Deterministic Fisher–Yates driven by `seed` — models one arrival
+/// interleaving of the same op population.
+fn shuffled(ops: &[SubmittedOp], seed: u64) -> Vec<SubmittedOp> {
+    let mut v = ops.to_vec();
+    let mut rng = SplitMix64::new(seed);
+    for i in (1..v.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Feeds ops through a fresh batcher in arrival bursts of `burst`
+/// ops, cutting at most one epoch between bursts (as the runner does),
+/// then drains. Bursts larger than the spare capacity force sheds.
+fn run_feed(
+    ops: &[SubmittedOp],
+    queue_cap: usize,
+    epoch_ops: usize,
+    burst: usize,
+) -> (Vec<Vec<SubmittedOp>>, u64, u64, u64) {
+    let mut b = EpochBatcher::new(queue_cap, epoch_ops);
+    let mut epochs = Vec::new();
+    for chunk in ops.chunks(burst.max(1)) {
+        for &op in chunk {
+            b.submit(op);
+            assert!(b.accounted(), "accounting must hold after every submit");
+        }
+        if b.epoch_ready() {
+            epochs.push(b.take_epoch());
+        }
+    }
+    while b.pending_len() > 0 {
+        epochs.push(b.take_epoch());
+    }
+    (epochs, b.submitted(), b.admitted(), b.shed())
+}
+
+proptest! {
+    // With capacity for the whole population, the batcher canonicalizes
+    // racy ingress: when every op has arrived before the cuts happen,
+    // the epoch *partition* is identical across arrival interleavings —
+    // and even with incremental cuts (where partition boundaries track
+    // arrival timing) the completed *set* is exactly the population,
+    // independent of interleaving.
+    #[test]
+    fn epochs_independent_of_arrival_interleaving(
+        counts in proptest::collection::vec(0u8..12, 1..10),
+        epoch_ops in 1usize..40,
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+    ) {
+        let ops = population(&counts);
+        prop_assume!(!ops.is_empty());
+        let cap = ops.len().max(epoch_ops);
+        let burst = ops.len();
+        let (ea, sub_a, adm_a, shed_a) = run_feed(&shuffled(&ops, seed_a), cap, epoch_ops, burst);
+        let (eb, ..) = run_feed(&shuffled(&ops, seed_b), cap, epoch_ops, burst);
+        prop_assert_eq!(ea, eb);
+        prop_assert_eq!((sub_a, adm_a, shed_a), (ops.len() as u64, ops.len() as u64, 0));
+        // Incremental cuts: the partition may differ, the set may not.
+        let (inc, ..) = run_feed(&shuffled(&ops, seed_a ^ seed_b), cap, epoch_ops, 1);
+        let mut done: Vec<SubmittedOp> = inc.into_iter().flatten().collect();
+        done.sort_by_key(|o| (o.client, o.seq));
+        let mut want = ops.clone();
+        want.sort_by_key(|o| (o.client, o.seq));
+        prop_assert_eq!(done, want);
+    }
+
+    // Under any capacity, admitted + shed == submitted exactly, no op
+    // appears twice, and every admitted op appears in exactly one epoch.
+    #[test]
+    fn shed_accounting_is_exact_under_pressure(
+        counts in proptest::collection::vec(0u8..20, 1..8),
+        epoch_ops in 1usize..16,
+        extra_cap in 0usize..16,
+        burst in 1usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        let ops = population(&counts);
+        prop_assume!(!ops.is_empty());
+        let cap = epoch_ops + extra_cap;
+        let (epochs, submitted, admitted, shed) =
+            run_feed(&shuffled(&ops, seed), cap, epoch_ops, burst);
+        prop_assert_eq!(submitted, ops.len() as u64);
+        prop_assert_eq!(admitted + shed, submitted);
+        let emitted: Vec<SubmittedOp> = epochs.iter().flatten().copied().collect();
+        prop_assert_eq!(emitted.len() as u64, admitted);
+        let mut keys: Vec<(u64, u64)> = emitted.iter().map(|o| (o.client, o.seq)).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before);
+        for e in &epochs {
+            prop_assert!(e.len() <= epoch_ops, "epoch size bound");
+            prop_assert!(e.windows(2).all(|w| (w[0].client, w[0].seq) < (w[1].client, w[1].seq)),
+                "canonical order inside each epoch");
+        }
+    }
+
+    // A drained batcher is indistinguishable from a fresh one: feeding
+    // a second population after fully draining the first yields the
+    // same epochs the second population yields alone.
+    #[test]
+    fn drained_batcher_has_no_memory(
+        counts_a in proptest::collection::vec(0u8..8, 1..6),
+        counts_b in proptest::collection::vec(1u8..8, 1..6),
+        epoch_ops in 1usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = population(&counts_a);
+        let b = population(&counts_b);
+        let cap = (a.len() + b.len()).max(epoch_ops);
+        let mut batcher = EpochBatcher::new(cap, epoch_ops);
+        for &op in &shuffled(&a, seed) {
+            batcher.submit(op);
+        }
+        while batcher.pending_len() > 0 {
+            batcher.take_epoch();
+        }
+        let mut after: Vec<Vec<SubmittedOp>> = Vec::new();
+        for &op in &shuffled(&b, seed ^ 1) {
+            batcher.submit(op);
+            if batcher.epoch_ready() {
+                after.push(batcher.take_epoch());
+            }
+        }
+        while batcher.pending_len() > 0 {
+            after.push(batcher.take_epoch());
+        }
+        // Same arrival order as `after` — any difference would be
+        // leftover state, not interleaving.
+        let (fresh, ..) = run_feed(&shuffled(&b, seed ^ 1), cap, epoch_ops, 1);
+        prop_assert_eq!(after, fresh);
+    }
+}

@@ -163,6 +163,79 @@ impl LatencyBreakdown {
     }
 }
 
+/// Per-op latency distributions: one [`LogHistogram`] for the
+/// end-to-end latency plus one per [`Component`].
+///
+/// [`LatencyBreakdown`] answers "where did the cycles go in aggregate";
+/// `LatencyHists` answers the serving question — "what did the p99 op
+/// pay, and to which layer". Every completed memory operation records
+/// its breakdown once (zeros included, so per-component counts equal
+/// the op count), which gives two invariants for free:
+///
+/// * each component histogram's [`LogHistogram::sum`] equals the
+///   cycles the aggregate breakdown charged to that component, and
+/// * every histogram's count equals the number of recorded ops.
+///
+/// [`LatencyHists::conserves`] checks the first against an aggregate
+/// snapshot; the service telemetry gates on it per scrape.
+///
+/// [`LogHistogram`]: crate::stats::LogHistogram
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHists {
+    /// End-to-end per-op latency (sum of all components).
+    pub total: crate::stats::LogHistogram,
+    /// Per-component distributions, indexed like [`Component::ALL`].
+    per: [crate::stats::LogHistogram; 6],
+}
+
+impl LatencyHists {
+    /// Creates an empty set of histograms.
+    pub fn new() -> LatencyHists {
+        LatencyHists::default()
+    }
+
+    /// Records one completed op's breakdown (every component, zeros
+    /// included).
+    pub fn record(&mut self, b: &LatencyBreakdown) {
+        self.total.record(b.total());
+        for (h, c) in self.per.iter_mut().zip(Component::ALL) {
+            h.record(b.get(c));
+        }
+    }
+
+    /// The distribution of one component's per-op latency.
+    pub fn component(&self, c: Component) -> &crate::stats::LogHistogram {
+        let idx = Component::ALL
+            .iter()
+            .position(|&x| x == c)
+            .expect("component in ALL");
+        &self.per[idx]
+    }
+
+    /// Number of recorded ops.
+    pub fn count(&self) -> u64 {
+        self.total.count()
+    }
+
+    /// Adds every op of `other` into `self` (epoch aggregation).
+    pub fn merge(&mut self, other: &LatencyHists) {
+        self.total.merge(&other.total);
+        for (a, b) in self.per.iter_mut().zip(&other.per) {
+            a.merge(b);
+        }
+    }
+
+    /// Sum-conservation against an aggregate breakdown over the same
+    /// ops: per component, the histogram's exact sum must equal the
+    /// cycles the aggregate charged to that component.
+    pub fn conserves(&self, aggregate: &LatencyBreakdown) -> bool {
+        self.total.sum() == aggregate.total() as u128
+            && Component::ALL
+                .iter()
+                .all(|&c| self.component(c).sum() == aggregate.get(c) as u128)
+    }
+}
+
 /// A point in time that remembers where its cycles came from.
 ///
 /// A `Stamp` starts at some `origin` and can only move forward by
@@ -293,6 +366,42 @@ mod tests {
         let mut a = LatencyBreakdown::default();
         a.add(Component::Mesh, 3);
         LatencyBreakdown::default().delta_since(&a);
+    }
+
+    #[test]
+    fn latency_hists_record_merge_conserve() {
+        let mut agg = LatencyBreakdown::default();
+        let mut hists = LatencyHists::new();
+        let ops = [
+            Stamp::start(0)
+                .advance(Component::Protocol, 3)
+                .advance(Component::Mesh, 4),
+            Stamp::start(10)
+                .advance(Component::Link, 150)
+                .advance(Component::BankService, 36),
+            Stamp::start(99).advance(Component::Recovery, 500),
+        ];
+        for s in &ops {
+            hists.record(&s.breakdown());
+            agg.merge(&s.breakdown());
+        }
+        assert_eq!(hists.count(), 3);
+        assert!(hists.conserves(&agg));
+        // Zeros are recorded, so per-component counts equal op count.
+        for c in Component::ALL {
+            assert_eq!(hists.component(c).count(), 3, "{}", c.label());
+        }
+        // A mismatched aggregate is caught.
+        agg.add(Component::Mesh, 1);
+        assert!(!hists.conserves(&agg));
+        // Merge equals recording everything into one set.
+        let mut a = LatencyHists::new();
+        a.record(&ops[0].breakdown());
+        let mut b = LatencyHists::new();
+        b.record(&ops[1].breakdown());
+        b.record(&ops[2].breakdown());
+        a.merge(&b);
+        assert_eq!(a, hists);
     }
 
     #[test]

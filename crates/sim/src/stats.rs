@@ -170,6 +170,173 @@ impl Histogram {
     }
 }
 
+/// Number of linear sub-buckets per octave in a [`LogHistogram`]
+/// (as a power of two: 2^3 = 8 sub-buckets).
+const LOG_HIST_SUB_BITS: u32 = 3;
+const LOG_HIST_SUB: usize = 1 << LOG_HIST_SUB_BITS;
+/// Values below `LOG_HIST_SUB` get one exact bucket each; above that,
+/// each octave `[2^o, 2^(o+1))` is split into `LOG_HIST_SUB` linear
+/// sub-buckets. 64-bit values need octaves 3..=63.
+const LOG_HIST_BUCKETS: usize = LOG_HIST_SUB + (64 - LOG_HIST_SUB_BITS as usize) * LOG_HIST_SUB;
+
+/// A log-linear latency histogram: mergeable, allocation-light, and
+/// tight enough for tail reporting.
+///
+/// The coarse power-of-two [`Histogram`] bounds percentiles only to
+/// within a factor of two — fine for sanity checks, useless for a p999
+/// SLO line. `LogHistogram` subdivides every octave into 8 linear
+/// sub-buckets, so percentile upper bounds carry at most 12.5% relative
+/// error while the whole structure stays a flat array of counters that
+/// merges across epochs and worker threads by addition. This is the
+/// serving-path histogram: the service telemetry records every
+/// completion's per-component latency into one of these.
+///
+/// # Example
+///
+/// ```
+/// use dve_sim::stats::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in 0..1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.percentile(0.5);
+/// assert!((499..=562).contains(&p50), "p50 bound = {p50}");
+/// assert_eq!(h.count(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// Flat bucket counters (heap-allocated: the per-component
+    /// histograms ride inside `RunResult`, which must stay cheap to
+    /// move around).
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: vec![0; LOG_HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < LOG_HIST_SUB as u64 {
+            value as usize
+        } else {
+            let octave = 63 - value.leading_zeros();
+            let sub = (value >> (octave - LOG_HIST_SUB_BITS)) as usize & (LOG_HIST_SUB - 1);
+            LOG_HIST_SUB + (octave - LOG_HIST_SUB_BITS) as usize * LOG_HIST_SUB + sub
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (the value `percentile`
+    /// reports for a quantile landing in that bucket).
+    fn bucket_upper(i: usize) -> u64 {
+        if i < LOG_HIST_SUB {
+            i as u64
+        } else {
+            let octave = LOG_HIST_SUB_BITS + ((i - LOG_HIST_SUB) / LOG_HIST_SUB) as u32;
+            let sub = ((i - LOG_HIST_SUB) % LOG_HIST_SUB) as u64;
+            let width = 1u64 << (octave - LOG_HIST_SUB_BITS);
+            // The top bucket's exclusive bound is 2^64; the wrapping
+            // add-then-subtract lands its inclusive bound on u64::MAX.
+            (1u64 << octave)
+                .wrapping_add((sub + 1) * width)
+                .wrapping_sub(1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded samples (the conservation hook: per
+    /// component, this must equal the engine's cumulative latency).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample (exact, not a bucket bound).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Percentile upper bound from the bucketed distribution: the
+    /// inclusive upper edge of the sub-bucket containing the requested
+    /// quantile (≤12.5% above the true value). Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `0.0..=1.0`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                // Never report past the actually observed maximum.
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The standard serving-tail triple: (p50, p99, p999).
+    pub fn tail(&self) -> (u64, u64, u64) {
+        (
+            self.percentile(0.50),
+            self.percentile(0.99),
+            self.percentile(0.999),
+        )
+    }
+
+    /// Adds every sample of `other` into `self` (epoch / worker
+    /// aggregation).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// Running summary (count / mean / min / max / variance) without storing
 /// samples; Welford's online algorithm.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -305,6 +472,82 @@ mod tests {
         assert_eq!(h.percentile(0.5), 16);
         // p100 should reach the big sample's bucket
         assert!(h.percentile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn log_histogram_small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        // Each small value has its own bucket, so every percentile
+        // bound is the exact value.
+        assert_eq!(h.percentile(1.0 / 8.0), 0);
+        assert_eq!(h.percentile(1.0), 7);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), (0..8).sum::<u64>() as u128);
+    }
+
+    #[test]
+    fn log_histogram_percentile_bound_is_tight() {
+        let mut h = LogHistogram::new();
+        for _ in 0..999 {
+            h.record(1000);
+        }
+        h.record(1_000_000);
+        let p50 = h.percentile(0.5);
+        assert!(
+            (1000..=1125).contains(&p50),
+            "p50 bound {p50} within 12.5% of 1000"
+        );
+        let p999 = h.percentile(0.999);
+        assert!((1000..=1125).contains(&p999), "p999 bound {p999}");
+        assert_eq!(h.percentile(1.0), 1_000_000, "max clamps the top bucket");
+        let (t50, t99, t999) = h.tail();
+        assert_eq!((t50, t99, t999), (p50, h.percentile(0.99), p999));
+    }
+
+    #[test]
+    fn log_histogram_merge_matches_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for v in [0u64, 3, 17, 900, 65_536, u64::MAX] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [5u64, 12_345, 1 << 40] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.count(), 9);
+    }
+
+    #[test]
+    fn log_histogram_empty_and_extremes() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(u64::MAX);
+        assert_eq!(h.percentile(0.5), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn log_histogram_bucket_roundtrip() {
+        // Every bucket's inclusive upper bound must map back into that
+        // bucket, and bounds must be strictly increasing.
+        let mut last = None;
+        for i in 0..LOG_HIST_BUCKETS {
+            let u = LogHistogram::bucket_upper(i);
+            assert_eq!(LogHistogram::bucket_index(u), i, "bucket {i} bound {u}");
+            if let Some(prev) = last {
+                assert!(u > prev, "bounds increase: {prev} then {u}");
+            }
+            last = Some(u);
+        }
     }
 
     #[test]
