@@ -12,25 +12,34 @@
 //! * `DVE_CAMPAIGN_SEED`    — master seed (default the harness seed);
 //!   two runs with the same seed are bit-identical regardless of the
 //!   worker count
-//! * `DVE_CAMPAIGN_WORKERS` — worker threads (default: all cores)
+//! * `DVE_CAMPAIGN_WORKERS` — worker threads (default: all cores, no
+//!   floor — the parallel merge path is covered by the runner's own
+//!   `MERGE_TEST_WORKERS` tests, not by inflating production defaults)
 //! * `DVE_CAMPAIGN_REPLAY`  — memory ops replayed per faulty trial
 //!   through the recovery state machine (default 16; 0 disables)
+//! * `DVE_CAMPAIGN_STRATIFIED` — set to `1`/`true` to stratify the
+//!   trial budget over (fault count, all-chip) cells with unbiased
+//!   reweighting, concentrating trials on the rare miscorrection /
+//!   detection-escape strata
 //! * `DVE_CAMPAIGN_OUT`     — output directory for the event logs
-//!   (default `results/`); writes `campaign_events.csv` and
-//!   `campaign_events.bin`
+//!   (default `results/`); writes `campaign_events.csv`,
+//!   `campaign_events.bin`, `campaign.txt` and (stratified runs)
+//!   `campaign_strata.csv`
 //!
 //! The process exits non-zero if any scheme's empirical DUE/SDC rate
 //! disagrees with the analytical expectation — this binary doubles as
-//! the cross-validation gate.
+//! the cross-validation gate. Stratified runs additionally require
+//! every positive-mass cell to receive trials and the detect-only DSD
+//! escape estimate to carry a nonzero, finite confidence interval.
 
 use dve_campaign::{
-    run_all, write_events_binary, write_events_csv, CampaignConfig, CampaignReport,
+    run_all, write_events_binary, write_events_csv, CampaignConfig, CampaignReport, CampaignScheme,
+    SamplingMode,
 };
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::thread;
 
 fn env_u64(key: &str, default: u64) -> u64 {
     std::env::var(key)
@@ -44,18 +53,84 @@ fn env_u64(key: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+fn env_flag(key: &str) -> bool {
+    std::env::var(key)
+        .map(|v| matches!(v.trim(), "1" | "true" | "yes" | "on"))
+        .unwrap_or(false)
+}
+
+/// Stratified-specific acceptance: the whole point of stratification is
+/// that rare cells stop being empty, so (a) every positive-mass cell
+/// must have received trials, and (b) the detect-only DSD escape (SDC)
+/// estimate must come with a nonzero, finite Wilson interval.
+fn stratified_gate(report: &CampaignReport) -> bool {
+    let mut ok = true;
+    for row in &report.rows {
+        for cell in &row.strata {
+            if cell.weight > 0.0 && cell.trials == 0 {
+                eprintln!(
+                    "stratified gate: {} cell `{}` has mass {:.3e} but zero trials",
+                    row.scheme.label(),
+                    cell.stratum.label(),
+                    cell.weight
+                );
+                ok = false;
+            }
+        }
+    }
+    if let Some(dsd) = report
+        .rows
+        .iter()
+        .find(|r| r.scheme == CampaignScheme::DveDsd)
+    {
+        let (lo, hi) = dsd.sdc_ci;
+        if !(lo.is_finite() && hi.is_finite() && hi > 0.0) {
+            eprintln!(
+                "stratified gate: Dve+DSD escape CI [{lo:.3e}, {hi:.3e}] is not a \
+                 nonzero finite interval"
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn write_strata_csv(w: &mut impl std::io::Write, report: &CampaignReport) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "scheme,cell,weight,trials,due,sdc,due_ci_lo,due_ci_hi,sdc_ci_lo,sdc_ci_hi"
+    )?;
+    for row in &report.rows {
+        for cell in &row.strata {
+            writeln!(
+                w,
+                "{},{},{:e},{},{},{},{:e},{:e},{:e},{:e}",
+                row.scheme.label(),
+                cell.stratum.label(),
+                cell.weight,
+                cell.trials,
+                cell.due,
+                cell.sdc,
+                cell.due_ci.0,
+                cell.due_ci.1,
+                cell.sdc_ci.0,
+                cell.sdc_ci.1,
+            )?;
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut cfg = CampaignConfig::paper_default();
     cfg.master_seed = env_u64("DVE_CAMPAIGN_SEED", dve_bench::SEED);
     cfg.trials = env_u64("DVE_CAMPAIGN_TRIALS", 10_000);
-    // At least two workers by default so the parallel merge path is
-    // always exercised; results are worker-count independent.
-    cfg.workers = env_u64(
-        "DVE_CAMPAIGN_WORKERS",
-        thread::available_parallelism().map_or(2, |n| n.get().max(2)) as u64,
-    )
-    .max(1) as usize;
+    cfg.workers = env_u64("DVE_CAMPAIGN_WORKERS", cfg.workers as u64).max(1) as usize;
     cfg.replay_ops = env_u64("DVE_CAMPAIGN_REPLAY", 16);
+    let stratified = env_flag("DVE_CAMPAIGN_STRATIFIED");
+    if stratified {
+        cfg.sampling = SamplingMode::stratified_default();
+    }
 
     let results = run_all(&cfg);
     let report = CampaignReport::build(&cfg, &results);
@@ -77,6 +152,12 @@ fn main() -> ExitCode {
             let mut bin = fs::File::create(&bin_path)?;
             write_events_binary(&mut bin, &results)?;
             bin.flush()?;
+            if stratified {
+                let strata_path = out_dir.join("campaign_strata.csv");
+                let mut sc = fs::File::create(&strata_path)?;
+                write_strata_csv(&mut sc, &report)?;
+                sc.flush()?;
+            }
             Ok(results.iter().map(|r| r.events.len()).sum())
         })();
         match written {
@@ -89,10 +170,17 @@ fn main() -> ExitCode {
         }
     }
 
-    if report.all_agree() {
+    let mut ok = report.all_agree();
+    if !ok {
+        eprintln!("cross-validation FAILED: empirical rates disagree with the analytical model");
+    }
+    if stratified && !stratified_gate(&report) {
+        eprintln!("cross-validation FAILED: stratified coverage gate");
+        ok = false;
+    }
+    if ok {
         ExitCode::SUCCESS
     } else {
-        eprintln!("cross-validation FAILED: empirical rates disagree with the analytical model");
         ExitCode::FAILURE
     }
 }

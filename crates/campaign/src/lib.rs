@@ -13,13 +13,19 @@
 //!   replays a seeded workload slice on [`dve::RecoverableMemory`] with
 //!   fault hooks, patrol scrub, and §V-B2 transient write-repair,
 //!   logging recovery events;
-//! * [`runner`] fans seeded trials across `std::thread` workers with
-//!   bit-reproducible, worker-count-independent aggregation and Wilson
-//!   confidence intervals;
+//! * [`runner`] fans seeded trials across `std::thread` workers via
+//!   chunked work-stealing over a shared atomic cursor, with
+//!   cache-line-padded per-worker accumulators and bit-reproducible,
+//!   worker-count-independent aggregation plus Wilson confidence
+//!   intervals. [`runner::SamplingMode::Stratified`] partitions the
+//!   trial budget over `(fault count, all-chip)` strata so rare
+//!   miscorrection/escape events get tight nonzero CIs;
 //! * [`report`] compares the empirical DUE/SDC mass to the exact
 //!   binomial expectations of [`dve_reliability::accel::AccelModel`]
 //!   (same probability space, so agreement is exact up to sampling
-//!   noise), prints Table I's real-scale analytical rows alongside, and
+//!   noise and the documented SDC model fidelity), reweights
+//!   stratified campaigns without bias, prints Table I's real-scale
+//!   analytical rows and per-stratum breakdowns alongside, and
 //!   serializes per-trial recovery events as CSV and a compact binary
 //!   log.
 //!
@@ -31,11 +37,15 @@ pub mod sampler;
 pub mod trial;
 
 pub use report::{
-    read_events_binary, write_events_binary, write_events_csv, CampaignReport, SchemeEventLog,
-    SchemeReport, Verdict,
+    read_events_binary, stratified_rate, write_events_binary, write_events_csv, CampaignReport,
+    SchemeEventLog, SchemeReport, StratumRow, Verdict,
 };
 pub use runner::{
     run_all, run_campaign, wilson_interval, CampaignConfig, CampaignResult, OutcomeCounts,
+    SamplingMode, StratumResult, MERGE_TEST_WORKERS,
 };
-pub use sampler::{ChipFault, FaultSample, FaultSampler, Granularity, Side};
+pub use sampler::{
+    ChipFault, FaultSample, FaultSampler, Granularity, Side, StrataPlan, Stratum, StratumSpec,
+    DEFAULT_TAIL_MIN,
+};
 pub use trial::{CampaignScheme, TrialExecutor, TrialOutcome, TrialResult};

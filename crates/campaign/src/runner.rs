@@ -1,18 +1,54 @@
 //! Parallel campaign runner: seeded trials fanned over worker threads.
 //!
 //! Determinism contract: every trial outcome depends only on
-//! `(master_seed, scheme, trial_index)` (see [`TrialExecutor::run`]),
-//! and aggregation is pure integer counting plus an order-normalizing
-//! sort of the event log — so a campaign's [`CampaignResult`] is
-//! **bit-identical** for any worker count, including 1.
+//! `(master_seed, scheme, trial_index)` (see [`TrialExecutor::run`]) —
+//! plus the stratification plan, itself a pure function of the config —
+//! and aggregation is commutative integer counting plus an
+//! order-normalizing sort of the event log. A campaign's
+//! [`CampaignResult`] is therefore **bit-identical** for any worker
+//! count, including 1, no matter how the scheduler interleaves workers.
 //!
-//! Workers take strided slices of the trial range (`worker w` runs
-//! trials `w, w + workers, w + 2·workers, …`), which balances load
-//! without any shared mutable state beyond the final merge.
+//! # Work distribution
+//!
+//! Workers claim *chunks* of the trial range from a shared atomic
+//! cursor (work-stealing), rather than fixed strided slices: a worker
+//! that gets descheduled — or draws a run of expensive faulty trials —
+//! simply claims fewer chunks, so stragglers no longer bound the
+//! wall-clock. Chunks are large enough (64–65536 trials) that cursor
+//! traffic is negligible, and each worker accumulates into its own
+//! cache-line-padded [`Partial`] slot, so no two workers ever write the
+//! same line (no false sharing on the accumulators).
 
+use crate::sampler::{StrataPlan, Stratum};
 use crate::trial::{CampaignScheme, TrialExecutor, TrialOutcome, TrialResult};
 use dve_reliability::accel::AccelParams;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
+
+/// How trial fault samples are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Every trial draws from the plain per-chip Bernoulli law.
+    Plain,
+    /// Trials are partitioned into `(fault count, all-chip)` strata with
+    /// rare cells oversampled; estimates are reweighted by the exact
+    /// cell masses (see [`StrataPlan`]). `tail_min` is the lower edge of
+    /// the aggregated tail cells.
+    Stratified {
+        /// Counts `>= tail_min` share one pair of tail cells.
+        tail_min: u8,
+    },
+}
+
+impl SamplingMode {
+    /// The default stratified mode (tail edge at
+    /// [`crate::sampler::DEFAULT_TAIL_MIN`]).
+    pub fn stratified_default() -> SamplingMode {
+        SamplingMode::Stratified {
+            tail_min: crate::sampler::DEFAULT_TAIL_MIN,
+        }
+    }
+}
 
 /// Campaign-wide configuration.
 #[derive(Debug, Clone, Copy)]
@@ -29,19 +65,31 @@ pub struct CampaignConfig {
     /// Memory operations replayed per faulty trial (0 disables the
     /// system replay; adjudication still runs).
     pub replay_ops: u64,
+    /// Plain Monte Carlo or stratified rare-event sampling.
+    pub sampling: SamplingMode,
 }
 
+/// Worker count for tests that must exercise the parallel claim/merge
+/// path regardless of the host's core count. Campaign results are
+/// bit-identical for any worker count, so tests pin this rather than
+/// trusting `available_parallelism` (which reports 1 in small CI
+/// containers, where a default of 1 worker would silently skip the
+/// merge logic under test).
+pub const MERGE_TEST_WORKERS: usize = 2;
+
 impl CampaignConfig {
-    /// The paper-accelerated default: 10k trials, all cores (at least
-    /// two workers, so the parallel merge path is always exercised —
-    /// results are identical for any worker count anyway).
+    /// The paper-accelerated default: 10k plain trials on every
+    /// available core (1 worker on a single-core machine — tests that
+    /// need the merge path exercised pin [`MERGE_TEST_WORKERS`]
+    /// instead of relying on this default).
     pub fn paper_default() -> CampaignConfig {
         CampaignConfig {
             master_seed: 0xD5E_2021,
             trials: 10_000,
-            workers: thread::available_parallelism().map_or(2, |n| n.get().max(2)),
+            workers: thread::available_parallelism().map_or(1, |n| n.get()),
             params: AccelParams::paper_accelerated(),
             replay_ops: 0,
+            sampling: SamplingMode::Plain,
         }
     }
 }
@@ -88,8 +136,23 @@ impl OutcomeCounts {
     }
 }
 
+/// One stratum's share of a stratified campaign: the cell, its exact
+/// probability mass under the plain law, its allocated trials and the
+/// outcome histogram observed inside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratumResult {
+    /// Which cell.
+    pub stratum: Stratum,
+    /// Exact cell mass under the plain sampling law.
+    pub weight: f64,
+    /// Trials allocated to the cell.
+    pub trials: u64,
+    /// Outcomes observed within the cell.
+    pub counts: OutcomeCounts,
+}
+
 /// One scheme's campaign output.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
     /// The scheme exercised.
     pub scheme: CampaignScheme,
@@ -99,10 +162,45 @@ pub struct CampaignResult {
     pub overlap_sum: u64,
     /// Sum of sampled fault counts across trials.
     pub fault_sum: u64,
+    /// Per-stratum breakdown; empty for plain campaigns.
+    pub strata: Vec<StratumResult>,
     /// Recovery events from faulty-trial replays, tagged by trial and
     /// sorted by `(trial, at, addr)` so the log is deterministic for
     /// any worker count.
     pub events: Vec<(u64, dve::RecoveryEvent)>,
+}
+
+/// Per-worker accumulator, padded out to its own pair of cache lines so
+/// adjacent workers' slots never share one (the false sharing that made
+/// the old runner *lose* throughput from 1 to 2 workers).
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct Partial {
+    counts: OutcomeCounts,
+    overlap_sum: u64,
+    fault_sum: u64,
+    strata_counts: Vec<OutcomeCounts>,
+    events: Vec<(u64, dve::RecoveryEvent)>,
+}
+
+impl Partial {
+    fn absorb(&mut self, stratum: Option<usize>, r: TrialResult) {
+        self.counts.record(r.outcome);
+        if let Some(idx) = stratum {
+            self.strata_counts[idx].record(r.outcome);
+        }
+        self.overlap_sum += r.overlap as u64;
+        self.fault_sum += r.fault_count as u64;
+        let trial = r.trial;
+        self.events.extend(r.events.into_iter().map(|e| (trial, e)));
+    }
+}
+
+/// Chunk of trials claimed per cursor bump: large enough that the
+/// shared cursor sees a few hundred claims per campaign at most, small
+/// enough that stealing still load-balances tail stragglers.
+fn chunk_size(trials: u64, workers: usize) -> u64 {
+    (trials / (workers as u64 * 32)).clamp(64, 65_536)
 }
 
 /// Runs one scheme's campaign under `cfg`.
@@ -121,51 +219,92 @@ pub struct CampaignResult {
 /// ```
 pub fn run_campaign(cfg: &CampaignConfig, scheme: CampaignScheme) -> CampaignResult {
     let workers = cfg.workers.max(1);
-    let mut partials: Vec<Partial> = Vec::with_capacity(workers);
+    let plan: Option<StrataPlan> = match cfg.sampling {
+        SamplingMode::Plain => None,
+        SamplingMode::Stratified { tail_min } => Some(
+            TrialExecutor::new(scheme, cfg.params, cfg.replay_ops)
+                .strata_plan(tail_min, cfg.trials),
+        ),
+    };
+    let n_strata = plan.as_ref().map_or(0, |p| p.strata.len());
+    let mut partials: Vec<Partial> = (0..workers)
+        .map(|_| Partial {
+            strata_counts: vec![OutcomeCounts::default(); n_strata],
+            ..Partial::default()
+        })
+        .collect();
+
+    let cursor = AtomicU64::new(0);
+    let chunk = chunk_size(cfg.trials, workers);
     thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let cfg = *cfg;
-                s.spawn(move || {
-                    let exec = TrialExecutor::new(scheme, cfg.params, cfg.replay_ops);
-                    // One scratch per worker: trial outcomes depend only on
-                    // `(master_seed, scheme, trial)`, never on buffer reuse,
-                    // so sharing scratch across a worker's strided trials
-                    // keeps results bit-identical while eliminating the
-                    // per-trial allocation churn.
-                    let mut scratch = exec.make_scratch();
-                    let mut part = Partial::default();
-                    let mut trial = w as u64;
-                    while trial < cfg.trials {
-                        part.absorb(exec.run_with(cfg.master_seed, trial, &mut scratch));
-                        trial += workers as u64;
+        for part in partials.iter_mut() {
+            let cfg = *cfg;
+            let cursor = &cursor;
+            let plan = plan.as_ref();
+            s.spawn(move || {
+                let exec = TrialExecutor::new(scheme, cfg.params, cfg.replay_ops);
+                // One scratch per worker: trial outcomes depend only on
+                // `(master_seed, scheme, trial)`, never on buffer reuse,
+                // so sharing scratch across a worker's claimed chunks
+                // keeps results bit-identical while eliminating the
+                // per-trial allocation churn.
+                let mut scratch = exec.make_scratch();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= cfg.trials {
+                        break;
                     }
-                    part
-                })
-            })
-            .collect();
-        for h in handles {
-            partials.push(h.join().expect("campaign worker panicked"));
+                    let end = (start + chunk).min(cfg.trials);
+                    for trial in start..end {
+                        let r = match plan {
+                            None => exec.run_with(cfg.master_seed, trial, &mut scratch),
+                            Some(p) => {
+                                exec.run_stratified_with(cfg.master_seed, trial, p, &mut scratch)
+                            }
+                        };
+                        part.absorb(plan.map(|p| p.stratum_of(trial)), r);
+                    }
+                }
+            });
         }
     });
 
     let mut counts = OutcomeCounts::default();
     let mut overlap_sum = 0;
     let mut fault_sum = 0;
+    let mut strata_counts = vec![OutcomeCounts::default(); n_strata];
     let mut events = Vec::new();
     for p in partials {
         counts.merge(&p.counts);
         overlap_sum += p.overlap_sum;
         fault_sum += p.fault_sum;
+        for (acc, c) in strata_counts.iter_mut().zip(&p.strata_counts) {
+            acc.merge(c);
+        }
         events.extend(p.events);
     }
-    // Normalize the merge order away.
+    // Normalize the merge order away. Every addend above is commutative
+    // and this sort key is unique per trial block, so the result cannot
+    // depend on which worker claimed which chunk.
     events.sort_by_key(|(trial, e)| (*trial, e.at, e.addr));
+    let strata = plan.map_or_else(Vec::new, |p| {
+        p.strata
+            .iter()
+            .zip(strata_counts)
+            .map(|(spec, counts)| StratumResult {
+                stratum: spec.stratum,
+                weight: spec.weight,
+                trials: spec.trials,
+                counts,
+            })
+            .collect()
+    });
     CampaignResult {
         scheme,
         counts,
         overlap_sum,
         fault_sum,
+        strata,
         events,
     }
 }
@@ -176,24 +315,6 @@ pub fn run_all(cfg: &CampaignConfig) -> Vec<CampaignResult> {
         .iter()
         .map(|&s| run_campaign(cfg, s))
         .collect()
-}
-
-#[derive(Debug, Default)]
-struct Partial {
-    counts: OutcomeCounts,
-    overlap_sum: u64,
-    fault_sum: u64,
-    events: Vec<(u64, dve::RecoveryEvent)>,
-}
-
-impl Partial {
-    fn absorb(&mut self, r: TrialResult) {
-        self.counts.record(r.outcome);
-        self.overlap_sum += r.overlap as u64;
-        self.fault_sum += r.fault_count as u64;
-        let trial = r.trial;
-        self.events.extend(r.events.into_iter().map(|e| (trial, e)));
-    }
 }
 
 /// Wilson score interval for a binomial proportion at ~95% confidence
@@ -226,6 +347,7 @@ mod tests {
             workers,
             params: AccelParams::paper_accelerated(),
             replay_ops: 8,
+            sampling: SamplingMode::Plain,
         }
     }
 
@@ -237,6 +359,22 @@ mod tests {
             let seven = run_campaign(&small_cfg(7), scheme);
             assert_eq!(one, four, "{}", scheme.label());
             assert_eq!(one, seven, "{}", scheme.label());
+        }
+    }
+
+    #[test]
+    fn stratified_identical_across_worker_counts() {
+        let stratified = |workers| {
+            let mut cfg = small_cfg(workers);
+            cfg.sampling = SamplingMode::stratified_default();
+            cfg
+        };
+        for scheme in CampaignScheme::ALL {
+            let one = run_campaign(&stratified(1), scheme);
+            let many = run_campaign(&stratified(MERGE_TEST_WORKERS), scheme);
+            let odd = run_campaign(&stratified(5), scheme);
+            assert_eq!(one, many, "{}", scheme.label());
+            assert_eq!(one, odd, "{}", scheme.label());
         }
     }
 
@@ -262,7 +400,25 @@ mod tests {
         let cfg = small_cfg(5);
         for r in run_all(&cfg) {
             assert_eq!(r.counts.total(), cfg.trials, "{}", r.scheme.label());
+            assert!(r.strata.is_empty(), "plain campaign grew strata");
         }
+    }
+
+    #[test]
+    fn stratified_counts_match_the_plan() {
+        let mut cfg = small_cfg(MERGE_TEST_WORKERS);
+        cfg.trials = 5_000;
+        cfg.replay_ops = 0;
+        cfg.sampling = SamplingMode::stratified_default();
+        let r = run_campaign(&cfg, CampaignScheme::DveDsd);
+        assert_eq!(r.counts.total(), cfg.trials);
+        let per_cell: u64 = r.strata.iter().map(|s| s.counts.total()).sum();
+        assert_eq!(per_cell, cfg.trials, "every trial lands in its cell");
+        for s in &r.strata {
+            assert_eq!(s.counts.total(), s.trials, "{}", s.stratum.label());
+        }
+        let mass: f64 = r.strata.iter().map(|s| s.weight).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -10,6 +10,22 @@
 //! corrupts at least one bit of exactly one symbol, so the symbol-level
 //! combinatorics of the analytical model are unchanged — which is what
 //! makes exact cross-validation possible.
+//!
+//! Two sampling regimes share one law:
+//!
+//! * **Plain** ([`FaultSampler::sample_pair`] / `sample_single`): the
+//!   per-window fault count is drawn from the exact `Binomial(slots, p)`
+//!   via a precomputed inverse CDF, then a uniform `k`-subset of slots
+//!   is chosen by partial Fisher–Yates. This is distributionally
+//!   identical to the per-chip Bernoulli loop it replaced but costs one
+//!   `f64` draw instead of `slots` draws in the overwhelmingly common
+//!   fault-free window.
+//! * **Stratified** ([`StrataPlan`] + [`FaultSampler::sample_stratum`]):
+//!   the same law partitioned by `(fault count, all-chip-granularity)`
+//!   strata. Rare tail cells — the ones that decide SDC rates — get a
+//!   fixed share of the trial budget, and each stratum's exact
+//!   probability mass under the plain law is recorded so the estimator
+//!   can reweight without bias (see `report::stratified_rate`).
 
 use dve_reliability::accel::AccelParams;
 use dve_sim::rng::SplitMix64;
@@ -91,6 +107,20 @@ impl FaultSample {
     }
 }
 
+/// Fraction of failures that are single-bit upsets.
+const BIT_FRAC: f64 = 0.55;
+/// Fraction of failures that are pin/lane bursts (the rest are
+/// whole-chip).
+const PIN_FRAC: f64 = 0.25;
+/// Fraction of failures that randomize the whole device symbol. These
+/// are the only faults with uniform error magnitudes, so miscorrection
+/// and detection-escape events concentrate in all-chip fault patterns —
+/// which is why the strata split on this indicator.
+pub const CHIP_FRAC: f64 = 1.0 - BIT_FRAC - PIN_FRAC;
+
+/// Upper bound on slots (`2 * chips_per_dimm`) the samplers support.
+const MAX_SLOTS: usize = 64;
+
 /// Draws [`FaultSample`]s from accelerated window parameters.
 ///
 /// # Example
@@ -107,21 +137,27 @@ impl FaultSample {
 ///     assert!(f.chip < 9);
 /// }
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FaultSampler {
     params: AccelParams,
+    /// Inverse-CDF table for the per-side fault count:
+    /// `side_cum[k] = P(Binomial(chips_per_dimm, p) <= k)`.
+    side_cum: Vec<f64>,
 }
-
-/// Fraction of failures that are single-bit upsets.
-const BIT_FRAC: f64 = 0.55;
-/// Fraction of failures that are pin/lane bursts (the rest are
-/// whole-chip).
-const PIN_FRAC: f64 = 0.25;
 
 impl FaultSampler {
     /// Creates a sampler for the given window parameters.
     pub fn new(params: AccelParams) -> FaultSampler {
-        FaultSampler { params }
+        assert!(
+            params.chips_per_dimm <= MAX_SLOTS / 2,
+            "sampler supports at most {} chips per DIMM",
+            MAX_SLOTS / 2
+        );
+        let pmf = binomial_pmf(params.chips_per_dimm, params.chip_fail_prob);
+        FaultSampler {
+            params,
+            side_cum: cumulative(&pmf),
+        }
     }
 
     /// The window parameters.
@@ -145,26 +181,409 @@ impl FaultSampler {
         FaultSample { faults }
     }
 
+    /// Draws one side's faults: an exact binomial count via inverse CDF,
+    /// then a uniform subset of chips, then per-fault refinement in
+    /// ascending chip order — the same law as a per-chip Bernoulli scan.
     fn sample_side(&self, side: Side, rng: &mut SplitMix64, out: &mut Vec<ChipFault>) {
-        for chip in 0..self.params.chips_per_dimm {
-            if !rng.chance(self.params.chip_fail_prob) {
-                continue;
-            }
-            let roll = rng.next_f64();
-            let granularity = if roll < BIT_FRAC {
-                Granularity::Bit
-            } else if roll < BIT_FRAC + PIN_FRAC {
-                Granularity::Pin
-            } else {
-                Granularity::Chip
-            };
+        let k = draw_index(&self.side_cum, rng);
+        if k == 0 {
+            return;
+        }
+        let n = self.params.chips_per_dimm;
+        let (chips, k) = sorted_subset(n, k, rng);
+        for &chip in &chips[..k] {
+            let granularity = roll_granularity(rng);
             let transient = rng.chance(self.params.transient_frac);
             out.push(ChipFault {
                 side,
-                chip,
+                chip: chip as usize,
                 granularity,
                 transient,
             });
+        }
+    }
+
+    /// Samples one window *conditioned on a stratum* of `plan`: the
+    /// fault count (exact, or inverse-CDF within the tail), a uniform
+    /// slot subset, and granularities conditioned on the stratum's
+    /// all-chip indicator. Combined with the stratum's exact `weight`,
+    /// this reproduces the plain law piecewise — the basis of the
+    /// unbiased stratified estimator.
+    pub fn sample_stratum(
+        &self,
+        plan: &StrataPlan,
+        spec: &StratumSpec,
+        rng: &mut SplitMix64,
+    ) -> FaultSample {
+        let k = if spec.stratum.tail {
+            spec.stratum.count as usize + draw_index(&spec.tail_cum, rng)
+        } else {
+            spec.stratum.count as usize
+        };
+        let mut faults = Vec::new();
+        if k == 0 {
+            return FaultSample { faults };
+        }
+        let (slots, k) = sorted_subset(plan.slots, k, rng);
+        let mut grans = [Granularity::Chip; MAX_SLOTS];
+        if spec.stratum.all_chip {
+            // Conditioning pins every granularity; no rolls needed.
+        } else {
+            // Rejection-sample the granularity vector conditioned on
+            // "not all whole-chip". Acceptance >= 1 - CHIP_FRAC per
+            // round, so the loop terminates almost immediately.
+            loop {
+                let mut any_partial = false;
+                for g in grans.iter_mut().take(k) {
+                    *g = roll_granularity(rng);
+                    any_partial |= *g != Granularity::Chip;
+                }
+                if any_partial {
+                    break;
+                }
+            }
+        }
+        let n = self.params.chips_per_dimm;
+        for i in 0..k {
+            let slot = slots[i] as usize;
+            let (side, chip) = if slot < n {
+                (Side::Primary, slot)
+            } else {
+                (Side::Replica, slot - n)
+            };
+            let transient = rng.chance(self.params.transient_frac);
+            faults.push(ChipFault {
+                side,
+                chip,
+                granularity: grans[i],
+                transient,
+            });
+        }
+        FaultSample { faults }
+    }
+}
+
+/// Rolls one fault's granularity from the paper's anatomy mix.
+fn roll_granularity(rng: &mut SplitMix64) -> Granularity {
+    let roll = rng.next_f64();
+    if roll < BIT_FRAC {
+        Granularity::Bit
+    } else if roll < BIT_FRAC + PIN_FRAC {
+        Granularity::Pin
+    } else {
+        Granularity::Chip
+    }
+}
+
+/// Draws an index from a cumulative distribution table:
+/// the smallest `k` with `u < cum[k]`.
+fn draw_index(cum: &[f64], rng: &mut SplitMix64) -> usize {
+    let u = rng.next_f64();
+    cum.iter()
+        .position(|&c| u < c)
+        .unwrap_or(cum.len().saturating_sub(1))
+}
+
+/// Chooses a uniform `k`-subset of `0..n` by partial Fisher–Yates and
+/// returns it sorted ascending (the sampler's ordering invariant).
+fn sorted_subset(n: usize, k: usize, rng: &mut SplitMix64) -> ([u8; MAX_SLOTS], usize) {
+    debug_assert!(n <= MAX_SLOTS && k <= n);
+    let mut slots = [0u8; MAX_SLOTS];
+    for (i, s) in slots.iter_mut().enumerate().take(n) {
+        *s = i as u8;
+    }
+    for i in 0..k {
+        let j = i + rng.next_below((n - i) as u64) as usize;
+        slots.swap(i, j);
+    }
+    slots[..k].sort_unstable();
+    (slots, k)
+}
+
+/// `Binomial(n, p)` probability mass function, `pmf[k] = P(K = k)`,
+/// computed by the stable multiplicative recurrence.
+fn binomial_pmf(n: usize, p: f64) -> Vec<f64> {
+    let mut pmf = vec![0.0; n + 1];
+    if p <= 0.0 {
+        pmf[0] = 1.0;
+        return pmf;
+    }
+    if p >= 1.0 {
+        pmf[n] = 1.0;
+        return pmf;
+    }
+    let q = 1.0 - p;
+    pmf[0] = q.powi(n as i32);
+    for k in 0..n {
+        pmf[k + 1] = pmf[k] * ((n - k) as f64 / (k + 1) as f64) * (p / q);
+    }
+    pmf
+}
+
+/// Running-sum table, clamped so the final entry is exactly 1.
+fn cumulative(pmf: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cum: Vec<f64> = pmf
+        .iter()
+        .map(|&w| {
+            acc += w;
+            acc.min(1.0)
+        })
+        .collect();
+    if let Some(last) = cum.last_mut() {
+        *last = 1.0;
+    }
+    cum
+}
+
+/// One cell of the stratification: windows bucketed by total fault
+/// count across all sampled slots and by whether *every* fault is
+/// whole-chip granularity.
+///
+/// The all-chip split matters because whole-chip faults are the only
+/// ones with uniform error magnitudes — miscorrections and detection
+/// escapes concentrate there, and those cells get the bulk of the
+/// oversampling budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stratum {
+    /// Exact fault count when `tail` is false; the lower edge of the
+    /// open tail (`count..=slots`) when `tail` is true.
+    pub count: u8,
+    /// Whether this stratum aggregates all counts `>= count`.
+    pub tail: bool,
+    /// Whether every fault in the window is `Granularity::Chip`.
+    /// Always false for the empty stratum (`count == 0`).
+    pub all_chip: bool,
+}
+
+impl Stratum {
+    /// Short human-readable cell name for reports, e.g. `k=2 all-chip`
+    /// or `k>=4 mixed`.
+    pub fn label(&self) -> String {
+        let cmp = if self.tail { ">=" } else { "=" };
+        if self.count == 0 && !self.tail {
+            return "k=0".to_string();
+        }
+        let class = if self.all_chip { "all-chip" } else { "mixed" };
+        format!("k{cmp}{} {class}", self.count)
+    }
+}
+
+/// One stratum with its exact probability mass, its slice of the trial
+/// budget, and (for tail strata) the conditional count distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratumSpec {
+    /// Which cell this is.
+    pub stratum: Stratum,
+    /// Exact probability mass of the cell under the plain sampling law.
+    pub weight: f64,
+    /// Number of trials allocated to the cell.
+    pub trials: u64,
+    /// First trial index of the cell's contiguous `[start, start+trials)`
+    /// range — contiguity keeps trial->stratum assignment a pure
+    /// function of the trial index, independent of worker scheduling.
+    pub start: u64,
+    /// Tail strata only: inverse-CDF table over counts
+    /// `count..=slots`, conditioned on this cell.
+    tail_cum: Vec<f64>,
+}
+
+/// A full-budget stratified sampling plan over one campaign's trials.
+///
+/// Strata partition the plain law by `(count, all-chip)`; each cell's
+/// `weight` is its exact mass, so `sum(weights) == 1` and the
+/// reweighted estimator is unbiased. Trial indices are carved into
+/// contiguous per-cell ranges, so a trial's stratum — like everything
+/// else about it — is a pure function of `(plan, trial index)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrataPlan {
+    /// Total Bernoulli slots per window: `chips_per_dimm` for
+    /// single-DIMM schemes, `2 * chips_per_dimm` for replicated pairs.
+    pub slots: usize,
+    /// Lower edge of the aggregated tail cells.
+    pub tail_min: u8,
+    /// Total trials across all cells.
+    pub total_trials: u64,
+    /// The cells, in trial-index order.
+    pub strata: Vec<StratumSpec>,
+}
+
+/// Default tail edge: counts `0..=3` get exact cells (3 whole-chip
+/// faults on one side is the lightest DSD/TSD detection-escape
+/// pattern), everything heavier aggregates into the tail.
+pub const DEFAULT_TAIL_MIN: u8 = 4;
+
+impl StrataPlan {
+    /// Builds the plan for `trials` windows under `params`.
+    ///
+    /// `replicated` selects pair (2n slots) vs single-DIMM (n slots)
+    /// windows. `tail_min` is clamped to `[2, slots]`. Cells with zero
+    /// probability mass receive zero trials — sampling a
+    /// zero-probability condition is undefined, and the estimator
+    /// skips them.
+    pub fn build(params: &AccelParams, replicated: bool, tail_min: u8, trials: u64) -> StrataPlan {
+        let n = params.chips_per_dimm;
+        let slots = if replicated { 2 * n } else { n };
+        assert!(slots <= MAX_SLOTS, "too many slots for the sampler");
+        let tail_min = tail_min.clamp(2, slots as u8);
+        let pmf = binomial_pmf(slots, params.chip_fail_prob);
+        let c = CHIP_FRAC;
+
+        let mut strata = Vec::new();
+        let mut push = |stratum: Stratum, weight: f64, tail_cum: Vec<f64>| {
+            strata.push(StratumSpec {
+                stratum,
+                weight,
+                trials: 0,
+                start: 0,
+                tail_cum,
+            });
+        };
+
+        push(
+            Stratum {
+                count: 0,
+                tail: false,
+                all_chip: false,
+            },
+            pmf[0],
+            Vec::new(),
+        );
+        for (k, &pmf_k) in pmf.iter().enumerate().take(tail_min as usize).skip(1) {
+            let all_chip_mass = pmf_k * c.powi(k as i32);
+            push(
+                Stratum {
+                    count: k as u8,
+                    tail: false,
+                    all_chip: false,
+                },
+                pmf_k - all_chip_mass,
+                Vec::new(),
+            );
+            push(
+                Stratum {
+                    count: k as u8,
+                    tail: false,
+                    all_chip: true,
+                },
+                all_chip_mass,
+                Vec::new(),
+            );
+        }
+        // Tail cells: aggregate mass plus the conditional count law.
+        for all_chip in [false, true] {
+            let cell_pmf: Vec<f64> = (tail_min as usize..=slots)
+                .map(|k| {
+                    let ck = c.powi(k as i32);
+                    pmf[k] * if all_chip { ck } else { 1.0 - ck }
+                })
+                .collect();
+            let mass: f64 = cell_pmf.iter().sum();
+            let tail_cum = if mass > 0.0 {
+                cumulative(&cell_pmf.iter().map(|w| w / mass).collect::<Vec<_>>())
+            } else {
+                Vec::new()
+            };
+            push(
+                Stratum {
+                    count: tail_min,
+                    tail: true,
+                    all_chip,
+                },
+                mass,
+                tail_cum,
+            );
+        }
+
+        allocate_trials(&mut strata, trials);
+        let mut start = 0;
+        for spec in &mut strata {
+            spec.start = start;
+            start += spec.trials;
+        }
+        StrataPlan {
+            slots,
+            tail_min,
+            total_trials: trials,
+            strata,
+        }
+    }
+
+    /// Index of the stratum owning `trial`.
+    pub fn stratum_of(&self, trial: u64) -> usize {
+        debug_assert!(trial < self.total_trials);
+        let idx = self.strata.partition_point(|s| s.start + s.trials <= trial);
+        debug_assert!(idx < self.strata.len());
+        idx.min(self.strata.len() - 1)
+    }
+}
+
+/// The oversampling budget, in relative shares, for each cell class.
+/// Rare all-chip cells — where miscorrection/escape events live — get
+/// the bulk; common cells keep just enough trials to pin their (large,
+/// easy) conditional rates.
+fn allocation_share(s: &Stratum) -> f64 {
+    if s.count == 0 && !s.tail {
+        return 1.0;
+    }
+    match (s.all_chip, s.tail, s.count) {
+        (false, false, 1) => 4.0,
+        (false, _, _) => 8.0,
+        (true, false, 1) => 2.0,
+        (true, false, 2) => 15.0,
+        (true, _, _) => 27.0,
+    }
+}
+
+/// Splits `trials` across cells proportionally to [`allocation_share`]
+/// (zero-mass cells get nothing) with largest-remainder rounding, so
+/// the counts are deterministic and sum exactly to `trials`.
+fn allocate_trials(strata: &mut [StratumSpec], trials: u64) {
+    let shares: Vec<f64> = strata
+        .iter()
+        .map(|s| {
+            if s.weight > 0.0 {
+                allocation_share(&s.stratum)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let total: f64 = shares.iter().sum();
+    if total <= 0.0 {
+        return;
+    }
+    let exact: Vec<f64> = shares.iter().map(|sh| trials as f64 * sh / total).collect();
+    let mut assigned = 0u64;
+    for (spec, &e) in strata.iter_mut().zip(&exact) {
+        spec.trials = e.floor() as u64;
+        assigned += spec.trials;
+    }
+    let mut order: Vec<usize> = (0..strata.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    let mut leftover = trials - assigned;
+    for &i in &order {
+        if leftover == 0 {
+            break;
+        }
+        if shares[i] > 0.0 {
+            strata[i].trials += 1;
+            leftover -= 1;
+        }
+    }
+    // If every share was rounded up already (tiny budgets), dump the
+    // rest on the highest-share cell.
+    if leftover > 0 {
+        if let Some((i, _)) = shares
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        {
+            strata[i].trials += leftover;
         }
     }
 }
@@ -200,6 +619,27 @@ mod tests {
             (per_chip - p).abs() / p < 0.05,
             "empirical {per_chip} vs configured {p}"
         );
+    }
+
+    #[test]
+    fn sample_ordering_invariant_holds() {
+        let s = sampler();
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..2_000 {
+            let sample = s.sample_pair(&mut rng);
+            let mut last: Option<(usize, usize)> = None;
+            for f in &sample.faults {
+                let key = (
+                    match f.side {
+                        Side::Primary => 0,
+                        Side::Replica => 1,
+                    },
+                    f.chip,
+                );
+                assert!(last.is_none_or(|l| l < key), "out of order: {sample:?}");
+                last = Some(key);
+            }
+        }
     }
 
     #[test]
@@ -254,5 +694,171 @@ mod tests {
         assert!((bits as f64 / total - BIT_FRAC).abs() < 0.05);
         assert!((pins as f64 / total - PIN_FRAC).abs() < 0.05);
         assert!(chips > 0);
+    }
+
+    fn plan(trials: u64) -> StrataPlan {
+        StrataPlan::build(
+            &AccelParams::paper_accelerated(),
+            true,
+            DEFAULT_TAIL_MIN,
+            trials,
+        )
+    }
+
+    #[test]
+    fn strata_partition_the_plain_law() {
+        let p = plan(100_000);
+        let mass: f64 = p.strata.iter().map(|s| s.weight).sum();
+        assert!((mass - 1.0).abs() < 1e-12, "total mass {mass}");
+        let trials: u64 = p.strata.iter().map(|s| s.trials).sum();
+        assert_eq!(trials, 100_000);
+        // 9 cells at tail_min = 4: k=0, three exact counts x two
+        // granularity classes, two tail classes.
+        assert_eq!(p.strata.len(), 9);
+    }
+
+    #[test]
+    fn stratum_of_matches_contiguous_ranges() {
+        let p = plan(12_345);
+        for (i, spec) in p.strata.iter().enumerate() {
+            if spec.trials == 0 {
+                continue;
+            }
+            assert_eq!(p.stratum_of(spec.start), i);
+            assert_eq!(p.stratum_of(spec.start + spec.trials - 1), i);
+        }
+        assert_eq!(
+            p.stratum_of(p.total_trials - 1),
+            p.strata.len() - 1,
+            "last trial must land in the last cell"
+        );
+    }
+
+    #[test]
+    fn rare_cells_get_the_budget() {
+        let p = plan(1_000_000);
+        let all_chip_heavy: u64 = p
+            .strata
+            .iter()
+            .filter(|s| s.stratum.all_chip && (s.stratum.count >= 3 || s.stratum.tail))
+            .map(|s| s.trials)
+            .sum();
+        assert!(
+            all_chip_heavy as f64 > 0.4 * p.total_trials as f64,
+            "escape-bearing cells got only {all_chip_heavy} of {}",
+            p.total_trials
+        );
+    }
+
+    #[test]
+    fn sample_stratum_respects_conditioning() {
+        let s = sampler();
+        let p = plan(9_000);
+        let mut rng = SplitMix64::new(77);
+        for spec in &p.strata {
+            for _ in 0..300 {
+                let sample = s.sample_stratum(&p, spec, &mut rng);
+                let k = sample.faults.len();
+                if spec.stratum.tail {
+                    assert!(k >= spec.stratum.count as usize, "{:?}: {k}", spec.stratum);
+                } else {
+                    assert_eq!(k, spec.stratum.count as usize, "{:?}", spec.stratum);
+                }
+                if spec.stratum.all_chip {
+                    assert!(sample
+                        .faults
+                        .iter()
+                        .all(|f| f.granularity == Granularity::Chip));
+                } else if k > 0 {
+                    assert!(
+                        sample
+                            .faults
+                            .iter()
+                            .any(|f| f.granularity != Granularity::Chip),
+                        "mixed stratum produced an all-chip sample"
+                    );
+                }
+                for f in &sample.faults {
+                    assert!(f.chip < s.params().chips_per_dimm);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_law_matches_plain_frequencies() {
+        // Classify plain samples into cells and compare against the
+        // plan's exact weights — the unbiasedness precondition.
+        let s = sampler();
+        let p = plan(1);
+        let mut rng = SplitMix64::new(5);
+        let trials = 60_000u64;
+        let mut counts = vec![0u64; p.strata.len()];
+        for _ in 0..trials {
+            let sample = s.sample_pair(&mut rng);
+            let k = sample.faults.len();
+            let all_chip = k > 0
+                && sample
+                    .faults
+                    .iter()
+                    .all(|f| f.granularity == Granularity::Chip);
+            let idx = p
+                .strata
+                .iter()
+                .position(|spec| {
+                    let st = spec.stratum;
+                    if st.tail {
+                        k >= st.count as usize && st.all_chip == all_chip
+                    } else if st.count == 0 {
+                        k == 0
+                    } else {
+                        k == st.count as usize && st.all_chip == all_chip
+                    }
+                })
+                .expect("every sample lands in a cell");
+            counts[idx] += 1;
+        }
+        for (spec, &c) in p.strata.iter().zip(&counts) {
+            if spec.weight < 1e-3 {
+                continue; // too rare to verify empirically
+            }
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - spec.weight).abs() / spec.weight < 0.15,
+                "{}: freq {freq} vs weight {}",
+                spec.stratum.label(),
+                spec.weight
+            );
+        }
+    }
+
+    #[test]
+    fn zero_probability_strata_get_no_trials() {
+        let params = AccelParams {
+            chip_fail_prob: 0.0,
+            ..AccelParams::paper_accelerated()
+        };
+        let p = StrataPlan::build(&params, true, DEFAULT_TAIL_MIN, 10_000);
+        for spec in &p.strata {
+            if spec.stratum.count == 0 && !spec.stratum.tail {
+                assert_eq!(spec.trials, 10_000);
+            } else {
+                assert_eq!(spec.weight, 0.0);
+                assert_eq!(spec.trials, 0, "{}", spec.stratum.label());
+            }
+        }
+        // Sampling the only populated cell works.
+        let s = FaultSampler::new(params);
+        let sample = s.sample_stratum(&p, &p.strata[0], &mut SplitMix64::new(1));
+        assert!(!sample.any());
+    }
+
+    #[test]
+    fn stratum_labels_are_distinct() {
+        let p = plan(100);
+        let mut labels: Vec<String> = p.strata.iter().map(|s| s.stratum.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), p.strata.len());
     }
 }

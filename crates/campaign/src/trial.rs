@@ -35,7 +35,7 @@
 //! count and to the pre-scratch implementation: the RNG draw order is
 //! unchanged and every buffer is fully overwritten per trial.
 
-use crate::sampler::{ChipFault, FaultSample, FaultSampler, Granularity, Side};
+use crate::sampler::{ChipFault, FaultSample, FaultSampler, Granularity, Side, StrataPlan};
 use dve::recovery::{RecoverableMemory, RecoveryEvent};
 use dve_dram::config::DramConfig;
 use dve_dram::controller::{AccessKind, EccProfile, MemoryController};
@@ -259,10 +259,60 @@ impl TrialExecutor {
         } else {
             self.sampler.sample_single(&mut rng)
         };
+        self.finish_trial(trial, &sample, &mut rng, scratch)
+    }
+
+    /// Builds the stratified sampling plan matching this executor's
+    /// scheme (pair vs single-DIMM windows) and window parameters.
+    pub fn strata_plan(&self, tail_min: u8, trials: u64) -> StrataPlan {
+        StrataPlan::build(
+            &self.sampler.params(),
+            self.scheme.is_replicated(),
+            tail_min,
+            trials,
+        )
+    }
+
+    /// Runs trial `trial` under a stratified `plan`: the trial's index
+    /// selects its stratum (contiguous per-cell ranges), the sample is
+    /// drawn conditioned on that cell, and adjudication/replay proceed
+    /// exactly as in [`TrialExecutor::run_with`]. Deterministic in
+    /// `(master_seed, scheme, plan, trial)`.
+    pub fn run_stratified_with(
+        &self,
+        master_seed: u64,
+        trial: u64,
+        plan: &StrataPlan,
+        scratch: &mut TrialScratch,
+    ) -> TrialResult {
+        scratch.events.clear();
+        let seed = derive_seed(master_seed, self.scheme.stream(), trial);
+        let mut rng = SplitMix64::new(seed);
+        let spec = &plan.strata[plan.stratum_of(trial)];
+        let sample = self.sampler.sample_stratum(plan, spec, &mut rng);
+        self.finish_trial(trial, &sample, &mut rng, scratch)
+    }
+
+    /// Shared trial tail: adjudicate the sampled window and replay it
+    /// through the system model. Fault-free windows — the common case —
+    /// short-circuit to `Clean`: every adjudicator maps an uncorrupted
+    /// codeword to `Clean` and the replay is a no-op without faults, so
+    /// skipping both is outcome-identical and saves the encode/decode.
+    fn finish_trial(
+        &self,
+        trial: u64,
+        sample: &FaultSample,
+        rng: &mut SplitMix64,
+        scratch: &mut TrialScratch,
+    ) -> TrialResult {
         let overlap = sample.pair_overlap(|i| i);
-        let outcome = self.adjudicate(&sample, overlap, &mut rng, scratch);
+        let outcome = if sample.any() {
+            self.adjudicate(sample, overlap, rng, scratch)
+        } else {
+            TrialOutcome::Clean
+        };
         if self.replay_ops > 0 && sample.any() {
-            self.replay(&sample, &mut rng, scratch);
+            self.replay(sample, rng, scratch);
         }
         TrialResult {
             trial,
@@ -298,7 +348,10 @@ impl TrialExecutor {
 
     fn fill_golden(golden: &mut Vec<u8>, len: usize, rng: &mut SplitMix64) {
         golden.clear();
-        for _ in 0..len {
+        for _ in 0..len / 8 {
+            golden.extend_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        for _ in 0..len % 8 {
             golden.push(rng.next_u64() as u8);
         }
     }
@@ -788,6 +841,41 @@ mod tests {
             with_events * 2 > with_faults,
             "{with_events}/{with_faults} faulty trials produced events"
         );
+    }
+
+    #[test]
+    fn stratified_trials_are_deterministic() {
+        for scheme in CampaignScheme::ALL {
+            let e = exec(scheme);
+            let plan = e.strata_plan(crate::sampler::DEFAULT_TAIL_MIN, 2_000);
+            let mut s1 = e.make_scratch();
+            let mut s2 = e.make_scratch();
+            for t in [0u64, 1, 999, 1999, 500] {
+                let a = e.run_stratified_with(0xFEED, t, &plan, &mut s1);
+                let b = e.run_stratified_with(0xFEED, t, &plan, &mut s2);
+                assert_eq!(a, b, "{} trial {t}", scheme.label());
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_trials_respect_their_cell() {
+        let e = exec(CampaignScheme::DveDsd);
+        let plan = e.strata_plan(crate::sampler::DEFAULT_TAIL_MIN, 9_000);
+        let mut scratch = e.make_scratch();
+        for spec in &plan.strata {
+            if spec.trials == 0 {
+                continue;
+            }
+            for t in spec.start..(spec.start + spec.trials.min(50)) {
+                let r = e.run_stratified_with(0xABCD, t, &plan, &mut scratch);
+                if spec.stratum.tail {
+                    assert!(r.fault_count >= spec.stratum.count as usize);
+                } else {
+                    assert_eq!(r.fault_count, spec.stratum.count as usize);
+                }
+            }
+        }
     }
 
     #[test]

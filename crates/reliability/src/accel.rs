@@ -181,23 +181,49 @@ impl AccelModel {
         }
     }
 
-    /// Dvé with a detect-only code (DSD or TSD): data chip `i` is
-    /// replicated at the paired chip of the replica DIMM, so a symbol is
-    /// unrecoverable iff *both* chips of a pair fail — the pair-overlap
-    /// count is `o ~ Binomial(n, p²)` and data is lost at `o ≥ 1`.
+    /// Dvé with the detect-only DSD code (RS(18,16) over GF(2⁸), two
+    /// check symbols, distance 3): data chip `i` is replicated at the
+    /// paired chip of the replica DIMM, so a symbol is unrecoverable iff
+    /// *both* chips of a pair fail — the pair-overlap count is
+    /// `o ~ Binomial(n, p²)` and data is lost at `o ≥ 1`.
     pub fn dve_detect_only(&self) -> WindowProbs {
         let n = self.params.chips_per_dimm;
         let p = self.params.chip_fail_prob;
         let p2 = p * p;
-        // Detect-only codes never miscorrect: a silent escape needs the
-        // random corruption to zero every syndrome, ≈ q⁻² ≈ 1.5×10⁻⁵
-        // of corrupted reads — effectively unobservable at 10⁴ trials,
-        // so `due` is the overlap tail exactly.
-        let sdc = binomial_tail_ge(n, p, 1) * (1.0 / (255.0 * 255.0));
         WindowProbs {
             due: binomial_tail_ge(n, p2, 1),
-            sdc_expected: sdc,
+            sdc_expected: self.detect_only_escape(3, 1.0 / (255.0 * 255.0)),
         }
+    }
+
+    /// Dvé with the detect-only TSD code (RS over GF(2¹⁶), three check
+    /// symbols, distance 4): identical overlap combinatorics to DSD, but
+    /// a silent escape must zero three 16-bit syndromes at once, pushing
+    /// the per-pattern escape mass to ≈ q⁻² = 65535⁻² — unobservable at
+    /// any realistic trial volume.
+    pub fn dve_tsd(&self) -> WindowProbs {
+        let n = self.params.chips_per_dimm;
+        let p = self.params.chip_fail_prob;
+        let p2 = p * p;
+        WindowProbs {
+            due: binomial_tail_ge(n, p2, 1),
+            sdc_expected: self.detect_only_escape(4, 1.0 / (65535.0f64 * 65535.0)),
+        }
+    }
+
+    /// Silent-escape mass of a distance-`d` detect-only code (`min_err =
+    /// d`): the lightest escaping pattern corrupts `d` symbols of one
+    /// copy (weight < d never zeroes all syndromes), and each such
+    /// pattern escapes with probability ≈ `per_pattern` — the
+    /// minimum-weight-codeword density `(q-1)/(q-1)^d` of an MDS code,
+    /// exact for whole-chip (uniform-magnitude) faults and an
+    /// order-of-magnitude estimate for bit/pin-restricted ones. The
+    /// `(1 + P(k≥1))` factor adds the symmetric replica-side escape,
+    /// which is only reachable once the primary has flagged.
+    fn detect_only_escape(&self, min_err: usize, per_pattern: f64) -> f64 {
+        let n = self.params.chips_per_dimm;
+        let p = self.params.chip_fail_prob;
+        binomial_tail_ge(n, p, min_err) * (1.0 + binomial_tail_ge(n, p, 1)) * per_pattern
     }
 
     /// Dvé over Chipkill DIMMs: each copy locally corrects one lost
