@@ -1,0 +1,201 @@
+//! Replay gate for the parallel discrete-event simulation core.
+//!
+//! Four checks, reported to stdout and `results/pdes_report.txt`, exit
+//! code non-zero on any failure:
+//!
+//! 1. **Pinned-golden replay** — the sharded trace supply
+//!    (`SystemConfig::pdes_workers ∈ {1, 2, 4, 8}`) must reproduce the
+//!    pinned golden cycle counts (2 seeds × 3 schemes, the
+//!    `crates/core/tests/goldens.rs` regime) **verbatim** at every
+//!    worker count. This is the hard bit-identity contract: the
+//!    parallel core changes who computes, never what.
+//! 2. **Toolkit identity** — the conservative-lookahead executive's
+//!    threaded runs (`dve_sim::pdes`) must match the sequential
+//!    reference bit-for-bit on the synthetic memory model, across
+//!    worker counts and seeds.
+//! 3. **Channel stress** — a high-traffic configuration (12 domains,
+//!    80% remote) exercising thousands of window-boundary exchanges,
+//!    repeated to shake out ordering races; every repetition must
+//!    produce the same fingerprint.
+//! 4. **Scaling** (hardware-conditional) — threaded toolkit throughput
+//!    must beat 1 worker by the per-count threshold (1.4× @ 2, 2.0× @
+//!    4, 3.0× @ 8) at the largest worker count the host can actually
+//!    run in parallel; skipped with a notice on single-core hosts.
+//!
+//! `smoke` as an argument shrinks the stress repetitions and skips the
+//! timing section's full-size run (CI wall-clock budget); the identity
+//! and replay checks run at full strength either way — they are the
+//! point of the gate.
+
+use dve::builder::SystemBuilder;
+use dve::config::Scheme;
+use dve_sim::pdes::{synthetic_executive, SyntheticMemoryDomain};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The pinned goldens (same table as `crates/core/tests/goldens.rs`):
+/// backprop, 500 measured ops/thread, warm-up 50, mshrs = 1.
+const GOLDENS: &[(u64, Scheme, u64)] = &[
+    (42, Scheme::BaselineNuma, 92_408),
+    (42, Scheme::DveAllow, 77_905),
+    (42, Scheme::DveDeny, 54_962),
+    (0x2026_0806, Scheme::BaselineNuma, 91_014),
+    (0x2026_0806, Scheme::DveAllow, 79_614),
+    (0x2026_0806, Scheme::DveDeny, 54_436),
+];
+
+const WORKERS: &[usize] = &[1, 2, 4, 8];
+
+/// `(workers, minimum speedup)` for the conditional scaling check.
+const SCALING: &[(usize, f64)] = &[(2, 1.4), (4, 2.0), (8, 3.0)];
+
+/// Per-domain result fingerprint of a synthetic toolkit run.
+fn fingerprint(exec: &dve_sim::pdes::Executive<SyntheticMemoryDomain>) -> Vec<(u64, u64, u64)> {
+    exec.domains()
+        .iter()
+        .map(|d| (d.completed, d.remote_completed, d.total_latency))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "smoke" || a == "--smoke");
+    let mut report = String::new();
+    let mut failed = false;
+    let say = |line: String| {
+        println!("{line}");
+        line
+    };
+    macro_rules! emit {
+        ($($arg:tt)*) => {{
+            let line = say(format!($($arg)*));
+            let _ = writeln!(report, "{line}");
+        }};
+    }
+
+    emit!(
+        "pdes replay gate ({})",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    // --- 1. Pinned-golden replay at every worker count. ---
+    emit!("-- golden replay: 2 seeds x 3 schemes x workers {WORKERS:?} --");
+    let profile = dve_workloads::catalog()
+        .into_iter()
+        .find(|p| p.name == "backprop")
+        .expect("backprop profile");
+    for &(seed, scheme, golden) in GOLDENS {
+        for &w in WORKERS {
+            let r = SystemBuilder::new(scheme)
+                .ops_per_thread(500)
+                .pdes_workers(w)
+                .run(&profile, seed);
+            let ok = r.cycles == golden && r.mem_ops == 8000;
+            if !ok {
+                failed = true;
+            }
+            emit!(
+                "  seed={seed:#x} {scheme:?} workers={w}: {} cycles (golden {golden}) {}",
+                r.cycles,
+                if ok { "ok" } else { "MISMATCH" }
+            );
+        }
+    }
+
+    // --- 2. Toolkit identity: threaded == inline, bit for bit. ---
+    emit!("-- toolkit identity: inline vs threaded --");
+    for seed in [7u64, 0xD5E_2021] {
+        let mut reference = synthetic_executive(8, 6, 40, 0.35, 150, seed);
+        let ref_stats = reference.run_inline();
+        let ref_fp = fingerprint(&reference);
+        for &w in &WORKERS[1..] {
+            let mut e = synthetic_executive(8, 6, 40, 0.35, 150, seed);
+            let s = e.run_threaded(w);
+            let ok = s == ref_stats && fingerprint(&e) == ref_fp;
+            if !ok {
+                failed = true;
+            }
+            emit!(
+                "  seed={seed:#x} workers={w}: {} events, {} messages {}",
+                s.events,
+                s.messages,
+                if ok { "ok" } else { "DIVERGED" }
+            );
+        }
+    }
+
+    // --- 3. Channel stress: heavy boundary traffic, repeated. ---
+    let reps = if smoke { 3 } else { 10 };
+    emit!("-- channel stress: 12 domains, 80% remote, {reps} repetitions --");
+    let mk = || synthetic_executive(12, 4, 80, 0.8, 150, 0xBEEF);
+    let mut stress_ref = mk();
+    let stress_stats = stress_ref.run_inline();
+    let stress_fp = fingerprint(&stress_ref);
+    if stress_stats.messages < 5_000 {
+        failed = true;
+        emit!(
+            "  only {} boundary messages — stress config too tame",
+            stress_stats.messages
+        );
+    }
+    for rep in 0..reps {
+        for &w in &[4usize, 12] {
+            let mut e = mk();
+            let s = e.run_threaded(w);
+            if s != stress_stats || fingerprint(&e) != stress_fp {
+                failed = true;
+                emit!("  rep {rep} workers={w}: DIVERGED");
+            }
+        }
+    }
+    emit!(
+        "  {} messages over {} windows, {} runs identical",
+        stress_stats.messages,
+        stress_stats.windows,
+        reps * 2
+    );
+
+    // --- 4. Conditional scaling check. ---
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let gate = SCALING.iter().rfind(|&&(w, _)| w <= cores);
+    match gate {
+        Some(&(gate_w, need)) if !smoke => {
+            let ops = 3000;
+            let mut t1 = f64::NAN;
+            for &w in WORKERS {
+                let mut e = synthetic_executive(8, 64, ops, 0.2, 150, 42);
+                let start = Instant::now();
+                let s = e.run_threaded(w);
+                let secs = start.elapsed().as_secs_f64();
+                let tput = s.events as f64 / secs;
+                if w == 1 {
+                    t1 = tput;
+                }
+                let speedup = tput / t1;
+                emit!("  workers={w}: {tput:>12.0} events/s ({speedup:.2}x)");
+                if w == gate_w && speedup < need {
+                    failed = true;
+                    emit!(
+                        "  FAIL: {speedup:.2}x at {gate_w} workers, need >= {need:.1}x \
+                         on this {cores}-core host"
+                    );
+                }
+            }
+        }
+        Some(_) => {
+            emit!("-- scaling: SKIPPED (smoke mode; identity checks above are the gate) --");
+        }
+        None => {
+            emit!("-- scaling: SKIPPED (single hardware thread; nothing to compare) --");
+        }
+    }
+
+    emit!("pdes gate: {}", if failed { "FAIL" } else { "ok" });
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/pdes_report.txt", report).expect("write pdes report");
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -14,8 +14,10 @@
 //! * `BENCH_system.json` — the full-system simulator on a pinned
 //!   backprop trace: simulated cycles at `mshrs ∈ {1, 4}` (simulation
 //!   output, machine-independent), simulator wall-clock throughput in
-//!   memory-ops/second, and the per-layer latency attribution of the
-//!   deny run.
+//!   memory-ops/second, the per-layer latency attribution of the
+//!   deny run, and the `pdes_workers ∈ {1, 2, 4, 8}` section: system
+//!   throughput under the sharded trace supply plus the conservative
+//!   PDES toolkit's synthetic-memory scaling curve.
 //!
 //! All files record the git revision they were measured at, so the
 //! numbers can be tracked across PRs (CI uploads them as artifacts).
@@ -39,7 +41,15 @@
 //! 3. widening the cores from 1 to 4 MSHRs must not increase simulated
 //!    cycles on the pinned trace (memory-level parallelism can only
 //!    hide latency; simulated cycles are deterministic, so this cannot
-//!    flake with runner speed).
+//!    flake with runner speed),
+//! 4. the parallel trace supply must be bit-identical to the
+//!    sequential runner on the pinned trace (deterministic; always
+//!    enforced), and
+//! 5. the PDES toolkit's synthetic-memory model must scale: at the
+//!    largest benchmarked worker count the host can actually run in
+//!    parallel, threaded throughput must beat 1-worker throughput by
+//!    the per-count threshold (1.4× @ 2, 2.0× @ 4, 3.0× @ 8) — skipped
+//!    with a printed notice on single-core hosts.
 
 use criterion::{black_box, Criterion};
 use dve::builder::SystemBuilder;
@@ -68,6 +78,17 @@ const GATE_CLEAN_SPEEDUP: f64 = 2.0;
 /// throughput. Relative, so it holds on any multi-core runner; skipped
 /// (with a printed notice) when the host has a single hardware thread.
 const GATE_SCALING_2W: f64 = 1.5;
+
+/// PDES toolkit scaling gate: `(workers, minimum speedup over 1
+/// worker)`, applied at the largest benchmarked worker count that does
+/// not exceed the host's parallelism (skipped below 2 cores). The 8-way
+/// 3.0× floor is deliberately below linear: the window barrier costs
+/// real synchronization, and the gate guards scaling regressions, not
+/// a lucky machine.
+const GATE_PDES_SCALING: &[(usize, f64)] = &[(2, 1.4), (4, 2.0), (8, 3.0)];
+
+/// Worker counts benchmarked by the PDES sections.
+const PDES_WORKERS: &[usize] = &[1, 2, 4, 8];
 
 struct Entry {
     name: &'static str,
@@ -446,6 +467,82 @@ fn bench_system(ops: u64) -> (Vec<(String, f64)>, u64, u64) {
     (out, deny1.cycles, deny4.cycles)
 }
 
+/// What [`bench_pdes`] hands back to `main`: the JSON fields, the
+/// toolkit's `(workers, speedup over 1 worker)` points for the scaling
+/// gate, and whether system bit-identity held.
+struct PdesBench {
+    fields: Vec<(String, f64)>,
+    speedups: Vec<(usize, f64)>,
+    identical: bool,
+}
+
+/// Benchmarks the parallel simulation core at each worker count:
+/// the full system under the sharded trace supply (bit-identity
+/// enforced), and the PDES toolkit's synthetic-memory model (the
+/// genuinely domain-parallel executive).
+fn bench_pdes(ops: u64, toolkit_ops: u64) -> PdesBench {
+    let p = dve_workloads::catalog()
+        .into_iter()
+        .find(|p| p.name == "backprop")
+        .expect("backprop profile");
+    let mut out = Vec::new();
+    let mut identical = true;
+    let mut ref_cycles = 0u64;
+    for &w in PDES_WORKERS {
+        let start = Instant::now();
+        let r = SystemBuilder::new(Scheme::DveDeny)
+            .ops_per_thread(ops)
+            .pdes_workers(w)
+            .run(&p, 42);
+        let secs = start.elapsed().as_secs_f64();
+        if w == 1 {
+            ref_cycles = r.cycles;
+        } else if r.cycles != ref_cycles {
+            identical = false;
+        }
+        let tput = r.mem_ops as f64 / secs;
+        println!(
+            "  system  pdes_workers={w} {:>12.0} sim mem-ops/s (cycles {})",
+            tput, r.cycles
+        );
+        out.push((format!("pdes_system_mem_ops_per_sec_workers_{w}"), tput));
+    }
+    out.push((
+        "pdes_system_identity".to_string(),
+        if identical { 1.0 } else { 0.0 },
+    ));
+
+    // The toolkit curve: 8 synthetic memory domains, 64 closed-loop
+    // streams each, 20% remote traffic over a 150-cycle (50 ns @ 3 GHz)
+    // lookahead channel — per-window work dominates barrier cost, which
+    // is exactly the regime the domain-sharded executive targets.
+    let mut speedups = Vec::new();
+    let mut tput_1 = f64::NAN;
+    for &w in PDES_WORKERS {
+        let mut exec = dve_sim::pdes::synthetic_executive(8, 64, toolkit_ops, 0.2, 150, 42);
+        let start = Instant::now();
+        let stats = exec.run_threaded(w);
+        let secs = start.elapsed().as_secs_f64();
+        let tput = stats.events as f64 / secs;
+        if w == 1 {
+            tput_1 = tput;
+        }
+        let speedup = tput / tput_1;
+        speedups.push((w, speedup));
+        println!(
+            "  toolkit pdes_workers={w} {:>12.0} events/s ({speedup:.2}x vs 1 worker)",
+            tput
+        );
+        out.push((format!("pdes_toolkit_events_per_sec_workers_{w}"), tput));
+        out.push((format!("pdes_toolkit_speedup_workers_{w}"), speedup));
+    }
+    PdesBench {
+        fields: out,
+        speedups,
+        identical,
+    }
+}
+
 fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mode = if smoke { "smoke" } else { "full" };
@@ -485,7 +582,12 @@ fn main() -> ExitCode {
 
     println!("-- system simulator --");
     let sys_ops = if smoke { 300 } else { 2000 };
-    let (system_fields, deny_m1, deny_m4) = bench_system(sys_ops);
+    let (mut system_fields, deny_m1, deny_m4) = bench_system(sys_ops);
+
+    println!("-- parallel simulation core --");
+    let toolkit_ops = if smoke { 300 } else { 3000 };
+    let pdes = bench_pdes(sys_ops, toolkit_ops);
+    system_fields.extend(pdes.fields);
     std::fs::write(
         "BENCH_system.json",
         render_json(&rev, mode, "mixed_cycles_and_fractions", &system_fields),
@@ -558,6 +660,51 @@ fn main() -> ExitCode {
     if deny_m4 > deny_m1 {
         eprintln!("FAIL: widening MSHRs 1 -> 4 increased simulated cycles");
         return ExitCode::FAILURE;
+    }
+
+    // --- PDES identity gate: the sharded trace supply must reproduce
+    // the sequential runner bit-for-bit. Deterministic — always on.
+    println!(
+        "gate: pdes system identity {}",
+        if pdes.identical { "held" } else { "BROKEN" }
+    );
+    if !pdes.identical {
+        eprintln!("FAIL: parallel trace supply diverged from the sequential runner");
+        return ExitCode::FAILURE;
+    }
+
+    // --- PDES toolkit scaling gate: relative (threaded vs 1-worker on
+    // the same run), applied at the largest benchmarked worker count
+    // the host can actually run in parallel. On a single-core runner
+    // every count time-slices one CPU, so the gate is skipped with a
+    // notice, like the campaign scaling gate.
+    let gate_point = GATE_PDES_SCALING.iter().rfind(|&&(w, _)| w <= cores);
+    match gate_point {
+        Some(&(w, need)) => {
+            let got = pdes
+                .speedups
+                .iter()
+                .find(|&&(sw, _)| sw == w)
+                .map(|&(_, s)| s)
+                .expect("speedup measured for gate point");
+            println!(
+                "gate: pdes toolkit scaling workers={w} {got:.2}x vs 1 worker \
+                 (need >= {need:.1}x on this {cores}-core host)"
+            );
+            if got < need {
+                eprintln!(
+                    "FAIL: pdes toolkit speedup at {w} workers is {got:.2}x, \
+                     below the {need:.1}x gate"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            println!(
+                "gate: pdes toolkit scaling SKIPPED (host has {cores} hardware thread(s); \
+                 threaded speedup is meaningless without a second core)"
+            );
+        }
     }
     println!("gate: ok");
     ExitCode::SUCCESS

@@ -179,8 +179,12 @@ fn widen_mul(ci: (f64, f64)) -> (f64, f64) {
 /// masses: `p = Σ wₛ·p̂ₛ`, `Var = Σ wₛ²·p̃ₛ(1−p̃ₛ)/nₛ` with the
 /// Agresti-style smoothed `p̃ₛ = (xₛ+½)/(nₛ+1)` in the variance term so
 /// zero-count cells report honest (nonzero) uncertainty instead of a
-/// collapsed interval. Cells with zero trials or zero mass contribute
-/// nothing — in particular they never divide by zero.
+/// collapsed interval. Cells with zero trials, zero/subnormal mass, or
+/// a non-finite mass contribute nothing — in particular they never
+/// divide by zero and never fold `inf`/`NaN` into the estimate. (The
+/// plan builder already clamps underflowed masses to exactly `0.0` and
+/// counts them as skipped; the guard here makes the estimator safe for
+/// hand-built stratum results too.)
 pub fn stratified_rate(
     strata: &[StratumResult],
     count: impl Fn(&OutcomeCounts) -> u64,
@@ -188,7 +192,7 @@ pub fn stratified_rate(
     let mut point = 0.0;
     let mut var = 0.0;
     for s in strata {
-        if s.trials == 0 || s.weight <= 0.0 {
+        if s.trials == 0 || !s.weight.is_finite() || s.weight < f64::MIN_POSITIVE {
             continue;
         }
         let n = s.counts.total() as f64;
@@ -590,6 +594,42 @@ mod tests {
         // Rendering must not choke on the empty cells either.
         let text = report.render(&c);
         assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn degenerate_stratum_weights_never_poison_the_estimate() {
+        // Hand-built rows with subnormal, zero, and non-finite masses:
+        // the estimator must skip all of them and stay finite, keyed
+        // only on the one healthy cell.
+        use crate::runner::StratumResult;
+        use crate::sampler::Stratum;
+        let cell = |weight: f64, trials: u64, due: u64| StratumResult {
+            stratum: Stratum {
+                count: 1,
+                tail: false,
+                all_chip: false,
+            },
+            weight,
+            trials,
+            counts: OutcomeCounts {
+                clean: trials - due,
+                ce_transient: 0,
+                ce_degraded: 0,
+                due,
+                sdc: 0,
+            },
+        };
+        let strata = vec![
+            cell(0.5, 100, 10),            // healthy
+            cell(1e-310, 100, 100),        // subnormal mass: skip
+            cell(0.0, 100, 100),           // zero mass: skip
+            cell(f64::NAN, 100, 100),      // corrupt mass: skip
+            cell(f64::INFINITY, 100, 100), // corrupt mass: skip
+        ];
+        let (point, (lo, hi)) = stratified_rate(&strata, |c| c.due);
+        assert!(point.is_finite() && lo.is_finite() && hi.is_finite());
+        assert!((point - 0.05).abs() < 1e-12, "point {point}");
+        assert!(lo <= point && point <= hi);
     }
 
     #[test]

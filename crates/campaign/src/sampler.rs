@@ -302,6 +302,16 @@ fn sorted_subset(n: usize, k: usize, rng: &mut SplitMix64) -> ([u8; MAX_SLOTS], 
 
 /// `Binomial(n, p)` probability mass function, `pmf[k] = P(K = k)`,
 /// computed by the stable multiplicative recurrence.
+///
+/// The recurrence is seeded from the mode-side end of the distribution:
+/// for `p > 0.5` it runs on the complement and mirrors the result
+/// (`Binomial(n, p)[k] == Binomial(n, 1 - p)[n - k]`). Seeding from
+/// `q^n` directly would underflow to `0.0` for `p` near 1 (at `n = 36`
+/// that happens before `q` itself is anywhere near subnormal), zeroing
+/// *every* entry of the table — including the ones carrying essentially
+/// all of the probability mass. Individual far-tail entries can still
+/// underflow to subnormal/zero at extreme rates; [`StrataPlan::build`]
+/// treats those cells as skipped rather than reweighting by them.
 fn binomial_pmf(n: usize, p: f64) -> Vec<f64> {
     let mut pmf = vec![0.0; n + 1];
     if p <= 0.0 {
@@ -312,12 +322,35 @@ fn binomial_pmf(n: usize, p: f64) -> Vec<f64> {
         pmf[n] = 1.0;
         return pmf;
     }
+    let (p, mirrored) = if p > 0.5 { (1.0 - p, true) } else { (p, false) };
     let q = 1.0 - p;
+    // Here `q >= 0.5`, so the seed `q^n` and the ratio `p / q` are both
+    // well inside the normal f64 range for any supported `n`.
     pmf[0] = q.powi(n as i32);
     for k in 0..n {
         pmf[k + 1] = pmf[k] * ((n - k) as f64 / (k + 1) as f64) * (p / q);
     }
+    if mirrored {
+        pmf.reverse();
+    }
     pmf
+}
+
+/// Clamps an underflowed stratum mass to exactly zero.
+///
+/// A subnormal weight is a sign the exact mass fell off the bottom of
+/// f64: reweighting by it (dividing conditional tables by it, scaling
+/// rates up by its reciprocal) amplifies representation error by up to
+/// ~10^308 and can round through `inf`/`NaN` in downstream arithmetic.
+/// Such cells carry no statistically usable information anyway, so they
+/// are excluded from sampling and counted in [`StrataPlan::skipped`].
+fn usable_mass(w: f64) -> f64 {
+    debug_assert!(w.is_finite() && w >= 0.0, "stratum mass {w} out of range");
+    if w >= f64::MIN_POSITIVE {
+        w
+    } else {
+        0.0
+    }
 }
 
 /// Running-sum table, clamped so the final entry is exactly 1.
@@ -404,6 +437,12 @@ pub struct StrataPlan {
     pub tail_min: u8,
     /// Total trials across all cells.
     pub total_trials: u64,
+    /// Number of cells excluded from sampling because their exact
+    /// probability mass is zero or underflowed to subnormal. Skipped
+    /// cells keep a `weight` of exactly `0.0` and receive no trials,
+    /// so the reweighted estimator never divides or scales by an
+    /// unrepresentably small mass.
+    pub skipped: usize,
     /// The cells, in trial-index order.
     pub strata: Vec<StratumSpec>,
 }
@@ -417,10 +456,12 @@ impl StrataPlan {
     /// Builds the plan for `trials` windows under `params`.
     ///
     /// `replicated` selects pair (2n slots) vs single-DIMM (n slots)
-    /// windows. `tail_min` is clamped to `[2, slots]`. Cells with zero
-    /// probability mass receive zero trials — sampling a
-    /// zero-probability condition is undefined, and the estimator
-    /// skips them.
+    /// windows. `tail_min` is clamped to `[2, slots]`. Cells whose
+    /// probability mass is zero — or so small it underflows to a
+    /// subnormal f64 — receive zero trials and are tallied in
+    /// [`StrataPlan::skipped`]: sampling a zero-probability condition
+    /// is undefined, and reweighting by an underflowed mass would let
+    /// `inf`/`NaN` into the estimator.
     pub fn build(params: &AccelParams, replicated: bool, tail_min: u8, trials: u64) -> StrataPlan {
         let n = params.chips_per_dimm;
         let slots = if replicated { 2 * n } else { n };
@@ -433,7 +474,7 @@ impl StrataPlan {
         let mut push = |stratum: Stratum, weight: f64, tail_cum: Vec<f64>| {
             strata.push(StratumSpec {
                 stratum,
-                weight,
+                weight: usable_mass(weight),
                 trials: 0,
                 start: 0,
                 tail_cum,
@@ -478,7 +519,10 @@ impl StrataPlan {
                     pmf[k] * if all_chip { ck } else { 1.0 - ck }
                 })
                 .collect();
-            let mass: f64 = cell_pmf.iter().sum();
+            let mass = usable_mass(cell_pmf.iter().sum());
+            // Normalize the conditional count law only against a mass
+            // the FPU can actually divide by; an underflowed cell keeps
+            // an empty table (it gets no trials, so it is never drawn).
             let tail_cum = if mass > 0.0 {
                 cumulative(&cell_pmf.iter().map(|w| w / mass).collect::<Vec<_>>())
             } else {
@@ -501,10 +545,12 @@ impl StrataPlan {
             spec.start = start;
             start += spec.trials;
         }
+        let skipped = strata.iter().filter(|s| s.weight == 0.0).count();
         StrataPlan {
             slots,
             tail_min,
             total_trials: trials,
+            skipped,
             strata,
         }
     }
@@ -851,6 +897,95 @@ mod tests {
         let s = FaultSampler::new(params);
         let sample = s.sample_stratum(&p, &p.strata[0], &mut SplitMix64::new(1));
         assert!(!sample.any());
+    }
+
+    #[test]
+    fn near_one_fault_rate_keeps_full_mass() {
+        // At p = 1 - 1e-9 over 36 slots the naive recurrence seed
+        // q^36 = 1e-324 underflows to exactly 0.0, wiping the whole
+        // pmf (and with it every stratum weight). The mirrored
+        // recurrence must keep the mass — concentrated at high fault
+        // counts — finite and summing to 1.
+        let params = AccelParams {
+            chip_fail_prob: 1.0 - 1e-9,
+            ..AccelParams::paper_accelerated()
+        };
+        let p = StrataPlan::build(&params, true, DEFAULT_TAIL_MIN, 10_000);
+        for spec in &p.strata {
+            assert!(
+                spec.weight.is_finite() && spec.weight >= 0.0,
+                "{}: weight {}",
+                spec.stratum.label(),
+                spec.weight
+            );
+        }
+        let mass: f64 = p.strata.iter().map(|s| s.weight).sum();
+        assert!((mass - 1.0).abs() < 1e-6, "total mass {mass}");
+        let trials: u64 = p.strata.iter().map(|s| s.trials).sum();
+        assert_eq!(trials, 10_000);
+        // Essentially all windows see >= tail_min faults.
+        let tail_mass: f64 = p
+            .strata
+            .iter()
+            .filter(|s| s.stratum.tail)
+            .map(|s| s.weight)
+            .sum();
+        assert!(tail_mass > 1.0 - 1e-6, "tail mass {tail_mass}");
+        // And the tail cells are actually drawable: conditional count
+        // tables present, samples land in-range and deterministic.
+        let s = FaultSampler::new(params);
+        for spec in p.strata.iter().filter(|s| s.trials > 0) {
+            let a = s.sample_stratum(&p, spec, &mut SplitMix64::new(13));
+            let b = s.sample_stratum(&p, spec, &mut SplitMix64::new(13));
+            assert_eq!(a, b);
+            assert!(a.faults.len() <= p.slots);
+        }
+    }
+
+    #[test]
+    fn underflowed_strata_are_skipped_not_nan() {
+        // p = 1e-157 puts the exact k=2 mass (~630 * p^2 ~ 6e-312) in
+        // the subnormal range and everything heavier at 0.0: those
+        // cells must be clamped to weight 0, get no trials, and be
+        // reported via the skipped count — never reweighted into
+        // inf/NaN.
+        for rate in [1e-157_f64, 1e-300] {
+            let params = AccelParams {
+                chip_fail_prob: rate,
+                ..AccelParams::paper_accelerated()
+            };
+            let p = StrataPlan::build(&params, true, DEFAULT_TAIL_MIN, 10_000);
+            for spec in &p.strata {
+                assert!(
+                    spec.weight == 0.0 || spec.weight >= f64::MIN_POSITIVE,
+                    "{}: subnormal weight {} survived",
+                    spec.stratum.label(),
+                    spec.weight
+                );
+                if spec.weight == 0.0 {
+                    assert_eq!(spec.trials, 0, "{}", spec.stratum.label());
+                    if spec.stratum.tail {
+                        assert!(spec.tail_cum.is_empty());
+                    }
+                }
+            }
+            let zeroed = p.strata.iter().filter(|s| s.weight == 0.0).count();
+            assert_eq!(p.skipped, zeroed);
+            assert!(
+                p.skipped >= 6,
+                "rate {rate}: expected the k>=2 cells skipped, got {}",
+                p.skipped
+            );
+            // The surviving cells still absorb the whole budget and
+            // essentially the whole mass (what was dropped is below
+            // ~1e-300 by construction).
+            let trials: u64 = p.strata.iter().map(|s| s.trials).sum();
+            assert_eq!(trials, 10_000);
+            let mass: f64 = p.strata.iter().map(|s| s.weight).sum();
+            assert!((mass - 1.0).abs() < 1e-12, "rate {rate}: mass {mass}");
+        }
+        // Healthy mid-range rates skip nothing.
+        assert_eq!(plan(10_000).skipped, 0);
     }
 
     #[test]

@@ -85,6 +85,13 @@ impl SystemBuilder {
         self
     }
 
+    /// Trace-supply worker threads (1 = sequential reference path;
+    /// more shard trace synthesis across threads, bit-identically).
+    pub fn pdes_workers(mut self, workers: usize) -> SystemBuilder {
+        self.cfg.pdes_workers = workers;
+        self
+    }
+
     /// Runs with the replicas out of service (§V-E degraded state).
     pub fn degraded(mut self, on: bool) -> SystemBuilder {
         self.cfg.degraded = on;
@@ -143,6 +150,7 @@ mod tests {
             .speculative(false)
             .degraded(true)
             .mshrs(4)
+            .pdes_workers(4)
             .llc_bytes(1 << 20);
         let c = b.config();
         assert_eq!(c.ops_per_thread, 500);
@@ -153,6 +161,7 @@ mod tests {
         assert!(!c.speculative);
         assert!(c.degraded);
         assert_eq!(c.mshrs, 4);
+        assert_eq!(c.pdes_workers, 4);
         assert_eq!(c.engine.llc_bytes, 1 << 20);
     }
 

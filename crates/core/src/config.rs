@@ -113,6 +113,13 @@ pub struct SystemConfig {
     /// (the pinned-golden regime); larger values let cores overlap
     /// misses and expose memory-level parallelism. Must be ≥ 1.
     pub mshrs: usize,
+    /// Trace-supply worker threads (the parallel discrete-event core's
+    /// system-runner integration, see `dve::pdes`). The default of 1
+    /// keeps everything on the coordinator thread; larger values shard
+    /// trace synthesis across that many workers over bounded per-core
+    /// channels. Results are bit-identical at every setting — the
+    /// replay gate in the `pdes` bench binary pins this.
+    pub pdes_workers: usize,
     /// §V-E degraded state: run the Dvé scheme with the replica copies
     /// out of service (single functional copy). Performance should match
     /// baseline NUMA — the `ablation` harness checks this claim.
@@ -146,6 +153,7 @@ impl SystemConfig {
             warmup_per_thread: 5_000,
             dynamic_window: 5_000,
             mshrs: 1,
+            pdes_workers: 1,
             degraded: false,
             ecc: EccProfile::chipkill(),
             chaos: None,
@@ -199,6 +207,7 @@ mod tests {
         assert_eq!(c.channels_per_socket(), 1);
         assert_eq!(c.total_ranks(), 2);
         assert_eq!(c.mshrs, 1, "blocking cores by default");
+        assert_eq!(c.pdes_workers, 1, "sequential trace supply by default");
     }
 
     #[test]

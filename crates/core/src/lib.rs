@@ -26,6 +26,9 @@
 //!   schedules, link outages, paced patrol scrub, and the recovery
 //!   ledger checked by the `chaos` harness.
 //! * [`metrics`] — the paper's aggregates (geomean over top-10/15/all).
+//! * [`pdes`] — the parallel trace supply: worker threads pre-generate
+//!   per-core operation streams through bounded channels, bit-identical
+//!   to the inline generator (enable via `SystemConfig::pdes_workers`).
 //!
 //! # Quickstart
 //!
@@ -47,11 +50,13 @@ pub mod chaos;
 pub mod config;
 pub mod fabric_impl;
 pub mod metrics;
+pub mod pdes;
 pub mod recovery;
 pub mod system;
 
 pub use builder::SystemBuilder;
 pub use chaos::{ChaosConfig, ChaosParams, FaultSchedule, RecoveryLedger};
 pub use config::{Scheme, SystemConfig};
+pub use pdes::{ShardedSupply, TraceSupply};
 pub use recovery::{RecoverableMemory, RecoveryEvent, RecoveryOutcome};
 pub use system::{RunResult, System};

@@ -17,6 +17,7 @@
 use crate::chaos::{FaultEvent, RecoveryLedger, ScrubConfig};
 use crate::config::{Scheme, SystemConfig};
 use crate::fabric_impl::SystemFabric;
+use crate::pdes::TraceSupply;
 use dve_coherence::engine::{EngineStats, ProtocolEngine};
 use dve_coherence::replica_dir::ReplicaPolicy;
 use dve_coherence::types::ReqType;
@@ -27,7 +28,7 @@ use dve_sim::latency::{Component, LatencyBreakdown, LatencyHists};
 use dve_sim::resource::Resource;
 use dve_sim::time::Cycles;
 use dve_workloads::op::{MemReq, Op};
-use dve_workloads::{TraceGenerator, WorkloadProfile};
+use dve_workloads::WorkloadProfile;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -152,7 +153,10 @@ pub struct System {
     cfg: SystemConfig,
     engine: ProtocolEngine,
     fabric: SystemFabric,
-    gen: TraceGenerator,
+    /// The operation source: inline generator, or the sharded
+    /// multi-threaded supply when `cfg.pdes_workers > 1` (bit-identical
+    /// either way).
+    supply: TraceSupply,
     workload: String,
     /// Per-core local clocks.
     core_time: Vec<u64>,
@@ -194,7 +198,7 @@ impl System {
         if cfg.degraded {
             engine.set_degraded(true, 0, &mut fabric);
         }
-        let gen = TraceGenerator::new(profile, cfg.engine.cores, seed);
+        let supply = TraceSupply::new(profile, cfg.engine.cores, seed, cfg.pdes_workers);
         let cores = cfg.engine.cores;
         let ways = cfg.mshrs;
         let chaos_active = cfg.chaos.is_some();
@@ -216,7 +220,7 @@ impl System {
             cfg,
             engine,
             fabric,
-            gen,
+            supply,
             workload: profile.name.to_string(),
             core_time: vec![0; cores],
             mshrs: (0..cores).map(|_| Resource::new(ways)).collect(),
@@ -357,7 +361,7 @@ impl System {
         while live > 0 {
             let (Reverse(now), core) = heap.pop().expect("live cores remain");
             self.advance_chaos(now);
-            let op = self.gen.next_op(core);
+            let op = self.supply.next_op(core);
             total_ops += 1;
             let next = match op {
                 Op::Compute(c) => now + c as u64,

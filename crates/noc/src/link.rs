@@ -109,6 +109,15 @@ impl InterSocketLink {
         self.latency
     }
 
+    /// The conservative-lookahead horizon this link induces for a
+    /// domain-sharded parallel simulation (`dve_sim::pdes`): no
+    /// cross-socket effect can become visible in less than the one-way
+    /// propagation latency, so per-socket domains may safely advance
+    /// this many cycles between synchronization barriers.
+    pub fn lookahead(&self) -> Cycles {
+        self.latency
+    }
+
     fn dir(from: usize, to: usize) -> usize {
         assert!(
             from < 2 && to < 2 && from != to,

@@ -105,7 +105,10 @@ impl<E> EventQueue<E> {
     /// # Panics
     ///
     /// Panics if `time` is earlier than the current time ([`Self::now`]) —
-    /// scheduling into the past is always a simulator bug.
+    /// scheduling into the past is always a simulator bug — or if the
+    /// insertion counter would wrap. A silent `next_seq` wraparound would
+    /// flip FIFO-within-time ordering for the wrapped pushes, breaking
+    /// replay determinism without any visible error.
     pub fn push(&mut self, time: Time, event: E) {
         assert!(
             time >= self.now,
@@ -113,7 +116,9 @@ impl<E> EventQueue<E> {
             self.now
         );
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.next_seq = seq
+            .checked_add(1)
+            .expect("EventQueue sequence counter overflowed u64");
         self.heap.push(Entry { time, seq, event });
     }
 
@@ -257,6 +262,47 @@ mod tests {
         // Sequence counters are independent too: pushes to the clone do
         // not perturb the original's FIFO-within-time ordering.
         assert_eq!(q.pop(), Some((20, "b")));
+    }
+
+    #[test]
+    fn clone_replays_identically_under_interleaving() {
+        // A clone must carry the insertion counter, not just the heap:
+        // if `next_seq` reset on clone, a fresh push into the clone
+        // could slot *before* surviving same-time events and the clone
+        // would pop in a different order than the original given the
+        // same subsequent pushes. Drive both queues through an
+        // identical interleaved push/pop schedule and demand identical
+        // pop sequences throughout.
+        let mut original = EventQueue::new();
+        original.push(5, "e0");
+        original.push(5, "e1");
+        original.push(9, "e2");
+        let mut clone = original.clone();
+
+        let schedule: &[(&str, Time, &str)] = &[
+            ("pop", 0, ""),
+            ("push", 5, "e3"), // same time as pending e1: seq decides
+            ("push", 9, "e4"), // same time as pending e2: seq decides
+            ("pop", 0, ""),
+            ("pop", 0, ""),
+            ("push", 9, "e5"),
+            ("pop", 0, ""),
+            ("pop", 0, ""),
+            ("pop", 0, ""),
+        ];
+        for &(kind, time, tag) in schedule {
+            match kind {
+                "push" => {
+                    original.push(time, tag);
+                    clone.push(time, tag);
+                }
+                _ => {
+                    assert_eq!(original.pop(), clone.pop(), "replay diverged");
+                }
+            }
+        }
+        assert_eq!(original.pop(), None);
+        assert_eq!(clone.pop(), None);
     }
 
     #[test]

@@ -1,0 +1,802 @@
+//! Conservative parallel discrete-event simulation over sharded queues.
+//!
+//! The simulation is partitioned into **domains** (per-socket memory
+//! controllers in the Dvé topology), each owning a private
+//! [`EventQueue`] slice plus whatever timed state it models. Domains
+//! advance in fixed **lookahead windows**: within a window every domain
+//! processes its own events independently — in parallel when run
+//! threaded — and cross-domain traffic is exchanged only at window
+//! boundaries through ordered inter-domain channels.
+//!
+//! The conservative correctness argument is the classic one (Chandy–
+//! Misra–Bryant, specialized to a barrier executive): if every
+//! cross-domain message carries a delivery latency of at least the
+//! lookahead `L` — in Dvé, the one-way inter-socket link latency, the
+//! *minimum* time any remote effect needs to become visible — then a
+//! message sent at time `t` inside window `[w·L, (w+1)·L)` delivers at
+//! `t + latency ≥ w·L + L = (w+1)·L`, i.e. never inside the sender's
+//! own window. Exchanging all in-flight messages at the barrier
+//! therefore gives every domain its complete event horizon for the
+//! next window before that window begins: no straggler can arrive in a
+//! domain's past, and no rollback machinery is needed.
+//!
+//! Determinism does not ride on thread scheduling. Each domain's
+//! in-window execution is serial over its own queue (whose `(time,
+//! seq)` order is fixed by push order), and boundary messages are
+//! inserted in the total order `(deliver_time, source domain, channel
+//! sequence)` — a pure function of the computation, not of which
+//! worker thread routed them first. [`Executive::run_inline`] and
+//! [`Executive::run_threaded`] are therefore **bit-identical**, which
+//! is what the replay gate in `dve-bench`'s `pdes` binary pins.
+
+use crate::event::{EventQueue, Time};
+use crate::resource::Resource;
+use crate::rng::{derive_seed, SplitMix64};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// A simulation domain: one shard of the model, owning its slice of
+/// the event space. `handle` runs serially per domain, so it may
+/// freely mutate domain state; cross-domain effects go through
+/// [`Ctx::send`] and are delivered no earlier than one lookahead away.
+pub trait Domain: Send {
+    /// The event vocabulary this model shards.
+    type Event: Send;
+
+    /// Executes one local event at `time`. Schedule follow-up local
+    /// work with [`Ctx::schedule`]; emit cross-domain messages with
+    /// [`Ctx::send`].
+    fn handle(&mut self, time: Time, event: Self::Event, ctx: &mut Ctx<'_, Self::Event>);
+}
+
+/// One in-flight cross-domain message.
+struct Envelope<E> {
+    dst: usize,
+    deliver: Time,
+    src: usize,
+    /// Per-`(src, dst)` channel sequence number: the channels are
+    /// FIFO-ordered, and `(deliver, src, seq)` totally orders every
+    /// message bound for one destination regardless of which worker
+    /// thread routed it.
+    seq: u64,
+    event: E,
+}
+
+/// The per-event execution context handed to [`Domain::handle`].
+pub struct Ctx<'a, E> {
+    now: Time,
+    lookahead: Time,
+    src: usize,
+    domains: usize,
+    queue: &'a mut EventQueue<E>,
+    /// Next sequence number per destination channel (index = dst).
+    seqs: &'a mut [u64],
+    out: &'a mut Vec<Envelope<E>>,
+    sent: u64,
+}
+
+impl<E> Ctx<'_, E> {
+    /// The executing event's timestamp.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// This domain's index.
+    pub fn domain(&self) -> usize {
+        self.src
+    }
+
+    /// Number of domains in the executive.
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// The conservative lookahead (minimum cross-domain latency).
+    pub fn lookahead(&self) -> Time {
+        self.lookahead
+    }
+
+    /// Schedules a local event `delay` ticks from now. Intra-domain
+    /// lookahead is zero: any non-negative delay is fine, including
+    /// landing inside the current window.
+    pub fn schedule(&mut self, delay: Time, event: E) {
+        self.queue.push(self.now.saturating_add(delay), event);
+    }
+
+    /// Sends `event` to domain `dst`, delivered `latency` ticks from
+    /// now over the ordered inter-domain channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is this domain or out of range, or if `latency`
+    /// is below the lookahead — a sub-lookahead channel would let a
+    /// message land inside the sender's own window, breaking the
+    /// conservative horizon the executive synchronizes on.
+    pub fn send(&mut self, dst: usize, latency: Time, event: E) {
+        assert!(dst != self.src, "self-sends must use schedule()");
+        assert!(dst < self.seqs.len(), "domain {dst} out of range");
+        assert!(
+            latency >= self.lookahead,
+            "cross-domain latency {latency} below lookahead {}",
+            self.lookahead
+        );
+        let seq = self.seqs[dst];
+        self.seqs[dst] += 1;
+        self.sent += 1;
+        self.out.push(Envelope {
+            dst,
+            deliver: self.now.saturating_add(latency),
+            src: self.src,
+            seq,
+            event,
+        });
+    }
+}
+
+/// One domain with its queue shard and channel sequence counters.
+struct Slot<D: Domain> {
+    domain: D,
+    queue: EventQueue<D::Event>,
+    seqs: Vec<u64>,
+    events: u64,
+    sent: u64,
+}
+
+/// Aggregate execution statistics of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Lookahead windows executed (barrier rounds when threaded).
+    pub windows: u64,
+    /// Events processed across all domains.
+    pub events: u64,
+    /// Cross-domain messages exchanged.
+    pub messages: u64,
+    /// Timestamp of the last processed event.
+    pub end_time: Time,
+}
+
+/// The conservative-lookahead executive over a set of domains.
+///
+/// # Example
+///
+/// ```
+/// use dve_sim::pdes::{Ctx, Domain, Executive};
+///
+/// struct Counter(u64);
+/// impl Domain for Counter {
+///     type Event = u32;
+///     fn handle(&mut self, _t: u64, hops: u32, ctx: &mut Ctx<'_, u32>) {
+///         self.0 += 1;
+///         if hops > 0 {
+///             let peer = (ctx.domain() + 1) % ctx.domains();
+///             ctx.send(peer, ctx.lookahead(), hops - 1);
+///         }
+///     }
+/// }
+///
+/// let mut exec = Executive::new(vec![Counter(0), Counter(0)], 100);
+/// exec.seed(0, 0, 5); // a token bouncing 5 hops between the domains
+/// let stats = exec.run_inline();
+/// assert_eq!(stats.events, 6);
+/// assert_eq!(stats.messages, 5);
+/// assert_eq!(exec.domains()[0].0 + exec.domains()[1].0, 6);
+/// ```
+pub struct Executive<D: Domain> {
+    slots: Vec<Slot<D>>,
+    lookahead: Time,
+}
+
+impl<D: Domain> Executive<D> {
+    /// Builds an executive over `domains` with conservative lookahead
+    /// `lookahead` (every cross-domain channel's minimum latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains` is empty or `lookahead` is zero.
+    pub fn new(domains: Vec<D>, lookahead: Time) -> Executive<D> {
+        assert!(!domains.is_empty(), "need at least one domain");
+        assert!(lookahead > 0, "lookahead must be positive");
+        let n = domains.len();
+        Executive {
+            slots: domains
+                .into_iter()
+                .map(|domain| Slot {
+                    domain,
+                    queue: EventQueue::new(),
+                    seqs: vec![0; n],
+                    events: 0,
+                    sent: 0,
+                })
+                .collect(),
+            lookahead,
+        }
+    }
+
+    /// Seeds an initial event into `domain`'s queue at absolute `time`.
+    pub fn seed(&mut self, domain: usize, time: Time, event: D::Event) {
+        self.slots[domain].queue.push(time, event);
+    }
+
+    /// The domains, in index order (for post-run inspection).
+    pub fn domains(&self) -> Vec<&D> {
+        self.slots.iter().map(|s| &s.domain).collect()
+    }
+
+    /// Consumes the executive, returning the domains.
+    pub fn into_domains(self) -> Vec<D> {
+        self.slots.into_iter().map(|s| s.domain).collect()
+    }
+
+    /// First window boundary at or before the earliest pending event,
+    /// across all domains. `None` when every queue is empty.
+    fn next_window(&self, lookahead: Time) -> Option<Time> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.queue.peek_time())
+            .min()
+            .map(|t| (t / lookahead) * lookahead)
+    }
+
+    /// Runs sequentially until every queue drains. This is the
+    /// reference path: [`Executive::run_threaded`] must match it
+    /// bit-for-bit.
+    pub fn run_inline(&mut self) -> ExecStats {
+        let lookahead = self.lookahead;
+        let n = self.slots.len();
+        let mut stats = ExecStats::default();
+        let mut mail: Vec<Vec<Envelope<D::Event>>> = (0..n).map(|_| Vec::new()).collect();
+        while let Some(window_start) = self.next_window(lookahead) {
+            let window_end = window_start + lookahead;
+            stats.windows += 1;
+            let mut outbox = Vec::new();
+            for (i, slot) in self.slots.iter_mut().enumerate() {
+                stats.end_time = stats.end_time.max(drain_window(
+                    i,
+                    slot,
+                    window_end,
+                    lookahead,
+                    n,
+                    &mut outbox,
+                ));
+            }
+            stats.messages += outbox.len() as u64;
+            for env in outbox {
+                mail[env.dst].push(env);
+            }
+            for (slot, inbox) in self.slots.iter_mut().zip(&mut mail) {
+                deliver(slot, inbox);
+            }
+        }
+        stats.events = self.slots.iter().map(|s| s.events).sum();
+        stats
+    }
+
+    /// Runs the same computation on `workers` threads under the
+    /// window barrier. Results (domain states, queues, statistics) are
+    /// bit-identical to [`Executive::run_inline`].
+    ///
+    /// `workers` is clamped to the domain count; `workers <= 1` simply
+    /// runs inline.
+    pub fn run_threaded(&mut self, workers: usize) -> ExecStats {
+        let lookahead = self.lookahead;
+        let n = self.slots.len();
+        let workers = workers.min(n);
+        if workers <= 1 {
+            return self.run_inline();
+        }
+        let Some(first_window) = self.next_window(lookahead) else {
+            return ExecStats::default();
+        };
+
+        // Contiguous partition: worker w owns slots [w*per, ...). With
+        // socket-major domain layouts this keeps a socket's controllers
+        // on one worker.
+        let per = n.div_ceil(workers);
+        let barrier = Barrier::new(workers);
+        // Mailboxes, one per destination domain. Senders append under
+        // the lock during the window; owners drain between barriers.
+        // Arrival order is irrelevant: delivery sorts by
+        // (deliver, src, seq) before insertion.
+        let mail: Vec<Mutex<Vec<Envelope<D::Event>>>> =
+            (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        // Per-worker window agreement: each publishes the earliest
+        // pending event time over its own domains (u64::MAX = idle),
+        // and after the barrier every worker derives the same global
+        // next window.
+        let mins: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let counters: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (w, chunk) in self.slots.chunks_mut(per).enumerate() {
+                let barrier = &barrier;
+                let mail = &mail;
+                let mins = &mins;
+                let counters = &counters;
+                handles.push(scope.spawn(move || {
+                    let base = w * per;
+                    let mut window_start = first_window;
+                    let mut outbox = Vec::new();
+                    let mut end_time = 0u64;
+                    let mut windows = 0u64;
+                    loop {
+                        let window_end = window_start + lookahead;
+                        windows += 1;
+                        for (k, slot) in chunk.iter_mut().enumerate() {
+                            end_time = end_time.max(drain_window(
+                                base + k,
+                                slot,
+                                window_end,
+                                lookahead,
+                                n,
+                                &mut outbox,
+                            ));
+                        }
+                        for env in outbox.drain(..) {
+                            mail[env.dst].lock().expect("mailbox poisoned").push(env);
+                        }
+                        // Barrier A: every message of this window is in
+                        // its destination mailbox.
+                        barrier.wait();
+                        let mut local_min = u64::MAX;
+                        for (k, slot) in chunk.iter_mut().enumerate() {
+                            let mut inbox = std::mem::take(
+                                &mut *mail[base + k].lock().expect("mailbox poisoned"),
+                            );
+                            deliver(slot, &mut inbox);
+                            if let Some(t) = slot.queue.peek_time() {
+                                local_min = local_min.min(t);
+                            }
+                        }
+                        mins[w].store(local_min, Ordering::SeqCst);
+                        // Barrier B: all minima published; every worker
+                        // computes the identical next window (or quits).
+                        barrier.wait();
+                        let global_min = mins
+                            .iter()
+                            .map(|m| m.load(Ordering::SeqCst))
+                            .min()
+                            .unwrap_or(u64::MAX);
+                        if global_min == u64::MAX {
+                            break;
+                        }
+                        window_start = (global_min / lookahead) * lookahead;
+                    }
+                    counters[0].fetch_max(end_time, Ordering::SeqCst);
+                    counters[1].fetch_max(windows, Ordering::SeqCst);
+                }));
+            }
+            for h in handles {
+                h.join().expect("pdes worker panicked");
+            }
+        });
+
+        let events: u64 = self.slots.iter().map(|s| s.events).sum();
+        let messages: u64 = self.slots.iter().map(|s| s.sent).sum();
+        ExecStats {
+            windows: counters[1].load(Ordering::SeqCst),
+            events,
+            messages,
+            end_time: counters[0].load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Processes every event of `slot` with `time < window_end`,
+/// collecting cross-domain sends into `outbox`. Returns the timestamp
+/// of the last processed event (0 if none).
+fn drain_window<D: Domain>(
+    index: usize,
+    slot: &mut Slot<D>,
+    window_end: Time,
+    lookahead: Time,
+    domains: usize,
+    outbox: &mut Vec<Envelope<D::Event>>,
+) -> Time {
+    let mut last = 0;
+    while slot.queue.peek_time().is_some_and(|t| t < window_end) {
+        let (time, event) = slot.queue.pop().expect("peeked");
+        last = time;
+        slot.events += 1;
+        let mut ctx = Ctx {
+            now: time,
+            lookahead,
+            src: index,
+            domains,
+            queue: &mut slot.queue,
+            seqs: &mut slot.seqs,
+            out: outbox,
+            sent: 0,
+        };
+        slot.domain.handle(time, event, &mut ctx);
+        slot.sent += ctx.sent;
+    }
+    last
+}
+
+/// Inserts a window's worth of boundary messages into `slot`'s queue
+/// in the canonical `(deliver, src, seq)` order, emptying `inbox`.
+fn deliver<D: Domain>(slot: &mut Slot<D>, inbox: &mut Vec<Envelope<D::Event>>) {
+    inbox.sort_by_key(|e| (e.deliver, e.src, e.seq));
+    for env in inbox.drain(..) {
+        slot.queue.push(env.deliver, env.event);
+    }
+}
+
+// ---- synthetic memory-domain model ---------------------------------
+
+/// Seed stream id for the synthetic memory domains.
+const PDES_STREAM: u64 = 0x7065_6465; // "pede"
+
+/// Event vocabulary of the [`SyntheticMemoryDomain`] model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEvent {
+    /// A local closed-loop stream issues its next access.
+    Issue { stream: usize },
+    /// A local bank access completed.
+    Done { stream: usize, issued: Time },
+    /// A remote read request arrived from `src` on behalf of its
+    /// stream.
+    RemoteReq {
+        src: usize,
+        stream: usize,
+        issued: Time,
+    },
+    /// The reply to a remote request arrived back home.
+    RemoteResp { stream: usize, issued: Time },
+}
+
+/// A self-driving memory-controller domain for stress tests and the
+/// scaling bench: `streams` closed-loop requestors per domain, each
+/// access either hitting the domain-local bank group or taking a
+/// round trip to a uniformly chosen remote domain over the
+/// lookahead-bounded channel. The model exists to exercise the
+/// executive — domain-sharded queues, ordered channels, barrier
+/// windows — with a realistic mix of local work and cross-domain
+/// traffic whose statistics the tests can audit.
+#[derive(Debug)]
+pub struct SyntheticMemoryDomain {
+    /// This domain's index.
+    index: usize,
+    /// Domain-local bank group.
+    bank: Resource,
+    rng: SplitMix64,
+    /// Remaining accesses each closed-loop stream may issue.
+    budget: Vec<u64>,
+    /// Probability an access is remote.
+    remote_frac: f64,
+    /// One-way channel latency (≥ the executive's lookahead).
+    link_latency: Time,
+    /// Bank service time per access.
+    service: Time,
+    /// Think time between a completion and the stream's next issue.
+    think: Time,
+    /// Completed accesses.
+    pub completed: u64,
+    /// Completed remote round trips.
+    pub remote_completed: u64,
+    /// Summed end-to-end latency of completed accesses.
+    pub total_latency: u64,
+}
+
+impl SyntheticMemoryDomain {
+    /// Builds domain `index` with `streams` closed-loop requestors
+    /// issuing `ops_per_stream` accesses each.
+    pub fn new(
+        index: usize,
+        seed: u64,
+        streams: usize,
+        ops_per_stream: u64,
+        remote_frac: f64,
+        link_latency: Time,
+    ) -> SyntheticMemoryDomain {
+        SyntheticMemoryDomain {
+            index,
+            bank: Resource::new(4),
+            rng: SplitMix64::new(derive_seed(seed, PDES_STREAM, index as u64)),
+            budget: vec![ops_per_stream; streams],
+            remote_frac,
+            link_latency,
+            service: 24,
+            think: 8,
+            completed: 0,
+            remote_completed: 0,
+            total_latency: 0,
+        }
+    }
+
+    /// Seeds every stream's first issue into `exec` at staggered
+    /// start times (so banks don't see a thundering herd at t=0).
+    pub fn prime(exec: &mut Executive<SyntheticMemoryDomain>) {
+        let counts: Vec<usize> = exec.domains().iter().map(|d| d.budget.len()).collect();
+        for (d, streams) in counts.into_iter().enumerate() {
+            for s in 0..streams {
+                exec.seed(d, s as Time, MemEvent::Issue { stream: s });
+            }
+        }
+    }
+
+    fn finish(
+        &mut self,
+        now: Time,
+        issued: Time,
+        remote: bool,
+        stream: usize,
+        ctx: &mut Ctx<'_, MemEvent>,
+    ) {
+        self.completed += 1;
+        self.remote_completed += u64::from(remote);
+        self.total_latency += now - issued;
+        if self.budget[stream] > 0 {
+            ctx.schedule(self.think, MemEvent::Issue { stream });
+        }
+    }
+}
+
+impl Domain for SyntheticMemoryDomain {
+    type Event = MemEvent;
+
+    fn handle(&mut self, now: Time, event: MemEvent, ctx: &mut Ctx<'_, MemEvent>) {
+        match event {
+            MemEvent::Issue { stream } => {
+                if self.budget[stream] == 0 {
+                    return;
+                }
+                self.budget[stream] -= 1;
+                let n = ctx.domains();
+                if n > 1 && self.rng.chance(self.remote_frac) {
+                    // Uniform peer choice excluding self.
+                    let mut dst = self.rng.next_below((n - 1) as u64) as usize;
+                    if dst >= self.index {
+                        dst += 1;
+                    }
+                    ctx.send(
+                        dst,
+                        self.link_latency,
+                        MemEvent::RemoteReq {
+                            src: self.index,
+                            stream,
+                            issued: now,
+                        },
+                    );
+                } else {
+                    let grant = self.bank.acquire(now, self.service);
+                    ctx.schedule(
+                        grant.complete_at - now,
+                        MemEvent::Done {
+                            stream,
+                            issued: now,
+                        },
+                    );
+                }
+            }
+            MemEvent::Done { stream, issued } => {
+                self.finish(now, issued, false, stream, ctx);
+            }
+            MemEvent::RemoteReq {
+                src,
+                stream,
+                issued,
+            } => {
+                // Serve from the local bank, then ship the reply back.
+                // The reply leaves when service completes; latency is
+                // service + link, always ≥ lookahead.
+                let grant = self.bank.acquire(now, self.service);
+                ctx.send(
+                    src,
+                    (grant.complete_at - now) + self.link_latency,
+                    MemEvent::RemoteResp { stream, issued },
+                );
+            }
+            MemEvent::RemoteResp { stream, issued } => {
+                self.finish(now, issued, true, stream, ctx);
+            }
+        }
+    }
+}
+
+/// Builds and primes a synthetic-memory executive: `domains` domains,
+/// `streams` closed-loop requestors each issuing `ops_per_stream`
+/// accesses, `remote_frac` of them remote over a channel of exactly
+/// `lookahead` cycles.
+pub fn synthetic_executive(
+    domains: usize,
+    streams: usize,
+    ops_per_stream: u64,
+    remote_frac: f64,
+    lookahead: Time,
+    seed: u64,
+) -> Executive<SyntheticMemoryDomain> {
+    let doms = (0..domains)
+        .map(|i| {
+            SyntheticMemoryDomain::new(i, seed, streams, ops_per_stream, remote_frac, lookahead)
+        })
+        .collect();
+    let mut exec = Executive::new(doms, lookahead);
+    SyntheticMemoryDomain::prime(&mut exec);
+    exec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fingerprint of a synthetic run for bit-identity comparisons.
+    fn fingerprint(exec: &Executive<SyntheticMemoryDomain>) -> Vec<(u64, u64, u64)> {
+        exec.domains()
+            .iter()
+            .map(|d| (d.completed, d.remote_completed, d.total_latency))
+            .collect()
+    }
+
+    #[test]
+    fn inline_completes_every_access() {
+        let mut exec = synthetic_executive(4, 8, 50, 0.3, 150, 42);
+        let stats = exec.run_inline();
+        let total: u64 = exec.domains().iter().map(|d| d.completed).sum();
+        assert_eq!(total, 4 * 8 * 50);
+        assert!(stats.events > total, "each access takes >1 event");
+        assert!(stats.messages > 0, "remote traffic must flow");
+        assert!(stats.end_time > 0);
+    }
+
+    #[test]
+    fn threaded_matches_inline_bit_for_bit() {
+        for workers in [2, 3, 4, 8] {
+            let mut a = synthetic_executive(8, 6, 40, 0.35, 150, 7);
+            let mut b = synthetic_executive(8, 6, 40, 0.35, 150, 7);
+            let sa = a.run_inline();
+            let sb = b.run_threaded(workers);
+            assert_eq!(fingerprint(&a), fingerprint(&b), "{workers} workers");
+            assert_eq!(sa.events, sb.events, "{workers} workers");
+            assert_eq!(sa.messages, sb.messages, "{workers} workers");
+            assert_eq!(sa.end_time, sb.end_time, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn threaded_is_deterministic_run_to_run() {
+        let run = || {
+            let mut e = synthetic_executive(6, 5, 60, 0.4, 200, 11);
+            e.run_threaded(3);
+            fingerprint(&e)
+        };
+        let first = run();
+        for _ in 0..5 {
+            assert_eq!(run(), first);
+        }
+    }
+
+    #[test]
+    fn remote_fraction_materializes() {
+        let mut exec = synthetic_executive(4, 8, 200, 0.25, 150, 3);
+        exec.run_inline();
+        let total: u64 = exec.domains().iter().map(|d| d.completed).sum();
+        let remote: u64 = exec.domains().iter().map(|d| d.remote_completed).sum();
+        let frac = remote as f64 / total as f64;
+        assert!((frac - 0.25).abs() < 0.05, "remote fraction {frac}");
+    }
+
+    #[test]
+    fn remote_latency_includes_two_link_crossings() {
+        // With 100% remote traffic every access pays at least
+        // 2 × link + service.
+        let mut exec = synthetic_executive(2, 2, 30, 1.0, 150, 5);
+        exec.run_inline();
+        for d in exec.domains() {
+            let mean = d.total_latency as f64 / d.completed as f64;
+            assert!(mean >= (2 * 150 + 24) as f64, "mean remote latency {mean}");
+        }
+    }
+
+    #[test]
+    fn sub_lookahead_send_is_rejected() {
+        struct Bad;
+        impl Domain for Bad {
+            type Event = ();
+            fn handle(&mut self, _t: Time, _e: (), ctx: &mut Ctx<'_, ()>) {
+                ctx.send(1, ctx.lookahead() - 1, ());
+            }
+        }
+        let mut exec = Executive::new(vec![Bad, Bad], 100);
+        exec.seed(0, 0, ());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec.run_inline()));
+        assert!(err.is_err(), "sub-lookahead send must panic");
+    }
+
+    #[test]
+    fn boundary_messages_deliver_in_canonical_order() {
+        // Two source domains fire same-deliver-time messages at domain
+        // 2 in reverse index order; the receiver must still see src 0
+        // before src 1, and FIFO within each channel.
+        #[derive(Default)]
+        struct Recorder {
+            log: Vec<(Time, usize, u32)>,
+        }
+        #[derive(Clone, Copy)]
+        enum Ev {
+            Fire { tag: u32 },
+            Note { src: usize, tag: u32 },
+        }
+        impl Domain for Recorder {
+            type Event = Ev;
+            fn handle(&mut self, now: Time, e: Ev, ctx: &mut Ctx<'_, Ev>) {
+                match e {
+                    Ev::Fire { tag } => {
+                        let src = ctx.domain();
+                        ctx.send(2, ctx.lookahead(), Ev::Note { src, tag });
+                        ctx.send(2, ctx.lookahead(), Ev::Note { src, tag: tag + 10 });
+                    }
+                    Ev::Note { src, tag } => self.log.push((now, src, tag)),
+                }
+            }
+        }
+        let mut exec = Executive::new(
+            vec![
+                Recorder::default(),
+                Recorder::default(),
+                Recorder::default(),
+            ],
+            50,
+        );
+        // Seed src 1 *before* src 0 at the same time: insertion order
+        // into different domains must not matter.
+        exec.seed(1, 10, Ev::Fire { tag: 100 });
+        exec.seed(0, 10, Ev::Fire { tag: 0 });
+        exec.run_inline();
+        assert_eq!(
+            exec.domains()[2].log,
+            vec![(60, 0, 0), (60, 0, 10), (60, 1, 100), (60, 1, 110)],
+        );
+    }
+
+    #[test]
+    fn idle_windows_are_skipped() {
+        // Two events 10^6 apart must not cost 10^6/lookahead windows.
+        struct Quiet;
+        impl Domain for Quiet {
+            type Event = ();
+            fn handle(&mut self, _t: Time, _e: (), _ctx: &mut Ctx<'_, ()>) {}
+        }
+        let mut exec = Executive::new(vec![Quiet], 100);
+        exec.seed(0, 5, ());
+        exec.seed(0, 1_000_000, ());
+        let stats = exec.run_inline();
+        assert_eq!(stats.events, 2);
+        assert!(stats.windows <= 3, "{} windows for 2 events", stats.windows);
+    }
+
+    #[test]
+    fn single_worker_threaded_falls_back_inline() {
+        let mut a = synthetic_executive(3, 4, 25, 0.2, 150, 9);
+        let mut b = synthetic_executive(3, 4, 25, 0.2, 150, 9);
+        let sa = a.run_inline();
+        let sb = b.run_threaded(1);
+        assert_eq!(sa, sb);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn channel_stress_many_windows_many_messages() {
+        // High remote fraction and many domains: thousands of boundary
+        // exchanges, still bit-identical across worker counts.
+        let mk = || synthetic_executive(12, 4, 80, 0.8, 150, 0xBEEF);
+        let mut reference = mk();
+        let rs = reference.run_inline();
+        assert!(
+            rs.messages > 5_000,
+            "stress wants traffic, got {}",
+            rs.messages
+        );
+        for workers in [2, 4, 6, 12] {
+            let mut e = mk();
+            let s = e.run_threaded(workers);
+            assert_eq!(s, rs, "{workers} workers");
+            assert_eq!(
+                fingerprint(&e),
+                fingerprint(&reference),
+                "{workers} workers"
+            );
+        }
+    }
+}

@@ -242,21 +242,63 @@ impl LogHistogram {
         }
     }
 
-    /// Inclusive upper bound of bucket `i` (the value `percentile`
-    /// reports for a quantile landing in that bucket).
-    fn bucket_upper(i: usize) -> u64 {
+    /// `(octave, sub, sub-bucket width)` of log bucket `i`
+    /// (`i >= LOG_HIST_SUB`).
+    fn bucket_geometry(i: usize) -> (u32, u64, u64) {
+        let octave = LOG_HIST_SUB_BITS + ((i - LOG_HIST_SUB) / LOG_HIST_SUB) as u32;
+        let sub = ((i - LOG_HIST_SUB) % LOG_HIST_SUB) as u64;
+        let width = 1u64 << (octave - LOG_HIST_SUB_BITS);
+        (octave, sub, width)
+    }
+
+    /// Inclusive lower bound of bucket `i`: the smallest value that
+    /// [`LogHistogram::record`] files under it. Never overflows — the
+    /// top bucket starts at `2^63 + 7·2^60`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid bucket index.
+    pub fn bucket_lower(i: usize) -> u64 {
+        assert!(i < LOG_HIST_BUCKETS, "bucket index {i} out of range");
         if i < LOG_HIST_SUB {
             i as u64
         } else {
-            let octave = LOG_HIST_SUB_BITS + ((i - LOG_HIST_SUB) / LOG_HIST_SUB) as u32;
-            let sub = ((i - LOG_HIST_SUB) % LOG_HIST_SUB) as u64;
-            let width = 1u64 << (octave - LOG_HIST_SUB_BITS);
-            // The top bucket's exclusive bound is 2^64; the wrapping
-            // add-then-subtract lands its inclusive bound on u64::MAX.
-            (1u64 << octave)
-                .wrapping_add((sub + 1) * width)
-                .wrapping_sub(1)
+            let (octave, sub, width) = Self::bucket_geometry(i);
+            (1u64 << octave) + sub * width
         }
+    }
+
+    /// Inclusive upper bound of bucket `i` (the value `percentile`
+    /// reports for a quantile landing in that bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid bucket index.
+    pub fn bucket_upper(i: usize) -> u64 {
+        assert!(i < LOG_HIST_BUCKETS, "bucket index {i} out of range");
+        if i < LOG_HIST_SUB {
+            i as u64
+        } else {
+            let (octave, sub, width) = Self::bucket_geometry(i);
+            let base = 1u64 << octave;
+            // The exclusive bound is base + (sub+1)*width. Only the top
+            // bucket's exclusive bound (2^63 + 8·2^60 = 2^64) is allowed
+            // to wrap — to 0, so the subtract lands its inclusive bound
+            // exactly on u64::MAX. Any other wrap would be a geometry
+            // bug silently mapping a mid-range bucket to a tiny bound.
+            let exclusive = base.wrapping_add((sub + 1) * width);
+            debug_assert!(
+                exclusive > base || (octave == 63 && sub + 1 == LOG_HIST_SUB as u64),
+                "bucket {i} bound math wrapped outside the top bucket"
+            );
+            exclusive.wrapping_sub(1)
+        }
+    }
+
+    /// Number of buckets ([`LogHistogram::bucket_lower`] /
+    /// [`LogHistogram::bucket_upper`] accept `0..bucket_count()`).
+    pub fn bucket_count() -> usize {
+        LOG_HIST_BUCKETS
     }
 
     /// Records one sample.
@@ -537,17 +579,69 @@ mod tests {
 
     #[test]
     fn log_histogram_bucket_roundtrip() {
-        // Every bucket's inclusive upper bound must map back into that
-        // bucket, and bounds must be strictly increasing.
-        let mut last = None;
+        // Exhaustive audit of the bound math, both ends of every
+        // bucket: each bucket's inclusive lower and upper bound must
+        // map back into that bucket, the buckets must tile the u64
+        // range contiguously (no gap, no overlap, no off-by-one at any
+        // octave boundary), and the top bucket's inclusive upper bound
+        // must be exactly u64::MAX.
+        assert_eq!(LogHistogram::bucket_count(), LOG_HIST_BUCKETS);
         for i in 0..LOG_HIST_BUCKETS {
-            let u = LogHistogram::bucket_upper(i);
-            assert_eq!(LogHistogram::bucket_index(u), i, "bucket {i} bound {u}");
-            if let Some(prev) = last {
-                assert!(u > prev, "bounds increase: {prev} then {u}");
+            let lo = LogHistogram::bucket_lower(i);
+            let hi = LogHistogram::bucket_upper(i);
+            assert!(lo <= hi, "bucket {i}: inverted bounds [{lo}, {hi}]");
+            assert_eq!(LogHistogram::bucket_index(lo), i, "bucket {i} lower {lo}");
+            assert_eq!(LogHistogram::bucket_index(hi), i, "bucket {i} upper {hi}");
+            if i > 0 {
+                let prev_hi = LogHistogram::bucket_upper(i - 1);
+                assert_eq!(
+                    lo,
+                    prev_hi + 1,
+                    "buckets {} and {i} must tile contiguously",
+                    i - 1
+                );
             }
-            last = Some(u);
+            // The first value past the bucket belongs to the next one.
+            if i + 1 < LOG_HIST_BUCKETS {
+                assert_eq!(LogHistogram::bucket_index(hi + 1), i + 1, "bucket {i}");
+            }
         }
+        assert_eq!(LogHistogram::bucket_lower(0), 0, "range starts at 0");
+        assert_eq!(
+            LogHistogram::bucket_upper(LOG_HIST_BUCKETS - 1),
+            u64::MAX,
+            "top bucket's inclusive bound is u64::MAX"
+        );
+    }
+
+    #[test]
+    fn log_histogram_bounds_bracket_recorded_values() {
+        // Spot-check mid-range octaves with values straddling every
+        // sub-bucket edge: the recorded value must fall inside its
+        // bucket's [lower, upper] interval.
+        let mut values = vec![0u64, 1, 7, 8, 9, 15, 16, 255, 256, 4095, 4096];
+        for shift in [10u32, 20, 33, 47, 62, 63] {
+            let base = 1u64 << shift;
+            for delta in [0u64, 1, base / 8, base / 8 + 1, base / 2, base - 1] {
+                values.push(base + delta);
+            }
+        }
+        values.push(u64::MAX);
+        for v in values {
+            let i = LogHistogram::bucket_index(v);
+            let lo = LogHistogram::bucket_lower(i);
+            let hi = LogHistogram::bucket_upper(i);
+            assert!(
+                (lo..=hi).contains(&v),
+                "value {v} filed in bucket {i} with bounds [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn log_histogram_bucket_bounds_reject_bad_index() {
+        LogHistogram::bucket_upper(LOG_HIST_BUCKETS);
     }
 
     #[test]

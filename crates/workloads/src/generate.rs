@@ -69,40 +69,33 @@ pub struct Layout {
     pub private_rw_per_thread: u64,
 }
 
-/// A deterministic multi-threaded trace generator.
+/// The immutable part of trace synthesis: profile parameters, address
+/// layout and derived locality knobs, shared by every thread's stream.
 ///
-/// # Example
-///
-/// ```
-/// use dve_workloads::{catalog, TraceGenerator};
-///
-/// let profiles = catalog();
-/// let mut a = TraceGenerator::new(&profiles[0], 16, 1);
-/// let mut b = TraceGenerator::new(&profiles[0], 16, 1);
-/// for t in 0..16 {
-///     for _ in 0..100 {
-///         assert_eq!(a.next_op(t), b.next_op(t)); // reproducible
-///     }
-/// }
-/// ```
-#[derive(Debug)]
-pub struct TraceGenerator {
+/// All per-thread mutable state lives in `ThreadState`, and the op
+/// synthesis itself ([`TraceShape::step`]) only ever touches the shape
+/// plus *one* thread's state. That separation is what lets
+/// [`CoreTraceStream`] hand a single core's stream to a worker thread
+/// (the PDES trace-sharding path) while guaranteeing — structurally,
+/// not just by test — that the sequence cannot depend on any other
+/// core's progress.
+#[derive(Debug, Clone)]
+pub struct TraceShape {
     profile: WorkloadProfile,
     threads: usize,
     layout: Layout,
-    states: Vec<ThreadState>,
     /// Probability of re-touching a recent line (temporal locality),
     /// derived from the profile's MPKI.
     reuse: f64,
 }
 
-impl TraceGenerator {
-    /// Builds a generator for `threads` threads with experiment `seed`.
+impl TraceShape {
+    /// Derives the shape for `threads` threads of `profile`.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
-    pub fn new(profile: &WorkloadProfile, threads: usize, seed: u64) -> TraceGenerator {
+    pub fn new(profile: &WorkloadProfile, threads: usize) -> TraceShape {
         assert!(threads > 0, "need at least one thread");
         profile.validate();
         let ws = profile.working_set_lines;
@@ -125,35 +118,19 @@ impl TraceGenerator {
             private_ro_per_thread,
             private_rw_per_thread,
         };
-        let states = (0..threads)
-            .map(|t| {
-                let mut rng = SplitMix64::new(derive_seed(seed, WORKLOAD_STREAM, t as u64));
-                let cursors = [
-                    rng.next_below(shared_ro),
-                    rng.next_below(shared_rw),
-                    rng.next_below(private_ro_per_thread),
-                    rng.next_below(private_rw_per_thread),
-                ];
-                ThreadState {
-                    rng,
-                    cursors,
-                    recent: Vec::with_capacity(16),
-                    recent_pos: 0,
-                    history: Vec::with_capacity(HISTORY_LINES),
-                    history_pos: 0,
-                    pending_mem: false,
-                }
-            })
-            .collect();
         // Higher MPKI → less temporal reuse; clamp to a sane band.
         let reuse = (1.0 - profile.l2_mpki / 150.0).clamp(0.50, 0.96);
-        TraceGenerator {
+        TraceShape {
             profile: profile.clone(),
             threads,
             layout,
-            states,
             reuse,
         }
+    }
+
+    /// Thread count this shape was derived for.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The synthesized address-space layout.
@@ -161,12 +138,24 @@ impl TraceGenerator {
         self.layout
     }
 
-    /// Total span of the address space in lines.
-    pub fn span_lines(&self) -> u64 {
-        self.layout.shared_ro
-            + self.layout.shared_rw
-            + self.threads as u64
-                * (self.layout.private_ro_per_thread + self.layout.private_rw_per_thread)
+    /// The seeded initial state of `thread`'s stream.
+    fn thread_state(&self, seed: u64, thread: usize) -> ThreadState {
+        let mut rng = SplitMix64::new(derive_seed(seed, WORKLOAD_STREAM, thread as u64));
+        let cursors = [
+            rng.next_below(self.layout.shared_ro),
+            rng.next_below(self.layout.shared_rw),
+            rng.next_below(self.layout.private_ro_per_thread),
+            rng.next_below(self.layout.private_rw_per_thread),
+        ];
+        ThreadState {
+            rng,
+            cursors,
+            recent: Vec::with_capacity(16),
+            recent_pos: 0,
+            history: Vec::with_capacity(HISTORY_LINES),
+            history_pos: 0,
+            pending_mem: false,
+        }
     }
 
     fn region_base(&self, region: Region, thread: usize) -> u64 {
@@ -196,13 +185,8 @@ impl TraceGenerator {
         }
     }
 
-    /// Produces the next operation for `thread`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `thread` is out of range.
-    pub fn next_op(&mut self, thread: usize) -> Op {
-        assert!(thread < self.threads, "thread out of range");
+    /// Advances `thread`'s stream by one operation.
+    fn step(&self, st: &mut ThreadState, thread: usize) -> Op {
         let mix = self.profile.mix;
         let write_frac = self.profile.write_frac;
         let spatial = self.profile.spatial;
@@ -211,25 +195,25 @@ impl TraceGenerator {
         let reuse = self.reuse;
 
         // Alternate compute and memory; occasionally emit a sync event.
-        if !self.states[thread].pending_mem {
-            self.states[thread].pending_mem = true;
-            if self.states[thread].rng.chance(sync_frac) {
+        if !st.pending_mem {
+            st.pending_mem = true;
+            if st.rng.chance(sync_frac) {
                 return Op::Sync;
             }
             if compute > 0 {
                 let span = compute.max(1) as u64 * 2;
-                let c = 1 + self.states[thread].rng.next_below(span) as u32;
+                let c = 1 + st.rng.next_below(span) as u32;
                 return Op::Compute(c);
             }
         }
-        self.states[thread].pending_mem = false;
+        st.pending_mem = false;
 
         // Temporal reuse of a recently touched line.
-        if !self.states[thread].recent.is_empty() && self.states[thread].rng.chance(reuse) {
-            let recent_len = self.states[thread].recent.len();
-            let idx = self.states[thread].rng.next_below(recent_len as u64) as usize;
-            let (line, writable) = self.states[thread].recent[idx];
-            let req = if writable && self.states[thread].rng.chance(write_frac * 0.3) {
+        if !st.recent.is_empty() && st.rng.chance(reuse) {
+            let recent_len = st.recent.len();
+            let idx = st.rng.next_below(recent_len as u64) as usize;
+            let (line, writable) = st.recent[idx];
+            let req = if writable && st.rng.chance(write_frac * 0.3) {
                 MemReq::Write
             } else {
                 MemReq::Read
@@ -239,10 +223,7 @@ impl TraceGenerator {
 
         // Loop-level revisit of a long-evicted line (read-only: the
         // iteration re-reads last sweep's data).
-        if self.states[thread].history.len() > REVISIT_MIN_DISTANCE
-            && self.states[thread].rng.chance(REVISIT_PROB)
-        {
-            let st = &mut self.states[thread];
+        if st.history.len() > REVISIT_MIN_DISTANCE && st.rng.chance(REVISIT_PROB) {
             let len = st.history.len();
             let back = REVISIT_MIN_DISTANCE
                 + st.rng.next_below((len - REVISIT_MIN_DISTANCE) as u64) as usize;
@@ -255,7 +236,7 @@ impl TraceGenerator {
         }
 
         // Pick a region by the profile's mix.
-        let roll: f64 = self.states[thread].rng.next_f64();
+        let roll: f64 = st.rng.next_f64();
         let (region, region_idx) = if roll < mix.private_read {
             (Region::PrivateRo, 2)
         } else if roll < mix.private_read + mix.read_only {
@@ -266,13 +247,13 @@ impl TraceGenerator {
             (Region::PrivateRw, 3)
         };
         let len = self.region_len(region);
-        let pos = if self.states[thread].rng.chance(spatial) {
-            let c = (self.states[thread].cursors[region_idx] + 1) % len;
-            self.states[thread].cursors[region_idx] = c;
+        let pos = if st.rng.chance(spatial) {
+            let c = (st.cursors[region_idx] + 1) % len;
+            st.cursors[region_idx] = c;
             c
         } else {
-            let c = self.states[thread].rng.next_below(len);
-            self.states[thread].cursors[region_idx] = c;
+            let c = st.rng.next_below(len);
+            st.cursors[region_idx] = c;
             c
         };
         let line = self.region_base(region, thread) + pos;
@@ -280,7 +261,7 @@ impl TraceGenerator {
         let req = match region {
             Region::SharedRo | Region::PrivateRo => MemReq::Read,
             Region::SharedRw | Region::PrivateRw => {
-                if self.states[thread].rng.chance(write_frac) {
+                if st.rng.chance(write_frac) {
                     MemReq::Write
                 } else {
                     MemReq::Read
@@ -290,7 +271,6 @@ impl TraceGenerator {
 
         // Remember for temporal reuse and long-range revisits.
         let writable = matches!(region, Region::SharedRw | Region::PrivateRw);
-        let st = &mut self.states[thread];
         if st.recent.len() < 16 {
             st.recent.push((line, writable));
         } else {
@@ -304,6 +284,127 @@ impl TraceGenerator {
         }
         st.history_pos = (st.history_pos + 1) % HISTORY_LINES;
         Op::Mem { line, req }
+    }
+}
+
+/// A deterministic multi-threaded trace generator.
+///
+/// # Example
+///
+/// ```
+/// use dve_workloads::{catalog, TraceGenerator};
+///
+/// let profiles = catalog();
+/// let mut a = TraceGenerator::new(&profiles[0], 16, 1);
+/// let mut b = TraceGenerator::new(&profiles[0], 16, 1);
+/// for t in 0..16 {
+///     for _ in 0..100 {
+///         assert_eq!(a.next_op(t), b.next_op(t)); // reproducible
+///     }
+/// }
+/// ```
+#[derive(Debug)]
+pub struct TraceGenerator {
+    shape: TraceShape,
+    states: Vec<ThreadState>,
+}
+
+impl TraceGenerator {
+    /// Builds a generator for `threads` threads with experiment `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(profile: &WorkloadProfile, threads: usize, seed: u64) -> TraceGenerator {
+        let shape = TraceShape::new(profile, threads);
+        let states = (0..threads).map(|t| shape.thread_state(seed, t)).collect();
+        TraceGenerator { shape, states }
+    }
+
+    /// The synthesized address-space layout.
+    pub fn layout(&self) -> Layout {
+        self.shape.layout
+    }
+
+    /// Total span of the address space in lines.
+    pub fn span_lines(&self) -> u64 {
+        let l = self.shape.layout;
+        l.shared_ro
+            + l.shared_rw
+            + self.shape.threads as u64 * (l.private_ro_per_thread + l.private_rw_per_thread)
+    }
+
+    /// Produces the next operation for `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn next_op(&mut self, thread: usize) -> Op {
+        assert!(thread < self.shape.threads, "thread out of range");
+        self.shape.step(&mut self.states[thread], thread)
+    }
+}
+
+/// One core's trace stream, detached from the other cores.
+///
+/// Produces exactly the op sequence [`TraceGenerator::next_op`] would
+/// produce for `thread` under the same `(profile, threads, seed)`, but
+/// owns only that thread's mutable state — so it is `Send`, cheap to
+/// construct, and safe to drive from a PDES trace-sharding worker
+/// while sibling cores' streams advance on other threads. Timing
+/// cannot leak between streams because [`TraceShape::step`] reads
+/// nothing mutable but this one state.
+///
+/// # Example
+///
+/// ```
+/// use dve_workloads::{catalog, CoreTraceStream, TraceGenerator};
+///
+/// let p = &catalog()[0];
+/// let mut whole = TraceGenerator::new(p, 16, 42);
+/// let mut solo = CoreTraceStream::new(p, 16, 42, 5);
+/// for _ in 0..100 {
+///     assert_eq!(solo.next_op(), whole.next_op(5));
+/// }
+/// ```
+#[derive(Debug)]
+pub struct CoreTraceStream {
+    shape: TraceShape,
+    state: ThreadState,
+    thread: usize,
+}
+
+impl CoreTraceStream {
+    /// Builds the stream of `thread` out of a `threads`-wide trace with
+    /// experiment `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `thread >= threads`.
+    pub fn new(
+        profile: &WorkloadProfile,
+        threads: usize,
+        seed: u64,
+        thread: usize,
+    ) -> CoreTraceStream {
+        assert!(thread < threads, "thread out of range");
+        let shape = TraceShape::new(profile, threads);
+        let state = shape.thread_state(seed, thread);
+        CoreTraceStream {
+            shape,
+            state,
+            thread,
+        }
+    }
+
+    /// Which core this stream belongs to.
+    pub fn thread(&self) -> usize {
+        self.thread
+    }
+
+    /// Produces the core's next operation.
+    pub fn next_op(&mut self) -> Op {
+        self.shape.step(&mut self.state, self.thread)
     }
 }
 
@@ -458,5 +559,31 @@ mod tests {
         let p = backprop();
         let mut g = TraceGenerator::new(&p, 2, 0);
         g.next_op(2);
+    }
+
+    #[test]
+    fn core_stream_matches_full_generator() {
+        // The detached per-core stream must replay exactly what the
+        // full generator hands that core — including when the full
+        // generator's cores advance interleaved (the sharded trace
+        // supply depends on this being true op-for-op).
+        let p = lbm();
+        let threads = 8;
+        let mut whole = TraceGenerator::new(&p, threads, 1234);
+        let mut solos: Vec<CoreTraceStream> = (0..threads)
+            .map(|t| CoreTraceStream::new(&p, threads, 1234, t))
+            .collect();
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..20_000 {
+            let t = rng.next_below(threads as u64) as usize;
+            assert_eq!(solos[t].next_op(), whole.next_op(t), "core {t}");
+        }
+        assert_eq!(solos[3].thread(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread out of range")]
+    fn core_stream_bounds_checked() {
+        CoreTraceStream::new(&backprop(), 4, 0, 4);
     }
 }

@@ -39,7 +39,7 @@ pub mod op;
 pub mod profile;
 pub mod trace_file;
 
-pub use generate::TraceGenerator;
+pub use generate::{CoreTraceStream, TraceGenerator, TraceShape};
 pub use op::Op;
 pub use profile::{catalog, SharingMix, WorkloadProfile};
 pub use trace_file::{record_profile, TraceReader};
