@@ -274,6 +274,7 @@ fn chaos_cell(p: &WorkloadProfile, scheme: Scheme, mshrs: usize, seed: u64, ops:
         heal_after: Some(30_000),
         channels_per_socket: 2,
         line_span: 1 << 14,
+        nodes: 2,
     };
     let mut chaos = ChaosConfig::random(seed, &params);
     chaos.link_outages = vec![(10_000, 18_000)];

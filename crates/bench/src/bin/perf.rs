@@ -467,6 +467,55 @@ fn bench_system(ops: u64) -> (Vec<(String, f64)>, u64, u64) {
     (out, deny1.cycles, deny4.cycles)
 }
 
+/// Topology sweep section of `BENCH_system.json`: simulated cycles for
+/// the deny scheme on each placement, plus the mirror-identity flag —
+/// the explicit `mirror2` topology must be bit-identical to the
+/// implicit mirror-pair config on the same trace (deterministic;
+/// always gated).
+fn bench_topology(ops: u64, deny_mirror_cycles: u64) -> (Vec<(String, f64)>, bool) {
+    use dve::config::TopologySpec;
+    let p = dve_workloads::catalog()
+        .into_iter()
+        .find(|p| p.name == "backprop")
+        .expect("backprop profile");
+    let run = |spec| {
+        SystemBuilder::new(Scheme::DveDeny)
+            .ops_per_thread(ops)
+            .mshrs(1)
+            .topology(spec)
+            .run(&p, 42)
+    };
+    let mut out = Vec::new();
+    let mirror = run(TopologySpec::Mirror2);
+    let identical = mirror.cycles == deny_mirror_cycles;
+    out.push((
+        "topology_mirror2_identity".to_string(),
+        if identical { 1.0 } else { 0.0 },
+    ));
+    for spec in [
+        TopologySpec::Mirror2,
+        TopologySpec::Nway(4),
+        TopologySpec::TwoTier,
+    ] {
+        let r = if spec == TopologySpec::Mirror2 {
+            mirror.clone()
+        } else {
+            run(spec)
+        };
+        let key = spec.to_string().replace(':', "_");
+        println!(
+            "  topology {key:<8} cycles {} (replica reads {})",
+            r.cycles, r.engine.replica_reads
+        );
+        out.push((format!("topology_cycles_deny_{key}"), r.cycles as f64));
+        out.push((
+            format!("topology_replica_reads_deny_{key}"),
+            r.engine.replica_reads as f64,
+        ));
+    }
+    (out, identical)
+}
+
 /// What [`bench_pdes`] hands back to `main`: the JSON fields, the
 /// toolkit's `(workers, speedup over 1 worker)` points for the scaling
 /// gate, and whether system bit-identity held.
@@ -584,6 +633,10 @@ fn main() -> ExitCode {
     let sys_ops = if smoke { 300 } else { 2000 };
     let (mut system_fields, deny_m1, deny_m4) = bench_system(sys_ops);
 
+    println!("-- topology sweep --");
+    let (topo_fields, topo_identity) = bench_topology(sys_ops, deny_m1);
+    system_fields.extend(topo_fields);
+
     println!("-- parallel simulation core --");
     let toolkit_ops = if smoke { 300 } else { 3000 };
     let pdes = bench_pdes(sys_ops, toolkit_ops);
@@ -659,6 +712,17 @@ fn main() -> ExitCode {
     );
     if deny_m4 > deny_m1 {
         eprintln!("FAIL: widening MSHRs 1 -> 4 increased simulated cycles");
+        return ExitCode::FAILURE;
+    }
+
+    // --- Topology identity gate: the placement layer must be a pure
+    // representation change at two nodes. Deterministic — always on.
+    println!(
+        "gate: topology mirror2 identity {}",
+        if topo_identity { "held" } else { "BROKEN" }
+    );
+    if !topo_identity {
+        eprintln!("FAIL: explicit mirror2 topology diverged from the mirror-pair config");
         return ExitCode::FAILURE;
     }
 

@@ -24,7 +24,8 @@ use crate::dir_cache::DirCache;
 use crate::fabric::Fabric;
 use crate::home_dir::HomeDirectory;
 use crate::replica_dir::{ReplicaDirectory, ReplicaEviction, ReplicaPolicy, ReplicaState};
-use crate::types::{home_socket, CacheState, LineAddr, ReqType, ServiceLevel, NUM_SOCKETS};
+use crate::types::{CacheState, LineAddr, ReqType, ServiceLevel, NUM_SOCKETS};
+use dve_noc::topology::{PlacementMap, PlacementPolicy};
 use dve_noc::traffic::MessageClass;
 use dve_sim::latency::{Component, LatencyBreakdown, Stamp};
 use std::collections::BTreeSet;
@@ -104,6 +105,14 @@ pub struct EngineConfig {
     pub dir_cache_entries: Option<usize>,
     /// Which pages are replicated in Dvé modes (§V-D).
     pub replication_scope: ReplicationScope,
+    /// Number of compute sockets (nodes with cores, caches, a directory
+    /// slice, and home memory). The paper's system has 2.
+    pub sockets: usize,
+    /// Which node holds each line's replica (mirror-2, round-robin
+    /// N-way, or two-tier far-memory). [`PlacementPolicy::Mirror2`] on
+    /// two sockets reproduces the original hard-wired `1 - home`
+    /// arithmetic exactly.
+    pub placement: PlacementPolicy,
 }
 
 impl Default for EngineConfig {
@@ -122,6 +131,8 @@ impl Default for EngineConfig {
             free_installs: false,
             dir_cache_entries: None,
             replication_scope: ReplicationScope::All,
+            sockets: NUM_SOCKETS,
+            placement: PlacementPolicy::Mirror2,
         }
     }
 }
@@ -246,6 +257,10 @@ pub fn service_index(s: ServiceLevel) -> usize {
 pub struct ProtocolEngine {
     mode: Mode,
     cfg: EngineConfig,
+    /// The shared placement arithmetic (home node, replica node per
+    /// line), built from `cfg.sockets` / `cfg.placement` /
+    /// `cfg.page_lines`.
+    place: PlacementMap,
     l1s: Vec<SetAssocCache>,
     llcs: Vec<SetAssocCache>,
     home_dirs: Vec<HomeDirectory>,
@@ -273,36 +288,44 @@ impl ProtocolEngine {
     ///
     /// # Panics
     ///
-    /// Panics if `cores` is not a multiple of `cores_per_socket` spanning
-    /// exactly [`NUM_SOCKETS`] sockets.
+    /// Panics if `cores` is not `cores_per_socket * sockets`, or if the
+    /// placement names more than 8 nodes (the home directory's sharer
+    /// vector is one bit per node in a `u8`).
     pub fn new(mode: Mode, cfg: EngineConfig) -> ProtocolEngine {
         assert_eq!(
             cfg.cores,
-            cfg.cores_per_socket * NUM_SOCKETS,
-            "engine models exactly {NUM_SOCKETS} sockets"
+            cfg.cores_per_socket * cfg.sockets,
+            "engine models exactly {} sockets",
+            cfg.sockets
         );
+        let place = PlacementMap::new(cfg.sockets, cfg.page_lines, cfg.placement);
+        let nodes = place.nodes();
+        assert!(nodes <= 8, "sharer vector is one bit per node in a u8");
         let l1s = (0..cfg.cores)
             .map(|_| SetAssocCache::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes))
             .collect();
-        let llcs = (0..NUM_SOCKETS)
+        let llcs = (0..cfg.sockets)
             .map(|_| SetAssocCache::new(cfg.llc_bytes, cfg.llc_ways, cfg.line_bytes))
             .collect();
-        let home_dirs = (0..NUM_SOCKETS).map(HomeDirectory::new).collect();
+        let home_dirs = (0..cfg.sockets).map(HomeDirectory::new).collect();
         let policy = match mode {
             Mode::Dve { policy, .. } => policy,
             _ => ReplicaPolicy::Allow,
         };
-        let replica_dirs = (0..NUM_SOCKETS)
+        // A replica directory per node: far-memory nodes hold replicas
+        // (and so a directory slice) even though they run no cores.
+        let replica_dirs = (0..nodes)
             .map(|_| {
                 ReplicaDirectory::new(policy, cfg.replica_dir_entries, cfg.replica_region_lines)
             })
             .collect();
         let dir_caches = cfg
             .dir_cache_entries
-            .map(|n| (0..NUM_SOCKETS).map(|_| DirCache::new(n)).collect());
+            .map(|n| (0..cfg.sockets).map(|_| DirCache::new(n)).collect());
         ProtocolEngine {
             mode,
             cfg,
+            place,
             l1s,
             llcs,
             home_dirs,
@@ -453,7 +476,22 @@ impl ProtocolEngine {
 
     /// Home socket of a line.
     pub fn home_of(&self, line: LineAddr) -> usize {
-        home_socket(line, self.cfg.page_lines)
+        self.place.home_of(line)
+    }
+
+    /// The node holding `line`'s replica under the configured placement.
+    pub fn replica_node_of(&self, line: LineAddr) -> usize {
+        self.place.replica_node(line)
+    }
+
+    /// The placement arithmetic the engine routes by.
+    pub fn placement(&self) -> PlacementMap {
+        self.place
+    }
+
+    /// Total nodes (sockets plus any far-memory pool).
+    pub fn num_nodes(&self) -> usize {
+        self.place.nodes()
     }
 
     fn is_dve(&self) -> bool {
@@ -543,12 +581,16 @@ impl ProtocolEngine {
             return;
         }
         let mut to_install: Vec<(usize, LineAddr)> = Vec::new();
-        for home in 0..NUM_SOCKETS {
+        for home in 0..self.place.sockets() {
             let mut lines: Vec<LineAddr> = self.home_dirs[home]
                 .iter_entries()
                 .filter(|(l, e)| {
+                    // Any dirty owner other than the replica node
+                    // itself leaves the replica memory copy behind (at
+                    // two sockets this reduces to `owner == home`; with
+                    // more nodes a third-party owner counts too).
                     e.state.dirty()
-                        && e.owner == Some(home)
+                        && e.owner.is_some_and(|o| o != self.place.replica_node(**l))
                         && self.cfg.replication_scope.covers(**l, self.cfg.page_lines)
                 })
                 .map(|(l, _)| *l)
@@ -558,7 +600,7 @@ impl ProtocolEngine {
             // directory's LRU state) is deterministic run-to-run.
             lines.sort_unstable();
             for l in lines {
-                to_install.push((1 - home, l));
+                to_install.push((self.place.replica_node(l), l));
             }
         }
         for (socket, line) in to_install {
@@ -677,7 +719,7 @@ impl ProtocolEngine {
             self.stale_replica.insert(line);
         }
         if self.line_replicated(line) && !self.has_bug(SeededBug::SkipReplicaWriteback) {
-            let replica = 1 - home;
+            let replica = self.place.replica_node(line);
             let t_rep = if from_socket == replica {
                 now
             } else {
@@ -775,15 +817,14 @@ impl ProtocolEngine {
                 // Deny: absence would mean "readable", but the home side
                 // holds the region writable. Force the home-side owner to
                 // write back and downgrade before the entry disappears.
+                // Regions never span pages (region_lines <= page_lines),
+                // so the region's home socket is the counterparty.
                 self.stats.forced_downgrades += 1;
                 let region = ev.region;
                 let lines = self.cfg.replica_region_lines;
-                let mut t = fabric.link_send(
-                    replica_socket,
-                    1 - replica_socket,
-                    now,
-                    MessageClass::ReplicaMaintenance,
-                );
+                let peer = self.place.home_of(region);
+                let mut t =
+                    fabric.link_send(replica_socket, peer, now, MessageClass::ReplicaMaintenance);
                 t = t.advance(Component::Protocol, fabric.dir_latency());
                 // The acknowledgement releasing the directory slot may
                 // only travel back once every forced writeback is
@@ -816,12 +857,7 @@ impl ProtocolEngine {
                         }
                     }
                 }
-                fabric.link_send(
-                    1 - replica_socket,
-                    replica_socket,
-                    last_done,
-                    MessageClass::Ack,
-                )
+                fabric.link_send(peer, replica_socket, last_done, MessageClass::Ack)
             }
             ReplicaState::M => {
                 // Silent and free: the home directory independently
@@ -942,12 +978,13 @@ impl ProtocolEngine {
             _ => {}
         }
 
-        // 3. Directory transaction: replicated lines from the replica
-        // side go to the replica directory; everything else (baseline
-        // modes, degraded state, uncovered pages — §V-D's single-copy
-        // fallback) orders at the home directory.
-        let home = self.home_of(line);
-        if self.line_replicated(line) && socket != home {
+        // 3. Directory transaction: replicated lines from the socket
+        // co-located with the replica go to the replica directory;
+        // everything else (baseline modes, degraded state, uncovered
+        // pages — §V-D's single-copy fallback, and sockets that are
+        // neither home nor replica under N-way placement) orders at the
+        // home directory.
+        if self.line_replicated(line) && self.place.serves_replica_locally(socket, line) {
             self.replica_side_transaction(core, socket, line, req, t, fabric)
         } else {
             self.home_side_transaction(core, socket, line, req, t, fabric)
@@ -1070,7 +1107,7 @@ impl ProtocolEngine {
                 let mut max_ack = t;
                 let had_remote_owner = prior.owner.filter(|&o| o != socket);
                 // Invalidate every other sharer socket.
-                for q in 0..NUM_SOCKETS {
+                for q in 0..self.place.sockets() {
                     if q == socket || prior.sharers & (1 << q) == 0 {
                         continue;
                     }
@@ -1112,10 +1149,14 @@ impl ProtocolEngine {
                     };
                     t_data = t_data.max(t_arr);
                 }
-                // Dvé extensions on home-side writes.
+                // Dvé extensions: any write from a socket not co-located
+                // with the replica must bring the replica directory au
+                // courant (at two sockets that is exactly "the home-side
+                // write"; under N-way a third socket's write needs it
+                // too, or the replica would keep serving stale data).
                 if let Mode::Dve { policy, .. } = self.mode {
-                    let replica = 1 - home;
-                    if socket == home && self.line_replicated(line) {
+                    let replica = self.place.replica_node(line);
+                    if socket != replica && self.line_replicated(line) {
                         // If an invalidation already went to the replica
                         // socket (it was a sharer), the RM-install /
                         // permission-revoke piggybacks on that message —
@@ -1211,7 +1252,8 @@ impl ProtocolEngine {
                     ..
                 } = self.mode
                 {
-                    if socket != home && self.line_replicated(line) {
+                    if self.line_replicated(line) && self.place.serves_replica_locally(socket, line)
+                    {
                         if let Some(ev) = self.replica_dirs[socket].install(line, ReplicaState::M) {
                             self.resolve_replica_eviction(socket, ev, t, fabric);
                         }
@@ -1240,7 +1282,7 @@ impl ProtocolEngine {
         else {
             unreachable!("replica-side path only in Dvé modes");
         };
-        let home = 1 - socket;
+        let home = self.place.home_of(line);
         let mut t = now
             .advance(Component::Mesh, fabric.mesh_latency())
             .advance(Component::Protocol, fabric.dir_latency());
@@ -1725,7 +1767,7 @@ mod tests {
             "funnel to the home copy"
         );
         // Writes no longer push RM entries nor propagate to the replica.
-        let before_writes = f.replica_writes;
+        let before_writes = f.replica_writes.clone();
         let before_rm = e.stats().rm_installs;
         e.access(8, HOME1 + 2, ReqType::Write, 20_000, &mut f);
         assert_eq!(

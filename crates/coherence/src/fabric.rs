@@ -103,27 +103,35 @@ pub struct TestFabric {
     pub dram: u64,
     /// Recorded inter-socket traffic.
     pub traffic: dve_noc::traffic::TrafficStats,
-    /// Home-copy reads per socket.
-    pub mem_reads: [u64; 2],
-    /// Replica-copy reads per socket.
-    pub replica_reads: [u64; 2],
-    /// Home-copy writes per socket.
-    pub mem_writes: [u64; 2],
-    /// Replica-copy writes per socket.
-    pub replica_writes: [u64; 2],
+    /// Home-copy reads per node.
+    pub mem_reads: Vec<u64>,
+    /// Replica-copy reads per node.
+    pub replica_reads: Vec<u64>,
+    /// Home-copy writes per node.
+    pub mem_writes: Vec<u64>,
+    /// Replica-copy writes per node.
+    pub replica_writes: Vec<u64>,
 }
 
 impl Default for TestFabric {
     fn default() -> Self {
+        TestFabric::with_nodes(2)
+    }
+}
+
+impl TestFabric {
+    /// A fixed-latency fabric spanning `nodes` nodes (sockets plus any
+    /// far-memory pool).
+    pub fn with_nodes(nodes: usize) -> TestFabric {
         TestFabric {
             mesh: 2,
             link: 150, // 50 ns at 3 GHz
             dram: 100,
             traffic: dve_noc::traffic::TrafficStats::new(),
-            mem_reads: [0; 2],
-            replica_reads: [0; 2],
-            mem_writes: [0; 2],
-            replica_writes: [0; 2],
+            mem_reads: vec![0; nodes],
+            replica_reads: vec![0; nodes],
+            mem_writes: vec![0; nodes],
+            replica_writes: vec![0; nodes],
         }
     }
 }

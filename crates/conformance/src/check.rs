@@ -39,7 +39,7 @@ use crate::shadow::{FabricEvent, GoldenShadow, Location, RecordingFabric};
 use crate::trace::{FuzzConfig, FuzzOp};
 use dve_coherence::engine::{service_index, ProtocolEngine, SeededBug};
 use dve_coherence::replica_dir::{ReplicaPolicy, ReplicaState};
-use dve_coherence::types::{LineAddr, ReqType, ServiceLevel, NUM_SOCKETS};
+use dve_coherence::types::{LineAddr, ReqType, ServiceLevel};
 use dve_coherence::Mode;
 use dve_sim::latency::LatencyBreakdown;
 
@@ -99,10 +99,11 @@ impl ConformanceChecker {
     pub fn new(cfg: &FuzzConfig, bug: Option<SeededBug>, pool: Vec<LineAddr>) -> Self {
         let mut engine = ProtocolEngine::new(cfg.mode, cfg.engine.clone());
         engine.seed_bug(bug);
-        let shadow = GoldenShadow::new(cfg.engine.page_lines, cfg.engine.cores_per_socket);
+        let shadow = GoldenShadow::new(engine.placement(), cfg.engine.cores_per_socket);
+        let fabric = RecordingFabric::with_nodes(engine.num_nodes());
         ConformanceChecker {
             engine,
-            fabric: RecordingFabric::default(),
+            fabric,
             shadow,
             mirror: StatsMirror::default(),
             pool,
@@ -327,14 +328,25 @@ impl ConformanceChecker {
                 if socket == home {
                     Ok(Location::HomeMem)
                 } else {
-                    // Only a replica copy can serve "local DRAM" on the
-                    // non-home socket.
+                    // Only a replica copy can serve "local DRAM" on a
+                    // non-home socket, and only on the node the
+                    // placement actually assigned the replica to.
                     if !self.engine.line_has_replica(line) {
                         return Err(Self::violation(
                             idx,
                             format!(
                                 "routing: line {line} served LocalDram on socket {socket} \
                                  but has no live replica"
+                            ),
+                        ));
+                    }
+                    if self.engine.replica_node_of(line) != socket {
+                        return Err(Self::violation(
+                            idx,
+                            format!(
+                                "routing: line {line} served LocalDram on socket {socket} \
+                                 but its replica is placed on node {}",
+                                self.engine.replica_node_of(line)
                             ),
                         ));
                     }
@@ -351,7 +363,7 @@ impl ConformanceChecker {
                             ),
                         ));
                     }
-                    Ok(Location::ReplicaMem)
+                    Ok(Location::ReplicaMem(socket))
                 }
             }
             ServiceLevel::RemoteDram => Ok(Location::HomeMem),
@@ -375,12 +387,14 @@ impl ConformanceChecker {
         let cfg = self.engine.config();
         let cores = cfg.cores;
         let cps = cfg.cores_per_socket;
+        let sockets = cfg.sockets;
+        let nodes = self.engine.num_nodes();
         let is_dve = matches!(self.engine.mode(), Mode::Dve { .. });
         let degraded = self.engine.is_degraded();
 
         // Replica directories must be empty outside Dvé/healthy state.
         if !is_dve || degraded {
-            for s in 0..NUM_SOCKETS {
+            for s in 0..nodes {
                 if !self.engine.replica_dir(s).is_empty() {
                     return Err(Self::violation(
                         idx,
@@ -402,7 +416,7 @@ impl ConformanceChecker {
         for &line in &self.pool {
             let home = self.engine.home_of(line);
             let l1: Vec<_> = (0..cores).map(|c| self.engine.l1_state(c, line)).collect();
-            let llc: Vec<_> = (0..NUM_SOCKETS)
+            let llc: Vec<_> = (0..sockets)
                 .map(|s| self.engine.llc_state(s, line))
                 .collect();
 
@@ -441,42 +455,38 @@ impl ConformanceChecker {
             }
 
             // SWMR across sockets and cores.
-            let dirty_sockets: Vec<_> = (0..NUM_SOCKETS)
+            let dirty_sockets: Vec<_> = (0..sockets)
                 .filter(|&s| llc[s].is_some_and(|st| st.dirty()))
                 .collect();
             if dirty_sockets.len() > 1 {
                 return Err(Self::violation(
                     idx,
-                    format!("swmr: line {line} dirty in both sockets' LLCs ({llc:?})"),
+                    format!("swmr: line {line} dirty in multiple sockets' LLCs ({llc:?})"),
                 ));
             }
-            for s in 0..NUM_SOCKETS {
+            for s in 0..sockets {
                 if llc[s] != Some(dve_coherence::types::CacheState::M) {
                     continue;
                 }
-                let other = 1 - s;
-                if llc[other].is_some() {
-                    return Err(Self::violation(
-                        idx,
-                        format!(
-                            "swmr: socket {s} LLC holds line {line} in M while socket {other} \
-                             LLC still holds {:?}",
-                            llc[other]
-                        ),
-                    ));
+                for other in (0..sockets).filter(|&o| o != s) {
+                    if llc[other].is_some() {
+                        return Err(Self::violation(
+                            idx,
+                            format!(
+                                "swmr: socket {s} LLC holds line {line} in M while socket \
+                                 {other} LLC still holds {:?}",
+                                llc[other]
+                            ),
+                        ));
+                    }
                 }
-                for (c, st) in l1
-                    .iter()
-                    .enumerate()
-                    .take((other + 1) * cps)
-                    .skip(other * cps)
-                {
-                    if st.is_some() {
+                for (c, st) in l1.iter().enumerate() {
+                    if c / cps != s && st.is_some() {
                         return Err(Self::violation(
                             idx,
                             format!(
                                 "swmr: socket {s} LLC holds line {line} in M while core {c} \
-                                 (other socket) L1 holds {st:?}"
+                                 (another socket) L1 holds {st:?}"
                             ),
                         ));
                     }
@@ -562,28 +572,30 @@ impl ConformanceChecker {
 
             // Replica-directory hygiene and the replica-value invariant.
             if is_dve && !degraded {
-                let replica = 1 - home;
+                let replica = self.engine.replica_node_of(line);
                 let rd = self.engine.replica_dir(replica);
                 let covered = self.engine.line_has_replica(line);
                 if rd.peek(line).is_some() && !covered {
                     return Err(Self::violation(
                         idx,
                         format!(
-                            "replica-dir: socket {replica} holds an entry for line {line}, \
+                            "replica-dir: node {replica} holds an entry for line {line}, \
                              which is outside the replication scope"
                         ),
                     ));
                 }
-                // A line's entry lives only in the directory opposite
-                // its home.
-                if self.engine.replica_dir(home).peek(line).is_some() {
-                    return Err(Self::violation(
-                        idx,
-                        format!(
-                            "replica-dir: socket {home} (the home socket) holds an entry for \
-                             line {line}"
-                        ),
-                    ));
+                // A line's entry lives only in the directory of the
+                // node the placement assigned its replica to.
+                for n in (0..nodes).filter(|&n| n != replica) {
+                    if self.engine.replica_dir(n).peek(line).is_some() {
+                        return Err(Self::violation(
+                            idx,
+                            format!(
+                                "replica-dir: node {n} holds an entry for line {line}, whose \
+                                 replica is placed on node {replica}"
+                            ),
+                        ));
+                    }
                 }
                 if covered {
                     match rd.policy() {
@@ -602,7 +614,7 @@ impl ConformanceChecker {
                         }
                         ReplicaPolicy::Allow => {
                             if rd.peek(line) == Some(ReplicaState::S)
-                                && (0..NUM_SOCKETS).any(|s| llc[s].is_some_and(|st| st.dirty()))
+                                && (0..sockets).any(|s| llc[s].is_some_and(|st| st.dirty()))
                             {
                                 return Err(Self::violation(
                                     idx,
@@ -616,17 +628,18 @@ impl ConformanceChecker {
                     }
                     // If a replica-side read would be served from
                     // replica memory right now, that memory must be
-                    // fresh.
-                    let replica_llc_dirty = llc[replica].is_some_and(|st| st.dirty());
+                    // fresh. (A far-memory replica node has no LLC.)
+                    let replica_llc_dirty =
+                        replica < sockets && llc[replica].is_some_and(|st| st.dirty());
                     if rd.replica_readable(line)
                         && !replica_llc_dirty
                         && !self.engine.replica_stale(line)
-                        && !self.shadow.is_fresh(line, Location::ReplicaMem)
+                        && !self.shadow.is_fresh(line, Location::ReplicaMem(replica))
                     {
                         return Err(Self::violation(
                             idx,
                             format!(
-                                "replica-dir: line {line} is replica-readable on socket \
+                                "replica-dir: line {line} is replica-readable on node \
                                  {replica} but the replica memory copy is stale (golden v{})",
                                 self.shadow.version(line)
                             ),

@@ -10,8 +10,8 @@
 //!
 //! * a version counter (the golden memory — bumped by every store), and
 //! * a **freshness mask** of physical locations currently holding the
-//!   latest version: home memory, replica memory, each socket's LLC and
-//!   each core's L1.
+//!   latest version: home memory, each node's replica memory, each
+//!   socket's LLC and each core's L1.
 //!
 //! Stores reset the mask to the writer's caches; writebacks observed
 //! through the [`RecordingFabric`] re-add the home and replica memory
@@ -21,7 +21,8 @@
 //! exact failure §V-B1's strong consistency is supposed to exclude.
 
 use dve_coherence::fabric::{Fabric, TestFabric};
-use dve_coherence::types::{home_socket, LineAddr};
+use dve_coherence::types::LineAddr;
+use dve_noc::topology::PlacementMap;
 use dve_noc::traffic::MessageClass;
 use dve_sim::latency::Stamp;
 use std::collections::HashMap;
@@ -72,6 +73,14 @@ pub struct RecordingFabric {
 }
 
 impl RecordingFabric {
+    /// A recording fabric spanning `nodes` nodes.
+    pub fn with_nodes(nodes: usize) -> RecordingFabric {
+        RecordingFabric {
+            inner: TestFabric::with_nodes(nodes),
+            events: Vec::new(),
+        }
+    }
+
     /// Drains and returns the events recorded for the last operation.
     pub fn take_events(&mut self) -> Vec<FabricEvent> {
         std::mem::take(&mut self.events)
@@ -117,8 +126,8 @@ impl Fabric for RecordingFabric {
 pub enum Location {
     /// The home memory copy.
     HomeMem,
-    /// The replica memory copy (socket `1 - home`).
-    ReplicaMem,
+    /// The replica memory copy held on the given node.
+    ReplicaMem(usize),
     /// A socket's shared LLC.
     Llc(usize),
     /// A core's private L1.
@@ -126,14 +135,15 @@ pub enum Location {
 }
 
 impl Location {
-    /// Bit of this location in a freshness mask (supports up to 28
-    /// cores; the fuzz configs use 4).
-    pub fn bit(self) -> u32 {
+    /// Bit of this location in a freshness mask: home memory, then up
+    /// to 8 replica nodes, up to 8 socket LLCs, and up to 47 core L1s
+    /// (the fuzz configs use at most 3 nodes and 6 cores).
+    pub fn bit(self) -> u64 {
         match self {
             Location::HomeMem => 1,
-            Location::ReplicaMem => 1 << 1,
-            Location::Llc(s) => 1 << (2 + s),
-            Location::L1(c) => 1 << (4 + c),
+            Location::ReplicaMem(n) => 1 << (1 + n),
+            Location::Llc(s) => 1 << (9 + s),
+            Location::L1(c) => 1 << (17 + c),
         }
     }
 }
@@ -141,22 +151,23 @@ impl Location {
 /// The golden sequentially-consistent shadow.
 #[derive(Debug, Clone)]
 pub struct GoldenShadow {
-    page_lines: u64,
+    place: PlacementMap,
     cores_per_socket: usize,
     /// Golden memory: version of the last write per line (0 = initial).
     version: HashMap<LineAddr, u64>,
     /// Locations holding the latest version, per line. Absent = every
     /// location trivially fresh (nothing was ever written).
-    fresh: HashMap<LineAddr, u32>,
+    fresh: HashMap<LineAddr, u64>,
 }
 
-const ALL_FRESH: u32 = u32::MAX;
+const ALL_FRESH: u64 = u64::MAX;
 
 impl GoldenShadow {
-    /// Creates the shadow for an engine with the given geometry.
-    pub fn new(page_lines: u64, cores_per_socket: usize) -> GoldenShadow {
+    /// Creates the shadow for an engine with the given geometry and
+    /// replica placement.
+    pub fn new(place: PlacementMap, cores_per_socket: usize) -> GoldenShadow {
         GoldenShadow {
-            page_lines,
+            place,
             cores_per_socket,
             version: HashMap::new(),
             fresh: HashMap::new(),
@@ -188,13 +199,13 @@ impl GoldenShadow {
                 FabricEvent::MemWrite { socket, line } => {
                     // Writebacks target the home socket; anything else
                     // would be a routing bug caught by the checker.
-                    if socket == home_socket(line, self.page_lines) {
+                    if socket == self.place.home_of(line) {
                         self.mark_fresh(line, Location::HomeMem);
                     }
                 }
                 FabricEvent::ReplicaWrite { socket, line } => {
-                    if socket == 1 - home_socket(line, self.page_lines) {
-                        self.mark_fresh(line, Location::ReplicaMem);
+                    if socket == self.place.replica_node(line) {
+                        self.mark_fresh(line, Location::ReplicaMem(socket));
                     }
                 }
                 FabricEvent::MemRead { .. } | FabricEvent::ReplicaRead { .. } => {}
@@ -225,14 +236,19 @@ impl GoldenShadow {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dve_noc::topology::PlacementPolicy;
+
+    fn mirror2() -> PlacementMap {
+        PlacementMap::new(2, 8, PlacementPolicy::Mirror2)
+    }
 
     #[test]
     fn initial_state_everything_fresh() {
-        let s = GoldenShadow::new(8, 2);
+        let s = GoldenShadow::new(mirror2(), 2);
         assert_eq!(s.version(5), 0);
         for loc in [
             Location::HomeMem,
-            Location::ReplicaMem,
+            Location::ReplicaMem(1),
             Location::Llc(0),
             Location::L1(3),
         ] {
@@ -242,31 +258,50 @@ mod tests {
 
     #[test]
     fn write_restricts_freshness_to_writer() {
-        let mut s = GoldenShadow::new(8, 2);
+        let mut s = GoldenShadow::new(mirror2(), 2);
         s.apply_write(3, 9); // core 3 = socket 1
         assert_eq!(s.version(9), 1);
         assert!(s.is_fresh(9, Location::L1(3)));
         assert!(s.is_fresh(9, Location::Llc(1)));
         assert!(!s.is_fresh(9, Location::HomeMem));
-        assert!(!s.is_fresh(9, Location::ReplicaMem));
+        assert!(!s.is_fresh(9, Location::ReplicaMem(0)));
         assert!(!s.is_fresh(9, Location::L1(0)));
         assert!(!s.is_fresh(9, Location::Llc(0)));
     }
 
     #[test]
     fn writeback_events_restore_memory_freshness() {
-        let mut s = GoldenShadow::new(8, 2);
-        s.apply_write(0, 9); // line 9: page 1, home socket 1
+        let mut s = GoldenShadow::new(mirror2(), 2);
+        s.apply_write(0, 9); // line 9: page 1, home socket 1, replica 0
         s.apply_events(&[
             FabricEvent::MemWrite { socket: 1, line: 9 },
             FabricEvent::ReplicaWrite { socket: 0, line: 9 },
         ]);
         assert!(s.is_fresh(9, Location::HomeMem));
-        assert!(s.is_fresh(9, Location::ReplicaMem));
+        assert!(s.is_fresh(9, Location::ReplicaMem(0)));
         // Misrouted writes must not count.
         s.apply_write(0, 9);
         s.apply_events(&[FabricEvent::MemWrite { socket: 0, line: 9 }]);
         assert!(!s.is_fresh(9, Location::HomeMem));
+    }
+
+    #[test]
+    fn three_node_striping_keys_replica_freshness_by_node() {
+        // 3 sockets, round-robin: line 0 (page 0) homes on 0, replica
+        // lands on node 1; a replica write on node 2 must not count.
+        let mut s = GoldenShadow::new(PlacementMap::new(3, 8, PlacementPolicy::RoundRobin), 2);
+        let replica = s.place.replica_node(0);
+        assert_eq!(replica, 1);
+        s.apply_write(0, 0);
+        s.apply_events(&[FabricEvent::ReplicaWrite { socket: 2, line: 0 }]);
+        assert!(!s.is_fresh(0, Location::ReplicaMem(replica)));
+        s.apply_events(&[FabricEvent::ReplicaWrite {
+            socket: replica,
+            line: 0,
+        }]);
+        assert!(s.is_fresh(0, Location::ReplicaMem(replica)));
+        // Each node's replica slot is a distinct location.
+        assert_ne!(Location::ReplicaMem(1).bit(), Location::ReplicaMem(2).bit());
     }
 
     #[test]

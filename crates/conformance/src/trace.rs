@@ -4,6 +4,7 @@
 use dve_coherence::engine::{EngineConfig, Mode, ReplicationScope};
 use dve_coherence::replica_dir::ReplicaPolicy;
 use dve_coherence::types::LineAddr;
+use dve_noc::topology::PlacementPolicy;
 
 /// One step of a conformance-fuzz trace.
 ///
@@ -65,6 +66,8 @@ pub fn tiny_engine() -> EngineConfig {
         free_installs: false,
         dir_cache_entries: None,
         replication_scope: ReplicationScope::All,
+        sockets: 2,
+        placement: PlacementPolicy::Mirror2,
     }
 }
 
@@ -99,6 +102,16 @@ pub fn builtin_configs() -> Vec<FuzzConfig> {
     };
     let dir_cached = |cfg: &EngineConfig| EngineConfig {
         dir_cache_entries: Some(8),
+        ..cfg.clone()
+    };
+    // Three sockets, round-robin replica striping: replica-set bugs the
+    // two-node configs cannot express (a third socket that is neither
+    // home nor replica for a line).
+    let nway3 = |cfg: &EngineConfig| EngineConfig {
+        cores: 6,
+        cores_per_socket: 2,
+        sockets: 3,
+        placement: PlacementPolicy::RoundRobin,
         ..cfg.clone()
     };
     let mk = |name: &str, mode: Mode, engine: EngineConfig| FuzzConfig {
@@ -155,6 +168,16 @@ pub fn builtin_configs() -> Vec<FuzzConfig> {
             "dve-deny-dircache",
             dve(ReplicaPolicy::Deny, false),
             dir_cached(&base),
+        ),
+        mk(
+            "dve-allow-nway3",
+            dve(ReplicaPolicy::Allow, false),
+            nway3(&base),
+        ),
+        mk(
+            "dve-deny-nway3",
+            dve(ReplicaPolicy::Deny, false),
+            nway3(&base),
         ),
     ]
 }

@@ -85,6 +85,14 @@ impl SystemBuilder {
         self
     }
 
+    /// Replication topology: mirror pair (default), symmetric N-way,
+    /// or two-tier with a far-memory pool. Re-partitions the engine's
+    /// cores over the topology's sockets.
+    pub fn topology(mut self, spec: crate::config::TopologySpec) -> SystemBuilder {
+        self.cfg.set_topology(spec);
+        self
+    }
+
     /// Trace-supply worker threads (1 = sequential reference path;
     /// more shard trace synthesis across threads, bit-identically).
     pub fn pdes_workers(mut self, workers: usize) -> SystemBuilder {

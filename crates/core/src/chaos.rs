@@ -127,7 +127,9 @@ pub enum FaultAction {
 pub struct FaultEvent {
     /// Simulated cycle at (or after) which the action applies.
     pub at: u64,
-    /// Target socket (0 or 1).
+    /// Target node (`0..nodes`; the fabric clamps out-of-range ids so
+    /// a schedule drawn for a wide topology stays valid on a narrow
+    /// one).
     pub socket: usize,
     /// Target channel *within* the socket.
     pub channel: usize,
@@ -168,6 +170,10 @@ pub struct ChaosParams {
     pub channels_per_socket: usize,
     /// Line-site faults are drawn from `[0, line_span)` global lines.
     pub line_span: u64,
+    /// Nodes to spread faults over (2 for the classic mirror pair; an
+    /// N-node topology passes its node count so faults land on every
+    /// node, not just the first two).
+    pub nodes: usize,
 }
 
 impl Default for ChaosParams {
@@ -179,6 +185,7 @@ impl Default for ChaosParams {
             heal_after: Some(1_000_000),
             channels_per_socket: 2,
             line_span: 1 << 14,
+            nodes: 2,
         }
     }
 }
@@ -210,7 +217,7 @@ impl FaultSchedule {
         for i in 0..p.faults {
             let mut rng = SplitMix64::new(derive_seed(seed, CHAOS_STREAM, i as u64));
             let at = rng.next_below(p.horizon.max(1));
-            let socket = rng.next_below(2) as usize;
+            let socket = rng.next_below(p.nodes.max(2) as u64) as usize;
             let channel = rng.next_below(p.channels_per_socket.max(1) as u64) as usize;
             let site = match rng.next_below(4) {
                 0 | 1 => FaultSite::Line {
@@ -289,6 +296,10 @@ impl Default for ScrubConfig {
     }
 }
 
+/// Outage windows scoped to single directed edges of the topology
+/// graph: `(from, to, windows)` tuples.
+pub type EdgeOutages = Vec<(usize, usize, Vec<(u64, u64)>)>;
+
 /// The full chaos envelope for one run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChaosConfig {
@@ -299,6 +310,11 @@ pub struct ChaosConfig {
     /// engine falls back to local-copy-only service (§V-E) and
     /// re-syncs on recovery.
     pub link_outages: Vec<(u64, u64)>,
+    /// Per-edge outage windows `(from, to, windows)` — same format as
+    /// [`ChaosConfig::link_outages`] but scoped to one directed edge of
+    /// the topology graph. Outages on one edge never gate sends on any
+    /// other edge (the independence property the topology tests pin).
+    pub edge_outages: EdgeOutages,
     /// Backoff base for link retries (retry `k` waits
     /// `retry_base * (2^k - 1)` cycles).
     pub retry_base: u64,
@@ -316,6 +332,7 @@ impl ChaosConfig {
         ChaosConfig {
             schedule: FaultSchedule::empty(),
             link_outages: Vec::new(),
+            edge_outages: Vec::new(),
             retry_base: 64,
             max_retries: 6,
             scrub: None,

@@ -5,6 +5,7 @@ use dve_coherence::engine::{EngineConfig, Mode};
 use dve_coherence::replica_dir::ReplicaPolicy;
 use dve_dram::config::DramConfig;
 use dve_dram::controller::EccProfile;
+use dve_noc::topology::{EdgeParams, PlacementPolicy, Topology};
 use dve_sim::time::{Frequency, Nanos};
 
 /// The memory-system scheme under evaluation (the bars of Fig. 6).
@@ -80,11 +81,100 @@ impl std::str::FromStr for Scheme {
     }
 }
 
+/// The node-level shape of the system: how many nodes there are and
+/// where replicas land. The paper's machine is [`TopologySpec::Mirror2`]
+/// — the golden-preserving default every Table II configuration starts
+/// from; the other variants instantiate the topology-generic placement
+/// layer (round-robin N-way striping, or a two-socket system backed by
+/// a far-memory pool holding the full replicas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Two sockets, mirrored replicas (`replica = 1 - home`).
+    Mirror2,
+    /// `n` sockets (2 ≤ n ≤ 8) with round-robin replica striping.
+    Nway(usize),
+    /// Two sockets plus one far-memory node; the coherent full replica
+    /// of every line lives on the far node.
+    TwoTier,
+}
+
+impl TopologySpec {
+    /// Compute sockets (nodes with cores; home candidates).
+    pub fn sockets(self) -> usize {
+        match self {
+            TopologySpec::Mirror2 | TopologySpec::TwoTier => 2,
+            TopologySpec::Nway(n) => n,
+        }
+    }
+
+    /// Total nodes, including far-memory pools.
+    pub fn nodes(self) -> usize {
+        match self {
+            TopologySpec::Mirror2 => 2,
+            TopologySpec::Nway(n) => n,
+            TopologySpec::TwoTier => 3,
+        }
+    }
+
+    /// The placement policy this topology implies.
+    pub fn placement(self) -> PlacementPolicy {
+        match self {
+            TopologySpec::Mirror2 => PlacementPolicy::Mirror2,
+            TopologySpec::Nway(_) => PlacementPolicy::RoundRobin,
+            TopologySpec::TwoTier => PlacementPolicy::TwoTier { far: 2 },
+        }
+    }
+}
+
+impl std::fmt::Display for TopologySpec {
+    /// Stable config-text form: `mirror2`, `nway:4`, `twotier` (the
+    /// inverse of [`TopologySpec::from_str`]).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologySpec::Mirror2 => f.write_str("mirror2"),
+            TopologySpec::Nway(n) => write!(f, "nway:{n}"),
+            TopologySpec::TwoTier => f.write_str("twotier"),
+        }
+    }
+}
+
+impl std::str::FromStr for TopologySpec {
+    type Err = String;
+
+    /// Parses `mirror2`, `nway:<n>` (2 ≤ n ≤ 8) or `twotier`.
+    fn from_str(s: &str) -> Result<TopologySpec, String> {
+        match s {
+            "mirror2" => Ok(TopologySpec::Mirror2),
+            "twotier" => Ok(TopologySpec::TwoTier),
+            _ => {
+                let n = s
+                    .strip_prefix("nway:")
+                    .ok_or_else(|| {
+                        format!("unknown topology {s:?}; one of: mirror2, nway:<n>, twotier")
+                    })?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad nway socket count in {s:?}: {e}"))?;
+                if !(2..=8).contains(&n) {
+                    return Err(format!(
+                        "nway socket count must be in 2..=8 (sharer vectors are 8 bits), got {n}"
+                    ));
+                }
+                Ok(TopologySpec::Nway(n))
+            }
+        }
+    }
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Scheme under evaluation.
     pub scheme: Scheme,
+    /// Node-level topology. Set it through
+    /// [`SystemConfig::set_topology`] (or the builder's `topology`
+    /// method) so the engine's socket count, placement policy and
+    /// core partitioning stay consistent with it.
+    pub topology: TopologySpec,
     /// Core clock (Table II: 3.0 GHz).
     pub clock: Frequency,
     /// Engine/caches configuration.
@@ -142,6 +232,7 @@ impl SystemConfig {
     pub fn table_ii(scheme: Scheme) -> SystemConfig {
         SystemConfig {
             scheme,
+            topology: TopologySpec::Mirror2,
             clock: Frequency::ghz(3.0),
             engine: EngineConfig::default(),
             dram: DramConfig::ddr4_2400(),
@@ -177,6 +268,49 @@ impl SystemConfig {
         }
     }
 
+    /// Switches the node-level topology, rewiring the engine geometry
+    /// that depends on it: socket count, placement policy, and the
+    /// per-socket core partition. [`TopologySpec::Mirror2`] leaves a
+    /// Table II configuration exactly as constructed (the engine
+    /// defaults already describe the paper's two-socket machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core count does not divide evenly across the
+    /// topology's sockets.
+    pub fn set_topology(&mut self, spec: TopologySpec) {
+        assert!(
+            self.engine.cores.is_multiple_of(spec.sockets()),
+            "{} cores do not partition over {} sockets",
+            self.engine.cores,
+            spec.sockets()
+        );
+        self.topology = spec;
+        self.engine.sockets = spec.sockets();
+        self.engine.placement = spec.placement();
+        self.engine.cores_per_socket = self.engine.cores / spec.sockets();
+    }
+
+    /// Total nodes in the topology (sockets plus far-memory pools).
+    pub fn nodes(&self) -> usize {
+        self.topology.nodes()
+    }
+
+    /// The link-level topology graph: every socket-socket edge carries
+    /// the configured inter-socket link parameters; edges touching a
+    /// far-memory node use the CXL-class far-tier parameters.
+    pub fn topology_graph(&self) -> Topology {
+        let edge = EdgeParams {
+            latency: self.link_latency,
+            bytes_per_cycle: self.link_bytes_per_cycle,
+        };
+        match self.topology {
+            TopologySpec::Mirror2 => Topology::mirror2(edge),
+            TopologySpec::Nway(n) => Topology::symmetric(n, edge),
+            TopologySpec::TwoTier => Topology::two_tier(edge, EdgeParams::far_tier()),
+        }
+    }
+
     /// DRAM channels per socket for this scheme (Table II: baseline 1,
     /// replicated/mirrored 2).
     pub fn channels_per_socket(&self) -> usize {
@@ -187,9 +321,10 @@ impl SystemConfig {
     }
 
     /// Total DRAM ranks in the system (for energy accounting: baseline
-    /// 2× 8 GB DIMMs, replicated 4×).
+    /// 2× 8 GB DIMMs, replicated 4× — scaled by the topology's node
+    /// count beyond the paper's two).
     pub fn total_ranks(&self) -> usize {
-        2 * self.channels_per_socket() * self.dram.ranks_per_channel
+        self.nodes() * self.channels_per_socket() * self.dram.ranks_per_channel
     }
 }
 
@@ -254,6 +389,54 @@ mod tests {
         let err = "dve-maybe".parse::<Scheme>().unwrap_err();
         assert!(err.contains("unknown scheme"), "{err}");
         assert!(err.contains("dve-deny"), "lists the valid labels: {err}");
+    }
+
+    #[test]
+    fn topology_display_from_str_round_trips() {
+        for t in [
+            TopologySpec::Mirror2,
+            TopologySpec::Nway(2),
+            TopologySpec::Nway(4),
+            TopologySpec::Nway(8),
+            TopologySpec::TwoTier,
+        ] {
+            let text = t.to_string();
+            assert_eq!(text.parse::<TopologySpec>(), Ok(t), "{text}");
+        }
+        assert!("nway:1".parse::<TopologySpec>().is_err(), "needs a peer");
+        assert!("nway:9".parse::<TopologySpec>().is_err(), "sharer bits");
+        assert!("nway:x".parse::<TopologySpec>().is_err());
+        assert!("ring"
+            .parse::<TopologySpec>()
+            .unwrap_err()
+            .contains("mirror2"));
+    }
+
+    #[test]
+    fn set_topology_rewires_engine_geometry() {
+        let mut c = SystemConfig::table_ii(Scheme::DveDeny);
+        let mirror_engine = c.engine.clone();
+        // Mirror2 is a no-op on a Table II config.
+        c.set_topology(TopologySpec::Mirror2);
+        assert_eq!(c.engine, mirror_engine, "golden-preserving default");
+        assert_eq!(c.nodes(), 2);
+        // N-way re-partitions the 16 cores.
+        c.set_topology(TopologySpec::Nway(4));
+        assert_eq!(c.engine.sockets, 4);
+        assert_eq!(c.engine.cores_per_socket, 4);
+        assert_eq!(c.nodes(), 4);
+        assert_eq!(c.total_ranks(), 8);
+        // Two-tier keeps two compute sockets but adds the far node.
+        c.set_topology(TopologySpec::TwoTier);
+        assert_eq!(c.engine.sockets, 2);
+        assert_eq!(c.engine.cores_per_socket, 8);
+        assert_eq!(c.nodes(), 3);
+        let g = c.topology_graph();
+        assert_eq!(g.nodes(), 3);
+        assert!(
+            g.edge(0, 2).latency > g.edge(0, 1).latency,
+            "far hop slower"
+        );
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! * **Intel-mirroring++** — channel 1 of the *same* socket mirrors
 //!   channel 0; reads round-robin across the two channels (the paper's
 //!   "actively load balancing reads"), writes go to both.
-//! * **Dvé** — the home copy lives on channel 0 of the home socket and
-//!   the replica on channel 1 of the *other* socket.
+//! * **Dvé** — the home copy lives on channel 0 of the home node and
+//!   the replica on channel 1 of the node the placement map assigns
+//!   (the other socket under the paper's mirror, a striped peer under
+//!   round-robin N-way, the far-memory pool under two-tier).
 //!
 //! Every timed service advances the caller's [`Stamp`] by charging its
 //! cycles to the right [`Component`]: mesh hops to `Mesh`, link wire
@@ -26,7 +28,7 @@
 //! When the chaos layer is armed ([`SystemConfig::chaos`]), demand
 //! reads run the controller-edge ECC check. A detected-uncorrectable
 //! read takes the full recovery detour *in simulated time*: request to
-//! the surviving copy (across the inter-socket link for Dvé, the
+//! the surviving copy (across the inter-node link for Dvé, the
 //! sibling channel for mirroring), remote bank read, data return,
 //! repair write + re-read at the failed controller. Every cycle after
 //! detection is charged to [`Component::Recovery`], so the Stamp
@@ -44,18 +46,20 @@
 //! which degrades the engine for the duration of the window and
 //! re-syncs (deny-RM re-push + stale-replica quarantine) on recovery.
 //!
-//! [`transfer_resilient`]: InterSocketLink::transfer_resilient
+//! [`transfer_resilient`]: LinkTable::transfer_resilient
 
 use crate::chaos::{FaultAction, FaultEvent, RecoveryLedger};
 use crate::config::SystemConfig;
 use dve_coherence::engine::Mode;
 use dve_coherence::fabric::Fabric;
 use dve_coherence::types::LineAddr;
+use dve_dram::config::DramConfig;
 use dve_dram::controller::{AccessKind, AccessResult, MemoryController};
 use dve_dram::fault::FaultDomain;
 use dve_dram::scrub::Scrubber;
-use dve_noc::link::{InterSocketLink, LinkSendOutcome};
+use dve_noc::link::{LinkSendOutcome, LinkTable};
 use dve_noc::mesh::Mesh;
+use dve_noc::topology::PlacementMap;
 use dve_noc::traffic::{MessageClass, TrafficStats};
 use dve_sim::latency::{Component, Stamp};
 use dve_sim::time::Cycles;
@@ -73,8 +77,15 @@ pub struct SystemFabric {
     mode: Mode,
     mesh: Mesh,
     cores_per_socket: usize,
-    link: InterSocketLink,
-    /// `ctrls[socket][channel]`.
+    /// Per-edge point-to-point links over the configured topology (one
+    /// pipelined port per ordered node pair; cycle-identical to the
+    /// original two-socket pair link at N = 2).
+    link: LinkTable,
+    /// The placement map the engine shares: line → home node / replica
+    /// node. Drives line-aware survivor selection in the §V-B2 detour.
+    place: PlacementMap,
+    /// `ctrls[node][channel]`. Socket nodes run the configured DRAM;
+    /// far-memory nodes (two-tier) run the far-tier preset.
     ctrls: Vec<Vec<MemoryController>>,
     traffic: TrafficStats,
     mirror_rr: u64,
@@ -107,12 +118,25 @@ impl SystemFabric {
     pub fn new(cfg: &SystemConfig) -> SystemFabric {
         let mesh = Mesh::new(cfg.mesh.0, cfg.mesh.1);
         let cores_per_socket = cfg.engine.cores_per_socket;
-        let mut link = InterSocketLink::new(cfg.link_latency, cfg.clock, cfg.link_bytes_per_cycle);
+        let nodes = cfg.nodes();
+        let mut link = LinkTable::new(&cfg.topology_graph(), cfg.clock);
+        let place = PlacementMap::new(
+            cfg.engine.sockets,
+            cfg.engine.page_lines,
+            cfg.engine.placement,
+        );
         let channels = cfg.channels_per_socket();
-        let mut ctrls: Vec<Vec<MemoryController>> = (0..2)
-            .map(|s| {
+        let mut ctrls: Vec<Vec<MemoryController>> = (0..nodes)
+            .map(|n| {
+                // Far-memory pools (node ids past the sockets) run the
+                // CXL-class far-tier DRAM; sockets run Table II DDR4.
+                let dram = if n < cfg.engine.sockets {
+                    cfg.dram.clone()
+                } else {
+                    DramConfig::far_tier()
+                };
                 (0..channels)
-                    .map(|ch| MemoryController::new(s * channels + ch, cfg.dram.clone()))
+                    .map(|ch| MemoryController::new(n * channels + ch, dram.clone()))
                     .collect()
             })
             .collect();
@@ -130,8 +154,11 @@ impl SystemFabric {
                     chaos.max_retries,
                 );
             }
+            for (from, to, windows) in &chaos.edge_outages {
+                link.set_edge_outages(*from, *to, windows.clone());
+            }
             if let Some(scrub) = &chaos.scrub {
-                scrubbers = (0..2)
+                scrubbers = (0..nodes)
                     .map(|_| {
                         (0..channels)
                             .map(|_| Scrubber::new(scrub.region_bytes))
@@ -145,13 +172,14 @@ impl SystemFabric {
             mesh,
             cores_per_socket,
             link,
+            place,
             ctrls,
             traffic: TrafficStats::new(),
             mirror_rr: 0,
             line_bytes: cfg.dram.line_bytes as u64,
             chaos: cfg.chaos.is_some(),
             degraded_lines: BTreeSet::new(),
-            transients: (0..2)
+            transients: (0..nodes)
                 .map(|_| (0..channels).map(|_| HashSet::new()).collect())
                 .collect(),
             scrubbers,
@@ -165,9 +193,19 @@ impl SystemFabric {
         &self.traffic
     }
 
-    /// The memory controllers, `[socket][channel]`.
+    /// The memory controllers, `[node][channel]`.
     pub fn controllers(&self) -> &[Vec<MemoryController>] {
         &self.ctrls
+    }
+
+    /// The per-edge inter-node link table (occupancy, outages).
+    pub fn link_table(&self) -> &LinkTable {
+        &self.link
+    }
+
+    /// The page-granular placement map driving replica homes.
+    pub fn placement(&self) -> PlacementMap {
+        self.place
     }
 
     /// Sums DRAM energy across all controllers into one model.
@@ -207,19 +245,37 @@ impl SystemFabric {
         t.advance(Component::Recovery, r.complete_at.raw() - t.at())
     }
 
-    /// The surviving copy for a failed `(socket, channel)`, per the
-    /// scheme's memory layout. `None` means the failed copy was the
-    /// only one (baseline NUMA) — detection escalates straight to a
-    /// machine check.
-    fn survivor_of(&self, socket: usize, channel: usize) -> Option<(usize, usize)> {
+    /// The surviving copy for a failed `(node, channel)` holding
+    /// `line`, per the scheme's memory layout. `None` means the failed
+    /// copy was the only one (baseline NUMA, or an N-node placement
+    /// that stores no second copy at that controller) — detection
+    /// escalates straight to a machine check.
+    fn survivor_of(&self, socket: usize, channel: usize, line: LineAddr) -> Option<(usize, usize)> {
         match self.mode {
             Mode::Baseline => None,
             // The mirror pair lives on the sibling channel of the same
             // socket — no link crossing.
             Mode::IntelMirror => Some((socket, 1 - channel)),
-            // Dvé: home = ctrls[home][0], replica = ctrls[1-home][1],
-            // so the survivor of (s, ch) is always (1-s, 1-ch).
-            Mode::Dve { .. } => Some((1 - socket, 1 - channel)),
+            // Dvé: the placement map pins the home copy at
+            // ctrls[home][0] and the replica at ctrls[replica][1], so
+            // each copy's survivor is the other.
+            Mode::Dve { .. } => {
+                let home = self.place.home_of(line);
+                let replica = self.place.replica_node(line);
+                if socket == home && channel == 0 {
+                    Some((replica, 1))
+                } else if socket == replica && channel == 1 {
+                    Some((home, 0))
+                } else if self.place.nodes() == 2 {
+                    // Two-node mirror placement keeps both copies in
+                    // lockstep across the pair, so even a combination
+                    // the map doesn't place (e.g. a scrub probe of the
+                    // unused channel) pairs with its diagonal.
+                    Some((1 - socket, 1 - channel))
+                } else {
+                    None
+                }
+            }
         }
     }
 
@@ -288,7 +344,7 @@ impl SystemFabric {
     ///
     /// [`pending_degrade`]: SystemFabric::take_pending_degrade
     fn detour(&mut self, socket: usize, channel: usize, line: LineAddr, t: Stamp) -> Stamp {
-        let Some((rs, rc)) = self.survivor_of(socket, channel) else {
+        let Some((rs, rc)) = self.survivor_of(socket, channel, line) else {
             self.ledger.machine_checks += 1;
             return t;
         };
@@ -340,7 +396,7 @@ impl SystemFabric {
     /// (no pointless read of the dead copy, no repair attempt). The
     /// caller has already counted `detected_reads`.
     fn redirect(&mut self, socket: usize, channel: usize, line: LineAddr, t: Stamp) -> Stamp {
-        let Some((rs, rc)) = self.survivor_of(socket, channel) else {
+        let Some((rs, rc)) = self.survivor_of(socket, channel, line) else {
             self.ledger.machine_checks += 1;
             return t;
         };
@@ -383,7 +439,7 @@ impl SystemFabric {
     /// [`FaultState`](dve_dram::fault::FaultState) edge contract:
     /// double-plants and spurious heals are not counted.
     pub fn apply_fault_event(&mut self, ev: &FaultEvent) {
-        let socket = ev.socket.min(1);
+        let socket = ev.socket.min(self.ctrls.len() - 1);
         let channel = ev.channel % self.ctrls[socket].len();
         let gch = self.ctrls[socket][channel].channel();
         match ev.action {

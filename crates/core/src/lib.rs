@@ -56,7 +56,7 @@ pub mod system;
 
 pub use builder::SystemBuilder;
 pub use chaos::{ChaosConfig, ChaosParams, FaultSchedule, RecoveryLedger};
-pub use config::{Scheme, SystemConfig};
+pub use config::{Scheme, SystemConfig, TopologySpec};
 pub use pdes::{ShardedSupply, TraceSupply};
 pub use recovery::{RecoverableMemory, RecoveryEvent, RecoveryOutcome};
 pub use system::{RunResult, System};

@@ -141,7 +141,7 @@ struct RegionStart {
     traffic: TrafficStats,
     dyn_joules: f64,
     breakdown: LatencyBreakdown,
-    class: [[u64; 4]; 2],
+    class: Vec<[u64; 4]>,
     cycles: u64,
     ops: u64,
     mem_ops: u64,
@@ -209,7 +209,7 @@ impl System {
             chaos_events = chaos.schedule.events().to_vec();
             scrub_cfg = chaos.scrub;
             if let Some(scrub) = &chaos.scrub {
-                for s in 0..2 {
+                for s in 0..cfg.nodes() {
                     for ch in 0..cfg.channels_per_socket() {
                         scrub_queue.push(scrub.interval, (s, ch));
                     }
@@ -260,6 +260,22 @@ impl System {
     /// In-band recovery accounting so far.
     pub fn recovery_ledger(&self) -> RecoveryLedger {
         self.fabric.ledger()
+    }
+
+    /// The memory fabric: controllers, inter-node link table, and the
+    /// placement map (telemetry endpoints read per-node/per-edge
+    /// occupancy from here).
+    pub fn fabric(&self) -> &SystemFabric {
+        &self.fabric
+    }
+
+    /// Live replica-directory entry count per node — the `/metrics`
+    /// per-node replica gauge (far-pool nodes host entries too: their
+    /// directories track lines replicated into the pool).
+    pub fn node_replica_entries(&self) -> Vec<u64> {
+        (0..self.engine.num_nodes())
+            .map(|n| self.engine.replica_dir(n).len() as u64)
+            .collect()
     }
 
     /// Per-op latency distributions recorded since the last
@@ -438,10 +454,9 @@ impl System {
             traffic: self.fabric.traffic().clone(),
             dyn_joules: self.fabric.total_energy().dynamic_joules(),
             breakdown: self.engine.stats().latency_breakdown,
-            class: [
-                self.engine.home_dir(0).class_counts(),
-                self.engine.home_dir(1).class_counts(),
-            ],
+            class: (0..self.cfg.engine.sockets)
+                .map(|s| self.engine.home_dir(s).class_counts())
+                .collect(),
             cycles: 0,
             ops: 0,
             mem_ops: 0,

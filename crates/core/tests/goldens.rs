@@ -12,8 +12,8 @@
 //! just the code: either fix the regression or re-derive the goldens
 //! and document why in DESIGN.md §10.
 
-use dve::config::Scheme;
-use dve::system::run_workload;
+use dve::config::{Scheme, SystemConfig, TopologySpec};
+use dve::system::{run_workload, System};
 use dve_workloads::catalog;
 
 /// (seed, scheme, cycles) for backprop at 500 measured ops/thread
@@ -39,6 +39,53 @@ fn pinned_golden_cycles_mshrs_1() {
         assert_eq!(
             r.cycles, cycles,
             "seed={seed:#x} {scheme:?}: got {}, golden {cycles}",
+            r.cycles
+        );
+    }
+}
+
+/// (topology, seed, scheme, cycles) — same trace/ops regime as
+/// [`GOLDENS`], on the non-mirror topologies.
+const TOPOLOGY_GOLDENS: &[(TopologySpec, u64, Scheme, u64)] = &[
+    (TopologySpec::Nway(4), 42, Scheme::DveAllow, 96_160),
+    (TopologySpec::Nway(4), 42, Scheme::DveDeny, 86_172),
+    (TopologySpec::Nway(4), 0x2026_0806, Scheme::DveAllow, 96_703),
+    (TopologySpec::Nway(4), 0x2026_0806, Scheme::DveDeny, 90_514),
+    (TopologySpec::TwoTier, 42, Scheme::DveAllow, 92_408),
+    (TopologySpec::TwoTier, 42, Scheme::DveDeny, 93_525),
+    (TopologySpec::TwoTier, 0x2026_0806, Scheme::DveAllow, 91_014),
+    (TopologySpec::TwoTier, 0x2026_0806, Scheme::DveDeny, 93_151),
+];
+
+/// The explicit mirror-2 topology is a representation change only: it
+/// must replay [`GOLDENS`] bit-identically, and the N-way / two-tier
+/// placements hold their own pinned counts.
+#[test]
+fn topology_goldens_pin_every_placement() {
+    let p = catalog()
+        .into_iter()
+        .find(|p| p.name == "backprop")
+        .unwrap();
+    let run = |spec: TopologySpec, scheme, seed| {
+        let mut cfg = SystemConfig::table_ii(scheme);
+        cfg.set_topology(spec);
+        cfg.ops_per_thread = 500;
+        cfg.warmup_per_thread = 50;
+        System::new(cfg, &p, seed).run()
+    };
+    for &(seed, scheme, cycles) in GOLDENS {
+        let r = run(TopologySpec::Mirror2, scheme, seed);
+        assert_eq!(
+            r.cycles, cycles,
+            "mirror2 topology must be invisible: seed={seed:#x} {scheme:?}"
+        );
+    }
+    for &(spec, seed, scheme, cycles) in TOPOLOGY_GOLDENS {
+        let r = run(spec, scheme, seed);
+        assert_eq!(r.mem_ops, 8000, "{spec} seed={seed:#x} {scheme:?}");
+        assert_eq!(
+            r.cycles, cycles,
+            "{spec} seed={seed:#x} {scheme:?}: got {}, golden {cycles}",
             r.cycles
         );
     }

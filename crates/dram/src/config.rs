@@ -90,6 +90,20 @@ impl DramConfig {
         }
     }
 
+    /// A CXL-class far-memory pool: DDR4 media behind a serialized
+    /// controller hop, so every column access carries an extra ~30 ns
+    /// of media/controller latency, in exchange for 4× the capacity per
+    /// channel. Used for the far node of a two-tier topology (the
+    /// Volos & Sazeides replication-based protection scheme).
+    pub fn far_tier() -> DramConfig {
+        let core = Frequency::ghz(3.0);
+        DramConfig {
+            t_cl: core.cycles_for_ns_f64(14.16 + 30.0),
+            channel_capacity: 32 << 30,
+            ..Self::ddr4_2400()
+        }
+    }
+
     /// Random-access (row miss, bank precharged) read latency:
     /// tRCD + tCL + burst.
     pub fn miss_latency(&self) -> Cycles {
@@ -156,5 +170,18 @@ mod tests {
     #[test]
     fn default_is_paper_config() {
         assert_eq!(DramConfig::default(), DramConfig::ddr4_2400());
+    }
+
+    #[test]
+    fn far_tier_is_slower_and_larger() {
+        let near = DramConfig::ddr4_2400();
+        let far = DramConfig::far_tier();
+        assert!(far.hit_latency() > near.hit_latency());
+        assert!(far.miss_latency() > near.miss_latency());
+        assert!(far.channel_capacity > near.channel_capacity);
+        // Bank geometry (and therefore addressing) is unchanged, so a
+        // far-node controller decodes the same line layout.
+        assert_eq!(far.total_banks(), near.total_banks());
+        assert_eq!(far.lines_per_row(), near.lines_per_row());
     }
 }

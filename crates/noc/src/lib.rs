@@ -10,6 +10,12 @@
 //! * [`traffic`] — message-class accounting; Fig. 8's headline metric is
 //!   the *inter-socket traffic* reduction Dvé achieves by serving reads
 //!   from the local replica.
+//! * [`topology`] — the N-node generalization: node kinds
+//!   (compute sockets vs disaggregated far memory), per-edge link
+//!   parameters, and the replica [`PlacementMap`] every layer shares
+//!   (mirror-2, round-robin N-way, two-tier). [`link::LinkTable`]
+//!   instantiates one pipelined port per ordered edge with per-edge
+//!   outage windows.
 //!
 //! # Example
 //!
@@ -23,8 +29,10 @@
 
 pub mod link;
 pub mod mesh;
+pub mod topology;
 pub mod traffic;
 
-pub use link::InterSocketLink;
+pub use link::{InterSocketLink, LinkTable};
 pub use mesh::Mesh;
+pub use topology::{NodeId, NodeKind, PlacementMap, PlacementPolicy, Topology};
 pub use traffic::{MessageClass, TrafficStats};

@@ -316,12 +316,316 @@ impl InterSocketLink {
     }
 }
 
+/// A full mesh of point-to-point links over an N-node
+/// [`Topology`](crate::topology::Topology): the per-edge
+/// generalization of [`InterSocketLink`].
+///
+/// Every ordered pair of distinct nodes gets its own pipelined
+/// [`Resource`] port, byte counter, and outage-window list, so edges
+/// fail and congest independently. On a two-node topology with the
+/// paper's link parameters this is cycle-identical to
+/// [`InterSocketLink`]: the same service formula
+/// (`bytes/bytes_per_cycle + latency`) against the same pipelined port
+/// arithmetic, one port per direction.
+///
+/// Outage windows come in two layers: *global* windows (the original
+/// [`ChaosConfig`]-style whole-fabric outage, consulted by the
+/// system's degraded-mode logic) apply to every edge, and *per-edge*
+/// windows apply to one direction of one link only. A send retries
+/// with the same bounded exponential backoff as the two-socket link.
+///
+/// [`ChaosConfig`]-style: InterSocketLink::set_outages
+///
+/// # Example
+///
+/// ```
+/// use dve_noc::link::{InterSocketLink, LinkTable};
+/// use dve_noc::topology::{EdgeParams, Topology};
+/// use dve_sim::time::{Cycles, Frequency};
+///
+/// let t = Topology::symmetric(2, EdgeParams::qpi());
+/// let mut table = LinkTable::new(&t, Frequency::ghz(3.0));
+/// let mut pair = InterSocketLink::default_qpi();
+/// assert_eq!(
+///     table.transfer(0, 1, Cycles(0), 64),
+///     pair.transfer(0, 1, Cycles(0), 64),
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkTable {
+    nodes: usize,
+    /// Edge index for ordered pair `(from, to)`, `from != to`:
+    /// `from * (nodes - 1) + (to - (to > from))`.
+    latency: Vec<Cycles>,
+    bytes_per_cycle: Vec<u64>,
+    ports: Vec<Resource>,
+    bytes: Vec<u64>,
+    /// Whole-fabric outage windows (sorted, non-overlapping).
+    global_outages: Vec<(u64, u64)>,
+    /// Additional per-edge outage windows.
+    edge_outages: Vec<Vec<(u64, u64)>>,
+    retry_base: u64,
+    max_retries: u32,
+    retries: u64,
+    failed_sends: u64,
+}
+
+impl LinkTable {
+    /// Builds the table from a topology's per-edge parameters,
+    /// converting latencies at `clock`.
+    pub fn new(topology: &crate::topology::Topology, clock: Frequency) -> LinkTable {
+        let nodes = topology.nodes();
+        let edges = nodes * (nodes - 1);
+        let mut latency = Vec::with_capacity(edges);
+        let mut bpc = Vec::with_capacity(edges);
+        for (from, to) in topology.edges() {
+            let e = topology.edge(from, to);
+            assert!(e.bytes_per_cycle > 0, "bandwidth must be non-zero");
+            latency.push(clock.cycles_for(e.latency));
+            bpc.push(e.bytes_per_cycle);
+        }
+        LinkTable {
+            nodes,
+            latency,
+            bytes_per_cycle: bpc,
+            ports: vec![Resource::pipelined(); edges],
+            bytes: vec![0; edges],
+            global_outages: Vec::new(),
+            edge_outages: vec![Vec::new(); edges],
+            retry_base: 64,
+            max_retries: 6,
+            retries: 0,
+            failed_sends: 0,
+        }
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn idx(&self, from: usize, to: usize) -> usize {
+        assert!(
+            from < self.nodes && to < self.nodes && from != to,
+            "edge endpoints must be distinct nodes in range"
+        );
+        from * (self.nodes - 1) + to - usize::from(to > from)
+    }
+
+    /// One-way propagation latency of the edge `from → to`.
+    pub fn latency(&self, from: usize, to: usize) -> Cycles {
+        self.latency[self.idx(from, to)]
+    }
+
+    /// The conservative PDES lookahead: minimum edge latency.
+    pub fn lookahead(&self) -> Cycles {
+        *self.latency.iter().min().expect("table has edges")
+    }
+
+    fn service(&self, edge: usize, bytes: u64) -> u64 {
+        bytes.div_ceil(self.bytes_per_cycle[edge]) + self.latency[edge].raw()
+    }
+
+    /// Sends `bytes` over the edge `from → to` at `now`; returns the
+    /// arrival time and records the message on the edge's port.
+    pub fn transfer(&mut self, from: usize, to: usize, now: Cycles, bytes: u64) -> Cycles {
+        let e = self.idx(from, to);
+        let service = self.service(e, bytes);
+        let grant = self.ports[e].acquire(now.raw(), service);
+        self.bytes[e] += bytes;
+        debug_assert_eq!(grant.queued, 0, "pipelined link must never queue");
+        Cycles(grant.complete_at)
+    }
+
+    /// Arrival a send *would* observe, without sending.
+    pub fn probe(&self, from: usize, to: usize, now: Cycles, bytes: u64) -> Cycles {
+        let e = self.idx(from, to);
+        Cycles(
+            self.ports[e]
+                .probe(now.raw(), self.service(e, bytes))
+                .complete_at,
+        )
+    }
+
+    fn check_windows(windows: &[(u64, u64)]) {
+        let mut prev_end = 0u64;
+        for &(s, e) in windows {
+            assert!(s < e, "outage window [{s}, {e}) is empty or inverted");
+            assert!(
+                s >= prev_end,
+                "outage windows must be sorted and non-overlapping"
+            );
+            prev_end = e;
+        }
+    }
+
+    /// Installs whole-fabric outage windows and the retry policy (the
+    /// [`InterSocketLink::set_outages`] equivalent; applies to every
+    /// edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed windows or a zero `retry_base`.
+    pub fn set_outages(&mut self, windows: Vec<(u64, u64)>, retry_base: u64, max_retries: u32) {
+        assert!(retry_base > 0, "retry backoff base must be non-zero");
+        Self::check_windows(&windows);
+        self.global_outages = windows;
+        self.retry_base = retry_base;
+        self.max_retries = max_retries;
+    }
+
+    /// Installs outage windows on one ordered edge only — other edges
+    /// keep delivering (the per-edge failure-independence the N-node
+    /// recovery paths rely on).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed windows or out-of-range endpoints.
+    pub fn set_edge_outages(&mut self, from: usize, to: usize, windows: Vec<(u64, u64)>) {
+        Self::check_windows(&windows);
+        let e = self.idx(from, to);
+        self.edge_outages[e] = windows;
+    }
+
+    /// If `now` falls inside a whole-fabric outage window, returns that
+    /// window's end.
+    pub fn outage_until(&self, now: Cycles) -> Option<Cycles> {
+        let t = now.raw();
+        self.global_outages
+            .iter()
+            .find(|&&(s, e)| t >= s && t < e)
+            .map(|&(_, e)| Cycles(e))
+    }
+
+    /// The end of the last whole-fabric outage window, if any.
+    pub fn last_outage_end(&self) -> Option<Cycles> {
+        self.global_outages.last().map(|&(_, e)| Cycles(e))
+    }
+
+    fn in_outage(&self, edge: usize, t: u64) -> bool {
+        let hit = |w: &[(u64, u64)]| w.iter().any(|&(s, e)| t >= s && t < e);
+        hit(&self.global_outages) || hit(&self.edge_outages[edge])
+    }
+
+    fn attempt_time(&self, now: u64, k: u32) -> Option<u64> {
+        if k > self.max_retries {
+            return None;
+        }
+        let factor = (1u64 << k.min(63)) - 1;
+        Some(now + self.retry_base.saturating_mul(factor))
+    }
+
+    fn resilient_start(&self, edge: usize, now: u64) -> Option<(u64, u32)> {
+        for k in 0..=self.max_retries {
+            let t = self.attempt_time(now, k)?;
+            if !self.in_outage(edge, t) {
+                return Some((t, k));
+            }
+        }
+        None
+    }
+
+    /// Sends under the configured outage windows with bounded
+    /// exponential backoff; the [`InterSocketLink::transfer_resilient`]
+    /// equivalent, per edge.
+    pub fn transfer_resilient(
+        &mut self,
+        from: usize,
+        to: usize,
+        now: Cycles,
+        bytes: u64,
+    ) -> LinkSendOutcome {
+        let e = self.idx(from, to);
+        match self.resilient_start(e, now.raw()) {
+            Some((start, retries)) => {
+                self.retries += u64::from(retries);
+                let arrival = self.transfer(from, to, Cycles(start), bytes);
+                LinkSendOutcome::Delivered { arrival, retries }
+            }
+            None => {
+                self.failed_sends += 1;
+                LinkSendOutcome::Failed {
+                    retries: self.max_retries,
+                }
+            }
+        }
+    }
+
+    /// The arrival a resilient send *would* observe, without sending.
+    pub fn probe_resilient(
+        &self,
+        from: usize,
+        to: usize,
+        now: Cycles,
+        bytes: u64,
+    ) -> LinkSendOutcome {
+        let e = self.idx(from, to);
+        match self.resilient_start(e, now.raw()) {
+            Some((start, retries)) => LinkSendOutcome::Delivered {
+                arrival: self.probe(from, to, Cycles(start), bytes),
+                retries,
+            },
+            None => LinkSendOutcome::Failed {
+                retries: self.max_retries,
+            },
+        }
+    }
+
+    /// Total retries across all resilient sends.
+    pub fn retry_count(&self) -> u64 {
+        self.retries
+    }
+
+    /// Resilient sends that exhausted the retry budget.
+    pub fn failed_sends(&self) -> u64 {
+        self.failed_sends
+    }
+
+    /// Port statistics for the ordered edge `from → to`.
+    pub fn edge_stats(&self, from: usize, to: usize) -> ResourceStats {
+        self.ports[self.idx(from, to)].stats()
+    }
+
+    /// Bytes sent over the ordered edge `from → to`.
+    pub fn edge_bytes(&self, from: usize, to: usize) -> u64 {
+        self.bytes[self.idx(from, to)]
+    }
+
+    /// Total messages across all edges.
+    pub fn total_messages(&self) -> u64 {
+        self.ports.iter().map(|p| p.stats().grants).sum()
+    }
+
+    /// Total bytes across all edges.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Resets traffic counters (not occupancy or outage config).
+    pub fn reset_counters(&mut self) {
+        for p in &mut self.ports {
+            p.reset_stats();
+        }
+        self.bytes.iter_mut().for_each(|b| *b = 0);
+        self.retries = 0;
+        self.failed_sends = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::{EdgeParams, Topology};
 
     fn link() -> InterSocketLink {
         InterSocketLink::new(Nanos(50), Frequency::ghz(3.0), 16)
+    }
+
+    fn table(nodes: usize) -> LinkTable {
+        LinkTable::new(
+            &Topology::symmetric(nodes, EdgeParams::qpi()),
+            Frequency::ghz(3.0),
+        )
     }
 
     #[test]
@@ -465,5 +769,121 @@ mod tests {
     #[should_panic(expected = "sorted and non-overlapping")]
     fn overlapping_outages_rejected() {
         link().set_outages(vec![(0, 100), (50, 200)], 32, 4);
+    }
+
+    #[test]
+    fn table_on_two_nodes_is_cycle_identical_to_the_pair_link() {
+        let mut pair = link();
+        let mut tab = table(2);
+        // A mixed traffic pattern in both directions, including
+        // same-cycle pipelined sends.
+        let msgs = [
+            (0usize, 1usize, 0u64, 64u64),
+            (0, 1, 0, 64),
+            (1, 0, 10, 8),
+            (0, 1, 200, 192),
+            (1, 0, 200, 64),
+        ];
+        for &(f, t, at, bytes) in &msgs {
+            assert_eq!(
+                pair.transfer(f, t, Cycles(at), bytes),
+                tab.transfer(f, t, Cycles(at), bytes),
+                "send {f}->{t} at {at}"
+            );
+        }
+        assert_eq!(pair.total_messages(), tab.total_messages());
+        assert_eq!(pair.total_bytes(), tab.total_bytes());
+        assert_eq!(
+            pair.port_stats(0).busy_cycles,
+            tab.edge_stats(0, 1).busy_cycles
+        );
+        // Resilient sends under the same global outage windows agree too.
+        pair.set_outages(vec![(0, 250)], 100, 6);
+        tab.set_outages(vec![(0, 250)], 100, 6);
+        assert_eq!(
+            pair.transfer_resilient(0, 1, Cycles(0), 64),
+            tab.transfer_resilient(0, 1, Cycles(0), 64),
+        );
+        assert_eq!(pair.retry_count(), tab.retry_count());
+    }
+
+    #[test]
+    fn table_edges_are_independent() {
+        let mut t = table(4);
+        let a = t.transfer(0, 1, Cycles(0), 64);
+        let b = t.transfer(2, 3, Cycles(0), 64);
+        assert_eq!(a, b, "disjoint edges do not interfere");
+        assert_eq!(t.edge_stats(0, 1).grants, 1);
+        assert_eq!(t.edge_stats(2, 3).grants, 1);
+        assert_eq!(t.edge_stats(1, 0).grants, 0, "directions are distinct");
+        assert_eq!(t.edge_bytes(0, 1), 64);
+        assert_eq!(t.edge_bytes(3, 2), 0);
+    }
+
+    #[test]
+    fn per_edge_outage_only_stalls_that_edge() {
+        let mut t = table(3);
+        t.set_outages(Vec::new(), 100, 6);
+        t.set_edge_outages(0, 1, vec![(0, 250)]);
+        // The edge under outage retries...
+        match t.transfer_resilient(0, 1, Cycles(0), 64) {
+            LinkSendOutcome::Delivered { retries, .. } => assert_eq!(retries, 2),
+            LinkSendOutcome::Failed { .. } => panic!("budget was sufficient"),
+        }
+        // ...while the reverse direction and other edges deliver
+        // immediately.
+        for (f, to) in [(1usize, 0usize), (0, 2), (2, 1)] {
+            match t.transfer_resilient(f, to, Cycles(0), 64) {
+                LinkSendOutcome::Delivered { retries, arrival } => {
+                    assert_eq!(retries, 0, "{f}->{to}");
+                    assert_eq!(arrival, Cycles(154));
+                }
+                LinkSendOutcome::Failed { .. } => panic!("no outage on {f}->{to}"),
+            }
+        }
+    }
+
+    #[test]
+    fn global_outage_stalls_every_edge() {
+        let mut t = table(3);
+        t.set_outages(vec![(0, 1_000)], 10, 2);
+        for (f, to) in [(0usize, 1usize), (1, 2), (2, 0)] {
+            assert_eq!(
+                t.transfer_resilient(f, to, Cycles(0), 64),
+                LinkSendOutcome::Failed { retries: 2 },
+                "{f}->{to}"
+            );
+        }
+        assert_eq!(t.failed_sends(), 3);
+        assert_eq!(t.outage_until(Cycles(500)), Some(Cycles(1_000)));
+        assert_eq!(t.last_outage_end(), Some(Cycles(1_000)));
+    }
+
+    #[test]
+    fn heterogeneous_edges_charge_their_own_parameters() {
+        let topo = Topology::two_tier(EdgeParams::qpi(), EdgeParams::far_tier());
+        let mut t = LinkTable::new(&topo, Frequency::ghz(3.0));
+        // Socket-socket: 150 + 64/16 = 154. Socket-far: 270 + 64/8 = 278.
+        assert_eq!(t.transfer(0, 1, Cycles(0), 64), Cycles(154));
+        assert_eq!(t.transfer(0, 2, Cycles(0), 64), Cycles(278));
+        assert_eq!(t.latency(0, 2), Cycles(270));
+        assert_eq!(t.lookahead(), Cycles(150), "lookahead is the fastest edge");
+    }
+
+    #[test]
+    fn table_probe_matches_transfer() {
+        let mut t = table(3);
+        let predicted = t.probe(1, 2, Cycles(7), 100);
+        assert_eq!(t.transfer(1, 2, Cycles(7), 100), predicted);
+        assert_eq!(t.total_messages(), 1, "probe did not count");
+        t.reset_counters();
+        assert_eq!(t.total_messages(), 0);
+        assert_eq!(t.total_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nodes")]
+    fn table_self_edge_rejected() {
+        table(3).transfer(1, 1, Cycles(0), 64);
     }
 }

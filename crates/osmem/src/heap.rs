@@ -10,7 +10,7 @@
 //! (optionally) retires the RMT entries.
 
 use crate::allocator::{AllocError, PagePair, ReplicaAllocator};
-use crate::rmt::ReplicaMapTable;
+use crate::rmt::{ReplicaLoc, ReplicaMapTable};
 use std::collections::HashMap;
 
 /// Page size used by the heap (4 KiB).
@@ -122,8 +122,13 @@ impl ReplicatedHeap {
             // Physical page numbers are socket-local; qualify with the
             // socket in the high bits so the RMT key is global.
             let gp = global_page(p.primary_socket, p.primary);
-            let gr = global_page(p.replica_socket, p.replica);
-            rmt.map(gp, gr);
+            rmt.map(
+                gp,
+                ReplicaLoc {
+                    node: p.replica_socket,
+                    frame: p.replica,
+                },
+            );
             self.vmap.insert(base / PAGE_BYTES + i as u64, gp);
         }
         self.live.insert(base, pairs);
@@ -225,7 +230,7 @@ mod tests {
             .unwrap();
         let primary = heap.primary_page(a.base).unwrap();
         let replica = rmt.lookup(primary).expect("mapped");
-        assert_ne!(primary >> 48, replica >> 48, "pair spans sockets");
+        assert_ne!(primary >> 48, replica.node as u64, "pair spans sockets");
     }
 
     #[test]

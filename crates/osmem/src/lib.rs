@@ -10,7 +10,12 @@
 //!   `f(p) = p/L + 1 − 2S` (socket-interleaved page pairs, identical
 //!   DRAM-internal coordinates).
 //! * [`rmt`] — the RMT as a linear table and as a 2-level radix tree,
-//!   plus the directory-side RMT cache with hit/walk statistics.
+//!   plus the directory-side RMT cache with hit/walk statistics. Entries
+//!   are `page → (node, frame)` [`ReplicaLoc`]s, so replicas can live on
+//!   any node of an N-node topology, not just "the other socket".
+//! * [`placement`] — pluggable placement policies (mirror-2,
+//!   round-robin N-way, two-tier local-compressed + remote-full) with
+//!   per-node frame allocation and capacity accounting.
 //! * [`allocator`] — a two-node physical page allocator that builds
 //!   replica pairs across sockets, carves capacity balloon-style from
 //!   free memory, and hot-plugs it back when replication is disabled.
@@ -33,11 +38,13 @@
 pub mod allocator;
 pub mod heap;
 pub mod mapping;
+pub mod placement;
 pub mod policy;
 pub mod rmt;
 
 pub use allocator::{PagePair, ReplicaAllocator};
 pub use heap::ReplicatedHeap;
 pub use mapping::FixedMapping;
+pub use placement::ReplicaPlacer;
 pub use policy::ReplicationPolicy;
-pub use rmt::{ReplicaMapTable, RmtCache, RmtOrganization};
+pub use rmt::{ReplicaLoc, ReplicaMapTable, RmtCache, RmtOrganization};

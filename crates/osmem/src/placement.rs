@@ -1,0 +1,264 @@
+//! Pluggable replica placement: which node gets a page's replica, and
+//! which frame on that node.
+//!
+//! The original system had exactly one placement: the other socket,
+//! same DRAM coordinates. The N-node layer splits that decision in
+//! two — the *node* comes from the topology-level
+//! [`PlacementPolicy`] (mirror-2, round-robin N-way, or the two-tier
+//! local-compressed + remote-full scheme of Volos & Sazeides), and
+//! the *frame* comes from a per-node allocator here. The chosen
+//! [`ReplicaLoc`] is recorded in the [`ReplicaMapTable`] so hardware
+//! walks resolve it.
+//!
+//! Two-tier capacity accounting: besides the full replica on the far
+//! node, each placed page keeps a *compressed* local copy on its home
+//! socket. Compressed copies pack [`TWO_TIER_COMPRESSION`] to a frame;
+//! the timed simulation does not model decompression (see DESIGN.md
+//! §15 for that fidelity remainder), but the capacity ledger here
+//! does, so control-plane decisions see the real footprint.
+
+use crate::rmt::{ReplicaLoc, ReplicaMapTable};
+use dve_noc::topology::{NodeId, PlacementPolicy, Topology};
+
+/// Compressed copies packed per physical frame in the two-tier scheme
+/// (a 2:1 compression ratio, the conservative end of what Volos &
+/// Sazeides assume).
+pub const TWO_TIER_COMPRESSION: u64 = 2;
+
+/// Chooses replica nodes per policy and allocates frames on them.
+///
+/// # Example
+///
+/// ```
+/// use dve_noc::topology::{EdgeParams, PlacementPolicy, Topology};
+/// use dve_osmem::placement::ReplicaPlacer;
+/// use dve_osmem::rmt::{ReplicaMapTable, RmtOrganization};
+///
+/// let topo = Topology::symmetric(4, EdgeParams::qpi());
+/// let mut placer = ReplicaPlacer::new(&topo, PlacementPolicy::RoundRobin);
+/// let mut rmt = ReplicaMapTable::new(RmtOrganization::Radix2);
+/// let loc = placer.place(7, &mut rmt);
+/// assert_eq!(rmt.lookup(7), Some(loc));
+/// assert_ne!(loc.node, placer.home_of(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicaPlacer {
+    policy: PlacementPolicy,
+    sockets: usize,
+    /// Per-node bump pointer for fresh frames.
+    next_frame: Vec<u64>,
+    /// Per-node free lists (frames returned by `unplace`, reused LIFO).
+    free: Vec<Vec<u64>>,
+    /// Per-node count of live full replicas.
+    replicas: Vec<u64>,
+    /// Per-home-socket count of live compressed local copies
+    /// (two-tier only).
+    compressed: Vec<u64>,
+}
+
+impl ReplicaPlacer {
+    /// Builds a placer for `topology` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy names nodes the topology does not have, or
+    /// if a two-tier far node is not a far-memory node.
+    pub fn new(topology: &Topology, policy: PlacementPolicy) -> ReplicaPlacer {
+        let sockets = topology.sockets();
+        let nodes = topology.nodes();
+        match policy {
+            PlacementPolicy::Mirror2 => assert_eq!(sockets, 2, "mirror needs two sockets"),
+            PlacementPolicy::RoundRobin => assert!(sockets >= 2),
+            PlacementPolicy::TwoTier { far } => {
+                assert!(far < nodes, "far node {far} outside topology");
+                assert!(
+                    !topology.is_socket(far),
+                    "the two-tier far node must be a far-memory pool"
+                );
+            }
+        }
+        ReplicaPlacer {
+            policy,
+            sockets,
+            next_frame: vec![0; nodes],
+            free: vec![Vec::new(); nodes],
+            replicas: vec![0; nodes],
+            compressed: vec![0; sockets],
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// The home socket of `page` (round-robin page interleave; the
+    /// two-socket case is the paper's parity rule).
+    pub fn home_of(&self, page: u64) -> NodeId {
+        (page % self.sockets as u64) as usize
+    }
+
+    /// The node the policy sends `page`'s replica to.
+    pub fn replica_node_of(&self, page: u64) -> NodeId {
+        let home = self.home_of(page);
+        match self.policy {
+            PlacementPolicy::Mirror2 => 1 - home,
+            PlacementPolicy::RoundRobin => {
+                let others = self.sockets as u64 - 1;
+                (home + 1 + (page % others) as usize) % self.sockets
+            }
+            PlacementPolicy::TwoTier { far } => far,
+        }
+    }
+
+    fn take_frame(&mut self, node: NodeId) -> u64 {
+        if let Some(f) = self.free[node].pop() {
+            return f;
+        }
+        let f = self.next_frame[node];
+        self.next_frame[node] += 1;
+        f
+    }
+
+    /// Places `page`: picks the replica node, allocates a frame there,
+    /// records the mapping in `rmt`, and (two-tier) accounts the
+    /// compressed local copy. Returns the location. Placing an
+    /// already-placed page returns the existing location unchanged.
+    pub fn place(&mut self, page: u64, rmt: &mut ReplicaMapTable) -> ReplicaLoc {
+        if let Some(existing) = rmt.lookup(page) {
+            return existing;
+        }
+        let node = self.replica_node_of(page);
+        let frame = self.take_frame(node);
+        let loc = ReplicaLoc { node, frame };
+        rmt.map(page, loc);
+        self.replicas[node] += 1;
+        if matches!(self.policy, PlacementPolicy::TwoTier { .. }) {
+            let home = self.home_of(page);
+            self.compressed[home] += 1;
+        }
+        loc
+    }
+
+    /// Reverses [`place`](ReplicaPlacer::place): unmaps the page,
+    /// returns its frame to the node's free list, and releases the
+    /// compressed-copy accounting. Returns the old location, `None` if
+    /// the page was not placed.
+    pub fn unplace(&mut self, page: u64, rmt: &mut ReplicaMapTable) -> Option<ReplicaLoc> {
+        let loc = rmt.unmap(page)?;
+        self.free[loc.node].push(loc.frame);
+        self.replicas[loc.node] -= 1;
+        if matches!(self.policy, PlacementPolicy::TwoTier { .. }) {
+            let home = self.home_of(page);
+            self.compressed[home] -= 1;
+        }
+        Some(loc)
+    }
+
+    /// Live full-replica count per node.
+    pub fn replica_counts(&self) -> &[u64] {
+        &self.replicas
+    }
+
+    /// Full-replica frames currently reserved on `node` (live plus
+    /// free-listed — the high-water mark).
+    pub fn frames_reserved(&self, node: NodeId) -> u64 {
+        self.next_frame[node]
+    }
+
+    /// Physical frames the compressed local copies occupy on socket
+    /// `node` (two-tier only; zero otherwise). Compressed copies pack
+    /// [`TWO_TIER_COMPRESSION`] per frame, rounded up.
+    pub fn compressed_frames(&self, node: NodeId) -> u64 {
+        if node >= self.compressed.len() {
+            return 0;
+        }
+        self.compressed[node].div_ceil(TWO_TIER_COMPRESSION)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmt::RmtOrganization;
+    use dve_noc::topology::EdgeParams;
+
+    fn rmt() -> ReplicaMapTable {
+        ReplicaMapTable::new(RmtOrganization::Linear)
+    }
+
+    #[test]
+    fn mirror_places_on_the_other_socket() {
+        let topo = Topology::mirror2(EdgeParams::qpi());
+        let mut placer = ReplicaPlacer::new(&topo, PlacementPolicy::Mirror2);
+        let mut rmt = rmt();
+        for page in 0..64u64 {
+            let loc = placer.place(page, &mut rmt);
+            assert_eq!(loc.node, 1 - (page % 2) as usize);
+        }
+        assert_eq!(placer.replica_counts(), &[32, 32]);
+        assert_eq!(
+            placer.compressed_frames(0),
+            0,
+            "mirror has no compressed tier"
+        );
+    }
+
+    #[test]
+    fn place_is_idempotent_and_unplace_reuses_frames() {
+        let topo = Topology::symmetric(3, EdgeParams::qpi());
+        let mut placer = ReplicaPlacer::new(&topo, PlacementPolicy::RoundRobin);
+        let mut rmt = rmt();
+        let a = placer.place(10, &mut rmt);
+        assert_eq!(placer.place(10, &mut rmt), a, "double place is a lookup");
+        assert_eq!(placer.replica_counts().iter().sum::<u64>(), 1);
+        assert_eq!(placer.unplace(10, &mut rmt), Some(a));
+        assert_eq!(rmt.lookup(10), None);
+        assert_eq!(
+            placer.unplace(10, &mut rmt),
+            None,
+            "double unplace is a no-op"
+        );
+        // The freed frame is reused by the next placement on that node.
+        let pages_on_same_node: Vec<u64> = (0..100)
+            .filter(|&p| placer.replica_node_of(p) == a.node)
+            .collect();
+        let b = placer.place(pages_on_same_node[0], &mut rmt);
+        assert_eq!(
+            b,
+            ReplicaLoc {
+                node: a.node,
+                frame: a.frame
+            }
+        );
+    }
+
+    #[test]
+    fn two_tier_accounts_compressed_local_copies() {
+        let topo = Topology::two_tier(EdgeParams::qpi(), EdgeParams::far_tier());
+        let mut placer = ReplicaPlacer::new(&topo, PlacementPolicy::TwoTier { far: 2 });
+        let mut rmt = rmt();
+        for page in 0..10u64 {
+            let loc = placer.place(page, &mut rmt);
+            assert_eq!(loc.node, 2, "full replicas go to the far pool");
+        }
+        assert_eq!(placer.replica_counts(), &[0, 0, 10]);
+        // 5 home-0 pages and 5 home-1 pages, packed 2:1.
+        assert_eq!(placer.compressed_frames(0), 3);
+        assert_eq!(placer.compressed_frames(1), 3);
+        assert_eq!(
+            placer.compressed_frames(2),
+            0,
+            "the far pool holds full copies"
+        );
+        placer.unplace(0, &mut rmt);
+        assert_eq!(placer.compressed_frames(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "far-memory pool")]
+    fn two_tier_rejects_a_socket_as_far_node() {
+        let topo = Topology::symmetric(3, EdgeParams::qpi());
+        ReplicaPlacer::new(&topo, PlacementPolicy::TwoTier { far: 2 });
+    }
+}

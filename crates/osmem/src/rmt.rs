@@ -1,14 +1,31 @@
 //! The Replica Map Table (RMT) and its directory-side cache (§V-D).
 //!
 //! A single system-wide OS-managed table maps each replicated physical
-//! page to its replica page. The paper notes it "can be organized as a
+//! page to its replica location — the *node* holding the copy and the
+//! *frame* within that node. The paper notes it "can be organized as a
 //! simple linear table or a 2-level radix-tree (similar to the page
 //! table)"; both organizations are provided behind one API. Entries can
 //! outlive deallocation (reducing shoot-downs), and directory
 //! controllers cache recent translations, walking the table in hardware
 //! on a miss.
+//!
+//! In the original two-socket system the node was implicit ("the other
+//! socket") and the table held a bare frame number. The N-node
+//! placement layer (see [`crate::placement`] and
+//! `dve_noc::topology`) makes the node explicit: entries are
+//! [`ReplicaLoc`]s, chosen by a pluggable placement policy.
 
+use dve_noc::topology::NodeId;
 use std::collections::HashMap;
+
+/// Where a replicated page's copy lives: a node and a frame on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplicaLoc {
+    /// Node holding the replica (socket or far-memory pool).
+    pub node: NodeId,
+    /// Physical frame number on that node.
+    pub frame: u64,
+}
 
 /// RMT organization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,9 +43,9 @@ const RADIX_LEAF_SIZE: usize = 1 << RADIX_LEAF_BITS;
 
 #[derive(Debug, Clone)]
 enum Table {
-    Linear(HashMap<u64, u64>),
+    Linear(HashMap<u64, ReplicaLoc>),
     Radix2 {
-        root: HashMap<u64, Box<[Option<u64>; RADIX_LEAF_SIZE]>>,
+        root: HashMap<u64, Box<[Option<ReplicaLoc>; RADIX_LEAF_SIZE]>>,
         len: usize,
     },
 }
@@ -38,11 +55,11 @@ enum Table {
 /// # Example
 ///
 /// ```
-/// use dve_osmem::rmt::{ReplicaMapTable, RmtOrganization};
+/// use dve_osmem::rmt::{ReplicaLoc, ReplicaMapTable, RmtOrganization};
 ///
 /// let mut rmt = ReplicaMapTable::new(RmtOrganization::Radix2);
-/// rmt.map(100, 257);
-/// assert_eq!(rmt.lookup(100), Some(257));
+/// rmt.map(100, ReplicaLoc { node: 1, frame: 257 });
+/// assert_eq!(rmt.lookup(100), Some(ReplicaLoc { node: 1, frame: 257 }));
 /// assert_eq!(rmt.lookup(101), None); // unmapped: falls back to single copy
 /// ```
 #[derive(Debug, Clone)]
@@ -72,7 +89,7 @@ impl ReplicaMapTable {
     }
 
     /// Maps `page` to `replica`. Returns the previous mapping, if any.
-    pub fn map(&mut self, page: u64, replica: u64) -> Option<u64> {
+    pub fn map(&mut self, page: u64, replica: ReplicaLoc) -> Option<ReplicaLoc> {
         match &mut self.table {
             Table::Linear(m) => m.insert(page, replica),
             Table::Radix2 { root, len } => {
@@ -90,9 +107,9 @@ impl ReplicaMapTable {
         }
     }
 
-    /// Looks up the replica page. `None` means the page is not
+    /// Looks up the replica location. `None` means the page is not
     /// replicated — "Dvé seamlessly falls back to using a single copy".
-    pub fn lookup(&self, page: u64) -> Option<u64> {
+    pub fn lookup(&self, page: u64) -> Option<ReplicaLoc> {
         match &self.table {
             Table::Linear(m) => m.get(&page).copied(),
             Table::Radix2 { root, .. } => root
@@ -102,7 +119,7 @@ impl ReplicaMapTable {
     }
 
     /// Removes the mapping (rare: only on capacity reclamation).
-    pub fn unmap(&mut self, page: u64) -> Option<u64> {
+    pub fn unmap(&mut self, page: u64) -> Option<ReplicaLoc> {
         match &mut self.table {
             Table::Linear(m) => m.remove(&page),
             Table::Radix2 { root, len } => {
@@ -145,7 +162,7 @@ impl ReplicaMapTable {
 #[derive(Debug, Clone)]
 pub struct RmtCache {
     capacity: usize,
-    entries: Vec<(u64, u64)>, // (page, replica), front = MRU
+    entries: Vec<(u64, ReplicaLoc)>, // (page, replica), front = MRU
     hits: u64,
     misses: u64,
 }
@@ -167,9 +184,9 @@ impl RmtCache {
     }
 
     /// Translates `page`, walking `rmt` on a miss. Returns the replica
-    /// page (if mapped) and the number of memory accesses spent
+    /// location (if mapped) and the number of memory accesses spent
     /// (0 on a cache hit, `rmt.walk_accesses()` on a miss).
-    pub fn translate(&mut self, page: u64, rmt: &ReplicaMapTable) -> (Option<u64>, u32) {
+    pub fn translate(&mut self, page: u64, rmt: &ReplicaMapTable) -> (Option<ReplicaLoc>, u32) {
         if let Some(i) = self.entries.iter().position(|&(p, _)| p == page) {
             let e = self.entries.remove(i);
             self.entries.insert(0, e);
@@ -207,6 +224,13 @@ impl RmtCache {
 mod tests {
     use super::*;
 
+    /// Shorthand: a replica on node 1 at `frame` (the two-socket
+    /// mirror's only choice; placement tests with other nodes live in
+    /// `crate::placement`).
+    fn loc(frame: u64) -> ReplicaLoc {
+        ReplicaLoc { node: 1, frame }
+    }
+
     #[test]
     fn both_organizations_roundtrip() {
         for org in [RmtOrganization::Linear, RmtOrganization::Radix2] {
@@ -214,14 +238,14 @@ mod tests {
             assert_eq!(rmt.organization(), org);
             assert!(rmt.is_empty());
             for p in 0..2000u64 {
-                assert_eq!(rmt.map(p, p + 10_000), None);
+                assert_eq!(rmt.map(p, loc(p + 10_000)), None);
             }
             assert_eq!(rmt.len(), 2000);
             for p in 0..2000u64 {
-                assert_eq!(rmt.lookup(p), Some(p + 10_000), "{org:?} page {p}");
+                assert_eq!(rmt.lookup(p), Some(loc(p + 10_000)), "{org:?} page {p}");
             }
             assert_eq!(rmt.lookup(99_999), None);
-            assert_eq!(rmt.unmap(5), Some(10_005));
+            assert_eq!(rmt.unmap(5), Some(loc(10_005)));
             assert_eq!(rmt.lookup(5), None);
             assert_eq!(rmt.len(), 1999);
         }
@@ -230,9 +254,9 @@ mod tests {
     #[test]
     fn remap_returns_previous() {
         let mut rmt = ReplicaMapTable::new(RmtOrganization::Radix2);
-        rmt.map(1, 2);
-        assert_eq!(rmt.map(1, 3), Some(2));
-        assert_eq!(rmt.lookup(1), Some(3));
+        rmt.map(1, loc(2));
+        assert_eq!(rmt.map(1, loc(3)), Some(loc(2)));
+        assert_eq!(rmt.lookup(1), Some(loc(3)));
         assert_eq!(rmt.len(), 1);
     }
 
@@ -240,10 +264,10 @@ mod tests {
     fn radix_spans_leaves() {
         let mut rmt = ReplicaMapTable::new(RmtOrganization::Radix2);
         // Pages far apart land in different leaves.
-        rmt.map(0, 1);
-        rmt.map(1 << 20, 7);
-        assert_eq!(rmt.lookup(0), Some(1));
-        assert_eq!(rmt.lookup(1 << 20), Some(7));
+        rmt.map(0, loc(1));
+        rmt.map(1 << 20, loc(7));
+        assert_eq!(rmt.lookup(0), Some(loc(1)));
+        assert_eq!(rmt.lookup(1 << 20), Some(loc(7)));
         assert_eq!(rmt.walk_accesses(), 2);
         assert_eq!(
             ReplicaMapTable::new(RmtOrganization::Linear).walk_accesses(),
@@ -254,12 +278,12 @@ mod tests {
     #[test]
     fn cache_hits_after_first_walk() {
         let mut rmt = ReplicaMapTable::new(RmtOrganization::Radix2);
-        rmt.map(7, 8);
+        rmt.map(7, loc(8));
         let mut cache = RmtCache::new(4);
         let (r1, cost1) = cache.translate(7, &rmt);
-        assert_eq!((r1, cost1), (Some(8), 2));
+        assert_eq!((r1, cost1), (Some(loc(8)), 2));
         let (r2, cost2) = cache.translate(7, &rmt);
-        assert_eq!((r2, cost2), (Some(8), 0));
+        assert_eq!((r2, cost2), (Some(loc(8)), 0));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
     }
@@ -268,7 +292,7 @@ mod tests {
     fn cache_lru_eviction() {
         let mut rmt = ReplicaMapTable::new(RmtOrganization::Linear);
         for p in 0..5 {
-            rmt.map(p, p + 100);
+            rmt.map(p, loc(p + 100));
         }
         let mut cache = RmtCache::new(2);
         cache.translate(0, &rmt);
@@ -284,7 +308,7 @@ mod tests {
     #[test]
     fn cache_shootdown() {
         let mut rmt = ReplicaMapTable::new(RmtOrganization::Linear);
-        rmt.map(3, 4);
+        rmt.map(3, loc(4));
         let mut cache = RmtCache::new(4);
         cache.translate(3, &rmt);
         cache.invalidate(3);

@@ -1,10 +1,16 @@
 //! Property-based tests for the OS memory-replication layer.
 
+use dve_noc::topology::{EdgeParams, PlacementPolicy, Topology};
 use dve_osmem::allocator::ReplicaAllocator;
 use dve_osmem::mapping::FixedMapping;
-use dve_osmem::rmt::{ReplicaMapTable, RmtCache, RmtOrganization};
+use dve_osmem::placement::ReplicaPlacer;
+use dve_osmem::rmt::{ReplicaLoc, ReplicaMapTable, RmtCache, RmtOrganization};
 use proptest::prelude::*;
 use std::collections::HashMap;
+
+fn loc(node: usize, frame: u64) -> ReplicaLoc {
+    ReplicaLoc { node, frame }
+}
 
 proptest! {
     // The fixed-function mapping is an involution that always crosses
@@ -27,10 +33,11 @@ proptest! {
     ) {
         let mut linear = ReplicaMapTable::new(RmtOrganization::Linear);
         let mut radix = ReplicaMapTable::new(RmtOrganization::Radix2);
-        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut reference: HashMap<u64, ReplicaLoc> = HashMap::new();
         for (page, action) in ops {
             match action {
-                Some(replica) => {
+                Some(frame) => {
+                    let replica = loc((frame % 8) as usize, frame);
                     let a = linear.map(page, replica);
                     let b = radix.map(page, replica);
                     prop_assert_eq!(a, b);
@@ -62,7 +69,7 @@ proptest! {
     ) {
         let mut rmt = ReplicaMapTable::new(RmtOrganization::Radix2);
         for (&p, &r) in &mappings {
-            rmt.map(p, r);
+            rmt.map(p, loc((r % 4) as usize, r));
         }
         let mut cache = RmtCache::new(capacity);
         for q in queries {
@@ -97,5 +104,50 @@ proptest! {
         prop_assert_eq!(a.free_pages(0), pages);
         prop_assert_eq!(a.free_pages(1), pages);
         prop_assert_eq!(a.live_pairs(), 0);
+    }
+
+    // Placement round-trip over random N-node topologies: place/lookup/
+    // unplace agree with the RMT, the replica never lands on the home
+    // socket (crossing nodes is the whole point), and unplacing
+    // everything leaves both structures empty.
+    #[test]
+    fn placement_round_trip_over_random_topologies(
+        sockets in 2usize..6,
+        policy_sel in 0u8..2,
+        raw_pages in proptest::collection::vec(0u64..5_000, 1..64),
+        org_radix in any::<bool>(),
+    ) {
+        let (topo, policy) = if policy_sel == 0 {
+            (
+                Topology::symmetric(sockets, EdgeParams::qpi()),
+                PlacementPolicy::RoundRobin,
+            )
+        } else {
+            let topo = Topology::two_tier(EdgeParams::qpi(), EdgeParams::far_tier());
+            let far = topo.nodes() - 1;
+            (topo, PlacementPolicy::TwoTier { far })
+        };
+        let mut placer = ReplicaPlacer::new(&topo, policy);
+        let org = if org_radix { RmtOrganization::Radix2 } else { RmtOrganization::Linear };
+        let mut rmt = ReplicaMapTable::new(org);
+        let pages: std::collections::HashSet<u64> = raw_pages.into_iter().collect();
+
+        let mut placed = HashMap::new();
+        for &page in &pages {
+            let l = placer.place(page, &mut rmt);
+            prop_assert_ne!(l.node, placer.home_of(page));
+            prop_assert_eq!(l.node, placer.replica_node_of(page));
+            prop_assert_eq!(rmt.lookup(page), Some(l));
+            // No two live replicas on the same node share a frame.
+            prop_assert!(!placed.values().any(|&ol| ol == l));
+            placed.insert(page, l);
+        }
+        let total: u64 = placer.replica_counts().iter().sum();
+        prop_assert_eq!(total, pages.len() as u64);
+        for &page in &pages {
+            prop_assert_eq!(placer.unplace(page, &mut rmt), placed.get(&page).copied());
+        }
+        prop_assert_eq!(rmt.len(), 0);
+        prop_assert_eq!(placer.replica_counts().iter().sum::<u64>(), 0);
     }
 }

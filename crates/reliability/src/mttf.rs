@@ -74,6 +74,53 @@ pub fn operational_summaries() -> Vec<OperationalSummary> {
         .collect()
 }
 
+/// One rung of the replication-count MTTF ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySummary {
+    /// Placement label (`nway:2` … `nway:N`, `twotier`).
+    pub topology: String,
+    /// Total copies of every page (the far-tier scheme keeps two).
+    pub replicas: usize,
+    /// MTTF for detected-uncorrectable errors, hours.
+    pub due_mttf_hours: f64,
+    /// Expected DUEs per year in a 100 000-machine fleet.
+    pub fleet_dues_per_year: f64,
+    /// Expected silent corruptions per year in the same fleet.
+    pub fleet_sdcs_per_year: f64,
+}
+
+/// MTTF ladder for the topology-generic placements under Dvé+TSD:
+/// round-robin N-way for every replica count `2..=max_replicas`, plus
+/// the two-tier far-memory scheme with its far pool `far_fit_scale`
+/// times the local FIT. This is the reliability face of the §V-D
+/// control plane's topology choice — the perf face is the `topology`
+/// sweep harness.
+pub fn topology_summaries(max_replicas: usize, far_fit_scale: f64) -> Vec<TopologySummary> {
+    use crate::fit::ThermalMapping;
+    let m = crate::model::ReliabilityModel::paper_defaults();
+    let mut out: Vec<TopologySummary> = (2..=max_replicas)
+        .map(|r| {
+            let rates = m.dve_nway_tsd(r, ThermalMapping::Identity);
+            TopologySummary {
+                topology: format!("nway:{r}"),
+                replicas: r,
+                due_mttf_hours: mttf_hours(rates.due),
+                fleet_dues_per_year: fleet_events_per_year(rates.due, 100_000),
+                fleet_sdcs_per_year: fleet_events_per_year(rates.sdc, 100_000),
+            }
+        })
+        .collect();
+    let tt = m.two_tier_tsd(far_fit_scale);
+    out.push(TopologySummary {
+        topology: "twotier".to_string(),
+        replicas: 2,
+        due_mttf_hours: mttf_hours(tt.due),
+        fleet_dues_per_year: fleet_events_per_year(tt.due, 100_000),
+        fleet_sdcs_per_year: fleet_events_per_year(tt.sdc, 100_000),
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +167,27 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_has_no_mttf() {
         mttf_hours(0.0);
+    }
+
+    #[test]
+    fn topology_ladder_is_monotone_and_anchored() {
+        let ladder = topology_summaries(4, 3.0);
+        let get = |n: &str| ladder.iter().find(|x| x.topology == n).unwrap();
+        // nway:2 is the classic mirror pair: same MTTF as Dve+TSD.
+        let table = operational_summaries();
+        let dve = table.iter().find(|x| x.scheme == "Dve+TSD").unwrap();
+        let pair = get("nway:2");
+        assert!((pair.due_mttf_hours / dve.due_mttf_hours - 1.0).abs() < 1e-9);
+        // Every extra replica multiplies MTTF — strictly monotone.
+        assert!(get("nway:3").due_mttf_hours > pair.due_mttf_hours * 1e5);
+        assert!(get("nway:4").due_mttf_hours > get("nway:3").due_mttf_hours * 1e5);
+        // The two-tier far pool (3× FIT) sits between the pair and
+        // nway:3: worse than local mirroring, far better than Chipkill.
+        let tt = get("twotier");
+        assert!(tt.due_mttf_hours < pair.due_mttf_hours);
+        let ck = table.iter().find(|x| x.scheme == "Chipkill").unwrap();
+        assert!(tt.due_mttf_hours > ck.due_mttf_hours);
+        // SDC exposure grows with the replicated population.
+        assert!(get("nway:4").fleet_sdcs_per_year > pair.fleet_sdcs_per_year);
     }
 }

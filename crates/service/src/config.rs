@@ -7,13 +7,16 @@
 //! [`ServiceConfig::fmt`](std::fmt::Display) are exact inverses, so a
 //! config can be logged, copied out of a report, and replayed.
 
-use dve::config::Scheme;
+use dve::config::{Scheme, TopologySpec};
 
 /// Everything needed to boot a [`Service`](crate::Service).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
     /// Memory-system scheme the live system runs under.
     pub scheme: Scheme,
+    /// Replication topology (`mirror2`, `nway:<n>`, `twotier`) the
+    /// live system is built on.
+    pub topology: TopologySpec,
     /// Workload name from the catalog — chooses the sharing layout and
     /// footprint the live system is configured for (client ops address
     /// lines inside that footprint).
@@ -46,6 +49,7 @@ impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
         ServiceConfig {
             scheme: Scheme::DveDeny,
+            topology: TopologySpec::Mirror2,
             workload: "backprop".to_string(),
             seed: 42,
             mshrs: 4,
@@ -62,9 +66,10 @@ impl std::fmt::Display for ServiceConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "scheme={} workload={} seed={} mshrs={} epoch_ops={} \
+            "scheme={} topology={} workload={} seed={} mshrs={} epoch_ops={} \
              epoch_wait_ms={} queue_cap={} port={} chaos_seed={}",
             self.scheme,
+            self.topology,
             self.workload,
             self.seed,
             self.mshrs,
@@ -100,6 +105,7 @@ impl std::str::FromStr for ServiceConfig {
                 .ok_or_else(|| format!("expected key=value, got {tok:?}"))?;
             match key {
                 "scheme" => cfg.scheme = val.parse()?,
+                "topology" => cfg.topology = val.parse()?,
                 "workload" => cfg.workload = val.to_string(),
                 "seed" => cfg.seed = num(key, val)?,
                 "mshrs" => cfg.mshrs = num(key, val)?,
@@ -143,6 +149,7 @@ mod tests {
             ServiceConfig::default(),
             ServiceConfig {
                 scheme: Scheme::DveAllow,
+                topology: TopologySpec::Nway(4),
                 workload: "kmeans".to_string(),
                 seed: 7,
                 mshrs: 1,
@@ -151,6 +158,10 @@ mod tests {
                 queue_cap: 128,
                 port: 4242,
                 chaos_seed: Some(0xC0FFEE),
+            },
+            ServiceConfig {
+                topology: TopologySpec::TwoTier,
+                ..ServiceConfig::default()
             },
         ];
         for cfg in cases {
@@ -173,6 +184,8 @@ mod tests {
             "seed",
             "seed=abc",
             "scheme=dve-maybe",
+            "topology=nway:1",
+            "topology=ring",
             "mshrs=0",
             "epoch_ops=0",
             "epoch_ops=64 queue_cap=32",
@@ -182,5 +195,13 @@ mod tests {
         // chaos_seed admits the explicit "none".
         let cfg: ServiceConfig = "chaos_seed=none".parse().unwrap();
         assert_eq!(cfg.chaos_seed, None);
+    }
+
+    #[test]
+    fn topology_key_reaches_the_spec() {
+        let cfg: ServiceConfig = "topology=nway:3".parse().unwrap();
+        assert_eq!(cfg.topology, TopologySpec::Nway(3));
+        let cfg: ServiceConfig = "topology=twotier".parse().unwrap();
+        assert_eq!(cfg.topology, TopologySpec::TwoTier);
     }
 }

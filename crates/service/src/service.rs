@@ -45,7 +45,7 @@ use dve_workloads::{catalog, TraceGenerator};
 use crate::batcher::{EpochBatcher, SubmittedOp};
 use crate::config::ServiceConfig;
 use crate::proto;
-use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use crate::telemetry::{EdgeOccupancy, Telemetry, TelemetrySnapshot};
 
 /// Per-op completion delivered to the submitting session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,6 +199,10 @@ impl Service {
             })?;
 
         let mut sys_cfg = SystemConfig::table_ii(cfg.scheme);
+        // Shrink the core count to partition over the socket count
+        // before applying the topology (nway:3 drops 16 → 15 cores).
+        sys_cfg.engine.cores -= sys_cfg.engine.cores % cfg.topology.sockets();
+        sys_cfg.set_topology(cfg.topology);
         sys_cfg.mshrs = cfg.mshrs;
         // Client lines are folded into the workload's address span so
         // they hit the same layout (and the same chaos fault sites) as
@@ -215,6 +219,7 @@ impl Service {
                     heal_after: Some(100_000),
                     channels_per_socket: sys_cfg.channels_per_socket(),
                     line_span: span,
+                    nodes: sys_cfg.nodes(),
                 },
             ));
         }
@@ -504,6 +509,21 @@ fn run_epochs(
 fn publish_snapshot(system: &System, telemetry: &Telemetry) {
     let engine = system.engine_stats();
     let ledger = system.recovery_ledger();
+    let link = system.fabric().link_table();
+    let nodes = system.config().nodes();
+    let edge_occupancy = (0..nodes)
+        .flat_map(|from| (0..nodes).map(move |to| (from, to)))
+        .filter(|&(from, to)| from != to)
+        .map(|(from, to)| {
+            let s = link.edge_stats(from, to);
+            EdgeOccupancy {
+                from,
+                to,
+                messages: s.grants,
+                busy_cycles: s.busy_cycles,
+            }
+        })
+        .collect();
     telemetry.publish(TelemetrySnapshot {
         hists: system.latency_hists().clone(),
         engine_latency: engine.latency_breakdown,
@@ -511,6 +531,8 @@ fn publish_snapshot(system: &System, telemetry: &Telemetry) {
         degraded_transitions: engine.degraded_transitions,
         recovery_consistent: ledger.consistent(),
         detected_reads: ledger.detected_reads,
+        node_replica_entries: system.node_replica_entries(),
+        edge_occupancy,
     });
 }
 
@@ -780,6 +802,42 @@ mod tests {
         let report = service.shutdown();
         assert_eq!(report.submitted, 1000);
         assert_eq!(report.shed, shed as u64);
+        assert!(report.conserves(), "{report:?}");
+    }
+
+    #[test]
+    fn nway_topology_surfaces_per_node_and_per_edge_metrics() {
+        let cfg: ServiceConfig = "topology=nway:4 epoch_ops=64 epoch_wait_ms=1 scheme=dve-deny"
+            .parse()
+            .unwrap();
+        let service = Service::start(&cfg).unwrap();
+        let session = service.session();
+        assert!(session.submit(&gen_ops(5, 400)).is_some());
+        drop(session);
+
+        let mut s = TcpStream::connect(service.addr()).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut rsp = String::new();
+        s.read_to_string(&mut rsp).unwrap();
+        // Four nodes' replica gauges, and all 12 directed edges.
+        for node in 0..4 {
+            assert!(
+                rsp.contains(&format!("dve_node_replica_entries{{node=\"{node}\"}}")),
+                "{rsp}"
+            );
+        }
+        for (from, to) in (0..4).flat_map(|a| (0..4).map(move |b| (a, b))) {
+            if from == to {
+                continue;
+            }
+            assert!(
+                rsp.contains(&format!("dve_link_messages{{from=\"{from}\",to=\"{to}\"}}")),
+                "{rsp}"
+            );
+        }
+        // Replicated traffic must put messages on some edge.
+        assert!(rsp.contains("dve_link_busy_cycles"), "{rsp}");
+        let report = service.shutdown();
         assert!(report.conserves(), "{report:?}");
     }
 

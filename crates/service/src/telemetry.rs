@@ -26,6 +26,23 @@ pub struct TelemetrySnapshot {
     pub recovery_consistent: bool,
     /// Demand reads that took the §V-B2 recovery path.
     pub detected_reads: u64,
+    /// Live replica-directory entries per node (index = node id).
+    pub node_replica_entries: Vec<u64>,
+    /// Per-directed-edge inter-node link occupancy.
+    pub edge_occupancy: Vec<EdgeOccupancy>,
+}
+
+/// Occupancy of one directed inter-node link edge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeOccupancy {
+    /// Source node id.
+    pub from: usize,
+    /// Destination node id.
+    pub to: usize,
+    /// Messages granted onto the edge.
+    pub messages: u64,
+    /// Cycles the edge spent busy serving transfers.
+    pub busy_cycles: u64,
 }
 
 /// Shared between sessions, the epoch runner, and HTTP scrapes.
@@ -111,6 +128,31 @@ impl Telemetry {
         counter("cycles", snap.cycles);
         counter("degraded_transitions", snap.degraded_transitions);
         counter("recovery_detected_reads", snap.detected_reads);
+
+        if !snap.node_replica_entries.is_empty() {
+            out.push_str("# TYPE dve_node_replica_entries gauge\n");
+            for (node, v) in snap.node_replica_entries.iter().enumerate() {
+                out.push_str(&format!(
+                    "dve_node_replica_entries{{node=\"{node}\"}} {v}\n"
+                ));
+            }
+        }
+        if !snap.edge_occupancy.is_empty() {
+            out.push_str("# TYPE dve_link_messages counter\n");
+            for e in &snap.edge_occupancy {
+                out.push_str(&format!(
+                    "dve_link_messages{{from=\"{}\",to=\"{}\"}} {}\n",
+                    e.from, e.to, e.messages
+                ));
+            }
+            out.push_str("# TYPE dve_link_busy_cycles counter\n");
+            for e in &snap.edge_occupancy {
+                out.push_str(&format!(
+                    "dve_link_busy_cycles{{from=\"{}\",to=\"{}\"}} {}\n",
+                    e.from, e.to, e.busy_cycles
+                ));
+            }
+        }
 
         out.push_str("# TYPE dve_latency_cycles summary\n");
         let mut quantiles = |label: &str, (p50, p99, p999): (u64, u64, u64), sum: u128, n: u64| {

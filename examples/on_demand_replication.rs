@@ -9,7 +9,7 @@
 
 use dve_osmem::allocator::ReplicaAllocator;
 use dve_osmem::policy::{Decision, ReplicationPolicy};
-use dve_osmem::rmt::{ReplicaMapTable, RmtCache, RmtOrganization};
+use dve_osmem::rmt::{ReplicaLoc, ReplicaMapTable, RmtCache, RmtOrganization};
 
 fn main() {
     // A 2-socket box with 512 pages per socket (scaled down), and the
@@ -37,7 +37,13 @@ fn main() {
     for _ in 0..200 {
         match alloc.allocate_pair() {
             Ok(pair) => {
-                rmt.map(pair.primary, pair.replica);
+                rmt.map(
+                    pair.primary,
+                    ReplicaLoc {
+                        node: pair.replica_socket,
+                        frame: pair.replica,
+                    },
+                );
                 live.push(pair);
             }
             Err(e) => {
@@ -58,7 +64,7 @@ fn main() {
     let mut walk_accesses = 0;
     for pair in live.iter().take(100) {
         let (replica, cost) = rmt_cache.translate(pair.primary, &rmt);
-        assert_eq!(replica, Some(pair.replica));
+        assert_eq!(replica.map(|l| l.frame), Some(pair.replica));
         walk_accesses += cost;
     }
     for pair in live.iter().skip(68).take(32) {
