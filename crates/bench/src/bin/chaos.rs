@@ -6,13 +6,13 @@
 //! cargo run -p dve-bench --bin chaos --release -- smoke   # CI gate
 //! ```
 //!
-//! Three phases, all gating the exit code:
+//! Five phases, all gating the exit code:
 //!
 //! 1. **Golden gate** — an *armed but inert* chaos layer (empty
-//!    schedule, no outages, no scrub) must reproduce the pinned
-//!    cycle-exact goldens bit-identically at two seeds × three
-//!    schemes. Detection is timing-neutral by construction; this
-//!    proves it.
+//!    schedule, no outages, no scrub, every correlated source armed
+//!    at its inert setting) must reproduce the pinned cycle-exact
+//!    goldens bit-identically at two seeds × three schemes. Detection
+//!    is timing-neutral by construction; this proves it.
 //! 2. **Directed transitions** — seeded schedules drive the full
 //!    `Clean → CorrectedTransient → CorrectedDegraded → MachineCheck`
 //!    ladder in-run: a transient fault is repaired in place, a hard
@@ -26,16 +26,37 @@
 //!    invariants hold, the latency breakdown conserves end-to-end
 //!    (zero warm-up runs pin it to the engine's per-class sums), and
 //!    the run reproduces bit-for-bit when repeated.
+//! 4. **Hammer severity ladder** — the workload-coupled row-hammer
+//!    source alone, at escalating aggression, must walk
+//!    `Clean → Corrected → Degraded → MachineCheck` monotonically:
+//!    inert never plants, a transient source repairs in place, a hard
+//!    source degrades the hammered copy, and a dual-copy source
+//!    machine-checks — all without wedging the run.
+//! 5. **Per-tenant SLO** — the standard gold/silver/bronze mix under
+//!    deliberate admission overload and a degraded (faulty) system:
+//!    priority shedding must land on bronze while gold sheds nothing
+//!    and holds its p99 inside the contracted budget, with per-tenant
+//!    counters conserving against the batcher and reproducing
+//!    bit-for-bit on replay.
 //!
-//! The measured fault-rate × scheme latency table is written to
-//! `results/chaos_report.txt` (the EXPERIMENTS.md chaos section).
+//! The measured tables (fault-rate × scheme latency, hammer ladder,
+//! per-tenant SLO) are written to `results/chaos_report.txt` (the
+//! EXPERIMENTS.md chaos sections).
 
-use dve::chaos::{ChaosConfig, ChaosParams, FaultAction, FaultEvent, FaultSchedule, FaultSite};
+use dve::chaos::{
+    ChaosConfig, ChaosParams, CorrelatedConfig, FaultAction, FaultEvent, FaultSchedule, FaultSite,
+    HammerParams, RecoveryLedger,
+};
 use dve::config::{Scheme, SystemConfig};
-use dve::system::{RunResult, System};
+use dve::system::{ClientOp, RunResult, System};
 use dve_dram::controller::EccProfile;
+use dve_service::{EpochBatcher, SubmitOutcome, SubmittedOp};
 use dve_sim::latency::Component;
-use dve_workloads::{catalog, WorkloadProfile};
+use dve_sim::rng::SplitMix64;
+use dve_sim::stats::LogHistogram;
+use dve_workloads::op::MemReq;
+use dve_workloads::tenant::TenantMix;
+use dve_workloads::{catalog, TraceGenerator, WorkloadProfile};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -81,7 +102,10 @@ fn golden_gate(gate: &mut Gate, p: &WorkloadProfile) {
         cfg.ops_per_thread = 500;
         cfg.warmup_per_thread = 50;
         let plain = System::new(cfg.clone(), p, seed).run();
-        cfg.chaos = Some(ChaosConfig::inert());
+        cfg.chaos = Some(ChaosConfig {
+            correlated: Some(CorrelatedConfig::inert(seed ^ 0xD0E)),
+            ..ChaosConfig::inert()
+        });
         let armed = System::new(cfg, p, seed).run();
         gate.check(
             plain.cycles == golden,
@@ -354,6 +378,345 @@ fn randomized_matrix(gate: &mut Gate, p: &WorkloadProfile, smoke: bool) -> Strin
     table
 }
 
+/// Severity rung a run's ledger lands on: the worst outcome observed.
+fn severity(l: &RecoveryLedger) -> usize {
+    if l.machine_checks > 0 {
+        3
+    } else if l.degraded > 0 {
+        2
+    } else if l.repaired > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// Phase 4: the row-hammer source alone, at escalating aggression,
+/// walks the severity ladder monotonically.
+fn hammer_ladder(gate: &mut Gate, p: &WorkloadProfile) -> String {
+    println!("-- hammer severity ladder (dve-deny + TSD detect-only ECC) --");
+    // Tuned to the measured regime: backprop at 500 ops/thread peaks
+    // around 12–25 activations on its hottest row, so threshold 10
+    // trips the monitor while `u64::MAX` never does.
+    let rungs: &[(&str, HammerParams)] = &[
+        ("clean", HammerParams::inert()),
+        (
+            "corrected",
+            HammerParams {
+                threshold: 10,
+                transient: true,
+                both_copies: false,
+                poll_interval: 5_000,
+            },
+        ),
+        (
+            "degraded",
+            HammerParams {
+                threshold: 10,
+                transient: false,
+                both_copies: false,
+                poll_interval: 5_000,
+            },
+        ),
+        (
+            "machine-check",
+            HammerParams {
+                threshold: 10,
+                transient: false,
+                both_copies: true,
+                poll_interval: 5_000,
+            },
+        ),
+    ];
+    let mut table =
+        String::from("rung          threshold plants repaired degraded mce cycles   rec_frac\n");
+    for (rung, (name, hammer)) in rungs.iter().enumerate() {
+        let mut cfg = SystemConfig::table_ii(Scheme::DveDeny);
+        cfg.ops_per_thread = 500;
+        cfg.warmup_per_thread = 0;
+        cfg.ecc = EccProfile::tsd();
+        cfg.chaos = Some(ChaosConfig {
+            correlated: Some(CorrelatedConfig {
+                seed: 0xBADD,
+                hammer: Some(*hammer),
+                thermal: None,
+                aging: None,
+            }),
+            ..ChaosConfig::inert()
+        });
+        let r = System::new(cfg, p, 42).run();
+        let l = &r.recovery;
+        writeln!(
+            table,
+            "{:<13} {:<9} {:<6} {:<8} {:<8} {:<3} {:<8} {:.4}",
+            name,
+            if hammer.threshold == u64::MAX {
+                "off".to_string()
+            } else {
+                hammer.threshold.to_string()
+            },
+            l.hammer_plants,
+            l.repaired,
+            l.degraded,
+            l.machine_checks,
+            r.cycles,
+            r.latency.fraction(Component::Recovery),
+        )
+        .expect("write ladder row");
+        gate.check(
+            r.mem_ops == 500 * 16 && l.consistent() && conserves(&r),
+            format!("hammer {name}: run completes, ledger consistent, breakdown conserves"),
+        );
+        gate.check(
+            (l.hammer_plants > 0) == (rung > 0),
+            format!(
+                "hammer {name}: source {} ({} plants)",
+                if rung > 0 { "fires" } else { "stays silent" },
+                l.hammer_plants
+            ),
+        );
+        gate.check(
+            severity(l) == rung,
+            format!(
+                "hammer {name}: lands on severity rung {rung} \
+                 (repaired={} degraded={} mce={})",
+                l.repaired, l.degraded, l.machine_checks
+            ),
+        );
+    }
+    table
+}
+
+/// Phase 5: the standard tenant mix under admission overload on a
+/// degraded (hammered + scheduled-fault) system. Drives the real
+/// [`EpochBatcher`] and [`System::run_batch`] epoch loop inline —
+/// threadless, so the whole scenario is deterministic and replayable.
+fn tenant_slo_report(gate: &mut Gate, p: &WorkloadProfile) -> String {
+    println!("-- per-tenant SLO: overload + degraded chaos, priority shedding --");
+    const QUEUE_CAP: usize = 64;
+    const BURSTS: usize = 40;
+    const BURST_OPS: usize = 150;
+    let mix = TenantMix::standard();
+    let n = mix.tenants().len();
+
+    // Per-tenant counters from one full scenario run.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct TenantRow {
+        completed: u64,
+        shed: u64,
+        machine_checks: u64,
+        detected_reads: u64,
+        recovery_cycles: u64,
+        tail: (u64, u64, u64),
+    }
+    struct Outcome {
+        rows: Vec<TenantRow>,
+        ledger: RecoveryLedger,
+        accounted: bool,
+        admitted: u64,
+        shed_total: u64,
+    }
+
+    let scenario = |mix: &TenantMix| -> Outcome {
+        let mut cfg = SystemConfig::table_ii(Scheme::DveDeny);
+        cfg.mshrs = 4;
+        cfg.ecc = EccProfile::tsd();
+        let span = TraceGenerator::new(p, cfg.engine.cores, 42).span_lines();
+        // Degraded scenario: an unhealed hard controller fault takes
+        // one copy set out of service for the whole run, and a
+        // hard-flipping hammer source rides the tenants' own (hot)
+        // access stream on top.
+        cfg.chaos = Some(ChaosConfig {
+            schedule: FaultSchedule::new(vec![FaultEvent {
+                at: 2_000,
+                socket: 0,
+                channel: 0,
+                action: FaultAction::Plant {
+                    site: FaultSite::Controller,
+                    transient: false,
+                },
+            }]),
+            correlated: Some(CorrelatedConfig {
+                seed: 0x510,
+                hammer: Some(HammerParams {
+                    threshold: 12,
+                    transient: false,
+                    both_copies: false,
+                    poll_interval: 5_000,
+                }),
+                thermal: None,
+                aging: None,
+            }),
+            ..ChaosConfig::inert()
+        });
+        let cores = cfg.engine.cores as u64;
+        let mut system = System::new(cfg, p, 42);
+
+        let mut batcher = EpochBatcher::new(QUEUE_CAP, QUEUE_CAP);
+        let mut rows = vec![
+            TenantRow {
+                completed: 0,
+                shed: 0,
+                machine_checks: 0,
+                detected_reads: 0,
+                recovery_cycles: 0,
+                tail: (0, 0, 0),
+            };
+            n
+        ];
+        let mut lat: Vec<LogHistogram> = (0..n).map(|_| LogHistogram::new()).collect();
+        let mut rng = SplitMix64::new(0x51_0517);
+        let mut seq = 0u64;
+
+        let run_epoch = |batcher: &mut EpochBatcher,
+                         system: &mut System,
+                         rows: &mut Vec<TenantRow>,
+                         lat: &mut Vec<LogHistogram>| {
+            let epoch = batcher.take_epoch();
+            let ops: Vec<ClientOp> = epoch
+                .iter()
+                .map(|op| ClientOp {
+                    core: (op.client % cores) as usize,
+                    line: mix.fold_line(mix.tenant_of_client(op.client), op.line, span),
+                    req: op.req,
+                })
+                .collect();
+            for (op, out) in epoch.iter().zip(system.run_batch(&ops)) {
+                let t = mix.tenant_of_client(op.client);
+                rows[t].completed += 1;
+                rows[t].machine_checks += out.machine_checks;
+                rows[t].detected_reads += out.detected_reads;
+                rows[t].recovery_cycles += out.breakdown.recovery;
+                lat[t].record(out.complete_at - out.issued_at);
+            }
+        };
+
+        // Most bursts more than double the admission queue, so the
+        // batcher must shed; gold's share of a burst (BURST_OPS / n)
+        // stays under QUEUE_CAP, so with priority eviction doing its
+        // job gold never sheds. Every fourth burst fits the queue, so
+        // even bronze completes work and reports a real latency tail.
+        for b in 0..BURSTS {
+            let burst = if b % 4 == 3 { QUEUE_CAP / 2 } else { BURST_OPS };
+            for i in 0..burst {
+                let client = (i % 12) as u64;
+                let op = SubmittedOp {
+                    client,
+                    seq,
+                    // A deliberately hot range: each tenant's folded
+                    // stripe concentrates on a handful of DRAM rows, so
+                    // the workload-coupled hammer source actually trips.
+                    line: rng.next_below(256),
+                    req: if rng.chance(0.75) {
+                        MemReq::Read
+                    } else {
+                        MemReq::Write
+                    },
+                    priority: mix.priority_of(mix.tenant_of_client(client)),
+                };
+                seq += 1;
+                match batcher.submit(op) {
+                    SubmitOutcome::Admitted => {}
+                    SubmitOutcome::Shed => {
+                        rows[mix.tenant_of_client(op.client)].shed += 1;
+                    }
+                    SubmitOutcome::AdmittedEvicting(victim) => {
+                        rows[mix.tenant_of_client(victim.client)].shed += 1;
+                    }
+                }
+            }
+            run_epoch(&mut batcher, &mut system, &mut rows, &mut lat);
+        }
+        while batcher.pending_len() > 0 {
+            run_epoch(&mut batcher, &mut system, &mut rows, &mut lat);
+        }
+        for (row, h) in rows.iter_mut().zip(&lat) {
+            row.tail = h.tail();
+        }
+        Outcome {
+            rows,
+            ledger: system.recovery_ledger(),
+            accounted: batcher.accounted(),
+            admitted: batcher.admitted(),
+            shed_total: batcher.shed(),
+        }
+    };
+
+    let out = scenario(&mix);
+    let mut table = String::from(
+        "tenant  prio p99_budget completed shed p50  p99   p999  slo_ok mce detected rec_cycles\n",
+    );
+    for (t, row) in out.rows.iter().enumerate() {
+        let prof = &mix.tenants()[t];
+        let (p50, p99, p999) = row.tail;
+        writeln!(
+            table,
+            "{:<7} {:<4} {:<10} {:<9} {:<4} {:<4} {:<5} {:<5} {:<6} {:<3} {:<8} {}",
+            prof.name,
+            prof.priority,
+            prof.slo_p99_cycles,
+            row.completed,
+            row.shed,
+            p50,
+            p99,
+            p999,
+            p99 <= prof.slo_p99_cycles,
+            row.machine_checks,
+            row.detected_reads,
+            row.recovery_cycles,
+        )
+        .expect("write tenant row");
+    }
+    let gold = &out.rows[0];
+    let bronze = &out.rows[n - 1];
+    gate.check(
+        out.ledger.faults_planted > 0 && out.ledger.detected_reads > 0,
+        format!(
+            "scenario is degraded (planted={}, detected={})",
+            out.ledger.faults_planted, out.ledger.detected_reads
+        ),
+    );
+    gate.check(
+        out.ledger.consistent(),
+        format!("recovery ledger consistent: {:?}", out.ledger),
+    );
+    gate.check(
+        out.accounted && out.rows.iter().map(|r| r.shed).sum::<u64>() == out.shed_total,
+        "per-tenant sheds sum to the batcher's exact shed count",
+    );
+    gate.check(
+        out.rows.iter().map(|r| r.detected_reads).sum::<u64>() > 0
+            && out.rows.iter().map(|r| r.detected_reads).sum::<u64>() <= out.ledger.detected_reads,
+        "fault exposure attributes to tenants without over-counting",
+    );
+    gate.check(
+        out.rows.iter().map(|r| r.completed).sum::<u64>() == out.admitted,
+        "every admitted op completes for exactly one tenant",
+    );
+    gate.check(
+        bronze.shed > 0,
+        format!("bronze absorbs the overload ({} sheds)", bronze.shed),
+    );
+    gate.check(
+        gold.shed == 0,
+        format!("gold sheds nothing under overload ({} sheds)", gold.shed),
+    );
+    gate.check(
+        gold.tail.1 <= mix.tenants()[0].slo_p99_cycles,
+        format!(
+            "gold holds p99 inside its SLO budget ({} <= {})",
+            gold.tail.1,
+            mix.tenants()[0].slo_p99_cycles
+        ),
+    );
+    let again = scenario(&mix);
+    gate.check(
+        again.rows == out.rows && again.ledger == out.ledger,
+        "per-tenant scenario is bit-identical on replay",
+    );
+    table
+}
+
 fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "smoke");
     let p = backprop();
@@ -363,12 +726,19 @@ fn main() -> ExitCode {
 
     golden_gate(&mut gate, &p);
     directed_transitions(&mut gate, &p);
-    let table = randomized_matrix(&mut gate, &p, smoke);
+    let matrix = randomized_matrix(&mut gate, &p, smoke);
+    let ladder = hammer_ladder(&mut gate, &p);
+    let tenants = tenant_slo_report(&mut gate, &p);
 
-    println!("-- fault-rate × scheme latency table --");
-    print!("{table}");
+    let report = format!(
+        "== fault-rate × scheme latency ==\n{matrix}\n\
+         == hammer severity ladder ==\n{ladder}\n\
+         == per-tenant SLO (gold/silver/bronze under overload + degraded chaos) ==\n{tenants}"
+    );
+    println!("-- measured tables --");
+    print!("{report}");
     std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/chaos_report.txt", &table).expect("write results/chaos_report.txt");
+    std::fs::write("results/chaos_report.txt", &report).expect("write results/chaos_report.txt");
     println!("wrote results/chaos_report.txt");
 
     if gate.failures.is_empty() {

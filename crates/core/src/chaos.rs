@@ -37,6 +37,11 @@ use dve_sim::rng::{derive_seed, SplitMix64};
 /// per subsystem; campaigns, benches and workloads use their own).
 pub const CHAOS_STREAM: u64 = 0xC4A0;
 
+/// RNG stream id for the *correlated* fault sources
+/// ([`CorrelatedConfig`]): thermal and aging draws hang off this stream
+/// so they never collide with the static schedule sharing the seed.
+pub const CORRELATED_STREAM: u64 = 0xC0E7;
+
 /// Where a fault lands, relative to one controller. The fabric
 /// materializes this into a [`FaultDomain`] using the controller's
 /// *global* channel index (`socket * channels_per_socket + channel`),
@@ -190,6 +195,31 @@ impl Default for ChaosParams {
     }
 }
 
+impl ChaosParams {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero horizon, a transient fraction outside `[0, 1]`,
+    /// a zero heal delay (a heal scheduled at the plant instant is a
+    /// no-op plant, never intended), or zero channel/line/node spans.
+    pub fn validate(&self) {
+        assert!(self.horizon > 0, "chaos horizon must be non-zero");
+        assert!(
+            (0.0..=1.0).contains(&self.transient_fraction),
+            "transient fraction out of [0, 1]: {}",
+            self.transient_fraction
+        );
+        assert!(
+            self.heal_after != Some(0),
+            "heal delay must be non-zero (use None for no heals)"
+        );
+        assert!(self.channels_per_socket > 0, "need at least one channel");
+        assert!(self.line_span > 0, "line span must be non-zero");
+        assert!(self.nodes > 0, "need at least one node");
+    }
+}
+
 impl FaultSchedule {
     /// An empty schedule (the zero-fault golden gate).
     pub fn empty() -> FaultSchedule {
@@ -212,7 +242,12 @@ impl FaultSchedule {
     /// Random sites are drawn from the localized classes (line, row,
     /// chip) — controller/channel wipes are for directed tests, not
     /// background chaos.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` fails [`ChaosParams::validate`].
     pub fn random(seed: u64, p: &ChaosParams) -> FaultSchedule {
+        p.validate();
         let mut events = Vec::with_capacity(p.faults * 2);
         for i in 0..p.faults {
             let mut rng = SplitMix64::new(derive_seed(seed, CHAOS_STREAM, i as u64));
@@ -296,9 +331,256 @@ impl Default for ScrubConfig {
     }
 }
 
+impl ScrubConfig {
+    /// Validates the patrol parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero (a zero-length patrol region, empty
+    /// slice, or zero interval silently degenerates the patrol).
+    pub fn validate(&self) {
+        assert!(self.region_bytes > 0, "scrub region must be non-zero");
+        assert!(self.lines_per_slice > 0, "scrub slice must be non-empty");
+        assert!(self.interval > 0, "scrub interval must be non-zero");
+    }
+}
+
 /// Outage windows scoped to single directed edges of the topology
 /// graph: `(from, to, windows)` tuples.
 pub type EdgeOutages = Vec<(usize, usize, Vec<(u64, u64)>)>;
+
+/// Validates one outage-window list: every window non-empty half-open
+/// `[start, end)`, sorted, non-overlapping.
+///
+/// # Panics
+///
+/// Panics with `what` in the message on the first violation.
+fn validate_windows(what: &str, windows: &[(u64, u64)]) {
+    for &(start, end) in windows {
+        assert!(start < end, "{what}: zero-length window [{start}, {end})");
+    }
+    for w in windows.windows(2) {
+        assert!(
+            w[0].1 <= w[1].0,
+            "{what}: windows [{}, {}) and [{}, {}) overlap or are unsorted",
+            w[0].0,
+            w[0].1,
+            w[1].0,
+            w[1].1
+        );
+    }
+}
+
+/// Which correlated source planted a fault — the key the
+/// [`RecoveryLedger`] per-source counters partition over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSourceKind {
+    /// Row-hammer pressure crossing the activation threshold.
+    Hammer,
+    /// Arrhenius-scaled thermal arrivals.
+    Thermal,
+    /// Wear-out arrivals ramping over simulated time.
+    Aging,
+}
+
+/// Row-hammer fault source: watches the controllers' own
+/// [`RowHammerMonitor`](dve_dram::rowhammer::RowHammerMonitor)s (fed by
+/// real demand activations) and plants bit-flips in the blast radius of
+/// any row whose in-window activation count crosses `threshold`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HammerParams {
+    /// Activation-count trip point (`rows_over(threshold)`); inert at
+    /// `u64::MAX`.
+    pub threshold: u64,
+    /// Whether the planted flips are transient (repair-clearable) or
+    /// hard (the copy degrades).
+    pub transient: bool,
+    /// Also plant the same rows on the survivor node — both copies bad
+    /// is the machine-check rung of the severity ladder.
+    pub both_copies: bool,
+    /// Cycles between monitor polls.
+    pub poll_interval: u64,
+}
+
+impl HammerParams {
+    /// Armed but inert: polls run, the threshold is never crossed.
+    pub fn inert() -> HammerParams {
+        HammerParams {
+            threshold: u64::MAX,
+            transient: true,
+            both_copies: false,
+            poll_interval: 5_000,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero poll interval or zero threshold (every row
+    /// would trip on its first activation — use a directed schedule for
+    /// that).
+    pub fn validate(&self) {
+        assert!(
+            self.poll_interval > 0,
+            "hammer poll interval must be non-zero"
+        );
+        assert!(self.threshold > 0, "hammer threshold must be non-zero");
+    }
+}
+
+/// Thermal fault source: per-rank Bernoulli arrivals whose rates are
+/// Arrhenius-scaled from the live
+/// [`ThermalProfile`](dve_dram::thermal::ThermalProfile) — hotter ranks
+/// fail proportionally more often, referenced to the coolest rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalParams {
+    /// Per-poll-interval fault probability at the *coolest* rank; every
+    /// other rank scales it up by its Arrhenius risk factor. Inert at
+    /// `0.0`.
+    pub base_rate: f64,
+    /// Arrhenius activation energy in eV (typical DRAM wear-out is
+    /// 0.5–1.1 eV).
+    pub ea_ev: f64,
+    /// Fraction of thermal plants that are transient.
+    pub transient_fraction: f64,
+    /// Cycles between arrival draws.
+    pub poll_interval: u64,
+}
+
+impl ThermalParams {
+    /// Armed but inert: draws run, the rate is zero.
+    pub fn inert() -> ThermalParams {
+        ThermalParams {
+            base_rate: 0.0,
+            ea_ev: 0.6,
+            transient_fraction: 0.5,
+            poll_interval: 10_000,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a base rate or transient fraction outside `[0, 1]`, a
+    /// negative activation energy, or a zero poll interval.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.base_rate),
+            "thermal base rate out of [0, 1]: {}",
+            self.base_rate
+        );
+        assert!(self.ea_ev >= 0.0, "activation energy must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&self.transient_fraction),
+            "thermal transient fraction out of [0, 1]: {}",
+            self.transient_fraction
+        );
+        assert!(
+            self.poll_interval > 0,
+            "thermal poll interval must be non-zero"
+        );
+    }
+}
+
+/// Aging fault source: hard line faults whose per-interval arrival
+/// probability ramps linearly with simulated time (FIT grows as the
+/// device wears out).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgingParams {
+    /// Per-poll-interval plant probability at `t = 0`. Inert at `0.0`
+    /// with a zero ramp.
+    pub base_rate: f64,
+    /// Probability added per million simulated cycles of age.
+    pub ramp_per_mcycle: f64,
+    /// Line faults are drawn from `[0, line_span)` global lines.
+    pub line_span: u64,
+    /// Cycles between arrival draws.
+    pub poll_interval: u64,
+}
+
+impl AgingParams {
+    /// Armed but inert: draws run, the rate stays zero forever.
+    pub fn inert() -> AgingParams {
+        AgingParams {
+            base_rate: 0.0,
+            ramp_per_mcycle: 0.0,
+            line_span: 1 << 14,
+            poll_interval: 10_000,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a base rate outside `[0, 1]`, a negative or
+    /// non-finite ramp, or zero line span / poll interval.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.base_rate),
+            "aging base rate out of [0, 1]: {}",
+            self.base_rate
+        );
+        assert!(
+            self.ramp_per_mcycle.is_finite() && self.ramp_per_mcycle >= 0.0,
+            "aging ramp must be finite and non-negative"
+        );
+        assert!(self.line_span > 0, "aging line span must be non-zero");
+        assert!(
+            self.poll_interval > 0,
+            "aging poll interval must be non-zero"
+        );
+    }
+}
+
+/// The correlated-source arm of the chaos envelope: which workload- and
+/// environment-coupled fault sources run alongside the static schedule,
+/// and the seed their stochastic draws derive from (via
+/// [`CORRELATED_STREAM`], so they never alias the schedule's stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatedConfig {
+    /// Master seed for the sources' own RNG streams.
+    pub seed: u64,
+    /// Row-hammer source, if armed.
+    pub hammer: Option<HammerParams>,
+    /// Thermal source, if armed.
+    pub thermal: Option<ThermalParams>,
+    /// Aging source, if armed.
+    pub aging: Option<AgingParams>,
+}
+
+impl CorrelatedConfig {
+    /// All three sources armed but inert — the golden-preservation
+    /// configuration: polls and draws run on the sim-time grid yet no
+    /// fault is ever planted, so pinned cycle counts must reproduce.
+    pub fn inert(seed: u64) -> CorrelatedConfig {
+        CorrelatedConfig {
+            seed,
+            hammer: Some(HammerParams::inert()),
+            thermal: Some(ThermalParams::inert()),
+            aging: Some(AgingParams::inert()),
+        }
+    }
+
+    /// Validates every armed source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any armed source fails its own validation.
+    pub fn validate(&self) {
+        if let Some(h) = &self.hammer {
+            h.validate();
+        }
+        if let Some(t) = &self.thermal {
+            t.validate();
+        }
+        if let Some(a) = &self.aging {
+            a.validate();
+        }
+    }
+}
 
 /// The full chaos envelope for one run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -322,6 +604,8 @@ pub struct ChaosConfig {
     pub max_retries: u32,
     /// Paced patrol scrub, if enabled.
     pub scrub: Option<ScrubConfig>,
+    /// Correlated fault sources (hammer / thermal / aging), if armed.
+    pub correlated: Option<CorrelatedConfig>,
 }
 
 impl ChaosConfig {
@@ -336,6 +620,7 @@ impl ChaosConfig {
             retry_base: 64,
             max_retries: 6,
             scrub: None,
+            correlated: None,
         }
     }
 
@@ -345,6 +630,27 @@ impl ChaosConfig {
         ChaosConfig {
             schedule: FaultSchedule::random(seed, params),
             ..ChaosConfig::inert()
+        }
+    }
+
+    /// Validates the whole envelope: outage windows (link and per-edge)
+    /// must be non-empty, sorted and non-overlapping; scrub and every
+    /// armed correlated source must pass their own validation. The
+    /// system runner calls this when chaos is armed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violation.
+    pub fn validate(&self) {
+        validate_windows("link outages", &self.link_outages);
+        for (from, to, windows) in &self.edge_outages {
+            validate_windows(&format!("edge ({from} -> {to}) outages"), windows);
+        }
+        if let Some(s) = &self.scrub {
+            s.validate();
+        }
+        if let Some(c) = &self.correlated {
+            c.validate();
         }
     }
 }
@@ -393,6 +699,15 @@ pub struct RecoveryLedger {
     pub faults_planted: u64,
     /// Fault domains actually healed (spurious heals not counted).
     pub faults_healed: u64,
+    /// Plants attributed to the row-hammer source (subset of
+    /// `faults_planted`).
+    pub hammer_plants: u64,
+    /// Plants attributed to the thermal source (subset of
+    /// `faults_planted`).
+    pub thermal_plants: u64,
+    /// Plants attributed to the aging source (subset of
+    /// `faults_planted`).
+    pub aging_plants: u64,
 }
 
 impl RecoveryLedger {
@@ -406,12 +721,16 @@ impl RecoveryLedger {
     ///   `repaired + degraded == corrected` (which implies the paper's
     ///   weaker `degraded <= corrected`);
     /// * the scrub report partition holds:
-    ///   `scrub_escalations <= scrub_detected <= scrub_lines`.
+    ///   `scrub_escalations <= scrub_detected <= scrub_lines`;
+    /// * source-attributed plants partition into the planted total:
+    ///   `hammer_plants + thermal_plants + aging_plants <=
+    ///   faults_planted` (the remainder came from the static schedule).
     pub fn consistent(&self) -> bool {
         self.clean_redirects + self.corrected + self.machine_checks == self.detected_reads
             && self.repaired + self.degraded == self.corrected
             && self.scrub_escalations <= self.scrub_detected
             && self.scrub_detected <= self.scrub_lines
+            && self.hammer_plants + self.thermal_plants + self.aging_plants <= self.faults_planted
     }
 
     /// Whether any recovery activity happened at all (zero-fault runs
@@ -540,5 +859,139 @@ mod tests {
         assert!(c.schedule.is_empty());
         assert!(c.link_outages.is_empty());
         assert!(c.scrub.is_none());
+        assert!(c.correlated.is_none());
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be non-zero")]
+    fn zero_horizon_rejected() {
+        FaultSchedule::random(
+            1,
+            &ChaosParams {
+                horizon: 0,
+                ..ChaosParams::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "transient fraction out of [0, 1]")]
+    fn out_of_range_transient_fraction_rejected() {
+        ChaosParams {
+            transient_fraction: 1.5,
+            ..ChaosParams::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "heal delay must be non-zero")]
+    fn zero_heal_delay_rejected() {
+        ChaosParams {
+            heal_after: Some(0),
+            ..ChaosParams::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "line span must be non-zero")]
+    fn zero_line_span_rejected() {
+        ChaosParams {
+            line_span: 0,
+            ..ChaosParams::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length window")]
+    fn zero_length_outage_window_rejected() {
+        ChaosConfig {
+            link_outages: vec![(500, 500)],
+            ..ChaosConfig::inert()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap or are unsorted")]
+    fn overlapping_edge_outages_rejected() {
+        ChaosConfig {
+            edge_outages: vec![(0, 1, vec![(100, 300), (200, 400)])],
+            ..ChaosConfig::inert()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "scrub interval must be non-zero")]
+    fn zero_scrub_interval_rejected() {
+        ChaosConfig {
+            scrub: Some(ScrubConfig {
+                interval: 0,
+                ..ScrubConfig::default()
+            }),
+            ..ChaosConfig::inert()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "thermal base rate out of [0, 1]")]
+    fn thermal_rate_above_one_rejected() {
+        ThermalParams {
+            base_rate: 1.2,
+            ..ThermalParams::inert()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "aging base rate out of [0, 1]")]
+    fn negative_aging_rate_rejected() {
+        AgingParams {
+            base_rate: -0.1,
+            ..AgingParams::inert()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hammer poll interval must be non-zero")]
+    fn zero_hammer_poll_rejected() {
+        HammerParams {
+            poll_interval: 0,
+            ..HammerParams::inert()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn inert_correlated_sources_validate_and_compare() {
+        let a = CorrelatedConfig::inert(42);
+        let b = CorrelatedConfig::inert(42);
+        assert_eq!(a, b);
+        a.validate();
+        ChaosConfig {
+            correlated: Some(a),
+            ..ChaosConfig::inert()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn per_source_plants_bound_by_total() {
+        let mut l = RecoveryLedger {
+            faults_planted: 5,
+            hammer_plants: 2,
+            thermal_plants: 2,
+            aging_plants: 1,
+            ..RecoveryLedger::default()
+        };
+        assert!(l.consistent());
+        l.aging_plants = 2; // attributed > planted
+        assert!(!l.consistent());
     }
 }

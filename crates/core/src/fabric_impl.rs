@@ -48,7 +48,7 @@
 //!
 //! [`transfer_resilient`]: LinkTable::transfer_resilient
 
-use crate::chaos::{FaultAction, FaultEvent, RecoveryLedger};
+use crate::chaos::{FaultAction, FaultEvent, FaultSourceKind, RecoveryLedger};
 use crate::config::SystemConfig;
 use dve_coherence::engine::Mode;
 use dve_coherence::fabric::Fabric;
@@ -439,6 +439,14 @@ impl SystemFabric {
     /// [`FaultState`](dve_dram::fault::FaultState) edge contract:
     /// double-plants and spurious heals are not counted.
     pub fn apply_fault_event(&mut self, ev: &FaultEvent) {
+        self.apply_sourced_event(ev, None);
+    }
+
+    /// [`apply_fault_event`](SystemFabric::apply_fault_event), with the
+    /// plant attributed to a correlated [`FaultSourceKind`] bucket of
+    /// the ledger. Attribution follows the same edge contract: a
+    /// double-plant that does not land is not counted anywhere.
+    pub fn apply_sourced_event(&mut self, ev: &FaultEvent, source: Option<FaultSourceKind>) {
         let socket = ev.socket.min(self.ctrls.len() - 1);
         let channel = ev.channel % self.ctrls[socket].len();
         let gch = self.ctrls[socket][channel].channel();
@@ -447,6 +455,12 @@ impl SystemFabric {
                 let d = site.domain(gch);
                 if self.ctrls[socket][channel].faults_mut().fail(d) {
                     self.ledger.faults_planted += 1;
+                    match source {
+                        Some(FaultSourceKind::Hammer) => self.ledger.hammer_plants += 1,
+                        Some(FaultSourceKind::Thermal) => self.ledger.thermal_plants += 1,
+                        Some(FaultSourceKind::Aging) => self.ledger.aging_plants += 1,
+                        None => {}
+                    }
                     if transient {
                         self.transients[socket][channel].insert(d);
                     }

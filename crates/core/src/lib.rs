@@ -25,6 +25,9 @@
 //! * [`chaos`] — in-band fault injection: deterministic fault
 //!   schedules, link outages, paced patrol scrub, and the recovery
 //!   ledger checked by the `chaos` harness.
+//! * [`fault_source`] — correlated, workload-coupled fault sources
+//!   (row-hammer pressure, Arrhenius-scaled thermal arrivals, aging
+//!   ramps) the runner polls in-band alongside the static schedule.
 //! * [`metrics`] — the paper's aggregates (geomean over top-10/15/all).
 //! * [`pdes`] — the parallel trace supply: worker threads pre-generate
 //!   per-core operation streams through bounded channels, bit-identical
@@ -49,14 +52,18 @@ pub mod builder;
 pub mod chaos;
 pub mod config;
 pub mod fabric_impl;
+pub mod fault_source;
 pub mod metrics;
 pub mod pdes;
 pub mod recovery;
 pub mod system;
 
 pub use builder::SystemBuilder;
-pub use chaos::{ChaosConfig, ChaosParams, FaultSchedule, RecoveryLedger};
+pub use chaos::{
+    ChaosConfig, ChaosParams, CorrelatedConfig, FaultSchedule, FaultSourceKind, RecoveryLedger,
+};
 pub use config::{Scheme, SystemConfig, TopologySpec};
+pub use fault_source::FaultSource;
 pub use pdes::{ShardedSupply, TraceSupply};
 pub use recovery::{RecoverableMemory, RecoveryEvent, RecoveryOutcome};
 pub use system::{RunResult, System};

@@ -14,9 +14,10 @@
 //! allow and deny state machines back-to-back and applies the winner
 //! for the rest of the epoch (§V-C5).
 
-use crate::chaos::{FaultEvent, RecoveryLedger, ScrubConfig};
+use crate::chaos::{FaultEvent, FaultSourceKind, RecoveryLedger, ScrubConfig};
 use crate::config::{Scheme, SystemConfig};
 use crate::fabric_impl::SystemFabric;
+use crate::fault_source::{build_sources, FaultSource};
 use crate::pdes::TraceSupply;
 use dve_coherence::engine::{EngineStats, ProtocolEngine};
 use dve_coherence::replica_dir::ReplicaPolicy;
@@ -131,6 +132,14 @@ pub struct OpCompletion {
     /// Per-layer attribution; its components sum to
     /// `complete_at - issued_at` (conservation by construction).
     pub breakdown: LatencyBreakdown,
+    /// Recovery-path entries this op's accesses caused (detected
+    /// errors or redirects of degraded copies) — the delta of the
+    /// ledger's `detected_reads` across this op. Scrub-driven
+    /// detections between ops are deliberately not attributed.
+    pub detected_reads: u64,
+    /// Machine-check exceptions this op's accesses raised (every copy
+    /// failed) — the per-tenant exposure metric.
+    pub machine_checks: u64,
 }
 
 /// Snapshot of the cumulative counters at [`System::begin_region`],
@@ -172,6 +181,11 @@ pub struct System {
     /// event not yet applied.
     chaos_events: Vec<FaultEvent>,
     chaos_cursor: usize,
+    /// Correlated fault sources ([`ChaosConfig::correlated`]), polled
+    /// in-band on their own sim-time grids.
+    ///
+    /// [`ChaosConfig::correlated`]: crate::chaos::ChaosConfig::correlated
+    sources: Vec<Box<dyn FaultSource>>,
     /// Pending paced scrub slices: `(socket, channel)` scheduled on the
     /// simulation's event queue, rescheduled `interval` cycles after
     /// each slice finishes (the patrol never overlaps itself).
@@ -205,7 +219,9 @@ impl System {
         let mut chaos_events = Vec::new();
         let mut scrub_cfg = None;
         let mut scrub_queue = EventQueue::new();
+        let mut sources: Vec<Box<dyn FaultSource>> = Vec::new();
         if let Some(chaos) = &cfg.chaos {
+            chaos.validate();
             chaos_events = chaos.schedule.events().to_vec();
             scrub_cfg = chaos.scrub;
             if let Some(scrub) = &chaos.scrub {
@@ -214,6 +230,9 @@ impl System {
                         scrub_queue.push(scrub.interval, (s, ch));
                     }
                 }
+            }
+            if let Some(correlated) = &chaos.correlated {
+                sources = build_sources(correlated, &fabric);
             }
         }
         System {
@@ -227,6 +246,7 @@ impl System {
             chaos_active,
             chaos_events,
             chaos_cursor: 0,
+            sources,
             scrub_queue,
             scrub_cfg,
             outage_degraded: false,
@@ -312,6 +332,22 @@ impl System {
             let ev = self.chaos_events[self.chaos_cursor];
             self.fabric.apply_fault_event(&ev);
             self.chaos_cursor += 1;
+        }
+        // Correlated sources: poll each one that is due on its grid
+        // (observation only — an armed-but-inert source never perturbs
+        // timed state), then apply what they emitted, attributed per
+        // source in the ledger.
+        if !self.sources.is_empty() {
+            let mut emitted: Vec<(FaultSourceKind, FaultEvent)> = Vec::new();
+            for src in &mut self.sources {
+                if src.next_poll() <= now {
+                    let kind = src.kind();
+                    emitted.extend(src.poll(now, &self.fabric).into_iter().map(|e| (kind, e)));
+                }
+            }
+            for (kind, ev) in &emitted {
+                self.fabric.apply_sourced_event(ev, Some(*kind));
+            }
         }
         // Due scrub slices: each runs through the controllers' timed
         // path (contending with demand traffic) and reschedules itself
@@ -519,13 +555,21 @@ impl System {
                 MemReq::Read => ReqType::Read,
                 MemReq::Write => ReqType::Write,
             };
+            // Snapshot the recovery counters after chaos advanced but
+            // before this access: the delta across the access is this
+            // op's own recovery exposure (scrub activity between ops
+            // stays unattributed by construction).
+            let before = self.fabric.ledger();
             let outcome = self.engine.access(core, op.line, r, now, &mut self.fabric);
+            let after = self.fabric.ledger();
             self.lat_hists.record(&outcome.breakdown);
             let done = outcome.complete_at;
             completions[idx] = Some(OpCompletion {
                 issued_at: now,
                 complete_at: done,
                 breakdown: outcome.breakdown,
+                detected_reads: after.detected_reads - before.detected_reads,
+                machine_checks: after.machine_checks - before.machine_checks,
             });
             // Same MSHR semantics as the trace runner: the miss holds a
             // way from issue to completion and the core never runs past

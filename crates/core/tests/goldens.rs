@@ -12,9 +12,11 @@
 //! just the code: either fix the regression or re-derive the goldens
 //! and document why in DESIGN.md §10.
 
+use dve::chaos::{AgingParams, ChaosConfig, CorrelatedConfig, HammerParams, ThermalParams};
 use dve::config::{Scheme, SystemConfig, TopologySpec};
 use dve::system::{run_workload, System};
 use dve_workloads::catalog;
+use proptest::prelude::*;
 
 /// (seed, scheme, cycles) for backprop at 500 measured ops/thread
 /// (warm-up 50, 8000 measured memory ops total).
@@ -88,6 +90,87 @@ fn topology_goldens_pin_every_placement() {
             "{spec} seed={seed:#x} {scheme:?}: got {}, golden {cycles}",
             r.cycles
         );
+    }
+}
+
+/// Builds the armed-but-inert chaos envelope: every correlated source
+/// present and polling on its grid, none able to emit a fault.
+fn inert_armed(source_seed: u64, hammer: bool, thermal: bool, aging: bool) -> ChaosConfig {
+    ChaosConfig {
+        correlated: Some(CorrelatedConfig {
+            seed: source_seed,
+            hammer: hammer.then(HammerParams::inert),
+            thermal: thermal.then(ThermalParams::inert),
+            aging: aging.then(AgingParams::inert),
+        }),
+        ..ChaosConfig::inert()
+    }
+}
+
+/// Arming every correlated fault source in its inert configuration
+/// must replay *all* pinned goldens bit-identically: the sources poll
+/// the live fabric on their grids but never touch timed state, so the
+/// cycle counts cannot move. This is the full deterministic matrix —
+/// both seeds, all three schemes, and every pinned topology.
+#[test]
+fn armed_but_inert_sources_preserve_every_golden() {
+    let p = catalog()
+        .into_iter()
+        .find(|p| p.name == "backprop")
+        .unwrap();
+    let run = |spec: TopologySpec, scheme, seed| {
+        let mut cfg = SystemConfig::table_ii(scheme);
+        cfg.set_topology(spec);
+        cfg.ops_per_thread = 500;
+        cfg.warmup_per_thread = 50;
+        cfg.chaos = Some(inert_armed(seed ^ 0xD0E, true, true, true));
+        System::new(cfg, &p, seed).run()
+    };
+    for &(seed, scheme, cycles) in GOLDENS {
+        let r = run(TopologySpec::Mirror2, scheme, seed);
+        assert_eq!(
+            r.cycles, cycles,
+            "inert sources moved mirror2 golden: seed={seed:#x} {scheme:?}"
+        );
+    }
+    for &(spec, seed, scheme, cycles) in TOPOLOGY_GOLDENS {
+        let r = run(spec, scheme, seed);
+        assert_eq!(
+            r.cycles, cycles,
+            "inert sources moved {spec} golden: seed={seed:#x} {scheme:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Any nonempty combination of armed-but-inert sources, with any
+    // source seed, replays a sampled golden row bit-identically — the
+    // property behind the deterministic matrix above.
+    #[test]
+    fn any_inert_source_combo_replays_goldens(
+        mask in 1u8..8,
+        pick in 0usize..6,
+        source_seed in any::<u64>(),
+    ) {
+        let (seed, scheme, cycles) = GOLDENS[pick];
+        let p = catalog()
+            .into_iter()
+            .find(|p| p.name == "backprop")
+            .unwrap();
+        let mut cfg = SystemConfig::table_ii(scheme);
+        cfg.ops_per_thread = 500;
+        cfg.warmup_per_thread = 50;
+        cfg.chaos = Some(inert_armed(
+            source_seed,
+            mask & 1 != 0,
+            mask & 2 != 0,
+            mask & 4 != 0,
+        ));
+        let r = System::new(cfg, &p, seed).run();
+        prop_assert_eq!(r.mem_ops, 8000);
+        prop_assert_eq!(r.cycles, cycles);
     }
 }
 

@@ -112,6 +112,72 @@ fn pinned_goldens_hold_at_every_worker_count() {
 }
 
 #[test]
+fn correlated_chaos_is_bit_identical_at_every_worker_count() {
+    // Active correlated fault sources (hammer + thermal + aging, all
+    // live) on top of a random schedule must not break the worker-count
+    // invariance: the sources draw on a fixed sim-time grid and observe
+    // deterministic fabric state, so the whole run — ledger included —
+    // reproduces bit-for-bit at any `pdes_workers`.
+    use dve::chaos::{
+        AgingParams, ChaosConfig, ChaosParams, CorrelatedConfig, HammerParams, ThermalParams,
+    };
+    let p = catalog()
+        .into_iter()
+        .find(|p| p.name == "backprop")
+        .unwrap();
+    let run = |workers: usize| {
+        let mut cfg = SystemConfig::table_ii(Scheme::DveDeny);
+        cfg.ops_per_thread = 400;
+        cfg.warmup_per_thread = 40;
+        cfg.pdes_workers = workers;
+        cfg.ecc = dve_dram::controller::EccProfile::tsd();
+        let mut chaos = ChaosConfig::random(
+            0xC0E7,
+            &ChaosParams {
+                faults: 3,
+                horizon: 60_000,
+                heal_after: Some(30_000),
+                ..ChaosParams::default()
+            },
+        );
+        chaos.correlated = Some(CorrelatedConfig {
+            seed: 0xC0E7,
+            hammer: Some(HammerParams {
+                threshold: 10,
+                ..HammerParams::inert()
+            }),
+            thermal: Some(ThermalParams {
+                base_rate: 0.2,
+                poll_interval: 7_000,
+                ..ThermalParams::inert()
+            }),
+            aging: Some(AgingParams {
+                base_rate: 0.05,
+                ramp_per_mcycle: 2.0,
+                ..AgingParams::inert()
+            }),
+        });
+        cfg.chaos = Some(chaos);
+        System::new(cfg, &p, 42).run()
+    };
+    let reference = run(1);
+    assert!(reference.recovery.consistent(), "{:?}", reference.recovery);
+    let sourced = reference.recovery.hammer_plants
+        + reference.recovery.thermal_plants
+        + reference.recovery.aging_plants;
+    assert!(
+        sourced > 0,
+        "scenario must actually fire correlated sources: {:?}",
+        reference.recovery
+    );
+    for workers in [2, 4, 8] {
+        let r = run(workers);
+        assert_identical(&reference, &r, &format!("correlated workers={workers}"));
+        assert_eq!(reference.recovery, r.recovery, "workers={workers}: ledger");
+    }
+}
+
+#[test]
 fn latency_breakdown_conserves_at_all_worker_counts() {
     // Conservation by construction must survive the parallel supply:
     // the per-component totals sum to the breakdown's total, and the

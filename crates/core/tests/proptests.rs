@@ -168,6 +168,64 @@ proptest! {
         prop_assert_eq!(r.recovery, again.recovery);
     }
 
+    // Correlated sources armed *live* on top of a random schedule: the
+    // recovery ledger stays consistent (per-source plant counters
+    // bounded by the total), all scheduled work completes, and the run
+    // reproduces bit-for-bit.
+    #[test]
+    fn correlated_chaos_keeps_ledger_consistent(
+        seed in any::<u64>(),
+        scheme_idx in 2usize..5,
+        hammer_threshold in 20u64..200,
+        thermal_rate in 0.0f64..0.08,
+        aging_ramp in 0.0f64..0.8,
+    ) {
+        use dve::chaos::{
+            AgingParams, ChaosConfig, ChaosParams, CorrelatedConfig, HammerParams, ThermalParams,
+        };
+        let scheme = Scheme::ALL[scheme_idx];
+        let p = &catalog()[0];
+        let run = || {
+            let mut cfg = SystemConfig::table_ii(scheme);
+            cfg.ops_per_thread = 300;
+            cfg.warmup_per_thread = 30;
+            cfg.ecc = dve_dram::controller::EccProfile::tsd();
+            let mut chaos = ChaosConfig::random(seed, &ChaosParams {
+                faults: 3,
+                horizon: 60_000,
+                heal_after: Some(30_000),
+                ..ChaosParams::default()
+            });
+            chaos.correlated = Some(CorrelatedConfig {
+                seed,
+                hammer: Some(HammerParams { threshold: hammer_threshold, ..HammerParams::inert() }),
+                thermal: Some(ThermalParams {
+                    base_rate: thermal_rate,
+                    poll_interval: 7_000,
+                    ..ThermalParams::inert()
+                }),
+                aging: Some(AgingParams {
+                    base_rate: 0.0,
+                    ramp_per_mcycle: aging_ramp,
+                    poll_interval: 9_000,
+                    ..AgingParams::inert()
+                }),
+            });
+            cfg.chaos = Some(chaos);
+            System::new(cfg, p, seed).run()
+        };
+        let r = run();
+        prop_assert_eq!(r.mem_ops, 300 * 16);
+        prop_assert!(r.recovery.consistent(), "{:?}", r.recovery);
+        prop_assert!(
+            r.recovery.hammer_plants + r.recovery.thermal_plants + r.recovery.aging_plants
+                <= r.recovery.faults_planted
+        );
+        let again = run();
+        prop_assert_eq!(r.cycles, again.cycles);
+        prop_assert_eq!(r.recovery, again.recovery);
+    }
+
     // Degraded Dvé tracks baseline NUMA cycle-for-cycle (§V-E).
     #[test]
     fn degraded_equals_baseline(seed in any::<u64>(), profile_idx in 0usize..20) {

@@ -58,13 +58,17 @@ impl RowHammerMonitor {
     }
 
     /// Records one row activation of `(bank, row)` at time `now`.
+    ///
+    /// An activation landing exactly on a window boundary belongs to the
+    /// *new* window: refresh restored the victim rows at that instant,
+    /// so its count starts the fresh window at 1.
     pub fn record_activation(&mut self, bank: usize, row: u64, now: u64) {
         if now >= self.window_start + self.window_cycles {
             self.counts.clear();
-            self.windows += 1;
-            // Snap the window origin forward (possibly across several
-            // empty windows).
+            // Snap the window origin forward, counting every elapsed
+            // window (possibly several empty ones) as completed.
             let skipped = (now - self.window_start) / self.window_cycles;
+            self.windows += skipped;
             self.window_start += skipped * self.window_cycles;
         }
         let c = self.counts.entry((bank, row)).or_insert(0);
@@ -143,6 +147,25 @@ mod tests {
         m.record_activation(0, 0, 0);
         m.record_activation(0, 0, 100_000);
         assert_eq!(m.max_activations(), 1);
+        // Every elapsed window counts as completed, not just one.
+        assert_eq!(m.windows(), 1000);
+    }
+
+    #[test]
+    fn boundary_activation_opens_the_new_window() {
+        let mut m = RowHammerMonitor::new(1000);
+        for t in 0..500 {
+            m.record_activation(0, 9, t);
+        }
+        // t == 1000 is exactly the boundary: refresh has restored the
+        // victims, so this activation starts the new window at 1 and
+        // the historical max stays pinned at the old window's 500.
+        m.record_activation(0, 9, 1000);
+        assert_eq!(m.max_activations(), 500);
+        assert_eq!(m.windows(), 1);
+        assert!(m.rows_over(1).is_empty(), "new window holds exactly 1");
+        m.record_activation(0, 9, 1001);
+        assert_eq!(m.rows_over(1), vec![(0, 9)]);
     }
 
     #[test]

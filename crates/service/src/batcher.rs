@@ -12,9 +12,16 @@
 //!    execute identical epochs — which keeps the live service
 //!    replayable even though its ingress is racy.
 //! 2. **Exact shed accounting.** The pending buffer is bounded by
-//!    `queue_cap`; a submit against a full buffer is refused and
-//!    counted, so `admitted + shed == submitted` holds at every
+//!    `queue_cap`; a submit against a full buffer either refuses the
+//!    incoming op or — when the incoming op outranks pending work —
+//!    evicts one lowest-priority pending op in its favor. Both paths
+//!    are counted, so `admitted + shed == submitted` holds at every
 //!    instant. Nothing is silently dropped.
+//!
+//! Priority-aware shedding makes overload a *tenant* policy: the
+//! service runner stamps each op with its tenant's priority, so when
+//! the buffer saturates, low-priority tenants absorb the shed first
+//! and high-priority tenants keep their SLO.
 
 use dve_workloads::op::MemReq;
 
@@ -31,6 +38,30 @@ pub struct SubmittedOp {
     pub line: u64,
     /// Read or write.
     pub req: MemReq,
+    /// Shed priority (higher survives overload longer). Stamped by the
+    /// service runner from the tenant mix; sessions submit 0.
+    pub priority: u8,
+}
+
+/// What [`EpochBatcher::submit`] did with an op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted into the pending buffer.
+    Admitted,
+    /// Refused: the buffer is full and nothing pending ranks below the
+    /// incoming op.
+    Shed,
+    /// Admitted by evicting the returned lower-priority pending op,
+    /// which is now shed (the caller owes its client a shed
+    /// completion).
+    AdmittedEvicting(SubmittedOp),
+}
+
+impl SubmitOutcome {
+    /// Whether the submitted op itself entered the buffer.
+    pub fn admitted(&self) -> bool {
+        !matches!(self, SubmitOutcome::Shed)
+    }
 }
 
 /// Bounded ingress buffer that cuts fixed-size epochs in canonical
@@ -64,18 +95,43 @@ impl EpochBatcher {
         }
     }
 
-    /// Offers one op. Returns `true` if admitted, `false` if shed
-    /// because the buffer is at capacity. Either way the op is
-    /// accounted for.
-    pub fn submit(&mut self, op: SubmittedOp) -> bool {
+    /// Offers one op. With free capacity the op is admitted. At
+    /// capacity, the op is shed — unless some pending op has strictly
+    /// lower priority, in which case the lowest-priority pending op
+    /// (latest in `(client, seq)` order among equals, so earlier work
+    /// survives) is evicted in the incoming op's favor and returned
+    /// for a shed completion. Every path keeps
+    /// `admitted + shed == submitted` exact.
+    pub fn submit(&mut self, op: SubmittedOp) -> SubmitOutcome {
         self.submitted += 1;
-        if self.pending.len() >= self.queue_cap {
-            self.shed += 1;
-            return false;
+        if self.pending.len() < self.queue_cap {
+            self.admitted += 1;
+            self.pending.push(op);
+            return SubmitOutcome::Admitted;
         }
-        self.admitted += 1;
-        self.pending.push(op);
-        true
+        // Full: find the weakest pending op. The scan key is
+        // arrival-order independent, so eviction choices are as
+        // canonical as the epochs themselves.
+        let victim = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| (p.priority, std::cmp::Reverse((p.client, p.seq))))
+            .map(|(i, p)| (i, p.priority));
+        match victim {
+            Some((i, vp)) if vp < op.priority => {
+                let evicted = self.pending.swap_remove(i);
+                self.pending.push(op);
+                // The evicted op moves from admitted to shed; the
+                // incoming op is admitted: net admitted unchanged.
+                self.shed += 1;
+                SubmitOutcome::AdmittedEvicting(evicted)
+            }
+            _ => {
+                self.shed += 1;
+                SubmitOutcome::Shed
+            }
+        }
     }
 
     /// Whether a full epoch's worth of ops is pending.
@@ -143,6 +199,14 @@ mod tests {
             seq,
             line: client * 1000 + seq,
             req: MemReq::Read,
+            priority: 0,
+        }
+    }
+
+    fn prio(client: u64, seq: u64, priority: u8) -> SubmittedOp {
+        SubmittedOp {
+            priority,
+            ..op(client, seq)
         }
     }
 
@@ -152,10 +216,10 @@ mod tests {
         let mut b = EpochBatcher::new(64, 4);
         let ops = [op(2, 0), op(1, 1), op(1, 0), op(2, 1), op(1, 2)];
         for o in ops {
-            assert!(a.submit(o));
+            assert!(a.submit(o).admitted());
         }
         for o in ops.iter().rev() {
-            assert!(b.submit(*o));
+            assert!(b.submit(*o).admitted());
         }
         let ea = a.take_epoch();
         assert_eq!(ea, b.take_epoch());
@@ -171,7 +235,7 @@ mod tests {
         let mut b = EpochBatcher::new(3, 2);
         let mut refused = 0;
         for seq in 0..10 {
-            if !b.submit(op(1, seq)) {
+            if !b.submit(op(1, seq)).admitted() {
                 refused += 1;
             }
             assert!(b.accounted());
@@ -181,7 +245,37 @@ mod tests {
         assert_eq!(refused, 7);
         // Draining an epoch frees capacity again.
         assert_eq!(b.take_epoch().len(), 2);
-        assert!(b.submit(op(1, 10)));
+        assert!(b.submit(op(1, 10)).admitted());
+        assert!(b.accounted());
+    }
+
+    #[test]
+    fn high_priority_evicts_the_weakest_pending_op() {
+        let mut b = EpochBatcher::new(2, 2);
+        assert_eq!(b.submit(prio(1, 0, 0)), SubmitOutcome::Admitted);
+        assert_eq!(b.submit(prio(2, 0, 1)), SubmitOutcome::Admitted);
+        // Full. An equal-priority op is shed (no eviction among peers).
+        assert_eq!(b.submit(prio(3, 0, 0)), SubmitOutcome::Shed);
+        // A gold op evicts the priority-0 op, not the priority-1 one.
+        let out = b.submit(prio(4, 0, 2));
+        assert_eq!(out, SubmitOutcome::AdmittedEvicting(prio(1, 0, 0)));
+        assert!(b.accounted());
+        assert_eq!(b.shed(), 2, "evicted op is counted shed");
+        // The epoch holds exactly the survivors, in canonical order.
+        assert_eq!(b.take_epoch(), vec![prio(2, 0, 1), prio(4, 0, 2)]);
+    }
+
+    #[test]
+    fn eviction_prefers_latest_among_equal_priority() {
+        let mut b = EpochBatcher::new(2, 2);
+        assert!(b.submit(prio(1, 5, 0)).admitted());
+        assert!(b.submit(prio(1, 9, 0)).admitted());
+        // Among equal priorities the latest (client, seq) is evicted,
+        // so earlier-queued work survives.
+        assert_eq!(
+            b.submit(prio(2, 0, 1)),
+            SubmitOutcome::AdmittedEvicting(prio(1, 9, 0))
+        );
         assert!(b.accounted());
     }
 }

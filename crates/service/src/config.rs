@@ -8,6 +8,7 @@
 //! config can be logged, copied out of a report, and replayed.
 
 use dve::config::{Scheme, TopologySpec};
+use dve_workloads::tenant::TenantMix;
 
 /// Everything needed to boot a [`Service`](crate::Service).
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +44,11 @@ pub struct ServiceConfig {
     /// detect-only ECC so recovery detours actually fire); `None`
     /// runs fault-free.
     pub chaos_seed: Option<u64>,
+    /// Multi-tenant mix (`tenants=gold:2:60000,bronze:0:200000` —
+    /// `name:priority:p99_budget` triples). `Some` turns on per-tenant
+    /// accounting and priority-aware shedding; `None` treats all
+    /// clients as one anonymous tenant.
+    pub tenants: Option<TenantMix>,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +64,7 @@ impl Default for ServiceConfig {
             queue_cap: 65_536,
             port: 0,
             chaos_seed: None,
+            tenants: None,
         }
     }
 }
@@ -67,7 +74,7 @@ impl std::fmt::Display for ServiceConfig {
         write!(
             f,
             "scheme={} topology={} workload={} seed={} mshrs={} epoch_ops={} \
-             epoch_wait_ms={} queue_cap={} port={} chaos_seed={}",
+             epoch_wait_ms={} queue_cap={} port={} chaos_seed={} tenants={}",
             self.scheme,
             self.topology,
             self.workload,
@@ -80,6 +87,10 @@ impl std::fmt::Display for ServiceConfig {
             match self.chaos_seed {
                 None => "none".to_string(),
                 Some(s) => s.to_string(),
+            },
+            match &self.tenants {
+                None => "none".to_string(),
+                Some(mix) => mix.to_string(),
             }
         )
     }
@@ -120,6 +131,13 @@ impl std::str::FromStr for ServiceConfig {
                         Some(num(key, val)?)
                     }
                 }
+                "tenants" => {
+                    cfg.tenants = if val == "none" {
+                        None
+                    } else {
+                        Some(val.parse::<TenantMix>()?)
+                    }
+                }
                 _ => return Err(format!("unknown service config key {key:?}")),
             }
         }
@@ -158,9 +176,14 @@ mod tests {
                 queue_cap: 128,
                 port: 4242,
                 chaos_seed: Some(0xC0FFEE),
+                tenants: None,
             },
             ServiceConfig {
                 topology: TopologySpec::TwoTier,
+                ..ServiceConfig::default()
+            },
+            ServiceConfig {
+                tenants: Some(TenantMix::standard()),
                 ..ServiceConfig::default()
             },
         ];
@@ -189,12 +212,20 @@ mod tests {
             "mshrs=0",
             "epoch_ops=0",
             "epoch_ops=64 queue_cap=32",
+            "tenants=gold:2",
+            "tenants=gold:2:0",
+            "tenants=gold:2:100,gold:0:200",
         ] {
             assert!(bad.parse::<ServiceConfig>().is_err(), "{bad:?}");
         }
         // chaos_seed admits the explicit "none".
         let cfg: ServiceConfig = "chaos_seed=none".parse().unwrap();
         assert_eq!(cfg.chaos_seed, None);
+        // tenants admits the explicit "none" and a real mix.
+        let cfg: ServiceConfig = "tenants=none".parse().unwrap();
+        assert_eq!(cfg.tenants, None);
+        let cfg: ServiceConfig = "tenants=gold:2:60000,bronze:0:200000".parse().unwrap();
+        assert_eq!(cfg.tenants.unwrap().tenants().len(), 2);
     }
 
     #[test]

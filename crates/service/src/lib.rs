@@ -46,8 +46,8 @@ pub mod proto;
 pub mod service;
 pub mod telemetry;
 
-pub use batcher::{EpochBatcher, SubmittedOp};
+pub use batcher::{EpochBatcher, SubmitOutcome, SubmittedOp};
 pub use config::ServiceConfig;
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use service::{Completion, Service, ServiceReport, Session};
-pub use telemetry::Telemetry;
+pub use telemetry::{Telemetry, TenantTelemetry};

@@ -128,6 +128,9 @@ pub fn decode_ops(body: &[u8], client: u64) -> io::Result<Vec<SubmittedOp>> {
             seq,
             line,
             req,
+            // Tenant priority is service policy, not client input: the
+            // runner stamps it from the tenant mix at admission.
+            priority: 0,
         });
     }
     Ok(ops)

@@ -39,13 +39,15 @@ use dve::config::SystemConfig;
 use dve::system::{ClientOp, System};
 use dve_dram::controller::EccProfile;
 use dve_sim::latency::{LatencyBreakdown, LatencyHists};
+use dve_sim::stats::LogHistogram;
 use dve_workloads::op::MemReq;
+use dve_workloads::tenant::TenantMix;
 use dve_workloads::{catalog, TraceGenerator};
 
-use crate::batcher::{EpochBatcher, SubmittedOp};
+use crate::batcher::{EpochBatcher, SubmitOutcome, SubmittedOp};
 use crate::config::ServiceConfig;
 use crate::proto;
-use crate::telemetry::{EdgeOccupancy, Telemetry, TelemetrySnapshot};
+use crate::telemetry::{EdgeOccupancy, Telemetry, TelemetrySnapshot, TenantTelemetry};
 
 /// Per-op completion delivered to the submitting session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,16 +108,29 @@ pub struct ServiceReport {
     pub recovery_consistent: bool,
     /// Demand reads that took the §V-B2 recovery path.
     pub detected_reads: u64,
+    /// Uncorrectable demand reads raised as machine checks.
+    pub machine_checks: u64,
+    /// Final per-tenant accounting; empty without a tenant mix.
+    pub tenants: Vec<TenantTelemetry>,
 }
 
 impl ServiceReport {
     /// The service-level conservation gate: every admitted op
-    /// completed, the admission ledger balances, and the per-op
-    /// histograms sum to the engine's own cycle totals.
+    /// completed, the admission ledger balances, the per-op
+    /// histograms sum to the engine's own cycle totals, and (with a
+    /// tenant mix) the per-tenant accounting sums back to the global
+    /// counters.
     pub fn conserves(&self) -> bool {
+        let sum = |get: fn(&TenantTelemetry) -> u64| self.tenants.iter().map(get).sum::<u64>();
+        let tenants_ok = self.tenants.is_empty()
+            || (sum(|t| t.completed) == self.completed
+                && sum(|t| t.shed) == self.shed
+                && sum(|t| t.machine_checks) <= self.machine_checks
+                && sum(|t| t.detected_reads) <= self.detected_reads);
         self.submitted == self.admitted + self.shed
             && self.completed == self.admitted
             && (self.hists.count() == 0 || self.hists.conserves(&self.engine_latency))
+            && tenants_ok
     }
 }
 
@@ -152,6 +167,9 @@ impl Session {
                 seq,
                 line,
                 req,
+                // Stamped by the runner from the tenant mix; sessions
+                // have no say in their own shed priority.
+                priority: 0,
             })
             .collect();
         self.ctl.send(Msg::Ops(batch)).ok()?;
@@ -239,10 +257,13 @@ impl Service {
             let epoch_ops = cfg.epoch_ops;
             let queue_cap = cfg.queue_cap;
             let wait = Duration::from_millis(cfg.epoch_wait_ms);
+            let tenants = cfg.tenants.clone();
             std::thread::Builder::new()
                 .name("dve-epoch-runner".to_string())
                 .spawn(move || {
-                    run_epochs(system, span, queue_cap, epoch_ops, wait, ctl_rx, telemetry)
+                    run_epochs(
+                        system, span, queue_cap, epoch_ops, wait, tenants, ctl_rx, telemetry,
+                    )
                 })?
         };
 
@@ -347,13 +368,95 @@ fn shed_completion(op: &SubmittedOp) -> Completion {
     }
 }
 
+/// Runner-local per-tenant accounting. Lives entirely on the runner
+/// thread (no locks); snapshots are published through the telemetry
+/// mutex like every other epoch-fresh stat.
+struct TenantAcct {
+    mix: TenantMix,
+    completed: Vec<u64>,
+    shed: Vec<u64>,
+    machine_checks: Vec<u64>,
+    detected_reads: Vec<u64>,
+    recovery_cycles: Vec<u64>,
+    lat: Vec<LogHistogram>,
+}
+
+impl TenantAcct {
+    fn new(mix: TenantMix) -> TenantAcct {
+        let n = mix.tenants().len();
+        TenantAcct {
+            mix,
+            completed: vec![0; n],
+            shed: vec![0; n],
+            machine_checks: vec![0; n],
+            detected_reads: vec![0; n],
+            recovery_cycles: vec![0; n],
+            lat: vec![LogHistogram::default(); n],
+        }
+    }
+
+    /// The shed priority the runner stamps on this client's ops.
+    fn priority_for(&self, client: u64) -> u8 {
+        self.mix.priority_of(self.mix.tenant_of_client(client))
+    }
+
+    /// Folds a client line into its tenant's address partition.
+    fn fold(&self, client: u64, line: u64, span: u64) -> u64 {
+        self.mix
+            .fold_line(self.mix.tenant_of_client(client), line, span)
+    }
+
+    fn shed_one(&mut self, client: u64) {
+        self.shed[self.mix.tenant_of_client(client)] += 1;
+    }
+
+    fn complete_one(&mut self, client: u64, latency: u64, b: &LatencyBreakdown) {
+        let t = self.mix.tenant_of_client(client);
+        self.completed[t] += 1;
+        self.recovery_cycles[t] += b.recovery;
+        self.lat[t].record(latency);
+    }
+
+    fn attribute_faults(&mut self, client: u64, detected_reads: u64, machine_checks: u64) {
+        let t = self.mix.tenant_of_client(client);
+        self.detected_reads[t] += detected_reads;
+        self.machine_checks[t] += machine_checks;
+    }
+
+    fn snapshot(&self) -> Vec<TenantTelemetry> {
+        self.mix
+            .tenants()
+            .iter()
+            .enumerate()
+            .map(|(t, profile)| {
+                let (p50, p99, p999) = self.lat[t].tail();
+                TenantTelemetry {
+                    name: profile.name.clone(),
+                    priority: profile.priority,
+                    slo_p99_cycles: profile.slo_p99_cycles,
+                    completed: self.completed[t],
+                    shed: self.shed[t],
+                    machine_checks: self.machine_checks[t],
+                    detected_reads: self.detected_reads[t],
+                    recovery_cycles: self.recovery_cycles[t],
+                    p50,
+                    p99,
+                    p999,
+                }
+            })
+            .collect()
+    }
+}
+
 /// The epoch runner: the only thread that touches the `System`.
+#[allow(clippy::too_many_arguments)]
 fn run_epochs(
     mut system: System,
     line_span: u64,
     queue_cap: usize,
     epoch_ops: usize,
     wait: Duration,
+    tenants: Option<TenantMix>,
     rx: Receiver<Msg>,
     telemetry: Arc<Telemetry>,
 ) -> ServiceReport {
@@ -363,13 +466,15 @@ fn run_epochs(
     let mut first_pending: Option<Instant> = None;
     let mut draining = false;
     let mut completed: u64 = 0;
+    let mut acct = tenants.map(TenantAcct::new);
 
     let handle = |msg: Msg,
                   batcher: &mut EpochBatcher,
                   routes: &mut HashMap<u64, Sender<Vec<Completion>>>,
                   system: &mut System,
                   first_pending: &mut Option<Instant>,
-                  draining: &mut bool| {
+                  draining: &mut bool,
+                  acct: &mut Option<TenantAcct>| {
         match msg {
             Msg::Register { client, tx } => {
                 routes.insert(client, tx);
@@ -382,19 +487,46 @@ fn run_epochs(
             Msg::Shutdown => *draining = true,
             Msg::Ops(ops) => {
                 let mut shed: Vec<Completion> = Vec::new();
-                for op in ops {
+                for mut op in ops {
                     telemetry.submitted.fetch_add(1, Ordering::Relaxed);
+                    if let Some(a) = acct.as_ref() {
+                        op.priority = a.priority_for(op.client);
+                    }
                     // While draining, refuse new work outright (but
                     // still answer it) so the drain terminates.
-                    let admitted = !*draining && batcher.submit(op);
-                    if admitted {
-                        telemetry.admitted.fetch_add(1, Ordering::Relaxed);
-                        if first_pending.is_none() {
-                            *first_pending = Some(Instant::now());
-                        }
+                    let outcome = if *draining {
+                        SubmitOutcome::Shed
                     } else {
-                        telemetry.shed.fetch_add(1, Ordering::Relaxed);
-                        shed.push(shed_completion(&op));
+                        batcher.submit(op)
+                    };
+                    match outcome {
+                        SubmitOutcome::Admitted => {
+                            telemetry.admitted.fetch_add(1, Ordering::Relaxed);
+                            if first_pending.is_none() {
+                                *first_pending = Some(Instant::now());
+                            }
+                        }
+                        SubmitOutcome::Shed => {
+                            telemetry.shed.fetch_add(1, Ordering::Relaxed);
+                            if let Some(a) = acct.as_mut() {
+                                a.shed_one(op.client);
+                            }
+                            shed.push(shed_completion(&op));
+                        }
+                        SubmitOutcome::AdmittedEvicting(victim) => {
+                            // The incoming op took the victim's
+                            // admitted slot: net admitted unchanged,
+                            // one more shed, and the victim's client
+                            // still gets an answer.
+                            telemetry.shed.fetch_add(1, Ordering::Relaxed);
+                            if let Some(a) = acct.as_mut() {
+                                a.shed_one(victim.client);
+                            }
+                            shed.push(shed_completion(&victim));
+                            if first_pending.is_none() {
+                                *first_pending = Some(Instant::now());
+                            }
+                        }
                     }
                 }
                 for (client, comps) in group_by_client(shed) {
@@ -416,6 +548,7 @@ fn run_epochs(
                 &mut system,
                 &mut first_pending,
                 &mut draining,
+                &mut acct,
             );
         }
 
@@ -426,7 +559,13 @@ fn run_epochs(
                 .iter()
                 .map(|op| ClientOp {
                     core: (op.client % cores) as usize,
-                    line: op.line % line_span.max(1),
+                    // With a tenant mix, each tenant folds into its
+                    // own disjoint stripe of the span; otherwise the
+                    // whole span is shared.
+                    line: match &acct {
+                        Some(a) => a.fold(op.client, op.line, line_span.max(1)),
+                        None => op.line % line_span.max(1),
+                    },
                     req: op.req,
                 })
                 .collect();
@@ -435,13 +574,19 @@ fn run_epochs(
             let done: Vec<Completion> = epoch
                 .iter()
                 .zip(outcomes)
-                .map(|(op, out)| Completion {
-                    client: op.client,
-                    seq: op.seq,
-                    shed: false,
-                    issued_at: out.issued_at,
-                    complete_at: out.complete_at,
-                    breakdown: out.breakdown,
+                .map(|(op, out)| {
+                    if let Some(a) = acct.as_mut() {
+                        a.complete_one(op.client, out.complete_at - out.issued_at, &out.breakdown);
+                        a.attribute_faults(op.client, out.detected_reads, out.machine_checks);
+                    }
+                    Completion {
+                        client: op.client,
+                        seq: op.seq,
+                        shed: false,
+                        issued_at: out.issued_at,
+                        complete_at: out.complete_at,
+                        breakdown: out.breakdown,
+                    }
                 })
                 .collect();
             completed += done.len() as u64;
@@ -455,7 +600,7 @@ fn run_epochs(
                 }
             }
             first_pending = (batcher.pending_len() > 0).then(Instant::now);
-            publish_snapshot(&system, &telemetry);
+            publish_snapshot(&system, &telemetry, acct.as_ref());
             continue;
         }
 
@@ -478,6 +623,7 @@ fn run_epochs(
                 &mut system,
                 &mut first_pending,
                 &mut draining,
+                &mut acct,
             ),
             Err(RecvTimeoutError::Timeout) => {}
             // Every Service/Session handle is gone; drain and exit.
@@ -485,7 +631,7 @@ fn run_epochs(
         }
     }
 
-    publish_snapshot(&system, &telemetry);
+    publish_snapshot(&system, &telemetry, acct.as_ref());
     let engine = system.engine_stats();
     let ledger = system.recovery_ledger();
     // Drain-time sheds bypass the batcher, so the report reads the
@@ -503,10 +649,12 @@ fn run_epochs(
         degraded_transitions: engine.degraded_transitions,
         recovery_consistent: ledger.consistent(),
         detected_reads: ledger.detected_reads,
+        machine_checks: ledger.machine_checks,
+        tenants: acct.as_ref().map(TenantAcct::snapshot).unwrap_or_default(),
     }
 }
 
-fn publish_snapshot(system: &System, telemetry: &Telemetry) {
+fn publish_snapshot(system: &System, telemetry: &Telemetry, acct: Option<&TenantAcct>) {
     let engine = system.engine_stats();
     let ledger = system.recovery_ledger();
     let link = system.fabric().link_table();
@@ -531,8 +679,10 @@ fn publish_snapshot(system: &System, telemetry: &Telemetry) {
         degraded_transitions: engine.degraded_transitions,
         recovery_consistent: ledger.consistent(),
         detected_reads: ledger.detected_reads,
+        machine_checks: ledger.machine_checks,
         node_replica_entries: system.node_replica_entries(),
         edge_occupancy,
+        tenants: acct.map(TenantAcct::snapshot).unwrap_or_default(),
     });
 }
 
@@ -839,6 +989,55 @@ mod tests {
         assert!(rsp.contains("dve_link_busy_cycles"), "{rsp}");
         let report = service.shutdown();
         assert!(report.conserves(), "{report:?}");
+    }
+
+    #[test]
+    fn tenant_mix_accounts_sheds_and_renders_per_tenant_metrics() {
+        let cfg: ServiceConfig = "epoch_ops=32 epoch_wait_ms=50 queue_cap=32 \
+             tenants=gold:2:10000000,silver:1:10000000,bronze:0:10000000"
+            .parse()
+            .unwrap();
+        let service = Service::start(&cfg).unwrap();
+        // In-proc client ids start at 1<<32 ≡ 1 (mod 3): the first
+        // session lands on the middle tenant, silver.
+        let session = service.session();
+        let ops = gen_ops(7, 800);
+        let comps = session.submit(&ops).unwrap();
+        assert_eq!(comps.len(), 800);
+        let shed = comps.iter().filter(|c| c.shed).count() as u64;
+        assert!(shed > 0, "burst must overflow the 32-op queue");
+
+        // The runner publishes the tenant snapshot at the next epoch
+        // boundary; wait (bounded) for it to quiesce.
+        let telemetry = service.telemetry();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let metrics = loop {
+            let m = telemetry.render_metrics();
+            if m.contains("dve_tenant_conserves 1") || Instant::now() > deadline {
+                break m;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        for tenant in ["gold", "silver", "bronze"] {
+            for gauge in ["ops_completed", "ops_shed", "machine_checks", "slo_ok"] {
+                assert!(
+                    metrics.contains(&format!("dve_tenant_{gauge}{{tenant=\"{tenant}\"}}")),
+                    "missing dve_tenant_{gauge} for {tenant}: {metrics}"
+                );
+            }
+        }
+        assert!(metrics.contains("dve_tenant_conserves 1"), "{metrics}");
+
+        drop(session);
+        let report = service.shutdown();
+        assert!(report.conserves(), "{report:?}");
+        let silver = report.tenants.iter().find(|t| t.name == "silver").unwrap();
+        assert_eq!(silver.shed, shed, "every shed belongs to silver");
+        assert_eq!(silver.completed, report.completed);
+        assert!(silver.p99 > 0, "completed ops have measured latency");
+        for t in report.tenants.iter().filter(|t| t.name != "silver") {
+            assert_eq!((t.completed, t.shed), (0, 0), "{t:?} saw no traffic");
+        }
     }
 
     #[test]

@@ -26,10 +26,48 @@ pub struct TelemetrySnapshot {
     pub recovery_consistent: bool,
     /// Demand reads that took the §V-B2 recovery path.
     pub detected_reads: u64,
+    /// Uncorrectable demand reads raised as machine checks.
+    pub machine_checks: u64,
     /// Live replica-directory entries per node (index = node id).
     pub node_replica_entries: Vec<u64>,
     /// Per-directed-edge inter-node link occupancy.
     pub edge_occupancy: Vec<EdgeOccupancy>,
+    /// Per-tenant accounting; empty when the service runs without a
+    /// tenant mix.
+    pub tenants: Vec<TenantTelemetry>,
+}
+
+/// One tenant's slice of the service accounting, published with each
+/// snapshot when a tenant mix is configured.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantTelemetry {
+    /// Tenant name (metrics label).
+    pub name: String,
+    /// Shed priority (higher survives overload longer).
+    pub priority: u8,
+    /// Contracted p99 latency budget, simulated cycles.
+    pub slo_p99_cycles: u64,
+    /// Completions delivered for this tenant's admitted ops.
+    pub completed: u64,
+    /// This tenant's ops refused or evicted at admission.
+    pub shed: u64,
+    /// Machine checks raised by this tenant's demand reads.
+    pub machine_checks: u64,
+    /// This tenant's demand reads that took the recovery detour.
+    pub detected_reads: u64,
+    /// Recovery-detour cycles absorbed by this tenant's ops.
+    pub recovery_cycles: u64,
+    /// Measured end-to-end latency quantiles (simulated cycles).
+    pub p50: u64,
+    pub p99: u64,
+    pub p999: u64,
+}
+
+impl TenantTelemetry {
+    /// Whether the measured p99 is within the contracted budget.
+    pub fn slo_ok(&self) -> bool {
+        self.p99 <= self.slo_p99_cycles
+    }
 }
 
 /// Occupancy of one directed inter-node link edge.
@@ -128,6 +166,7 @@ impl Telemetry {
         counter("cycles", snap.cycles);
         counter("degraded_transitions", snap.degraded_transitions);
         counter("recovery_detected_reads", snap.detected_reads);
+        counter("machine_checks", snap.machine_checks);
 
         if !snap.node_replica_entries.is_empty() {
             out.push_str("# TYPE dve_node_replica_entries gauge\n");
@@ -152,6 +191,63 @@ impl Telemetry {
                     e.from, e.to, e.busy_cycles
                 ));
             }
+        }
+
+        if !snap.tenants.is_empty() {
+            let mut tenant_counter = |name: &str, get: &dyn Fn(&TenantTelemetry) -> u64| {
+                out.push_str(&format!("# TYPE dve_tenant_{name} counter\n"));
+                for t in &snap.tenants {
+                    out.push_str(&format!(
+                        "dve_tenant_{name}{{tenant=\"{}\"}} {}\n",
+                        t.name,
+                        get(t)
+                    ));
+                }
+            };
+            tenant_counter("ops_completed", &|t| t.completed);
+            tenant_counter("ops_shed", &|t| t.shed);
+            tenant_counter("machine_checks", &|t| t.machine_checks);
+            tenant_counter("detected_reads", &|t| t.detected_reads);
+            tenant_counter("recovery_cycles", &|t| t.recovery_cycles);
+            out.push_str("# TYPE dve_tenant_latency_cycles summary\n");
+            for t in &snap.tenants {
+                for (q, v) in [("0.5", t.p50), ("0.99", t.p99), ("0.999", t.p999)] {
+                    out.push_str(&format!(
+                        "dve_tenant_latency_cycles{{tenant=\"{}\",quantile=\"{q}\"}} {v}\n",
+                        t.name
+                    ));
+                }
+            }
+            out.push_str("# TYPE dve_tenant_slo_budget_cycles gauge\n");
+            for t in &snap.tenants {
+                out.push_str(&format!(
+                    "dve_tenant_slo_budget_cycles{{tenant=\"{}\"}} {}\n",
+                    t.name, t.slo_p99_cycles
+                ));
+            }
+            out.push_str("# TYPE dve_tenant_slo_ok gauge\n");
+            for t in &snap.tenants {
+                out.push_str(&format!(
+                    "dve_tenant_slo_ok{{tenant=\"{}\"}} {}\n",
+                    t.name,
+                    t.slo_ok() as u8
+                ));
+            }
+            // Sum conservation against the global counters: every
+            // completed/shed op belongs to exactly one tenant, and
+            // attributed detections/machine checks never exceed the
+            // ledger totals (scrub-driven detections between ops are
+            // deliberately unattributed).
+            let sum =
+                |get: &dyn Fn(&TenantTelemetry) -> u64| snap.tenants.iter().map(get).sum::<u64>();
+            let tenant_conserves = sum(&|t| t.completed) == self.completed.load(Ordering::Relaxed)
+                && sum(&|t| t.shed) == self.shed.load(Ordering::Relaxed)
+                && sum(&|t| t.machine_checks) <= snap.machine_checks
+                && sum(&|t| t.detected_reads) <= snap.detected_reads;
+            out.push_str(&format!(
+                "# TYPE dve_tenant_conserves gauge\ndve_tenant_conserves {}\n",
+                tenant_conserves as u8
+            ));
         }
 
         out.push_str("# TYPE dve_latency_cycles summary\n");
@@ -231,5 +327,67 @@ mod tests {
         bad.engine_latency.add(Component::Link, 1);
         t.publish(bad);
         assert!(t.render_metrics().contains("dve_latency_conserves 0"));
+    }
+
+    #[test]
+    fn tenant_gauges_render_and_sum_conserve() {
+        let t = Telemetry::new();
+        t.completed.store(30, Ordering::Relaxed);
+        t.shed.store(5, Ordering::Relaxed);
+        let snap = TelemetrySnapshot {
+            recovery_consistent: true,
+            machine_checks: 2,
+            detected_reads: 9,
+            tenants: vec![
+                TenantTelemetry {
+                    name: "gold".to_string(),
+                    priority: 2,
+                    slo_p99_cycles: 100,
+                    completed: 20,
+                    machine_checks: 1,
+                    detected_reads: 4,
+                    recovery_cycles: 10,
+                    p50: 10,
+                    p99: 90,
+                    p999: 95,
+                    ..TenantTelemetry::default()
+                },
+                TenantTelemetry {
+                    name: "bronze".to_string(),
+                    slo_p99_cycles: 50,
+                    completed: 10,
+                    shed: 5,
+                    machine_checks: 1,
+                    detected_reads: 5,
+                    p50: 10,
+                    p99: 80,
+                    p999: 95,
+                    ..TenantTelemetry::default()
+                },
+            ],
+            ..TelemetrySnapshot::default()
+        };
+        t.publish(snap);
+        let m = t.render_metrics();
+        assert!(
+            m.contains("dve_tenant_ops_completed{tenant=\"gold\"} 20"),
+            "{m}"
+        );
+        assert!(
+            m.contains("dve_tenant_ops_shed{tenant=\"bronze\"} 5"),
+            "{m}"
+        );
+        assert!(
+            m.contains("dve_tenant_latency_cycles{tenant=\"gold\",quantile=\"0.99\"} 90"),
+            "{m}"
+        );
+        assert!(m.contains("dve_tenant_slo_ok{tenant=\"gold\"} 1"), "{m}");
+        assert!(m.contains("dve_tenant_slo_ok{tenant=\"bronze\"} 0"), "{m}");
+        assert!(m.contains("dve_tenant_conserves 1"), "{m}");
+        // Losing one tenant's completed op must break sum conservation.
+        let mut bad = t.snapshot();
+        bad.tenants[0].completed -= 1;
+        t.publish(bad);
+        assert!(t.render_metrics().contains("dve_tenant_conserves 0"));
     }
 }

@@ -25,6 +25,7 @@ fn population(counts: &[u8]) -> Vec<SubmittedOp> {
                 } else {
                     MemReq::Read
                 },
+                priority: 0,
             });
         }
     }
@@ -165,5 +166,58 @@ proptest! {
         // leftover state, not interleaving.
         let (fresh, ..) = run_feed(&shuffled(&b, seed ^ 1), cap, epoch_ops, 1);
         prop_assert_eq!(after, fresh);
+    }
+
+    // Priority-aware eviction keeps the accounting exact under random
+    // priorities, never sheds an op while a strictly weaker one is
+    // pending, and every submitted op is answered exactly once
+    // (epoch slot or shed).
+    #[test]
+    fn priority_eviction_keeps_accounting_and_ordering(
+        priorities in proptest::collection::vec(0u8..4, 1..64),
+        queue_cap in 1usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let mut b = EpochBatcher::new(queue_cap, queue_cap);
+        let mut shed_keys: Vec<(u64, u64)> = Vec::new();
+        let mut submitted_keys: Vec<(u64, u64)> = Vec::new();
+        for (i, &priority) in priorities.iter().enumerate() {
+            let op = SubmittedOp {
+                client: rng.next_below(5),
+                seq: i as u64,
+                line: i as u64,
+                req: MemReq::Read,
+                priority,
+            };
+            submitted_keys.push((op.client, op.seq));
+            match b.submit(op) {
+                dve_service::SubmitOutcome::Admitted => {}
+                dve_service::SubmitOutcome::Shed => shed_keys.push((op.client, op.seq)),
+                dve_service::SubmitOutcome::AdmittedEvicting(victim) => {
+                    prop_assert!(victim.priority < op.priority,
+                        "eviction must strictly upgrade priority");
+                    shed_keys.push((victim.client, victim.seq));
+                }
+            }
+            prop_assert!(b.accounted());
+        }
+        prop_assert_eq!(b.submitted(), priorities.len() as u64);
+        prop_assert_eq!(b.shed(), shed_keys.len() as u64);
+        // The whole buffer drains in one epoch (cap == epoch size), and
+        // its population matches the admission counter exactly.
+        let survivors = b.take_epoch();
+        prop_assert_eq!(survivors.len() as u64, b.admitted());
+        prop_assert_eq!(b.pending_len(), 0);
+        // Exactly-once answering: shed keys and admitted keys
+        // partition the submitted population.
+        let mut answered: Vec<(u64, u64)> = survivors
+            .iter()
+            .map(|o| (o.client, o.seq))
+            .collect();
+        answered.extend(&shed_keys);
+        answered.sort_unstable();
+        submitted_keys.sort_unstable();
+        prop_assert_eq!(answered, submitted_keys);
     }
 }

@@ -37,9 +37,11 @@
 pub mod generate;
 pub mod op;
 pub mod profile;
+pub mod tenant;
 pub mod trace_file;
 
 pub use generate::{CoreTraceStream, TraceGenerator, TraceShape};
 pub use op::Op;
 pub use profile::{catalog, SharingMix, WorkloadProfile};
+pub use tenant::{TenantMix, TenantProfile};
 pub use trace_file::{record_profile, TraceReader};

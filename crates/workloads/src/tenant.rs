@@ -1,0 +1,284 @@
+//! Multi-tenant workload mixes: per-tenant priorities, address
+//! partitions and SLO budgets.
+//!
+//! The service front end multiplexes many client sessions onto one
+//! timed system. A [`TenantMix`] slices that client population into
+//! tenants — every client id maps to exactly one tenant
+//! ([`TenantMix::tenant_of_client`]) — and gives each tenant:
+//!
+//! * a **priority** (higher wins): the epoch batcher sheds
+//!   lowest-priority work first when the admission queue overflows, so
+//!   overload and degraded-mode detours land on the tenants contracted
+//!   to absorb them;
+//! * an **address partition** ([`TenantMix::fold_line`]): tenants touch
+//!   disjoint line ranges of the shared span, so one tenant's row-hammer
+//!   pressure or fault exposure is its own;
+//! * an **SLO budget**: the p99 end-to-end latency (in simulated
+//!   cycles) the tenant's contract allows. Telemetry reports measured
+//!   p99/p999 against it per tenant.
+//!
+//! The mix round-trips through `Display`/`FromStr`
+//! (`"gold:2:60000,bronze:0:200000"`) so the service config can carry
+//! it as a `tenants=` key.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One tenant of a [`TenantMix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantProfile {
+    /// Stable name (metrics label; no `:` or `,`).
+    pub name: String,
+    /// Scheduling priority — higher values are shed *last* under
+    /// overload.
+    pub priority: u8,
+    /// Contracted p99 end-to-end latency budget, simulated cycles.
+    pub slo_p99_cycles: u64,
+}
+
+/// A validated set of tenants sharing one service.
+///
+/// # Example
+///
+/// ```
+/// use dve_workloads::tenant::TenantMix;
+///
+/// let mix: TenantMix = "gold:2:60000,silver:1:90000,bronze:0:200000"
+///     .parse()
+///     .unwrap();
+/// assert_eq!(mix.tenants().len(), 3);
+/// assert_eq!(mix.tenant_of_client(7), 7 % 3);
+/// assert_eq!(mix.to_string().parse::<TenantMix>().unwrap(), mix);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantMix {
+    tenants: Vec<TenantProfile>,
+}
+
+impl TenantMix {
+    /// Builds a mix from profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`TenantMix::validate`] fails.
+    pub fn new(tenants: Vec<TenantProfile>) -> TenantMix {
+        let mix = TenantMix { tenants };
+        mix.validate();
+        mix
+    }
+
+    /// The standard three-class mix: `gold` (priority 2), `silver`
+    /// (priority 1), `bronze` (priority 0), with progressively looser
+    /// p99 budgets. Bronze absorbs overload first.
+    pub fn standard() -> TenantMix {
+        TenantMix::new(vec![
+            TenantProfile {
+                name: "gold".to_string(),
+                priority: 2,
+                slo_p99_cycles: 60_000,
+            },
+            TenantProfile {
+                name: "silver".to_string(),
+                priority: 1,
+                slo_p99_cycles: 90_000,
+            },
+            TenantProfile {
+                name: "bronze".to_string(),
+                priority: 0,
+                slo_p99_cycles: 200_000,
+            },
+        ])
+    }
+
+    /// The tenants, in declaration order (tenant index = position).
+    pub fn tenants(&self) -> &[TenantProfile] {
+        &self.tenants
+    }
+
+    /// Validates the mix: at least one tenant, unique non-empty names
+    /// without the separator characters, non-zero budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violation.
+    pub fn validate(&self) {
+        assert!(!self.tenants.is_empty(), "need at least one tenant");
+        for t in &self.tenants {
+            assert!(!t.name.is_empty(), "tenant name must be non-empty");
+            assert!(
+                !t.name.contains([':', ',', ' ']),
+                "tenant name {:?} contains a separator",
+                t.name
+            );
+            assert!(
+                t.slo_p99_cycles > 0,
+                "tenant {} needs a non-zero SLO budget",
+                t.name
+            );
+        }
+        for (i, a) in self.tenants.iter().enumerate() {
+            for b in &self.tenants[i + 1..] {
+                assert!(a.name != b.name, "duplicate tenant name {:?}", a.name);
+            }
+        }
+    }
+
+    /// Which tenant a client id belongs to: clients stripe round-robin
+    /// over the tenants, so every tenant sees traffic from every
+    /// session batch.
+    pub fn tenant_of_client(&self, client: u64) -> usize {
+        (client % self.tenants.len() as u64) as usize
+    }
+
+    /// Folds a raw line address into tenant `tenant`'s partition of a
+    /// shared `span` of lines: partitions are the `n` equal contiguous
+    /// stripes `[t * span / n, (t+1) * span / n)`, so tenants never
+    /// share a line and per-tenant fault exposure is attributable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range or `span` is smaller than
+    /// the tenant count.
+    pub fn fold_line(&self, tenant: usize, line: u64, span: u64) -> u64 {
+        let n = self.tenants.len() as u64;
+        assert!(tenant < self.tenants.len(), "tenant out of range");
+        assert!(span >= n, "span {span} smaller than tenant count {n}");
+        let t = tenant as u64;
+        let base = t * span / n;
+        let width = (t + 1) * span / n - base;
+        base + line % width
+    }
+
+    /// The priority of tenant index `t`.
+    pub fn priority_of(&self, t: usize) -> u8 {
+        self.tenants[t].priority
+    }
+}
+
+impl fmt::Display for TenantMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}:{}:{}", t.name, t.priority, t.slo_p99_cycles)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for TenantMix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TenantMix, String> {
+        let mut tenants = Vec::new();
+        for part in s.split(',') {
+            let fields: Vec<&str> = part.split(':').collect();
+            let [name, priority, budget] = fields[..] else {
+                return Err(format!(
+                    "tenant {part:?}: expected name:priority:p99_budget"
+                ));
+            };
+            if name.is_empty() {
+                return Err("tenant name must be non-empty".to_string());
+            }
+            let priority: u8 = priority
+                .parse()
+                .map_err(|e| format!("tenant {name}: bad priority: {e}"))?;
+            let slo_p99_cycles: u64 = budget
+                .parse()
+                .map_err(|e| format!("tenant {name}: bad SLO budget: {e}"))?;
+            if slo_p99_cycles == 0 {
+                return Err(format!("tenant {name}: SLO budget must be non-zero"));
+            }
+            tenants.push(TenantProfile {
+                name: name.to_string(),
+                priority,
+                slo_p99_cycles,
+            });
+        }
+        if tenants.is_empty() {
+            return Err("need at least one tenant".to_string());
+        }
+        for (i, a) in tenants.iter().enumerate() {
+            for b in &tenants[i + 1..] {
+                if a.name == b.name {
+                    return Err(format!("duplicate tenant name {:?}", a.name));
+                }
+            }
+        }
+        Ok(TenantMix { tenants })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_mix_is_valid_and_ordered() {
+        let mix = TenantMix::standard();
+        assert_eq!(mix.tenants().len(), 3);
+        assert!(mix.priority_of(0) > mix.priority_of(2), "gold above bronze");
+        assert!(
+            mix.tenants()[0].slo_p99_cycles < mix.tenants()[2].slo_p99_cycles,
+            "tighter budget for gold"
+        );
+    }
+
+    #[test]
+    fn display_from_str_round_trips() {
+        let mix = TenantMix::standard();
+        let again: TenantMix = mix.to_string().parse().unwrap();
+        assert_eq!(mix, again);
+    }
+
+    #[test]
+    fn clients_stripe_over_tenants() {
+        let mix = TenantMix::standard();
+        for c in 0..12u64 {
+            assert_eq!(mix.tenant_of_client(c), (c % 3) as usize);
+        }
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover_nothing_shared() {
+        let mix = TenantMix::standard();
+        let span = 1000u64;
+        for line in 0..5000u64 {
+            let a = mix.fold_line(0, line, span);
+            let b = mix.fold_line(1, line, span);
+            let c = mix.fold_line(2, line, span);
+            assert!(a < 333, "gold stripe");
+            assert!((333..666).contains(&b), "silver stripe");
+            assert!((666..1000).contains(&c), "bronze stripe");
+        }
+    }
+
+    #[test]
+    fn bad_strings_rejected() {
+        assert!("".parse::<TenantMix>().is_err());
+        assert!("gold".parse::<TenantMix>().is_err());
+        assert!("gold:2".parse::<TenantMix>().is_err());
+        assert!("gold:2:0".parse::<TenantMix>().is_err());
+        assert!("gold:2:100,gold:1:200".parse::<TenantMix>().is_err());
+        assert!("gold:boom:100".parse::<TenantMix>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tenant name")]
+    fn duplicate_names_rejected_on_construction() {
+        TenantMix::new(vec![
+            TenantProfile {
+                name: "a".to_string(),
+                priority: 0,
+                slo_p99_cycles: 1,
+            },
+            TenantProfile {
+                name: "a".to_string(),
+                priority: 1,
+                slo_p99_cycles: 1,
+            },
+        ]);
+    }
+}
